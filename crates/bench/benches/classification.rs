@@ -1,0 +1,31 @@
+//! Criterion bench: stage-one Random Forest classification (the
+//! "1 classification" and "27 classifications" rows of Table IV).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sentinel_core::Trainer;
+use sentinel_devices::{catalog, generate_dataset, NetworkEnvironment};
+
+fn bench_classification(c: &mut Criterion) {
+    let env = NetworkEnvironment::default();
+    let profiles = catalog::standard_catalog();
+    let dataset = generate_dataset(&profiles, &env, 10, 1);
+    let identifier = Trainer::default().train(&dataset, 7).expect("training");
+    let fixed = dataset.sample(0).fingerprint().to_fixed();
+
+    c.bench_function("classify_27_type_bank", |b| {
+        b.iter(|| identifier.classify_candidates(black_box(&fixed)))
+    });
+
+    // Single-classifier cost via a 2-type identifier.
+    let two: Vec<_> = profiles[..2].to_vec();
+    let small_ds = generate_dataset(&two, &env, 10, 1);
+    let small = Trainer::default().train(&small_ds, 7).expect("training");
+    let small_fixed = small_ds.sample(0).fingerprint().to_fixed();
+    c.bench_function("classify_2_type_bank", |b| {
+        b.iter(|| small.classify_candidates(black_box(&small_fixed)))
+    });
+}
+
+criterion_group!(benches, bench_classification);
+criterion_main!(benches);

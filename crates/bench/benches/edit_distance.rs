@@ -1,0 +1,50 @@
+//! Criterion bench: edit-distance discrimination (the
+//! "1 discrimination" and "7 discriminations" rows of Table IV).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sentinel_devices::{capture_setups, catalog, NetworkEnvironment};
+use sentinel_editdist::{dissimilarity_score, fingerprint_distance, DistanceVariant};
+use sentinel_fingerprint::{Fingerprint, FingerprintExtractor};
+
+fn fingerprints_of(name: &str, n: u32) -> Vec<Fingerprint> {
+    let env = NetworkEnvironment::default();
+    let profile = catalog::standard_catalog()
+        .into_iter()
+        .find(|p| p.type_name == name)
+        .expect("profile exists");
+    capture_setups(&profile, &env, n, 3)
+        .iter()
+        .map(|c| FingerprintExtractor::extract_from(c.packets()))
+        .collect()
+}
+
+fn bench_edit_distance(c: &mut Criterion) {
+    let dlink = fingerprints_of("D-LinkSensor", 6);
+    let probe = &dlink[0];
+    let reference = &dlink[1];
+
+    c.bench_function("fingerprint_distance_osa", |b| {
+        b.iter(|| {
+            fingerprint_distance(black_box(probe), black_box(reference), DistanceVariant::Osa)
+        })
+    });
+    c.bench_function("fingerprint_distance_full_dl", |b| {
+        b.iter(|| {
+            fingerprint_distance(
+                black_box(probe),
+                black_box(reference),
+                DistanceVariant::FullDamerau,
+            )
+        })
+    });
+
+    // One discrimination round: 5 references (paper's shape).
+    let refs: Vec<&Fingerprint> = dlink[1..6].iter().collect();
+    c.bench_function("dissimilarity_score_5_refs", |b| {
+        b.iter(|| dissimilarity_score(black_box(probe), black_box(&refs), DistanceVariant::Osa))
+    });
+}
+
+criterion_group!(benches, bench_edit_distance);
+criterion_main!(benches);

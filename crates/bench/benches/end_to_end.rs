@@ -1,0 +1,38 @@
+//! Criterion bench: complete type identification (Table IV's bottom
+//! row) — classification plus, where needed, discrimination.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sentinel_core::Trainer;
+use sentinel_devices::{catalog, generate_dataset, NetworkEnvironment};
+use sentinel_fingerprint::Fingerprint;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let env = NetworkEnvironment::default();
+    let profiles = catalog::standard_catalog();
+    let dataset = generate_dataset(&profiles, &env, 10, 1);
+    let identifier = Trainer::default().train(&dataset, 7).expect("training");
+
+    // A distinct type: single match, no discrimination.
+    let distinct: &Fingerprint = dataset
+        .iter()
+        .find(|s| s.label() == "HueBridge")
+        .unwrap()
+        .fingerprint();
+    c.bench_function("identify_distinct_type", |b| {
+        b.iter(|| identifier.identify(black_box(distinct)))
+    });
+
+    // A confused sibling: multi-match, discrimination runs.
+    let sibling: &Fingerprint = dataset
+        .iter()
+        .find(|s| s.label() == "D-LinkSensor")
+        .unwrap()
+        .fingerprint();
+    c.bench_function("identify_confused_sibling", |b| {
+        b.iter(|| identifier.identify(black_box(sibling)))
+    });
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

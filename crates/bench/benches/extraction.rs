@@ -1,0 +1,38 @@
+//! Criterion bench: fingerprint extraction (Table IV's "fingerprint
+//! extraction" row) and the wire-decode path feeding it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sentinel_devices::{catalog, NetworkEnvironment, SetupSimulator};
+use sentinel_fingerprint::FingerprintExtractor;
+use sentinel_net::wire::decode_frame;
+use sentinel_net::{Packet, SimTime};
+
+fn bench_extraction(c: &mut Criterion) {
+    let env = NetworkEnvironment::default();
+    let profile = &catalog::standard_catalog()[4]; // HueBridge: busy setup
+    let trace = SetupSimulator::new(env.clone(), 5).simulate(profile, 0);
+    let device_mac = profile.instance_mac(0);
+    let packets: Vec<Packet> = trace
+        .decode_all()
+        .expect("frames decode")
+        .into_iter()
+        .filter(|p| p.src_mac() == device_mac)
+        .collect();
+
+    c.bench_function("fingerprint_extraction", |b| {
+        b.iter(|| FingerprintExtractor::extract_from(black_box(&packets)))
+    });
+
+    let frame = trace.frames()[0].bytes().to_vec();
+    c.bench_function("wire_decode_frame", |b| {
+        b.iter(|| decode_frame(black_box(&frame), SimTime::ZERO).expect("decodes"))
+    });
+
+    c.bench_function("decode_full_setup_trace", |b| {
+        b.iter(|| trace.decode_all().expect("decodes"))
+    });
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

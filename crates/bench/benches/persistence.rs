@@ -1,0 +1,54 @@
+//! Criterion bench: model persistence (the IoTSSP's load path — a
+//! gateway or service instance deserialises the trained model bank at
+//! startup before it can serve identification queries).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sentinel_core::{persist, Trainer};
+use sentinel_devices::{catalog, generate_dataset, NetworkEnvironment};
+use sentinel_ml::{codec as ml_codec, ForestConfig, RandomForest};
+
+fn bench_persistence(c: &mut Criterion) {
+    let env = NetworkEnvironment::default();
+    let profiles = catalog::standard_catalog();
+    let dataset = generate_dataset(&profiles, &env, 10, 1);
+    let identifier = Trainer::default().train(&dataset, 7).expect("training");
+
+    let mut serialized = Vec::new();
+    persist::write_identifier(&mut serialized, &identifier).expect("serialises");
+
+    c.bench_function("serialize_27_type_model", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(serialized.len());
+            persist::write_identifier(&mut buf, black_box(&identifier)).expect("serialises");
+            buf
+        })
+    });
+
+    c.bench_function("deserialize_27_type_model", |b| {
+        b.iter(|| persist::read_identifier(black_box(serialized.as_slice())).expect("parses"))
+    });
+
+    // Per-classifier cost: one binary forest with the 276-dim shape
+    // the per-type classifiers use.
+    let mut samples = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..220 {
+        let mut row = vec![0.0f32; 276];
+        row[18] = i as f32;
+        row[41] = (i * 7 % 13) as f32;
+        samples.push(row);
+        labels.push(usize::from(i >= 110));
+    }
+    let forest =
+        RandomForest::fit(&samples, &labels, 2, &ForestConfig::default(), 3).expect("fits");
+    let mut forest_doc = Vec::new();
+    ml_codec::write_forest(&mut forest_doc, &forest).expect("serialises");
+
+    c.bench_function("deserialize_single_forest", |b| {
+        b.iter(|| ml_codec::read_forest(black_box(forest_doc.as_slice())).expect("parses"))
+    });
+}
+
+criterion_group!(benches, bench_persistence);
+criterion_main!(benches);

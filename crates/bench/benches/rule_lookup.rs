@@ -1,0 +1,41 @@
+//! Criterion bench: enforcement-rule cache lookups at growing cache
+//! sizes — the §V claim that the hash table keeps lookup time flat
+//! "as the enforcement rule cache grows".
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sentinel_core::IsolationLevel;
+use sentinel_gateway::{EnforcementRule, RuleCache};
+use sentinel_net::MacAddr;
+
+fn cache_with(rules: usize) -> (RuleCache, MacAddr) {
+    let mut cache = RuleCache::new();
+    let mut probe = MacAddr::ZERO;
+    for i in 0..rules {
+        let mac = MacAddr::new([2, 0xcc, (i >> 16) as u8, (i >> 8) as u8, i as u8, 1]);
+        if i == rules / 2 {
+            probe = mac;
+        }
+        cache.install(EnforcementRule::new(mac, IsolationLevel::Strict));
+    }
+    (cache, probe)
+}
+
+fn bench_rule_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rule_cache_lookup");
+    for rules in [100usize, 1_000, 10_000, 20_000] {
+        let (mut cache, probe) = cache_with(rules);
+        group.bench_with_input(BenchmarkId::new("hit", rules), &rules, |b, _| {
+            b.iter(|| cache.lookup(black_box(probe)).is_some())
+        });
+        let (mut cache, _) = cache_with(rules);
+        let missing = MacAddr::new([2, 0xff, 0xff, 0xff, 0xff, 0xff]);
+        group.bench_with_input(BenchmarkId::new("miss", rules), &rules, |b, _| {
+            b.iter(|| cache.lookup(black_box(missing)).is_none())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rule_lookup);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Regenerates **Fig. 5**: ratio of correct identification for the 27
+//! device types, via stratified 10-fold cross-validation repeated 10
+//! times (§VI-B), plus the §VI-B prose statistics (global accuracy,
+//! multi-match rate, mean edit-distance computations).
+//!
+//! Usage: `fig5_accuracy [repetitions]` (default 10).
+
+use sentinel_bench::{evaluation_dataset, fig5_order, fmt_ratio, run_identification_eval};
+
+fn main() {
+    let repetitions: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+    eprintln!("building dataset (27 types x 20 setups)...");
+    let dataset = evaluation_dataset();
+    eprintln!(
+        "running {repetitions}x stratified 10-fold cross-validation on {} fingerprints...",
+        dataset.len()
+    );
+    let report = run_identification_eval(&dataset, repetitions, 7).expect("evaluation runs");
+
+    println!("== Fig. 5: ratio of correct identification per device type ==");
+    let per_type: std::collections::HashMap<String, f64> =
+        report.per_type_accuracy().into_iter().collect();
+    let mut high_accuracy = 0usize;
+    for name in fig5_order() {
+        let acc = per_type.get(name).copied().unwrap_or(0.0);
+        if acc >= 0.95 {
+            high_accuracy += 1;
+        }
+        let bar: String = std::iter::repeat_n('#', (acc * 40.0).round() as usize).collect();
+        println!("{name:>20} {} {bar}", fmt_ratio(acc));
+    }
+    println!();
+    println!(
+        "global accuracy (macro over types): {}",
+        fmt_ratio(report.global_accuracy())
+    );
+    println!("paper reference:                    0.815");
+    println!("types with accuracy >= 0.95:        {high_accuracy} (paper: 17 at >0.95)");
+    println!();
+    println!("== §VI-B prose statistics ==");
+    println!(
+        "fingerprints needing discrimination: {:.1}% (paper: 55%)",
+        report.multi_match_rate() * 100.0
+    );
+    println!(
+        "edit distance computations per identification: {:.1} (paper: ~7)",
+        report.avg_distance_computations()
+    );
+    println!(
+        "identifications rejected by all classifiers: {} of {}",
+        report.no_match, report.total
+    );
+}

@@ -1,0 +1,73 @@
+//! Regenerates **Fig. 6**: gateway performance scaling.
+//!
+//! * `fig6_scaling latency` — Fig. 6a: latency vs concurrent flows on
+//!   the D1-D2 and D1-D3 paths, with and without filtering.
+//! * `fig6_scaling cpu` — Fig. 6b: CPU utilisation vs concurrent
+//!   flows.
+//! * `fig6_scaling memory` — Fig. 6c: memory consumption vs number of
+//!   enforcement rules.
+//! * `fig6_scaling all` (default) — all three series.
+
+use sentinel_gateway::Testbed;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let mut testbed = Testbed::new(0xF16, 0);
+    if which == "latency" || which == "all" {
+        latency(&mut testbed);
+    }
+    if which == "cpu" || which == "all" {
+        cpu(&mut testbed);
+    }
+    if which == "memory" || which == "all" {
+        memory(&mut testbed);
+    }
+}
+
+fn latency(testbed: &mut Testbed) {
+    println!("== Fig. 6a: latency (ms) vs concurrent flows ==");
+    println!(
+        "{:>6} | {:>10} {:>10} | {:>10} {:>10}",
+        "flows", "D1-D2 w/", "D1-D2 w/o", "D1-D3 w/", "D1-D3 w/o"
+    );
+    let flow_counts: Vec<usize> = (20..=150).step_by(10).collect();
+    for p in testbed.latency_vs_flows(&flow_counts, 60) {
+        println!(
+            "{:>6} | {:>10.1} {:>10.1} | {:>10.1} {:>10.1}",
+            p.flows, p.with_filtering, p.without_filtering, p.secondary_with, p.secondary_without
+        );
+    }
+    println!("paper shape: both paths flat (≈15 and ≈22 ms) up to 150 flows,\nfiltering curve marginally above the baseline.\n");
+}
+
+fn cpu(testbed: &mut Testbed) {
+    println!("== Fig. 6b: CPU utilization (%) vs concurrent flows ==");
+    println!(
+        "{:>6} | {:>12} {:>12}",
+        "flows", "filtering", "no filtering"
+    );
+    let flow_counts: Vec<usize> = (0..=150).step_by(10).collect();
+    for p in testbed.cpu_vs_flows(&flow_counts, 120) {
+        println!(
+            "{:>6} | {:>12.1} {:>12.1}",
+            p.flows, p.with_filtering, p.without_filtering
+        );
+    }
+    println!("paper shape: ≈37% idle rising to ≈47-48% at 150 flows; filtering adds <1 point.\n");
+}
+
+fn memory(testbed: &mut Testbed) {
+    println!("== Fig. 6c: memory consumption (MB) vs enforcement rules ==");
+    println!(
+        "{:>7} | {:>12} {:>12}",
+        "rules", "filtering", "no filtering"
+    );
+    let rule_counts: Vec<usize> = (0..=20_000).step_by(2_000).collect();
+    for p in testbed.memory_vs_rules(&rule_counts) {
+        println!(
+            "{:>7} | {:>12.1} {:>12.1}",
+            p.rules, p.with_filtering_mb, p.without_filtering_mb
+        );
+    }
+    println!("paper shape: ≈40 MB base growing near-linearly to ≈90 MB at 20,000 rules;\nfiltering and no-filtering curves nearly coincide.");
+}

@@ -1,0 +1,56 @@
+//! Failure injection: identification robustness under capture loss.
+//!
+//! The paper's models train on clean lab captures (§VI-A), but a
+//! deployed Security Gateway drops frames — radio interference, ring
+//! buffer overruns, promiscuous-mode load. This experiment trains on
+//! the clean 540-fingerprint dataset and identifies *lossy* field
+//! captures at increasing per-frame drop rates, measuring how
+//! gracefully the two-stage pipeline degrades when fingerprint
+//! columns go missing.
+//!
+//! Usage: `packet_loss [runs_per_type]` (default 10).
+
+use sentinel_bench::{evaluation_dataset, DATASET_SEED};
+use sentinel_core::eval::evaluate_transfer;
+use sentinel_core::IdentifierConfig;
+use sentinel_devices::{catalog, generate_dataset_with_loss, NetworkEnvironment};
+
+fn main() {
+    let runs: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+
+    eprintln!("building clean training dataset (27 types x 20 setups)...");
+    let clean = evaluation_dataset();
+    let profiles = catalog::standard_catalog();
+    let env = NetworkEnvironment::default();
+
+    println!("== Identification accuracy vs capture frame loss ==");
+    println!("(trained on clean captures; test captures drop each frame i.i.d.)");
+    println!(
+        "{:>10} | {:>8} | {:>9} | {:>11}",
+        "loss", "accuracy", "unknown", "multi-match"
+    );
+    for loss in [0.0, 0.02, 0.05, 0.10, 0.20, 0.30, 0.50] {
+        // Fresh traces per level (disjoint seed from the training set).
+        let lossy =
+            generate_dataset_with_loss(&profiles, &env, runs, DATASET_SEED ^ 0x7e57_1055, loss);
+        let report = evaluate_transfer(&clean, &lossy, &IdentifierConfig::default(), 12)
+            .expect("transfer evaluation runs");
+        println!(
+            "{:>9.0}% | {:>8.3} | {:>8.1}% | {:>10.1}%",
+            loss * 100.0,
+            report.global_accuracy(),
+            100.0 * report.no_match as f64 / report.total.max(1) as f64,
+            report.multi_match_rate() * 100.0,
+        );
+    }
+    println!();
+    println!("reading: degradation is gradual (no cliff at the first dropped");
+    println!("frame) but the fingerprint is loss-sensitive — every early setup");
+    println!("packet shifts the F' prefix the classifiers were trained on.");
+    println!("Gateways should capture setup traffic at high priority, and");
+    println!("re-fingerprint on the next setup/standby window when stage one");
+    println!("rejects a capture taken under load.");
+}

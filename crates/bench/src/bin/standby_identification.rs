@@ -1,0 +1,96 @@
+//! §VIII-A experiment: device-type identification from
+//! **standby/operation traffic**, the paper's future-work hypothesis
+//! for legacy installations ("message exchanges during standby and
+//! operation cycles are likely to be characteristic for particular
+//! device-types and therefore form a good basis for device-type
+//! identification").
+//!
+//! Three measurements:
+//!
+//! 1. **Standby→standby**: stratified 10-fold cross-validation on the
+//!    standby dataset — does the hypothesis hold when models are
+//!    trained on standby traffic?
+//! 2. **Setup→standby transfer**: models trained on setup
+//!    fingerprints, tested on standby fingerprints — can the gateway
+//!    reuse its setup-trained models for already-installed devices?
+//! 3. **Setup→setup** (reference): the Fig. 5 protocol, for a
+//!    side-by-side comparison.
+//!
+//! Usage: `standby_identification [repetitions]` (default 10).
+
+use std::collections::HashMap;
+
+use sentinel_bench::{
+    evaluation_dataset, fig5_order, fmt_ratio, run_identification_eval, standby_dataset,
+};
+use sentinel_core::eval::evaluate_transfer;
+use sentinel_core::IdentifierConfig;
+
+fn main() {
+    let repetitions: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+
+    eprintln!("building setup dataset (27 types x 20 setups)...");
+    let setup = evaluation_dataset();
+    eprintln!("building standby dataset (27 types x 20 observation windows)...");
+    let standby = standby_dataset();
+
+    eprintln!("running {repetitions}x stratified 10-fold CV on standby fingerprints...");
+    let standby_report =
+        run_identification_eval(&standby, repetitions, 23).expect("standby evaluation runs");
+    eprintln!("running {repetitions}x stratified 10-fold CV on setup fingerprints...");
+    let setup_report =
+        run_identification_eval(&setup, repetitions, 7).expect("setup evaluation runs");
+    eprintln!("running setup->standby transfer...");
+    let transfer_report = evaluate_transfer(&setup, &standby, &IdentifierConfig::default(), 99)
+        .expect("transfer evaluation runs");
+
+    println!("== §VIII-A: identification from standby/operation traffic ==");
+    println!();
+    println!("per-type accuracy (standby->standby CV vs setup->setup CV):");
+    let standby_acc: HashMap<String, f64> =
+        standby_report.per_type_accuracy().into_iter().collect();
+    let setup_acc: HashMap<String, f64> = setup_report.per_type_accuracy().into_iter().collect();
+    for name in fig5_order() {
+        let s = standby_acc.get(name).copied().unwrap_or(0.0);
+        let u = setup_acc.get(name).copied().unwrap_or(0.0);
+        let bar: String = std::iter::repeat_n('#', (s * 40.0).round() as usize).collect();
+        println!(
+            "{name:>20} standby {} setup {} {bar}",
+            fmt_ratio(s),
+            fmt_ratio(u)
+        );
+    }
+    println!();
+    println!(
+        "global accuracy, standby->standby: {}",
+        fmt_ratio(standby_report.global_accuracy())
+    );
+    println!(
+        "global accuracy, setup->setup:     {} (Fig. 5 protocol)",
+        fmt_ratio(setup_report.global_accuracy())
+    );
+    println!(
+        "global accuracy, setup->standby:   {} (transfer, no standby training)",
+        fmt_ratio(transfer_report.global_accuracy())
+    );
+    println!(
+        "transfer rejected as unknown:      {} of {} ({:.1}%)",
+        transfer_report.no_match,
+        transfer_report.total,
+        100.0 * transfer_report.no_match as f64 / transfer_report.total.max(1) as f64
+    );
+    println!();
+    println!(
+        "standby multi-match rate: {:.1}% (setup: {:.1}%)",
+        standby_report.multi_match_rate() * 100.0,
+        setup_report.multi_match_rate() * 100.0
+    );
+    println!();
+    println!("reading: a high standby->standby accuracy supports the paper's");
+    println!("§VIII-A hypothesis that standby behaviour is type-characteristic;");
+    println!("a low setup->standby accuracy shows why legacy profiling needs");
+    println!("standby-trained models rather than reuse of setup-trained ones.");
+}

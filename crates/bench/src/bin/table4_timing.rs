@@ -1,0 +1,92 @@
+//! Regenerates **Table IV**: time consumption for device-type
+//! identification — single classification, single discrimination,
+//! fingerprint extraction, 27 classifications, the discrimination
+//! phase, and full type identification.
+//!
+//! Absolute numbers depend on the host; the paper's *shape* must hold:
+//! one Random Forest classification is orders of magnitude cheaper
+//! than one edit-distance discrimination, and identification time is
+//! dominated by discrimination.
+//!
+//! Usage: `table4_timing`
+
+use sentinel_bench::{evaluation_dataset, DATASET_SEED};
+use sentinel_core::eval::{measure_extraction, measure_identification};
+use sentinel_core::Trainer;
+use sentinel_devices::{capture_setups, catalog, NetworkEnvironment};
+use sentinel_fingerprint::Fingerprint;
+
+fn main() {
+    let dataset = evaluation_dataset();
+    eprintln!("training the 27-classifier identifier...");
+    let identifier = Trainer::default().train(&dataset, 7).expect("training");
+
+    // Time identification over 200 fingerprints drawn round-robin.
+    let test: Vec<&Fingerprint> = dataset
+        .iter()
+        .step_by(2)
+        .take(200)
+        .map(|s| s.fingerprint())
+        .collect();
+    eprintln!("timing identification over {} fingerprints...", test.len());
+    let report = measure_identification(&identifier, &test);
+
+    // Time extraction over freshly captured packet sequences.
+    let env = NetworkEnvironment::default();
+    let captures: Vec<Vec<sentinel_net::Packet>> = catalog::standard_catalog()
+        .iter()
+        .map(|p| {
+            capture_setups(p, &env, 1, DATASET_SEED ^ 0xE)
+                .remove(0)
+                .into_packets()
+        })
+        .collect();
+    let extraction = measure_extraction(&captures);
+
+    println!("== Table IV: time consumption for device-type identification ==");
+    println!("{:<42} {:>22}  (paper)", "step", "measured");
+    println!(
+        "{:<42} {:>22}  0.014 ms (±0.003)",
+        "1 classification (Random Forest)",
+        report.single_classification.to_string()
+    );
+    println!(
+        "{:<42} {:>22}  23.36 ms (±24.37)",
+        "1 discrimination (edit distance)",
+        report.single_discrimination.to_string()
+    );
+    println!(
+        "{:<42} {:>22}  0.850 ms (±0.698)",
+        "fingerprint extraction",
+        extraction.to_string()
+    );
+    println!(
+        "{:<42} {:>22}  0.385 ms (±0.081)",
+        format!(
+            "{} classifications (Random Forest)",
+            report.classifier_count
+        ),
+        report.full_classification.to_string()
+    );
+    println!(
+        "{:<42} {:>22}  156.5 ms (±170.6)",
+        "discrimination phase (when needed)",
+        report.discrimination_phase.to_string()
+    );
+    println!(
+        "{:<42} {:>22}  157.7 ms (±171.4)",
+        "type identification (end to end)",
+        report.identification.to_string()
+    );
+    println!();
+    println!(
+        "mean edit-distance computations per identification: {:.1} (paper: ~7)",
+        report.avg_distance_computations
+    );
+    let ratio =
+        report.single_discrimination.mean_ms / report.single_classification.mean_ms.max(1e-9);
+    println!(
+        "discrimination / classification cost ratio: {ratio:.0}x (paper: ~1670x) — \
+         the shape requirement is discrimination >> classification"
+    );
+}

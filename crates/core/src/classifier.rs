@@ -1,0 +1,166 @@
+//! Per-device-type binary classifiers (stage one, §IV-B-1).
+
+use sentinel_fingerprint::FixedFingerprint;
+use sentinel_ml::{ForestConfig, RandomForest};
+
+use crate::error::CoreError;
+
+/// A binary Random Forest deciding whether a fixed fingerprint F′
+/// belongs to one specific device type.
+///
+/// "A classifier Cᵢ is trained for identifying the device-type Dᵢ,
+/// using all samples from S_Dᵢ as one class and a subset of samples
+/// from its complement as the other class."
+#[derive(Debug, Clone)]
+pub struct TypeClassifier {
+    type_name: String,
+    forest: RandomForest,
+}
+
+impl TypeClassifier {
+    /// Trains a classifier for `type_name` from positive (own-type) and
+    /// negative (other-type) fixed fingerprints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadDataset`] if either class is empty or
+    /// dimensions mismatch, and [`CoreError::Ml`] for classifier
+    /// failures.
+    pub fn train(
+        type_name: impl Into<String>,
+        positives: &[&FixedFingerprint],
+        negatives: &[&FixedFingerprint],
+        config: &ForestConfig,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        let type_name = type_name.into();
+        if positives.is_empty() || negatives.is_empty() {
+            return Err(CoreError::BadDataset(format!(
+                "classifier for {type_name} needs both classes (got {} positive, {} negative)",
+                positives.len(),
+                negatives.len()
+            )));
+        }
+        let mut samples: Vec<Vec<f32>> = Vec::with_capacity(positives.len() + negatives.len());
+        let mut labels: Vec<usize> = Vec::with_capacity(samples.capacity());
+        for p in positives {
+            samples.push(p.as_slice().to_vec());
+            labels.push(1);
+        }
+        for n in negatives {
+            samples.push(n.as_slice().to_vec());
+            labels.push(0);
+        }
+        let forest = RandomForest::fit(&samples, &labels, 2, config, seed)?;
+        Ok(TypeClassifier { type_name, forest })
+    }
+
+    /// The device type this classifier recognises.
+    pub fn type_name(&self) -> &str {
+        &self.type_name
+    }
+
+    /// The underlying binary forest (persistence path).
+    pub(crate) fn forest(&self) -> &RandomForest {
+        &self.forest
+    }
+
+    /// Reassembles a classifier from a loaded forest (persistence
+    /// path).
+    pub(crate) fn from_parts(type_name: String, forest: RandomForest) -> Self {
+        TypeClassifier { type_name, forest }
+    }
+
+    /// Binary decision: does `fixed` match this device type?
+    ///
+    /// A fingerprint matches when at least `threshold` of the trees
+    /// vote for the positive class (0.5 = plain majority vote).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Ml`] for a dimension mismatch.
+    pub fn matches(&self, fixed: &FixedFingerprint, threshold: f32) -> Result<bool, CoreError> {
+        Ok(self.confidence(fixed)? >= threshold)
+    }
+
+    /// The fraction of trees voting positive, in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Ml`] for a dimension mismatch.
+    pub fn confidence(&self, fixed: &FixedFingerprint) -> Result<f32, CoreError> {
+        let proba = self.forest.predict_proba(fixed.as_slice())?;
+        Ok(proba[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_fingerprint::{Fingerprint, PacketFeatures};
+
+    fn fixed(tags: &[u32]) -> FixedFingerprint {
+        let cols: Vec<PacketFeatures> = tags
+            .iter()
+            .map(|t| {
+                let mut v = [0u32; 23];
+                v[18] = *t;
+                v[6] = t % 2;
+                PacketFeatures::from_raw(v)
+            })
+            .collect();
+        Fingerprint::from_columns(cols).to_fixed()
+    }
+
+    fn classifier() -> TypeClassifier {
+        let pos: Vec<FixedFingerprint> = (0..10).map(|i| fixed(&[100 + i, 200, 300])).collect();
+        let neg: Vec<FixedFingerprint> = (0..30).map(|i| fixed(&[900 + i, 800, 700])).collect();
+        let pos_refs: Vec<&FixedFingerprint> = pos.iter().collect();
+        let neg_refs: Vec<&FixedFingerprint> = neg.iter().collect();
+        TypeClassifier::train(
+            "TestType",
+            &pos_refs,
+            &neg_refs,
+            &ForestConfig::default(),
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accepts_own_type_rejects_others() {
+        let c = classifier();
+        assert_eq!(c.type_name(), "TestType");
+        assert!(c.matches(&fixed(&[105, 200, 300]), 0.5).unwrap());
+        assert!(!c.matches(&fixed(&[905, 800, 700]), 0.5).unwrap());
+    }
+
+    #[test]
+    fn confidence_is_probability() {
+        let c = classifier();
+        let own = c.confidence(&fixed(&[103, 200, 300])).unwrap();
+        let other = c.confidence(&fixed(&[903, 800, 700])).unwrap();
+        assert!(own > 0.8, "own-type confidence {own}");
+        assert!(other < 0.2, "other-type confidence {other}");
+    }
+
+    #[test]
+    fn rejects_empty_classes() {
+        let pos = [fixed(&[1])];
+        let pos_refs: Vec<&FixedFingerprint> = pos.iter().collect();
+        let err =
+            TypeClassifier::train("X", &pos_refs, &[], &ForestConfig::default(), 1).unwrap_err();
+        assert!(matches!(err, CoreError::BadDataset(_)));
+        let err =
+            TypeClassifier::train("X", &[], &pos_refs, &ForestConfig::default(), 1).unwrap_err();
+        assert!(matches!(err, CoreError::BadDataset(_)));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = classifier();
+        let b = classifier();
+        let probe = fixed(&[104, 200, 300]);
+        assert_eq!(a.confidence(&probe).unwrap(), b.confidence(&probe).unwrap());
+    }
+}

@@ -1,0 +1,11 @@
+//! Evaluation harnesses behind the paper's §VI-B results: stratified
+//! cross-validation (Fig. 5, Table III), stage timing (Table IV) and
+//! the §VIII-A cross-domain (setup↔standby) transfer evaluation.
+
+pub mod crossval;
+pub mod timing;
+pub mod transfer;
+
+pub use crossval::{cross_validate, CrossValConfig, EvaluationReport};
+pub use timing::{measure_extraction, measure_identification, TimingReport, TimingStats};
+pub use transfer::evaluate_transfer;

@@ -1,0 +1,169 @@
+//! Train-on-one-domain / test-on-another evaluation.
+//!
+//! §VIII-A motivates this harness: for legacy installations, devices
+//! are already connected, so profiling must happen from **standby**
+//! traffic rather than the setup conversation. Two questions follow:
+//!
+//! 1. Do standby fingerprints identify device types when the models
+//!    are *also trained on standby traffic*? (The paper's working
+//!    hypothesis; evaluated with [`crate::eval::cross_validate`] on a
+//!    standby dataset.)
+//! 2. Can setup-trained models identify standby traffic directly —
+//!    i.e. does the fingerprint *transfer* across behavioural domains?
+//!    (Evaluated here; the expected answer is "poorly", which is why
+//!    the paper plans separate standby profiling instead of reusing
+//!    setup models.)
+//!
+//! [`evaluate_transfer`] trains the full two-stage pipeline on one
+//! labelled dataset and identifies every sample of another, producing
+//! the same [`EvaluationReport`] as cross-validation so results are
+//! directly comparable.
+
+use sentinel_fingerprint::Dataset;
+use sentinel_ml::ConfusionMatrix;
+
+use crate::error::CoreError;
+use crate::eval::crossval::EvaluationReport;
+use crate::identifier::Identification;
+use crate::trainer::{IdentifierConfig, Trainer};
+
+/// Trains on `train` and identifies every sample of `test`.
+///
+/// Both datasets must be labelled with the same device-type names for
+/// the confusion matrix to be meaningful; test labels absent from the
+/// training set will show up as misidentifications or `<unknown>`.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if training on `train` fails (e.g. an empty
+/// dataset).
+///
+/// # Examples
+///
+/// ```no_run
+/// use sentinel_core::eval::evaluate_transfer;
+/// use sentinel_core::IdentifierConfig;
+/// use sentinel_devices::{catalog, generate_dataset, standby, NetworkEnvironment};
+///
+/// let env = NetworkEnvironment::default();
+/// let setup = generate_dataset(&catalog::standard_catalog(), &env, 20, 1);
+/// let standby = standby::generate_standby_dataset(&env, 20, 2);
+/// let report = evaluate_transfer(&setup, &standby, &IdentifierConfig::default(), 42)?;
+/// println!("setup→standby accuracy: {:.3}", report.global_accuracy());
+/// # Ok::<(), sentinel_core::CoreError>(())
+/// ```
+pub fn evaluate_transfer(
+    train: &Dataset,
+    test: &Dataset,
+    config: &IdentifierConfig,
+    seed: u64,
+) -> Result<EvaluationReport, CoreError> {
+    let identifier = Trainer::new(*config).train(train, seed)?;
+    let refs = config.references_per_type;
+    let mut report = EvaluationReport {
+        confusion: ConfusionMatrix::new(),
+        total: 0,
+        multi_match: 0,
+        no_match: 0,
+        candidate_sum: 0,
+        distance_computations: 0,
+    };
+    for sample in test.iter() {
+        let result = identifier.identify(sample.fingerprint());
+        report.total += 1;
+        match &result {
+            Identification::Known { candidates, .. } => {
+                if candidates.len() > 1 {
+                    report.multi_match += 1;
+                    report.candidate_sum += candidates.len();
+                    report.distance_computations += candidates.len() * refs;
+                }
+                report
+                    .confusion
+                    .record(sample.label(), result.device_type().unwrap_or("<unknown>"));
+            }
+            Identification::Unknown => {
+                report.no_match += 1;
+                report.confusion.record(sample.label(), "<unknown>");
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_fingerprint::{Fingerprint, LabeledFingerprint, PacketFeatures};
+    use sentinel_ml::{ForestConfig, TreeConfig};
+
+    fn fp(tags: &[u32]) -> Fingerprint {
+        Fingerprint::from_columns(
+            tags.iter()
+                .map(|t| {
+                    let mut v = [0u32; 23];
+                    v[18] = *t;
+                    PacketFeatures::from_raw(v)
+                })
+                .collect(),
+        )
+    }
+
+    fn dataset(offset: u32) -> Dataset {
+        let mut ds = Dataset::new();
+        for i in 0..10u32 {
+            ds.push(LabeledFingerprint::new(
+                "A",
+                fp(&[100 + offset + i, 110 + offset, 120 + offset]),
+            ));
+            ds.push(LabeledFingerprint::new(
+                "B",
+                fp(&[500 + offset + i, 510 + offset, 520 + offset]),
+            ));
+        }
+        ds
+    }
+
+    fn quick_config() -> IdentifierConfig {
+        IdentifierConfig {
+            forest: ForestConfig {
+                n_trees: 9,
+                tree: TreeConfig::default(),
+                bootstrap: true,
+                threads: 1,
+            },
+            ..IdentifierConfig::default()
+        }
+    }
+
+    #[test]
+    fn same_domain_transfer_is_accurate() {
+        let report =
+            evaluate_transfer(&dataset(0), &dataset(2), &quick_config(), 7).expect("evaluates");
+        assert_eq!(report.total, 20);
+        assert!(
+            report.global_accuracy() > 0.9,
+            "near-identical domains transfer: {}",
+            report.global_accuracy()
+        );
+    }
+
+    #[test]
+    fn shifted_domain_degrades() {
+        // Test distribution far outside the training support: samples
+        // should be rejected or misidentified, never silently perfect.
+        let report =
+            evaluate_transfer(&dataset(0), &dataset(5_000), &quick_config(), 7).expect("evaluates");
+        assert!(
+            report.global_accuracy() < 0.9,
+            "distribution shift must hurt: {}",
+            report.global_accuracy()
+        );
+    }
+
+    #[test]
+    fn empty_training_set_errors() {
+        let empty = Dataset::new();
+        assert!(evaluate_transfer(&empty, &dataset(0), &quick_config(), 7).is_err());
+    }
+}

@@ -1,0 +1,423 @@
+//! Crowdsourced incident correlation (§III-B).
+//!
+//! Beyond querying CVE repositories, the paper proposes that the
+//! IoTSSP's vulnerability assessment "can also be used by
+//! cross-correlating security incidents and related device-types as
+//! reported by Security Gateways of affected networks" — the same
+//! mutual-sharing model anti-virus vendors use for malware signatures.
+//! This module implements that correlation.
+//!
+//! Security Gateways submit [`IncidentReport`]s (a policy violation, a
+//! device scanning its neighbours, an exfiltration attempt) tagged
+//! with the *identified device type* and a pseudonymous gateway id.
+//! The [`IncidentCorrelator`] flags a device type once enough
+//! *distinct* gateways report it within a sliding window — one
+//! misbehaving household (or one malicious gateway spamming reports)
+//! is never sufficient. Flagged types are turned into derived
+//! `CROWD-…` advisories that feed the regular
+//! [`VulnerabilityDatabase`] assessment, so the next fingerprint of
+//! that type lands in restricted isolation like any CVE-listed type.
+//!
+//! Privacy: consistent with §III-B ("IoT Security Service does not
+//! store any information about its Security Gateway clients"), reports
+//! carry only an opaque [`GatewayId`] — enough to count distinct
+//! reporters, nothing more.
+//!
+//! # Example
+//!
+//! ```
+//! use sentinel_core::incidents::{
+//!     CorrelatorConfig, GatewayId, IncidentCorrelator, IncidentKind, IncidentReport,
+//! };
+//! use sentinel_core::VulnerabilityDatabase;
+//! use sentinel_net::SimTime;
+//!
+//! let mut correlator = IncidentCorrelator::new(CorrelatorConfig::default());
+//! for gw in 0..3 {
+//!     correlator.submit(IncidentReport::new(
+//!         GatewayId(gw),
+//!         "EdnetCam",
+//!         IncidentKind::ScanningBehaviour,
+//!         SimTime::from_secs(60 * gw),
+//!     ));
+//! }
+//! let mut db = VulnerabilityDatabase::new();
+//! let flagged = correlator.apply_to(&mut db, SimTime::from_secs(300));
+//! assert_eq!(flagged, 1);
+//! assert!(db.is_vulnerable("EdnetCam"));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use sentinel_net::{SimDuration, SimTime};
+
+use crate::vulnerability::{Severity, VulnerabilityDatabase, VulnerabilityRecord};
+
+/// Pseudonymous identifier of a reporting Security Gateway. Gateways
+/// reporting through an anonymization network choose a stable random
+/// id; the IoTSSP never learns anything else about them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GatewayId(pub u64);
+
+impl fmt::Display for GatewayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gw-{:016x}", self.0)
+    }
+}
+
+/// What a Security Gateway observed a device doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum IncidentKind {
+    /// The device attempted traffic its isolation level forbids
+    /// (e.g. an untrusted-overlay device probing the trusted overlay).
+    PolicyViolation,
+    /// The device scanned other devices in the local network.
+    ScanningBehaviour,
+    /// The device attempted an unexpected bulk upload to an endpoint
+    /// outside its permitted set.
+    ExfiltrationAttempt,
+    /// The device presented credentials of another device (MAC/PSK
+    /// mismatch at the wireless interface).
+    CredentialMisuse,
+}
+
+impl IncidentKind {
+    /// Severity of a *derived* advisory dominated by this kind.
+    fn derived_severity(self) -> Severity {
+        match self {
+            IncidentKind::PolicyViolation => Severity::Medium,
+            IncidentKind::ScanningBehaviour => Severity::Medium,
+            IncidentKind::ExfiltrationAttempt => Severity::High,
+            IncidentKind::CredentialMisuse => Severity::High,
+        }
+    }
+}
+
+impl fmt::Display for IncidentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IncidentKind::PolicyViolation => "policy violation",
+            IncidentKind::ScanningBehaviour => "scanning behaviour",
+            IncidentKind::ExfiltrationAttempt => "exfiltration attempt",
+            IncidentKind::CredentialMisuse => "credential misuse",
+        })
+    }
+}
+
+/// One incident observed by one gateway, attributed to an identified
+/// device type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncidentReport {
+    /// Pseudonymous reporter.
+    pub gateway: GatewayId,
+    /// Device type the incident is attributed to (the gateway's
+    /// identification result).
+    pub device_type: String,
+    /// What was observed.
+    pub kind: IncidentKind,
+    /// When the gateway observed it.
+    pub observed_at: SimTime,
+}
+
+impl IncidentReport {
+    /// Creates a report.
+    pub fn new(
+        gateway: GatewayId,
+        device_type: impl Into<String>,
+        kind: IncidentKind,
+        observed_at: SimTime,
+    ) -> Self {
+        IncidentReport {
+            gateway,
+            device_type: device_type.into(),
+            kind,
+            observed_at,
+        }
+    }
+}
+
+/// Thresholds for flagging a device type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorrelatorConfig {
+    /// Sliding correlation window; only reports newer than
+    /// `now - window` count.
+    pub window: SimDuration,
+    /// Minimum number of *distinct* gateways that must have reported
+    /// the type within the window.
+    pub min_gateways: usize,
+    /// Minimum total reports within the window.
+    pub min_reports: usize,
+}
+
+impl Default for CorrelatorConfig {
+    /// Three distinct gateways, three reports, over a 24-hour window.
+    fn default() -> Self {
+        CorrelatorConfig {
+            window: SimDuration::from_secs(24 * 3600),
+            min_gateways: 3,
+            min_reports: 3,
+        }
+    }
+}
+
+/// A device type that crossed the correlation thresholds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlaggedType {
+    /// The flagged device type.
+    pub device_type: String,
+    /// Distinct gateways that reported it within the window.
+    pub distinct_gateways: usize,
+    /// Total reports within the window.
+    pub reports_in_window: usize,
+    /// The most frequent incident kind (ties broken by severity).
+    pub dominant_kind: IncidentKind,
+}
+
+/// Aggregates incident reports across gateways and derives advisories
+/// for types reported widely enough.
+#[derive(Debug, Clone, Default)]
+pub struct IncidentCorrelator {
+    config: CorrelatorConfig,
+    by_type: HashMap<String, Vec<IncidentReport>>,
+}
+
+impl IncidentCorrelator {
+    /// Creates a correlator with the given thresholds.
+    pub fn new(config: CorrelatorConfig) -> Self {
+        IncidentCorrelator {
+            config,
+            by_type: HashMap::new(),
+        }
+    }
+
+    /// The active thresholds.
+    pub fn config(&self) -> &CorrelatorConfig {
+        &self.config
+    }
+
+    /// Records one incident report.
+    pub fn submit(&mut self, report: IncidentReport) {
+        self.by_type
+            .entry(report.device_type.clone())
+            .or_default()
+            .push(report);
+    }
+
+    /// Total reports held for `device_type` (across all time).
+    pub fn report_count(&self, device_type: &str) -> usize {
+        self.by_type.get(device_type).map_or(0, Vec::len)
+    }
+
+    /// Evaluates the thresholds at time `now` and returns the flagged
+    /// types, sorted by type name.
+    pub fn flagged_types(&self, now: SimTime) -> Vec<FlaggedType> {
+        let mut flagged = Vec::new();
+        for (device_type, reports) in &self.by_type {
+            let in_window: Vec<&IncidentReport> = reports
+                .iter()
+                .filter(|r| now.duration_since(r.observed_at) <= self.config.window)
+                .collect();
+            if in_window.len() < self.config.min_reports {
+                continue;
+            }
+            let gateways: HashSet<GatewayId> = in_window.iter().map(|r| r.gateway).collect();
+            if gateways.len() < self.config.min_gateways {
+                continue;
+            }
+            let mut kind_counts: HashMap<IncidentKind, usize> = HashMap::new();
+            for r in &in_window {
+                *kind_counts.entry(r.kind).or_insert(0) += 1;
+            }
+            let dominant_kind = kind_counts
+                .into_iter()
+                .max_by_key(|(kind, count)| (*count, kind.derived_severity()))
+                .map(|(kind, _)| kind)
+                .expect("in_window is non-empty");
+            flagged.push(FlaggedType {
+                device_type: device_type.clone(),
+                distinct_gateways: gateways.len(),
+                reports_in_window: in_window.len(),
+                dominant_kind,
+            });
+        }
+        flagged.sort_by(|a, b| a.device_type.cmp(&b.device_type));
+        flagged
+    }
+
+    /// Prunes reports older than the window (bounding memory for a
+    /// long-running service).
+    pub fn prune(&mut self, now: SimTime) {
+        for reports in self.by_type.values_mut() {
+            reports.retain(|r| now.duration_since(r.observed_at) <= self.config.window);
+        }
+        self.by_type.retain(|_, reports| !reports.is_empty());
+    }
+
+    /// Inserts a derived `CROWD-…` advisory into `db` for every
+    /// flagged type that does not already carry one, and returns how
+    /// many types are currently flagged.
+    ///
+    /// Derived advisories use the dominant incident kind's severity;
+    /// a type already flagged keeps its original advisory (idempotent).
+    pub fn apply_to(&self, db: &mut VulnerabilityDatabase, now: SimTime) -> usize {
+        let flagged = self.flagged_types(now);
+        for f in &flagged {
+            let advisory_id = format!("CROWD-{}", f.device_type);
+            let already = db
+                .records_for(&f.device_type)
+                .iter()
+                .any(|r| r.id == advisory_id);
+            if already {
+                continue;
+            }
+            db.add_record(
+                &f.device_type,
+                VulnerabilityRecord::new(
+                    advisory_id,
+                    format!(
+                        "crowdsourced: {} reported by {} gateways ({} reports)",
+                        f.dominant_kind, f.distinct_gateways, f.reports_in_window
+                    ),
+                    f.dominant_kind.derived_severity(),
+                ),
+            );
+        }
+        flagged.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(gw: u64, device: &str, kind: IncidentKind, secs: u64) -> IncidentReport {
+        IncidentReport::new(GatewayId(gw), device, kind, SimTime::from_secs(secs))
+    }
+
+    fn correlator() -> IncidentCorrelator {
+        IncidentCorrelator::new(CorrelatorConfig {
+            window: SimDuration::from_secs(3600),
+            min_gateways: 3,
+            min_reports: 3,
+        })
+    }
+
+    #[test]
+    fn one_gateway_never_flags_a_type() {
+        let mut c = correlator();
+        // One gateway spamming five reports must not flag the type.
+        for i in 0..5 {
+            c.submit(report(7, "EdnetCam", IncidentKind::ScanningBehaviour, i));
+        }
+        assert!(c.flagged_types(SimTime::from_secs(100)).is_empty());
+    }
+
+    #[test]
+    fn three_distinct_gateways_flag_a_type() {
+        let mut c = correlator();
+        for gw in 0..3 {
+            c.submit(report(gw, "EdnetCam", IncidentKind::ScanningBehaviour, gw));
+        }
+        let flagged = c.flagged_types(SimTime::from_secs(100));
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].device_type, "EdnetCam");
+        assert_eq!(flagged[0].distinct_gateways, 3);
+        assert_eq!(flagged[0].reports_in_window, 3);
+    }
+
+    #[test]
+    fn reports_outside_the_window_do_not_count() {
+        let mut c = correlator();
+        c.submit(report(1, "EdnetCam", IncidentKind::PolicyViolation, 0));
+        c.submit(report(2, "EdnetCam", IncidentKind::PolicyViolation, 10));
+        c.submit(report(3, "EdnetCam", IncidentKind::PolicyViolation, 4000));
+        // At t=4100 the first two aged out of the one-hour window.
+        assert!(c.flagged_types(SimTime::from_secs(4100)).is_empty());
+        // At t=100 all three are in the window.
+        assert_eq!(c.flagged_types(SimTime::from_secs(100)).len(), 1);
+    }
+
+    #[test]
+    fn dominant_kind_picks_most_frequent_then_most_severe() {
+        let mut c = correlator();
+        c.submit(report(1, "X", IncidentKind::PolicyViolation, 1));
+        c.submit(report(2, "X", IncidentKind::ExfiltrationAttempt, 2));
+        c.submit(report(3, "X", IncidentKind::ExfiltrationAttempt, 3));
+        let flagged = c.flagged_types(SimTime::from_secs(10));
+        assert_eq!(flagged[0].dominant_kind, IncidentKind::ExfiltrationAttempt);
+
+        // Tie: one of each → the more severe kind wins.
+        let mut c = correlator();
+        c.submit(report(1, "Y", IncidentKind::PolicyViolation, 1));
+        c.submit(report(2, "Y", IncidentKind::CredentialMisuse, 2));
+        c.submit(report(3, "Y", IncidentKind::PolicyViolation, 3));
+        c.submit(report(4, "Y", IncidentKind::CredentialMisuse, 4));
+        let flagged = c.flagged_types(SimTime::from_secs(10));
+        assert_eq!(flagged[0].dominant_kind, IncidentKind::CredentialMisuse);
+    }
+
+    #[test]
+    fn apply_to_inserts_one_idempotent_advisory() {
+        let mut c = correlator();
+        for gw in 0..4 {
+            c.submit(report(
+                gw,
+                "EdnetCam",
+                IncidentKind::ExfiltrationAttempt,
+                gw,
+            ));
+        }
+        let mut db = VulnerabilityDatabase::new();
+        let now = SimTime::from_secs(100);
+        assert_eq!(c.apply_to(&mut db, now), 1);
+        assert!(db.is_vulnerable("EdnetCam"));
+        let before = db.records_for("EdnetCam").len();
+        // Re-applying must not duplicate the advisory.
+        assert_eq!(c.apply_to(&mut db, now), 1);
+        assert_eq!(db.records_for("EdnetCam").len(), before);
+        assert_eq!(
+            db.records_for("EdnetCam")[0].severity,
+            Severity::High,
+            "exfiltration-dominated advisories are high severity"
+        );
+    }
+
+    #[test]
+    fn flagged_type_downgrades_isolation_level() {
+        let mut c = correlator();
+        for gw in 0..3 {
+            c.submit(report(
+                gw,
+                "WeMoSwitch",
+                IncidentKind::ScanningBehaviour,
+                gw,
+            ));
+        }
+        let mut db = VulnerabilityDatabase::new();
+        let level_before = db.assess(Some("WeMoSwitch"));
+        assert!(level_before.in_trusted_overlay());
+        c.apply_to(&mut db, SimTime::from_secs(50));
+        let level_after = db.assess(Some("WeMoSwitch"));
+        assert!(
+            !level_after.in_trusted_overlay(),
+            "crowd-flagged type must leave the trusted overlay"
+        );
+    }
+
+    #[test]
+    fn prune_drops_aged_reports_and_empty_types() {
+        let mut c = correlator();
+        c.submit(report(1, "A", IncidentKind::PolicyViolation, 0));
+        c.submit(report(2, "B", IncidentKind::PolicyViolation, 5000));
+        c.prune(SimTime::from_secs(5100));
+        assert_eq!(c.report_count("A"), 0);
+        assert_eq!(c.report_count("B"), 1);
+    }
+
+    #[test]
+    fn gateway_id_display_is_opaque_hex() {
+        assert_eq!(GatewayId(0xabc).to_string(), "gw-0000000000000abc");
+    }
+}

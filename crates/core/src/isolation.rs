@@ -1,0 +1,146 @@
+//! Isolation levels enforced on identified devices (paper §V, Fig. 3).
+
+use std::fmt;
+use std::net::IpAddr;
+
+/// A remote endpoint a restricted device is allowed to reach.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// A literal IP address.
+    Ip(IpAddr),
+    /// A DNS name (the gateway resolves and pins it).
+    Host(String),
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Ip(ip) => write!(f, "{ip}"),
+            Endpoint::Host(h) => f.write_str(h),
+        }
+    }
+}
+
+impl From<IpAddr> for Endpoint {
+    fn from(ip: IpAddr) -> Self {
+        Endpoint::Ip(ip)
+    }
+}
+
+impl From<std::net::Ipv4Addr> for Endpoint {
+    fn from(ip: std::net::Ipv4Addr) -> Self {
+        Endpoint::Ip(IpAddr::V4(ip))
+    }
+}
+
+/// The isolation level assigned to a device after vulnerability
+/// assessment.
+///
+/// * `Strict` — untrusted overlay only, no Internet (unknown devices).
+/// * `Restricted` — untrusted overlay plus an allow-list of remote
+///   endpoints (vulnerable devices keep their cloud connectivity).
+/// * `Trusted` — trusted overlay, unrestricted Internet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsolationLevel {
+    /// Communicate only within the untrusted overlay; no Internet.
+    Strict,
+    /// Untrusted overlay plus the listed remote endpoints.
+    Restricted {
+        /// Permitted remote endpoints (e.g. the vendor cloud).
+        allowed_endpoints: Vec<Endpoint>,
+    },
+    /// Trusted overlay with unrestricted Internet access.
+    Trusted,
+}
+
+impl IsolationLevel {
+    /// Whether devices at this level live in the trusted overlay.
+    pub fn in_trusted_overlay(&self) -> bool {
+        matches!(self, IsolationLevel::Trusted)
+    }
+
+    /// Whether a device at this level may contact `endpoint` on the
+    /// Internet.
+    pub fn permits_internet(&self, endpoint: &Endpoint) -> bool {
+        match self {
+            IsolationLevel::Strict => false,
+            IsolationLevel::Restricted { allowed_endpoints } => {
+                allowed_endpoints.contains(endpoint)
+            }
+            IsolationLevel::Trusted => true,
+        }
+    }
+
+    /// Short label used in reports and rules.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IsolationLevel::Strict => "strict",
+            IsolationLevel::Restricted { .. } => "restricted",
+            IsolationLevel::Trusted => "trusted",
+        }
+    }
+}
+
+impl fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsolationLevel::Restricted { allowed_endpoints } => {
+                write!(f, "restricted(")?;
+                for (i, e) in allowed_endpoints.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ep(s: &str) -> Endpoint {
+        Endpoint::Host(s.to_string())
+    }
+
+    #[test]
+    fn strict_permits_nothing() {
+        let lvl = IsolationLevel::Strict;
+        assert!(!lvl.permits_internet(&ep("cloud.example")));
+        assert!(!lvl.in_trusted_overlay());
+        assert_eq!(lvl.name(), "strict");
+    }
+
+    #[test]
+    fn restricted_permits_only_allow_list() {
+        let lvl = IsolationLevel::Restricted {
+            allowed_endpoints: vec![ep("cloud.example"), Ipv4Addr::new(52, 1, 2, 3).into()],
+        };
+        assert!(lvl.permits_internet(&ep("cloud.example")));
+        assert!(lvl.permits_internet(&Ipv4Addr::new(52, 1, 2, 3).into()));
+        assert!(!lvl.permits_internet(&ep("evil.example")));
+        assert!(!lvl.in_trusted_overlay());
+    }
+
+    #[test]
+    fn trusted_permits_everything() {
+        let lvl = IsolationLevel::Trusted;
+        assert!(lvl.permits_internet(&ep("anything.example")));
+        assert!(lvl.in_trusted_overlay());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(IsolationLevel::Strict.to_string(), "strict");
+        assert_eq!(IsolationLevel::Trusted.to_string(), "trusted");
+        let lvl = IsolationLevel::Restricted {
+            allowed_endpoints: vec![ep("a.example"), ep("b.example")],
+        };
+        assert_eq!(lvl.to_string(), "restricted(a.example, b.example)");
+    }
+}

@@ -1,0 +1,198 @@
+//! The IoT Security Service (IoTSSP, paper §III-B): fingerprint in,
+//! device type + isolation level out.
+//!
+//! "IoT Security Service does not store any information about its
+//! Security Gateway clients, it just receives fingerprints and returns
+//! an isolation level accordingly." — the service is accordingly a
+//! pure function of its models: no per-client state exists.
+
+use sentinel_fingerprint::Fingerprint;
+
+use crate::identifier::{DeviceTypeIdentifier, Identification};
+use crate::isolation::IsolationLevel;
+use crate::vulnerability::VulnerabilityDatabase;
+
+/// The IoTSSP's answer to one fingerprint query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceResponse {
+    /// The identified device type, or `None` for an unknown device.
+    pub device_type: Option<String>,
+    /// The isolation level the Security Gateway must enforce.
+    pub isolation: IsolationLevel,
+    /// Whether edit-distance discrimination was needed.
+    pub needed_discrimination: bool,
+}
+
+/// The IoT Security Service: identification models plus the
+/// vulnerability database.
+#[derive(Debug, Clone)]
+pub struct IoTSecurityService {
+    identifier: DeviceTypeIdentifier,
+    vulnerabilities: VulnerabilityDatabase,
+}
+
+impl IoTSecurityService {
+    /// Assembles the service from a trained identifier and a
+    /// vulnerability database.
+    pub fn new(identifier: DeviceTypeIdentifier, vulnerabilities: VulnerabilityDatabase) -> Self {
+        IoTSecurityService {
+            identifier,
+            vulnerabilities,
+        }
+    }
+
+    /// The underlying identifier.
+    pub fn identifier(&self) -> &DeviceTypeIdentifier {
+        &self.identifier
+    }
+
+    /// Mutable access to the identifier (for incremental type
+    /// additions).
+    pub fn identifier_mut(&mut self) -> &mut DeviceTypeIdentifier {
+        &mut self.identifier
+    }
+
+    /// The vulnerability database.
+    pub fn vulnerabilities(&self) -> &VulnerabilityDatabase {
+        &self.vulnerabilities
+    }
+
+    /// Mutable access to the vulnerability database (new advisories).
+    pub fn vulnerabilities_mut(&mut self) -> &mut VulnerabilityDatabase {
+        &mut self.vulnerabilities
+    }
+
+    /// Handles one fingerprint query from a Security Gateway:
+    /// identify, assess, map to an isolation level.
+    pub fn handle(&self, fingerprint: &Fingerprint) -> ServiceResponse {
+        let identification = self.identifier.identify(fingerprint);
+        let needed_discrimination = identification.needed_discrimination();
+        let device_type = identification.device_type().map(str::to_string);
+        let isolation = self.vulnerabilities.assess(device_type.as_deref());
+        ServiceResponse {
+            device_type,
+            isolation,
+            needed_discrimination,
+        }
+    }
+
+    /// Handles a query and also returns the raw identification (for
+    /// evaluation harnesses that need candidate sets and scores).
+    pub fn handle_detailed(&self, fingerprint: &Fingerprint) -> (ServiceResponse, Identification) {
+        let identification = self.identifier.identify(fingerprint);
+        let device_type = identification.device_type().map(str::to_string);
+        let response = ServiceResponse {
+            device_type: device_type.clone(),
+            isolation: self.vulnerabilities.assess(device_type.as_deref()),
+            needed_discrimination: identification.needed_discrimination(),
+        };
+        (response, identification)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::Trainer;
+    use crate::vulnerability::{Severity, VulnerabilityRecord};
+    use sentinel_fingerprint::{Dataset, Fingerprint, LabeledFingerprint, PacketFeatures};
+
+    fn fp_bits(bits: u32, tags: &[u32]) -> Fingerprint {
+        Fingerprint::from_columns(
+            tags.iter()
+                .map(|t| {
+                    let mut v = [0u32; 23];
+                    for (b, slot) in v.iter_mut().enumerate().take(12) {
+                        *slot = (bits >> b) & 1;
+                    }
+                    v[18] = *t;
+                    PacketFeatures::from_raw(v)
+                })
+                .collect(),
+        )
+    }
+
+    fn service() -> IoTSecurityService {
+        let mut ds = Dataset::new();
+        // Shared size range: separation rests on the protocol bits.
+        for i in 0..12u32 {
+            ds.push(LabeledFingerprint::new(
+                "CleanType",
+                fp_bits(0b0000_0011, &[100 + i, 110, 120]),
+            ));
+            ds.push(LabeledFingerprint::new(
+                "VulnType",
+                fp_bits(0b0000_1100, &[100 + i, 110, 120]),
+            ));
+            // A third type so that "not X" is not equivalent to "Y":
+            // with only two classes a one-vs-rest classifier accepts
+            // everything its negatives do not look like.
+            ds.push(LabeledFingerprint::new(
+                "OtherType",
+                fp_bits(0b0011_0000, &[100 + i, 110, 120]),
+            ));
+        }
+        let identifier = Trainer::default().train(&ds, 4).unwrap();
+        let mut db = VulnerabilityDatabase::new();
+        db.add_record(
+            "VulnType",
+            VulnerabilityRecord::new("CVE-T-1", "demo", Severity::High),
+        );
+        db.add_vendor_endpoint(
+            "VulnType",
+            crate::isolation::Endpoint::Host("cloud.vuln.example".into()),
+        );
+        IoTSecurityService::new(identifier, db)
+    }
+
+    #[test]
+    fn clean_device_gets_trusted() {
+        let svc = service();
+        let resp = svc.handle(&fp_bits(0b0000_0011, &[103, 110, 120]));
+        assert_eq!(resp.device_type.as_deref(), Some("CleanType"));
+        assert_eq!(resp.isolation, IsolationLevel::Trusted);
+    }
+
+    #[test]
+    fn vulnerable_device_gets_restricted() {
+        let svc = service();
+        let resp = svc.handle(&fp_bits(0b0000_1100, &[107, 110, 120]));
+        assert_eq!(resp.device_type.as_deref(), Some("VulnType"));
+        assert!(matches!(resp.isolation, IsolationLevel::Restricted { .. }));
+    }
+
+    #[test]
+    fn unknown_device_gets_strict() {
+        let svc = service();
+        // An unseen protocol-bit pattern: rejected by all classifiers.
+        let resp = svc.handle(&fp_bits(0b1100_0000, &[107, 110, 120]));
+        assert_eq!(resp.device_type, None);
+        assert_eq!(resp.isolation, IsolationLevel::Strict);
+    }
+
+    #[test]
+    fn new_advisory_flips_type_to_restricted() {
+        let mut svc = service();
+        assert_eq!(
+            svc.handle(&fp_bits(0b0000_0011, &[103, 110, 120]))
+                .isolation,
+            IsolationLevel::Trusted
+        );
+        svc.vulnerabilities_mut().add_record(
+            "CleanType",
+            VulnerabilityRecord::new("CVE-T-2", "new finding", Severity::Critical),
+        );
+        assert!(matches!(
+            svc.handle(&fp_bits(0b0000_0011, &[103, 110, 120]))
+                .isolation,
+            IsolationLevel::Restricted { .. }
+        ));
+    }
+
+    #[test]
+    fn detailed_response_includes_identification() {
+        let svc = service();
+        let (resp, ident) = svc.handle_detailed(&fp_bits(0b0000_0011, &[103, 110, 120]));
+        assert_eq!(resp.device_type.as_deref(), ident.device_type());
+    }
+}

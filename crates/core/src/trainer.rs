@@ -1,0 +1,209 @@
+//! Training pipeline: dataset → per-type classifiers + reference
+//! fingerprints.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use sentinel_editdist::DistanceVariant;
+use sentinel_fingerprint::Dataset;
+use sentinel_ml::sampler::sample_without_replacement;
+use sentinel_ml::ForestConfig;
+
+use crate::error::CoreError;
+use crate::identifier::DeviceTypeIdentifier;
+
+/// Configuration of the identification pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdentifierConfig {
+    /// Negatives sampled per positive when training each per-type
+    /// classifier (the paper uses 10×n to control class imbalance).
+    pub negative_ratio: usize,
+    /// Random Forest hyperparameters of every per-type classifier.
+    pub forest: ForestConfig,
+    /// Reference fingerprints kept per type for the discrimination
+    /// stage (the paper uses 5).
+    pub references_per_type: usize,
+    /// Edit-distance variant for discrimination.
+    pub distance: DistanceVariant,
+    /// Number of unique packets concatenated into the fixed
+    /// fingerprint F′ (the paper picked 12 as "a good trade-off";
+    /// exposed for the prefix-length ablation).
+    pub fixed_prefix_len: usize,
+    /// Fraction of trees that must vote positive for a classifier to
+    /// accept a fingerprint. 0.5 is a plain majority vote; the default
+    /// 0.35 keeps recall on same-vendor sibling devices whose
+    /// fingerprints also appear (label-contradicted) in each other's
+    /// negative samples, at the cost of more multi-candidate matches
+    /// for the discrimination stage to resolve.
+    pub accept_threshold: f32,
+}
+
+impl Default for IdentifierConfig {
+    fn default() -> Self {
+        IdentifierConfig {
+            negative_ratio: 10,
+            forest: ForestConfig::default(),
+            references_per_type: 5,
+            distance: DistanceVariant::Osa,
+            fixed_prefix_len: sentinel_fingerprint::FIXED_PACKETS,
+            accept_threshold: 0.35,
+        }
+    }
+}
+
+/// Trains [`DeviceTypeIdentifier`]s from labelled datasets.
+#[derive(Debug, Clone, Default)]
+pub struct Trainer {
+    config: IdentifierConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: IdentifierConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &IdentifierConfig {
+        &self.config
+    }
+
+    /// Trains one classifier per device type in `dataset`, plus the
+    /// per-type reference fingerprints, deterministically for `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadDataset`] for an empty dataset or a
+    /// dataset with a single type (no negatives available).
+    pub fn train(&self, dataset: &Dataset, seed: u64) -> Result<DeviceTypeIdentifier, CoreError> {
+        let labels = dataset.labels();
+        if labels.is_empty() {
+            return Err(CoreError::BadDataset("dataset is empty".into()));
+        }
+        if labels.len() < 2 {
+            return Err(CoreError::BadDataset(
+                "need at least two device types to form negatives".into(),
+            ));
+        }
+        let mut identifier = DeviceTypeIdentifier::new(self.config);
+        // Seed the identifier's negative pool with every sample, then
+        // train one classifier per type.
+        identifier.absorb_samples(dataset);
+        for label in labels {
+            identifier.train_type(label, seed ^ fnv1a(label.as_bytes()))?;
+        }
+        Ok(identifier)
+    }
+}
+
+/// Selects `ratio × positives` negative indices from `pool_size`
+/// candidates (clamped to the pool), deterministically for `seed`.
+pub(crate) fn negative_indices(
+    positives: usize,
+    pool_size: usize,
+    ratio: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let want = positives.saturating_mul(ratio).max(1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    sample_without_replacement(pool_size, want.min(pool_size), &mut rng)
+}
+
+/// Salt distinguishing the reference-selection RNG stream from the
+/// negative-sampling stream under the same master seed.
+const REFERENCE_SEED_SALT: u64 = 0x5e1e_c7ed_0ef5_0000;
+
+/// Selects `k` reference indices from `n` same-type fingerprints.
+pub(crate) fn reference_indices(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ REFERENCE_SEED_SALT);
+    sample_without_replacement(n, k.min(n), &mut rng)
+}
+
+pub(crate) fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in data {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_fingerprint::{Fingerprint, LabeledFingerprint, PacketFeatures};
+
+    fn sample(label: &str, tag: u32) -> LabeledFingerprint {
+        let cols: Vec<PacketFeatures> = (0..4)
+            .map(|i| {
+                let mut v = [0u32; 23];
+                v[18] = tag + i;
+                PacketFeatures::from_raw(v)
+            })
+            .collect();
+        LabeledFingerprint::new(label, Fingerprint::from_columns(cols))
+    }
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        for i in 0..12u32 {
+            ds.push(sample("TypeA", 100 + i));
+            ds.push(sample("TypeB", 500 + i));
+        }
+        ds
+    }
+
+    #[test]
+    fn trains_one_classifier_per_type() {
+        let identifier = Trainer::default().train(&dataset(), 1).unwrap();
+        let mut types = identifier.known_types();
+        types.sort_unstable();
+        assert_eq!(types, vec!["TypeA", "TypeB"]);
+    }
+
+    #[test]
+    fn rejects_empty_and_single_type_datasets() {
+        let trainer = Trainer::default();
+        assert!(matches!(
+            trainer.train(&Dataset::new(), 1),
+            Err(CoreError::BadDataset(_))
+        ));
+        let mut single = Dataset::new();
+        for i in 0..10 {
+            single.push(sample("OnlyType", i));
+        }
+        assert!(matches!(
+            trainer.train(&single, 1),
+            Err(CoreError::BadDataset(_))
+        ));
+    }
+
+    #[test]
+    fn negative_sampling_respects_ratio_and_pool() {
+        let idx = negative_indices(18, 468, 10, 7);
+        assert_eq!(idx.len(), 180);
+        let capped = negative_indices(18, 50, 10, 7);
+        assert_eq!(capped.len(), 50);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 180, "negatives are distinct samples");
+    }
+
+    #[test]
+    fn reference_selection_capped_at_population() {
+        assert_eq!(reference_indices(3, 5, 1).len(), 3);
+        assert_eq!(reference_indices(20, 5, 1).len(), 5);
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let ds = dataset();
+        let a = Trainer::default().train(&ds, 9).unwrap();
+        let b = Trainer::default().train(&ds, 9).unwrap();
+        let probe = sample("TypeA", 105);
+        let ra = a.identify(probe.fingerprint());
+        let rb = b.identify(probe.fingerprint());
+        assert_eq!(ra.device_type(), rb.device_type());
+    }
+}

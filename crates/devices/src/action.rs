@@ -1,0 +1,274 @@
+//! The vocabulary of protocol exchanges a device can perform during
+//! setup.
+
+use std::fmt;
+
+/// One abstract protocol exchange in a device's setup conversation.
+///
+/// Each action expands into one or more wire frames (device-originated
+/// plus any infrastructure responses) when rendered by the
+/// [`crate::SetupSimulator`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetupAction {
+    /// 802.1X/WPA2 association: EAPOL-Start plus the four-way key
+    /// handshake with the access point.
+    WifiAssociate,
+    /// DHCP address acquisition (Discover/Offer/Request/Ack) announcing
+    /// `hostname` in option 12.
+    Dhcp {
+        /// Hostname the device advertises (option 12).
+        hostname: String,
+    },
+    /// Plain BOOTP request (legacy stacks; no DHCP options).
+    Bootp,
+    /// DHCP lease renewal (unicast Request/Ack for the held address,
+    /// RFC 2131 §4.3.2) announcing `hostname` in option 12. The one
+    /// reliably periodic event every standby device produces; standby
+    /// observation windows are anchored at a renewal (§VIII-A).
+    DhcpRenew {
+        /// Hostname the device advertises (option 12).
+        hostname: String,
+    },
+    /// RFC 5227 ARP probes for the acquired address followed by a
+    /// gratuitous announcement.
+    ArpProbe,
+    /// ARP resolution of the gateway.
+    ArpGateway,
+    /// IPv6 neighbour discovery on interface-up: router solicitation,
+    /// duplicate address detection, MLDv2 report.
+    Icmpv6Setup,
+    /// Unicast DNS A lookup of `host` through the gateway resolver.
+    DnsQuery {
+        /// The queried host name.
+        host: String,
+    },
+    /// NTP time synchronisation against `server`.
+    NtpSync {
+        /// NTP server host name (resolved via the environment).
+        server: String,
+    },
+    /// HTTP GET to `host``path` over a fresh TCP connection.
+    HttpGet {
+        /// Target host.
+        host: String,
+        /// Request path.
+        path: String,
+    },
+    /// HTTP POST of `body_len` bytes to `host``path`.
+    HttpPost {
+        /// Target host.
+        host: String,
+        /// Request path.
+        path: String,
+        /// Request body size in bytes.
+        body_len: usize,
+    },
+    /// HTTPS connection to `host`: TCP handshake plus TLS ClientHello
+    /// (with SNI) and `extra_records` application-data records.
+    TlsConnect {
+        /// Target host (also the SNI value).
+        host: String,
+        /// Number of application-data records sent after the
+        /// handshake.
+        extra_records: usize,
+    },
+    /// SSDP M-SEARCH multicast discovery, `repeats` times.
+    SsdpDiscover {
+        /// Search target (`ST` header).
+        st: String,
+        /// How many M-SEARCH datagrams to send.
+        repeats: usize,
+    },
+    /// SSDP NOTIFY ssdp:alive announcement, `repeats` times.
+    SsdpNotify {
+        /// Notification type (`NT` header).
+        nt: String,
+        /// How many NOTIFY datagrams to send.
+        repeats: usize,
+    },
+    /// mDNS PTR query for `service`.
+    MdnsQuery {
+        /// Service name, e.g. `_hap._tcp.local`.
+        service: String,
+    },
+    /// mDNS announcement of `instance` under `service`.
+    MdnsAnnounce {
+        /// Service name.
+        service: String,
+        /// Instance name.
+        instance: String,
+    },
+    /// IGMPv3 join of the SSDP multicast group; `padded` selects the
+    /// IGMPv2 form whose IP options carry padding in addition to
+    /// router alert.
+    IgmpJoin {
+        /// Use the padded IGMPv2 variant.
+        padded: bool,
+    },
+    /// ICMP echo request to the gateway (connectivity check).
+    PingGateway,
+    /// Proprietary UDP discovery broadcast: `count` datagrams of
+    /// `payload_len` opaque bytes to `port`.
+    UdpBroadcast {
+        /// Destination port of the broadcast.
+        port: u16,
+        /// Opaque payload size.
+        payload_len: usize,
+        /// Number of datagrams.
+        count: usize,
+    },
+    /// Proprietary TCP exchange with the vendor cloud/app: handshake
+    /// plus `payload_len` opaque bytes to `port` on `host`.
+    TcpOpaque {
+        /// Target host.
+        host: String,
+        /// Target port.
+        port: u16,
+        /// Opaque payload size.
+        payload_len: usize,
+    },
+    /// Non-IP 802.3/LLC chatter (`count` frames of `payload_len`
+    /// bytes), as emitted by some hub devices bridging proprietary
+    /// radios.
+    LlcChatter {
+        /// Payload bytes per frame.
+        payload_len: usize,
+        /// Number of frames.
+        count: usize,
+    },
+    /// Steady-state keep-alive traffic to the vendor cloud after the
+    /// configuration burst: periodic application-data records with a
+    /// device-characteristic payload size. Real setup captures span
+    /// one to two minutes and include this operational tail, which is
+    /// what gives fingerprints their length (and the edit-distance
+    /// stage its cost, Table IV).
+    Heartbeat {
+        /// Cloud host the keep-alive session talks to.
+        host: String,
+        /// Mean number of keep-alive rounds (sampled ±25% per run).
+        rounds: usize,
+        /// Characteristic payload size in bytes (jittered ±3 per
+        /// round).
+        size: usize,
+    },
+}
+
+impl SetupAction {
+    /// A short identifier for logs and traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SetupAction::WifiAssociate => "wifi-associate",
+            SetupAction::Dhcp { .. } => "dhcp",
+            SetupAction::Bootp => "bootp",
+            SetupAction::DhcpRenew { .. } => "dhcp-renew",
+            SetupAction::ArpProbe => "arp-probe",
+            SetupAction::ArpGateway => "arp-gateway",
+            SetupAction::Icmpv6Setup => "icmpv6-setup",
+            SetupAction::DnsQuery { .. } => "dns-query",
+            SetupAction::NtpSync { .. } => "ntp-sync",
+            SetupAction::HttpGet { .. } => "http-get",
+            SetupAction::HttpPost { .. } => "http-post",
+            SetupAction::TlsConnect { .. } => "tls-connect",
+            SetupAction::SsdpDiscover { .. } => "ssdp-discover",
+            SetupAction::SsdpNotify { .. } => "ssdp-notify",
+            SetupAction::MdnsQuery { .. } => "mdns-query",
+            SetupAction::MdnsAnnounce { .. } => "mdns-announce",
+            SetupAction::IgmpJoin { .. } => "igmp-join",
+            SetupAction::PingGateway => "ping-gateway",
+            SetupAction::UdpBroadcast { .. } => "udp-broadcast",
+            SetupAction::TcpOpaque { .. } => "tcp-opaque",
+            SetupAction::LlcChatter { .. } => "llc-chatter",
+            SetupAction::Heartbeat { .. } => "heartbeat",
+        }
+    }
+}
+
+impl fmt::Display for SetupAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.kind())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct() {
+        let actions = vec![
+            SetupAction::WifiAssociate,
+            SetupAction::Dhcp {
+                hostname: "x".into(),
+            },
+            SetupAction::Bootp,
+            SetupAction::DhcpRenew {
+                hostname: "x".into(),
+            },
+            SetupAction::ArpProbe,
+            SetupAction::ArpGateway,
+            SetupAction::Icmpv6Setup,
+            SetupAction::DnsQuery { host: "x".into() },
+            SetupAction::NtpSync { server: "x".into() },
+            SetupAction::HttpGet {
+                host: "x".into(),
+                path: "/".into(),
+            },
+            SetupAction::HttpPost {
+                host: "x".into(),
+                path: "/".into(),
+                body_len: 1,
+            },
+            SetupAction::TlsConnect {
+                host: "x".into(),
+                extra_records: 0,
+            },
+            SetupAction::SsdpDiscover {
+                st: "x".into(),
+                repeats: 1,
+            },
+            SetupAction::SsdpNotify {
+                nt: "x".into(),
+                repeats: 1,
+            },
+            SetupAction::MdnsQuery {
+                service: "x".into(),
+            },
+            SetupAction::MdnsAnnounce {
+                service: "x".into(),
+                instance: "y".into(),
+            },
+            SetupAction::IgmpJoin { padded: false },
+            SetupAction::PingGateway,
+            SetupAction::UdpBroadcast {
+                port: 9999,
+                payload_len: 10,
+                count: 1,
+            },
+            SetupAction::TcpOpaque {
+                host: "x".into(),
+                port: 8888,
+                payload_len: 10,
+            },
+            SetupAction::LlcChatter {
+                payload_len: 10,
+                count: 1,
+            },
+            SetupAction::Heartbeat {
+                host: "x".into(),
+                rounds: 3,
+                size: 64,
+            },
+        ];
+        let mut kinds: Vec<&str> = actions.iter().map(SetupAction::kind).collect();
+        kinds.sort_unstable();
+        let before = kinds.len();
+        kinds.dedup();
+        assert_eq!(kinds.len(), before, "every action kind is distinct");
+    }
+
+    #[test]
+    fn display_matches_kind() {
+        assert_eq!(SetupAction::WifiAssociate.to_string(), "wifi-associate");
+        assert_eq!(SetupAction::PingGateway.to_string(), "ping-gateway");
+    }
+}

@@ -1,0 +1,119 @@
+//! The simulated network environment a device is set up in.
+
+use std::net::Ipv4Addr;
+
+use sentinel_net::MacAddr;
+
+/// The network a device joins: the Security Gateway's addresses and a
+/// deterministic resolver for external host names.
+///
+/// Public addresses are derived from a hash of the host name so every
+/// run of the simulator resolves `api.vendor.example` to the same
+/// address, while distinct hosts land on distinct addresses — which is
+/// what the destination-IP-counter feature observes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkEnvironment {
+    /// Gateway MAC (WiFi interface of the Security Gateway).
+    pub gateway_mac: MacAddr,
+    /// Gateway IPv4 address (also DHCP server and DNS resolver).
+    pub gateway_ip: Ipv4Addr,
+    /// First three octets of the local subnet (a /24).
+    pub subnet: [u8; 3],
+    /// Base of the DHCP address pool (host part).
+    pub dhcp_pool_start: u8,
+}
+
+impl Default for NetworkEnvironment {
+    /// A 192.168.1.0/24 home network with the gateway at .1.
+    fn default() -> Self {
+        NetworkEnvironment {
+            gateway_mac: MacAddr::new([0x02, 0x53, 0x47, 0x57, 0x00, 0x01]),
+            gateway_ip: Ipv4Addr::new(192, 168, 1, 1),
+            subnet: [192, 168, 1],
+            dhcp_pool_start: 20,
+        }
+    }
+}
+
+impl NetworkEnvironment {
+    /// The address the DHCP server hands to the `instance`-th device.
+    pub fn device_ip(&self, instance: u32) -> Ipv4Addr {
+        let host = u32::from(self.dhcp_pool_start) + (instance % 200);
+        Ipv4Addr::new(self.subnet[0], self.subnet[1], self.subnet[2], host as u8)
+    }
+
+    /// The local broadcast address of the subnet.
+    pub fn broadcast_ip(&self) -> Ipv4Addr {
+        Ipv4Addr::new(self.subnet[0], self.subnet[1], self.subnet[2], 255)
+    }
+
+    /// Deterministically resolves an external host name to a public
+    /// IPv4 address outside RFC 1918 space.
+    pub fn resolve_host(&self, host: &str) -> Ipv4Addr {
+        let h = fnv1a(host.as_bytes());
+        // Map into 13.0.0.0 - 56.x.y.z, clear of private ranges and
+        // multicast, varied enough for distinct hosts.
+        let a = 13 + (h % 43) as u8; // 13..=55
+        let b = (h >> 8) as u8;
+        let c = (h >> 16) as u8;
+        let d = 1 + ((h >> 24) % 253) as u8;
+        Ipv4Addr::new(a, b, c, d)
+    }
+}
+
+/// FNV-1a over bytes; stable across runs and platforms.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in data {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_ips_in_pool() {
+        let env = NetworkEnvironment::default();
+        assert_eq!(env.device_ip(0), Ipv4Addr::new(192, 168, 1, 20));
+        assert_eq!(env.device_ip(5), Ipv4Addr::new(192, 168, 1, 25));
+    }
+
+    #[test]
+    fn resolution_is_deterministic_and_distinct() {
+        let env = NetworkEnvironment::default();
+        let a1 = env.resolve_host("api.vendor-a.example");
+        let a2 = env.resolve_host("api.vendor-a.example");
+        let b = env.resolve_host("api.vendor-b.example");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn resolved_addresses_are_public() {
+        let env = NetworkEnvironment::default();
+        for host in [
+            "a.example",
+            "b.example",
+            "time.nist.example",
+            "cloud.dlink.example",
+            "devs.tplinkcloud.example",
+        ] {
+            let ip = env.resolve_host(host);
+            let o = ip.octets();
+            assert!((13..=55).contains(&o[0]), "{ip} first octet");
+            assert!(!ip.is_private(), "{ip} must be public");
+            assert!(!ip.is_multicast());
+            assert_ne!(o[3], 0);
+        }
+    }
+
+    #[test]
+    fn broadcast_address() {
+        let env = NetworkEnvironment::default();
+        assert_eq!(env.broadcast_ip(), Ipv4Addr::new(192, 168, 1, 255));
+    }
+}

@@ -1,0 +1,193 @@
+//! Device-type profiles: metadata plus behaviour script.
+
+use std::fmt;
+
+use sentinel_net::MacAddr;
+
+use crate::script::SetupScript;
+
+/// Connectivity technologies a device supports (Table II columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Connectivity {
+    /// WiFi (802.11).
+    pub wifi: bool,
+    /// ZigBee (via an embedded radio; traffic reaches the gateway
+    /// through the device's own IP interface).
+    pub zigbee: bool,
+    /// Wired Ethernet.
+    pub ethernet: bool,
+    /// Z-Wave.
+    pub zwave: bool,
+    /// Any other technology (proprietary RF, etc.).
+    pub other: bool,
+}
+
+impl Connectivity {
+    /// WiFi only.
+    pub const WIFI: Connectivity = Connectivity {
+        wifi: true,
+        zigbee: false,
+        ethernet: false,
+        zwave: false,
+        other: false,
+    };
+
+    /// Ethernet only.
+    pub const ETHERNET: Connectivity = Connectivity {
+        wifi: false,
+        zigbee: false,
+        ethernet: true,
+        zwave: false,
+        other: false,
+    };
+
+    /// Whether the device associates over WiFi (and therefore performs
+    /// the EAPoL handshake with the Security Gateway).
+    pub fn uses_wifi(&self) -> bool {
+        self.wifi
+    }
+
+    /// Whether the device has a communication channel the Security
+    /// Gateway cannot monitor or filter (§III-C-3). ZigBee and Z-Wave
+    /// traffic reaches the network through an IP hub the gateway *can*
+    /// control; proprietary RF and similar side channels bypass the
+    /// gateway entirely, so a vulnerable device carrying one can only
+    /// be handled by user notification and physical removal.
+    pub fn has_uncontrollable_channel(&self) -> bool {
+        self.other
+    }
+}
+
+impl fmt::Display for Connectivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.wifi {
+            parts.push("WiFi");
+        }
+        if self.zigbee {
+            parts.push("ZigBee");
+        }
+        if self.ethernet {
+            parts.push("Ethernet");
+        }
+        if self.zwave {
+            parts.push("Z-Wave");
+        }
+        if self.other {
+            parts.push("Other");
+        }
+        if parts.is_empty() {
+            parts.push("none");
+        }
+        f.write_str(&parts.join("+"))
+    }
+}
+
+/// Which ephemeral-port range a device's network stack draws from —
+/// embedded stacks differ, and the port-class features observe it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PortStyle {
+    /// IANA dynamic range 49152–65535 (modern stacks).
+    #[default]
+    Dynamic,
+    /// Registered range 1024–49151 (many embedded stacks).
+    Registered,
+}
+
+/// A device-type profile: everything the simulator needs to produce
+/// setup traffic for one make/model/software-version combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// The device-type identifier used as the ground-truth label
+    /// (e.g. `D-LinkSiren`). Single token, as in Fig. 5.
+    pub type_name: String,
+    /// Vendor name (for documentation).
+    pub vendor: String,
+    /// Model string from Table II.
+    pub model: String,
+    /// Supported connectivity technologies.
+    pub connectivity: Connectivity,
+    /// Vendor OUI used to derive per-instance MAC addresses.
+    pub oui: [u8; 3],
+    /// Ephemeral-port allocation style of the device's stack.
+    pub port_style: PortStyle,
+    /// The setup behaviour script.
+    pub script: SetupScript,
+}
+
+impl DeviceProfile {
+    /// Derives the MAC address of the `instance`-th simulated unit of
+    /// this type.
+    pub fn instance_mac(&self, instance: u32) -> MacAddr {
+        MacAddr::from_oui(self.oui, instance + 1)
+    }
+}
+
+impl fmt::Display for DeviceProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} {}, {})",
+            self.type_name, self.vendor, self.model, self.connectivity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connectivity_display() {
+        assert_eq!(Connectivity::WIFI.to_string(), "WiFi");
+        assert_eq!(Connectivity::ETHERNET.to_string(), "Ethernet");
+        let combo = Connectivity {
+            wifi: true,
+            zigbee: true,
+            ethernet: true,
+            zwave: false,
+            other: false,
+        };
+        assert_eq!(combo.to_string(), "WiFi+ZigBee+Ethernet");
+        assert_eq!(Connectivity::default().to_string(), "none");
+    }
+
+    #[test]
+    fn instance_macs_are_distinct_and_share_oui() {
+        let profile = DeviceProfile {
+            type_name: "Test".into(),
+            vendor: "V".into(),
+            model: "M".into(),
+            connectivity: Connectivity::WIFI,
+            oui: [0xb0, 0xc5, 0x54],
+            port_style: PortStyle::Dynamic,
+            script: SetupScript::new(),
+        };
+        let a = profile.instance_mac(0);
+        let b = profile.instance_mac(1);
+        assert_ne!(a, b);
+        assert_eq!(a.oui(), [0xb0, 0xc5, 0x54]);
+        assert_eq!(b.oui(), [0xb0, 0xc5, 0x54]);
+        assert!(!a.is_multicast());
+    }
+
+    #[test]
+    fn profile_display_mentions_vendor_and_model() {
+        let profile = DeviceProfile {
+            type_name: "HueBridge".into(),
+            vendor: "Philips".into(),
+            model: "3241312018".into(),
+            connectivity: Connectivity {
+                zigbee: true,
+                ethernet: true,
+                ..Connectivity::default()
+            },
+            oui: [0x00, 0x17, 0x88],
+            port_style: PortStyle::Dynamic,
+            script: SetupScript::new(),
+        };
+        let s = profile.to_string();
+        assert!(s.contains("Philips"));
+        assert!(s.contains("ZigBee+Ethernet"));
+    }
+}

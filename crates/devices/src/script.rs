@@ -1,0 +1,237 @@
+//! Setup scripts: ordered, jittered, stochastic action sequences.
+
+use rand::Rng;
+
+use crate::action::SetupAction;
+
+/// One step of a setup script: an action plus its stochastic execution
+/// parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptStep {
+    /// The protocol exchange to perform.
+    pub action: SetupAction,
+    /// Mean delay before the step, in milliseconds.
+    pub delay_ms: u64,
+    /// Uniform jitter half-width applied to the delay, in milliseconds.
+    pub jitter_ms: u64,
+    /// Probability the step executes at all (optional steps < 1.0).
+    pub probability: f64,
+    /// Inclusive range of executions when the step fires (retries /
+    /// repeated announcements).
+    pub repeat: (u32, u32),
+    /// If set, with probability 0.5 this step swaps position with the
+    /// following step — modelling devices whose firmware races
+    /// concurrent setup tasks (and exercising the edit-distance
+    /// transposition case).
+    pub swappable: bool,
+}
+
+impl ScriptStep {
+    /// A step that always executes once after `delay_ms` (± jitter).
+    pub fn new(action: SetupAction, delay_ms: u64, jitter_ms: u64) -> Self {
+        ScriptStep {
+            action,
+            delay_ms,
+            jitter_ms,
+            probability: 1.0,
+            repeat: (1, 1),
+            swappable: false,
+        }
+    }
+
+    /// Makes the step optional with probability `p`.
+    pub fn with_probability(mut self, p: f64) -> Self {
+        self.probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Makes the step repeat between `min` and `max` times (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or `min == 0`.
+    pub fn with_repeat(mut self, min: u32, max: u32) -> Self {
+        assert!(min >= 1 && min <= max, "invalid repeat range {min}..={max}");
+        self.repeat = (min, max);
+        self
+    }
+
+    /// Marks the step as order-swappable with its successor.
+    pub fn swappable(mut self) -> Self {
+        self.swappable = true;
+        self
+    }
+
+    /// Samples the concrete delay for one execution.
+    pub fn sample_delay_ms<R: Rng>(&self, rng: &mut R) -> u64 {
+        if self.jitter_ms == 0 {
+            return self.delay_ms;
+        }
+        let low = self.delay_ms.saturating_sub(self.jitter_ms);
+        let high = self.delay_ms + self.jitter_ms;
+        rng.gen_range(low..=high)
+    }
+
+    /// Samples how many times the step runs (0 when the optional step
+    /// does not fire).
+    pub fn sample_repeats<R: Rng>(&self, rng: &mut R) -> u32 {
+        if self.probability < 1.0 && rng.gen::<f64>() >= self.probability {
+            return 0;
+        }
+        if self.repeat.0 == self.repeat.1 {
+            self.repeat.0
+        } else {
+            rng.gen_range(self.repeat.0..=self.repeat.1)
+        }
+    }
+}
+
+/// A complete setup script: the behavioural model of one device type.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SetupScript {
+    steps: Vec<ScriptStep>,
+}
+
+impl SetupScript {
+    /// Creates an empty script.
+    pub fn new() -> Self {
+        SetupScript::default()
+    }
+
+    /// Appends a step (builder style).
+    pub fn step(mut self, step: ScriptStep) -> Self {
+        self.steps.push(step);
+        self
+    }
+
+    /// Appends a simple always-on step.
+    pub fn then(self, action: SetupAction, delay_ms: u64, jitter_ms: u64) -> Self {
+        self.step(ScriptStep::new(action, delay_ms, jitter_ms))
+    }
+
+    /// The steps in declared order.
+    pub fn steps(&self) -> &[ScriptStep] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the script has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Materialises one run: resolves order swaps, producing the step
+    /// order for this execution.
+    pub fn sample_order<R: Rng>(&self, rng: &mut R) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.steps.len()).collect();
+        let mut i = 0;
+        while i + 1 < order.len() {
+            if self.steps[order[i]].swappable && rng.gen::<bool>() {
+                order.swap(i, i + 1);
+                i += 2; // the swapped pair is settled
+            } else {
+                i += 1;
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn delay_sampling_within_jitter() {
+        let step = ScriptStep::new(SetupAction::ArpProbe, 100, 30);
+        let mut r = rng();
+        for _ in 0..200 {
+            let d = step.sample_delay_ms(&mut r);
+            assert!((70..=130).contains(&d), "delay {d} outside jitter window");
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let step = ScriptStep::new(SetupAction::ArpProbe, 50, 0);
+        let mut r = rng();
+        assert_eq!(step.sample_delay_ms(&mut r), 50);
+    }
+
+    #[test]
+    fn probability_zero_never_fires() {
+        let step = ScriptStep::new(SetupAction::PingGateway, 0, 0).with_probability(0.0);
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(step.sample_repeats(&mut r), 0);
+        }
+    }
+
+    #[test]
+    fn probability_fraction_sometimes_fires() {
+        let step = ScriptStep::new(SetupAction::PingGateway, 0, 0).with_probability(0.5);
+        let mut r = rng();
+        let fired = (0..400).filter(|_| step.sample_repeats(&mut r) > 0).count();
+        assert!((120..=280).contains(&fired), "p=0.5 fired {fired}/400");
+    }
+
+    #[test]
+    fn repeats_within_range() {
+        let step = ScriptStep::new(SetupAction::ArpProbe, 0, 0).with_repeat(2, 4);
+        let mut r = rng();
+        for _ in 0..100 {
+            let n = step.sample_repeats(&mut r);
+            assert!((2..=4).contains(&n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid repeat range")]
+    fn bad_repeat_range_panics() {
+        let _ = ScriptStep::new(SetupAction::ArpProbe, 0, 0).with_repeat(3, 2);
+    }
+
+    #[test]
+    fn swappable_steps_swap_about_half_the_time() {
+        let script = SetupScript::new()
+            .step(ScriptStep::new(SetupAction::ArpProbe, 0, 0).swappable())
+            .then(SetupAction::PingGateway, 0, 0);
+        let mut r = rng();
+        let swapped = (0..400)
+            .filter(|_| script.sample_order(&mut r) == vec![1, 0])
+            .count();
+        assert!((120..=280).contains(&swapped), "swapped {swapped}/400");
+    }
+
+    #[test]
+    fn non_swappable_order_is_stable() {
+        let script = SetupScript::new()
+            .then(SetupAction::ArpProbe, 0, 0)
+            .then(SetupAction::PingGateway, 0, 0)
+            .then(SetupAction::Bootp, 0, 0);
+        let mut r = rng();
+        for _ in 0..20 {
+            assert_eq!(script.sample_order(&mut r), vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn builder_accumulates_steps() {
+        let script = SetupScript::new()
+            .then(SetupAction::WifiAssociate, 0, 0)
+            .then(SetupAction::ArpProbe, 10, 5);
+        assert_eq!(script.len(), 2);
+        assert!(!script.is_empty());
+        assert_eq!(script.steps()[0].action.kind(), "wifi-associate");
+    }
+}

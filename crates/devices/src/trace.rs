@@ -1,0 +1,264 @@
+//! Dataset generation: from device profiles to labelled fingerprints.
+//!
+//! Reproduces §VI-A/§VI-B's data collection: every device type is set
+//! up `runs_per_type` times (the paper used 20), each setup is captured
+//! through the monitoring path, and fingerprints are extracted from
+//! the device's packets — yielding the 540-fingerprint dataset the
+//! identification evaluation runs on.
+
+use sentinel_fingerprint::{Dataset, FingerprintExtractor, LabeledFingerprint};
+use sentinel_net::{CaptureMonitor, DeviceCapture, SetupDetectorConfig};
+
+use crate::environment::NetworkEnvironment;
+use crate::profile::DeviceProfile;
+use crate::simulator::SetupSimulator;
+
+/// Simulates `runs` setups of `profile` and returns the device-side
+/// captures, one per run, obtained through the real capture-monitor
+/// path (gateway traffic ignored, rate-based completion).
+pub fn capture_setups(
+    profile: &DeviceProfile,
+    env: &NetworkEnvironment,
+    runs: u32,
+    seed: u64,
+) -> Vec<DeviceCapture> {
+    let mut sim = SetupSimulator::new(env.clone(), seed);
+    let mut captures = Vec::with_capacity(runs as usize);
+    for run in 0..runs {
+        let trace = sim.simulate(profile, run);
+        let mut monitor = CaptureMonitor::new(SetupDetectorConfig::default());
+        monitor.ignore_mac(env.gateway_mac);
+        for frame in trace.iter() {
+            monitor
+                .observe_frame(frame)
+                .expect("simulator frames always decode");
+        }
+        let mut done = monitor.finish_all();
+        assert_eq!(done.len(), 1, "exactly one device per setup run");
+        captures.push(done.remove(0));
+    }
+    captures
+}
+
+/// Builds a labelled fingerprint dataset: `runs_per_type` setups of
+/// every profile.
+///
+/// # Examples
+///
+/// ```
+/// use sentinel_devices::{catalog, generate_dataset, NetworkEnvironment};
+///
+/// let profiles = catalog::standard_catalog();
+/// let ds = generate_dataset(&profiles[..3], &NetworkEnvironment::default(), 5, 42);
+/// assert_eq!(ds.len(), 15);
+/// assert_eq!(ds.labels().len(), 3);
+/// ```
+pub fn generate_dataset(
+    profiles: &[DeviceProfile],
+    env: &NetworkEnvironment,
+    runs_per_type: u32,
+    seed: u64,
+) -> Dataset {
+    let mut dataset = Dataset::new();
+    for profile in profiles {
+        for capture in capture_setups(profile, env, runs_per_type, seed) {
+            let fingerprint = FingerprintExtractor::extract_from(capture.packets());
+            dataset.push(LabeledFingerprint::new(
+                profile.type_name.clone(),
+                fingerprint,
+            ));
+        }
+    }
+    dataset
+}
+
+/// Like [`capture_setups`], but each frame reaches the monitor only
+/// with probability `1 - loss_rate` — failure injection for the
+/// capture path. Real gateways drop frames (radio interference, ring
+/// buffer overruns, promiscuous-mode load); the lab data the paper
+/// trains on is clean, so identification in the field must tolerate
+/// fingerprints with missing columns.
+///
+/// # Panics
+///
+/// Panics if `loss_rate` is outside `[0, 1)`.
+pub fn capture_setups_with_loss(
+    profile: &DeviceProfile,
+    env: &NetworkEnvironment,
+    runs: u32,
+    seed: u64,
+    loss_rate: f64,
+) -> Vec<DeviceCapture> {
+    assert!(
+        (0.0..1.0).contains(&loss_rate),
+        "loss_rate must be in [0, 1), got {loss_rate}"
+    );
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut sim = SetupSimulator::new(env.clone(), seed);
+    let mut drop_rng = SmallRng::seed_from_u64(seed ^ 0x1055);
+    let mut captures = Vec::with_capacity(runs as usize);
+    for run in 0..runs {
+        let trace = sim.simulate(profile, run);
+        let mut monitor = CaptureMonitor::new(SetupDetectorConfig::default());
+        monitor.ignore_mac(env.gateway_mac);
+        for frame in trace.iter() {
+            if loss_rate > 0.0 && drop_rng.gen::<f64>() < loss_rate {
+                continue;
+            }
+            monitor
+                .observe_frame(frame)
+                .expect("simulator frames always decode");
+        }
+        let mut done = monitor.finish_all();
+        // Under extreme loss a run can lose every device frame; such
+        // runs produce no capture at all (the gateway never saw the
+        // device), so the returned vector may be shorter than `runs`.
+        if !done.is_empty() {
+            captures.push(done.remove(0));
+        }
+    }
+    captures
+}
+
+/// Like [`generate_dataset`], but with per-frame capture loss — see
+/// [`capture_setups_with_loss`].
+///
+/// # Panics
+///
+/// Panics if `loss_rate` is outside `[0, 1)`.
+pub fn generate_dataset_with_loss(
+    profiles: &[DeviceProfile],
+    env: &NetworkEnvironment,
+    runs_per_type: u32,
+    seed: u64,
+    loss_rate: f64,
+) -> Dataset {
+    let mut dataset = Dataset::new();
+    for profile in profiles {
+        for capture in capture_setups_with_loss(profile, env, runs_per_type, seed, loss_rate) {
+            let fingerprint = FingerprintExtractor::extract_from(capture.packets());
+            dataset.push(LabeledFingerprint::new(
+                profile.type_name.clone(),
+                fingerprint,
+            ));
+        }
+    }
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use sentinel_editdist::{fingerprint_distance, DistanceVariant};
+
+    #[test]
+    fn full_catalog_dataset_shape() {
+        let profiles = catalog::standard_catalog();
+        let ds = generate_dataset(&profiles, &NetworkEnvironment::default(), 3, 7);
+        assert_eq!(ds.len(), 27 * 3);
+        assert_eq!(ds.labels().len(), 27);
+    }
+
+    #[test]
+    fn fingerprints_are_nonempty_and_vary_within_type() {
+        let profiles = catalog::standard_catalog();
+        let quartet = profiles
+            .iter()
+            .find(|p| p.type_name == "D-LinkSensor")
+            .unwrap();
+        let env = NetworkEnvironment::default();
+        let caps = capture_setups(quartet, &env, 8, 3);
+        let fps: Vec<_> = caps
+            .iter()
+            .map(|c| FingerprintExtractor::extract_from(c.packets()))
+            .collect();
+        for fp in &fps {
+            assert!(fp.len() >= 5, "fingerprint too short: {}", fp.len());
+        }
+        // Stochastic steps must produce at least two distinct
+        // fingerprints across 8 runs.
+        let distinct = fps
+            .iter()
+            .map(|f| format!("{f:?}"))
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert!(distinct >= 2, "no within-type variance");
+    }
+
+    #[test]
+    fn sibling_types_are_close_distinct_types_are_far() {
+        let profiles = catalog::standard_catalog();
+        let env = NetworkEnvironment::default();
+        let fp_of = |name: &str| {
+            let p = profiles.iter().find(|p| p.type_name == name).unwrap();
+            let caps = capture_setups(p, &env, 1, 99);
+            FingerprintExtractor::extract_from(caps[0].packets())
+        };
+        let hs110 = fp_of("TP-LinkPlugHS110");
+        let hs100 = fp_of("TP-LinkPlugHS100");
+        let hue = fp_of("HueBridge");
+        let sibling_d = fingerprint_distance(&hs110, &hs100, DistanceVariant::Osa);
+        let distinct_d = fingerprint_distance(&hs110, &hue, DistanceVariant::Osa);
+        assert!(
+            sibling_d < distinct_d,
+            "siblings ({sibling_d:.3}) should be closer than distinct types ({distinct_d:.3})"
+        );
+        assert!(
+            distinct_d > 0.3,
+            "distinct types too similar: {distinct_d:.3}"
+        );
+    }
+
+    #[test]
+    fn dataset_generation_is_deterministic() {
+        let profiles = &catalog::standard_catalog()[..2];
+        let env = NetworkEnvironment::default();
+        let a = generate_dataset(profiles, &env, 3, 5);
+        let b = generate_dataset(profiles, &env, 3, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_vary_the_dataset() {
+        let profiles = &catalog::standard_catalog()[..2];
+        let env = NetworkEnvironment::default();
+        let a = generate_dataset(profiles, &env, 3, 5);
+        let b = generate_dataset(profiles, &env, 3, 6);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_loss_matches_clean_captures() {
+        let profiles = catalog::standard_catalog();
+        let env = NetworkEnvironment::default();
+        let clean = generate_dataset(&profiles[..3], &env, 2, 9);
+        let lossless = generate_dataset_with_loss(&profiles[..3], &env, 2, 9, 0.0);
+        assert_eq!(clean, lossless);
+    }
+
+    #[test]
+    fn loss_shortens_fingerprints() {
+        let profiles = catalog::standard_catalog();
+        let env = NetworkEnvironment::default();
+        let clean = generate_dataset(&profiles[..5], &env, 3, 9);
+        let lossy = generate_dataset_with_loss(&profiles[..5], &env, 3, 9, 0.3);
+        let total = |ds: &Dataset| -> usize { ds.iter().map(|s| s.fingerprint().len()).sum() };
+        assert!(
+            total(&lossy) < total(&clean),
+            "30% frame loss must shorten fingerprints ({} vs {})",
+            total(&lossy),
+            total(&clean)
+        );
+        // Same label multiset (no run lost everything at 30%).
+        assert_eq!(lossy.len(), clean.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss_rate")]
+    fn full_loss_is_rejected() {
+        let profiles = catalog::standard_catalog();
+        let _ = capture_setups_with_loss(&profiles[0], &NetworkEnvironment::default(), 1, 1, 1.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Unrestricted Damerau-Levenshtein distance (for the distance-variant
+//! ablation; the paper's operation set corresponds to the OSA variant).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Full Damerau-Levenshtein distance, allowing edits of previously
+/// transposed substrings (Lowrance–Wagner algorithm, `O(|a|·|b|)` time,
+/// `O(|a|·|b|)` space).
+///
+/// # Examples
+///
+/// ```
+/// use sentinel_editdist::{damerau_levenshtein, osa_distance};
+///
+/// // The canonical case where full DL beats OSA:
+/// assert_eq!(damerau_levenshtein(b"ca", b"abc"), 2);
+/// assert_eq!(osa_distance(b"ca", b"abc"), 3);
+/// ```
+pub fn damerau_levenshtein<T: Eq + Hash + Clone>(a: &[T], b: &[T]) -> usize {
+    let (la, lb) = (a.len(), b.len());
+    if la == 0 {
+        return lb;
+    }
+    if lb == 0 {
+        return la;
+    }
+    let max_dist = la + lb;
+    let w = lb + 2;
+    // d has (la+2) x (lb+2) entries with a sentinel row/column.
+    let mut d = vec![0usize; (la + 2) * w];
+    let idx = |i: usize, j: usize| i * w + j;
+    d[idx(0, 0)] = max_dist;
+    for i in 0..=la {
+        d[idx(i + 1, 0)] = max_dist;
+        d[idx(i + 1, 1)] = i;
+    }
+    for j in 0..=lb {
+        d[idx(0, j + 1)] = max_dist;
+        d[idx(1, j + 1)] = j;
+    }
+    let mut last_row: HashMap<&T, usize> = HashMap::new();
+    for i in 1..=la {
+        let mut last_match_col = 0usize;
+        for j in 1..=lb {
+            let i1 = *last_row.get(&b[j - 1]).unwrap_or(&0);
+            let j1 = last_match_col;
+            let cost = if a[i - 1] == b[j - 1] {
+                last_match_col = j;
+                0
+            } else {
+                1
+            };
+            let substitution = d[idx(i, j)] + cost;
+            let insertion = d[idx(i + 1, j)] + 1;
+            let deletion = d[idx(i, j + 1)] + 1;
+            let transposition = d[idx(i1, j1)] + (i - i1 - 1) + 1 + (j - j1 - 1);
+            d[idx(i + 1, j + 1)] = substitution.min(insertion).min(deletion).min(transposition);
+        }
+        last_row.insert(&a[i - 1], i);
+    }
+    d[idx(la + 1, lb + 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osa::osa_distance;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_levenshtein_without_transpositions() {
+        assert_eq!(damerau_levenshtein(b"kitten", b"sitting"), 3);
+        assert_eq!(damerau_levenshtein(b"", b"abc"), 3);
+        assert_eq!(damerau_levenshtein(b"abc", b""), 3);
+        assert_eq!(damerau_levenshtein(b"abc", b"abc"), 0);
+    }
+
+    #[test]
+    fn transpositions_cost_one() {
+        assert_eq!(damerau_levenshtein(b"ab", b"ba"), 1);
+        assert_eq!(damerau_levenshtein(b"abcd", b"abdc"), 1);
+    }
+
+    #[test]
+    fn beats_osa_on_edited_transpositions() {
+        assert_eq!(damerau_levenshtein(b"ca", b"abc"), 2);
+        assert_eq!(osa_distance(b"ca", b"abc"), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn never_exceeds_osa(
+            a in proptest::collection::vec(0u8..4, 0..25),
+            b in proptest::collection::vec(0u8..4, 0..25),
+        ) {
+            prop_assert!(damerau_levenshtein(&a, &b) <= osa_distance(&a, &b));
+        }
+
+        #[test]
+        fn identity_and_symmetry(
+            a in proptest::collection::vec(0u8..4, 0..25),
+            b in proptest::collection::vec(0u8..4, 0..25),
+        ) {
+            prop_assert_eq!(damerau_levenshtein(&a, &a), 0);
+            prop_assert_eq!(damerau_levenshtein(&a, &b), damerau_levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn triangle_inequality(
+            a in proptest::collection::vec(0u8..3, 0..15),
+            b in proptest::collection::vec(0u8..3, 0..15),
+            c in proptest::collection::vec(0u8..3, 0..15),
+        ) {
+            // Full DL is a true metric (unlike OSA).
+            let ab = damerau_levenshtein(&a, &b);
+            let bc = damerau_levenshtein(&b, &c);
+            let ac = damerau_levenshtein(&a, &c);
+            prop_assert!(ac <= ab + bc);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Damerau-Levenshtein edit distance over packet words (paper §IV-B-2).
+//!
+//! When several per-type classifiers accept a fingerprint, IoT Sentinel
+//! discriminates by "computing Damerau-Levenshtein edit distance
+//! considering the insertion, deletion, substitution and immediate
+//! transposition of characters", treating the fingerprint matrix F "as
+//! a word with each character being a column of the matrix, i.e. a
+//! packet pᵢ", with character equality requiring **all 23 features** to
+//! match. The absolute distance is normalised by the longer word's
+//! length to `[0, 1]`.
+//!
+//! The insert/delete/substitute/adjacent-transpose operation set is the
+//! *optimal string alignment* (OSA) variant ([`osa`]); the unrestricted
+//! Damerau-Levenshtein variant ([`damerau`]) and plain Levenshtein are
+//! provided for the distance-variant ablation.
+//!
+//! # Example
+//!
+//! ```
+//! use sentinel_editdist::{normalized_osa, osa_distance};
+//!
+//! let a = ["dhcp", "arp", "dns", "ntp"];
+//! let b = ["dhcp", "dns", "arp", "ntp"]; // one adjacent transposition
+//! assert_eq!(osa_distance(&a, &b), 1);
+//! assert_eq!(normalized_osa(&a, &b), 0.25);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod damerau;
+pub mod osa;
+pub mod packet_word;
+pub mod score;
+
+pub use damerau::damerau_levenshtein;
+pub use osa::{levenshtein, normalized_osa, osa_distance};
+pub use packet_word::{fingerprint_distance, DistanceVariant};
+pub use score::{dissimilarity_score, rank_candidates};

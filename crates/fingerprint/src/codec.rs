@@ -1,0 +1,252 @@
+//! Self-contained text codec for fingerprint datasets.
+//!
+//! The format is line-oriented so datasets remain diff-able and
+//! inspectable (the paper's dataset was distributed as pcap + CSV):
+//!
+//! ```text
+//! iot-sentinel-fingerprints v1
+//! sample <label> <n-columns>
+//! <23 space-separated integers>   (n-columns lines)
+//! ...
+//! end
+//! ```
+//!
+//! Using a hand-rolled codec keeps the workspace inside its approved
+//! dependency set (no `serde_json`); the grammar is trivial enough that
+//! a parser with real error reporting fits in a page.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::dataset::{Dataset, LabeledFingerprint};
+use crate::error::FingerprintError;
+use crate::features::{PacketFeatures, FEATURE_COUNT};
+use crate::fingerprint::Fingerprint;
+
+const HEADER: &str = "iot-sentinel-fingerprints v1";
+const FOOTER: &str = "end";
+
+/// Writes `dataset` to `w` in the v1 text format.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+///
+/// # Examples
+///
+/// ```
+/// use sentinel_fingerprint::{codec, Dataset, Fingerprint, LabeledFingerprint, PacketFeatures};
+///
+/// let mut ds = Dataset::new();
+/// ds.push(LabeledFingerprint::new(
+///     "Aria",
+///     Fingerprint::from_columns(vec![PacketFeatures::from_raw([3; 23])]),
+/// ));
+/// let mut buf = Vec::new();
+/// codec::write(&mut buf, &ds)?;
+/// let back = codec::read(&buf[..])?;
+/// assert_eq!(back, ds);
+/// # Ok::<(), sentinel_fingerprint::FingerprintError>(())
+/// ```
+pub fn write<W: Write>(mut w: W, dataset: &Dataset) -> Result<(), FingerprintError> {
+    writeln!(w, "{HEADER}")?;
+    for sample in dataset.iter() {
+        writeln!(
+            w,
+            "sample {} {}",
+            sample.label(),
+            sample.fingerprint().len()
+        )?;
+        for col in sample.fingerprint().iter() {
+            let rendered: Vec<String> = col.values().iter().map(u32::to_string).collect();
+            writeln!(w, "{}", rendered.join(" "))?;
+        }
+    }
+    writeln!(w, "{FOOTER}")?;
+    Ok(())
+}
+
+/// Reads a dataset from `r` in the v1 text format.
+///
+/// # Errors
+///
+/// Returns [`FingerprintError::Parse`] with a line number for any
+/// malformed content, or an I/O error.
+pub fn read<R: Read>(r: R) -> Result<Dataset, FingerprintError> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines().enumerate();
+    let (_, first) = lines
+        .next()
+        .ok_or_else(|| FingerprintError::parse(1, "empty input"))?;
+    let first = first?;
+    if first.trim() != HEADER {
+        return Err(FingerprintError::parse(1, format!("bad header {first:?}")));
+    }
+    let mut dataset = Dataset::new();
+    let mut saw_footer = false;
+    while let Some((idx, line)) = lines.next() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == FOOTER {
+            saw_footer = true;
+            break;
+        }
+        let mut parts = trimmed.split_whitespace();
+        match parts.next() {
+            Some("sample") => {}
+            other => {
+                return Err(FingerprintError::parse(
+                    line_no,
+                    format!("expected 'sample', got {other:?}"),
+                ))
+            }
+        }
+        let label = parts
+            .next()
+            .ok_or_else(|| FingerprintError::parse(line_no, "missing label"))?
+            .to_string();
+        let count: usize = parts
+            .next()
+            .ok_or_else(|| FingerprintError::parse(line_no, "missing column count"))?
+            .parse()
+            .map_err(|e| FingerprintError::parse(line_no, format!("bad column count: {e}")))?;
+        if parts.next().is_some() {
+            return Err(FingerprintError::parse(
+                line_no,
+                "trailing tokens on sample line",
+            ));
+        }
+        let mut columns = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (idx, line) = lines
+                .next()
+                .ok_or_else(|| FingerprintError::parse(line_no, "unexpected end of columns"))?;
+            let col_line_no = idx + 1;
+            let line = line?;
+            let mut values = [0u32; FEATURE_COUNT];
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            if tokens.len() != FEATURE_COUNT {
+                return Err(FingerprintError::parse(
+                    col_line_no,
+                    format!("expected {FEATURE_COUNT} values, got {}", tokens.len()),
+                ));
+            }
+            for (v, tok) in values.iter_mut().zip(tokens) {
+                *v = tok.parse().map_err(|e| {
+                    FingerprintError::parse(col_line_no, format!("bad value {tok:?}: {e}"))
+                })?;
+            }
+            columns.push(PacketFeatures::from_raw(values));
+        }
+        dataset.push(LabeledFingerprint::new(
+            label,
+            Fingerprint::from_columns(columns),
+        ));
+    }
+    if !saw_footer {
+        return Err(FingerprintError::parse(0, "missing 'end' footer"));
+    }
+    Ok(dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        for (label, tags) in [("TypeA", vec![1u32, 2, 3]), ("TypeB", vec![7, 7, 9])] {
+            let cols: Vec<PacketFeatures> = tags
+                .into_iter()
+                .map(|t| {
+                    let mut v = [0u32; FEATURE_COUNT];
+                    v[18] = t;
+                    v[20] = t % 3;
+                    PacketFeatures::from_raw(v)
+                })
+                .collect();
+            ds.push(LabeledFingerprint::new(
+                label,
+                Fingerprint::from_columns(cols),
+            ));
+        }
+        ds
+    }
+
+    #[test]
+    fn round_trip() {
+        let ds = dataset();
+        let mut buf = Vec::new();
+        write(&mut buf, &ds).unwrap();
+        let back = read(&buf[..]).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn note_dedup_interacts_with_codec() {
+        // TypeB has consecutive duplicate tags (7, 7) which dedup to
+        // one column; the written count reflects the deduped length.
+        let ds = dataset();
+        assert_eq!(ds.sample(1).fingerprint().len(), 2);
+        let mut buf = Vec::new();
+        write(&mut buf, &ds).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("sample TypeB 2"));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read(&b"wrong header\nend\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn rejects_missing_footer() {
+        let ds = dataset();
+        let mut buf = Vec::new();
+        write(&mut buf, &ds).unwrap();
+        // Strip the footer line.
+        let text = String::from_utf8(buf).unwrap();
+        let without = text.trim_end().trim_end_matches(FOOTER);
+        assert!(read(without.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_value_count() {
+        let text = format!("{HEADER}\nsample X 1\n1 2 3\nend\n");
+        let err = read(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 23 values"));
+    }
+
+    #[test]
+    fn rejects_non_numeric_value() {
+        let vals = vec!["1"; 22].join(" ");
+        let text = format!("{HEADER}\nsample X 1\n{vals} zz\nend\n");
+        let err = read(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad value"));
+    }
+
+    #[test]
+    fn empty_dataset_round_trips() {
+        let ds = Dataset::new();
+        let mut buf = Vec::new();
+        write(&mut buf, &ds).unwrap();
+        let back = read(&buf[..]).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn blank_lines_tolerated_between_samples() {
+        let ds = dataset();
+        let mut buf = Vec::new();
+        write(&mut buf, &ds).unwrap();
+        let text = String::from_utf8(buf)
+            .unwrap()
+            .replace("sample TypeB", "\nsample TypeB");
+        let back = read(text.as_bytes()).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+}

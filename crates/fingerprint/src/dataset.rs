@@ -1,0 +1,213 @@
+//! Labelled fingerprint datasets.
+
+use std::collections::BTreeMap;
+
+use crate::fingerprint::{Fingerprint, FixedFingerprint};
+
+/// One fingerprint labelled with its ground-truth device type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledFingerprint {
+    label: String,
+    fingerprint: Fingerprint,
+    fixed: FixedFingerprint,
+}
+
+impl LabeledFingerprint {
+    /// Labels a fingerprint. The fixed-size F′ is computed eagerly so
+    /// repeated classifier training does not recompute it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is empty or contains whitespace (labels are
+    /// single tokens in reports and the text codec).
+    pub fn new(label: impl Into<String>, fingerprint: Fingerprint) -> Self {
+        let label = label.into();
+        assert!(
+            !label.is_empty() && !label.chars().any(char::is_whitespace),
+            "label must be a non-empty single token, got {label:?}"
+        );
+        let fixed = fingerprint.to_fixed();
+        LabeledFingerprint {
+            label,
+            fingerprint,
+            fixed,
+        }
+    }
+
+    /// The ground-truth device-type label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The full variable-length fingerprint F.
+    pub fn fingerprint(&self) -> &Fingerprint {
+        &self.fingerprint
+    }
+
+    /// The fixed 276-dimensional fingerprint F′.
+    pub fn fixed(&self) -> &FixedFingerprint {
+        &self.fixed
+    }
+}
+
+/// An ordered collection of labelled fingerprints.
+///
+/// # Examples
+///
+/// ```
+/// use sentinel_fingerprint::{Dataset, Fingerprint, LabeledFingerprint, PacketFeatures};
+///
+/// let mut ds = Dataset::new();
+/// let fp = Fingerprint::from_columns(vec![PacketFeatures::from_raw([1; 23])]);
+/// ds.push(LabeledFingerprint::new("D-LinkCam", fp));
+/// assert_eq!(ds.len(), 1);
+/// assert_eq!(ds.labels(), vec!["D-LinkCam"]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    samples: Vec<LabeledFingerprint>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, sample: LabeledFingerprint) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All samples in insertion order.
+    pub fn samples(&self) -> &[LabeledFingerprint] {
+        &self.samples
+    }
+
+    /// The sample at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn sample(&self, index: usize) -> &LabeledFingerprint {
+        &self.samples[index]
+    }
+
+    /// The distinct labels, sorted.
+    pub fn labels(&self) -> Vec<&str> {
+        let mut set: Vec<&str> = self.samples.iter().map(LabeledFingerprint::label).collect();
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+
+    /// Sample indices per label, sorted by label.
+    pub fn indices_by_label(&self) -> BTreeMap<&str, Vec<usize>> {
+        let mut map: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, s) in self.samples.iter().enumerate() {
+            map.entry(s.label()).or_default().push(i);
+        }
+        map
+    }
+
+    /// Indices of samples with the given label.
+    pub fn indices_for(&self, label: &str) -> Vec<usize> {
+        self.samples
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.label() == label)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Iterates over samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, LabeledFingerprint> {
+        self.samples.iter()
+    }
+}
+
+impl FromIterator<LabeledFingerprint> for Dataset {
+    fn from_iter<I: IntoIterator<Item = LabeledFingerprint>>(iter: I) -> Self {
+        Dataset {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<LabeledFingerprint> for Dataset {
+    fn extend<I: IntoIterator<Item = LabeledFingerprint>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a LabeledFingerprint;
+    type IntoIter = std::slice::Iter<'a, LabeledFingerprint>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::PacketFeatures;
+
+    fn sample(label: &str, tag: u32) -> LabeledFingerprint {
+        let mut v = [0u32; 23];
+        v[18] = tag;
+        LabeledFingerprint::new(
+            label,
+            Fingerprint::from_columns(vec![PacketFeatures::from_raw(v)]),
+        )
+    }
+
+    #[test]
+    fn labels_sorted_and_deduped() {
+        let ds: Dataset = vec![sample("b", 1), sample("a", 2), sample("b", 3)]
+            .into_iter()
+            .collect();
+        assert_eq!(ds.labels(), vec!["a", "b"]);
+        assert_eq!(ds.indices_for("b"), vec![0, 2]);
+        assert_eq!(ds.indices_by_label()["a"], vec![1]);
+    }
+
+    #[test]
+    fn fixed_computed_eagerly() {
+        let s = sample("x", 9);
+        assert_eq!(s.fixed().dims(), 276);
+        assert_eq!(s.fixed().as_slice()[18], 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "single token")]
+    fn rejects_whitespace_label() {
+        let _ = sample("two words", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "single token")]
+    fn rejects_empty_label() {
+        let _ = sample("", 1);
+    }
+
+    #[test]
+    fn extend_and_iterate() {
+        let mut ds = Dataset::new();
+        ds.extend(vec![sample("a", 1), sample("a", 2)]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.iter().count(), 2);
+        assert_eq!((&ds).into_iter().count(), 2);
+    }
+}

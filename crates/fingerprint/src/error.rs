@@ -1,0 +1,95 @@
+//! Error type for dataset parsing and I/O.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors from fingerprint dataset persistence.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FingerprintError {
+    /// A line of the text codec could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Requested a fold split that cannot be satisfied.
+    BadFold {
+        /// The requested number of folds.
+        folds: usize,
+        /// The smallest class size.
+        smallest_class: usize,
+    },
+}
+
+impl FingerprintError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        FingerprintError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FingerprintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FingerprintError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            FingerprintError::Io(e) => write!(f, "i/o error: {e}"),
+            FingerprintError::BadFold {
+                folds,
+                smallest_class,
+            } => write!(
+                f,
+                "cannot split into {folds} folds: smallest class has {smallest_class} samples"
+            ),
+        }
+    }
+}
+
+impl Error for FingerprintError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FingerprintError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FingerprintError {
+    fn from(e: io::Error) -> Self {
+        FingerprintError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            FingerprintError::parse(3, "bad count").to_string(),
+            "parse error at line 3: bad count"
+        );
+        assert!(FingerprintError::BadFold {
+            folds: 10,
+            smallest_class: 5
+        }
+        .to_string()
+        .contains("10 folds"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<FingerprintError>();
+    }
+}

@@ -1,0 +1,259 @@
+//! The variable-length fingerprint F and the fixed 276-dimensional F′.
+
+use std::fmt;
+
+use crate::features::{PacketFeatures, FEATURE_COUNT};
+
+/// Number of packets concatenated into F′.
+pub const FIXED_PACKETS: usize = 12;
+
+/// Dimensionality of F′ (12 packets × 23 features = 276).
+pub const FIXED_DIMS: usize = FIXED_PACKETS * FEATURE_COUNT;
+
+/// The variable-length fingerprint **F**: a 23×n matrix stored as its
+/// n packet columns, in the temporal order the device sent them, with
+/// consecutive duplicates already discarded (Eq. 1 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Fingerprint {
+    columns: Vec<PacketFeatures>,
+}
+
+impl Fingerprint {
+    /// Creates a fingerprint from columns, discarding consecutive
+    /// duplicates (pᵢ = pᵢ₊₁ in the paper's notation).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sentinel_fingerprint::{Fingerprint, PacketFeatures};
+    ///
+    /// let a = PacketFeatures::from_raw([1; 23]);
+    /// let b = PacketFeatures::from_raw([2; 23]);
+    /// let fp = Fingerprint::from_columns(vec![a, a, b, b, a]);
+    /// assert_eq!(fp.len(), 3); // a b a
+    /// ```
+    pub fn from_columns(columns: Vec<PacketFeatures>) -> Self {
+        let mut deduped: Vec<PacketFeatures> = Vec::with_capacity(columns.len());
+        for col in columns {
+            if deduped.last() != Some(&col) {
+                deduped.push(col);
+            }
+        }
+        Fingerprint { columns: deduped }
+    }
+
+    /// Creates a fingerprint from columns already known to be free of
+    /// consecutive duplicates (used by the extractor, which dedups
+    /// on the fly).
+    pub(crate) fn from_deduped(columns: Vec<PacketFeatures>) -> Self {
+        debug_assert!(
+            columns.windows(2).all(|w| w[0] != w[1]),
+            "columns contain consecutive duplicates"
+        );
+        Fingerprint { columns }
+    }
+
+    /// The number of packet columns, n.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the fingerprint has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The packet columns in temporal order.
+    pub fn columns(&self) -> &[PacketFeatures] {
+        &self.columns
+    }
+
+    /// Iterates over the columns.
+    pub fn iter(&self) -> std::slice::Iter<'_, PacketFeatures> {
+        self.columns.iter()
+    }
+
+    /// The first `limit` **unique** columns, in order of first
+    /// appearance.
+    pub fn unique_prefix(&self, limit: usize) -> Vec<PacketFeatures> {
+        let mut unique: Vec<PacketFeatures> = Vec::with_capacity(limit);
+        for col in &self.columns {
+            if unique.len() == limit {
+                break;
+            }
+            if !unique.contains(col) {
+                unique.push(*col);
+            }
+        }
+        unique
+    }
+
+    /// Builds the fixed-size fingerprint F′ from the first
+    /// [`FIXED_PACKETS`] unique columns, zero-padding if F does not
+    /// contain enough unique packets (paper §IV-A).
+    pub fn to_fixed(&self) -> FixedFingerprint {
+        self.to_fixed_with(FIXED_PACKETS)
+    }
+
+    /// Builds a fixed fingerprint with a non-standard unique-packet
+    /// prefix length (used by the prefix-length ablation). The result
+    /// always has `prefix_len × 23` dimensions.
+    pub fn to_fixed_with(&self, prefix_len: usize) -> FixedFingerprint {
+        let unique = self.unique_prefix(prefix_len);
+        let mut values = vec![0f32; prefix_len * FEATURE_COUNT];
+        for (i, col) in unique.iter().enumerate() {
+            let f = col.to_f32();
+            values[i * FEATURE_COUNT..(i + 1) * FEATURE_COUNT].copy_from_slice(&f);
+        }
+        FixedFingerprint { values }
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F[23x{}]", self.len())
+    }
+}
+
+impl<'a> IntoIterator for &'a Fingerprint {
+    type Item = &'a PacketFeatures;
+    type IntoIter = std::slice::Iter<'a, PacketFeatures>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.columns.iter()
+    }
+}
+
+/// The fixed-size fingerprint **F′**: the first 12 unique packet
+/// vectors of F concatenated into a 276-dimensional feature vector
+/// (zero-padded when F has fewer than 12 unique packets).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FixedFingerprint {
+    values: Vec<f32>,
+}
+
+impl FixedFingerprint {
+    /// The feature values (length 276 for the standard prefix).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Dimensionality of this vector.
+    pub fn dims(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Creates a fixed fingerprint directly from values (codec/tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` is not a multiple of 23.
+    pub fn from_values(values: Vec<f32>) -> Self {
+        assert!(
+            values.len().is_multiple_of(FEATURE_COUNT),
+            "fixed fingerprint length {} not a multiple of {FEATURE_COUNT}",
+            values.len()
+        );
+        FixedFingerprint { values }
+    }
+
+    /// How many non-padding packet slots are filled (a slot is padding
+    /// if all its 23 values are zero).
+    pub fn filled_slots(&self) -> usize {
+        self.values
+            .chunks(FEATURE_COUNT)
+            .filter(|chunk| chunk.iter().any(|v| *v != 0.0))
+            .count()
+    }
+}
+
+impl fmt::Display for FixedFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F'[{}]", self.values.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(tag: u32) -> PacketFeatures {
+        let mut v = [0u32; FEATURE_COUNT];
+        v[18] = tag; // size feature
+        PacketFeatures::from_raw(v)
+    }
+
+    #[test]
+    fn consecutive_duplicates_discarded_only() {
+        let fp = Fingerprint::from_columns(vec![col(1), col(1), col(2), col(1), col(1), col(1)]);
+        // Non-consecutive repeats are kept: 1 2 1.
+        assert_eq!(fp.len(), 3);
+        assert_eq!(fp.columns()[0], col(1));
+        assert_eq!(fp.columns()[1], col(2));
+        assert_eq!(fp.columns()[2], col(1));
+    }
+
+    #[test]
+    fn unique_prefix_keeps_first_appearance_order() {
+        let fp = Fingerprint::from_columns(vec![col(3), col(1), col(3), col(2), col(1)]);
+        let unique = fp.unique_prefix(12);
+        assert_eq!(unique, vec![col(3), col(1), col(2)]);
+        assert_eq!(fp.unique_prefix(2), vec![col(3), col(1)]);
+    }
+
+    #[test]
+    fn fixed_is_276_dims_with_padding() {
+        let fp = Fingerprint::from_columns(vec![col(1), col(2)]);
+        let fixed = fp.to_fixed();
+        assert_eq!(fixed.dims(), FIXED_DIMS);
+        assert_eq!(fixed.filled_slots(), 2);
+        // First slot carries col(1)'s size at offset 18.
+        assert_eq!(fixed.as_slice()[18], 1.0);
+        assert_eq!(fixed.as_slice()[FEATURE_COUNT + 18], 2.0);
+        // Padding slots are all zero.
+        assert!(fixed.as_slice()[2 * FEATURE_COUNT..]
+            .iter()
+            .all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn fixed_truncates_to_twelve_unique() {
+        let cols: Vec<PacketFeatures> = (1..=20).map(col).collect();
+        let fp = Fingerprint::from_columns(cols);
+        assert_eq!(fp.len(), 20);
+        let fixed = fp.to_fixed();
+        assert_eq!(fixed.filled_slots(), FIXED_PACKETS);
+        assert_eq!(fixed.as_slice()[11 * FEATURE_COUNT + 18], 12.0);
+    }
+
+    #[test]
+    fn fixed_with_custom_prefix() {
+        let cols: Vec<PacketFeatures> = (1..=20).map(col).collect();
+        let fp = Fingerprint::from_columns(cols);
+        let fixed = fp.to_fixed_with(4);
+        assert_eq!(fixed.dims(), 4 * FEATURE_COUNT);
+        assert_eq!(fixed.filled_slots(), 4);
+    }
+
+    #[test]
+    fn empty_fingerprint_yields_zero_vector() {
+        let fp = Fingerprint::default();
+        assert!(fp.is_empty());
+        let fixed = fp.to_fixed();
+        assert_eq!(fixed.dims(), FIXED_DIMS);
+        assert_eq!(fixed.filled_slots(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_values_rejects_bad_length() {
+        let _ = FixedFingerprint::from_values(vec![0.0; 10]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let fp = Fingerprint::from_columns(vec![col(1)]);
+        assert_eq!(fp.to_string(), "F[23x1]");
+        assert_eq!(fp.to_fixed().to_string(), "F'[276]");
+    }
+}

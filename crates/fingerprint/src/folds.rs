@@ -1,0 +1,232 @@
+//! Stratified k-fold cross-validation splits.
+//!
+//! The paper evaluates identification with "a stratified 10-fold
+//! cross-validation process … repeated 10 times" (§VI-B). Stratified
+//! means every fold contains (approximately) the same per-class
+//! proportions as the full dataset — with 20 fingerprints per type and
+//! 10 folds, each test fold holds 2 fingerprints of every type.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::error::FingerprintError;
+
+/// One train/test split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Indices of training samples.
+    pub train: Vec<usize>,
+    /// Indices of test samples.
+    pub test: Vec<usize>,
+}
+
+/// Stratified k-fold splitter.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sentinel_fingerprint::{Dataset, Fingerprint, LabeledFingerprint, PacketFeatures, StratifiedKFold};
+///
+/// let mut ds = Dataset::new();
+/// for i in 0..20u32 {
+///     let mut v = [0u32; 23];
+///     v[18] = i;
+///     let label = if i % 2 == 0 { "even" } else { "odd" };
+///     ds.push(LabeledFingerprint::new(
+///         label,
+///         Fingerprint::from_columns(vec![PacketFeatures::from_raw(v)]),
+///     ));
+/// }
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+/// let folds = StratifiedKFold::new(5).split(&ds, &mut rng)?;
+/// assert_eq!(folds.len(), 5);
+/// // Every test fold holds 2 of each class.
+/// for fold in &folds {
+///     assert_eq!(fold.test.len(), 4);
+/// }
+/// # Ok::<(), sentinel_fingerprint::FingerprintError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StratifiedKFold {
+    k: usize,
+}
+
+impl StratifiedKFold {
+    /// Creates a splitter with `k` folds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2, "need at least 2 folds, got {k}");
+        StratifiedKFold { k }
+    }
+
+    /// The number of folds.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Splits `dataset` into k stratified train/test folds, shuffling
+    /// per-class sample order with `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FingerprintError::BadFold`] if any class has fewer
+    /// samples than `k`.
+    pub fn split<R: Rng>(
+        &self,
+        dataset: &Dataset,
+        rng: &mut R,
+    ) -> Result<Vec<Fold>, FingerprintError> {
+        let by_label = dataset.indices_by_label();
+        let smallest = by_label.values().map(Vec::len).min().unwrap_or(0);
+        if smallest < self.k {
+            return Err(FingerprintError::BadFold {
+                folds: self.k,
+                smallest_class: smallest,
+            });
+        }
+        // Deal each class's shuffled samples round-robin into the k
+        // test buckets.
+        let mut test_buckets: Vec<Vec<usize>> = vec![Vec::new(); self.k];
+        for indices in by_label.values() {
+            let mut shuffled = indices.clone();
+            shuffled.shuffle(rng);
+            for (i, idx) in shuffled.into_iter().enumerate() {
+                test_buckets[i % self.k].push(idx);
+            }
+        }
+        let folds = test_buckets
+            .into_iter()
+            .map(|mut test| {
+                test.sort_unstable();
+                let in_test: std::collections::HashSet<usize> = test.iter().copied().collect();
+                let train: Vec<usize> = (0..dataset.len())
+                    .filter(|i| !in_test.contains(i))
+                    .collect();
+                Fold { train, test }
+            })
+            .collect();
+        Ok(folds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::LabeledFingerprint;
+    use crate::features::PacketFeatures;
+    use crate::fingerprint::Fingerprint;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn dataset(classes: &[(&str, usize)]) -> Dataset {
+        let mut ds = Dataset::new();
+        let mut tag = 0;
+        for (label, count) in classes {
+            for _ in 0..*count {
+                tag += 1;
+                let mut v = [0u32; 23];
+                v[18] = tag;
+                ds.push(LabeledFingerprint::new(
+                    *label,
+                    Fingerprint::from_columns(vec![PacketFeatures::from_raw(v)]),
+                ));
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn folds_partition_the_dataset() {
+        let ds = dataset(&[("a", 20), ("b", 20), ("c", 20)]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let folds = StratifiedKFold::new(10).split(&ds, &mut rng).unwrap();
+        assert_eq!(folds.len(), 10);
+        let mut all_test: Vec<usize> = Vec::new();
+        for fold in &folds {
+            assert_eq!(fold.train.len() + fold.test.len(), ds.len());
+            let train: HashSet<_> = fold.train.iter().collect();
+            assert!(fold.test.iter().all(|i| !train.contains(i)));
+            all_test.extend(&fold.test);
+        }
+        all_test.sort_unstable();
+        let expected: Vec<usize> = (0..ds.len()).collect();
+        assert_eq!(
+            all_test, expected,
+            "test folds must cover every sample once"
+        );
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let ds = dataset(&[("a", 20), ("b", 20)]);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let folds = StratifiedKFold::new(10).split(&ds, &mut rng).unwrap();
+        for fold in &folds {
+            let a_count = fold
+                .test
+                .iter()
+                .filter(|i| ds.sample(**i).label() == "a")
+                .count();
+            assert_eq!(a_count, 2, "each fold holds 2 of each 20-sample class");
+            assert_eq!(fold.test.len(), 4);
+        }
+    }
+
+    #[test]
+    fn uneven_classes_spread_within_one() {
+        let ds = dataset(&[("a", 23), ("b", 20)]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let folds = StratifiedKFold::new(10).split(&ds, &mut rng).unwrap();
+        for fold in &folds {
+            let a_count = fold
+                .test
+                .iter()
+                .filter(|i| ds.sample(**i).label() == "a")
+                .count();
+            assert!((2..=3).contains(&a_count));
+        }
+    }
+
+    #[test]
+    fn too_small_class_errors() {
+        let ds = dataset(&[("a", 20), ("tiny", 3)]);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let err = StratifiedKFold::new(10).split(&ds, &mut rng).unwrap_err();
+        assert!(matches!(
+            err,
+            FingerprintError::BadFold {
+                folds: 10,
+                smallest_class: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let ds = dataset(&[("a", 20), ("b", 20)]);
+        let f1 = StratifiedKFold::new(10)
+            .split(&ds, &mut SmallRng::seed_from_u64(5))
+            .unwrap();
+        let f2 = StratifiedKFold::new(10)
+            .split(&ds, &mut SmallRng::seed_from_u64(6))
+            .unwrap();
+        assert_ne!(f1, f2);
+        // Same seed reproduces.
+        let f1b = StratifiedKFold::new(10)
+            .split(&ds, &mut SmallRng::seed_from_u64(5))
+            .unwrap();
+        assert_eq!(f1, f1b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn k_below_two_panics() {
+        let _ = StratifiedKFold::new(1);
+    }
+}

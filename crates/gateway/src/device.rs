@@ -1,0 +1,81 @@
+//! The gateway's registry of connected devices.
+
+use std::net::Ipv4Addr;
+
+use sentinel_core::IsolationLevel;
+use sentinel_net::{MacAddr, SimTime};
+
+use crate::overlay::Overlay;
+
+/// What the gateway knows about one connected device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceRecord {
+    /// The device's MAC address (its identity for enforcement).
+    pub mac: MacAddr,
+    /// Its DHCP-assigned address, once known.
+    pub ip: Option<Ipv4Addr>,
+    /// Identified device type, once known.
+    pub device_type: Option<String>,
+    /// Current isolation level (new devices start strict until
+    /// identified).
+    pub isolation: IsolationLevel,
+    /// Overlay membership.
+    pub overlay: Overlay,
+    /// When the device first appeared.
+    pub first_seen: SimTime,
+    /// WPS credential slot (device-specific PSK id), if provisioned.
+    pub psk_id: Option<u64>,
+}
+
+impl DeviceRecord {
+    /// Creates the record for a newly appeared device: strict
+    /// isolation in the untrusted overlay until identification
+    /// completes.
+    pub fn new(mac: MacAddr, first_seen: SimTime) -> Self {
+        DeviceRecord {
+            mac,
+            ip: None,
+            device_type: None,
+            isolation: IsolationLevel::Strict,
+            overlay: Overlay::Untrusted,
+            first_seen,
+            psk_id: None,
+        }
+    }
+
+    /// Applies an identification outcome: stores the type, adopts the
+    /// isolation level and moves overlays accordingly.
+    pub fn apply_identification(&mut self, device_type: Option<String>, isolation: IsolationLevel) {
+        self.device_type = device_type;
+        self.overlay = Overlay::for_isolation(&isolation);
+        self.isolation = isolation;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_devices_start_strict_and_untrusted() {
+        let rec = DeviceRecord::new(MacAddr::new([2, 0, 0, 0, 0, 1]), SimTime::ZERO);
+        assert_eq!(rec.isolation, IsolationLevel::Strict);
+        assert_eq!(rec.overlay, Overlay::Untrusted);
+        assert!(rec.device_type.is_none());
+    }
+
+    #[test]
+    fn identification_moves_overlay() {
+        let mut rec = DeviceRecord::new(MacAddr::new([2, 0, 0, 0, 0, 1]), SimTime::ZERO);
+        rec.apply_identification(Some("HueBridge".into()), IsolationLevel::Trusted);
+        assert_eq!(rec.overlay, Overlay::Trusted);
+        assert_eq!(rec.device_type.as_deref(), Some("HueBridge"));
+        rec.apply_identification(
+            Some("EdnetCam".into()),
+            IsolationLevel::Restricted {
+                allowed_endpoints: vec![],
+            },
+        );
+        assert_eq!(rec.overlay, Overlay::Untrusted);
+    }
+}

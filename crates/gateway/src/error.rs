@@ -1,0 +1,57 @@
+//! Error type for gateway operations.
+
+use std::error::Error;
+use std::fmt;
+
+use sentinel_net::MacAddr;
+
+/// Errors from Security Gateway operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GatewayError {
+    /// An operation referenced a device the gateway has not seen.
+    UnknownDevice(MacAddr),
+    /// A device was registered twice.
+    DuplicateDevice(MacAddr),
+    /// Re-keying was requested for a device that does not support WPS.
+    WpsUnsupported(MacAddr),
+    /// An operation referenced a user notification id that was never
+    /// issued.
+    UnknownNotification(u64),
+}
+
+impl fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GatewayError::UnknownDevice(mac) => write!(f, "unknown device {mac}"),
+            GatewayError::DuplicateDevice(mac) => write!(f, "device {mac} already registered"),
+            GatewayError::WpsUnsupported(mac) => {
+                write!(f, "device {mac} does not support wps re-keying")
+            }
+            GatewayError::UnknownNotification(id) => {
+                write!(f, "unknown notification id {id}")
+            }
+        }
+    }
+}
+
+impl Error for GatewayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_mac() {
+        let mac = MacAddr::new([2, 0, 0, 0, 0, 1]);
+        assert!(GatewayError::UnknownDevice(mac)
+            .to_string()
+            .contains("02:00"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<GatewayError>();
+    }
+}

@@ -1,0 +1,406 @@
+//! User notification for devices that cannot be confined (§III-C-3).
+//!
+//! Network isolation and traffic filtering act on the traffic that
+//! passes through the Security Gateway. A vulnerable device with an
+//! **uncontrollable external channel** — Bluetooth, an LTE data
+//! connection, proprietary sub-GHz RF — can exfiltrate data around the
+//! gateway entirely, so "the only effective measure for securing the
+//! user's network is to manually remove devices at risk". The paper
+//! envisages a mechanism that (1) notifies the user about such
+//! devices, (2) helps her identify the physical device in question,
+//! and (3) makes sure it really is removed from the network. This
+//! module implements that mechanism.
+//!
+//! A [`NotificationCenter`] tracks one [`UserNotification`] per
+//! affected device through a three-state lifecycle:
+//!
+//! ```text
+//! Pending ──acknowledge()──▶ Acknowledged ──quiet period──▶ RemovalVerified
+//!    ▲                                                            │
+//!    └────────────── device traffic observed again ───────────────┘
+//! ```
+//!
+//! Removal is *verified*, not assumed: a device counts as removed only
+//! after its MAC has been silent for the configured quiet period, and
+//! a verified notification reopens if the device ever talks again.
+//!
+//! # Example
+//!
+//! ```
+//! use sentinel_gateway::notify::{NotificationCenter, SideChannel};
+//! use sentinel_net::{MacAddr, SimDuration, SimTime};
+//!
+//! let mut center = NotificationCenter::new(SimDuration::from_secs(600));
+//! let mac = MacAddr::new([2, 0, 0, 0, 0, 9]);
+//! let t0 = SimTime::from_secs(0);
+//!
+//! let id = center.advise_removal(mac, Some("HomeMaticPlug"), SideChannel::ProprietaryRf, t0);
+//! center.acknowledge(id)?;
+//! // Ten minutes of silence later, the removal is verified.
+//! let verified = center.verify_removals(t0 + SimDuration::from_secs(601));
+//! assert_eq!(verified, vec![id]);
+//! # Ok::<(), sentinel_gateway::GatewayError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use sentinel_net::{MacAddr, SimDuration, SimTime};
+
+use crate::error::GatewayError;
+
+/// An external communication channel the Security Gateway cannot
+/// monitor or filter (§III-C-3 names Bluetooth and LTE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SideChannel {
+    /// Bluetooth / Bluetooth Low Energy.
+    Bluetooth,
+    /// A cellular data connection (LTE and similar).
+    Cellular,
+    /// Proprietary sub-GHz RF (e.g. the HomeMatic BidCoS radio).
+    ProprietaryRf,
+}
+
+impl fmt::Display for SideChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SideChannel::Bluetooth => "Bluetooth",
+            SideChannel::Cellular => "cellular data",
+            SideChannel::ProprietaryRf => "proprietary RF",
+        })
+    }
+}
+
+/// Lifecycle state of a removal advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NotificationState {
+    /// Issued; the user has not reacted yet.
+    Pending,
+    /// The user confirmed seeing the advisory; awaiting removal.
+    Acknowledged,
+    /// The device has been silent for the quiet period after
+    /// acknowledgement — removal is considered verified.
+    RemovalVerified,
+}
+
+impl fmt::Display for NotificationState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            NotificationState::Pending => "pending",
+            NotificationState::Acknowledged => "acknowledged",
+            NotificationState::RemovalVerified => "removal verified",
+        })
+    }
+}
+
+/// A removal advisory for one device with an insurmountable flaw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserNotification {
+    id: u64,
+    mac: MacAddr,
+    device_type: Option<String>,
+    channel: SideChannel,
+    issued_at: SimTime,
+    state: NotificationState,
+}
+
+impl UserNotification {
+    /// Unique notification id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// MAC address of the affected device (shown to the user to help
+    /// locate the physical device).
+    pub fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    /// Identified device type, if identification succeeded.
+    pub fn device_type(&self) -> Option<&str> {
+        self.device_type.as_deref()
+    }
+
+    /// The uncontrollable channel that forced the advisory.
+    pub fn channel(&self) -> SideChannel {
+        self.channel
+    }
+
+    /// When the advisory was first issued.
+    pub fn issued_at(&self) -> SimTime {
+        self.issued_at
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> NotificationState {
+        self.state
+    }
+
+    /// The text shown to the user, naming the device and the reason.
+    pub fn message(&self) -> String {
+        format!(
+            "device {} ({}) has known vulnerabilities and an uncontrollable {} channel; \
+             please remove it from the network",
+            self.mac,
+            self.device_type.as_deref().unwrap_or("unknown type"),
+            self.channel
+        )
+    }
+}
+
+/// Issues and tracks removal advisories, and verifies that advised
+/// devices actually leave the network.
+#[derive(Debug, Clone)]
+pub struct NotificationCenter {
+    next_id: u64,
+    quiet_period: SimDuration,
+    notifications: Vec<UserNotification>,
+    by_mac: HashMap<MacAddr, usize>,
+    last_seen: HashMap<MacAddr, SimTime>,
+}
+
+impl NotificationCenter {
+    /// Creates a center that considers a device removed once its MAC
+    /// has been silent for `quiet_period` after acknowledgement.
+    pub fn new(quiet_period: SimDuration) -> Self {
+        NotificationCenter {
+            next_id: 1,
+            quiet_period,
+            notifications: Vec::new(),
+            by_mac: HashMap::new(),
+            last_seen: HashMap::new(),
+        }
+    }
+
+    /// Issues a removal advisory for `mac`, or returns the id of the
+    /// existing advisory if one is already open for this device
+    /// (advisories are deduplicated per MAC).
+    pub fn advise_removal(
+        &mut self,
+        mac: MacAddr,
+        device_type: Option<&str>,
+        channel: SideChannel,
+        now: SimTime,
+    ) -> u64 {
+        if let Some(&idx) = self.by_mac.get(&mac) {
+            return self.notifications[idx].id;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.by_mac.insert(mac, self.notifications.len());
+        self.last_seen.insert(mac, now);
+        self.notifications.push(UserNotification {
+            id,
+            mac,
+            device_type: device_type.map(str::to_string),
+            channel,
+            issued_at: now,
+            state: NotificationState::Pending,
+        });
+        id
+    }
+
+    /// Records that `mac` produced traffic at `now`. If the device had
+    /// a verified removal, the advisory reopens (the device is back).
+    pub fn observe_traffic(&mut self, mac: MacAddr, now: SimTime) {
+        self.last_seen.insert(mac, now);
+        if let Some(&idx) = self.by_mac.get(&mac) {
+            let n = &mut self.notifications[idx];
+            if n.state == NotificationState::RemovalVerified {
+                n.state = NotificationState::Acknowledged;
+            }
+        }
+    }
+
+    /// Marks notification `id` as acknowledged by the user.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GatewayError::UnknownNotification`] if no advisory
+    /// has this id.
+    pub fn acknowledge(&mut self, id: u64) -> Result<(), GatewayError> {
+        let n = self
+            .notifications
+            .iter_mut()
+            .find(|n| n.id == id)
+            .ok_or(GatewayError::UnknownNotification(id))?;
+        if n.state == NotificationState::Pending {
+            n.state = NotificationState::Acknowledged;
+        }
+        Ok(())
+    }
+
+    /// Promotes acknowledged advisories whose device has been silent
+    /// for the quiet period to [`NotificationState::RemovalVerified`],
+    /// returning the ids promoted by this call.
+    pub fn verify_removals(&mut self, now: SimTime) -> Vec<u64> {
+        let mut verified = Vec::new();
+        for n in &mut self.notifications {
+            if n.state != NotificationState::Acknowledged {
+                continue;
+            }
+            let last = self.last_seen.get(&n.mac).copied().unwrap_or(n.issued_at);
+            if now.duration_since(last) >= self.quiet_period {
+                n.state = NotificationState::RemovalVerified;
+                verified.push(n.id);
+            }
+        }
+        verified
+    }
+
+    /// The advisory for `id`, if any.
+    pub fn get(&self, id: u64) -> Option<&UserNotification> {
+        self.notifications.iter().find(|n| n.id == id)
+    }
+
+    /// The open advisory for `mac`, if any.
+    pub fn for_device(&self, mac: MacAddr) -> Option<&UserNotification> {
+        self.by_mac.get(&mac).map(|&idx| &self.notifications[idx])
+    }
+
+    /// All advisories not yet verified as removed, oldest first.
+    pub fn open(&self) -> Vec<&UserNotification> {
+        self.notifications
+            .iter()
+            .filter(|n| n.state != NotificationState::RemovalVerified)
+            .collect()
+    }
+
+    /// Total number of advisories ever issued.
+    pub fn len(&self) -> usize {
+        self.notifications.len()
+    }
+
+    /// Whether no advisory has ever been issued.
+    pub fn is_empty(&self) -> bool {
+        self.notifications.is_empty()
+    }
+}
+
+impl Default for NotificationCenter {
+    /// A ten-minute quiet period.
+    fn default() -> Self {
+        NotificationCenter::new(SimDuration::from_secs(600))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(tail: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, tail])
+    }
+
+    fn center() -> NotificationCenter {
+        NotificationCenter::new(SimDuration::from_secs(60))
+    }
+
+    #[test]
+    fn advisory_lifecycle_pending_ack_verified() {
+        let mut c = center();
+        let t0 = SimTime::from_secs(0);
+        let id = c.advise_removal(mac(1), Some("EdnetCam"), SideChannel::Bluetooth, t0);
+        assert_eq!(c.get(id).unwrap().state(), NotificationState::Pending);
+
+        c.acknowledge(id).unwrap();
+        assert_eq!(c.get(id).unwrap().state(), NotificationState::Acknowledged);
+
+        // Not yet silent long enough.
+        assert!(c
+            .verify_removals(t0 + SimDuration::from_secs(30))
+            .is_empty());
+        // Silent past the quiet period.
+        let verified = c.verify_removals(t0 + SimDuration::from_secs(61));
+        assert_eq!(verified, vec![id]);
+        assert_eq!(
+            c.get(id).unwrap().state(),
+            NotificationState::RemovalVerified
+        );
+    }
+
+    #[test]
+    fn advisories_deduplicate_per_device() {
+        let mut c = center();
+        let t0 = SimTime::from_secs(0);
+        let a = c.advise_removal(mac(1), None, SideChannel::Cellular, t0);
+        let b = c.advise_removal(mac(1), None, SideChannel::Cellular, t0);
+        assert_eq!(a, b);
+        assert_eq!(c.len(), 1);
+        let other = c.advise_removal(mac(2), None, SideChannel::Cellular, t0);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn traffic_resets_the_quiet_period() {
+        let mut c = center();
+        let t0 = SimTime::from_secs(0);
+        let id = c.advise_removal(mac(1), None, SideChannel::Bluetooth, t0);
+        c.acknowledge(id).unwrap();
+        // Device keeps talking at t=50; at t=70 only 20s of silence.
+        c.observe_traffic(mac(1), t0 + SimDuration::from_secs(50));
+        assert!(c
+            .verify_removals(t0 + SimDuration::from_secs(70))
+            .is_empty());
+        // Verified only after 50+60 seconds.
+        assert_eq!(
+            c.verify_removals(t0 + SimDuration::from_secs(111)),
+            vec![id]
+        );
+    }
+
+    #[test]
+    fn returning_device_reopens_a_verified_advisory() {
+        let mut c = center();
+        let t0 = SimTime::from_secs(0);
+        let id = c.advise_removal(mac(1), None, SideChannel::ProprietaryRf, t0);
+        c.acknowledge(id).unwrap();
+        c.verify_removals(t0 + SimDuration::from_secs(61));
+        assert_eq!(
+            c.get(id).unwrap().state(),
+            NotificationState::RemovalVerified
+        );
+        // The "removed" device shows up again.
+        c.observe_traffic(mac(1), t0 + SimDuration::from_secs(120));
+        assert_eq!(c.get(id).unwrap().state(), NotificationState::Acknowledged);
+        assert_eq!(c.open().len(), 1);
+    }
+
+    #[test]
+    fn acknowledge_unknown_id_errors() {
+        let mut c = center();
+        assert_eq!(
+            c.acknowledge(42),
+            Err(GatewayError::UnknownNotification(42))
+        );
+    }
+
+    #[test]
+    fn message_names_device_and_channel() {
+        let mut c = center();
+        let id = c.advise_removal(
+            mac(7),
+            Some("HomeMaticPlug"),
+            SideChannel::ProprietaryRf,
+            SimTime::from_secs(0),
+        );
+        let msg = c.get(id).unwrap().message();
+        assert!(msg.contains("HomeMaticPlug"));
+        assert!(msg.contains("proprietary RF"));
+        assert!(msg.contains("02:00:00:00:00:07"));
+    }
+
+    #[test]
+    fn open_excludes_verified() {
+        let mut c = center();
+        let t0 = SimTime::from_secs(0);
+        let a = c.advise_removal(mac(1), None, SideChannel::Bluetooth, t0);
+        let _b = c.advise_removal(mac(2), None, SideChannel::Cellular, t0);
+        c.acknowledge(a).unwrap();
+        c.verify_removals(t0 + SimDuration::from_secs(61));
+        let open = c.open();
+        assert_eq!(open.len(), 1);
+        assert_eq!(open[0].mac(), mac(2));
+    }
+}

@@ -1,0 +1,151 @@
+//! The trusted/untrusted virtual network overlays (paper §III-C-1,
+//! Fig. 3).
+//!
+//! "The Security Gateway divides the user's network into two virtual
+//! network overlays: an untrusted and a trusted network. Vulnerable
+//! devices are placed in the untrusted network and strictly isolated
+//! from other devices" — devices may talk to peers *within* their own
+//! overlay; cross-overlay device-to-device traffic is blocked.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use sentinel_core::IsolationLevel;
+use sentinel_net::MacAddr;
+
+/// Which overlay a device lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Overlay {
+    /// The trusted overlay (full mutual reachability + Internet).
+    Trusted,
+    /// The untrusted overlay (strict/restricted devices).
+    Untrusted,
+}
+
+impl Overlay {
+    /// The overlay implied by an isolation level.
+    pub fn for_isolation(level: &IsolationLevel) -> Overlay {
+        if level.in_trusted_overlay() {
+            Overlay::Trusted
+        } else {
+            Overlay::Untrusted
+        }
+    }
+}
+
+impl fmt::Display for Overlay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Overlay::Trusted => f.write_str("trusted"),
+            Overlay::Untrusted => f.write_str("untrusted"),
+        }
+    }
+}
+
+/// Device → overlay membership.
+#[derive(Debug, Clone, Default)]
+pub struct OverlayMap {
+    members: HashMap<MacAddr, Overlay>,
+}
+
+impl OverlayMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        OverlayMap::default()
+    }
+
+    /// Assigns `mac` to `overlay` (moving it if already assigned).
+    pub fn assign(&mut self, mac: MacAddr, overlay: Overlay) {
+        self.members.insert(mac, overlay);
+    }
+
+    /// The overlay of `mac`; unassigned devices are treated as
+    /// untrusted (new devices start there until identified).
+    pub fn overlay_of(&self, mac: MacAddr) -> Overlay {
+        self.members
+            .get(&mac)
+            .copied()
+            .unwrap_or(Overlay::Untrusted)
+    }
+
+    /// Whether device-to-device traffic between `a` and `b` is
+    /// permitted: both must live in the same overlay.
+    pub fn permits_peer_traffic(&self, a: MacAddr, b: MacAddr) -> bool {
+        self.overlay_of(a) == self.overlay_of(b)
+    }
+
+    /// Removes a device.
+    pub fn remove(&mut self, mac: MacAddr) {
+        self.members.remove(&mac);
+    }
+
+    /// Count of devices in `overlay`.
+    pub fn count(&self, overlay: Overlay) -> usize {
+        self.members.values().filter(|o| **o == overlay).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_core::IsolationLevel;
+
+    fn mac(last: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, last])
+    }
+
+    #[test]
+    fn isolation_to_overlay() {
+        assert_eq!(
+            Overlay::for_isolation(&IsolationLevel::Trusted),
+            Overlay::Trusted
+        );
+        assert_eq!(
+            Overlay::for_isolation(&IsolationLevel::Strict),
+            Overlay::Untrusted
+        );
+        assert_eq!(
+            Overlay::for_isolation(&IsolationLevel::Restricted {
+                allowed_endpoints: vec![]
+            }),
+            Overlay::Untrusted
+        );
+    }
+
+    #[test]
+    fn unassigned_devices_are_untrusted() {
+        let map = OverlayMap::new();
+        assert_eq!(map.overlay_of(mac(9)), Overlay::Untrusted);
+    }
+
+    #[test]
+    fn same_overlay_peers_allowed_cross_overlay_blocked() {
+        let mut map = OverlayMap::new();
+        map.assign(mac(1), Overlay::Trusted);
+        map.assign(mac(2), Overlay::Trusted);
+        map.assign(mac(3), Overlay::Untrusted);
+        assert!(map.permits_peer_traffic(mac(1), mac(2)));
+        assert!(!map.permits_peer_traffic(mac(1), mac(3)));
+        // Two untrusted devices may talk within the untrusted overlay.
+        map.assign(mac(4), Overlay::Untrusted);
+        assert!(map.permits_peer_traffic(mac(3), mac(4)));
+    }
+
+    #[test]
+    fn reassignment_moves_devices() {
+        let mut map = OverlayMap::new();
+        map.assign(mac(1), Overlay::Untrusted);
+        assert_eq!(map.count(Overlay::Untrusted), 1);
+        map.assign(mac(1), Overlay::Trusted);
+        assert_eq!(map.count(Overlay::Untrusted), 0);
+        assert_eq!(map.count(Overlay::Trusted), 1);
+        map.remove(mac(1));
+        assert_eq!(map.count(Overlay::Trusted), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Overlay::Trusted.to_string(), "trusted");
+        assert_eq!(Overlay::Untrusted.to_string(), "untrusted");
+    }
+}

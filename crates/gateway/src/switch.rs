@@ -1,0 +1,206 @@
+//! The Open vSwitch-like forwarding element.
+//!
+//! First packet of a flow misses the flow table and escalates to the
+//! controller (packet-in); the decision is then cached so subsequent
+//! packets hit the fast path. With filtering disabled the switch
+//! behaves as a plain learning switch (the paper's "No Filtering"
+//! baseline).
+
+use sentinel_net::SimTime;
+
+use crate::controller::SdnController;
+use crate::flow::{FlowDecision, FlowKey, FlowTable};
+
+/// Forwarding statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Packets processed.
+    pub packets: u64,
+    /// Packets forwarded.
+    pub forwarded: u64,
+    /// Packets dropped by enforcement.
+    pub dropped: u64,
+    /// Flow-table misses (controller escalations).
+    pub table_misses: u64,
+}
+
+/// The data-plane switch.
+#[derive(Debug, Default)]
+pub struct OvsSwitch {
+    flows: FlowTable,
+    stats: SwitchStats,
+    filtering: bool,
+}
+
+impl OvsSwitch {
+    /// Creates a switch with filtering enabled.
+    pub fn new() -> Self {
+        OvsSwitch {
+            flows: FlowTable::new(),
+            stats: SwitchStats::default(),
+            filtering: true,
+        }
+    }
+
+    /// Enables or disables enforcement filtering (the Table V/VI
+    /// baseline toggle).
+    pub fn set_filtering(&mut self, on: bool) {
+        self.filtering = on;
+    }
+
+    /// Whether enforcement filtering is active.
+    pub fn filtering(&self) -> bool {
+        self.filtering
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    /// The active-flow table.
+    pub fn flow_table(&self) -> &FlowTable {
+        &self.flows
+    }
+
+    /// Mutable flow table access (experiments preload flows).
+    pub fn flow_table_mut(&mut self) -> &mut FlowTable {
+        &mut self.flows
+    }
+
+    /// Processes one packet belonging to `key`: consults the flow
+    /// table, escalating to `controller` on a miss.
+    pub fn process_packet(
+        &mut self,
+        key: FlowKey,
+        dst_is_local_device: bool,
+        now: SimTime,
+        controller: &mut SdnController,
+    ) -> FlowDecision {
+        self.stats.packets += 1;
+        if !self.filtering {
+            self.stats.forwarded += 1;
+            return FlowDecision::Allow;
+        }
+        let mut missed = false;
+        let decision = self.flows.record(key, now, || {
+            missed = true;
+            controller.decide_flow(&key, dst_is_local_device, now)
+        });
+        if missed {
+            self.stats.table_misses += 1;
+        }
+        if decision.is_allowed() {
+            self.stats.forwarded += 1;
+        } else {
+            self.stats.dropped += 1;
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_core::{IoTSecurityService, Trainer, VulnerabilityDatabase};
+    use sentinel_fingerprint::{Dataset, Fingerprint, LabeledFingerprint, PacketFeatures};
+    use sentinel_net::{MacAddr, Port};
+    use std::net::{IpAddr, Ipv4Addr};
+
+    fn fp_bits(bits: u32, tags: &[u32]) -> Fingerprint {
+        Fingerprint::from_columns(
+            tags.iter()
+                .map(|t| {
+                    let mut v = [0u32; 23];
+                    for (b, slot) in v.iter_mut().enumerate().take(12) {
+                        *slot = (bits >> b) & 1;
+                    }
+                    v[18] = *t;
+                    PacketFeatures::from_raw(v)
+                })
+                .collect(),
+        )
+    }
+
+    fn controller() -> SdnController {
+        let mut ds = Dataset::new();
+        for i in 0..12u32 {
+            ds.push(LabeledFingerprint::new(
+                "TypeA",
+                fp_bits(0b001, &[100 + i, 110, 120]),
+            ));
+            ds.push(LabeledFingerprint::new(
+                "TypeB",
+                fp_bits(0b010, &[100 + i, 110, 120]),
+            ));
+        }
+        let identifier = Trainer::default().train(&ds, 4).unwrap();
+        SdnController::new(IoTSecurityService::new(
+            identifier,
+            VulnerabilityDatabase::new(),
+        ))
+    }
+
+    fn mac(last: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, last])
+    }
+
+    fn key(src: MacAddr) -> FlowKey {
+        FlowKey {
+            src_mac: src,
+            dst_mac: mac(0),
+            src_ip: IpAddr::V4(Ipv4Addr::new(192, 168, 1, 50)),
+            dst_ip: IpAddr::V4(Ipv4Addr::new(8, 8, 8, 8)),
+            protocol: 6,
+            src_port: Port::new(50000),
+            dst_port: Port::new(443),
+        }
+    }
+
+    #[test]
+    fn first_packet_misses_rest_hit() {
+        let mut ctl = controller();
+        let dev = mac(1);
+        ctl.on_device_appeared(dev, SimTime::ZERO).unwrap();
+        ctl.on_setup_complete(dev, &fp_bits(0b001, &[104, 110, 120]), &|_| None)
+            .unwrap();
+        let mut sw = OvsSwitch::new();
+        for _ in 0..10 {
+            let d = sw.process_packet(key(dev), false, SimTime::ZERO, &mut ctl);
+            assert!(d.is_allowed());
+        }
+        let stats = sw.stats();
+        assert_eq!(stats.packets, 10);
+        assert_eq!(stats.table_misses, 1, "only the first packet escalates");
+        assert_eq!(stats.forwarded, 10);
+        assert_eq!(ctl.packet_in_count(), 1);
+    }
+
+    #[test]
+    fn filtering_disabled_allows_everything() {
+        let mut ctl = controller();
+        let mut sw = OvsSwitch::new();
+        sw.set_filtering(false);
+        assert!(!sw.filtering());
+        // Unregistered device, would be denied with filtering on.
+        let d = sw.process_packet(key(mac(9)), false, SimTime::ZERO, &mut ctl);
+        assert!(d.is_allowed());
+        assert_eq!(sw.stats().table_misses, 0);
+        assert_eq!(ctl.packet_in_count(), 0);
+    }
+
+    #[test]
+    fn denied_flows_count_drops() {
+        let mut ctl = controller();
+        let mut sw = OvsSwitch::new();
+        // Device appeared but not identified: strict rule blocks
+        // Internet.
+        ctl.on_device_appeared(mac(1), SimTime::ZERO).unwrap();
+        for _ in 0..4 {
+            let d = sw.process_packet(key(mac(1)), false, SimTime::ZERO, &mut ctl);
+            assert!(!d.is_allowed());
+        }
+        assert_eq!(sw.stats().dropped, 4);
+        assert_eq!(sw.stats().table_misses, 1, "deny decision is cached too");
+    }
+}

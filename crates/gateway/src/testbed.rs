@@ -1,0 +1,391 @@
+//! The Fig. 4 lab testbed: devices D1-D4, a local and a remote server
+//! behind a Security Gateway, plus the experiment drivers that
+//! regenerate Tables V-VI and Fig. 6.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use sentinel_core::IsolationLevel;
+use sentinel_net::MacAddr;
+
+use crate::cache::RuleCache;
+use crate::latency::{Destination, LatencyModel};
+use crate::resources::ResourceModel;
+use crate::rule::EnforcementRule;
+
+/// One row of Table V: a source/destination pair measured with and
+/// without filtering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyRow {
+    /// Source device index (1-based).
+    pub src: usize,
+    /// Destination label (`D4`, `S_local`, `S_remote`).
+    pub dst: &'static str,
+    /// Mean RTT with filtering, ms.
+    pub filtering_mean: f64,
+    /// Stddev with filtering.
+    pub filtering_std: f64,
+    /// Mean RTT without filtering, ms.
+    pub baseline_mean: f64,
+    /// Stddev without filtering.
+    pub baseline_std: f64,
+}
+
+/// Table VI: relative overhead of the filtering mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadReport {
+    /// D1↔D2 latency increase, percent (mean, std).
+    pub d1d2_latency_pct: (f64, f64),
+    /// D1↔D3 latency increase, percent (mean, std).
+    pub d1d3_latency_pct: (f64, f64),
+    /// CPU utilisation increase, percentage points → relative percent
+    /// (mean, std).
+    pub cpu_pct: (f64, f64),
+    /// Memory usage increase, percent (mean, std).
+    pub memory_pct: (f64, f64),
+}
+
+/// One point of Fig. 6a / 6b.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowScalingPoint {
+    /// Number of concurrent flows.
+    pub flows: usize,
+    /// D1-D2 latency with filtering, ms (Fig. 6a) — or CPU% with
+    /// filtering (Fig. 6b), depending on the experiment.
+    pub with_filtering: f64,
+    /// The matching value without filtering.
+    pub without_filtering: f64,
+    /// Secondary path D1-D3 with filtering (Fig. 6a only; 0 for CPU).
+    pub secondary_with: f64,
+    /// Secondary path D1-D3 without filtering.
+    pub secondary_without: f64,
+}
+
+/// One point of Fig. 6c.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryScalingPoint {
+    /// Number of enforcement rules installed.
+    pub rules: usize,
+    /// Memory consumption with filtering, MB.
+    pub with_filtering_mb: f64,
+    /// Memory consumption without filtering, MB.
+    pub without_filtering_mb: f64,
+}
+
+/// The simulated Fig. 4 testbed.
+#[derive(Debug)]
+pub struct Testbed {
+    latency: LatencyModel,
+    resources: ResourceModel,
+    cache: RuleCache,
+    device_macs: Vec<MacAddr>,
+    rng: SmallRng,
+}
+
+impl Testbed {
+    /// Builds the testbed with four user devices (D1-D4) whose rules
+    /// are installed in the gateway's cache, plus `extra_rules`
+    /// additional device rules (for cache-size experiments).
+    pub fn new(seed: u64, extra_rules: usize) -> Self {
+        let mut cache = RuleCache::new();
+        let mut device_macs = Vec::new();
+        for i in 1..=4u8 {
+            let mac = MacAddr::new([2, 0xd0, 0, 0, 0, i]);
+            device_macs.push(mac);
+            cache.install(EnforcementRule::new(mac, IsolationLevel::Trusted));
+        }
+        for i in 0..extra_rules {
+            let mac = MacAddr::new([2, 0xee, (i >> 16) as u8, (i >> 8) as u8, i as u8, 0]);
+            cache.install(EnforcementRule::new(mac, IsolationLevel::Strict));
+        }
+        Testbed {
+            latency: LatencyModel::new_rpi(),
+            resources: ResourceModel::new_rpi(),
+            cache,
+            device_macs,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The rule cache (shared by all experiments).
+    pub fn rule_cache(&self) -> &RuleCache {
+        &self.cache
+    }
+
+    fn sample_path(&mut self, src: usize, dst: Destination, filtering: bool, flows: usize) -> f64 {
+        let mac = self.device_macs[src - 1];
+        self.latency.sample_rtt(
+            src,
+            dst,
+            filtering,
+            flows,
+            &mut self.cache,
+            mac,
+            &mut self.rng,
+        )
+    }
+
+    fn series(&mut self, src: usize, dst: Destination, filtering: bool, iters: usize) -> Vec<f64> {
+        (0..iters)
+            .map(|_| self.sample_path(src, dst, filtering, 10))
+            .collect()
+    }
+
+    /// Runs the Table V experiment: `iterations` RTT measurements per
+    /// (source, destination, filtering) combination.
+    pub fn latency_table(&mut self, iterations: usize) -> Vec<LatencyRow> {
+        let mut rows = Vec::new();
+        for src in 1..=3usize {
+            for (dst, label) in [
+                (Destination::Peer(4), "D4"),
+                (Destination::LocalServer, "S_local"),
+                (Destination::RemoteServer, "S_remote"),
+            ] {
+                let with = self.series(src, dst, true, iterations);
+                let without = self.series(src, dst, false, iterations);
+                let (fm, fs) = mean_std(&with);
+                let (bm, bs) = mean_std(&without);
+                rows.push(LatencyRow {
+                    src,
+                    dst: label,
+                    filtering_mean: fm,
+                    filtering_std: fs,
+                    baseline_mean: bm,
+                    baseline_std: bs,
+                });
+            }
+        }
+        rows
+    }
+
+    /// Runs the Table VI experiment: paired relative overheads.
+    pub fn overhead_report(&mut self, iterations: usize) -> OverheadReport {
+        let pct_series = |with: &[f64], without: &[f64]| -> Vec<f64> {
+            with.iter()
+                .zip(without)
+                .map(|(w, b)| (w - b) / b * 100.0)
+                .collect()
+        };
+        let d1d2_w = self.series(1, Destination::Peer(2), true, iterations);
+        let d1d2_b = self.series(1, Destination::Peer(2), false, iterations);
+        let d1d3_w = self.series(1, Destination::Peer(3), true, iterations);
+        let d1d3_b = self.series(1, Destination::Peer(3), false, iterations);
+        let cpu_w: Vec<f64> = (0..iterations)
+            .map(|_| self.resources.sample_cpu(50, true, &mut self.rng))
+            .collect();
+        let cpu_b: Vec<f64> = (0..iterations)
+            .map(|_| self.resources.sample_cpu(50, false, &mut self.rng))
+            .collect();
+        let mem_w = self.resources.memory_mb(&self.cache, true);
+        let mem_b = self.resources.memory_mb(&self.cache, false);
+        // Memory is deterministic given the cache; the paper's spread
+        // comes from sampling a running system, modelled as repeated
+        // snapshots under load jitter.
+        let mem_pcts: Vec<f64> = (0..iterations)
+            .map(|_| {
+                let jitter = 1.0 + crate::latency::gauss(&mut self.rng) * 0.02;
+                (mem_w * jitter - mem_b) / mem_b * 100.0
+            })
+            .collect();
+        OverheadReport {
+            d1d2_latency_pct: mean_std(&pct_series(&d1d2_w, &d1d2_b)),
+            d1d3_latency_pct: mean_std(&pct_series(&d1d3_w, &d1d3_b)),
+            cpu_pct: mean_std(&pct_series(&cpu_w, &cpu_b)),
+            memory_pct: mean_std(&mem_pcts),
+        }
+    }
+
+    /// Runs the Fig. 6a experiment: D1-D2 and D1-D3 latency vs
+    /// concurrent flows.
+    pub fn latency_vs_flows(
+        &mut self,
+        flow_counts: &[usize],
+        iters: usize,
+    ) -> Vec<FlowScalingPoint> {
+        flow_counts
+            .iter()
+            .map(|&flows| {
+                let avg = |tb: &mut Testbed, dst, filtering| -> f64 {
+                    (0..iters)
+                        .map(|_| tb.sample_path(1, dst, filtering, flows))
+                        .sum::<f64>()
+                        / iters as f64
+                };
+                FlowScalingPoint {
+                    flows,
+                    with_filtering: avg(self, Destination::Peer(2), true),
+                    without_filtering: avg(self, Destination::Peer(2), false),
+                    secondary_with: avg(self, Destination::Peer(3), true),
+                    secondary_without: avg(self, Destination::Peer(3), false),
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the Fig. 6b experiment: CPU utilisation vs concurrent
+    /// flows.
+    pub fn cpu_vs_flows(&mut self, flow_counts: &[usize], iters: usize) -> Vec<FlowScalingPoint> {
+        flow_counts
+            .iter()
+            .map(|&flows| {
+                let avg = |tb: &mut Testbed, filtering: bool| -> f64 {
+                    (0..iters)
+                        .map(|_| tb.resources.sample_cpu(flows, filtering, &mut tb.rng))
+                        .sum::<f64>()
+                        / iters as f64
+                };
+                FlowScalingPoint {
+                    flows,
+                    with_filtering: avg(self, true),
+                    without_filtering: avg(self, false),
+                    secondary_with: 0.0,
+                    secondary_without: 0.0,
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the Fig. 6c experiment: memory vs installed enforcement
+    /// rules. Rules are genuinely installed into a cache per point.
+    pub fn memory_vs_rules(&mut self, rule_counts: &[usize]) -> Vec<MemoryScalingPoint> {
+        rule_counts
+            .iter()
+            .map(|&rules| {
+                let mut cache = RuleCache::new();
+                for i in 0..rules {
+                    let mac = MacAddr::new([2, 0xcc, (i >> 16) as u8, (i >> 8) as u8, i as u8, 0]);
+                    cache.install(EnforcementRule::new(mac, IsolationLevel::Strict));
+                }
+                MemoryScalingPoint {
+                    rules,
+                    with_filtering_mb: self.resources.memory_mb(&cache, true),
+                    without_filtering_mb: self.resources.memory_mb(&cache, false),
+                }
+            })
+            .collect()
+    }
+}
+
+pub(crate) fn mean_std(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if samples.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_table_shape_matches_table_v() {
+        let mut tb = Testbed::new(1, 100);
+        let rows = tb.latency_table(60);
+        assert_eq!(rows.len(), 9);
+        for row in &rows {
+            // Filtering must never *reduce* latency materially, and the
+            // overhead stays under a millisecond-and-a-half.
+            let delta = row.filtering_mean - row.baseline_mean;
+            assert!(
+                (-0.5..2.0).contains(&delta),
+                "D{} -> {}: delta {delta}",
+                row.src,
+                row.dst
+            );
+            assert!(row.baseline_mean > 10.0 && row.baseline_mean < 35.0);
+        }
+        // Spot-check calibration: D1->D4 baseline ≈ 24.5.
+        let d1d4 = rows.iter().find(|r| r.src == 1 && r.dst == "D4").unwrap();
+        assert!((23.0..26.0).contains(&d1d4.baseline_mean));
+    }
+
+    #[test]
+    fn overhead_report_matches_table_vi_shape() {
+        let mut tb = Testbed::new(2, 100);
+        let report = tb.overhead_report(600);
+        assert!(
+            (2.0..10.0).contains(&report.d1d2_latency_pct.0),
+            "D1D2 {}%",
+            report.d1d2_latency_pct.0
+        );
+        // The paper reports +0.71% ± 5.88 here: the estimate is a small
+        // mean under large unpaired noise, so accept a generous band.
+        assert!(
+            (-2.0..4.5).contains(&report.d1d3_latency_pct.0),
+            "D1D3 {}%",
+            report.d1d3_latency_pct.0
+        );
+        assert!(
+            (0.3..3.5).contains(&report.cpu_pct.0),
+            "CPU {}%",
+            report.cpu_pct.0
+        );
+        assert!(
+            (3.0..12.0).contains(&report.memory_pct.0),
+            "memory {}% (paper: +7.6%)",
+            report.memory_pct.0
+        );
+    }
+
+    #[test]
+    fn fig6a_latency_flat_in_flows() {
+        let mut tb = Testbed::new(3, 0);
+        let points = tb.latency_vs_flows(&[20, 60, 100, 140], 80);
+        assert_eq!(points.len(), 4);
+        let first = points.first().unwrap();
+        let last = points.last().unwrap();
+        let rise = last.with_filtering - first.with_filtering;
+        assert!(
+            (0.0..2.0).contains(&rise),
+            "latency rise over 120 flows: {rise} ms (must be insignificant)"
+        );
+        // With-filtering stays above without-filtering.
+        for p in &points {
+            assert!(p.with_filtering >= p.without_filtering - 0.4);
+        }
+    }
+
+    #[test]
+    fn fig6b_cpu_rises_mildly() {
+        let mut tb = Testbed::new(4, 0);
+        let points = tb.cpu_vs_flows(&[0, 50, 100, 150], 120);
+        let first = points.first().unwrap();
+        let last = points.last().unwrap();
+        assert!(last.with_filtering > first.with_filtering + 5.0);
+        assert!(last.with_filtering < 52.0, "CPU stays far from saturation");
+        for p in &points {
+            let delta = p.with_filtering - p.without_filtering;
+            assert!((-0.5..2.0).contains(&delta), "filtering CPU delta {delta}");
+        }
+    }
+
+    #[test]
+    fn fig6c_memory_linear_in_rules() {
+        let mut tb = Testbed::new(5, 0);
+        let points = tb.memory_vs_rules(&[0, 5_000, 10_000, 20_000]);
+        assert!((39.0..45.0).contains(&points[0].with_filtering_mb));
+        assert!((80.0..105.0).contains(&points[3].with_filtering_mb));
+        // Monotone and near-linear.
+        for w in points.windows(2) {
+            assert!(w[1].with_filtering_mb > w[0].with_filtering_mb);
+        }
+        let slope1 = (points[1].with_filtering_mb - points[0].with_filtering_mb) / 5_000.0;
+        let slope2 = (points[3].with_filtering_mb - points[2].with_filtering_mb) / 10_000.0;
+        assert!((slope1 / slope2 - 1.0).abs() < 0.35, "near-linear growth");
+    }
+
+    #[test]
+    fn mean_std_edge_cases() {
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[5.0]), (5.0, 0.0));
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert!((s - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,198 @@
+//! WPS credential management: device-specific WPA2-PSKs (paper
+//! §III-A) and the legacy re-keying flow (§VIII-A).
+//!
+//! "Wireless devices use WiFi Protected Setup (WPS) to obtain
+//! device-specific credentials in the form of WPA2 Pre-Shared Keys
+//! (PSK) … as each device has a unique, device-specific PSK."
+//! For legacy installations, deprecating the shared network PSK
+//! triggers WPS re-keying for capable devices; the rest either remain
+//! in the untrusted overlay or require manual re-introduction.
+
+use std::collections::HashMap;
+
+use sentinel_net::MacAddr;
+
+use crate::error::GatewayError;
+
+/// A provisioned PSK credential (the key material itself is out of
+/// scope; the identifier models the credential slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PskCredential {
+    /// Unique credential id.
+    pub id: u64,
+    /// Whether this is a device-specific PSK (vs the shared legacy
+    /// network PSK).
+    pub device_specific: bool,
+}
+
+/// Outcome of deprecating the legacy network PSK.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RekeyReport {
+    /// Devices that obtained fresh device-specific PSKs via WPS.
+    pub rekeyed: Vec<MacAddr>,
+    /// Devices without WPS support that lost connectivity and need
+    /// manual re-introduction.
+    pub needs_manual_reintroduction: Vec<MacAddr>,
+}
+
+/// The gateway's WPS registrar.
+#[derive(Debug, Default)]
+pub struct WpsRegistrar {
+    next_id: u64,
+    credentials: HashMap<MacAddr, PskCredential>,
+    wps_capable: HashMap<MacAddr, bool>,
+    network_psk_active: bool,
+}
+
+impl WpsRegistrar {
+    /// Creates a registrar; the shared legacy network PSK starts
+    /// active (legacy installations) until deprecated.
+    pub fn new() -> Self {
+        WpsRegistrar {
+            next_id: 1,
+            credentials: HashMap::new(),
+            wps_capable: HashMap::new(),
+            network_psk_active: true,
+        }
+    }
+
+    /// Provisions a device-specific PSK for a new device joining via
+    /// WPS (the normal §III-A flow).
+    pub fn issue_device_psk(&mut self, mac: MacAddr) -> PskCredential {
+        let cred = PskCredential {
+            id: self.next_id,
+            device_specific: true,
+        };
+        self.next_id += 1;
+        self.credentials.insert(mac, cred);
+        self.wps_capable.insert(mac, true);
+        cred
+    }
+
+    /// Registers a legacy device currently authenticated with the
+    /// shared network PSK.
+    pub fn register_legacy(&mut self, mac: MacAddr, supports_wps: bool) {
+        let cred = PskCredential {
+            id: 0,
+            device_specific: false,
+        };
+        self.credentials.insert(mac, cred);
+        self.wps_capable.insert(mac, supports_wps);
+    }
+
+    /// The credential of `mac`, if any.
+    pub fn credential(&self, mac: MacAddr) -> Option<PskCredential> {
+        self.credentials.get(&mac).copied()
+    }
+
+    /// Whether the shared legacy network PSK is still accepted.
+    pub fn network_psk_active(&self) -> bool {
+        self.network_psk_active
+    }
+
+    /// Re-keys one WPS-capable device to a device-specific PSK.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GatewayError::UnknownDevice`] for unregistered
+    /// devices and [`GatewayError::WpsUnsupported`] for devices
+    /// without WPS.
+    pub fn rekey(&mut self, mac: MacAddr) -> Result<PskCredential, GatewayError> {
+        if !self.credentials.contains_key(&mac) {
+            return Err(GatewayError::UnknownDevice(mac));
+        }
+        if !self.wps_capable.get(&mac).copied().unwrap_or(false) {
+            return Err(GatewayError::WpsUnsupported(mac));
+        }
+        Ok(self.issue_device_psk(mac))
+    }
+
+    /// Deprecates the shared network PSK (§VIII-A): every WPS-capable
+    /// legacy device is re-keyed to a device-specific PSK; the rest
+    /// are reported for manual re-introduction.
+    pub fn deprecate_network_psk(&mut self) -> RekeyReport {
+        self.network_psk_active = false;
+        let mut report = RekeyReport::default();
+        let legacy: Vec<MacAddr> = self
+            .credentials
+            .iter()
+            .filter(|(_, c)| !c.device_specific)
+            .map(|(m, _)| *m)
+            .collect();
+        for mac in legacy {
+            if self.wps_capable.get(&mac).copied().unwrap_or(false) {
+                self.issue_device_psk(mac);
+                report.rekeyed.push(mac);
+            } else {
+                self.credentials.remove(&mac);
+                report.needs_manual_reintroduction.push(mac);
+            }
+        }
+        report.rekeyed.sort();
+        report.needs_manual_reintroduction.sort();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(last: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, last])
+    }
+
+    #[test]
+    fn issued_psks_are_unique_and_device_specific() {
+        let mut reg = WpsRegistrar::new();
+        let a = reg.issue_device_psk(mac(1));
+        let b = reg.issue_device_psk(mac(2));
+        assert_ne!(a.id, b.id);
+        assert!(a.device_specific);
+        assert_eq!(reg.credential(mac(1)), Some(a));
+    }
+
+    #[test]
+    fn legacy_devices_share_the_network_psk() {
+        let mut reg = WpsRegistrar::new();
+        reg.register_legacy(mac(1), true);
+        reg.register_legacy(mac(2), false);
+        assert!(!reg.credential(mac(1)).unwrap().device_specific);
+        assert!(reg.network_psk_active());
+    }
+
+    #[test]
+    fn rekey_requires_wps() {
+        let mut reg = WpsRegistrar::new();
+        reg.register_legacy(mac(1), true);
+        reg.register_legacy(mac(2), false);
+        assert!(reg.rekey(mac(1)).unwrap().device_specific);
+        assert!(matches!(
+            reg.rekey(mac(2)),
+            Err(GatewayError::WpsUnsupported(_))
+        ));
+        assert!(matches!(
+            reg.rekey(mac(9)),
+            Err(GatewayError::UnknownDevice(_))
+        ));
+    }
+
+    #[test]
+    fn deprecation_splits_devices_by_wps_support() {
+        let mut reg = WpsRegistrar::new();
+        reg.register_legacy(mac(1), true);
+        reg.register_legacy(mac(2), false);
+        reg.register_legacy(mac(3), true);
+        reg.issue_device_psk(mac(4)); // already device-specific
+        let report = reg.deprecate_network_psk();
+        assert_eq!(report.rekeyed, vec![mac(1), mac(3)]);
+        assert_eq!(report.needs_manual_reintroduction, vec![mac(2)]);
+        assert!(!reg.network_psk_active());
+        // Re-keyed devices now hold device-specific credentials.
+        assert!(reg.credential(mac(1)).unwrap().device_specific);
+        // Non-WPS devices lost their credential entirely.
+        assert!(reg.credential(mac(2)).is_none());
+        // Device-specific holders are untouched.
+        assert!(reg.credential(mac(4)).unwrap().device_specific);
+    }
+}

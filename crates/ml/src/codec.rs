@@ -1,0 +1,256 @@
+//! Line-oriented text codec for trained Random Forests.
+//!
+//! Companion to `sentinel-fingerprint`'s dataset codec: models stay
+//! diff-able and inspectable, and the workspace stays inside its
+//! approved dependency set (no `serde_json`). Thresholds are written
+//! as IEEE-754 bit patterns in hex, so round-trips are exact.
+//!
+//! ```text
+//! forest v1 <n_trees> <n_classes> <n_features>
+//! tree <n_nodes>
+//! l <count_0> <count_1> ... <count_{n_classes-1}>
+//! s <feature> <threshold_bits_hex> <left> <right>
+//! ...
+//! end forest
+//! ```
+//!
+//! [`read_forest`] consumes exactly one forest block from the reader,
+//! so blocks can be embedded inside larger documents (the
+//! `sentinel-core` identifier codec does this).
+//!
+//! # Example
+//!
+//! ```
+//! use sentinel_ml::{codec, ForestConfig, RandomForest};
+//!
+//! let samples = vec![vec![0.0], vec![0.1], vec![0.9], vec![1.0]];
+//! let labels = vec![0, 0, 1, 1];
+//! let forest = RandomForest::fit(&samples, &labels, 2, &ForestConfig::default(), 1)?;
+//!
+//! let mut buf = Vec::new();
+//! codec::write_forest(&mut buf, &forest)?;
+//! let back = codec::read_forest(&mut buf.as_slice())?;
+//! assert_eq!(back.predict(&[0.95])?, forest.predict(&[0.95])?);
+//! # Ok::<(), sentinel_ml::MlError>(())
+//! ```
+
+use std::io::{BufRead, Write};
+
+use crate::error::MlError;
+use crate::forest::RandomForest;
+use crate::tree::{DecisionTree, Node};
+
+/// Writes one forest block to `w` (a `&mut` writer also works).
+///
+/// # Errors
+///
+/// Returns [`MlError::Io`] for underlying write failures.
+pub fn write_forest<W: Write>(mut w: W, forest: &RandomForest) -> Result<(), MlError> {
+    writeln!(
+        w,
+        "forest v1 {} {} {}",
+        forest.n_trees(),
+        forest.n_classes(),
+        forest.n_features()
+    )?;
+    for tree in forest.trees() {
+        writeln!(w, "tree {}", tree.node_count())?;
+        for node in tree.nodes() {
+            match node {
+                Node::Leaf { counts } => {
+                    let rendered: Vec<String> = counts.iter().map(u32::to_string).collect();
+                    writeln!(w, "l {}", rendered.join(" "))?;
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    writeln!(w, "s {feature} {:08x} {left} {right}", threshold.to_bits())?;
+                }
+            }
+        }
+    }
+    writeln!(w, "end forest")?;
+    Ok(())
+}
+
+/// Reads exactly one forest block from `r` (pass `&mut reader` to keep
+/// reading the surrounding document afterwards).
+///
+/// # Errors
+///
+/// Returns [`MlError::Parse`] with a 1-based line number relative to
+/// the block start for malformed input, and [`MlError::Io`] for
+/// underlying read failures. Structural invariants (child indices,
+/// histogram sizes, dimensionality agreement) are re-validated on
+/// load, so a hand-edited file cannot produce a tree whose traversal
+/// would not terminate.
+pub fn read_forest<R: BufRead>(mut r: R) -> Result<RandomForest, MlError> {
+    let mut line_no = 0usize;
+    let header = read_line(&mut r, &mut line_no)?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("forest") || parts.next() != Some("v1") {
+        return Err(parse_err(line_no, "expected `forest v1` header"));
+    }
+    let n_trees: usize = parse_field(&mut parts, line_no, "tree count")?;
+    let n_classes: usize = parse_field(&mut parts, line_no, "class count")?;
+    let n_features: usize = parse_field(&mut parts, line_no, "feature count")?;
+
+    let mut trees = Vec::with_capacity(n_trees);
+    for _ in 0..n_trees {
+        let tree_header = read_line(&mut r, &mut line_no)?;
+        let mut parts = tree_header.split_whitespace();
+        if parts.next() != Some("tree") {
+            return Err(parse_err(line_no, "expected `tree <n_nodes>`"));
+        }
+        let n_nodes: usize = parse_field(&mut parts, line_no, "node count")?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let line = read_line(&mut r, &mut line_no)?;
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("l") => {
+                    let counts: Vec<u32> = parts
+                        .map(|t| t.parse().map_err(|_| parse_err(line_no, "bad leaf count")))
+                        .collect::<Result<_, _>>()?;
+                    nodes.push(Node::Leaf { counts });
+                }
+                Some("s") => {
+                    let feature: usize = parse_field(&mut parts, line_no, "split feature")?;
+                    let bits_token = parts
+                        .next()
+                        .ok_or_else(|| parse_err(line_no, "missing threshold"))?;
+                    let bits = u32::from_str_radix(bits_token, 16)
+                        .map_err(|_| parse_err(line_no, "bad threshold bit pattern"))?;
+                    let left: usize = parse_field(&mut parts, line_no, "left child")?;
+                    let right: usize = parse_field(&mut parts, line_no, "right child")?;
+                    nodes.push(Node::Split {
+                        feature,
+                        threshold: f32::from_bits(bits),
+                        left,
+                        right,
+                    });
+                }
+                _ => return Err(parse_err(line_no, "expected `l ...` or `s ...` node line")),
+            }
+        }
+        trees.push(
+            DecisionTree::from_parts(nodes, n_classes, n_features)
+                .map_err(|e| parse_err(line_no, &e.to_string()))?,
+        );
+    }
+    let footer = read_line(&mut r, &mut line_no)?;
+    if footer.trim() != "end forest" {
+        return Err(parse_err(line_no, "expected `end forest` footer"));
+    }
+    RandomForest::from_parts(trees, n_classes, n_features)
+        .map_err(|e| parse_err(line_no, &e.to_string()))
+}
+
+fn read_line<R: BufRead>(r: &mut R, line_no: &mut usize) -> Result<String, MlError> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    *line_no += 1;
+    if n == 0 {
+        return Err(parse_err(*line_no, "unexpected end of input"));
+    }
+    Ok(line.trim_end().to_string())
+}
+
+fn parse_err(line: usize, message: &str) -> MlError {
+    MlError::Parse {
+        line,
+        message: message.to_string(),
+    }
+}
+
+fn parse_field<'a, I: Iterator<Item = &'a str>>(
+    parts: &mut I,
+    line_no: usize,
+    what: &str,
+) -> Result<usize, MlError> {
+    parts
+        .next()
+        .ok_or_else(|| parse_err(line_no, &format!("missing {what}")))?
+        .parse()
+        .map_err(|_| parse_err(line_no, &format!("bad {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::ForestConfig;
+
+    fn trained_forest() -> RandomForest {
+        let mut samples = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            samples.push(vec![i as f32, (i * 7 % 13) as f32]);
+            labels.push(usize::from(i >= 15));
+        }
+        RandomForest::fit(&samples, &labels, 2, &ForestConfig::default(), 11).expect("fits")
+    }
+
+    #[test]
+    fn round_trip_preserves_every_prediction() {
+        let forest = trained_forest();
+        let mut buf = Vec::new();
+        write_forest(&mut buf, &forest).expect("writes");
+        let back = read_forest(&mut buf.as_slice()).expect("reads");
+        assert_eq!(back.n_trees(), forest.n_trees());
+        for i in 0..40 {
+            let sample = [i as f32, (i * 3 % 17) as f32];
+            assert_eq!(
+                back.predict_proba(&sample).unwrap(),
+                forest.predict_proba(&sample).unwrap(),
+                "prediction differs at {sample:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn embedded_block_leaves_reader_positioned_after_it() {
+        let forest = trained_forest();
+        let mut buf = Vec::new();
+        write_forest(&mut buf, &forest).expect("writes");
+        buf.extend_from_slice(b"trailing document content\n");
+        let mut reader = buf.as_slice();
+        let _ = read_forest(&mut reader).expect("reads");
+        let mut rest = String::new();
+        std::io::Read::read_to_string(&mut reader, &mut rest).unwrap();
+        assert_eq!(rest, "trailing document content\n");
+    }
+
+    #[test]
+    fn truncated_input_reports_line() {
+        let forest = trained_forest();
+        let mut buf = Vec::new();
+        write_forest(&mut buf, &forest).expect("writes");
+        buf.truncate(buf.len() / 2);
+        let err = read_forest(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, MlError::Parse { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn corrupt_child_index_is_rejected() {
+        // A split pointing at itself must not survive validation.
+        let doc = "forest v1 1 2 1\ntree 1\ns 0 3f800000 0 0\nend forest\n";
+        let err = read_forest(&mut doc.as_bytes()).unwrap_err();
+        assert!(matches!(err, MlError::Parse { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn wrong_header_is_rejected() {
+        let err = read_forest(&mut "woods v1 1 2 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, MlError::Parse { line: 1, .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn leaf_histogram_size_is_enforced() {
+        let doc = "forest v1 1 3 1\ntree 1\nl 4 5\nend forest\n";
+        let err = read_forest(&mut doc.as_bytes()).unwrap_err();
+        assert!(matches!(err, MlError::Parse { .. }), "got {err:?}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for classifier training and prediction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from Random Forest training or prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MlError {
+    /// No training samples were provided.
+    EmptyTrainingSet,
+    /// Samples and labels have different lengths.
+    LabelCountMismatch {
+        /// Number of samples.
+        samples: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A sample's feature count differs from the training dimension.
+    DimensionMismatch {
+        /// Dimension the model was trained with.
+        expected: usize,
+        /// Dimension of the offending sample.
+        got: usize,
+    },
+    /// A label was out of range for the declared class count.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// The declared number of classes.
+        classes: usize,
+    },
+    /// The configuration is unusable.
+    BadConfig(String),
+    /// A persisted model could not be parsed.
+    Parse {
+        /// 1-based line number within the model block.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// Underlying I/O failure while reading or writing a model (the
+    /// original error's message; `std::io::Error` itself is neither
+    /// `Clone` nor `PartialEq`).
+    Io(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyTrainingSet => write!(f, "training set is empty"),
+            MlError::LabelCountMismatch { samples, labels } => {
+                write!(f, "{samples} samples but {labels} labels")
+            }
+            MlError::DimensionMismatch { expected, got } => {
+                write!(f, "expected {expected} features, got {got}")
+            }
+            MlError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            MlError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            MlError::Parse { line, message } => {
+                write!(f, "model parse error at line {line}: {message}")
+            }
+            MlError::Io(msg) => write!(f, "model i/o error: {msg}"),
+        }
+    }
+}
+
+impl Error for MlError {}
+
+impl From<std::io::Error> for MlError {
+    fn from(e: std::io::Error) -> Self {
+        MlError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_numbers() {
+        let e = MlError::DimensionMismatch {
+            expected: 276,
+            got: 23,
+        };
+        assert!(e.to_string().contains("276"));
+        assert!(e.to_string().contains("23"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<MlError>();
+    }
+}

@@ -1,0 +1,267 @@
+//! Classification metrics: accuracy and labelled confusion matrices.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Fraction of predictions equal to their ground truth.
+///
+/// Returns 0.0 for empty input.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use sentinel_ml::accuracy;
+///
+/// assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 4]), 2.0 / 3.0);
+/// ```
+pub fn accuracy<T: PartialEq>(predicted: &[T], actual: &[T]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "prediction and truth lengths differ"
+    );
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let correct = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
+    correct as f64 / predicted.len() as f64
+}
+
+/// A confusion matrix over string class labels.
+///
+/// Rows are actual classes, columns predicted classes — the layout of
+/// Table III in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use sentinel_ml::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new();
+/// cm.record("cat", "cat");
+/// cm.record("cat", "dog");
+/// cm.record("dog", "dog");
+/// assert_eq!(cm.count("cat", "dog"), 1);
+/// assert!((cm.recall("cat").unwrap() - 0.5).abs() < 1e-9);
+/// assert!((cm.overall_accuracy() - 2.0 / 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// counts[actual][predicted].
+    counts: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        ConfusionMatrix::default()
+    }
+
+    /// Records one prediction.
+    pub fn record(&mut self, actual: &str, predicted: &str) {
+        *self
+            .counts
+            .entry(actual.to_string())
+            .or_default()
+            .entry(predicted.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Merges another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        for (actual, row) in &other.counts {
+            for (predicted, n) in row {
+                *self
+                    .counts
+                    .entry(actual.clone())
+                    .or_default()
+                    .entry(predicted.clone())
+                    .or_insert(0) += n;
+            }
+        }
+    }
+
+    /// The count of samples of class `actual` predicted as `predicted`.
+    pub fn count(&self, actual: &str, predicted: &str) -> usize {
+        self.counts
+            .get(actual)
+            .and_then(|row| row.get(predicted))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All labels appearing as actual or predicted, sorted.
+    pub fn labels(&self) -> Vec<String> {
+        let mut labels: Vec<String> = self.counts.keys().cloned().collect();
+        for row in self.counts.values() {
+            labels.extend(row.keys().cloned());
+        }
+        labels.sort();
+        labels.dedup();
+        labels
+    }
+
+    /// Total samples of class `actual`.
+    pub fn row_total(&self, actual: &str) -> usize {
+        self.counts
+            .get(actual)
+            .map(|row| row.values().sum())
+            .unwrap_or(0)
+    }
+
+    /// Recall (correct-identification ratio) of a class: the diagonal
+    /// count over the row total. `None` if the class was never seen.
+    /// This is the per-device "ratio of correct identification"
+    /// plotted in Fig. 5.
+    pub fn recall(&self, actual: &str) -> Option<f64> {
+        let total = self.row_total(actual);
+        if total == 0 {
+            return None;
+        }
+        Some(self.count(actual, actual) as f64 / total as f64)
+    }
+
+    /// Micro-averaged accuracy: diagonal sum over grand total.
+    pub fn overall_accuracy(&self) -> f64 {
+        let mut diag = 0usize;
+        let mut total = 0usize;
+        for (actual, row) in &self.counts {
+            for (predicted, n) in row {
+                total += n;
+                if actual == predicted {
+                    diag += n;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            diag as f64 / total as f64
+        }
+    }
+
+    /// Macro-averaged recall over all actual classes (the "global
+    /// ratio of correct identification" the paper reports as 0.815).
+    pub fn macro_recall(&self) -> f64 {
+        let rows: Vec<f64> = self
+            .counts
+            .keys()
+            .filter_map(|label| self.recall(label))
+            .collect();
+        if rows.is_empty() {
+            0.0
+        } else {
+            rows.iter().sum::<f64>() / rows.len() as f64
+        }
+    }
+
+    /// Total number of recorded predictions.
+    pub fn total(&self) -> usize {
+        self.counts
+            .values()
+            .map(|row| row.values().sum::<usize>())
+            .sum()
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    /// Renders an aligned A\P table like Table III of the paper.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let labels = self.labels();
+        let width = labels
+            .iter()
+            .map(|l| l.len())
+            .chain(std::iter::once(4))
+            .max()
+            .unwrap_or(4)
+            .max(5);
+        write!(f, "{:>width$} |", "A\\P")?;
+        for l in &labels {
+            write!(f, " {l:>width$}")?;
+        }
+        writeln!(f)?;
+        for actual in &labels {
+            write!(f, "{actual:>width$} |")?;
+            for predicted in &labels {
+                write!(f, " {:>width$}", self.count(actual, predicted))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy::<u32>(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1, 1], &[1, 1]), 1.0);
+        assert_eq!(accuracy(&[1, 2], &[2, 1]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn accuracy_rejects_mismatched_lengths() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn matrix_counts_and_recall() {
+        let mut cm = ConfusionMatrix::new();
+        for _ in 0..8 {
+            cm.record("a", "a");
+        }
+        for _ in 0..2 {
+            cm.record("a", "b");
+        }
+        for _ in 0..10 {
+            cm.record("b", "b");
+        }
+        assert_eq!(cm.count("a", "a"), 8);
+        assert_eq!(cm.row_total("a"), 10);
+        assert_eq!(cm.recall("a"), Some(0.8));
+        assert_eq!(cm.recall("b"), Some(1.0));
+        assert_eq!(cm.recall("zzz"), None);
+        assert!((cm.macro_recall() - 0.9).abs() < 1e-9);
+        assert!((cm.overall_accuracy() - 0.9).abs() < 1e-9);
+        assert_eq!(cm.total(), 20);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ConfusionMatrix::new();
+        a.record("x", "x");
+        let mut b = ConfusionMatrix::new();
+        b.record("x", "y");
+        b.record("x", "x");
+        a.merge(&b);
+        assert_eq!(a.count("x", "x"), 2);
+        assert_eq!(a.count("x", "y"), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn labels_include_predicted_only_classes() {
+        let mut cm = ConfusionMatrix::new();
+        cm.record("a", "phantom");
+        assert_eq!(cm.labels(), vec!["a".to_string(), "phantom".to_string()]);
+    }
+
+    #[test]
+    fn display_renders_all_cells() {
+        let mut cm = ConfusionMatrix::new();
+        cm.record("one", "one");
+        cm.record("one", "two");
+        cm.record("two", "two");
+        let rendered = cm.to_string();
+        assert!(rendered.contains("A\\P"));
+        assert!(rendered.lines().count() >= 3);
+    }
+}

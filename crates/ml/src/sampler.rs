@@ -1,0 +1,124 @@
+//! Index sampling utilities: bootstrap resampling for bagging and
+//! without-replacement subsampling (used by `sentinel-core` to pick the
+//! 10×n negative training fingerprints, §IV-B-1).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Draws `n` indices uniformly from `0..n` **with** replacement — one
+/// bootstrap resample, as used for each tree in a Random Forest.
+///
+/// Returns an empty vector when `n` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sentinel_ml::sampler::bootstrap_indices;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let idx = bootstrap_indices(100, &mut rng);
+/// assert_eq!(idx.len(), 100);
+/// assert!(idx.iter().all(|i| *i < 100));
+/// ```
+pub fn bootstrap_indices<R: Rng>(n: usize, rng: &mut R) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    (0..n).map(|_| rng.gen_range(0..n)).collect()
+}
+
+/// Draws `k` distinct indices from `0..n` **without** replacement, in
+/// random order. If `k >= n`, returns all `n` indices shuffled.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sentinel_ml::sampler::sample_without_replacement;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+/// let idx = sample_without_replacement(10, 4, &mut rng);
+/// assert_eq!(idx.len(), 4);
+/// let mut sorted = idx.clone();
+/// sorted.sort_unstable();
+/// sorted.dedup();
+/// assert_eq!(sorted.len(), 4, "indices are distinct");
+/// ```
+pub fn sample_without_replacement<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    let mut all: Vec<usize> = (0..n).collect();
+    all.shuffle(rng);
+    all.truncate(k.min(n));
+    all
+}
+
+/// Picks `k` distinct elements from `items` without replacement,
+/// cloning them. If `k >= items.len()`, returns all items shuffled.
+pub fn choose_without_replacement<T: Clone, R: Rng>(items: &[T], k: usize, rng: &mut R) -> Vec<T> {
+    sample_without_replacement(items.len(), k, rng)
+        .into_iter()
+        .map(|i| items[i].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bootstrap_has_repeats_with_high_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let idx = bootstrap_indices(200, &mut rng);
+        let mut unique = idx.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        // Expected unique fraction ≈ 1 - 1/e ≈ 0.632.
+        assert!(unique.len() < 170, "bootstrap should repeat indices");
+        assert!(unique.len() > 90);
+    }
+
+    #[test]
+    fn bootstrap_of_zero_is_empty() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(bootstrap_indices(0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn without_replacement_caps_at_n() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let idx = sample_without_replacement(5, 50, &mut rng);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn without_replacement_distinct() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let idx = sample_without_replacement(50, 20, &mut rng);
+            let mut sorted = idx.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 20);
+        }
+    }
+
+    #[test]
+    fn choose_clones_items() {
+        let items = vec!["a", "b", "c", "d"];
+        let mut rng = SmallRng::seed_from_u64(7);
+        let chosen = choose_without_replacement(&items, 2, &mut rng);
+        assert_eq!(chosen.len(), 2);
+        assert!(chosen.iter().all(|c| items.contains(c)));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = bootstrap_indices(30, &mut SmallRng::seed_from_u64(8));
+        let b = bootstrap_indices(30, &mut SmallRng::seed_from_u64(8));
+        assert_eq!(a, b);
+    }
+}

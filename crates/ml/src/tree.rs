@@ -1,0 +1,617 @@
+//! CART decision trees with Gini-impurity splitting.
+//!
+//! Each tree greedily picks, at every node, the `(feature, threshold)`
+//! pair minimising the weighted Gini impurity of the two children,
+//! considering only a random subset of features per node (the "random"
+//! in Random Forest). Thresholds are midpoints between distinct
+//! adjacent sorted values.
+
+use rand::Rng;
+
+use crate::error::MlError;
+use crate::sampler::sample_without_replacement;
+
+/// How many features to examine at each split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureSubsample {
+    /// √d features (Breiman's default for classification).
+    Sqrt,
+    /// log₂(d)+1 features.
+    Log2,
+    /// All features (bagged trees without feature randomness).
+    All,
+    /// A fixed count (clamped to d).
+    Fixed(usize),
+}
+
+impl FeatureSubsample {
+    /// Resolves the subsample size for dimensionality `d`.
+    pub fn resolve(self, d: usize) -> usize {
+        let n = match self {
+            FeatureSubsample::Sqrt => (d as f64).sqrt().round() as usize,
+            FeatureSubsample::Log2 => (d as f64).log2().floor() as usize + 1,
+            FeatureSubsample::All => d,
+            FeatureSubsample::Fixed(n) => n,
+        };
+        n.clamp(1, d.max(1))
+    }
+}
+
+/// Decision tree hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples each child must keep for a split to be valid.
+    pub min_samples_leaf: usize,
+    /// Per-node feature subsampling policy.
+    pub feature_subsample: FeatureSubsample,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 24,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            feature_subsample: FeatureSubsample::Sqrt,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Node {
+    Leaf {
+        /// Class-count histogram of the training samples in this leaf.
+        counts: Vec<u32>,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        /// Index of the left child (`<= threshold`).
+        left: usize,
+        /// Index of the right child (`> threshold`).
+        right: usize,
+    },
+}
+
+/// A trained CART decision tree.
+///
+/// Normally built through [`crate::RandomForest`]; exposed for tests,
+/// ablations and single-tree baselines.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `samples` (rows) with integer `labels` in
+    /// `0..n_classes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError`] for an empty training set, mismatched
+    /// sample/label counts, inconsistent dimensions or out-of-range
+    /// labels.
+    pub fn fit<R: Rng>(
+        samples: &[Vec<f32>],
+        labels: &[usize],
+        n_classes: usize,
+        config: &TreeConfig,
+        rng: &mut R,
+    ) -> Result<Self, MlError> {
+        validate(samples, labels, n_classes)?;
+        let n_features = samples[0].len();
+        let indices: Vec<usize> = (0..samples.len()).collect();
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_classes,
+            n_features,
+        };
+        tree.build(samples, labels, indices, 0, config, rng);
+        Ok(tree)
+    }
+
+    /// Reassembles a tree from its flat node list (the persistence
+    /// path), validating the same invariants `fit` guarantees: leaf
+    /// histograms sized to `n_classes`, split features within
+    /// `n_features`, and child indices that point strictly forward (so
+    /// traversal always terminates).
+    pub(crate) fn from_parts(
+        nodes: Vec<Node>,
+        n_classes: usize,
+        n_features: usize,
+    ) -> Result<Self, MlError> {
+        if nodes.is_empty() {
+            return Err(MlError::BadConfig("tree has no nodes".into()));
+        }
+        if n_classes == 0 || n_features == 0 {
+            return Err(MlError::BadConfig(
+                "tree needs at least one class and one feature".into(),
+            ));
+        }
+        for (idx, node) in nodes.iter().enumerate() {
+            match node {
+                Node::Leaf { counts } => {
+                    if counts.len() != n_classes {
+                        return Err(MlError::BadConfig(format!(
+                            "leaf {idx} has {} class counts, expected {n_classes}",
+                            counts.len()
+                        )));
+                    }
+                }
+                Node::Split {
+                    feature,
+                    left,
+                    right,
+                    ..
+                } => {
+                    if *feature >= n_features {
+                        return Err(MlError::BadConfig(format!(
+                            "split {idx} tests feature {feature}, dimension is {n_features}"
+                        )));
+                    }
+                    if *left <= idx
+                        || *right <= idx
+                        || *left >= nodes.len()
+                        || *right >= nodes.len()
+                    {
+                        return Err(MlError::BadConfig(format!(
+                            "split {idx} has invalid children {left}/{right} (nodes: {})",
+                            nodes.len()
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(DecisionTree {
+            nodes,
+            n_classes,
+            n_features,
+        })
+    }
+
+    /// The flat node list (children of node `i` always have indices
+    /// greater than `i`).
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of classes the tree was trained with.
+    pub(crate) fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaf nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Training feature dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Predicts the class of `sample`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] for a wrong-length sample.
+    pub fn predict(&self, sample: &[f32]) -> Result<usize, MlError> {
+        let counts = self.leaf_counts(sample)?;
+        Ok(argmax(counts))
+    }
+
+    /// Returns the class-count histogram of the leaf `sample` lands in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] for a wrong-length sample.
+    pub fn leaf_counts(&self, sample: &[f32]) -> Result<&[u32], MlError> {
+        if sample.len() != self.n_features {
+            return Err(MlError::DimensionMismatch {
+                expected: self.n_features,
+                got: sample.len(),
+            });
+        }
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { counts } => return Ok(counts),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if sample[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    fn build<R: Rng>(
+        &mut self,
+        samples: &[Vec<f32>],
+        labels: &[usize],
+        indices: Vec<usize>,
+        depth: usize,
+        config: &TreeConfig,
+        rng: &mut R,
+    ) -> usize {
+        let counts = class_counts(labels, &indices, self.n_classes);
+        let node_impurity = gini(&counts, indices.len());
+        let stop = depth >= config.max_depth
+            || indices.len() < config.min_samples_split
+            || node_impurity == 0.0;
+        if !stop {
+            if let Some(split) = self.find_best_split(samples, labels, &indices, config, rng) {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|i| samples[**i][split.feature] <= split.threshold);
+                if left_idx.len() >= config.min_samples_leaf
+                    && right_idx.len() >= config.min_samples_leaf
+                {
+                    let node_index = self.nodes.len();
+                    self.nodes.push(Node::Split {
+                        feature: split.feature,
+                        threshold: split.threshold,
+                        left: 0,
+                        right: 0,
+                    });
+                    let left = self.build(samples, labels, left_idx, depth + 1, config, rng);
+                    let right = self.build(samples, labels, right_idx, depth + 1, config, rng);
+                    if let Node::Split {
+                        left: l, right: r, ..
+                    } = &mut self.nodes[node_index]
+                    {
+                        *l = left;
+                        *r = right;
+                    }
+                    return node_index;
+                }
+            }
+        }
+        let node_index = self.nodes.len();
+        self.nodes.push(Node::Leaf { counts });
+        node_index
+    }
+
+    fn find_best_split<R: Rng>(
+        &self,
+        samples: &[Vec<f32>],
+        labels: &[usize],
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut R,
+    ) -> Option<SplitCandidate> {
+        let k = config.feature_subsample.resolve(self.n_features);
+        // Walk a full random permutation of features, but only count
+        // features that actually offer a split (non-constant over this
+        // node) against the subsample budget k. This mirrors sklearn's
+        // splitter and keeps trees useful on sparse feature vectors
+        // like F′, where most features are constant in any given node.
+        let features = sample_without_replacement(self.n_features, self.n_features, rng);
+        let mut useful_seen = 0usize;
+        let parent_counts = class_counts(labels, indices, self.n_classes);
+        let parent_gini = gini(&parent_counts, indices.len());
+        let n = indices.len() as f64;
+        let mut best: Option<SplitCandidate> = None;
+        for feature in features {
+            if useful_seen >= k {
+                break;
+            }
+            // Sort indices by this feature's value.
+            let mut order: Vec<usize> = indices.to_vec();
+            order.sort_by(|a, b| {
+                samples[*a][feature]
+                    .partial_cmp(&samples[*b][feature])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut left_counts = vec![0u32; self.n_classes];
+            let mut left_n = 0usize;
+            let mut feature_useful = false;
+            for w in 0..order.len() - 1 {
+                let idx = order[w];
+                left_counts[labels[idx]] += 1;
+                left_n += 1;
+                let cur = samples[idx][feature];
+                let next = samples[order[w + 1]][feature];
+                if cur == next {
+                    continue; // can't split between equal values
+                }
+                feature_useful = true;
+                let right_n = indices.len() - left_n;
+                let right_counts: Vec<u32> = parent_counts
+                    .iter()
+                    .zip(&left_counts)
+                    .map(|(p, l)| p - l)
+                    .collect();
+                let weighted = (left_n as f64 / n) * gini(&left_counts, left_n)
+                    + (right_n as f64 / n) * gini(&right_counts, right_n);
+                let gain = parent_gini - weighted;
+                // Zero-gain splits are accepted (as in sklearn's CART):
+                // XOR-like structure has no first split with positive
+                // gain, yet deeper splits separate it perfectly. Node
+                // size strictly decreases, so recursion terminates.
+                if gain >= 0.0 && best.as_ref().is_none_or(|b| gain > b.gain) {
+                    best = Some(SplitCandidate {
+                        feature,
+                        threshold: midpoint(cur, next),
+                        gain,
+                    });
+                }
+            }
+            if feature_useful {
+                useful_seen += 1;
+            }
+        }
+        best
+    }
+}
+
+#[derive(Debug)]
+struct SplitCandidate {
+    feature: usize,
+    threshold: f32,
+    gain: f64,
+}
+
+/// Midpoint of two floats that is guaranteed to be `>= a` and `< b`
+/// under f32 rounding.
+fn midpoint(a: f32, b: f32) -> f32 {
+    let mid = a + (b - a) / 2.0;
+    if mid >= b {
+        a
+    } else {
+        mid
+    }
+}
+
+fn class_counts(labels: &[usize], indices: &[usize], n_classes: usize) -> Vec<u32> {
+    let mut counts = vec![0u32; n_classes];
+    for &i in indices {
+        counts[labels[i]] += 1;
+    }
+    counts
+}
+
+/// Gini impurity of a class histogram over `total` samples.
+fn gini(counts: &[u32], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|c| {
+            let p = f64::from(*c) / t;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+fn argmax(counts: &[u32]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, c)| **c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+pub(crate) fn validate(
+    samples: &[Vec<f32>],
+    labels: &[usize],
+    n_classes: usize,
+) -> Result<(), MlError> {
+    if samples.is_empty() {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    if samples.len() != labels.len() {
+        return Err(MlError::LabelCountMismatch {
+            samples: samples.len(),
+            labels: labels.len(),
+        });
+    }
+    let d = samples[0].len();
+    if d == 0 {
+        return Err(MlError::BadConfig("samples have zero features".into()));
+    }
+    for s in samples {
+        if s.len() != d {
+            return Err(MlError::DimensionMismatch {
+                expected: d,
+                got: s.len(),
+            });
+        }
+    }
+    for &l in labels {
+        if l >= n_classes {
+            return Err(MlError::LabelOutOfRange {
+                label: l,
+                classes: n_classes,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn gini_values() {
+        assert_eq!(gini(&[10, 0], 10), 0.0);
+        assert!((gini(&[5, 5], 10) - 0.5).abs() < 1e-9);
+        assert!((gini(&[2, 2, 2, 2], 8) - 0.75).abs() < 1e-9);
+        assert_eq!(gini(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn learns_single_threshold() {
+        let samples: Vec<Vec<f32>> = (0..40).map(|i| vec![i as f32]).collect();
+        let labels: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+        let config = TreeConfig {
+            feature_subsample: FeatureSubsample::All,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&samples, &labels, 2, &config, &mut rng()).unwrap();
+        for i in 0..40 {
+            assert_eq!(tree.predict(&[i as f32]).unwrap(), usize::from(i >= 20));
+        }
+        // Perfectly separable 1D data needs exactly one split.
+        assert_eq!(tree.node_count(), 3);
+    }
+
+    #[test]
+    fn learns_xor_with_depth() {
+        let mut samples = Vec::new();
+        let mut labels = Vec::new();
+        for x in 0..2 {
+            for y in 0..2 {
+                for _ in 0..10 {
+                    samples.push(vec![x as f32, y as f32]);
+                    labels.push(x ^ y);
+                }
+            }
+        }
+        let config = TreeConfig {
+            feature_subsample: FeatureSubsample::All,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&samples, &labels, 2, &config, &mut rng()).unwrap();
+        assert_eq!(tree.predict(&[0.0, 0.0]).unwrap(), 0);
+        assert_eq!(tree.predict(&[1.0, 0.0]).unwrap(), 1);
+        assert_eq!(tree.predict(&[0.0, 1.0]).unwrap(), 1);
+        assert_eq!(tree.predict(&[1.0, 1.0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn max_depth_zero_gives_single_leaf() {
+        let samples: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let labels: Vec<usize> = (0..10).map(|i| i % 2).collect();
+        let config = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&samples, &labels, 2, &config, &mut rng()).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.leaf_count(), 1);
+    }
+
+    #[test]
+    fn pure_node_stops_splitting() {
+        let samples: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let labels = vec![1usize; 10];
+        let tree =
+            DecisionTree::fit(&samples, &labels, 2, &TreeConfig::default(), &mut rng()).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[100.0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn constant_features_cannot_split() {
+        let samples: Vec<Vec<f32>> = (0..10).map(|_| vec![3.0, 3.0]).collect();
+        let labels: Vec<usize> = (0..10).map(|i| i % 2).collect();
+        let tree =
+            DecisionTree::fit(&samples, &labels, 2, &TreeConfig::default(), &mut rng()).unwrap();
+        assert_eq!(tree.node_count(), 1, "no valid split exists");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let empty: Vec<Vec<f32>> = Vec::new();
+        assert_eq!(
+            DecisionTree::fit(&empty, &[], 2, &TreeConfig::default(), &mut rng()).unwrap_err(),
+            MlError::EmptyTrainingSet
+        );
+        let samples = vec![vec![1.0], vec![2.0]];
+        assert!(matches!(
+            DecisionTree::fit(&samples, &[0], 2, &TreeConfig::default(), &mut rng()).unwrap_err(),
+            MlError::LabelCountMismatch { .. }
+        ));
+        let ragged = vec![vec![1.0], vec![2.0, 3.0]];
+        assert!(matches!(
+            DecisionTree::fit(&ragged, &[0, 1], 2, &TreeConfig::default(), &mut rng()).unwrap_err(),
+            MlError::DimensionMismatch { .. }
+        ));
+        let samples = vec![vec![1.0], vec![2.0]];
+        assert!(matches!(
+            DecisionTree::fit(&samples, &[0, 5], 2, &TreeConfig::default(), &mut rng())
+                .unwrap_err(),
+            MlError::LabelOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn predict_rejects_wrong_dimension() {
+        let samples = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let tree =
+            DecisionTree::fit(&samples, &[0, 1], 2, &TreeConfig::default(), &mut rng()).unwrap();
+        assert!(matches!(
+            tree.predict(&[1.0]).unwrap_err(),
+            MlError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn feature_subsample_resolution() {
+        assert_eq!(FeatureSubsample::Sqrt.resolve(276), 17);
+        assert_eq!(FeatureSubsample::Log2.resolve(276), 9);
+        assert_eq!(FeatureSubsample::All.resolve(276), 276);
+        assert_eq!(FeatureSubsample::Fixed(5).resolve(276), 5);
+        assert_eq!(FeatureSubsample::Fixed(500).resolve(276), 276);
+        assert_eq!(FeatureSubsample::Fixed(0).resolve(276), 1);
+        assert_eq!(FeatureSubsample::Sqrt.resolve(1), 1);
+    }
+
+    #[test]
+    fn midpoint_never_reaches_upper() {
+        assert!(midpoint(1.0, 1.0000001) < 1.0000001);
+        assert!(midpoint(0.0, 1.0) == 0.5);
+        let a = 1.0f32;
+        let b = f32::from_bits(a.to_bits() + 1);
+        assert!(midpoint(a, b) < b);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let samples: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        // One odd sample out: splitting it off would need a leaf of 1.
+        let labels = vec![0, 1, 1, 1, 1, 1, 1, 1, 1, 1];
+        let config = TreeConfig {
+            min_samples_leaf: 3,
+            feature_subsample: FeatureSubsample::All,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&samples, &labels, 2, &config, &mut rng()).unwrap();
+        assert_eq!(tree.node_count(), 1, "split would violate min_samples_leaf");
+    }
+}

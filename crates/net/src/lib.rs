@@ -1,0 +1,62 @@
+//! Network packet substrate for the IoT Sentinel reproduction.
+//!
+//! This crate stands in for the capture plane of the paper's lab setup
+//! (tcpdump on the Security Gateway's WiFi and Ethernet interfaces). It
+//! provides:
+//!
+//! * a **decoded packet model** ([`Packet`]) carrying exactly the
+//!   header-level information the IoT Sentinel fingerprint consumes
+//!   (link/network/transport/application protocols, IP options, sizes,
+//!   ports, addresses — never payload semantics),
+//! * a **wire codec** ([`wire`]) that encodes and decodes real byte
+//!   frames for Ethernet, ARP, IPv4/IPv6, TCP/UDP, ICMP/ICMPv6, DHCP/BOOTP,
+//!   DNS/mDNS, SSDP, NTP, EAPoL, HTTP and TLS client hellos,
+//! * **pcap I/O** ([`pcap`]) in the classic libpcap format so captures can
+//!   be persisted and exchanged, and
+//! * a **capture monitor** ([`capture`]) that watches a frame stream for
+//!   previously unseen MAC addresses and collects each new device's setup
+//!   traffic until the packet rate decays, mirroring §IV-A of the paper
+//!   ("the end of the setup phase can be automatically identified by a
+//!   decrease in the rate of packets sent").
+//!
+//! Device behaviour simulation lives in `sentinel-devices`; feature
+//! extraction lives in `sentinel-fingerprint`. Both operate on the types
+//! defined here.
+//!
+//! # Example
+//!
+//! ```
+//! use sentinel_net::wire;
+//! use sentinel_net::{MacAddr, SimTime};
+//!
+//! // Compose a DHCP Discover as raw bytes, then decode it back.
+//! let device = MacAddr::new([0x13, 0x73, 0x74, 0x7e, 0xa9, 0xc2]);
+//! let frame = wire::compose::dhcp_discover(device, 0x1234, "sensor");
+//! let packet = wire::decode_frame(&frame, SimTime::ZERO)?;
+//! assert_eq!(packet.src_mac(), device);
+//! assert!(packet.app().is_some());
+//! # Ok::<(), sentinel_net::WireError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod error;
+pub mod mac;
+pub mod packet;
+pub mod pcap;
+pub mod port;
+pub mod protocol;
+pub mod time;
+pub mod wire;
+
+pub use capture::{
+    CaptureMonitor, CapturedFrame, DeviceCapture, SetupDetectorConfig, TraceCapture,
+};
+pub use error::WireError;
+pub use mac::MacAddr;
+pub use packet::{AppPayload, LinkHeader, NetHeader, Packet, PacketBuilder, TransportHeader};
+pub use port::{Port, PortClass};
+pub use protocol::{AppProtocol, EtherType, IpProtocol};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,925 @@
+//! The decoded, header-level packet model.
+//!
+//! A [`Packet`] is what the Security Gateway's monitoring plane sees after
+//! parsing a captured frame: per-layer protocol identification plus the
+//! handful of header fields the IoT Sentinel fingerprint consumes. It
+//! deliberately does **not** retain payload contents — the paper's
+//! features "do not rely on packet payload, ensuring that fingerprints can
+//! be extracted from encrypted traffic" (§IV-A).
+//!
+//! Packets are normally produced by [`crate::wire::decode_frame`]; the
+//! [`PacketBuilder`] exists for tests and synthetic scenarios that do not
+//! need byte-level realism.
+
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use crate::mac::MacAddr;
+use crate::port::Port;
+use crate::protocol::{AppProtocol, EtherType, IpProtocol};
+use crate::time::SimTime;
+
+/// Link-layer framing of a captured packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkHeader {
+    /// Ethernet II framing with an EtherType.
+    Ethernet {
+        /// The EtherType of the payload.
+        ethertype: EtherType,
+    },
+    /// IEEE 802.3 with an 802.2 LLC header (length field ≤ 1500).
+    Llc {
+        /// Destination service access point.
+        dsap: u8,
+        /// Source service access point.
+        ssap: u8,
+        /// LLC control field.
+        control: u8,
+    },
+}
+
+/// Decoded ARP fields relevant to monitoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArpInfo {
+    /// Operation: 1 = request, 2 = reply.
+    pub operation: u16,
+    /// Sender protocol (IPv4) address.
+    pub sender_ip: Ipv4Addr,
+    /// Target protocol (IPv4) address.
+    pub target_ip: Ipv4Addr,
+}
+
+/// Decoded IPv4 fields relevant to monitoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ipv4Info {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// The transport protocol number.
+    pub protocol: IpProtocol,
+    /// Time-to-live.
+    pub ttl: u8,
+    /// Whether the header options contained padding (NOP/EOL) bytes —
+    /// fingerprint feature 17.
+    pub has_padding_option: bool,
+    /// Whether the header options contained Router Alert (RFC 2113) —
+    /// fingerprint feature 18.
+    pub has_router_alert: bool,
+}
+
+/// Decoded IPv6 fields relevant to monitoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ipv6Info {
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+    /// The next-header protocol (after any hop-by-hop options).
+    pub protocol: IpProtocol,
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// Whether a hop-by-hop Router Alert option was present (used by
+    /// MLD reports).
+    pub has_router_alert: bool,
+}
+
+/// Network-layer content of a captured packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetHeader {
+    /// Address Resolution Protocol.
+    Arp(ArpInfo),
+    /// IPv4.
+    Ipv4(Ipv4Info),
+    /// IPv6.
+    Ipv6(Ipv6Info),
+    /// EAP over LAN (802.1X), e.g. the WPA2 four-way handshake.
+    Eapol {
+        /// EAPoL protocol version.
+        version: u8,
+        /// EAPoL packet type (0 = EAP packet, 1 = Start, 3 = Key, …).
+        packet_type: u8,
+    },
+}
+
+/// TCP header flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags {
+    /// SYN flag.
+    pub syn: bool,
+    /// ACK flag.
+    pub ack: bool,
+    /// FIN flag.
+    pub fin: bool,
+    /// RST flag.
+    pub rst: bool,
+    /// PSH flag.
+    pub psh: bool,
+}
+
+impl TcpFlags {
+    /// Flags for an initial SYN segment.
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+        psh: false,
+    };
+
+    /// Encodes the flags into the low byte of the TCP flags field.
+    pub fn to_byte(self) -> u8 {
+        (self.fin as u8)
+            | (self.syn as u8) << 1
+            | (self.rst as u8) << 2
+            | (self.psh as u8) << 3
+            | (self.ack as u8) << 4
+    }
+
+    /// Decodes flags from the low byte of the TCP flags field.
+    pub fn from_byte(b: u8) -> TcpFlags {
+        TcpFlags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            psh: b & 0x08 != 0,
+            ack: b & 0x10 != 0,
+        }
+    }
+}
+
+/// Transport-layer content of a captured packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportHeader {
+    /// TCP segment.
+    Tcp {
+        /// Source port.
+        src_port: Port,
+        /// Destination port.
+        dst_port: Port,
+        /// Header flags.
+        flags: TcpFlags,
+    },
+    /// UDP datagram.
+    Udp {
+        /// Source port.
+        src_port: Port,
+        /// Destination port.
+        dst_port: Port,
+    },
+    /// ICMP (v4) message.
+    Icmp {
+        /// ICMP type.
+        icmp_type: u8,
+        /// ICMP code.
+        code: u8,
+    },
+    /// ICMPv6 message.
+    Icmpv6 {
+        /// ICMPv6 type.
+        icmp_type: u8,
+        /// ICMPv6 code.
+        code: u8,
+    },
+    /// IGMP message (multicast group management).
+    Igmp {
+        /// IGMP message type.
+        msg_type: u8,
+    },
+}
+
+/// Application-layer classification of a captured packet.
+///
+/// Variants carry the minimal decoded summary needed by higher layers;
+/// payload bytes themselves are not retained.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AppPayload {
+    /// DHCP (BOOTP with option 53). Carries the DHCP message type code
+    /// (1 = Discover, 3 = Request, …).
+    Dhcp {
+        /// DHCP message type (option 53 value).
+        message_type: u8,
+    },
+    /// Plain BOOTP without a DHCP message-type option.
+    Bootp,
+    /// DNS or mDNS query/response. The mDNS distinction is made by port.
+    Dns {
+        /// Whether this was a response (QR bit).
+        response: bool,
+        /// Number of question entries.
+        questions: u16,
+    },
+    /// SSDP (M-SEARCH / NOTIFY over UDP 1900).
+    Ssdp {
+        /// SSDP method, e.g. `M-SEARCH` or `NOTIFY`.
+        method: String,
+    },
+    /// NTP client or server packet.
+    Ntp {
+        /// NTP mode (3 = client, 4 = server).
+        mode: u8,
+    },
+    /// Plain HTTP request or response.
+    Http {
+        /// Method for requests (`GET`, `POST`, …) or `RESPONSE`.
+        method: String,
+    },
+    /// TLS record (observed on 443 → HTTPS classification).
+    Tls {
+        /// TLS record content type (22 = handshake, 23 = application
+        /// data).
+        content_type: u8,
+    },
+    /// Payload bytes were present but not attributable to any codec.
+    Opaque {
+        /// Number of unattributed payload bytes.
+        len: usize,
+    },
+}
+
+impl AppPayload {
+    /// Whether this payload counts as "raw data" for fingerprint feature
+    /// 20. Text and opaque payloads (HTTP, SSDP, TLS, unknown bytes)
+    /// count; fully-structured binary control protocols (DHCP, BOOTP,
+    /// DNS, NTP) do not — matching what a scapy-style parser would leave
+    /// in a `Raw` layer.
+    pub fn is_raw_data(&self) -> bool {
+        matches!(
+            self,
+            AppPayload::Http { .. }
+                | AppPayload::Ssdp { .. }
+                | AppPayload::Tls { .. }
+                | AppPayload::Opaque { .. }
+        )
+    }
+}
+
+/// A fully decoded, header-level view of one captured frame.
+///
+/// # Examples
+///
+/// ```
+/// use sentinel_net::{MacAddr, Packet, Port};
+///
+/// let pkt = Packet::builder(MacAddr::new([2, 0, 0, 0, 0, 1]), MacAddr::BROADCAST)
+///     .udp(Port::DHCP_CLIENT, Port::DHCP_SERVER)
+///     .dhcp(1)
+///     .wire_len(342)
+///     .build();
+/// assert!(pkt.is_udp());
+/// assert_eq!(pkt.dst_port(), Some(Port::DHCP_SERVER));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    time: SimTime,
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    link: LinkHeader,
+    net: Option<NetHeader>,
+    transport: Option<TransportHeader>,
+    app: Option<AppPayload>,
+    wire_len: usize,
+}
+
+impl Packet {
+    /// Starts building a packet from source and destination MAC
+    /// addresses. Defaults to Ethernet/IPv4 framing with no transport.
+    pub fn builder(src_mac: MacAddr, dst_mac: MacAddr) -> PacketBuilder {
+        PacketBuilder::new(src_mac, dst_mac)
+    }
+
+    /// Capture timestamp.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// Source MAC address (the device under observation, for setup
+    /// traffic).
+    pub fn src_mac(&self) -> MacAddr {
+        self.src_mac
+    }
+
+    /// Destination MAC address.
+    pub fn dst_mac(&self) -> MacAddr {
+        self.dst_mac
+    }
+
+    /// Link-layer framing.
+    pub fn link(&self) -> LinkHeader {
+        self.link
+    }
+
+    /// Network-layer content, if any.
+    pub fn net(&self) -> Option<&NetHeader> {
+        self.net.as_ref()
+    }
+
+    /// Transport-layer content, if any.
+    pub fn transport(&self) -> Option<&TransportHeader> {
+        self.transport.as_ref()
+    }
+
+    /// Application-layer classification, if any.
+    pub fn app(&self) -> Option<&AppPayload> {
+        self.app.as_ref()
+    }
+
+    /// Total frame length in bytes (fingerprint feature 19, "size").
+    pub fn wire_len(&self) -> usize {
+        self.wire_len
+    }
+
+    /// Whether the frame used 802.2 LLC framing (fingerprint feature 2).
+    pub fn is_llc(&self) -> bool {
+        matches!(self.link, LinkHeader::Llc { .. })
+    }
+
+    /// Whether the packet is ARP (fingerprint feature 1).
+    pub fn is_arp(&self) -> bool {
+        matches!(self.net, Some(NetHeader::Arp(_)))
+    }
+
+    /// Whether the packet is IPv4 or IPv6 (fingerprint feature 3).
+    pub fn is_ip(&self) -> bool {
+        matches!(
+            self.net,
+            Some(NetHeader::Ipv4(_)) | Some(NetHeader::Ipv6(_))
+        )
+    }
+
+    /// Whether the packet is ICMP (fingerprint feature 4).
+    pub fn is_icmp(&self) -> bool {
+        matches!(self.transport, Some(TransportHeader::Icmp { .. }))
+    }
+
+    /// Whether the packet is ICMPv6 (fingerprint feature 5).
+    pub fn is_icmpv6(&self) -> bool {
+        matches!(self.transport, Some(TransportHeader::Icmpv6 { .. }))
+    }
+
+    /// Whether the packet is EAPoL (fingerprint feature 6).
+    pub fn is_eapol(&self) -> bool {
+        matches!(self.net, Some(NetHeader::Eapol { .. }))
+    }
+
+    /// Whether the packet is TCP (fingerprint feature 7).
+    pub fn is_tcp(&self) -> bool {
+        matches!(self.transport, Some(TransportHeader::Tcp { .. }))
+    }
+
+    /// Whether the packet is UDP (fingerprint feature 8).
+    pub fn is_udp(&self) -> bool {
+        matches!(self.transport, Some(TransportHeader::Udp { .. }))
+    }
+
+    /// Source transport port, if any.
+    pub fn src_port(&self) -> Option<Port> {
+        match self.transport {
+            Some(TransportHeader::Tcp { src_port, .. })
+            | Some(TransportHeader::Udp { src_port, .. }) => Some(src_port),
+            _ => None,
+        }
+    }
+
+    /// Destination transport port, if any.
+    pub fn dst_port(&self) -> Option<Port> {
+        match self.transport {
+            Some(TransportHeader::Tcp { dst_port, .. })
+            | Some(TransportHeader::Udp { dst_port, .. }) => Some(dst_port),
+            _ => None,
+        }
+    }
+
+    /// Destination IP address, if the packet is IP (fingerprint feature
+    /// 21 counts distinct values of this).
+    pub fn dst_ip(&self) -> Option<IpAddr> {
+        match self.net {
+            Some(NetHeader::Ipv4(info)) => Some(IpAddr::V4(info.dst)),
+            Some(NetHeader::Ipv6(info)) => Some(IpAddr::V6(info.dst)),
+            _ => None,
+        }
+    }
+
+    /// Source IP address, if the packet is IP.
+    pub fn src_ip(&self) -> Option<IpAddr> {
+        match self.net {
+            Some(NetHeader::Ipv4(info)) => Some(IpAddr::V4(info.src)),
+            Some(NetHeader::Ipv6(info)) => Some(IpAddr::V6(info.src)),
+            _ => None,
+        }
+    }
+
+    /// Whether IP header options carried padding (fingerprint feature
+    /// 17).
+    pub fn has_ip_padding(&self) -> bool {
+        matches!(
+            self.net,
+            Some(NetHeader::Ipv4(Ipv4Info {
+                has_padding_option: true,
+                ..
+            }))
+        )
+    }
+
+    /// Whether IP header options carried Router Alert (fingerprint
+    /// feature 18).
+    pub fn has_router_alert(&self) -> bool {
+        match self.net {
+            Some(NetHeader::Ipv4(info)) => info.has_router_alert,
+            Some(NetHeader::Ipv6(info)) => info.has_router_alert,
+            _ => false,
+        }
+    }
+
+    /// Whether the packet carries "raw data" in the fingerprint sense
+    /// (feature 20); see [`AppPayload::is_raw_data`].
+    pub fn has_raw_data(&self) -> bool {
+        self.app.as_ref().is_some_and(AppPayload::is_raw_data)
+    }
+
+    /// Application-layer protocol classification (fingerprint features
+    /// 9–16). Payload-driven where a codec recognised the content, with
+    /// port-based fallback; mDNS and DNS are distinguished by port, and
+    /// TLS on 443 classifies as HTTPS.
+    pub fn app_protocol(&self) -> Option<AppProtocol> {
+        match &self.app {
+            Some(AppPayload::Dhcp { .. }) => Some(AppProtocol::Dhcp),
+            Some(AppPayload::Bootp) => Some(AppProtocol::Bootp),
+            Some(AppPayload::Ntp { .. }) => Some(AppProtocol::Ntp),
+            Some(AppPayload::Ssdp { .. }) => Some(AppProtocol::Ssdp),
+            Some(AppPayload::Http { .. }) => Some(AppProtocol::Http),
+            Some(AppPayload::Tls { .. }) => Some(AppProtocol::Https),
+            Some(AppPayload::Dns { .. }) => {
+                if self.src_port().map(Port::as_u16) == Some(5353)
+                    || self.dst_port().map(Port::as_u16) == Some(5353)
+                {
+                    Some(AppProtocol::Mdns)
+                } else {
+                    Some(AppProtocol::Dns)
+                }
+            }
+            Some(AppPayload::Opaque { .. }) | None => {
+                AppProtocol::from_ports(self.src_port(), self.dst_port())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} -> {}", self.time, self.src_mac, self.dst_mac)?;
+        if let Some(app) = self.app_protocol() {
+            write!(f, " {app}")?;
+        } else if let Some(net) = &self.net {
+            match net {
+                NetHeader::Arp(_) => write!(f, " ARP")?,
+                NetHeader::Eapol { .. } => write!(f, " EAPoL")?,
+                NetHeader::Ipv4(i) => write!(f, " {}", i.protocol)?,
+                NetHeader::Ipv6(i) => write!(f, " {}", i.protocol)?,
+            }
+        }
+        write!(f, " ({} bytes)", self.wire_len)
+    }
+}
+
+/// Incremental builder for [`Packet`], for tests and synthetic scenarios.
+///
+/// Wire-accurate traffic should instead be produced with
+/// [`crate::wire::compose`] and decoded via [`crate::wire::decode_frame`].
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    packet: Packet,
+}
+
+impl PacketBuilder {
+    fn new(src_mac: MacAddr, dst_mac: MacAddr) -> Self {
+        PacketBuilder {
+            packet: Packet {
+                time: SimTime::ZERO,
+                src_mac,
+                dst_mac,
+                link: LinkHeader::Ethernet {
+                    ethertype: EtherType::Ipv4,
+                },
+                net: None,
+                transport: None,
+                app: None,
+                wire_len: 64,
+            },
+        }
+    }
+
+    /// Sets the capture timestamp.
+    pub fn time(mut self, time: SimTime) -> Self {
+        self.packet.time = time;
+        self
+    }
+
+    /// Sets the total frame length in bytes.
+    pub fn wire_len(mut self, len: usize) -> Self {
+        self.packet.wire_len = len;
+        self
+    }
+
+    /// Uses 802.2 LLC framing.
+    pub fn llc(mut self, dsap: u8, ssap: u8, control: u8) -> Self {
+        self.packet.link = LinkHeader::Llc {
+            dsap,
+            ssap,
+            control,
+        };
+        self.packet.net = None;
+        self
+    }
+
+    /// Makes this an ARP packet.
+    pub fn arp(mut self, operation: u16, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Self {
+        self.packet.link = LinkHeader::Ethernet {
+            ethertype: EtherType::Arp,
+        };
+        self.packet.net = Some(NetHeader::Arp(ArpInfo {
+            operation,
+            sender_ip,
+            target_ip,
+        }));
+        self
+    }
+
+    /// Makes this an EAPoL packet.
+    pub fn eapol(mut self, version: u8, packet_type: u8) -> Self {
+        self.packet.link = LinkHeader::Ethernet {
+            ethertype: EtherType::Eapol,
+        };
+        self.packet.net = Some(NetHeader::Eapol {
+            version,
+            packet_type,
+        });
+        self
+    }
+
+    /// Adds an IPv4 header.
+    pub fn ipv4(mut self, src: Ipv4Addr, dst: Ipv4Addr) -> Self {
+        self.packet.link = LinkHeader::Ethernet {
+            ethertype: EtherType::Ipv4,
+        };
+        self.packet.net = Some(NetHeader::Ipv4(Ipv4Info {
+            src,
+            dst,
+            protocol: IpProtocol::Other(0),
+            ttl: 64,
+            has_padding_option: false,
+            has_router_alert: false,
+        }));
+        self
+    }
+
+    /// Adds an IPv6 header.
+    pub fn ipv6(mut self, src: Ipv6Addr, dst: Ipv6Addr) -> Self {
+        self.packet.link = LinkHeader::Ethernet {
+            ethertype: EtherType::Ipv6,
+        };
+        self.packet.net = Some(NetHeader::Ipv6(Ipv6Info {
+            src,
+            dst,
+            protocol: IpProtocol::Other(0),
+            hop_limit: 64,
+            has_router_alert: false,
+        }));
+        self
+    }
+
+    /// Flags IPv4 option padding on the current IPv4 header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no IPv4 header was added first.
+    pub fn ip_padding(mut self) -> Self {
+        match &mut self.packet.net {
+            Some(NetHeader::Ipv4(info)) => info.has_padding_option = true,
+            _ => panic!("ip_padding requires an ipv4 header"),
+        }
+        self
+    }
+
+    /// Flags Router Alert on the current IP header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no IP header was added first.
+    pub fn router_alert(mut self) -> Self {
+        match &mut self.packet.net {
+            Some(NetHeader::Ipv4(info)) => info.has_router_alert = true,
+            Some(NetHeader::Ipv6(info)) => info.has_router_alert = true,
+            _ => panic!("router_alert requires an ip header"),
+        }
+        self
+    }
+
+    fn default_ipv4(&mut self) {
+        if self.packet.net.is_none() {
+            self.packet.net = Some(NetHeader::Ipv4(Ipv4Info {
+                src: Ipv4Addr::UNSPECIFIED,
+                dst: Ipv4Addr::BROADCAST,
+                protocol: IpProtocol::Other(0),
+                ttl: 64,
+                has_padding_option: false,
+                has_router_alert: false,
+            }));
+        }
+    }
+
+    fn set_ip_protocol(&mut self, protocol: IpProtocol) {
+        self.default_ipv4();
+        match &mut self.packet.net {
+            Some(NetHeader::Ipv4(info)) => info.protocol = protocol,
+            Some(NetHeader::Ipv6(info)) => info.protocol = protocol,
+            _ => {}
+        }
+    }
+
+    /// Adds a TCP header (defaulting the IP layer to IPv4 if absent).
+    pub fn tcp(mut self, src_port: Port, dst_port: Port, flags: TcpFlags) -> Self {
+        self.set_ip_protocol(IpProtocol::Tcp);
+        self.packet.transport = Some(TransportHeader::Tcp {
+            src_port,
+            dst_port,
+            flags,
+        });
+        self
+    }
+
+    /// Adds a UDP header (defaulting the IP layer to IPv4 if absent).
+    pub fn udp(mut self, src_port: Port, dst_port: Port) -> Self {
+        self.set_ip_protocol(IpProtocol::Udp);
+        self.packet.transport = Some(TransportHeader::Udp { src_port, dst_port });
+        self
+    }
+
+    /// Adds an ICMP header (defaulting the IP layer to IPv4 if absent).
+    pub fn icmp(mut self, icmp_type: u8, code: u8) -> Self {
+        self.set_ip_protocol(IpProtocol::Icmp);
+        self.packet.transport = Some(TransportHeader::Icmp { icmp_type, code });
+        self
+    }
+
+    /// Adds an ICMPv6 header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet does not already carry an IPv6 header.
+    pub fn icmpv6(mut self, icmp_type: u8, code: u8) -> Self {
+        assert!(
+            matches!(self.packet.net, Some(NetHeader::Ipv6(_))),
+            "icmpv6 requires an ipv6 header"
+        );
+        self.set_ip_protocol(IpProtocol::Icmpv6);
+        self.packet.transport = Some(TransportHeader::Icmpv6 { icmp_type, code });
+        self
+    }
+
+    /// Marks the application payload as DHCP with the given message type.
+    pub fn dhcp(mut self, message_type: u8) -> Self {
+        self.packet.app = Some(AppPayload::Dhcp { message_type });
+        self
+    }
+
+    /// Marks the application payload as plain BOOTP.
+    pub fn bootp(mut self) -> Self {
+        self.packet.app = Some(AppPayload::Bootp);
+        self
+    }
+
+    /// Marks the application payload as DNS.
+    pub fn dns(mut self, response: bool, questions: u16) -> Self {
+        self.packet.app = Some(AppPayload::Dns {
+            response,
+            questions,
+        });
+        self
+    }
+
+    /// Marks the application payload as SSDP.
+    pub fn ssdp(mut self, method: &str) -> Self {
+        self.packet.app = Some(AppPayload::Ssdp {
+            method: method.to_string(),
+        });
+        self
+    }
+
+    /// Marks the application payload as NTP.
+    pub fn ntp(mut self, mode: u8) -> Self {
+        self.packet.app = Some(AppPayload::Ntp { mode });
+        self
+    }
+
+    /// Marks the application payload as HTTP.
+    pub fn http(mut self, method: &str) -> Self {
+        self.packet.app = Some(AppPayload::Http {
+            method: method.to_string(),
+        });
+        self
+    }
+
+    /// Marks the application payload as TLS.
+    pub fn tls(mut self, content_type: u8) -> Self {
+        self.packet.app = Some(AppPayload::Tls { content_type });
+        self
+    }
+
+    /// Marks the application payload as unattributed raw bytes.
+    pub fn opaque(mut self, len: usize) -> Self {
+        self.packet.app = Some(AppPayload::Opaque { len });
+        self
+    }
+
+    /// Finishes building the packet.
+    pub fn build(self) -> Packet {
+        self.packet
+    }
+}
+
+/// Internal constructor used by the wire decoder.
+#[allow(clippy::too_many_arguments)] // one parameter per layer
+pub(crate) fn assemble(
+    time: SimTime,
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    link: LinkHeader,
+    net: Option<NetHeader>,
+    transport: Option<TransportHeader>,
+    app: Option<AppPayload>,
+    wire_len: usize,
+) -> Packet {
+    Packet {
+        time,
+        src_mac,
+        dst_mac,
+        link,
+        net,
+        transport,
+        app,
+        wire_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn macs() -> (MacAddr, MacAddr) {
+        (
+            MacAddr::new([2, 0, 0, 0, 0, 1]),
+            MacAddr::new([2, 0, 0, 0, 0, 2]),
+        )
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let (s, d) = macs();
+        let p = Packet::builder(s, d).build();
+        assert_eq!(p.src_mac(), s);
+        assert_eq!(p.dst_mac(), d);
+        assert!(!p.is_arp());
+        assert!(!p.is_ip());
+        assert_eq!(p.app_protocol(), None);
+    }
+
+    #[test]
+    fn arp_packet_flags() {
+        let (s, d) = macs();
+        let p = Packet::builder(s, d)
+            .arp(1, Ipv4Addr::UNSPECIFIED, Ipv4Addr::new(192, 168, 0, 1))
+            .build();
+        assert!(p.is_arp());
+        assert!(!p.is_ip());
+        assert_eq!(p.dst_ip(), None);
+    }
+
+    #[test]
+    fn dhcp_classification() {
+        let (s, d) = macs();
+        let p = Packet::builder(s, d)
+            .udp(Port::DHCP_CLIENT, Port::DHCP_SERVER)
+            .dhcp(1)
+            .build();
+        assert_eq!(p.app_protocol(), Some(AppProtocol::Dhcp));
+        assert!(p.is_udp());
+        assert!(!p.has_raw_data());
+    }
+
+    #[test]
+    fn mdns_vs_dns_by_port() {
+        let (s, d) = macs();
+        let dns = Packet::builder(s, d)
+            .udp(Port::new(50000), Port::DNS)
+            .dns(false, 1)
+            .build();
+        assert_eq!(dns.app_protocol(), Some(AppProtocol::Dns));
+
+        let mdns = Packet::builder(s, d)
+            .udp(Port::MDNS, Port::MDNS)
+            .dns(false, 1)
+            .build();
+        assert_eq!(mdns.app_protocol(), Some(AppProtocol::Mdns));
+    }
+
+    #[test]
+    fn tls_on_443_is_https_and_raw() {
+        let (s, d) = macs();
+        let p = Packet::builder(s, d)
+            .tcp(Port::new(50001), Port::HTTPS, TcpFlags::default())
+            .tls(22)
+            .build();
+        assert_eq!(p.app_protocol(), Some(AppProtocol::Https));
+        assert!(p.has_raw_data());
+    }
+
+    #[test]
+    fn plain_syn_has_no_app_protocol_unless_port_hints() {
+        let (s, d) = macs();
+        let p = Packet::builder(s, d)
+            .tcp(Port::new(50001), Port::new(9999), TcpFlags::SYN)
+            .build();
+        assert_eq!(p.app_protocol(), None);
+        let p = Packet::builder(s, d)
+            .tcp(Port::new(50001), Port::HTTP, TcpFlags::SYN)
+            .build();
+        assert_eq!(p.app_protocol(), Some(AppProtocol::Http));
+    }
+
+    #[test]
+    fn ip_option_flags() {
+        let (s, d) = macs();
+        let p = Packet::builder(s, d)
+            .ipv4(Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(224, 0, 0, 22))
+            .router_alert()
+            .ip_padding()
+            .build();
+        assert!(p.has_router_alert());
+        assert!(p.has_ip_padding());
+    }
+
+    #[test]
+    fn ipv6_router_alert() {
+        let (s, d) = macs();
+        let p = Packet::builder(s, d)
+            .ipv6(Ipv6Addr::LOCALHOST, Ipv6Addr::LOCALHOST)
+            .router_alert()
+            .icmpv6(143, 0)
+            .build();
+        assert!(p.has_router_alert());
+        assert!(p.is_icmpv6());
+        assert!(!p.has_ip_padding());
+    }
+
+    #[test]
+    fn tcp_flags_round_trip() {
+        for b in 0u8..32 {
+            assert_eq!(
+                TcpFlags::from_byte(TcpFlags::from_byte(b).to_byte()).to_byte(),
+                b & 0x1f
+            );
+        }
+    }
+
+    #[test]
+    fn eapol_flags() {
+        let (s, d) = macs();
+        let p = Packet::builder(s, d).eapol(2, 1).build();
+        assert!(p.is_eapol());
+        assert!(!p.is_ip());
+    }
+
+    #[test]
+    fn llc_framing() {
+        let (s, d) = macs();
+        let p = Packet::builder(s, d).llc(0x42, 0x42, 0x03).build();
+        assert!(p.is_llc());
+        assert!(!p.is_ip());
+    }
+
+    #[test]
+    fn display_contains_protocol_and_size() {
+        let (s, d) = macs();
+        let p = Packet::builder(s, d)
+            .udp(Port::new(50000), Port::NTP)
+            .ntp(3)
+            .wire_len(90)
+            .build();
+        let rendered = p.to_string();
+        assert!(rendered.contains("NTP"));
+        assert!(rendered.contains("90 bytes"));
+    }
+
+    #[test]
+    fn dst_ip_reported_for_ip_packets() {
+        let (s, d) = macs();
+        let dst = Ipv4Addr::new(52, 28, 17, 9);
+        let p = Packet::builder(s, d)
+            .ipv4(Ipv4Addr::new(192, 168, 0, 23), dst)
+            .tcp(Port::new(51000), Port::HTTPS, TcpFlags::SYN)
+            .build();
+        assert_eq!(p.dst_ip(), Some(IpAddr::V4(dst)));
+        assert_eq!(p.src_ip(), Some(IpAddr::V4(Ipv4Addr::new(192, 168, 0, 23))));
+    }
+}

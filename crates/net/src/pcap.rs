@@ -1,0 +1,209 @@
+//! Classic libpcap file format reader and writer.
+//!
+//! Captures taken by the simulator can be persisted in the same format
+//! tcpdump writes (magic `0xa1b2c3d4`, microsecond timestamps, LINKTYPE
+//! 1 = Ethernet) and read back — or exchanged with external tooling.
+
+use std::io::{Read, Write};
+
+use crate::capture::CapturedFrame;
+use crate::error::WireError;
+use crate::time::SimTime;
+
+/// Classic pcap magic, microsecond resolution, big-endian writer order
+/// not required; we write little-endian as libpcap does on x86.
+pub const PCAP_MAGIC: u32 = 0xa1b2_c3d4;
+/// LINKTYPE_ETHERNET.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+/// Default snap length.
+pub const DEFAULT_SNAPLEN: u32 = 65535;
+
+/// Writes `frames` to `w` as a classic pcap stream.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+///
+/// # Examples
+///
+/// ```
+/// use sentinel_net::pcap;
+/// use sentinel_net::{CapturedFrame, SimTime};
+///
+/// let frames = vec![CapturedFrame::new(SimTime::from_millis(1), vec![0u8; 60])];
+/// let mut buf = Vec::new();
+/// pcap::write(&mut buf, &frames)?;
+/// let back = pcap::read(&buf[..])?;
+/// assert_eq!(back.len(), 1);
+/// # Ok::<(), sentinel_net::WireError>(())
+/// ```
+pub fn write<W: Write>(mut w: W, frames: &[CapturedFrame]) -> Result<(), WireError> {
+    w.write_all(&PCAP_MAGIC.to_le_bytes())?;
+    w.write_all(&2u16.to_le_bytes())?; // version major
+    w.write_all(&4u16.to_le_bytes())?; // version minor
+    w.write_all(&0i32.to_le_bytes())?; // thiszone
+    w.write_all(&0u32.to_le_bytes())?; // sigfigs
+    w.write_all(&DEFAULT_SNAPLEN.to_le_bytes())?;
+    w.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+    for frame in frames {
+        let nanos = frame.time().as_nanos();
+        let ts_sec = (nanos / 1_000_000_000) as u32;
+        let ts_usec = ((nanos % 1_000_000_000) / 1_000) as u32;
+        let len = frame.bytes().len() as u32;
+        w.write_all(&ts_sec.to_le_bytes())?;
+        w.write_all(&ts_usec.to_le_bytes())?;
+        w.write_all(&len.to_le_bytes())?; // incl_len
+        w.write_all(&len.to_le_bytes())?; // orig_len
+        w.write_all(frame.bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a classic pcap stream into captured frames. Both byte orders
+/// are accepted (magic `a1b2c3d4` either way).
+///
+/// # Errors
+///
+/// Returns [`WireError::BadPcapMagic`] for an unrecognised magic,
+/// [`WireError::Truncated`] for a short record, or an I/O error.
+pub fn read<R: Read>(mut r: R) -> Result<Vec<CapturedFrame>, WireError> {
+    let mut data = Vec::new();
+    r.read_to_end(&mut data)?;
+    if data.len() < 24 {
+        return Err(WireError::truncated("pcap global header", 24, data.len()));
+    }
+    let magic_le = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    let magic_be = u32::from_be_bytes([data[0], data[1], data[2], data[3]]);
+    let little_endian = if magic_le == PCAP_MAGIC {
+        true
+    } else if magic_be == PCAP_MAGIC {
+        false
+    } else {
+        return Err(WireError::BadPcapMagic(magic_le));
+    };
+    let read_u32 = |bytes: &[u8]| -> u32 {
+        let arr = [bytes[0], bytes[1], bytes[2], bytes[3]];
+        if little_endian {
+            u32::from_le_bytes(arr)
+        } else {
+            u32::from_be_bytes(arr)
+        }
+    };
+    let mut frames = Vec::new();
+    let mut pos = 24;
+    while pos < data.len() {
+        if data.len() - pos < 16 {
+            return Err(WireError::truncated(
+                "pcap record header",
+                16,
+                data.len() - pos,
+            ));
+        }
+        let ts_sec = read_u32(&data[pos..]);
+        let ts_usec = read_u32(&data[pos + 4..]);
+        let incl_len = read_u32(&data[pos + 8..]) as usize;
+        pos += 16;
+        if data.len() - pos < incl_len {
+            return Err(WireError::truncated(
+                "pcap record body",
+                incl_len,
+                data.len() - pos,
+            ));
+        }
+        let bytes = data[pos..pos + incl_len].to_vec();
+        pos += incl_len;
+        let time =
+            SimTime::from_nanos(u64::from(ts_sec) * 1_000_000_000 + u64::from(ts_usec) * 1_000);
+        frames.push(CapturedFrame::new(time, bytes));
+    }
+    Ok(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mac::MacAddr;
+    use crate::wire::compose;
+
+    fn sample_frames() -> Vec<CapturedFrame> {
+        let mac = MacAddr::new([2, 0, 0, 0, 0, 5]);
+        vec![
+            CapturedFrame::new(
+                SimTime::from_millis(10),
+                compose::dhcp_discover(mac, 1, "d"),
+            ),
+            CapturedFrame::new(
+                SimTime::from_millis(250),
+                compose::arp_probe(mac, std::net::Ipv4Addr::new(192, 168, 1, 50)),
+            ),
+            CapturedFrame::new(
+                SimTime::from_secs(2),
+                compose::mdns_query(
+                    mac,
+                    std::net::Ipv4Addr::new(192, 168, 1, 50),
+                    "_x._tcp.local",
+                ),
+            ),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_frames_and_times() {
+        let frames = sample_frames();
+        let mut buf = Vec::new();
+        write(&mut buf, &frames).unwrap();
+        let back = read(&buf[..]).unwrap();
+        assert_eq!(back.len(), frames.len());
+        for (a, b) in frames.iter().zip(&back) {
+            assert_eq!(a.bytes(), b.bytes());
+            // Timestamps round to microseconds.
+            assert_eq!(a.time().as_nanos() / 1000, b.time().as_nanos() / 1000);
+        }
+    }
+
+    #[test]
+    fn global_header_is_24_bytes() {
+        let mut buf = Vec::new();
+        write(&mut buf, &[]).unwrap();
+        assert_eq!(buf.len(), 24);
+        assert_eq!(read(&buf[..]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write(&mut buf, &[]).unwrap();
+        buf[0] = 0x00;
+        assert!(matches!(read(&buf[..]), Err(WireError::BadPcapMagic(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_record() {
+        let frames = sample_frames();
+        let mut buf = Vec::new();
+        write(&mut buf, &frames).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(matches!(read(&buf[..]), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn big_endian_stream_is_accepted() {
+        // Hand-write a big-endian header with one empty record.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&PCAP_MAGIC.to_be_bytes());
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&[0u8; 8]);
+        buf.extend_from_slice(&DEFAULT_SNAPLEN.to_be_bytes());
+        buf.extend_from_slice(&LINKTYPE_ETHERNET.to_be_bytes());
+        buf.extend_from_slice(&1u32.to_be_bytes()); // ts_sec
+        buf.extend_from_slice(&500u32.to_be_bytes()); // ts_usec
+        buf.extend_from_slice(&2u32.to_be_bytes()); // incl_len
+        buf.extend_from_slice(&2u32.to_be_bytes()); // orig_len
+        buf.extend_from_slice(&[0xab, 0xcd]);
+        let frames = read(&buf[..]).unwrap();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].bytes(), &[0xab, 0xcd]);
+        assert_eq!(frames[0].time().as_nanos(), 1_000_500_000);
+    }
+}

@@ -1,0 +1,180 @@
+//! Transport ports and IANA port classes.
+//!
+//! The last two features of the IoT Sentinel fingerprint (Table I) map
+//! source and destination ports to their IANA *class* rather than the raw
+//! number:
+//!
+//! * no port → 0
+//! * well-known `[0, 1023]` → 1
+//! * registered `[1024, 49151]` → 2
+//! * dynamic `[49152, 65535]` → 3
+
+use std::fmt;
+
+/// A transport-layer (TCP/UDP) port number.
+///
+/// # Examples
+///
+/// ```
+/// use sentinel_net::{Port, PortClass};
+///
+/// assert_eq!(Port::HTTP.class(), PortClass::WellKnown);
+/// assert_eq!(Port::new(51000).class(), PortClass::Dynamic);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Port(u16);
+
+impl Port {
+    /// HTTP (80/tcp).
+    pub const HTTP: Port = Port(80);
+    /// HTTPS (443/tcp).
+    pub const HTTPS: Port = Port(443);
+    /// DNS (53/udp).
+    pub const DNS: Port = Port(53);
+    /// DHCP server (67/udp); also the BOOTP server port.
+    pub const DHCP_SERVER: Port = Port(67);
+    /// DHCP client (68/udp); also the BOOTP client port.
+    pub const DHCP_CLIENT: Port = Port(68);
+    /// NTP (123/udp).
+    pub const NTP: Port = Port(123);
+    /// SSDP (1900/udp).
+    pub const SSDP: Port = Port(1900);
+    /// Multicast DNS (5353/udp).
+    pub const MDNS: Port = Port(5353);
+
+    /// Creates a port from its raw number.
+    pub const fn new(raw: u16) -> Self {
+        Port(raw)
+    }
+
+    /// The raw port number.
+    pub const fn as_u16(self) -> u16 {
+        self.0
+    }
+
+    /// The IANA class of this port.
+    pub const fn class(self) -> PortClass {
+        match self.0 {
+            0..=1023 => PortClass::WellKnown,
+            1024..=49151 => PortClass::Registered,
+            _ => PortClass::Dynamic,
+        }
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u16> for Port {
+    fn from(raw: u16) -> Self {
+        Port(raw)
+    }
+}
+
+impl From<Port> for u16 {
+    fn from(port: Port) -> u16 {
+        port.0
+    }
+}
+
+/// IANA port class, encoded exactly as the paper's feature values.
+///
+/// `PortClass::feature_value` yields the integer used in fingerprint
+/// vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum PortClass {
+    /// The packet carries no transport port (feature value 0).
+    #[default]
+    None,
+    /// Well-known range `[0, 1023]` (feature value 1).
+    WellKnown,
+    /// Registered range `[1024, 49151]` (feature value 2).
+    Registered,
+    /// Dynamic/private range `[49152, 65535]` (feature value 3).
+    Dynamic,
+}
+
+impl PortClass {
+    /// Classifies an optional port, mapping `None` to
+    /// [`PortClass::None`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sentinel_net::{Port, PortClass};
+    ///
+    /// assert_eq!(PortClass::of(None), PortClass::None);
+    /// assert_eq!(PortClass::of(Some(Port::DNS)), PortClass::WellKnown);
+    /// ```
+    pub fn of(port: Option<Port>) -> PortClass {
+        port.map_or(PortClass::None, Port::class)
+    }
+
+    /// The integer feature value used in fingerprints (0–3).
+    pub const fn feature_value(self) -> u32 {
+        match self {
+            PortClass::None => 0,
+            PortClass::WellKnown => 1,
+            PortClass::Registered => 2,
+            PortClass::Dynamic => 3,
+        }
+    }
+}
+
+impl fmt::Display for PortClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PortClass::None => "none",
+            PortClass::WellKnown => "well-known",
+            PortClass::Registered => "registered",
+            PortClass::Dynamic => "dynamic",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_boundaries_match_paper() {
+        assert_eq!(Port::new(0).class(), PortClass::WellKnown);
+        assert_eq!(Port::new(1023).class(), PortClass::WellKnown);
+        assert_eq!(Port::new(1024).class(), PortClass::Registered);
+        assert_eq!(Port::new(49151).class(), PortClass::Registered);
+        assert_eq!(Port::new(49152).class(), PortClass::Dynamic);
+        assert_eq!(Port::new(65535).class(), PortClass::Dynamic);
+    }
+
+    #[test]
+    fn feature_values_match_paper() {
+        assert_eq!(PortClass::None.feature_value(), 0);
+        assert_eq!(PortClass::WellKnown.feature_value(), 1);
+        assert_eq!(PortClass::Registered.feature_value(), 2);
+        assert_eq!(PortClass::Dynamic.feature_value(), 3);
+    }
+
+    #[test]
+    fn well_known_service_constants() {
+        assert_eq!(Port::HTTP.as_u16(), 80);
+        assert_eq!(Port::HTTPS.as_u16(), 443);
+        assert_eq!(Port::DNS.as_u16(), 53);
+        assert_eq!(Port::DHCP_SERVER.as_u16(), 67);
+        assert_eq!(Port::DHCP_CLIENT.as_u16(), 68);
+        assert_eq!(Port::NTP.as_u16(), 123);
+        assert_eq!(Port::SSDP.as_u16(), 1900);
+        assert_eq!(Port::MDNS.as_u16(), 5353);
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Port = 8080u16.into();
+        let raw: u16 = p.into();
+        assert_eq!(raw, 8080);
+        assert_eq!(p.to_string(), "8080");
+    }
+}

@@ -1,0 +1,207 @@
+//! ARP (RFC 826) for IPv4 over Ethernet.
+
+use std::net::Ipv4Addr;
+
+use bytes::BufMut;
+
+use crate::error::WireError;
+use crate::mac::MacAddr;
+use crate::wire::Reader;
+
+/// ARP operation: request.
+pub const OP_REQUEST: u16 = 1;
+/// ARP operation: reply.
+pub const OP_REPLY: u16 = 2;
+
+/// An ARP packet for IPv4-over-Ethernet (htype 1, ptype 0x0800).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Operation (1 = request, 2 = reply).
+    pub operation: u16,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address. `0.0.0.0` in ARP probes (RFC 5227).
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpPacket {
+    /// An ARP probe (RFC 5227): sender IP `0.0.0.0`, asking for
+    /// `target_ip` — devices send these to check for address conflicts
+    /// right after DHCP.
+    pub fn probe(sender_mac: MacAddr, target_ip: Ipv4Addr) -> Self {
+        ArpPacket {
+            operation: OP_REQUEST,
+            sender_mac,
+            sender_ip: Ipv4Addr::UNSPECIFIED,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// A gratuitous ARP announcement: sender and target IP equal.
+    pub fn announce(sender_mac: MacAddr, ip: Ipv4Addr) -> Self {
+        ArpPacket {
+            operation: OP_REQUEST,
+            sender_mac,
+            sender_ip: ip,
+            target_mac: MacAddr::ZERO,
+            target_ip: ip,
+        }
+    }
+
+    /// A normal ARP request resolving `target_ip`.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Self {
+        ArpPacket {
+            operation: OP_REQUEST,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// An ARP reply.
+    pub fn reply(
+        sender_mac: MacAddr,
+        sender_ip: Ipv4Addr,
+        target_mac: MacAddr,
+        target_ip: Ipv4Addr,
+    ) -> Self {
+        ArpPacket {
+            operation: OP_REPLY,
+            sender_mac,
+            sender_ip,
+            target_mac,
+            target_ip,
+        }
+    }
+
+    /// Encodes the packet into `out` (28 bytes).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u16(1); // htype: Ethernet
+        out.put_u16(0x0800); // ptype: IPv4
+        out.put_u8(6); // hlen
+        out.put_u8(4); // plen
+        out.put_u16(self.operation);
+        out.put_slice(&self.sender_mac.octets());
+        out.put_slice(&self.sender_ip.octets());
+        out.put_slice(&self.target_mac.octets());
+        out.put_slice(&self.target_ip.octets());
+    }
+
+    /// Decodes an ARP packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] on short input and
+    /// [`WireError::InvalidField`] for non-Ethernet/IPv4 ARP.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let htype = r.read_u16("arp htype")?;
+        let ptype = r.read_u16("arp ptype")?;
+        if htype != 1 {
+            return Err(WireError::invalid_field("arp htype", htype));
+        }
+        if ptype != 0x0800 {
+            return Err(WireError::invalid_field(
+                "arp ptype",
+                format!("0x{ptype:04x}"),
+            ));
+        }
+        let hlen = r.read_u8("arp hlen")?;
+        let plen = r.read_u8("arp plen")?;
+        if hlen != 6 || plen != 4 {
+            return Err(WireError::invalid_field(
+                "arp addr lengths",
+                format!("{hlen}/{plen}"),
+            ));
+        }
+        let operation = r.read_u16("arp operation")?;
+        let sender_mac = MacAddr::new(r.read_array::<6>("arp sender mac")?);
+        let sender_ip = Ipv4Addr::from(r.read_array::<4>("arp sender ip")?);
+        let target_mac = MacAddr::new(r.read_array::<6>("arp target mac")?);
+        let target_ip = Ipv4Addr::from(r.read_array::<4>("arp target ip")?);
+        Ok(ArpPacket {
+            operation,
+            sender_mac,
+            sender_ip,
+            target_mac,
+            target_ip,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(last: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, last])
+    }
+
+    #[test]
+    fn round_trip_request() {
+        let arp = ArpPacket::request(
+            mac(1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        let mut buf = Vec::new();
+        arp.encode(&mut buf);
+        assert_eq!(buf.len(), 28);
+        let decoded = ArpPacket::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded, arp);
+    }
+
+    #[test]
+    fn probe_has_zero_sender_ip() {
+        let arp = ArpPacket::probe(mac(1), Ipv4Addr::new(192, 168, 1, 50));
+        assert_eq!(arp.sender_ip, Ipv4Addr::UNSPECIFIED);
+        assert_eq!(arp.operation, OP_REQUEST);
+    }
+
+    #[test]
+    fn announce_targets_own_ip() {
+        let ip = Ipv4Addr::new(192, 168, 1, 50);
+        let arp = ArpPacket::announce(mac(1), ip);
+        assert_eq!(arp.sender_ip, ip);
+        assert_eq!(arp.target_ip, ip);
+    }
+
+    #[test]
+    fn reply_round_trip() {
+        let arp = ArpPacket::reply(
+            mac(9),
+            Ipv4Addr::new(10, 0, 0, 1),
+            mac(1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let mut buf = Vec::new();
+        arp.encode(&mut buf);
+        let decoded = ArpPacket::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded.operation, OP_REPLY);
+        assert_eq!(decoded, arp);
+    }
+
+    #[test]
+    fn rejects_non_ethernet_hardware() {
+        let mut buf = Vec::new();
+        ArpPacket::probe(mac(1), Ipv4Addr::LOCALHOST).encode(&mut buf);
+        buf[1] = 6; // htype = IEEE 802
+        assert!(ArpPacket::decode(&mut Reader::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn truncated_errors() {
+        let mut buf = Vec::new();
+        ArpPacket::probe(mac(1), Ipv4Addr::LOCALHOST).encode(&mut buf);
+        buf.truncate(20);
+        assert!(matches!(
+            ArpPacket::decode(&mut Reader::new(&buf)),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,442 @@
+//! DHCP / BOOTP message encoding and decoding (RFC 2131).
+//!
+//! The fingerprint distinguishes DHCP (a BOOTP message carrying the
+//! message-type option 53) from plain BOOTP, so the decoder reports
+//! both cases.
+
+use std::net::Ipv4Addr;
+
+use bytes::BufMut;
+
+use crate::error::WireError;
+use crate::mac::MacAddr;
+use crate::wire::Reader;
+
+/// DHCP magic cookie following the BOOTP fixed header.
+pub const MAGIC_COOKIE: [u8; 4] = [0x63, 0x82, 0x53, 0x63];
+
+/// DHCP message types (option 53 values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum DhcpMessageType {
+    /// Client broadcast to locate servers.
+    Discover = 1,
+    /// Server offer of parameters.
+    Offer = 2,
+    /// Client request of offered parameters.
+    Request = 3,
+    /// Client-to-server address decline.
+    Decline = 4,
+    /// Server acknowledgment.
+    Ack = 5,
+    /// Server negative acknowledgment.
+    Nak = 6,
+    /// Client release of its lease.
+    Release = 7,
+    /// Client asking for local configuration only.
+    Inform = 8,
+}
+
+impl DhcpMessageType {
+    /// Decodes an option 53 value.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => DhcpMessageType::Discover,
+            2 => DhcpMessageType::Offer,
+            3 => DhcpMessageType::Request,
+            4 => DhcpMessageType::Decline,
+            5 => DhcpMessageType::Ack,
+            6 => DhcpMessageType::Nak,
+            7 => DhcpMessageType::Release,
+            8 => DhcpMessageType::Inform,
+            _ => return None,
+        })
+    }
+}
+
+/// A DHCP option (subset used by IoT device setup flows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DhcpOption {
+    /// Option 53: message type.
+    MessageType(DhcpMessageType),
+    /// Option 50: requested IP address.
+    RequestedIp(Ipv4Addr),
+    /// Option 54: server identifier.
+    ServerId(Ipv4Addr),
+    /// Option 12: host name.
+    HostName(String),
+    /// Option 60: vendor class identifier.
+    VendorClassId(String),
+    /// Option 55: parameter request list.
+    ParameterRequestList(Vec<u8>),
+    /// Option 51: lease time in seconds.
+    LeaseTime(u32),
+    /// Any other option, kept as raw code + bytes.
+    Other(u8, Vec<u8>),
+}
+
+/// A BOOTP/DHCP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DhcpMessage {
+    /// 1 = BOOTREQUEST, 2 = BOOTREPLY.
+    pub op: u8,
+    /// Transaction id.
+    pub xid: u32,
+    /// Seconds elapsed since the client began acquisition.
+    pub secs: u16,
+    /// Broadcast flag.
+    pub broadcast: bool,
+    /// Client address (when renewing).
+    pub ciaddr: Ipv4Addr,
+    /// "Your" address (server-assigned).
+    pub yiaddr: Ipv4Addr,
+    /// Server address.
+    pub siaddr: Ipv4Addr,
+    /// Client hardware address.
+    pub chaddr: MacAddr,
+    /// Options, in wire order. Empty for plain BOOTP.
+    pub options: Vec<DhcpOption>,
+}
+
+impl DhcpMessage {
+    /// A client DHCPDISCOVER broadcast.
+    pub fn discover(chaddr: MacAddr, xid: u32, hostname: &str) -> Self {
+        DhcpMessage {
+            op: 1,
+            xid,
+            secs: 0,
+            broadcast: false,
+            ciaddr: Ipv4Addr::UNSPECIFIED,
+            yiaddr: Ipv4Addr::UNSPECIFIED,
+            siaddr: Ipv4Addr::UNSPECIFIED,
+            chaddr,
+            options: vec![
+                DhcpOption::MessageType(DhcpMessageType::Discover),
+                DhcpOption::HostName(hostname.to_string()),
+                DhcpOption::ParameterRequestList(vec![1, 3, 6, 15, 28]),
+            ],
+        }
+    }
+
+    /// A client DHCPREQUEST for `requested` from `server`.
+    pub fn request(
+        chaddr: MacAddr,
+        xid: u32,
+        requested: Ipv4Addr,
+        server: Ipv4Addr,
+        hostname: &str,
+    ) -> Self {
+        DhcpMessage {
+            op: 1,
+            xid,
+            secs: 0,
+            broadcast: false,
+            ciaddr: Ipv4Addr::UNSPECIFIED,
+            yiaddr: Ipv4Addr::UNSPECIFIED,
+            siaddr: Ipv4Addr::UNSPECIFIED,
+            chaddr,
+            options: vec![
+                DhcpOption::MessageType(DhcpMessageType::Request),
+                DhcpOption::RequestedIp(requested),
+                DhcpOption::ServerId(server),
+                DhcpOption::HostName(hostname.to_string()),
+                DhcpOption::ParameterRequestList(vec![1, 3, 6, 15, 28]),
+            ],
+        }
+    }
+
+    /// A server DHCPOFFER or DHCPACK for `yiaddr`.
+    pub fn server_reply(
+        msg_type: DhcpMessageType,
+        chaddr: MacAddr,
+        xid: u32,
+        yiaddr: Ipv4Addr,
+        server: Ipv4Addr,
+    ) -> Self {
+        DhcpMessage {
+            op: 2,
+            xid,
+            secs: 0,
+            broadcast: false,
+            ciaddr: Ipv4Addr::UNSPECIFIED,
+            yiaddr,
+            siaddr: server,
+            chaddr,
+            options: vec![
+                DhcpOption::MessageType(msg_type),
+                DhcpOption::ServerId(server),
+                DhcpOption::LeaseTime(86400),
+            ],
+        }
+    }
+
+    /// A client DHCPINFORM from an already-configured address.
+    pub fn inform(chaddr: MacAddr, xid: u32, ciaddr: Ipv4Addr) -> Self {
+        DhcpMessage {
+            op: 1,
+            xid,
+            secs: 0,
+            broadcast: false,
+            ciaddr,
+            yiaddr: Ipv4Addr::UNSPECIFIED,
+            siaddr: Ipv4Addr::UNSPECIFIED,
+            chaddr,
+            options: vec![DhcpOption::MessageType(DhcpMessageType::Inform)],
+        }
+    }
+
+    /// A plain BOOTP request (no DHCP options at all).
+    pub fn bootp_request(chaddr: MacAddr, xid: u32) -> Self {
+        DhcpMessage {
+            op: 1,
+            xid,
+            secs: 0,
+            broadcast: false,
+            ciaddr: Ipv4Addr::UNSPECIFIED,
+            yiaddr: Ipv4Addr::UNSPECIFIED,
+            siaddr: Ipv4Addr::UNSPECIFIED,
+            chaddr,
+            options: Vec::new(),
+        }
+    }
+
+    /// The message type, or `None` for plain BOOTP.
+    pub fn message_type(&self) -> Option<DhcpMessageType> {
+        self.options.iter().find_map(|o| match o {
+            DhcpOption::MessageType(t) => Some(*t),
+            _ => None,
+        })
+    }
+
+    /// Encodes the message.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u8(self.op);
+        out.put_u8(1); // htype: ethernet
+        out.put_u8(6); // hlen
+        out.put_u8(0); // hops
+        out.put_u32(self.xid);
+        out.put_u16(self.secs);
+        out.put_u16(if self.broadcast { 0x8000 } else { 0 });
+        out.put_slice(&self.ciaddr.octets());
+        out.put_slice(&self.yiaddr.octets());
+        out.put_slice(&self.siaddr.octets());
+        out.put_slice(&Ipv4Addr::UNSPECIFIED.octets()); // giaddr
+        out.put_slice(&self.chaddr.octets());
+        out.put_slice(&[0u8; 10]); // chaddr padding
+        out.put_slice(&[0u8; 64]); // sname
+        out.put_slice(&[0u8; 128]); // file
+        if !self.options.is_empty() {
+            out.put_slice(&MAGIC_COOKIE);
+            for opt in &self.options {
+                match opt {
+                    DhcpOption::MessageType(t) => {
+                        out.put_slice(&[53, 1, *t as u8]);
+                    }
+                    DhcpOption::RequestedIp(ip) => {
+                        out.put_slice(&[50, 4]);
+                        out.put_slice(&ip.octets());
+                    }
+                    DhcpOption::ServerId(ip) => {
+                        out.put_slice(&[54, 4]);
+                        out.put_slice(&ip.octets());
+                    }
+                    DhcpOption::HostName(name) => {
+                        out.put_u8(12);
+                        out.put_u8(name.len() as u8);
+                        out.put_slice(name.as_bytes());
+                    }
+                    DhcpOption::VendorClassId(id) => {
+                        out.put_u8(60);
+                        out.put_u8(id.len() as u8);
+                        out.put_slice(id.as_bytes());
+                    }
+                    DhcpOption::ParameterRequestList(params) => {
+                        out.put_u8(55);
+                        out.put_u8(params.len() as u8);
+                        out.put_slice(params);
+                    }
+                    DhcpOption::LeaseTime(t) => {
+                        out.put_slice(&[51, 4]);
+                        out.put_u32(*t);
+                    }
+                    DhcpOption::Other(code, data) => {
+                        out.put_u8(*code);
+                        out.put_u8(data.len() as u8);
+                        out.put_slice(data);
+                    }
+                }
+            }
+            out.put_u8(255); // end option
+        }
+    }
+
+    /// Decodes a message from the remainder of `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] on short input and
+    /// [`WireError::InvalidField`] for a bad op code.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let op = r.read_u8("dhcp op")?;
+        if op != 1 && op != 2 {
+            return Err(WireError::invalid_field("dhcp op", op));
+        }
+        let _htype = r.read_u8("dhcp htype")?;
+        let _hlen = r.read_u8("dhcp hlen")?;
+        let _hops = r.read_u8("dhcp hops")?;
+        let xid = r.read_u32("dhcp xid")?;
+        let secs = r.read_u16("dhcp secs")?;
+        let flags = r.read_u16("dhcp flags")?;
+        let ciaddr = Ipv4Addr::from(r.read_array::<4>("dhcp ciaddr")?);
+        let yiaddr = Ipv4Addr::from(r.read_array::<4>("dhcp yiaddr")?);
+        let siaddr = Ipv4Addr::from(r.read_array::<4>("dhcp siaddr")?);
+        let _giaddr = r.read_array::<4>("dhcp giaddr")?;
+        let chaddr = MacAddr::new(r.read_array::<6>("dhcp chaddr")?);
+        r.skip("dhcp chaddr padding", 10)?;
+        r.skip("dhcp sname", 64)?;
+        r.skip("dhcp file", 128)?;
+        let mut options = Vec::new();
+        if r.remaining() >= 4 && r.peek_array::<4>() == Some(MAGIC_COOKIE) {
+            r.skip("dhcp magic", 4)?;
+            loop {
+                if r.remaining() == 0 {
+                    break;
+                }
+                let code = r.read_u8("dhcp option code")?;
+                match code {
+                    0 => continue, // pad
+                    255 => break,  // end
+                    _ => {
+                        let len = r.read_u8("dhcp option length")? as usize;
+                        let data = r.read_slice("dhcp option data", len)?;
+                        options.push(match code {
+                            53 if len == 1 => match DhcpMessageType::from_u8(data[0]) {
+                                Some(t) => DhcpOption::MessageType(t),
+                                None => DhcpOption::Other(53, data.to_vec()),
+                            },
+                            50 if len == 4 => DhcpOption::RequestedIp(Ipv4Addr::new(
+                                data[0], data[1], data[2], data[3],
+                            )),
+                            54 if len == 4 => DhcpOption::ServerId(Ipv4Addr::new(
+                                data[0], data[1], data[2], data[3],
+                            )),
+                            12 => DhcpOption::HostName(String::from_utf8_lossy(data).into_owned()),
+                            60 => DhcpOption::VendorClassId(
+                                String::from_utf8_lossy(data).into_owned(),
+                            ),
+                            55 => DhcpOption::ParameterRequestList(data.to_vec()),
+                            51 if len == 4 => DhcpOption::LeaseTime(u32::from_be_bytes([
+                                data[0], data[1], data[2], data[3],
+                            ])),
+                            _ => DhcpOption::Other(code, data.to_vec()),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(DhcpMessage {
+            op,
+            xid,
+            secs,
+            broadcast: flags & 0x8000 != 0,
+            ciaddr,
+            yiaddr,
+            siaddr,
+            chaddr,
+            options,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac() -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, 7])
+    }
+
+    #[test]
+    fn discover_round_trip() {
+        let msg = DhcpMessage::discover(mac(), 0xdeadbeef, "smart-plug");
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        let decoded = DhcpMessage::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(decoded.message_type(), Some(DhcpMessageType::Discover));
+    }
+
+    #[test]
+    fn request_carries_requested_ip_and_server() {
+        let msg = DhcpMessage::request(
+            mac(),
+            7,
+            Ipv4Addr::new(192, 168, 1, 50),
+            Ipv4Addr::new(192, 168, 1, 1),
+            "cam",
+        );
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        let decoded = DhcpMessage::decode(&mut Reader::new(&buf)).unwrap();
+        assert!(decoded
+            .options
+            .contains(&DhcpOption::RequestedIp(Ipv4Addr::new(192, 168, 1, 50))));
+        assert!(decoded
+            .options
+            .contains(&DhcpOption::ServerId(Ipv4Addr::new(192, 168, 1, 1))));
+    }
+
+    #[test]
+    fn server_ack_round_trip() {
+        let msg = DhcpMessage::server_reply(
+            DhcpMessageType::Ack,
+            mac(),
+            7,
+            Ipv4Addr::new(192, 168, 1, 50),
+            Ipv4Addr::new(192, 168, 1, 1),
+        );
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        let decoded = DhcpMessage::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded.op, 2);
+        assert_eq!(decoded.yiaddr, Ipv4Addr::new(192, 168, 1, 50));
+        assert_eq!(decoded.message_type(), Some(DhcpMessageType::Ack));
+    }
+
+    #[test]
+    fn plain_bootp_has_no_message_type() {
+        let msg = DhcpMessage::bootp_request(mac(), 42);
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        let decoded = DhcpMessage::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded.message_type(), None);
+        assert!(decoded.options.is_empty());
+    }
+
+    #[test]
+    fn fixed_header_is_236_bytes_without_options() {
+        let msg = DhcpMessage::bootp_request(mac(), 42);
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        assert_eq!(buf.len(), 236);
+    }
+
+    #[test]
+    fn rejects_bad_op() {
+        let msg = DhcpMessage::bootp_request(mac(), 42);
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        buf[0] = 9;
+        assert!(DhcpMessage::decode(&mut Reader::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn message_type_round_trip_all_values() {
+        for v in 1u8..=8 {
+            let t = DhcpMessageType::from_u8(v).unwrap();
+            assert_eq!(t as u8, v);
+        }
+        assert!(DhcpMessageType::from_u8(0).is_none());
+        assert!(DhcpMessageType::from_u8(9).is_none());
+    }
+}

@@ -1,0 +1,370 @@
+//! DNS / mDNS message encoding and decoding (RFC 1035 subset).
+//!
+//! Supports questions and a minimal answer section — enough for the
+//! queries and announcements IoT devices emit during setup (A/AAAA
+//! lookups of vendor cloud hosts, mDNS PTR/SRV/TXT service
+//! announcements).
+
+use bytes::BufMut;
+
+use crate::error::WireError;
+use crate::wire::Reader;
+
+/// DNS record type A (IPv4 host address).
+pub const TYPE_A: u16 = 1;
+/// DNS record type PTR.
+pub const TYPE_PTR: u16 = 12;
+/// DNS record type TXT.
+pub const TYPE_TXT: u16 = 16;
+/// DNS record type AAAA (IPv6 host address).
+pub const TYPE_AAAA: u16 = 28;
+/// DNS record type SRV.
+pub const TYPE_SRV: u16 = 33;
+/// DNS class IN.
+pub const CLASS_IN: u16 = 1;
+
+/// A DNS question entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsQuestion {
+    /// Queried name, dot-separated.
+    pub name: String,
+    /// Query type (A, AAAA, PTR, …).
+    pub qtype: u16,
+    /// Query class (`CLASS_IN`, possibly with the mDNS unicast-response
+    /// bit 0x8000).
+    pub qclass: u16,
+}
+
+/// A DNS resource record (answer/authority/additional).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsRecord {
+    /// Record name, dot-separated.
+    pub name: String,
+    /// Record type.
+    pub rtype: u16,
+    /// Record class.
+    pub rclass: u16,
+    /// Time to live.
+    pub ttl: u32,
+    /// Raw RDATA bytes.
+    pub rdata: Vec<u8>,
+}
+
+/// A DNS message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsMessage {
+    /// Transaction identifier (0 for mDNS).
+    pub id: u16,
+    /// Whether this is a response (QR bit).
+    pub response: bool,
+    /// Whether recursion is desired.
+    pub recursion_desired: bool,
+    /// Question entries.
+    pub questions: Vec<DnsQuestion>,
+    /// Answer records.
+    pub answers: Vec<DnsRecord>,
+}
+
+impl DnsMessage {
+    /// A standard recursive A query for `name`.
+    pub fn query_a(id: u16, name: &str) -> Self {
+        DnsMessage {
+            id,
+            response: false,
+            recursion_desired: true,
+            questions: vec![DnsQuestion {
+                name: name.to_string(),
+                qtype: TYPE_A,
+                qclass: CLASS_IN,
+            }],
+            answers: Vec::new(),
+        }
+    }
+
+    /// An mDNS PTR query for a service name such as
+    /// `_hap._tcp.local` (id 0, no recursion).
+    pub fn mdns_query_ptr(service: &str) -> Self {
+        DnsMessage {
+            id: 0,
+            response: false,
+            recursion_desired: false,
+            questions: vec![DnsQuestion {
+                name: service.to_string(),
+                qtype: TYPE_PTR,
+                qclass: CLASS_IN,
+            }],
+            answers: Vec::new(),
+        }
+    }
+
+    /// An mDNS announcement (response) advertising `instance` under
+    /// `service` with a TXT record.
+    pub fn mdns_announce(service: &str, instance: &str) -> Self {
+        let full = format!("{instance}.{service}");
+        DnsMessage {
+            id: 0,
+            response: true,
+            recursion_desired: false,
+            questions: Vec::new(),
+            answers: vec![
+                DnsRecord {
+                    name: service.to_string(),
+                    rtype: TYPE_PTR,
+                    rclass: CLASS_IN | 0x8000, // cache-flush
+                    ttl: 4500,
+                    rdata: encode_name_bytes(&full),
+                },
+                DnsRecord {
+                    name: full,
+                    rtype: TYPE_TXT,
+                    rclass: CLASS_IN | 0x8000,
+                    ttl: 4500,
+                    rdata: b"\x09md=device".to_vec(),
+                },
+            ],
+        }
+    }
+
+    /// A response answering `question_name` with an A record.
+    pub fn response_a(id: u16, question_name: &str, addr: std::net::Ipv4Addr) -> Self {
+        DnsMessage {
+            id,
+            response: true,
+            recursion_desired: true,
+            questions: vec![DnsQuestion {
+                name: question_name.to_string(),
+                qtype: TYPE_A,
+                qclass: CLASS_IN,
+            }],
+            answers: vec![DnsRecord {
+                name: question_name.to_string(),
+                rtype: TYPE_A,
+                rclass: CLASS_IN,
+                ttl: 300,
+                rdata: addr.octets().to_vec(),
+            }],
+        }
+    }
+
+    /// Encodes the message.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u16(self.id);
+        let mut flags = 0u16;
+        if self.response {
+            flags |= 0x8000;
+        }
+        if self.recursion_desired {
+            flags |= 0x0100;
+        }
+        out.put_u16(flags);
+        out.put_u16(self.questions.len() as u16);
+        out.put_u16(self.answers.len() as u16);
+        out.put_u16(0); // authority
+        out.put_u16(0); // additional
+        for q in &self.questions {
+            encode_name(&q.name, out);
+            out.put_u16(q.qtype);
+            out.put_u16(q.qclass);
+        }
+        for a in &self.answers {
+            encode_name(&a.name, out);
+            out.put_u16(a.rtype);
+            out.put_u16(a.rclass);
+            out.put_u32(a.ttl);
+            out.put_u16(a.rdata.len() as u16);
+            out.put_slice(&a.rdata);
+        }
+    }
+
+    /// Decodes a message from the remainder of `r`.
+    ///
+    /// Name-compression pointers are followed one level (sufficient
+    /// for the frames this crate emits and typical capture content).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] on short input.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let full = r.read_rest().to_vec();
+        let mut cur = Reader::new(&full);
+        let id = cur.read_u16("dns id")?;
+        let flags = cur.read_u16("dns flags")?;
+        let qcount = cur.read_u16("dns question count")?;
+        let acount = cur.read_u16("dns answer count")?;
+        let _ns = cur.read_u16("dns authority count")?;
+        let _ar = cur.read_u16("dns additional count")?;
+        let mut questions = Vec::new();
+        for _ in 0..qcount {
+            let name = decode_name(&mut cur, &full)?;
+            let qtype = cur.read_u16("dns qtype")?;
+            let qclass = cur.read_u16("dns qclass")?;
+            questions.push(DnsQuestion {
+                name,
+                qtype,
+                qclass,
+            });
+        }
+        let mut answers = Vec::new();
+        for _ in 0..acount {
+            let name = decode_name(&mut cur, &full)?;
+            let rtype = cur.read_u16("dns rtype")?;
+            let rclass = cur.read_u16("dns rclass")?;
+            let ttl = cur.read_u32("dns ttl")?;
+            let rdlen = cur.read_u16("dns rdlength")? as usize;
+            let rdata = cur.read_slice("dns rdata", rdlen)?.to_vec();
+            answers.push(DnsRecord {
+                name,
+                rtype,
+                rclass,
+                ttl,
+                rdata,
+            });
+        }
+        Ok(DnsMessage {
+            id,
+            response: flags & 0x8000 != 0,
+            recursion_desired: flags & 0x0100 != 0,
+            questions,
+            answers,
+        })
+    }
+}
+
+/// Encodes a dot-separated name in DNS label format into `out`.
+fn encode_name(name: &str, out: &mut Vec<u8>) {
+    for label in name.split('.').filter(|l| !l.is_empty()) {
+        out.put_u8(label.len() as u8);
+        out.put_slice(label.as_bytes());
+    }
+    out.put_u8(0);
+}
+
+/// Encodes a name into a standalone byte vector (used for PTR rdata).
+pub fn encode_name_bytes(name: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_name(name, &mut out);
+    out
+}
+
+/// Decodes a DNS name at the current reader position, following at most
+/// one compression pointer into `full`.
+fn decode_name(r: &mut Reader<'_>, full: &[u8]) -> Result<String, WireError> {
+    let mut labels: Vec<String> = Vec::new();
+    loop {
+        let len = r.read_u8("dns label length")?;
+        if len == 0 {
+            break;
+        }
+        if len & 0xc0 == 0xc0 {
+            let lo = r.read_u8("dns pointer low byte")?;
+            let offset = ((u16::from(len & 0x3f) << 8) | u16::from(lo)) as usize;
+            if offset >= full.len() {
+                return Err(WireError::invalid_field("dns compression offset", offset));
+            }
+            let mut sub = Reader::new(&full[offset..]);
+            // One level only: recursive pointers in pointed-to names are
+            // rejected by the nested call reading a pointer again.
+            let rest = decode_name_simple(&mut sub)?;
+            if !rest.is_empty() {
+                labels.push(rest);
+            }
+            break;
+        }
+        let bytes = r.read_slice("dns label", len as usize)?;
+        labels.push(String::from_utf8_lossy(bytes).into_owned());
+    }
+    Ok(labels.join("."))
+}
+
+/// Decodes a name without following compression pointers.
+fn decode_name_simple(r: &mut Reader<'_>) -> Result<String, WireError> {
+    let mut labels: Vec<String> = Vec::new();
+    loop {
+        let len = r.read_u8("dns label length")?;
+        if len == 0 {
+            break;
+        }
+        if len & 0xc0 == 0xc0 {
+            return Err(WireError::invalid_field("dns nested compression", len));
+        }
+        let bytes = r.read_slice("dns label", len as usize)?;
+        labels.push(String::from_utf8_lossy(bytes).into_owned());
+    }
+    Ok(labels.join("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn query_round_trip() {
+        let msg = DnsMessage::query_a(0x1234, "api.vendor-cloud.example.com");
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        let decoded = DnsMessage::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn mdns_query_has_zero_id_no_rd() {
+        let msg = DnsMessage::mdns_query_ptr("_hue._tcp.local");
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        let decoded = DnsMessage::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded.id, 0);
+        assert!(!decoded.recursion_desired);
+        assert_eq!(decoded.questions[0].qtype, TYPE_PTR);
+    }
+
+    #[test]
+    fn mdns_announce_round_trip() {
+        let msg = DnsMessage::mdns_announce("_ssdp._udp.local", "bridge-0042");
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        let decoded = DnsMessage::decode(&mut Reader::new(&buf)).unwrap();
+        assert!(decoded.response);
+        assert_eq!(decoded.answers.len(), 2);
+        assert_eq!(decoded.answers[0].rtype, TYPE_PTR);
+        assert_eq!(decoded.answers[1].rtype, TYPE_TXT);
+    }
+
+    #[test]
+    fn response_a_round_trip() {
+        let msg = DnsMessage::response_a(9, "time.example.org", Ipv4Addr::new(10, 1, 2, 3));
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        let decoded = DnsMessage::decode(&mut Reader::new(&buf)).unwrap();
+        assert!(decoded.response);
+        assert_eq!(decoded.answers[0].rdata, vec![10, 1, 2, 3]);
+    }
+
+    #[test]
+    fn compression_pointer_is_followed() {
+        // Hand-build: header, question "a.b", answer with name pointer
+        // to offset 12 (the question name).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&[0, 1, 0x80, 0, 0, 1, 0, 1, 0, 0, 0, 0]);
+        buf.extend_from_slice(&[1, b'a', 1, b'b', 0]); // "a.b" at offset 12
+        buf.extend_from_slice(&TYPE_A.to_be_bytes());
+        buf.extend_from_slice(&CLASS_IN.to_be_bytes());
+        buf.extend_from_slice(&[0xc0, 12]); // pointer to offset 12
+        buf.extend_from_slice(&TYPE_A.to_be_bytes());
+        buf.extend_from_slice(&CLASS_IN.to_be_bytes());
+        buf.extend_from_slice(&300u32.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&[1, 2, 3, 4]);
+        let decoded = DnsMessage::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded.answers[0].name, "a.b");
+    }
+
+    #[test]
+    fn truncated_errors() {
+        let msg = DnsMessage::query_a(1, "example.com");
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        buf.truncate(6);
+        assert!(DnsMessage::decode(&mut Reader::new(&buf)).is_err());
+    }
+}

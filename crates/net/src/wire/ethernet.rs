@@ -1,0 +1,199 @@
+//! Ethernet II and IEEE 802.3/802.2 LLC framing.
+
+use bytes::BufMut;
+
+use crate::error::WireError;
+use crate::mac::MacAddr;
+use crate::wire::Reader;
+
+/// Minimum Ethernet frame length on the wire (without FCS).
+pub const MIN_FRAME_LEN: usize = 60;
+
+/// An Ethernet frame header: destination, source, and either an
+/// EtherType (Ethernet II) or a length + LLC header (802.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EthernetHeader {
+    /// Ethernet II framing.
+    TypeII {
+        /// Destination MAC.
+        dst: MacAddr,
+        /// Source MAC.
+        src: MacAddr,
+        /// EtherType (> 1535).
+        ethertype: u16,
+    },
+    /// IEEE 802.3 framing with an 802.2 LLC header.
+    Llc {
+        /// Destination MAC.
+        dst: MacAddr,
+        /// Source MAC.
+        src: MacAddr,
+        /// Payload length (≤ 1500).
+        length: u16,
+        /// Destination service access point.
+        dsap: u8,
+        /// Source service access point.
+        ssap: u8,
+        /// LLC control field.
+        control: u8,
+    },
+}
+
+impl EthernetHeader {
+    /// Source MAC of either framing variant.
+    pub fn src(&self) -> MacAddr {
+        match self {
+            EthernetHeader::TypeII { src, .. } | EthernetHeader::Llc { src, .. } => *src,
+        }
+    }
+
+    /// Destination MAC of either framing variant.
+    pub fn dst(&self) -> MacAddr {
+        match self {
+            EthernetHeader::TypeII { dst, .. } | EthernetHeader::Llc { dst, .. } => *dst,
+        }
+    }
+
+    /// Encodes the header into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            EthernetHeader::TypeII {
+                dst,
+                src,
+                ethertype,
+            } => {
+                out.put_slice(&dst.octets());
+                out.put_slice(&src.octets());
+                out.put_u16(*ethertype);
+            }
+            EthernetHeader::Llc {
+                dst,
+                src,
+                length,
+                dsap,
+                ssap,
+                control,
+            } => {
+                out.put_slice(&dst.octets());
+                out.put_slice(&src.octets());
+                out.put_u16(*length);
+                out.put_u8(*dsap);
+                out.put_u8(*ssap);
+                out.put_u8(*control);
+            }
+        }
+    }
+
+    /// Decodes a header from `r`, leaving the reader positioned at the
+    /// start of the payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if fewer than 14 bytes remain.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let dst = MacAddr::new(r.read_array::<6>("ethernet dst")?);
+        let src = MacAddr::new(r.read_array::<6>("ethernet src")?);
+        let type_or_len = r.read_u16("ethernet type/length")?;
+        if type_or_len <= 1500 {
+            let dsap = r.read_u8("llc dsap")?;
+            let ssap = r.read_u8("llc ssap")?;
+            let control = r.read_u8("llc control")?;
+            Ok(EthernetHeader::Llc {
+                dst,
+                src,
+                length: type_or_len,
+                dsap,
+                ssap,
+                control,
+            })
+        } else {
+            Ok(EthernetHeader::TypeII {
+                dst,
+                src,
+                ethertype: type_or_len,
+            })
+        }
+    }
+}
+
+/// Pads `frame` with zero bytes up to the Ethernet minimum of 60 bytes
+/// (64 with FCS, which captures do not include).
+pub fn pad_to_minimum(frame: &mut Vec<u8>) {
+    while frame.len() < MIN_FRAME_LEN {
+        frame.push(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(last: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, last])
+    }
+
+    #[test]
+    fn type_ii_round_trip() {
+        let hdr = EthernetHeader::TypeII {
+            dst: mac(1),
+            src: mac(2),
+            ethertype: 0x0800,
+        };
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        assert_eq!(buf.len(), 14);
+        let mut r = Reader::new(&buf);
+        assert_eq!(EthernetHeader::decode(&mut r).unwrap(), hdr);
+    }
+
+    #[test]
+    fn llc_round_trip() {
+        let hdr = EthernetHeader::Llc {
+            dst: mac(1),
+            src: mac(2),
+            length: 38,
+            dsap: 0x42,
+            ssap: 0x42,
+            control: 0x03,
+        };
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        assert_eq!(buf.len(), 17);
+        let mut r = Reader::new(&buf);
+        assert_eq!(EthernetHeader::decode(&mut r).unwrap(), hdr);
+    }
+
+    #[test]
+    fn length_field_value_1500_is_llc() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&mac(1).octets());
+        buf.extend_from_slice(&mac(2).octets());
+        buf.extend_from_slice(&1500u16.to_be_bytes());
+        buf.extend_from_slice(&[0xaa, 0xaa, 0x03]);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            EthernetHeader::decode(&mut r).unwrap(),
+            EthernetHeader::Llc { .. }
+        ));
+    }
+
+    #[test]
+    fn truncated_header_errors() {
+        let buf = [0u8; 10];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            EthernetHeader::decode(&mut r),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn padding_reaches_minimum() {
+        let mut frame = vec![0u8; 20];
+        pad_to_minimum(&mut frame);
+        assert_eq!(frame.len(), MIN_FRAME_LEN);
+        let mut long = vec![0u8; 100];
+        pad_to_minimum(&mut long);
+        assert_eq!(long.len(), 100);
+    }
+}

@@ -1,0 +1,257 @@
+//! HTTP/1.x message text and a minimal TLS record codec.
+//!
+//! The monitor never needs full HTTP semantics — only to recognise
+//! HTTP request/response text (port-80 cleartext setup APIs) and TLS
+//! records (port-443 cloud connections) well enough to classify the
+//! packet and size it realistically.
+
+use bytes::BufMut;
+
+use crate::error::WireError;
+
+/// Recognised HTTP request methods.
+const METHODS: [&str; 7] = ["GET", "POST", "PUT", "DELETE", "HEAD", "OPTIONS", "PATCH"];
+
+/// An HTTP/1.1 request (start line + headers + optional body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method.
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Header name/value pairs.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// A GET request with standard IoT-client headers.
+    pub fn get(host: &str, path: &str, user_agent: &str) -> Self {
+        HttpRequest {
+            method: "GET".into(),
+            path: path.into(),
+            headers: vec![
+                ("Host".into(), host.into()),
+                ("User-Agent".into(), user_agent.into()),
+                ("Accept".into(), "*/*".into()),
+                ("Connection".into(), "close".into()),
+            ],
+            body: Vec::new(),
+        }
+    }
+
+    /// A POST request carrying `body`.
+    pub fn post(host: &str, path: &str, user_agent: &str, body: Vec<u8>) -> Self {
+        HttpRequest {
+            method: "POST".into(),
+            path: path.into(),
+            headers: vec![
+                ("Host".into(), host.into()),
+                ("User-Agent".into(), user_agent.into()),
+                ("Content-Type".into(), "application/json".into()),
+                ("Content-Length".into(), body.len().to_string()),
+            ],
+            body,
+        }
+    }
+
+    /// Encodes the request as wire text.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.put_slice(self.method.as_bytes());
+        out.put_u8(b' ');
+        out.put_slice(self.path.as_bytes());
+        out.put_slice(b" HTTP/1.1\r\n");
+        for (k, v) in &self.headers {
+            out.put_slice(k.as_bytes());
+            out.put_slice(b": ");
+            out.put_slice(v.as_bytes());
+            out.put_slice(b"\r\n");
+        }
+        out.put_slice(b"\r\n");
+        out.put_slice(&self.body);
+    }
+}
+
+/// Classification result for a TCP payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpPayloadKind {
+    /// HTTP request with the given method.
+    HttpRequest(String),
+    /// HTTP response (status line).
+    HttpResponse,
+    /// A TLS record with the given content type (22 = handshake).
+    Tls(u8),
+    /// Unrecognised bytes.
+    Opaque,
+}
+
+/// Classifies a TCP payload as HTTP text, TLS record or opaque bytes —
+/// the same level of insight a passive monitor has.
+pub fn classify_tcp_payload(payload: &[u8]) -> TcpPayloadKind {
+    if payload.is_empty() {
+        return TcpPayloadKind::Opaque;
+    }
+    // TLS record header: content type 20-23, version major 3.
+    if payload.len() >= 3 && (20..=23).contains(&payload[0]) && payload[1] == 3 {
+        return TcpPayloadKind::Tls(payload[0]);
+    }
+    if let Ok(text) = std::str::from_utf8(&payload[..payload.len().min(96)]) {
+        if text.starts_with("HTTP/1.") {
+            return TcpPayloadKind::HttpResponse;
+        }
+        for m in METHODS {
+            if text.starts_with(m) && text.as_bytes().get(m.len()) == Some(&b' ') {
+                return TcpPayloadKind::HttpRequest(m.to_string());
+            }
+        }
+    }
+    TcpPayloadKind::Opaque
+}
+
+/// A minimal TLS ClientHello record carrying an SNI host name — enough
+/// to give HTTPS flows realistic first-packet sizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlsClientHello {
+    /// The server name indication.
+    pub sni: String,
+}
+
+impl TlsClientHello {
+    /// Creates a hello for `sni`.
+    pub fn new(sni: &str) -> Self {
+        TlsClientHello { sni: sni.into() }
+    }
+
+    /// Encodes a TLS 1.2 record containing a ClientHello handshake with
+    /// an SNI extension. Cryptographic fields are deterministic filler.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let sni = self.sni.as_bytes();
+        // SNI extension: type 0, list with one host_name entry.
+        let sni_entry_len = 3 + sni.len();
+        let sni_ext_len = 2 + sni_entry_len;
+        let extensions_len = 4 + sni_ext_len;
+        // ClientHello body: version(2) random(32) session-id(1)
+        // ciphers(2+8) compression(2) extensions(2+len).
+        let hello_len = 2 + 32 + 1 + 10 + 2 + 2 + extensions_len;
+        let handshake_len = 4 + hello_len;
+        out.put_u8(22); // content type: handshake
+        out.put_u8(3);
+        out.put_u8(3); // TLS 1.2
+        out.put_u16(handshake_len as u16);
+        out.put_u8(1); // handshake type: client hello
+        out.put_u8(0);
+        out.put_u16(hello_len as u16);
+        out.put_u8(3);
+        out.put_u8(3);
+        out.put_slice(&[0xab; 32]); // random
+        out.put_u8(0); // session id length
+        out.put_u16(8); // cipher suites length
+        out.put_slice(&[0x13, 0x01, 0x13, 0x02, 0x13, 0x03, 0xc0, 0x2f]);
+        out.put_u8(1); // compression methods length
+        out.put_u8(0);
+        out.put_u16(extensions_len as u16);
+        out.put_u16(0); // extension type: server_name
+        out.put_u16(sni_ext_len as u16);
+        out.put_u16(sni_entry_len as u16);
+        out.put_u8(0); // name type: host_name
+        out.put_u16(sni.len() as u16);
+        out.put_slice(sni);
+    }
+
+    /// Extracts the SNI from an encoded ClientHello record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::InvalidField`] if the record is not a
+    /// handshake ClientHello with an SNI extension.
+    pub fn decode_sni(record: &[u8]) -> Result<String, WireError> {
+        if record.len() < 5 || record[0] != 22 {
+            return Err(WireError::invalid_field("tls record", "not a handshake"));
+        }
+        // Scan for the server_name extension marker rather than fully
+        // parsing: type 0x0000 followed by plausible lengths.
+        let mut i = 5;
+        while i + 9 <= record.len() {
+            if record[i] == 0 && record[i + 1] == 0 {
+                let name_len = u16::from_be_bytes([record[i + 7], record[i + 8]]) as usize;
+                let start = i + 9;
+                if start + name_len <= record.len() {
+                    let name = &record[start..start + name_len];
+                    if !name.is_empty() && name.iter().all(|b| b.is_ascii_graphic()) {
+                        return Ok(String::from_utf8_lossy(name).into_owned());
+                    }
+                }
+            }
+            i += 1;
+        }
+        Err(WireError::invalid_field("tls client hello", "no sni"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn http_get_encodes_as_text() {
+        let req = HttpRequest::get("api.example.com", "/v1/register", "edimax-plug/1.0");
+        let mut buf = Vec::new();
+        req.encode(&mut buf);
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("GET /v1/register HTTP/1.1\r\n"));
+        assert!(text.contains("Host: api.example.com\r\n"));
+        assert_eq!(
+            classify_tcp_payload(&buf),
+            TcpPayloadKind::HttpRequest("GET".into())
+        );
+    }
+
+    #[test]
+    fn http_post_carries_body() {
+        let req = HttpRequest::post("h", "/p", "ua", b"{\"k\":1}".to_vec());
+        let mut buf = Vec::new();
+        req.encode(&mut buf);
+        assert!(buf.ends_with(b"{\"k\":1}"));
+        assert_eq!(
+            classify_tcp_payload(&buf),
+            TcpPayloadKind::HttpRequest("POST".into())
+        );
+    }
+
+    #[test]
+    fn http_response_classification() {
+        assert_eq!(
+            classify_tcp_payload(b"HTTP/1.1 200 OK\r\n\r\n"),
+            TcpPayloadKind::HttpResponse
+        );
+    }
+
+    #[test]
+    fn tls_hello_round_trip_sni() {
+        let hello = TlsClientHello::new("cloud.vendor.example");
+        let mut buf = Vec::new();
+        hello.encode(&mut buf);
+        assert_eq!(classify_tcp_payload(&buf), TcpPayloadKind::Tls(22));
+        assert_eq!(
+            TlsClientHello::decode_sni(&buf).unwrap(),
+            "cloud.vendor.example"
+        );
+    }
+
+    #[test]
+    fn opaque_payloads() {
+        assert_eq!(classify_tcp_payload(b""), TcpPayloadKind::Opaque);
+        assert_eq!(
+            classify_tcp_payload(&[0x00, 0x01, 0x02]),
+            TcpPayloadKind::Opaque
+        );
+        assert_eq!(classify_tcp_payload(b"GETX/"), TcpPayloadKind::Opaque);
+    }
+
+    #[test]
+    fn tls_application_data() {
+        let payload = [23u8, 3, 3, 0, 16, 1, 2, 3];
+        assert_eq!(classify_tcp_payload(&payload), TcpPayloadKind::Tls(23));
+    }
+}

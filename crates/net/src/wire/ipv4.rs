@@ -1,0 +1,311 @@
+//! IPv4 header encoding and decoding, including the two header options
+//! the IoT Sentinel fingerprint observes: padding (NOP/EOL) and Router
+//! Alert (RFC 2113, carried by IGMP membership messages).
+
+use std::net::Ipv4Addr;
+
+use bytes::BufMut;
+
+use crate::error::WireError;
+use crate::wire::Reader;
+
+/// An IPv4 header option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ipv4Option {
+    /// End of options list (type 0), a padding byte.
+    EndOfOptions,
+    /// No-operation (type 1), a padding byte.
+    Nop,
+    /// Router Alert (type 148) with its 16-bit value (0 = examine
+    /// packet).
+    RouterAlert(u16),
+}
+
+impl Ipv4Option {
+    /// Encoded length of this option in bytes.
+    pub fn wire_len(self) -> usize {
+        match self {
+            Ipv4Option::EndOfOptions | Ipv4Option::Nop => 1,
+            Ipv4Option::RouterAlert(_) => 4,
+        }
+    }
+
+    /// Whether this option is padding for fingerprint purposes.
+    pub fn is_padding(self) -> bool {
+        matches!(self, Ipv4Option::EndOfOptions | Ipv4Option::Nop)
+    }
+}
+
+/// A decoded IPv4 header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Differentiated services code point (6 bits) + ECN (2 bits).
+    pub dscp_ecn: u8,
+    /// Identification field.
+    pub identification: u16,
+    /// Don't-fragment flag.
+    pub dont_fragment: bool,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol number.
+    pub protocol: u8,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Header options, in wire order.
+    pub options: Vec<Ipv4Option>,
+    /// Total length field (header + payload). Filled in by
+    /// [`Ipv4Header::encode`]; on decode, reflects the wire value.
+    pub total_len: u16,
+}
+
+impl Ipv4Header {
+    /// Creates a plain header with no options, TTL 64 and DF set.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8) -> Self {
+        Ipv4Header {
+            dscp_ecn: 0,
+            identification: 0,
+            dont_fragment: true,
+            ttl: 64,
+            protocol,
+            src,
+            dst,
+            options: Vec::new(),
+            total_len: 0,
+        }
+    }
+
+    /// Adds a Router Alert option followed by padding to a 4-byte
+    /// boundary is unnecessary (RA is exactly 4 bytes); provided for
+    /// IGMP-style headers.
+    pub fn with_router_alert(mut self) -> Self {
+        self.options.push(Ipv4Option::RouterAlert(0));
+        self
+    }
+
+    /// Adds NOP+EOL padding options (2 NOPs + 2 EOLs = one 4-byte word).
+    pub fn with_padding(mut self) -> Self {
+        self.options.push(Ipv4Option::Nop);
+        self.options.push(Ipv4Option::Nop);
+        self.options.push(Ipv4Option::EndOfOptions);
+        self.options.push(Ipv4Option::EndOfOptions);
+        self
+    }
+
+    /// Whether any option is padding.
+    pub fn has_padding(&self) -> bool {
+        self.options.iter().any(|o| o.is_padding())
+    }
+
+    /// Whether a Router Alert option is present.
+    pub fn has_router_alert(&self) -> bool {
+        self.options
+            .iter()
+            .any(|o| matches!(o, Ipv4Option::RouterAlert(_)))
+    }
+
+    /// Header length in bytes including options (always a multiple of
+    /// 4; options are implicitly padded with EOL on encode).
+    pub fn header_len(&self) -> usize {
+        let opt_bytes: usize = self.options.iter().map(|o| o.wire_len()).sum();
+        20 + opt_bytes.div_ceil(4) * 4
+    }
+
+    /// Encodes the header (computing total length and checksum) for a
+    /// payload of `payload_len` bytes.
+    pub fn encode(&self, out: &mut Vec<u8>, payload_len: usize) {
+        let header_len = self.header_len();
+        let ihl = (header_len / 4) as u8;
+        let total_len = (header_len + payload_len) as u16;
+        let start = out.len();
+        out.put_u8(0x40 | ihl);
+        out.put_u8(self.dscp_ecn);
+        out.put_u16(total_len);
+        out.put_u16(self.identification);
+        out.put_u16(if self.dont_fragment { 0x4000 } else { 0 });
+        out.put_u8(self.ttl);
+        out.put_u8(self.protocol);
+        out.put_u16(0); // checksum placeholder
+        out.put_slice(&self.src.octets());
+        out.put_slice(&self.dst.octets());
+        let mut opt_bytes = 0usize;
+        for opt in &self.options {
+            match opt {
+                Ipv4Option::EndOfOptions => out.put_u8(0),
+                Ipv4Option::Nop => out.put_u8(1),
+                Ipv4Option::RouterAlert(v) => {
+                    out.put_u8(148);
+                    out.put_u8(4);
+                    out.put_u16(*v);
+                }
+            }
+            opt_bytes += opt.wire_len();
+        }
+        while !opt_bytes.is_multiple_of(4) {
+            out.put_u8(0);
+            opt_bytes += 1;
+        }
+        let checksum = internet_checksum(&out[start..start + header_len]);
+        out[start + 10] = (checksum >> 8) as u8;
+        out[start + 11] = (checksum & 0xff) as u8;
+    }
+
+    /// Decodes a header, leaving `r` positioned at the payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] on short input and
+    /// [`WireError::InvalidField`] on a bad version or IHL.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let ver_ihl = r.read_u8("ipv4 version/ihl")?;
+        if ver_ihl >> 4 != 4 {
+            return Err(WireError::invalid_field("ipv4 version", ver_ihl >> 4));
+        }
+        let ihl = (ver_ihl & 0x0f) as usize;
+        if ihl < 5 {
+            return Err(WireError::invalid_field("ipv4 ihl", ihl));
+        }
+        let dscp_ecn = r.read_u8("ipv4 dscp")?;
+        let total_len = r.read_u16("ipv4 total length")?;
+        let identification = r.read_u16("ipv4 identification")?;
+        let flags_frag = r.read_u16("ipv4 flags")?;
+        let ttl = r.read_u8("ipv4 ttl")?;
+        let protocol = r.read_u8("ipv4 protocol")?;
+        let _checksum = r.read_u16("ipv4 checksum")?;
+        let src = Ipv4Addr::from(r.read_array::<4>("ipv4 src")?);
+        let dst = Ipv4Addr::from(r.read_array::<4>("ipv4 dst")?);
+        let mut options = Vec::new();
+        let mut remaining = ihl * 4 - 20;
+        while remaining > 0 {
+            let t = r.read_u8("ipv4 option type")?;
+            remaining -= 1;
+            match t {
+                0 => options.push(Ipv4Option::EndOfOptions),
+                1 => options.push(Ipv4Option::Nop),
+                148 => {
+                    let len = r.read_u8("ipv4 router alert length")?;
+                    if len != 4 {
+                        return Err(WireError::invalid_field("ipv4 router alert length", len));
+                    }
+                    let v = r.read_u16("ipv4 router alert value")?;
+                    options.push(Ipv4Option::RouterAlert(v));
+                    remaining = remaining.saturating_sub(3);
+                }
+                other => {
+                    // Skip unknown TLV options.
+                    let len = r.read_u8("ipv4 option length")? as usize;
+                    if len < 2 {
+                        return Err(WireError::invalid_field("ipv4 option length", other));
+                    }
+                    r.skip("ipv4 option data", len - 2)?;
+                    remaining = remaining.saturating_sub(len - 1);
+                }
+            }
+        }
+        Ok(Ipv4Header {
+            dscp_ecn,
+            identification,
+            dont_fragment: flags_frag & 0x4000 != 0,
+            ttl,
+            protocol,
+            src,
+            dst,
+            options,
+            total_len,
+        })
+    }
+}
+
+/// RFC 1071 internet checksum.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_header_round_trip() {
+        let hdr = Ipv4Header::new(
+            Ipv4Addr::new(192, 168, 1, 50),
+            Ipv4Addr::new(192, 168, 1, 1),
+            17,
+        );
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf, 100);
+        assert_eq!(buf.len(), 20);
+        let decoded = Ipv4Header::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded.src, hdr.src);
+        assert_eq!(decoded.dst, hdr.dst);
+        assert_eq!(decoded.protocol, 17);
+        assert_eq!(decoded.total_len, 120);
+        assert!(!decoded.has_padding());
+        assert!(!decoded.has_router_alert());
+    }
+
+    #[test]
+    fn router_alert_round_trip() {
+        let hdr = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 9), Ipv4Addr::new(224, 0, 0, 22), 2)
+            .with_router_alert();
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf, 8);
+        assert_eq!(buf.len(), 24);
+        let decoded = Ipv4Header::decode(&mut Reader::new(&buf)).unwrap();
+        assert!(decoded.has_router_alert());
+        assert!(!decoded.has_padding());
+    }
+
+    #[test]
+    fn padding_round_trip() {
+        let hdr = Ipv4Header::new(Ipv4Addr::LOCALHOST, Ipv4Addr::LOCALHOST, 6).with_padding();
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf, 0);
+        assert_eq!(buf.len(), 24);
+        let decoded = Ipv4Header::decode(&mut Reader::new(&buf)).unwrap();
+        assert!(decoded.has_padding());
+    }
+
+    #[test]
+    fn checksum_is_valid() {
+        let hdr = Ipv4Header::new(Ipv4Addr::new(172, 16, 0, 7), Ipv4Addr::new(8, 8, 8, 8), 17);
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf, 32);
+        // Re-checksumming a valid header yields zero.
+        assert_eq!(internet_checksum(&buf), 0);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        Ipv4Header::new(Ipv4Addr::LOCALHOST, Ipv4Addr::LOCALHOST, 6).encode(&mut buf, 0);
+        buf[0] = 0x65; // version 6
+        assert!(Ipv4Header::decode(&mut Reader::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn checksum_known_vector() {
+        // Example from RFC 1071 discussions.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_checksum() {
+        let data = [0xffu8, 0x00, 0xff];
+        // 0xff00 + 0xff00 = 0x1fe00 -> 0xfe01 -> !0xfe01 = 0x01fe
+        assert_eq!(internet_checksum(&data), 0x01fe);
+    }
+}

@@ -1,0 +1,227 @@
+//! IPv6 header encoding and decoding, including the hop-by-hop Router
+//! Alert option carried by MLD multicast listener reports.
+
+use std::net::Ipv6Addr;
+
+use bytes::BufMut;
+
+use crate::error::WireError;
+use crate::wire::Reader;
+
+/// Next-header value for the hop-by-hop options extension header.
+pub const NEXT_HEADER_HOP_BY_HOP: u8 = 0;
+
+/// A decoded IPv6 header (fixed part plus an optional hop-by-hop
+/// extension carrying Router Alert).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv6Header {
+    /// Traffic class.
+    pub traffic_class: u8,
+    /// Flow label (20 bits).
+    pub flow_label: u32,
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// The payload protocol (after any hop-by-hop header).
+    pub protocol: u8,
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+    /// Whether a hop-by-hop Router Alert option is present.
+    pub router_alert: bool,
+    /// Payload length field from the wire (filled by encode).
+    pub payload_len: u16,
+}
+
+impl Ipv6Header {
+    /// Creates a plain header with hop limit 255 (link-local control
+    /// traffic default).
+    pub fn new(src: Ipv6Addr, dst: Ipv6Addr, protocol: u8) -> Self {
+        Ipv6Header {
+            traffic_class: 0,
+            flow_label: 0,
+            hop_limit: 255,
+            protocol,
+            src,
+            dst,
+            router_alert: false,
+            payload_len: 0,
+        }
+    }
+
+    /// Adds a hop-by-hop Router Alert option (as MLD reports carry).
+    pub fn with_router_alert(mut self) -> Self {
+        self.router_alert = true;
+        self
+    }
+
+    /// Encoded header length: 40 bytes fixed, +8 for hop-by-hop.
+    pub fn header_len(&self) -> usize {
+        if self.router_alert {
+            48
+        } else {
+            40
+        }
+    }
+
+    /// Encodes the header for a payload of `payload_len` bytes.
+    pub fn encode(&self, out: &mut Vec<u8>, payload_len: usize) {
+        let hbh_len = if self.router_alert { 8 } else { 0 };
+        let wire_payload_len = (payload_len + hbh_len) as u16;
+        let first = 0x6000_0000u32
+            | (u32::from(self.traffic_class) << 20)
+            | (self.flow_label & 0x000f_ffff);
+        out.put_u32(first);
+        out.put_u16(wire_payload_len);
+        out.put_u8(if self.router_alert {
+            NEXT_HEADER_HOP_BY_HOP
+        } else {
+            self.protocol
+        });
+        out.put_u8(self.hop_limit);
+        out.put_slice(&self.src.octets());
+        out.put_slice(&self.dst.octets());
+        if self.router_alert {
+            // Hop-by-hop: next header, length 0 (8 bytes), RA option
+            // (type 5, len 2, value 0 = MLD), PadN(0).
+            out.put_u8(self.protocol);
+            out.put_u8(0);
+            out.put_slice(&[0x05, 0x02, 0x00, 0x00, 0x01, 0x00]);
+        }
+    }
+
+    /// Decodes a header, leaving `r` positioned at the payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] on short input and
+    /// [`WireError::InvalidField`] on a bad version field.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let first = r.read_u32("ipv6 version/class/flow")?;
+        if first >> 28 != 6 {
+            return Err(WireError::invalid_field("ipv6 version", first >> 28));
+        }
+        let traffic_class = ((first >> 20) & 0xff) as u8;
+        let flow_label = first & 0x000f_ffff;
+        let payload_len = r.read_u16("ipv6 payload length")?;
+        let mut protocol = r.read_u8("ipv6 next header")?;
+        let hop_limit = r.read_u8("ipv6 hop limit")?;
+        let src = Ipv6Addr::from(r.read_array::<16>("ipv6 src")?);
+        let dst = Ipv6Addr::from(r.read_array::<16>("ipv6 dst")?);
+        let mut router_alert = false;
+        if protocol == NEXT_HEADER_HOP_BY_HOP {
+            let next = r.read_u8("hop-by-hop next header")?;
+            let hbh_len = r.read_u8("hop-by-hop length")? as usize;
+            let opt_bytes = 6 + hbh_len * 8;
+            let opts = r.read_slice("hop-by-hop options", opt_bytes)?;
+            let mut i = 0;
+            while i < opts.len() {
+                match opts[i] {
+                    0 => i += 1, // Pad1
+                    5 => {
+                        router_alert = true;
+                        i += 2 + opts.get(i + 1).copied().unwrap_or(0) as usize;
+                    }
+                    _ => {
+                        i += 2 + opts.get(i + 1).copied().unwrap_or(0) as usize;
+                    }
+                }
+            }
+            protocol = next;
+        }
+        Ok(Ipv6Header {
+            traffic_class,
+            flow_label,
+            hop_limit,
+            protocol,
+            src,
+            dst,
+            router_alert,
+            payload_len,
+        })
+    }
+}
+
+/// The link-local address a device derives from its MAC via EUI-64.
+pub fn link_local_from_mac(mac: crate::MacAddr) -> Ipv6Addr {
+    let m = mac.octets();
+    Ipv6Addr::new(
+        0xfe80,
+        0,
+        0,
+        0,
+        u16::from_be_bytes([m[0] ^ 0x02, m[1]]),
+        u16::from_be_bytes([m[2], 0xff]),
+        u16::from_be_bytes([0xfe, m[3]]),
+        u16::from_be_bytes([m[4], m[5]]),
+    )
+}
+
+/// The IPv6 all-MLDv2-routers multicast address `ff02::16`.
+pub fn all_mld_routers() -> Ipv6Addr {
+    Ipv6Addr::new(0xff02, 0, 0, 0, 0, 0, 0, 0x16)
+}
+
+/// The IPv6 all-routers multicast address `ff02::2`.
+pub fn all_routers() -> Ipv6Addr {
+    Ipv6Addr::new(0xff02, 0, 0, 0, 0, 0, 0, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MacAddr;
+
+    #[test]
+    fn plain_round_trip() {
+        let hdr = Ipv6Header::new(
+            link_local_from_mac(MacAddr::new([2, 0, 0, 0, 0, 7])),
+            all_routers(),
+            58,
+        );
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf, 24);
+        assert_eq!(buf.len(), 40);
+        let decoded = Ipv6Header::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded.protocol, 58);
+        assert_eq!(decoded.src, hdr.src);
+        assert!(!decoded.router_alert);
+        assert_eq!(decoded.payload_len, 24);
+    }
+
+    #[test]
+    fn router_alert_round_trip() {
+        let hdr = Ipv6Header::new(
+            link_local_from_mac(MacAddr::new([2, 0, 0, 0, 0, 7])),
+            all_mld_routers(),
+            58,
+        )
+        .with_router_alert();
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf, 28);
+        assert_eq!(buf.len(), 48);
+        let decoded = Ipv6Header::decode(&mut Reader::new(&buf)).unwrap();
+        assert!(decoded.router_alert);
+        assert_eq!(decoded.protocol, 58);
+        assert_eq!(decoded.payload_len, 36); // 28 + 8 hop-by-hop
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        Ipv6Header::new(Ipv6Addr::LOCALHOST, Ipv6Addr::LOCALHOST, 17).encode(&mut buf, 0);
+        buf[0] = 0x45;
+        assert!(Ipv6Header::decode(&mut Reader::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn eui64_link_local() {
+        let ll = link_local_from_mac(MacAddr::new([0x00, 0x11, 0x22, 0x33, 0x44, 0x55]));
+        let segs = ll.segments();
+        assert_eq!(segs[0], 0xfe80);
+        assert_eq!(segs[4], 0x0211); // universal/local bit flipped
+        assert_eq!(segs[5], 0x22ff);
+        assert_eq!(segs[6], 0xfe33);
+        assert_eq!(segs[7], 0x4455);
+    }
+}

@@ -1,0 +1,509 @@
+//! Wire-format encoding and decoding.
+//!
+//! Every protocol the IoT Sentinel fingerprint observes has a real byte
+//! codec here. [`decode_frame`] parses a raw Ethernet frame into the
+//! header-level [`Packet`] model — the exact path a tcpdump-based
+//! Security Gateway deployment would run — and [`compose`] builds the
+//! frames the device simulator emits.
+
+pub mod arp;
+pub mod compose;
+pub mod dhcp;
+pub mod dns;
+pub mod eapol;
+pub mod ethernet;
+pub mod http;
+pub mod icmp;
+pub mod ipv4;
+pub mod ipv6;
+pub mod ntp;
+pub mod ssdp;
+pub mod tcp;
+pub mod udp;
+
+use crate::error::WireError;
+use crate::packet::{
+    self, AppPayload, ArpInfo, Ipv4Info, Ipv6Info, LinkHeader, NetHeader, Packet, TransportHeader,
+};
+use crate::port::Port;
+use crate::protocol::{EtherType, IpProtocol};
+use crate::time::SimTime;
+
+/// A bounds-checked cursor over a byte slice. All codec `decode`
+/// functions consume from a `Reader`, turning short input into
+/// [`WireError::Truncated`] instead of panics.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn ensure(&self, context: &'static str, n: usize) -> Result<(), WireError> {
+        if self.remaining() < n {
+            Err(WireError::truncated(context, n, self.remaining()))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if no bytes remain.
+    pub fn read_u8(&mut self, context: &'static str) -> Result<u8, WireError> {
+        self.ensure(context, 1)?;
+        let v = self.data[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    /// Reads a big-endian u16.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if fewer than 2 bytes remain.
+    pub fn read_u16(&mut self, context: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(self.read_array::<2>(context)?))
+    }
+
+    /// Reads a big-endian u32.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if fewer than 4 bytes remain.
+    pub fn read_u32(&mut self, context: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.read_array::<4>(context)?))
+    }
+
+    /// Reads a big-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if fewer than 8 bytes remain.
+    pub fn read_u64(&mut self, context: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.read_array::<8>(context)?))
+    }
+
+    /// Reads a fixed-size array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if fewer than `N` bytes remain.
+    pub fn read_array<const N: usize>(
+        &mut self,
+        context: &'static str,
+    ) -> Result<[u8; N], WireError> {
+        self.ensure(context, N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.pos..self.pos + N]);
+        self.pos += N;
+        Ok(out)
+    }
+
+    /// Reads `n` bytes as a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if fewer than `n` bytes remain.
+    pub fn read_slice(&mut self, context: &'static str, n: usize) -> Result<&'a [u8], WireError> {
+        self.ensure(context, n)?;
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Skips `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if fewer than `n` bytes remain.
+    pub fn skip(&mut self, context: &'static str, n: usize) -> Result<(), WireError> {
+        self.ensure(context, n)?;
+        self.pos += n;
+        Ok(())
+    }
+
+    /// Consumes and returns all remaining bytes.
+    pub fn read_rest(&mut self) -> &'a [u8] {
+        let s = &self.data[self.pos..];
+        self.pos = self.data.len();
+        s
+    }
+
+    /// Peeks at the next `N` bytes without consuming, or `None` if
+    /// fewer remain.
+    pub fn peek_array<const N: usize>(&self) -> Option<[u8; N]> {
+        if self.remaining() < N {
+            return None;
+        }
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.pos..self.pos + N]);
+        Some(out)
+    }
+}
+
+/// Decodes a raw Ethernet frame into the header-level [`Packet`] model.
+///
+/// Unknown EtherTypes and transport protocols decode into packets with
+/// the corresponding layers absent rather than failing, matching what a
+/// passive monitor does with traffic it cannot parse.
+///
+/// # Errors
+///
+/// Returns [`WireError`] if the frame is too short for its own framing
+/// (truncated Ethernet, IP or transport headers).
+///
+/// # Examples
+///
+/// ```
+/// use sentinel_net::wire::{compose, decode_frame};
+/// use sentinel_net::{AppProtocol, MacAddr, SimTime};
+///
+/// let mac = MacAddr::new([2, 0, 0, 0, 0, 9]);
+/// let frame = compose::dhcp_discover(mac, 42, "plug");
+/// let pkt = decode_frame(&frame, SimTime::from_millis(5))?;
+/// assert_eq!(pkt.app_protocol(), Some(AppProtocol::Dhcp));
+/// # Ok::<(), sentinel_net::WireError>(())
+/// ```
+pub fn decode_frame(bytes: &[u8], time: SimTime) -> Result<Packet, WireError> {
+    let wire_len = bytes.len();
+    let mut r = Reader::new(bytes);
+    let eth = ethernet::EthernetHeader::decode(&mut r)?;
+    let src_mac = eth.src();
+    let dst_mac = eth.dst();
+    let (link, net, transport, app) = match eth {
+        ethernet::EthernetHeader::Llc {
+            dsap,
+            ssap,
+            control,
+            ..
+        } => (
+            LinkHeader::Llc {
+                dsap,
+                ssap,
+                control,
+            },
+            None,
+            None,
+            None,
+        ),
+        ethernet::EthernetHeader::TypeII { ethertype, .. } => {
+            let et = EtherType::from_u16(ethertype);
+            let link = LinkHeader::Ethernet { ethertype: et };
+            match et {
+                EtherType::Arp => {
+                    let arp = arp::ArpPacket::decode(&mut r)?;
+                    (
+                        link,
+                        Some(NetHeader::Arp(ArpInfo {
+                            operation: arp.operation,
+                            sender_ip: arp.sender_ip,
+                            target_ip: arp.target_ip,
+                        })),
+                        None,
+                        None,
+                    )
+                }
+                EtherType::Eapol => {
+                    let f = eapol::EapolFrame::decode(&mut r)?;
+                    (
+                        link,
+                        Some(NetHeader::Eapol {
+                            version: f.version,
+                            packet_type: f.packet_type,
+                        }),
+                        None,
+                        None,
+                    )
+                }
+                EtherType::Ipv4 => {
+                    let ip = ipv4::Ipv4Header::decode(&mut r)?;
+                    let info = Ipv4Info {
+                        src: ip.src,
+                        dst: ip.dst,
+                        protocol: IpProtocol::from_u8(ip.protocol),
+                        ttl: ip.ttl,
+                        has_padding_option: ip.has_padding(),
+                        has_router_alert: ip.has_router_alert(),
+                    };
+                    // Respect the IP total-length field so Ethernet
+                    // padding is not mistaken for payload.
+                    let ip_payload_len = (ip.total_len as usize)
+                        .saturating_sub(ip.header_len())
+                        .min(r.remaining());
+                    let payload = r.read_slice("ipv4 payload", ip_payload_len)?;
+                    let (transport, app) = decode_ipv4_payload(info.protocol, payload)?;
+                    (link, Some(NetHeader::Ipv4(info)), transport, app)
+                }
+                EtherType::Ipv6 => {
+                    let ip = ipv6::Ipv6Header::decode(&mut r)?;
+                    let info = Ipv6Info {
+                        src: ip.src,
+                        dst: ip.dst,
+                        protocol: IpProtocol::from_u8(ip.protocol),
+                        hop_limit: ip.hop_limit,
+                        has_router_alert: ip.router_alert,
+                    };
+                    let (transport, app) = decode_ipv6_payload(info.protocol, &mut r)?;
+                    (link, Some(NetHeader::Ipv6(info)), transport, app)
+                }
+                EtherType::Other(_) => (link, None, None, None),
+            }
+        }
+    };
+    Ok(packet::assemble(
+        time, src_mac, dst_mac, link, net, transport, app, wire_len,
+    ))
+}
+
+fn decode_ipv4_payload(
+    protocol: IpProtocol,
+    payload: &[u8],
+) -> Result<(Option<TransportHeader>, Option<AppPayload>), WireError> {
+    let mut r = Reader::new(payload);
+    match protocol {
+        IpProtocol::Tcp => {
+            let seg = tcp::TcpSegment::decode(&mut r)?;
+            let app = classify_tcp(&seg.payload);
+            Ok((
+                Some(TransportHeader::Tcp {
+                    src_port: seg.src_port,
+                    dst_port: seg.dst_port,
+                    flags: seg.flags,
+                }),
+                app,
+            ))
+        }
+        IpProtocol::Udp => {
+            let dg = udp::UdpDatagram::decode(&mut r)?;
+            let app = classify_udp(dg.src_port, dg.dst_port, &dg.payload);
+            Ok((
+                Some(TransportHeader::Udp {
+                    src_port: dg.src_port,
+                    dst_port: dg.dst_port,
+                }),
+                app,
+            ))
+        }
+        IpProtocol::Icmp => {
+            let m = icmp::IcmpMessage::decode(&mut r)?;
+            Ok((
+                Some(TransportHeader::Icmp {
+                    icmp_type: m.icmp_type,
+                    code: m.code,
+                }),
+                None,
+            ))
+        }
+        IpProtocol::Igmp => {
+            let m = icmp::IgmpMessage::decode(&mut r)?;
+            Ok((
+                Some(TransportHeader::Igmp {
+                    msg_type: m.msg_type,
+                }),
+                None,
+            ))
+        }
+        _ => Ok((None, None)),
+    }
+}
+
+fn decode_ipv6_payload(
+    protocol: IpProtocol,
+    r: &mut Reader<'_>,
+) -> Result<(Option<TransportHeader>, Option<AppPayload>), WireError> {
+    match protocol {
+        IpProtocol::Icmpv6 => {
+            let m = icmp::IcmpMessage::decode(r)?;
+            Ok((
+                Some(TransportHeader::Icmpv6 {
+                    icmp_type: m.icmp_type,
+                    code: m.code,
+                }),
+                None,
+            ))
+        }
+        IpProtocol::Udp => {
+            let dg = udp::UdpDatagram::decode(r)?;
+            let app = classify_udp(dg.src_port, dg.dst_port, &dg.payload);
+            Ok((
+                Some(TransportHeader::Udp {
+                    src_port: dg.src_port,
+                    dst_port: dg.dst_port,
+                }),
+                app,
+            ))
+        }
+        IpProtocol::Tcp => {
+            let seg = tcp::TcpSegment::decode(r)?;
+            let app = classify_tcp(&seg.payload);
+            Ok((
+                Some(TransportHeader::Tcp {
+                    src_port: seg.src_port,
+                    dst_port: seg.dst_port,
+                    flags: seg.flags,
+                }),
+                app,
+            ))
+        }
+        _ => Ok((None, None)),
+    }
+}
+
+fn classify_tcp(payload: &[u8]) -> Option<AppPayload> {
+    if payload.is_empty() {
+        return None;
+    }
+    Some(match http::classify_tcp_payload(payload) {
+        http::TcpPayloadKind::HttpRequest(method) => AppPayload::Http { method },
+        http::TcpPayloadKind::HttpResponse => AppPayload::Http {
+            method: "RESPONSE".into(),
+        },
+        http::TcpPayloadKind::Tls(ct) => AppPayload::Tls { content_type: ct },
+        http::TcpPayloadKind::Opaque => AppPayload::Opaque { len: payload.len() },
+    })
+}
+
+fn classify_udp(src: Port, dst: Port, payload: &[u8]) -> Option<AppPayload> {
+    let sp = src.as_u16();
+    let dp = dst.as_u16();
+    if payload.is_empty() {
+        return None;
+    }
+    if sp == 67 || sp == 68 || dp == 67 || dp == 68 {
+        if let Ok(msg) = dhcp::DhcpMessage::decode(&mut Reader::new(payload)) {
+            return Some(match msg.message_type() {
+                Some(t) => AppPayload::Dhcp {
+                    message_type: t as u8,
+                },
+                None => AppPayload::Bootp,
+            });
+        }
+    }
+    if sp == 53 || dp == 53 || sp == 5353 || dp == 5353 {
+        if let Ok(msg) = dns::DnsMessage::decode(&mut Reader::new(payload)) {
+            return Some(AppPayload::Dns {
+                response: msg.response,
+                questions: msg.questions.len() as u16,
+            });
+        }
+    }
+    if sp == 1900 || dp == 1900 {
+        if let Ok(msg) = ssdp::SsdpMessage::decode(payload) {
+            return Some(AppPayload::Ssdp {
+                method: msg.method.token().to_string(),
+            });
+        }
+    }
+    if (sp == 123 || dp == 123) && payload.len() >= 48 {
+        if let Ok(p) = ntp::NtpPacket::decode(&mut Reader::new(payload)) {
+            return Some(AppPayload::Ntp { mode: p.mode });
+        }
+    }
+    Some(AppPayload::Opaque { len: payload.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mac::MacAddr;
+    use crate::protocol::AppProtocol;
+    use std::net::Ipv4Addr;
+
+    fn mac(last: u8) -> MacAddr {
+        MacAddr::new([2, 0, 0, 0, 0, last])
+    }
+
+    #[test]
+    fn reader_truncation_reports_context() {
+        let mut r = Reader::new(&[1, 2]);
+        let err = r.read_u32("test field").unwrap_err();
+        match err {
+            WireError::Truncated {
+                context,
+                needed,
+                available,
+            } => {
+                assert_eq!(context, "test field");
+                assert_eq!(needed, 4);
+                assert_eq!(available, 2);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reader_sequential_reads() {
+        let data = [0x01, 0x02, 0x03, 0x04, 0x05];
+        let mut r = Reader::new(&data);
+        assert_eq!(r.read_u8("a").unwrap(), 1);
+        assert_eq!(r.read_u16("b").unwrap(), 0x0203);
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.read_rest(), &[4, 5]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn decode_dhcp_discover_frame() {
+        let frame = compose::dhcp_discover(mac(9), 0x42, "test-device");
+        let pkt = decode_frame(&frame, SimTime::ZERO).unwrap();
+        assert_eq!(pkt.src_mac(), mac(9));
+        assert_eq!(pkt.dst_mac(), MacAddr::BROADCAST);
+        assert_eq!(pkt.app_protocol(), Some(AppProtocol::Dhcp));
+        assert!(pkt.is_udp());
+        assert_eq!(pkt.wire_len(), frame.len());
+    }
+
+    #[test]
+    fn decode_arp_probe_frame() {
+        let frame = compose::arp_probe(mac(9), Ipv4Addr::new(192, 168, 1, 50));
+        let pkt = decode_frame(&frame, SimTime::ZERO).unwrap();
+        assert!(pkt.is_arp());
+        assert!(!pkt.is_ip());
+        assert_eq!(pkt.dst_ip(), None);
+    }
+
+    #[test]
+    fn decode_unknown_ethertype_keeps_link_only() {
+        let mut frame = Vec::new();
+        ethernet::EthernetHeader::TypeII {
+            dst: mac(1),
+            src: mac(2),
+            ethertype: 0x9999,
+        }
+        .encode(&mut frame);
+        frame.extend_from_slice(&[0u8; 46]);
+        let pkt = decode_frame(&frame, SimTime::ZERO).unwrap();
+        assert!(!pkt.is_ip());
+        assert!(!pkt.is_arp());
+        assert_eq!(pkt.app_protocol(), None);
+    }
+
+    #[test]
+    fn ethernet_padding_not_counted_as_payload() {
+        // A tiny UDP payload on a frame padded to 60 bytes must not
+        // classify the padding as opaque data.
+        let frame = compose::ntp_request(
+            mac(3),
+            mac(1),
+            Ipv4Addr::new(192, 168, 1, 7),
+            Ipv4Addr::new(192, 168, 1, 1),
+            Port::new(50123),
+            7,
+        );
+        let pkt = decode_frame(&frame, SimTime::ZERO).unwrap();
+        assert_eq!(pkt.app_protocol(), Some(AppProtocol::Ntp));
+    }
+}

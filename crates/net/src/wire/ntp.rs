@@ -1,0 +1,147 @@
+//! NTP (RFC 5905) packet encoding and decoding — the 48-byte fixed
+//! header, which is all IoT clients exchange during time sync.
+
+use bytes::BufMut;
+
+use crate::error::WireError;
+use crate::wire::Reader;
+
+/// NTP mode: client request.
+pub const MODE_CLIENT: u8 = 3;
+/// NTP mode: server response.
+pub const MODE_SERVER: u8 = 4;
+
+/// A 48-byte NTP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NtpPacket {
+    /// Leap indicator (2 bits).
+    pub leap: u8,
+    /// Protocol version (3 bits), typically 4.
+    pub version: u8,
+    /// Association mode (3 bits): 3 = client, 4 = server.
+    pub mode: u8,
+    /// Stratum of the clock (0 for client requests).
+    pub stratum: u8,
+    /// Poll interval (log2 seconds).
+    pub poll: i8,
+    /// Clock precision (log2 seconds).
+    pub precision: i8,
+    /// Transmit timestamp in NTP 64-bit format.
+    pub transmit_timestamp: u64,
+}
+
+impl NtpPacket {
+    /// A version-4 client request with the given transmit timestamp.
+    pub fn client(transmit_timestamp: u64) -> Self {
+        NtpPacket {
+            leap: 0,
+            version: 4,
+            mode: MODE_CLIENT,
+            stratum: 0,
+            poll: 6,
+            precision: -20,
+            transmit_timestamp,
+        }
+    }
+
+    /// A stratum-2 server response.
+    pub fn server(transmit_timestamp: u64) -> Self {
+        NtpPacket {
+            leap: 0,
+            version: 4,
+            mode: MODE_SERVER,
+            stratum: 2,
+            poll: 6,
+            precision: -20,
+            transmit_timestamp,
+        }
+    }
+
+    /// Encodes the packet (48 bytes).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u8((self.leap << 6) | (self.version << 3) | self.mode);
+        out.put_u8(self.stratum);
+        out.put_i8(self.poll);
+        out.put_i8(self.precision);
+        out.put_u32(0); // root delay
+        out.put_u32(0); // root dispersion
+        out.put_u32(0); // reference id
+        out.put_u64(0); // reference timestamp
+        out.put_u64(0); // origin timestamp
+        out.put_u64(0); // receive timestamp
+        out.put_u64(self.transmit_timestamp);
+    }
+
+    /// Decodes a packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if fewer than 48 bytes remain
+    /// and [`WireError::InvalidField`] for an invalid mode.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let first = r.read_u8("ntp li/vn/mode")?;
+        let mode = first & 0x07;
+        if mode == 0 || mode > 7 {
+            return Err(WireError::invalid_field("ntp mode", mode));
+        }
+        let stratum = r.read_u8("ntp stratum")?;
+        let poll = r.read_u8("ntp poll")? as i8;
+        let precision = r.read_u8("ntp precision")? as i8;
+        r.skip("ntp root fields", 12)?;
+        r.skip("ntp timestamps", 24)?;
+        let transmit_timestamp = r.read_u64("ntp transmit timestamp")?;
+        Ok(NtpPacket {
+            leap: first >> 6,
+            version: (first >> 3) & 0x07,
+            mode,
+            stratum,
+            poll,
+            precision,
+            transmit_timestamp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_round_trip() {
+        let pkt = NtpPacket::client(0xdead_beef_0000_0001);
+        let mut buf = Vec::new();
+        pkt.encode(&mut buf);
+        assert_eq!(buf.len(), 48);
+        let decoded = NtpPacket::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded, pkt);
+    }
+
+    #[test]
+    fn server_mode() {
+        let pkt = NtpPacket::server(7);
+        let mut buf = Vec::new();
+        pkt.encode(&mut buf);
+        let decoded = NtpPacket::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded.mode, MODE_SERVER);
+        assert_eq!(decoded.stratum, 2);
+    }
+
+    #[test]
+    fn rejects_mode_zero() {
+        let mut buf = Vec::new();
+        NtpPacket::client(0).encode(&mut buf);
+        buf[0] &= !0x07; // mode 0
+        assert!(NtpPacket::decode(&mut Reader::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn truncated_errors() {
+        let mut buf = Vec::new();
+        NtpPacket::client(0).encode(&mut buf);
+        buf.truncate(40);
+        assert!(matches!(
+            NtpPacket::decode(&mut Reader::new(&buf)),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,185 @@
+//! SSDP (Simple Service Discovery Protocol) — HTTP-like text messages
+//! over UDP 1900, used by UPnP devices during setup to discover or
+//! announce services.
+
+use std::fmt::Write as _;
+
+use crate::error::WireError;
+
+/// SSDP multicast group address 239.255.255.250.
+pub const SSDP_GROUP: std::net::Ipv4Addr = std::net::Ipv4Addr::new(239, 255, 255, 250);
+
+/// SSDP method kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SsdpMethod {
+    /// `M-SEARCH * HTTP/1.1` — active discovery.
+    MSearch,
+    /// `NOTIFY * HTTP/1.1` — presence announcement.
+    Notify,
+    /// `HTTP/1.1 200 OK` — unicast search response.
+    Response,
+}
+
+impl SsdpMethod {
+    /// The request/status line for this method.
+    pub fn start_line(self) -> &'static str {
+        match self {
+            SsdpMethod::MSearch => "M-SEARCH * HTTP/1.1",
+            SsdpMethod::Notify => "NOTIFY * HTTP/1.1",
+            SsdpMethod::Response => "HTTP/1.1 200 OK",
+        }
+    }
+
+    /// The canonical method token (used by the packet summary).
+    pub fn token(self) -> &'static str {
+        match self {
+            SsdpMethod::MSearch => "M-SEARCH",
+            SsdpMethod::Notify => "NOTIFY",
+            SsdpMethod::Response => "RESPONSE",
+        }
+    }
+}
+
+/// An SSDP message: method plus ordered headers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SsdpMessage {
+    /// The method.
+    pub method: SsdpMethod,
+    /// Header name/value pairs in wire order.
+    pub headers: Vec<(String, String)>,
+}
+
+impl SsdpMessage {
+    /// A multicast M-SEARCH for the given search target.
+    pub fn msearch(search_target: &str) -> Self {
+        SsdpMessage {
+            method: SsdpMethod::MSearch,
+            headers: vec![
+                ("HOST".into(), "239.255.255.250:1900".into()),
+                ("MAN".into(), "\"ssdp:discover\"".into()),
+                ("MX".into(), "3".into()),
+                ("ST".into(), search_target.into()),
+            ],
+        }
+    }
+
+    /// A NOTIFY ssdp:alive announcement for `nt` served at `location`.
+    pub fn notify_alive(nt: &str, location: &str, server: &str) -> Self {
+        SsdpMessage {
+            method: SsdpMethod::Notify,
+            headers: vec![
+                ("HOST".into(), "239.255.255.250:1900".into()),
+                ("CACHE-CONTROL".into(), "max-age=1800".into()),
+                ("LOCATION".into(), location.into()),
+                ("NT".into(), nt.into()),
+                ("NTS".into(), "ssdp:alive".into()),
+                ("SERVER".into(), server.into()),
+            ],
+        }
+    }
+
+    /// Looks up a header value by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Encodes the message as CRLF-delimited text.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let mut text = String::new();
+        let _ = write!(text, "{}\r\n", self.method.start_line());
+        for (k, v) in &self.headers {
+            let _ = write!(text, "{k}: {v}\r\n");
+        }
+        text.push_str("\r\n");
+        out.extend_from_slice(text.as_bytes());
+    }
+
+    /// Decodes a message from UDP payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::InvalidUtf8`] for non-text payloads and
+    /// [`WireError::InvalidField`] for an unrecognised start line.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let text =
+            std::str::from_utf8(payload).map_err(|_| WireError::InvalidUtf8 { context: "ssdp" })?;
+        let mut lines = text.split("\r\n");
+        let start = lines
+            .next()
+            .ok_or_else(|| WireError::invalid_field("ssdp start line", "missing"))?;
+        let method = if start.starts_with("M-SEARCH") {
+            SsdpMethod::MSearch
+        } else if start.starts_with("NOTIFY") {
+            SsdpMethod::Notify
+        } else if start.starts_with("HTTP/1.1 200") {
+            SsdpMethod::Response
+        } else {
+            return Err(WireError::invalid_field("ssdp start line", start));
+        };
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                headers.push((k.trim().to_string(), v.trim().to_string()));
+            }
+        }
+        Ok(SsdpMessage { method, headers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msearch_round_trip() {
+        let msg = SsdpMessage::msearch("urn:dial-multiscreen-org:service:dial:1");
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        let decoded = SsdpMessage::decode(&buf).unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(decoded.method.token(), "M-SEARCH");
+    }
+
+    #[test]
+    fn notify_round_trip_and_header_lookup() {
+        let msg = SsdpMessage::notify_alive(
+            "upnp:rootdevice",
+            "http://192.168.1.50:49152/desc.xml",
+            "Linux UPnP/1.0 device/1.0",
+        );
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        let decoded = SsdpMessage::decode(&buf).unwrap();
+        assert_eq!(decoded.header("nts"), Some("ssdp:alive"));
+        assert_eq!(
+            decoded.header("LOCATION"),
+            Some("http://192.168.1.50:49152/desc.xml")
+        );
+    }
+
+    #[test]
+    fn rejects_binary_payload() {
+        assert!(matches!(
+            SsdpMessage::decode(&[0xff, 0xfe, 0x00]),
+            Err(WireError::InvalidUtf8 { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_ssdp_text() {
+        assert!(SsdpMessage::decode(b"GET / HTTP/1.1\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_start_line() {
+        let buf = b"HTTP/1.1 200 OK\r\nST: upnp:rootdevice\r\n\r\n";
+        let decoded = SsdpMessage::decode(buf).unwrap();
+        assert_eq!(decoded.method, SsdpMethod::Response);
+    }
+}

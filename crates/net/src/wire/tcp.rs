@@ -1,0 +1,239 @@
+//! TCP segment encoding and decoding (header + opaque payload).
+
+use bytes::BufMut;
+
+use crate::error::WireError;
+use crate::packet::TcpFlags;
+use crate::port::Port;
+use crate::wire::Reader;
+
+/// A TCP segment: header fields plus payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Source port.
+    pub src_port: Port,
+    /// Destination port.
+    pub dst_port: Port,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number (meaningful when ACK set).
+    pub ack: u32,
+    /// Header flags.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+    /// Maximum segment size option for SYN segments, if any.
+    pub mss: Option<u16>,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl TcpSegment {
+    /// A SYN segment opening a connection, advertising MSS 1460.
+    pub fn syn(src_port: Port, dst_port: Port, seq: u32) -> Self {
+        TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 29200,
+            mss: Some(1460),
+            payload: Vec::new(),
+        }
+    }
+
+    /// A bare ACK segment.
+    pub fn ack_only(src_port: Port, dst_port: Port, seq: u32, ack: u32) -> Self {
+        TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags: TcpFlags {
+                ack: true,
+                ..TcpFlags::default()
+            },
+            window: 29200,
+            mss: None,
+            payload: Vec::new(),
+        }
+    }
+
+    /// A PSH+ACK segment carrying `payload`.
+    pub fn push(src_port: Port, dst_port: Port, seq: u32, ack: u32, payload: Vec<u8>) -> Self {
+        TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags: TcpFlags {
+                ack: true,
+                psh: true,
+                ..TcpFlags::default()
+            },
+            window: 29200,
+            mss: None,
+            payload,
+        }
+    }
+
+    /// A FIN+ACK segment closing a connection.
+    pub fn fin(src_port: Port, dst_port: Port, seq: u32, ack: u32) -> Self {
+        TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags: TcpFlags {
+                ack: true,
+                fin: true,
+                ..TcpFlags::default()
+            },
+            window: 29200,
+            mss: None,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Header length in bytes (20 + options).
+    pub fn header_len(&self) -> usize {
+        if self.mss.is_some() {
+            24
+        } else {
+            20
+        }
+    }
+
+    /// Encodes the segment (checksum left zero; link simulations do not
+    /// verify TCP checksums).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let data_offset = (self.header_len() / 4) as u8;
+        out.put_u16(self.src_port.as_u16());
+        out.put_u16(self.dst_port.as_u16());
+        out.put_u32(self.seq);
+        out.put_u32(self.ack);
+        out.put_u8(data_offset << 4);
+        out.put_u8(self.flags.to_byte());
+        out.put_u16(self.window);
+        out.put_u16(0); // checksum (not computed)
+        out.put_u16(0); // urgent pointer
+        if let Some(mss) = self.mss {
+            out.put_u8(2); // kind: MSS
+            out.put_u8(4); // length
+            out.put_u16(mss);
+        }
+        out.put_slice(&self.payload);
+    }
+
+    /// Decodes a segment from the remainder of `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] on short input and
+    /// [`WireError::InvalidField`] on a data offset below 5.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let src_port = Port::new(r.read_u16("tcp src port")?);
+        let dst_port = Port::new(r.read_u16("tcp dst port")?);
+        let seq = r.read_u32("tcp seq")?;
+        let ack = r.read_u32("tcp ack")?;
+        let offset_byte = r.read_u8("tcp data offset")?;
+        let data_offset = (offset_byte >> 4) as usize;
+        if data_offset < 5 {
+            return Err(WireError::invalid_field("tcp data offset", data_offset));
+        }
+        let flags = TcpFlags::from_byte(r.read_u8("tcp flags")?);
+        let window = r.read_u16("tcp window")?;
+        let _checksum = r.read_u16("tcp checksum")?;
+        let _urgent = r.read_u16("tcp urgent")?;
+        let mut mss = None;
+        let mut opt_remaining = data_offset * 4 - 20;
+        while opt_remaining > 0 {
+            let kind = r.read_u8("tcp option kind")?;
+            opt_remaining -= 1;
+            match kind {
+                0 => break,
+                1 => continue,
+                2 => {
+                    let len = r.read_u8("tcp mss length")?;
+                    if len != 4 {
+                        return Err(WireError::invalid_field("tcp mss length", len));
+                    }
+                    mss = Some(r.read_u16("tcp mss value")?);
+                    opt_remaining = opt_remaining.saturating_sub(3);
+                }
+                _ => {
+                    let len = r.read_u8("tcp option length")? as usize;
+                    if len < 2 {
+                        return Err(WireError::invalid_field("tcp option length", len));
+                    }
+                    r.skip("tcp option data", len - 2)?;
+                    opt_remaining = opt_remaining.saturating_sub(len - 1);
+                }
+            }
+        }
+        let payload = r.read_rest().to_vec();
+        Ok(TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window,
+            mss,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syn_round_trip() {
+        let seg = TcpSegment::syn(Port::new(51000), Port::HTTPS, 1000);
+        let mut buf = Vec::new();
+        seg.encode(&mut buf);
+        assert_eq!(buf.len(), 24);
+        let decoded = TcpSegment::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded, seg);
+        assert!(decoded.flags.syn);
+        assert_eq!(decoded.mss, Some(1460));
+    }
+
+    #[test]
+    fn push_round_trip_preserves_payload() {
+        let seg = TcpSegment::push(
+            Port::new(51000),
+            Port::HTTP,
+            2000,
+            555,
+            b"GET / HTTP/1.1\r\n\r\n".to_vec(),
+        );
+        let mut buf = Vec::new();
+        seg.encode(&mut buf);
+        let decoded = TcpSegment::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded.payload, seg.payload);
+        assert!(decoded.flags.psh);
+        assert!(decoded.flags.ack);
+    }
+
+    #[test]
+    fn fin_and_ack_flags() {
+        let seg = TcpSegment::fin(Port::new(51000), Port::HTTP, 1, 2);
+        assert!(seg.flags.fin && seg.flags.ack && !seg.flags.syn);
+        let ack = TcpSegment::ack_only(Port::new(51000), Port::HTTP, 1, 2);
+        assert!(ack.flags.ack && !ack.flags.fin);
+        assert!(ack.payload.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_data_offset() {
+        let seg = TcpSegment::ack_only(Port::new(1), Port::new(2), 0, 0);
+        let mut buf = Vec::new();
+        seg.encode(&mut buf);
+        buf[12] = 0x20; // data offset 2
+        assert!(TcpSegment::decode(&mut Reader::new(&buf)).is_err());
+    }
+}

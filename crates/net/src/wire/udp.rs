@@ -1,0 +1,108 @@
+//! UDP datagram encoding and decoding.
+
+use bytes::BufMut;
+
+use crate::error::WireError;
+use crate::port::Port;
+use crate::wire::Reader;
+
+/// A UDP datagram: ports plus payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: Port,
+    /// Destination port.
+    pub dst_port: Port,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl UdpDatagram {
+    /// Creates a datagram.
+    pub fn new(src_port: Port, dst_port: Port, payload: Vec<u8>) -> Self {
+        UdpDatagram {
+            src_port,
+            dst_port,
+            payload,
+        }
+    }
+
+    /// Encodes the datagram (checksum left zero, which is legal for
+    /// IPv4 UDP).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.put_u16(self.src_port.as_u16());
+        out.put_u16(self.dst_port.as_u16());
+        out.put_u16((8 + self.payload.len()) as u16);
+        out.put_u16(0); // checksum
+        out.put_slice(&self.payload);
+    }
+
+    /// Decodes a datagram from the remainder of `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] on short input or
+    /// [`WireError::InvalidField`] if the length field is shorter than
+    /// the header.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let src_port = Port::new(r.read_u16("udp src port")?);
+        let dst_port = Port::new(r.read_u16("udp dst port")?);
+        let len = r.read_u16("udp length")? as usize;
+        let _checksum = r.read_u16("udp checksum")?;
+        if len < 8 {
+            return Err(WireError::invalid_field("udp length", len));
+        }
+        let body_len = (len - 8).min(r.remaining());
+        let payload = r.read_slice("udp payload", body_len)?.to_vec();
+        Ok(UdpDatagram {
+            src_port,
+            dst_port,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let dg = UdpDatagram::new(Port::new(50000), Port::DNS, vec![1, 2, 3, 4]);
+        let mut buf = Vec::new();
+        dg.encode(&mut buf);
+        assert_eq!(buf.len(), 12);
+        let decoded = UdpDatagram::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded, dg);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let dg = UdpDatagram::new(Port::NTP, Port::NTP, Vec::new());
+        let mut buf = Vec::new();
+        dg.encode(&mut buf);
+        let decoded = UdpDatagram::decode(&mut Reader::new(&buf)).unwrap();
+        assert!(decoded.payload.is_empty());
+    }
+
+    #[test]
+    fn rejects_undersized_length_field() {
+        let mut buf = Vec::new();
+        UdpDatagram::new(Port::new(1), Port::new(2), vec![]).encode(&mut buf);
+        buf[4] = 0;
+        buf[5] = 4; // length 4 < 8
+        assert!(UdpDatagram::decode(&mut Reader::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn tolerates_padded_frames() {
+        // Ethernet padding may leave trailing bytes beyond the UDP
+        // length field; decode must not consume them as payload.
+        let dg = UdpDatagram::new(Port::new(68), Port::new(67), vec![9; 10]);
+        let mut buf = Vec::new();
+        dg.encode(&mut buf);
+        buf.extend_from_slice(&[0u8; 14]); // ethernet padding
+        let decoded = UdpDatagram::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(decoded.payload.len(), 10);
+    }
+}

@@ -1,0 +1,78 @@
+//! Firmware-update drift (§VIII-B): after the Smarter appliances'
+//! firmware update added cloud connectivity, their setup fingerprints
+//! changed enough to be distinguishable from the old version — so a
+//! patched (or newly vulnerable) firmware revision counts as its own
+//! device type.
+//!
+//! Run with: `cargo run --release --example firmware_update`
+
+use iot_sentinel::core::Trainer;
+use iot_sentinel::devices::{capture_setups, catalog, generate_dataset, NetworkEnvironment};
+use iot_sentinel::editdist::{fingerprint_distance, DistanceVariant};
+use iot_sentinel::fingerprint::FingerprintExtractor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let env = NetworkEnvironment::default();
+    let mut profiles = catalog::standard_catalog();
+    profiles.extend(catalog::firmware_variants()); // adds *-v2 types
+
+    // Show the raw fingerprint drift first.
+    let v1 = profiles
+        .iter()
+        .find(|p| p.type_name == "SmarterCoffee")
+        .unwrap();
+    let v2 = profiles
+        .iter()
+        .find(|p| p.type_name == "SmarterCoffee-v2")
+        .unwrap();
+    let cap_v1 = capture_setups(v1, &env, 1, 1).remove(0);
+    let cap_v2 = capture_setups(v2, &env, 1, 1).remove(0);
+    let fp_v1 = FingerprintExtractor::extract_from(cap_v1.packets());
+    let fp_v2 = FingerprintExtractor::extract_from(cap_v2.packets());
+    println!(
+        "SmarterCoffee v1 fingerprint: {} columns; v2: {} columns",
+        fp_v1.len(),
+        fp_v2.len()
+    );
+    println!(
+        "normalized edit distance v1 <-> v2: {:.3}",
+        fingerprint_distance(&fp_v1, &fp_v2, DistanceVariant::Osa)
+    );
+
+    // Train with both firmware generations as separate types.
+    println!("\ntraining with v1 and v2 as separate device types...");
+    let dataset = generate_dataset(&profiles, &env, 10, 9);
+    let identifier = Trainer::default().train(&dataset, 4)?;
+
+    // Fresh captures of each version. Within a firmware generation the
+    // two Smarter appliances stay mutually confusable (same module), so
+    // the meaningful question is whether predictions stay within the
+    // right *generation* — that is what makes a patched firmware its
+    // own device-type for vulnerability assessment.
+    let v1_types = ["SmarterCoffee", "iKettle2"];
+    let v2_types = ["SmarterCoffee-v2", "iKettle2-v2"];
+    let runs = 10;
+    let mut v1_generation_hits = 0;
+    let mut v2_generation_hits = 0;
+    for (profile, hits, generation) in [
+        (v1, &mut v1_generation_hits, &v1_types),
+        (v2, &mut v2_generation_hits, &v2_types),
+    ] {
+        for cap in capture_setups(profile, &env, runs, 0x77) {
+            let fp = FingerprintExtractor::extract_from(cap.packets());
+            if let Some(t) = identifier.identify(&fp).device_type() {
+                if generation.contains(&t) {
+                    *hits += 1;
+                }
+            }
+        }
+    }
+    println!("v1 captures predicted within the v1 generation: {v1_generation_hits}/{runs}");
+    println!("v2 captures predicted within the v2 generation: {v2_generation_hits}/{runs}");
+    println!(
+        "\n-> firmware generations separate, while devices within a generation remain \
+         mutually confusable (same WiFi module) — matching the paper's §VIII-B observation \
+         that updates produced distinguishable fingerprints."
+    );
+    Ok(())
+}

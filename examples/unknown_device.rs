@@ -1,0 +1,77 @@
+//! Unknown-device discovery: a device type absent from the training
+//! data is rejected by every classifier and lands in strict isolation;
+//! its fingerprints are then used to add the new type incrementally —
+//! without retraining any existing classifier (§IV-B-1).
+//!
+//! Run with: `cargo run --release --example unknown_device`
+
+use iot_sentinel::core::{IdentifierConfig, Trainer};
+use iot_sentinel::devices::{capture_setups, catalog, generate_dataset, NetworkEnvironment};
+use iot_sentinel::fingerprint::FingerprintExtractor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let env = NetworkEnvironment::default();
+    let profiles = catalog::standard_catalog();
+
+    // Train WITHOUT the HomeMatic plug.
+    let known: Vec<_> = profiles
+        .iter()
+        .filter(|p| p.type_name != "HomeMaticPlug")
+        .cloned()
+        .collect();
+    println!(
+        "training on {} of {} types (HomeMaticPlug withheld)",
+        known.len(),
+        profiles.len()
+    );
+    let dataset = generate_dataset(&known, &env, 10, 5);
+    // For unknown-device discovery a majority-vote threshold (0.5)
+    // works better than the sibling-recall default (0.35): fewer
+    // marginal accepts means genuinely novel devices are rejected by
+    // every classifier. See the `ablations` bench for the trade-off.
+    let config = IdentifierConfig {
+        accept_threshold: 0.5,
+        ..IdentifierConfig::default()
+    };
+    let mut identifier = Trainer::new(config).train(&dataset, 17)?;
+
+    // The withheld device joins the network.
+    let homematic = profiles
+        .iter()
+        .find(|p| p.type_name == "HomeMaticPlug")
+        .unwrap();
+    let captures = capture_setups(homematic, &env, 6, 0xAB);
+    let fingerprints: Vec<_> = captures
+        .iter()
+        .map(|c| FingerprintExtractor::extract_from(c.packets()))
+        .collect();
+
+    let mut unknown = 0;
+    for fp in &fingerprints {
+        if identifier.identify(fp).device_type().is_none() {
+            unknown += 1;
+        }
+    }
+    println!(
+        "{unknown}/{} setups of the unseen device were rejected by all {} classifiers",
+        fingerprints.len(),
+        identifier.type_count()
+    );
+    println!("-> the device is assigned isolation level STRICT (no Internet)");
+
+    // The IoTSSP operator labels the new type and adds it
+    // incrementally.
+    println!("\nadding device type HomeMaticPlug from its captured fingerprints...");
+    identifier.add_device_type("HomeMaticPlug", &fingerprints, 23)?;
+    println!("identifier now knows {} types", identifier.type_count());
+
+    // A fresh setup of the same device is now recognised.
+    let probe = capture_setups(homematic, &env, 1, 0xCD).remove(0);
+    let probe_fp = FingerprintExtractor::extract_from(probe.packets());
+    let result = identifier.identify(&probe_fp);
+    println!(
+        "fresh capture identified as: {}",
+        result.device_type().unwrap_or("<unknown>")
+    );
+    Ok(())
+}

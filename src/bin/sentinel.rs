@@ -1,0 +1,457 @@
+//! `sentinel` — the IoT Sentinel command line.
+//!
+//! End-to-end workflows over files, so the pipeline can be driven
+//! without writing Rust: simulate device setups to pcap, build
+//! fingerprint datasets, train a model, identify pcaps against it,
+//! and assess device types against the vulnerability database.
+//!
+//! ```text
+//! sentinel catalog
+//! sentinel simulate  --type <NAME> --out <DIR> [--runs N] [--seed S] [--standby]
+//! sentinel dataset   --out <FILE> [--runs N] [--seed S] [--standby]
+//! sentinel extract   --pcap <FILE> [--label <NAME> --out <FILE>]
+//! sentinel train     --dataset <FILE> --model <FILE> [--seed S]
+//! sentinel identify  --model <FILE> --pcap <FILE> [--ignore-mac <MAC>]
+//! sentinel assess    --type <NAME>
+//! ```
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use iot_sentinel::core::{persist, IdentifierConfig, Trainer, VulnerabilityDatabase};
+use iot_sentinel::devices::{
+    catalog, generate_dataset, standby, NetworkEnvironment, SetupSimulator,
+};
+use iot_sentinel::fingerprint::{codec, Dataset, FingerprintExtractor, LabeledFingerprint};
+use iot_sentinel::net::{CaptureMonitor, MacAddr, SetupDetectorConfig, TraceCapture};
+
+const USAGE: &str = "\
+sentinel — IoT Sentinel device-type identification CLI
+
+USAGE:
+  sentinel catalog
+      List the 27 built-in device types (paper Table II).
+
+  sentinel simulate --type <NAME> --out <DIR> [--runs N] [--seed S] [--standby]
+      Simulate N setups (or standby windows) of one device type and
+      write one classic-pcap file per run into DIR.
+
+  sentinel dataset --out <FILE> [--runs N] [--seed S] [--standby]
+      Build the full 27-type fingerprint dataset and write it in the
+      text codec format.
+
+  sentinel extract --pcap <FILE> [--label <NAME> --out <FILE>] [--ignore-mac <MAC>]
+      Extract fingerprints from a pcap. With --label and --out, append
+      them to (or create) a dataset file; otherwise print a summary.
+
+  sentinel import --dir <DIR> --out <FILE> [--ignore-mac <MAC>]
+      Build a dataset from a directory of captures laid out one
+      subdirectory per device type (the layout of the paper's public
+      dataset): DIR/<DeviceType>/*.pcap. The subdirectory name becomes
+      the fingerprint label.
+
+  sentinel train --dataset <FILE> --model <FILE> [--seed S]
+      Train one classifier per device type and persist the model.
+
+  sentinel identify --model <FILE> --pcap <FILE> [--ignore-mac <MAC>]
+      Identify every device in a pcap against a trained model.
+      (Simulated captures include gateway frames; pass
+      --ignore-mac 02:53:47:57:00:01 to skip the default gateway.)
+
+  sentinel assess --type <NAME>
+      Vulnerability assessment and isolation level for a device type
+      (demo CVE database).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "catalog" => cmd_catalog(),
+        "simulate" => cmd_simulate(rest),
+        "dataset" => cmd_dataset(rest),
+        "extract" => cmd_extract(rest),
+        "import" => cmd_import(rest),
+        "train" => cmd_train(rest),
+        "identify" => cmd_identify(rest),
+        "assess" => cmd_assess(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; run `sentinel help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("sentinel: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal `--key value` / `--flag` argument map.
+struct Options {
+    values: BTreeMap<String, Vec<String>>,
+    flags: Vec<String>,
+}
+
+impl Options {
+    fn parse(args: &[String], flags: &[&str]) -> Result<Self, String> {
+        let mut options = Options {
+            values: BTreeMap::new(),
+            flags: Vec::new(),
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected argument {arg:?}"))?;
+            if flags.contains(&key) {
+                options.flags.push(key.to_string());
+            } else {
+                let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+                options
+                    .values
+                    .entry(key.to_string())
+                    .or_default()
+                    .push(value.clone());
+            }
+        }
+        Ok(options)
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.first(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    fn first(&self, key: &str) -> Option<&str> {
+        self.values
+            .get(key)
+            .and_then(|v| v.first())
+            .map(String::as_str)
+    }
+
+    fn all(&self, key: &str) -> impl Iterator<Item = &str> {
+        self.values
+            .get(key)
+            .into_iter()
+            .flatten()
+            .map(String::as_str)
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    fn number<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.first(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--{key} got a non-numeric value {raw:?}")),
+        }
+    }
+}
+
+fn profiles_for(opts: &Options) -> Vec<iot_sentinel::devices::DeviceProfile> {
+    if opts.flag("standby") {
+        standby::standby_catalog()
+    } else {
+        catalog::standard_catalog()
+    }
+}
+
+fn cmd_catalog() -> Result<(), String> {
+    println!(
+        "{:<20} {:<14} {:<14} model",
+        "type", "vendor", "connectivity"
+    );
+    for p in catalog::standard_catalog() {
+        println!(
+            "{:<20} {:<14} {:<14} {}",
+            p.type_name, p.vendor, p.connectivity, p.model
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &["standby"])?;
+    let type_name = opts.required("type")?;
+    let out_dir = PathBuf::from(opts.required("out")?);
+    let runs: u32 = opts.number("runs", 1)?;
+    let seed: u64 = opts.number("seed", 1)?;
+
+    let profiles = profiles_for(&opts);
+    let profile = profiles
+        .iter()
+        .find(|p| p.type_name == type_name)
+        .ok_or_else(|| format!("unknown device type {type_name:?}; run `sentinel catalog`"))?;
+
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("creating {out_dir:?}: {e}"))?;
+    let env = NetworkEnvironment::default();
+    let mut sim = SetupSimulator::new(env, seed);
+    let mode = if opts.flag("standby") {
+        "standby"
+    } else {
+        "setup"
+    };
+    for run in 0..runs {
+        let trace = sim.simulate(profile, run);
+        let path = out_dir.join(format!("{type_name}-{mode}-{run:03}.pcap"));
+        let file = File::create(&path).map_err(|e| format!("creating {path:?}: {e}"))?;
+        trace
+            .to_pcap(BufWriter::new(file))
+            .map_err(|e| format!("writing {path:?}: {e}"))?;
+        println!("wrote {} ({} frames)", path.display(), trace.len());
+    }
+    Ok(())
+}
+
+fn cmd_dataset(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &["standby"])?;
+    let out = PathBuf::from(opts.required("out")?);
+    let runs: u32 = opts.number("runs", 20)?;
+    let seed: u64 = opts.number("seed", 1)?;
+
+    let profiles = profiles_for(&opts);
+    let env = NetworkEnvironment::default();
+    eprintln!(
+        "building {} dataset: {} types x {runs} runs...",
+        if opts.flag("standby") {
+            "standby"
+        } else {
+            "setup"
+        },
+        profiles.len()
+    );
+    let dataset = generate_dataset(&profiles, &env, runs, seed);
+    write_dataset(&out, &dataset)?;
+    println!(
+        "wrote {} fingerprints for {} types to {}",
+        dataset.len(),
+        dataset.labels().len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_extract(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &[])?;
+    let pcap_path = PathBuf::from(opts.required("pcap")?);
+    let ignored = parse_ignored_macs(&opts)?;
+    let fingerprints = fingerprints_from_pcap(&pcap_path, &ignored)?;
+
+    match (opts.first("label"), opts.first("out")) {
+        (Some(label), Some(out)) => {
+            let out = PathBuf::from(out);
+            let mut dataset = if out.exists() {
+                read_dataset(&out)?
+            } else {
+                Dataset::new()
+            };
+            let added = fingerprints.len();
+            for (_, fp) in fingerprints {
+                dataset.push(LabeledFingerprint::new(label, fp));
+            }
+            write_dataset(&out, &dataset)?;
+            println!(
+                "appended {added} fingerprint(s) labelled {label:?}; {} now has {} samples",
+                out.display(),
+                dataset.len()
+            );
+        }
+        (None, None) => {
+            for (mac, fp) in &fingerprints {
+                println!(
+                    "{mac}: {} packet columns -> {}-dim F'",
+                    fp.len(),
+                    iot_sentinel::fingerprint::FIXED_DIMS
+                );
+            }
+        }
+        _ => return Err("--label and --out must be used together".into()),
+    }
+    Ok(())
+}
+
+fn cmd_import(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &[])?;
+    let dir = PathBuf::from(opts.required("dir")?);
+    let out = PathBuf::from(opts.required("out")?);
+    let ignored = parse_ignored_macs(&opts)?;
+
+    let mut dataset = Dataset::new();
+    let mut type_dirs: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("reading {dir:?}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    type_dirs.sort();
+    if type_dirs.is_empty() {
+        return Err(format!(
+            "{dir:?} has no per-device-type subdirectories (expected DIR/<DeviceType>/*.pcap)"
+        ));
+    }
+    for type_dir in type_dirs {
+        let label: String = type_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| format!("unreadable directory name under {dir:?}"))?
+            .chars()
+            .map(|c| if c.is_whitespace() { '-' } else { c })
+            .collect();
+        let mut pcaps: Vec<PathBuf> = std::fs::read_dir(&type_dir)
+            .map_err(|e| format!("reading {type_dir:?}: {e}"))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "pcap"))
+            .collect();
+        pcaps.sort();
+        let mut count = 0usize;
+        for pcap in pcaps {
+            for (_, fingerprint) in fingerprints_from_pcap(&pcap, &ignored)? {
+                dataset.push(LabeledFingerprint::new(label.clone(), fingerprint));
+                count += 1;
+            }
+        }
+        println!("{label}: {count} fingerprint(s)");
+    }
+    if dataset.is_empty() {
+        return Err("no fingerprints found in any pcap".into());
+    }
+    write_dataset(&out, &dataset)?;
+    println!(
+        "wrote {} fingerprints for {} types to {}",
+        dataset.len(),
+        dataset.labels().len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &[])?;
+    let dataset_path = PathBuf::from(opts.required("dataset")?);
+    let model_path = PathBuf::from(opts.required("model")?);
+    let seed: u64 = opts.number("seed", 42)?;
+
+    let dataset = read_dataset(&dataset_path)?;
+    eprintln!(
+        "training on {} fingerprints across {} types...",
+        dataset.len(),
+        dataset.labels().len()
+    );
+    let identifier = Trainer::new(IdentifierConfig::default())
+        .train(&dataset, seed)
+        .map_err(|e| format!("training failed: {e}"))?;
+    let file = File::create(&model_path).map_err(|e| format!("creating {model_path:?}: {e}"))?;
+    persist::write_identifier(BufWriter::new(file), &identifier)
+        .map_err(|e| format!("writing model: {e}"))?;
+    println!(
+        "trained {} per-type classifiers -> {}",
+        identifier.type_count(),
+        model_path.display()
+    );
+    Ok(())
+}
+
+fn cmd_identify(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &[])?;
+    let model_path = PathBuf::from(opts.required("model")?);
+    let pcap_path = PathBuf::from(opts.required("pcap")?);
+    let ignored = parse_ignored_macs(&opts)?;
+
+    let file = File::open(&model_path).map_err(|e| format!("opening {model_path:?}: {e}"))?;
+    let identifier = persist::read_identifier(BufReader::new(file))
+        .map_err(|e| format!("loading model: {e}"))?;
+    let vulnerabilities = VulnerabilityDatabase::demo();
+
+    let fingerprints = fingerprints_from_pcap(&pcap_path, &ignored)?;
+    if fingerprints.is_empty() {
+        return Err("no device traffic found in the pcap".into());
+    }
+    for (mac, fingerprint) in fingerprints {
+        let result = identifier.identify(&fingerprint);
+        let level = vulnerabilities.assess(result.device_type());
+        println!(
+            "{mac}: {} -> isolation {}",
+            result.device_type().unwrap_or("<unknown device type>"),
+            level.name()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_assess(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &[])?;
+    let type_name = opts.required("type")?;
+    let db = VulnerabilityDatabase::demo();
+    let level = db.assess(Some(type_name));
+    println!("device type:     {type_name}");
+    println!("vulnerable:      {}", db.is_vulnerable(type_name));
+    println!("isolation level: {}", level.name());
+    for record in db.records_for(type_name) {
+        println!(
+            "  {}: {} [{}]",
+            record.id, record.description, record.severity
+        );
+    }
+    Ok(())
+}
+
+fn parse_ignored_macs(opts: &Options) -> Result<Vec<MacAddr>, String> {
+    let mut ignored = Vec::new();
+    for raw in opts.all("ignore-mac") {
+        ignored.push(
+            raw.parse::<MacAddr>()
+                .map_err(|e| format!("bad --ignore-mac {raw:?}: {e}"))?,
+        );
+    }
+    Ok(ignored)
+}
+
+fn fingerprints_from_pcap(
+    path: &Path,
+    ignored: &[MacAddr],
+) -> Result<Vec<(MacAddr, iot_sentinel::fingerprint::Fingerprint)>, String> {
+    let file = File::open(path).map_err(|e| format!("opening {path:?}: {e}"))?;
+    let trace =
+        TraceCapture::from_pcap(BufReader::new(file)).map_err(|e| format!("reading pcap: {e}"))?;
+    let mut monitor = CaptureMonitor::new(SetupDetectorConfig::default());
+    for mac in ignored {
+        monitor.ignore_mac(*mac);
+    }
+    for frame in trace.iter() {
+        monitor
+            .observe_frame(frame)
+            .map_err(|e| format!("decoding frame: {e}"))?;
+    }
+    Ok(monitor
+        .finish_all()
+        .into_iter()
+        .map(|capture| {
+            (
+                capture.mac(),
+                FingerprintExtractor::extract_from(capture.packets()),
+            )
+        })
+        .collect())
+}
+
+fn read_dataset(path: &Path) -> Result<Dataset, String> {
+    let file = File::open(path).map_err(|e| format!("opening {path:?}: {e}"))?;
+    codec::read(BufReader::new(file)).map_err(|e| format!("reading dataset: {e}"))
+}
+
+fn write_dataset(path: &Path, dataset: &Dataset) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("creating {path:?}: {e}"))?;
+    codec::write(BufWriter::new(file), dataset).map_err(|e| format!("writing dataset: {e}"))
+}

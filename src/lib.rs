@@ -1,0 +1,60 @@
+//! # IoT Sentinel
+//!
+//! A from-scratch Rust reproduction of *IoT Sentinel: Automated
+//! Device-Type Identification for Security Enforcement in IoT*
+//! (Miettinen et al., ICDCS 2017).
+//!
+//! IoT Sentinel watches the traffic a new device produces while being
+//! set up in a home network, condenses it into a payload-free
+//! fingerprint, identifies the device's *type* (make + model +
+//! software version) with one Random Forest classifier per known type
+//! plus edit-distance tie-breaking, looks the type up in a
+//! vulnerability database, and has an SDN gateway confine vulnerable
+//! or unknown devices to an untrusted network overlay.
+//!
+//! This meta-crate re-exports the workspace's crates:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`net`] | `sentinel-net` | packet model, wire codec, pcap, capture monitor |
+//! | [`devices`] | `sentinel-devices` | the 27 Table-II device behaviour profiles + simulator |
+//! | [`fingerprint`] | `sentinel-fingerprint` | 23 features, F, F′, datasets, k-fold |
+//! | [`ml`] | `sentinel-ml` | Random Forest, metrics |
+//! | [`editdist`] | `sentinel-editdist` | Damerau-Levenshtein over packet words |
+//! | [`core`] | `sentinel-core` | two-stage identifier, IoTSSP, vulnerability DB |
+//! | [`gateway`] | `sentinel-gateway` | SDN switch/controller, rules, overlays, testbed |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use iot_sentinel::core::{IdentifierConfig, Trainer};
+//! use iot_sentinel::devices::{catalog, generate_dataset, NetworkEnvironment};
+//!
+//! // 1. Collect the training data: 27 device types, 20 setups each.
+//! let env = NetworkEnvironment::default();
+//! let dataset = generate_dataset(&catalog::standard_catalog(), &env, 20, 1);
+//!
+//! // 2. Train one classifier per device type.
+//! let identifier = Trainer::new(IdentifierConfig::default()).train(&dataset, 42)?;
+//!
+//! // 3. Identify a new fingerprint.
+//! let probe = dataset.sample(0);
+//! println!("{:?}", identifier.identify(probe.fingerprint()).device_type());
+//! # Ok::<(), iot_sentinel::core::CoreError>(())
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios (gateway onboarding,
+//! vulnerability response, unknown devices, firmware updates, pcap
+//! workflows) and DESIGN.md / EXPERIMENTS.md for the reproduction
+//! methodology and measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sentinel_core as core;
+pub use sentinel_devices as devices;
+pub use sentinel_editdist as editdist;
+pub use sentinel_fingerprint as fingerprint;
+pub use sentinel_gateway as gateway;
+pub use sentinel_ml as ml;
+pub use sentinel_net as net;

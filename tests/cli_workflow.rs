@@ -1,0 +1,213 @@
+//! The `sentinel` CLI end to end: simulate → dataset → train →
+//! identify → assess, all through the binary's file-based interface.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const GATEWAY_MAC: &str = "02:53:47:57:00:01";
+
+fn sentinel(dir: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sentinel"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn assert_success(output: &Output, what: &str) -> String {
+    assert!(
+        output.status.success(),
+        "{what} failed: {}\n{}",
+        String::from_utf8_lossy(&output.stderr),
+        String::from_utf8_lossy(&output.stdout),
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sentinel-cli-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn full_workflow_simulate_train_identify() {
+    let dir = temp_dir("workflow");
+
+    let stdout = assert_success(&sentinel(&dir, &["catalog"]), "catalog");
+    assert!(stdout.contains("D-LinkCam"));
+    assert_eq!(stdout.lines().count(), 28, "header + 27 types");
+
+    assert_success(
+        &sentinel(
+            &dir,
+            &[
+                "simulate",
+                "--type",
+                "HueBridge",
+                "--out",
+                "pcaps",
+                "--runs",
+                "2",
+                "--seed",
+                "5",
+            ],
+        ),
+        "simulate",
+    );
+    assert!(dir.join("pcaps/HueBridge-setup-000.pcap").exists());
+
+    // A small dataset is enough for a smoke-level model.
+    assert_success(
+        &sentinel(
+            &dir,
+            &["dataset", "--out", "ds.txt", "--runs", "4", "--seed", "3"],
+        ),
+        "dataset",
+    );
+    assert_success(
+        &sentinel(
+            &dir,
+            &[
+                "train",
+                "--dataset",
+                "ds.txt",
+                "--model",
+                "model.txt",
+                "--seed",
+                "9",
+            ],
+        ),
+        "train",
+    );
+
+    let stdout = assert_success(
+        &sentinel(
+            &dir,
+            &[
+                "identify",
+                "--model",
+                "model.txt",
+                "--pcap",
+                "pcaps/HueBridge-setup-000.pcap",
+                "--ignore-mac",
+                GATEWAY_MAC,
+            ],
+        ),
+        "identify",
+    );
+    assert!(
+        stdout.contains("HueBridge"),
+        "expected HueBridge identification, got: {stdout}"
+    );
+
+    let stdout = assert_success(&sentinel(&dir, &["assess", "--type", "EdnetCam"]), "assess");
+    assert!(stdout.contains("vulnerable:      true"));
+    assert!(stdout.contains("restricted"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn extract_appends_to_dataset_files() {
+    let dir = temp_dir("extract");
+    assert_success(
+        &sentinel(
+            &dir,
+            &[
+                "simulate", "--type", "Aria", "--out", "pcaps", "--runs", "1",
+            ],
+        ),
+        "simulate",
+    );
+    for _ in 0..2 {
+        assert_success(
+            &sentinel(
+                &dir,
+                &[
+                    "extract",
+                    "--pcap",
+                    "pcaps/Aria-setup-000.pcap",
+                    "--label",
+                    "Aria",
+                    "--out",
+                    "extra.txt",
+                    "--ignore-mac",
+                    GATEWAY_MAC,
+                ],
+            ),
+            "extract",
+        );
+    }
+    let contents = std::fs::read_to_string(dir.join("extra.txt")).unwrap();
+    assert_eq!(contents.matches("sample Aria").count(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_usage_fails_with_message() {
+    let dir = temp_dir("usage");
+
+    let output = sentinel(&dir, &["identify", "--model", "missing.txt"]);
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--pcap"));
+
+    let output = sentinel(&dir, &["simulate", "--type", "NoSuchDevice", "--out", "x"]);
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("unknown device type"));
+
+    let output = sentinel(&dir, &["frobnicate"]);
+    assert!(!output.status.success());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn import_builds_dataset_from_directory_tree() {
+    let dir = temp_dir("import");
+    for device in ["HueBridge", "Withings"] {
+        assert_success(
+            &sentinel(
+                &dir,
+                &[
+                    "simulate",
+                    "--type",
+                    device,
+                    "--out",
+                    &format!("captures/{device}"),
+                    "--runs",
+                    "2",
+                ],
+            ),
+            "simulate",
+        );
+    }
+    let stdout = assert_success(
+        &sentinel(
+            &dir,
+            &[
+                "import",
+                "--dir",
+                "captures",
+                "--out",
+                "imported.txt",
+                "--ignore-mac",
+                GATEWAY_MAC,
+            ],
+        ),
+        "import",
+    );
+    assert!(
+        stdout.contains("wrote 4 fingerprints for 2 types"),
+        "{stdout}"
+    );
+
+    // An empty or flat directory is a usage error, not a panic.
+    std::fs::create_dir_all(dir.join("flat")).unwrap();
+    let output = sentinel(&dir, &["import", "--dir", "flat", "--out", "x.txt"]);
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("subdirectories"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

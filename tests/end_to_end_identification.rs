@@ -1,0 +1,132 @@
+//! End-to-end identification across crates: device simulation →
+//! capture monitoring → fingerprinting → two-stage identification.
+
+use iot_sentinel::core::{IdentifierConfig, Trainer};
+use iot_sentinel::devices::{capture_setups, catalog, generate_dataset, NetworkEnvironment};
+use iot_sentinel::fingerprint::FingerprintExtractor;
+use iot_sentinel::ml::{ForestConfig, TreeConfig};
+
+/// A light config so debug-mode tests stay fast.
+fn fast_config() -> IdentifierConfig {
+    IdentifierConfig {
+        forest: ForestConfig {
+            n_trees: 15,
+            tree: TreeConfig::default(),
+            bootstrap: true,
+            threads: 1,
+        },
+        ..IdentifierConfig::default()
+    }
+}
+
+/// Distinct device types are identified near-perfectly from held-out
+/// setups the trainer never saw.
+#[test]
+fn distinct_types_identify_from_fresh_captures() {
+    let env = NetworkEnvironment::default();
+    let profiles = catalog::standard_catalog();
+    let distinct = [
+        "Aria",
+        "HueBridge",
+        "Withings",
+        "MAXGateway",
+        "WeMoLink",
+        "EdimaxCam",
+        "D-LinkDayCam",
+    ];
+    let selected: Vec<_> = profiles
+        .iter()
+        .filter(|p| distinct.contains(&p.type_name.as_str()))
+        .cloned()
+        .collect();
+    let dataset = generate_dataset(&selected, &env, 8, 1);
+    let identifier = Trainer::new(fast_config()).train(&dataset, 9).unwrap();
+
+    let mut correct = 0;
+    let mut total = 0;
+    for profile in &selected {
+        // Fresh captures with a different seed than training.
+        for capture in capture_setups(profile, &env, 3, 0xF00D) {
+            let fp = FingerprintExtractor::extract_from(capture.packets());
+            if identifier.identify(&fp).device_type() == Some(profile.type_name.as_str()) {
+                correct += 1;
+            }
+            total += 1;
+        }
+    }
+    let accuracy = f64::from(correct) / f64::from(total);
+    assert!(
+        accuracy >= 0.9,
+        "distinct types should identify near-perfectly, got {accuracy} ({correct}/{total})"
+    );
+}
+
+/// Sibling devices (TP-Link plug pair) confuse mutually but stay
+/// within the pair — the Table III block structure.
+#[test]
+fn sibling_pair_confusion_stays_within_pair() {
+    let env = NetworkEnvironment::default();
+    let profiles = catalog::standard_catalog();
+    let selected: Vec<_> = profiles
+        .iter()
+        .filter(|p| {
+            [
+                "TP-LinkPlugHS110",
+                "TP-LinkPlugHS100",
+                "HueBridge",
+                "Aria",
+                "MAXGateway",
+                "Withings",
+                "EdimaxCam",
+                "WeMoLink",
+                "Lightify",
+                "EdnetCam",
+                "D-LinkDayCam",
+                "D-LinkHomeHub",
+            ]
+            .contains(&p.type_name.as_str())
+        })
+        .cloned()
+        .collect();
+    let dataset = generate_dataset(&selected, &env, 8, 2);
+    let identifier = Trainer::new(fast_config()).train(&dataset, 10).unwrap();
+
+    let pair = ["TP-LinkPlugHS110", "TP-LinkPlugHS100"];
+    let mut within_pair = 0;
+    let mut total = 0;
+    for name in pair {
+        let profile = profiles.iter().find(|p| p.type_name == name).unwrap();
+        for capture in capture_setups(profile, &env, 4, 0xCAFE) {
+            let fp = FingerprintExtractor::extract_from(capture.packets());
+            if let Some(predicted) = identifier.identify(&fp).device_type() {
+                if pair.contains(&predicted) {
+                    within_pair += 1;
+                }
+            }
+            total += 1;
+        }
+    }
+    assert!(
+        within_pair * 10 >= total * 8,
+        "plug predictions should stay within the sibling pair: {within_pair}/{total}"
+    );
+}
+
+/// The evaluation dataset has the paper's shape: 540 fingerprints, 27
+/// labels, each fingerprint non-trivial.
+#[test]
+fn dataset_statistics_match_paper_setup() {
+    let env = NetworkEnvironment::default();
+    let profiles = catalog::standard_catalog();
+    let dataset = generate_dataset(&profiles, &env, 20, 3);
+    assert_eq!(dataset.len(), 540, "27 types x 20 setups");
+    assert_eq!(dataset.labels().len(), 27);
+    for sample in dataset.iter() {
+        assert!(
+            sample.fingerprint().len() >= 2,
+            "{} produced a trivial fingerprint",
+            sample.label()
+        );
+        assert_eq!(sample.fixed().dims(), 276);
+    }
+}

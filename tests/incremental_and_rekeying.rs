@@ -1,0 +1,123 @@
+//! Incremental learning (§IV-B-1) and the legacy re-keying flow
+//! (§VIII-A) across crates.
+
+use iot_sentinel::core::{IdentifierConfig, Trainer};
+use iot_sentinel::devices::{capture_setups, catalog, generate_dataset, NetworkEnvironment};
+use iot_sentinel::fingerprint::FingerprintExtractor;
+use iot_sentinel::gateway::{Overlay, OverlayMap, WpsRegistrar};
+use iot_sentinel::ml::{ForestConfig, TreeConfig};
+use iot_sentinel::net::MacAddr;
+
+fn fast_config() -> IdentifierConfig {
+    IdentifierConfig {
+        forest: ForestConfig {
+            n_trees: 15,
+            tree: TreeConfig::default(),
+            bootstrap: true,
+            threads: 1,
+        },
+        ..IdentifierConfig::default()
+    }
+}
+
+/// Adding a new device type must not change predictions for existing
+/// types (no relearning of existing classifiers).
+#[test]
+fn incremental_type_addition_preserves_existing_predictions() {
+    let env = NetworkEnvironment::default();
+    let profiles = catalog::standard_catalog();
+    let initial = [
+        "Aria",
+        "HueBridge",
+        "Withings",
+        "MAXGateway",
+        "WeMoLink",
+        "EdimaxCam",
+    ];
+    let selected: Vec<_> = profiles
+        .iter()
+        .filter(|p| initial.contains(&p.type_name.as_str()))
+        .cloned()
+        .collect();
+    let dataset = generate_dataset(&selected, &env, 8, 6);
+    let mut identifier = Trainer::new(fast_config()).train(&dataset, 31).unwrap();
+
+    // Record predictions on held-out captures before the addition.
+    let probes: Vec<_> = selected
+        .iter()
+        .flat_map(|p| capture_setups(p, &env, 2, 0xEE))
+        .map(|c| FingerprintExtractor::extract_from(c.packets()))
+        .collect();
+    let before: Vec<_> = probes
+        .iter()
+        .map(|fp| identifier.identify(fp).device_type().map(str::to_string))
+        .collect();
+
+    // Add a brand-new type incrementally.
+    let newcomer = profiles.iter().find(|p| p.type_name == "Lightify").unwrap();
+    let new_fps: Vec<_> = capture_setups(newcomer, &env, 8, 0x11)
+        .iter()
+        .map(|c| FingerprintExtractor::extract_from(c.packets()))
+        .collect();
+    identifier
+        .add_device_type("Lightify", &new_fps, 77)
+        .unwrap();
+    assert_eq!(identifier.type_count(), 7);
+
+    // Existing predictions unchanged.
+    let after: Vec<_> = probes
+        .iter()
+        .map(|fp| identifier.identify(fp).device_type().map(str::to_string))
+        .collect();
+    assert_eq!(before, after, "existing classifiers must be untouched");
+
+    // The new type is recognised.
+    let fresh = capture_setups(newcomer, &env, 2, 0x22);
+    for capture in fresh {
+        let fp = FingerprintExtractor::extract_from(capture.packets());
+        assert_eq!(identifier.identify(&fp).device_type(), Some("Lightify"));
+    }
+}
+
+/// §VIII-A: deprecating the legacy network PSK re-keys WPS-capable
+/// devices into device-specific credentials; clean devices move to the
+/// trusted overlay, the rest stay untrusted or need manual
+/// re-introduction.
+#[test]
+fn legacy_rekeying_flow() {
+    let mut registrar = WpsRegistrar::new();
+    let mut overlays = OverlayMap::new();
+    let mac = |i: u8| MacAddr::new([2, 0x1e, 0, 0, 0, i]);
+
+    // A legacy installation: everything shares the network PSK, all in
+    // the untrusted overlay initially.
+    let devices = [
+        (mac(1), true, true),  // wps-capable, clean
+        (mac(2), true, false), // wps-capable, vulnerable
+        (mac(3), false, true), // no wps, clean
+    ];
+    for (m, wps, _) in devices {
+        registrar.register_legacy(m, wps);
+        overlays.assign(m, Overlay::Untrusted);
+    }
+
+    let report = registrar.deprecate_network_psk();
+    assert_eq!(report.rekeyed, vec![mac(1), mac(2)]);
+    assert_eq!(report.needs_manual_reintroduction, vec![mac(3)]);
+
+    // Identification + vulnerability assessment decides overlay for
+    // re-keyed devices: clean → trusted, vulnerable stays untrusted.
+    for (m, _, clean) in devices.iter().take(2) {
+        if *clean {
+            overlays.assign(*m, Overlay::Trusted);
+        }
+    }
+    assert_eq!(overlays.overlay_of(mac(1)), Overlay::Trusted);
+    assert_eq!(overlays.overlay_of(mac(2)), Overlay::Untrusted);
+    // The trusted and untrusted overlays stay mutually isolated.
+    assert!(!overlays.permits_peer_traffic(mac(1), mac(2)));
+    // Credentials reflect the re-keying.
+    assert!(registrar.credential(mac(1)).unwrap().device_specific);
+    assert!(registrar.credential(mac(3)).is_none());
+    assert!(!registrar.network_psk_active());
+}

@@ -1,0 +1,195 @@
+//! Property-based tests for the extension surfaces: model
+//! persistence, the notification lifecycle and incident correlation.
+
+use proptest::prelude::*;
+
+use iot_sentinel::core::incidents::{
+    CorrelatorConfig, GatewayId, IncidentCorrelator, IncidentKind, IncidentReport,
+};
+use iot_sentinel::core::{persist, IdentifierConfig, Trainer};
+use iot_sentinel::fingerprint::{Dataset, Fingerprint, LabeledFingerprint, PacketFeatures};
+use iot_sentinel::gateway::{NotificationCenter, NotificationState, SideChannel};
+use iot_sentinel::ml::{ForestConfig, TreeConfig};
+use iot_sentinel::net::{MacAddr, SimDuration, SimTime};
+
+fn fp(tags: &[u32]) -> Fingerprint {
+    Fingerprint::from_columns(
+        tags.iter()
+            .map(|t| {
+                let mut v = [0u32; 23];
+                v[18] = 40 + *t;
+                v[20] = t % 4;
+                PacketFeatures::from_raw(v)
+            })
+            .collect(),
+    )
+}
+
+fn quick_config() -> IdentifierConfig {
+    IdentifierConfig {
+        forest: ForestConfig {
+            n_trees: 7,
+            tree: TreeConfig::default(),
+            bootstrap: true,
+            threads: 1,
+        },
+        ..IdentifierConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Persisted identifiers reproduce every identification exactly,
+    /// for arbitrary class layouts and fingerprint contents.
+    #[test]
+    fn persisted_identifier_is_behaviourally_identical(
+        class_seeds in proptest::collection::vec(0u32..10_000, 2..5),
+        samples_per_class in 4usize..8,
+        probe_tags in proptest::collection::vec(0u32..12_000, 1..12),
+    ) {
+        let mut ds = Dataset::new();
+        for (ci, cs) in class_seeds.iter().enumerate() {
+            for i in 0..samples_per_class as u32 {
+                ds.push(LabeledFingerprint::new(
+                    format!("T{ci}"),
+                    fp(&[cs + i, cs + 17, cs + 31]),
+                ));
+            }
+        }
+        let identifier = Trainer::new(quick_config()).train(&ds, 3).unwrap();
+        let mut buf = Vec::new();
+        persist::write_identifier(&mut buf, &identifier).unwrap();
+        let back = persist::read_identifier(buf.as_slice()).unwrap();
+
+        prop_assert_eq!(back.known_types(), identifier.known_types());
+        for tag in probe_tags {
+            let probe = fp(&[tag, tag + 17, tag + 31]);
+            prop_assert_eq!(back.identify(&probe), identifier.identify(&probe));
+        }
+    }
+
+    /// Truncating a model document anywhere yields an error, never a
+    /// panic and never a silently wrong model.
+    #[test]
+    fn truncated_model_never_panics(cut in 0.0f64..1.0) {
+        let mut ds = Dataset::new();
+        for i in 0..5u32 {
+            ds.push(LabeledFingerprint::new("A", fp(&[i, 17, 31])));
+            ds.push(LabeledFingerprint::new("B", fp(&[500 + i, 517, 531])));
+        }
+        let identifier = Trainer::new(quick_config()).train(&ds, 4).unwrap();
+        let mut buf = Vec::new();
+        persist::write_identifier(&mut buf, &identifier).unwrap();
+        let keep = ((buf.len() as f64) * cut) as usize;
+        if keep < buf.len() {
+            buf.truncate(keep);
+            prop_assert!(persist::read_identifier(buf.as_slice()).is_err());
+        }
+    }
+
+    /// Notification lifecycle invariants under arbitrary event
+    /// sequences: ids stay unique, per-device advisories stay
+    /// deduplicated, and `RemovalVerified` implies the device was
+    /// silent for the whole quiet period beforehand.
+    #[test]
+    fn notification_center_invariants(
+        events in proptest::collection::vec((0u8..4, 0u8..6, 0u64..500), 1..60),
+    ) {
+        let quiet = SimDuration::from_secs(60);
+        let mut center = NotificationCenter::new(quiet);
+        let mut now = SimTime::from_secs(0);
+        let mut last_traffic: std::collections::HashMap<MacAddr, SimTime> =
+            std::collections::HashMap::new();
+        let mut issued: Vec<u64> = Vec::new();
+
+        for (op, device, advance) in events {
+            now += SimDuration::from_secs(advance);
+            let mac = MacAddr::new([2, 0, 0, 0, 0, device]);
+            match op {
+                0 => {
+                    let id = center.advise_removal(mac, None, SideChannel::Bluetooth, now);
+                    if !issued.contains(&id) {
+                        issued.push(id);
+                    }
+                    // Dedup: re-advising the same device returns the same id.
+                    prop_assert_eq!(
+                        center.advise_removal(mac, None, SideChannel::Bluetooth, now),
+                        id
+                    );
+                }
+                1 => {
+                    center.observe_traffic(mac, now);
+                    last_traffic.insert(mac, now);
+                }
+                2 => {
+                    if let Some(n) = center.for_device(mac) {
+                        let id = n.id();
+                        center.acknowledge(id).unwrap();
+                    }
+                }
+                _ => {
+                    for id in center.verify_removals(now) {
+                        let n = center.get(id).unwrap();
+                        let last = last_traffic
+                            .get(&n.mac())
+                            .copied()
+                            .unwrap_or(n.issued_at());
+                        prop_assert!(
+                            now.duration_since(last) >= quiet,
+                            "verified while device was recently active"
+                        );
+                    }
+                }
+            }
+        }
+        // Ids are unique and every issued advisory is retrievable.
+        let mut sorted = issued.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), issued.len());
+        for id in issued {
+            prop_assert!(center.get(id).is_some());
+        }
+        // A verified advisory's device has been silent for >= quiet.
+        for n in center.open() {
+            prop_assert_ne!(n.state(), NotificationState::RemovalVerified);
+        }
+    }
+
+    /// Correlator flagging is monotone: relaxing the thresholds can
+    /// only grow the flagged set, and every flagged type meets its
+    /// thresholds.
+    #[test]
+    fn correlator_thresholds_are_monotone(
+        reports in proptest::collection::vec((0u64..6, 0u8..4, 0u64..2_000), 0..80),
+    ) {
+        let window = SimDuration::from_secs(1_000);
+        let strict = CorrelatorConfig { window, min_gateways: 3, min_reports: 5 };
+        let relaxed = CorrelatorConfig { window, min_gateways: 2, min_reports: 2 };
+        let mut a = IncidentCorrelator::new(strict);
+        let mut b = IncidentCorrelator::new(relaxed);
+        for (gw, device, at) in &reports {
+            let r = IncidentReport::new(
+                GatewayId(*gw),
+                format!("D{device}"),
+                IncidentKind::PolicyViolation,
+                SimTime::from_secs(*at),
+            );
+            a.submit(r.clone());
+            b.submit(r);
+        }
+        let now = SimTime::from_secs(2_000);
+        let strict_flags = a.flagged_types(now);
+        let relaxed_flags = b.flagged_types(now);
+        for f in &strict_flags {
+            prop_assert!(
+                relaxed_flags.iter().any(|g| g.device_type == f.device_type),
+                "strictly-flagged {} missing under relaxed thresholds",
+                f.device_type
+            );
+            prop_assert!(f.distinct_gateways >= strict.min_gateways);
+            prop_assert!(f.reports_in_window >= strict.min_reports);
+        }
+    }
+}

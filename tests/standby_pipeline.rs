@@ -1,0 +1,101 @@
+//! §VIII-A standby identification across crates: standby-trained
+//! models must identify standby windows well, setup-trained models
+//! must not transfer to standby traffic, and the sibling confusion
+//! structure must persist across behavioural domains.
+
+use iot_sentinel::core::eval::evaluate_transfer;
+use iot_sentinel::core::IdentifierConfig;
+use iot_sentinel::devices::{catalog, generate_dataset, standby, NetworkEnvironment};
+use iot_sentinel::ml::{ForestConfig, TreeConfig};
+
+fn fast_config() -> IdentifierConfig {
+    IdentifierConfig {
+        forest: ForestConfig {
+            n_trees: 15,
+            tree: TreeConfig::default(),
+            bootstrap: true,
+            threads: 1,
+        },
+        ..IdentifierConfig::default()
+    }
+}
+
+/// A compact, distinct-type subset keeps these tests fast while still
+/// exercising several behaviour classes (scale, hub, camera, plug).
+const SUBSET: [&str; 6] = [
+    "Aria",
+    "HueBridge",
+    "EdimaxCam",
+    "WeMoSwitch",
+    "MAXGateway",
+    "Lightify",
+];
+
+fn subset(
+    profiles: &[iot_sentinel::devices::DeviceProfile],
+) -> Vec<iot_sentinel::devices::DeviceProfile> {
+    profiles
+        .iter()
+        .filter(|p| SUBSET.contains(&p.type_name.as_str()))
+        .cloned()
+        .collect()
+}
+
+#[test]
+fn standby_trained_models_identify_standby_windows() {
+    let env = NetworkEnvironment::default();
+    let standby_profiles = subset(&standby::standby_catalog());
+    let train = generate_dataset(&standby_profiles, &env, 10, 41);
+    let test = generate_dataset(&standby_profiles, &env, 4, 99);
+    let report = evaluate_transfer(&train, &test, &fast_config(), 17).unwrap();
+    assert!(
+        report.global_accuracy() > 0.85,
+        "distinct types should identify well from standby traffic: {}",
+        report.global_accuracy()
+    );
+}
+
+#[test]
+fn setup_models_do_not_transfer_to_standby() {
+    let env = NetworkEnvironment::default();
+    let setup_train = generate_dataset(&subset(&catalog::standard_catalog()), &env, 10, 41);
+    let standby_test = generate_dataset(&subset(&standby::standby_catalog()), &env, 4, 99);
+    let report = evaluate_transfer(&setup_train, &standby_test, &fast_config(), 17).unwrap();
+    assert!(
+        report.global_accuracy() < 0.5,
+        "setup-trained models must not transfer to standby traffic: {}",
+        report.global_accuracy()
+    );
+}
+
+#[test]
+fn sibling_confusion_persists_in_standby() {
+    let env = NetworkEnvironment::default();
+    let profiles: Vec<_> = standby::standby_catalog()
+        .into_iter()
+        .filter(|p| {
+            ["SmarterCoffee", "iKettle2", "HueBridge", "Aria"].contains(&p.type_name.as_str())
+        })
+        .collect();
+    let train = generate_dataset(&profiles, &env, 10, 41);
+    let test = generate_dataset(&profiles, &env, 6, 99);
+    let report = evaluate_transfer(&train, &test, &fast_config(), 17).unwrap();
+
+    let acc = |name: &str| {
+        report
+            .per_type_accuracy()
+            .into_iter()
+            .find(|(l, _)| l == name)
+            .map(|(_, a)| a)
+            .unwrap_or(0.0)
+    };
+    // The identical-firmware appliances stay confusable in standby...
+    let smarter = (acc("SmarterCoffee") + acc("iKettle2")) / 2.0;
+    assert!(
+        smarter < 0.95,
+        "identical Smarter siblings should stay confusable: {smarter}"
+    );
+    // ...while distinct types stay clean.
+    assert!(acc("HueBridge") > 0.9, "HueBridge: {}", acc("HueBridge"));
+    assert!(acc("Aria") > 0.9, "Aria: {}", acc("Aria"));
+}
