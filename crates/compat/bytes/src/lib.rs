@@ -1,0 +1,74 @@
+//! Minimal, self-contained stand-in for the `bytes` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the one trait the wire codec uses: [`BufMut`]
+//! implemented for `Vec<u8>`. All multi-byte writes are big-endian,
+//! matching the network-byte-order semantics of `bytes::BufMut`'s
+//! `put_u16`/`put_u32`/`put_u64`.
+
+#![forbid(unsafe_code)]
+
+/// A growable buffer accepting network-byte-order writes.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends one signed byte.
+    fn put_i8(&mut self, v: i8);
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_i8(&mut self, v: i8) {
+        self.push(v as u8);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::BufMut;
+
+    #[test]
+    fn writes_are_big_endian() {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_u8(0xAB);
+        buf.put_i8(-1);
+        buf.put_u16(0x0102);
+        buf.put_u32(0x0304_0506);
+        buf.put_u64(0x0708_090A_0B0C_0D0E);
+        buf.put_slice(&[0xFF, 0xEE]);
+        assert_eq!(
+            buf,
+            [
+                0xAB, 0xFF, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C,
+                0x0D, 0x0E, 0xFF, 0xEE
+            ]
+        );
+    }
+}

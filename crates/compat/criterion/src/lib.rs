@@ -1,0 +1,200 @@
+//! Minimal, self-contained stand-in for the `criterion` bench harness.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of criterion's API its benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: a short warm-up sizes the batch,
+//! then the batch is timed a handful of times and the best (lowest
+//! per-iteration) run is reported — the classic noise-resistant
+//! estimator. Set `SENTINEL_BENCH_FAST=1` to shrink the measurement
+//! budget (useful in CI, where only "does it run" matters).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting
+/// benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn budget() -> (Duration, Duration, usize) {
+    if std::env::var_os("SENTINEL_BENCH_FAST").is_some() {
+        (Duration::from_millis(5), Duration::from_millis(20), 3)
+    } else {
+        (Duration::from_millis(50), Duration::from_millis(200), 5)
+    }
+}
+
+/// Times one closure invocation batch and reports the best run.
+pub struct Bencher {
+    best_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Benchmarks `f`, calling it repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let (warmup, measure, runs) = budget();
+        // Warm-up: find how many iterations fit the warm-up budget.
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(f());
+            iters += 1;
+        }
+        let batch = iters.max(1);
+        let per_run = (measure.as_nanos() as u64 / runs as u64).max(1);
+        let mut best = f64::INFINITY;
+        for _ in 0..runs {
+            let mut done: u64 = 0;
+            let t0 = Instant::now();
+            while done < batch || t0.elapsed().as_nanos() < per_run as u128 {
+                black_box(f());
+                done += 1;
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / done as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        self.best_ns_per_iter = best;
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    let ns = bencher.best_ns_per_iter;
+    let (value, unit) = if ns < 1_000.0 {
+        (ns, "ns")
+    } else if ns < 1_000_000.0 {
+        (ns / 1_000.0, "µs")
+    } else if ns < 1_000_000_000.0 {
+        (ns / 1_000_000.0, "ms")
+    } else {
+        (ns / 1_000_000_000.0, "s")
+    };
+    println!("{name:<48} time: [{value:.3} {unit}/iter]");
+}
+
+/// The top-level bench registry, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            best_ns_per_iter: f64::NAN,
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// A parameterised benchmark name (`group/function/parameter`).
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new<S: Display, P: Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            rendered: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            rendered: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            best_ns_per_iter: f64::NAN,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            best_ns_per_iter: f64::NAN,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.rendered), &b);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench entry point running the listed functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        std::env::set_var("SENTINEL_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, n| {
+            b.iter(|| (0..*n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

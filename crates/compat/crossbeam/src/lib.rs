@@ -1,0 +1,76 @@
+//! Minimal, self-contained stand-in for `crossbeam`'s scoped threads.
+//!
+//! The build environment has no network access to crates.io; since
+//! Rust 1.63 the standard library provides scoped threads natively, so
+//! this shim forwards `crossbeam::thread::scope` to
+//! [`std::thread::scope`] while keeping crossbeam's call shape
+//! (`scope(|s| { s.spawn(|_| …); })` returning a `Result`).
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    /// A scope handle passed to [`scope`] closures and spawned threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so it
+        /// can spawn further threads, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads are joined before
+    /// `scope` returns.
+    ///
+    /// Unlike crossbeam — which catches child panics and returns them
+    /// in the `Err` variant — `std::thread::scope` resumes the panic on
+    /// the parent thread, so this always returns `Ok` and callers'
+    /// `.expect(…)` on the result is a no-op. Panic propagation still
+    /// happens; it just takes the unwinding path.
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_before_return() {
+        let counter = AtomicUsize::new(0);
+        let values: Vec<usize> = (0..8).collect();
+        super::thread::scope(|s| {
+            for v in &values {
+                s.spawn(|_| {
+                    counter.fetch_add(*v, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), values.iter().sum());
+    }
+
+    #[test]
+    fn results_flow_back_through_join() {
+        let doubled = super::thread::scope(|s| {
+            let h = s.spawn(|_| 21 * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(doubled, 42);
+    }
+}

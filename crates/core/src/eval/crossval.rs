@@ -159,7 +159,7 @@ pub fn cross_validate(
                     }
                     report
                         .confusion
-                        .record(sample.label(), result.device_type().unwrap_or("<unknown>"));
+                        .record(sample.label(), identifier.name_of(&result).unwrap_or("<unknown>"));
                 }
                 crate::identifier::Identification::Unknown => {
                     report.no_match += 1;

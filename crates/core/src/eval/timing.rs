@@ -102,7 +102,7 @@ pub fn measure_identification(
         // Per-classifier share (measured, not divided): time one
         // representative classifier via a single-type candidate check.
         if let Some(first_type) = types.first() {
-            if let Some(refs) = identifier.references(first_type) {
+            if let Some(refs) = identifier.references_by_name(first_type) {
                 if let Some(reference) = refs.first() {
                     let t0 = Instant::now();
                     let _ = fingerprint_distance(fp, reference, variant);
@@ -118,7 +118,7 @@ pub fn measure_identification(
         if candidates.len() > 1 {
             let t0 = Instant::now();
             for c in &candidates {
-                if let Some(refs) = identifier.references(c) {
+                if let Some(refs) = identifier.references(*c) {
                     for r in refs {
                         let _ = fingerprint_distance(fp, r, variant);
                     }

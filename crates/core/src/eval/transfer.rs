@@ -78,9 +78,10 @@ pub fn evaluate_transfer(
                     report.candidate_sum += candidates.len();
                     report.distance_computations += candidates.len() * refs;
                 }
-                report
-                    .confusion
-                    .record(sample.label(), result.device_type().unwrap_or("<unknown>"));
+                report.confusion.record(
+                    sample.label(),
+                    identifier.name_of(&result).unwrap_or("<unknown>"),
+                );
             }
             Identification::Unknown => {
                 report.no_match += 1;

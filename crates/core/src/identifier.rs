@@ -7,21 +7,25 @@ use sentinel_fingerprint::{Dataset, Fingerprint, FixedFingerprint};
 
 use crate::classifier::TypeClassifier;
 use crate::error::CoreError;
+use crate::registry::{TypeId, TypeRegistry};
 use crate::trainer::{fnv1a, negative_indices, reference_indices, IdentifierConfig};
 
 /// The outcome of identifying one fingerprint.
+///
+/// Carries interned [`TypeId`]s only — resolve them to names through
+/// the identifier's [`TypeRegistry`] (borrowed, never cloned).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Identification {
     /// Exactly one prediction was produced.
     Known {
         /// The predicted device type.
-        device_type: String,
+        device_type: TypeId,
         /// Types whose classifiers accepted the fingerprint (≥ 1; more
         /// than one means discrimination ran).
-        candidates: Vec<String>,
+        candidates: Vec<TypeId>,
         /// Dissimilarity scores per candidate when discrimination ran
         /// (empty on a single classifier match).
-        scores: Vec<(String, f64)>,
+        scores: Vec<(TypeId, f64)>,
     },
     /// Every classifier rejected the fingerprint: a new device type
     /// has been discovered (§IV-B-1).
@@ -30,9 +34,9 @@ pub enum Identification {
 
 impl Identification {
     /// The predicted type, or `None` for an unknown device.
-    pub fn device_type(&self) -> Option<&str> {
+    pub fn device_type(&self) -> Option<TypeId> {
         match self {
-            Identification::Known { device_type, .. } => Some(device_type),
+            Identification::Known { device_type, .. } => Some(*device_type),
             Identification::Unknown => None,
         }
     }
@@ -71,6 +75,11 @@ struct TypeModel {
 /// known device type plus reference fingerprints for edit-distance
 /// discrimination.
 ///
+/// Device-type labels are interned once into [`TypeId`]s through the
+/// identifier's [`TypeRegistry`]; every internal map is keyed by id
+/// and every identification result carries ids, so the query path
+/// performs no string allocation.
+///
 /// Built via [`crate::Trainer`]; extended incrementally with
 /// [`DeviceTypeIdentifier::add_device_type`] — "every time the
 /// fingerprint of a new device-type is captured, a new classifier is
@@ -79,15 +88,17 @@ struct TypeModel {
 #[derive(Debug, Clone)]
 pub struct DeviceTypeIdentifier {
     config: IdentifierConfig,
-    models: BTreeMap<String, TypeModel>,
-    /// Pool of training samples: (type label, full F, fixed F′).
-    pool: Vec<(String, Fingerprint, FixedFingerprint)>,
+    registry: TypeRegistry,
+    models: BTreeMap<TypeId, TypeModel>,
+    /// Pool of training samples: (type, full F, fixed F′).
+    pool: Vec<(TypeId, Fingerprint, FixedFingerprint)>,
 }
 
 impl DeviceTypeIdentifier {
     pub(crate) fn new(config: IdentifierConfig) -> Self {
         DeviceTypeIdentifier {
             config,
+            registry: TypeRegistry::new(),
             models: BTreeMap::new(),
             pool: Vec::new(),
         }
@@ -96,6 +107,35 @@ impl DeviceTypeIdentifier {
     /// The configuration this identifier was built with.
     pub fn config(&self) -> &IdentifierConfig {
         &self.config
+    }
+
+    /// The label ↔ id bijection for every type this identifier has
+    /// ever seen (trained or pooled).
+    pub fn registry(&self) -> &TypeRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the registry, for interning names that enter
+    /// the system outside training (vulnerability feeds, incident
+    /// streams). The registry is append-only, so handing out mutable
+    /// access can never invalidate an existing [`TypeId`].
+    pub fn registry_mut(&mut self) -> &mut TypeRegistry {
+        &mut self.registry
+    }
+
+    /// The name behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different registry.
+    pub fn type_name(&self, id: TypeId) -> &str {
+        self.registry.name(id)
+    }
+
+    /// Resolves an identification to a borrowed type name (`None` for
+    /// unknown devices).
+    pub fn name_of(&self, identification: &Identification) -> Option<&str> {
+        self.registry.resolve(identification.device_type())
     }
 
     /// Adds every sample of `dataset` to the training pool without
@@ -107,17 +147,18 @@ impl DeviceTypeIdentifier {
             } else {
                 s.fingerprint().to_fixed_with(self.config.fixed_prefix_len)
             };
-            self.pool
-                .push((s.label().to_string(), s.fingerprint().clone(), fixed));
+            let id = self.registry.intern(s.label());
+            self.pool.push((id, s.fingerprint().clone(), fixed));
         }
     }
 
-    /// Trains (or retrains) the classifier for `label` from the pool.
-    pub(crate) fn train_type(&mut self, label: &str, seed: u64) -> Result<(), CoreError> {
+    /// Trains (or retrains) the classifier for `id` from the pool.
+    pub(crate) fn train_type(&mut self, id: TypeId, seed: u64) -> Result<(), CoreError> {
+        let label = self.registry.name(id);
         let positives: Vec<&FixedFingerprint> = self
             .pool
             .iter()
-            .filter(|(l, _, _)| l == label)
+            .filter(|(l, _, _)| *l == id)
             .map(|(_, _, fx)| fx)
             .collect();
         if positives.is_empty() {
@@ -128,7 +169,7 @@ impl DeviceTypeIdentifier {
         let complement: Vec<&FixedFingerprint> = self
             .pool
             .iter()
-            .filter(|(l, _, _)| l != label)
+            .filter(|(l, _, _)| *l != id)
             .map(|(_, _, fx)| fx)
             .collect();
         if complement.is_empty() {
@@ -151,14 +192,14 @@ impl DeviceTypeIdentifier {
         let own_full: Vec<&Fingerprint> = self
             .pool
             .iter()
-            .filter(|(l, _, _)| l == label)
+            .filter(|(l, _, _)| *l == id)
             .map(|(_, f, _)| f)
             .collect();
         let ref_idx = reference_indices(own_full.len(), self.config.references_per_type, seed);
         let references: Vec<Fingerprint> =
             ref_idx.into_iter().map(|i| own_full[i].clone()).collect();
         self.models.insert(
-            label.to_string(),
+            id,
             TypeModel {
                 classifier,
                 references,
@@ -169,7 +210,8 @@ impl DeviceTypeIdentifier {
 
     /// Registers a newly discovered device type from its fingerprints
     /// and trains **only its** classifier — existing classifiers are
-    /// untouched (incremental learning, §IV-B-1).
+    /// untouched (incremental learning, §IV-B-1). Returns the interned
+    /// id of the (possibly pre-existing) label.
     ///
     /// # Errors
     ///
@@ -179,61 +221,78 @@ impl DeviceTypeIdentifier {
         label: &str,
         fingerprints: &[Fingerprint],
         seed: u64,
-    ) -> Result<(), CoreError> {
+    ) -> Result<TypeId, CoreError> {
         if fingerprints.is_empty() {
             return Err(CoreError::BadDataset(format!(
                 "no fingerprints supplied for new type {label}"
             )));
         }
+        let id = self.registry.intern(label);
         for f in fingerprints {
             let fixed = f.to_fixed_with(self.config.fixed_prefix_len);
-            self.pool.push((label.to_string(), f.clone(), fixed));
+            self.pool.push((id, f.clone(), fixed));
         }
-        self.train_type(label, seed ^ fnv1a(label.as_bytes()))
+        self.train_type(id, seed ^ fnv1a(label.as_bytes()))?;
+        Ok(id)
     }
 
-    /// Per-type models in name order: (type, classifier, references).
+    /// Per-type models in id order: (id, classifier, references).
     /// Persistence path.
-    pub(crate) fn models(&self) -> impl Iterator<Item = (&str, &TypeClassifier, &[Fingerprint])> {
+    pub(crate) fn models(&self) -> impl Iterator<Item = (TypeId, &TypeClassifier, &[Fingerprint])> {
         self.models
             .iter()
-            .map(|(name, m)| (name.as_str(), &m.classifier, m.references.as_slice()))
+            .map(|(id, m)| (*id, &m.classifier, m.references.as_slice()))
     }
 
-    /// The training-sample pool as (label, full fingerprint) pairs.
+    /// The training-sample pool as (id, full fingerprint) pairs.
     /// Persistence path; fixed fingerprints are recomputed on load.
-    pub(crate) fn pool_samples(&self) -> impl Iterator<Item = (&str, &Fingerprint)> {
-        self.pool.iter().map(|(l, f, _)| (l.as_str(), f))
+    pub(crate) fn pool_samples(&self) -> impl Iterator<Item = (TypeId, &Fingerprint)> {
+        self.pool.iter().map(|(l, f, _)| (*l, f))
     }
 
     /// Reassembles an identifier from loaded parts (persistence path).
-    /// Fixed fingerprints are recomputed from the full fingerprints
-    /// with the loaded configuration's prefix length.
+    /// `registry` must already contain every id referenced by `models`
+    /// and `pool`; fixed fingerprints are recomputed from the full
+    /// fingerprints with the loaded configuration's prefix length.
     pub(crate) fn from_parts(
         config: IdentifierConfig,
-        models: Vec<(String, TypeClassifier, Vec<Fingerprint>)>,
-        pool: Vec<(String, Fingerprint)>,
+        registry: TypeRegistry,
+        models: Vec<(TypeId, TypeClassifier, Vec<Fingerprint>)>,
+        pool: Vec<(TypeId, Fingerprint)>,
     ) -> Self {
         let mut identifier = DeviceTypeIdentifier::new(config);
-        for (name, classifier, references) in models {
+        identifier.registry = registry;
+        for (id, classifier, references) in models {
             identifier.models.insert(
-                name,
+                id,
                 TypeModel {
                     classifier,
                     references,
                 },
             );
         }
-        for (label, fingerprint) in pool {
+        for (id, fingerprint) in pool {
             let fixed = fingerprint.to_fixed_with(config.fixed_prefix_len);
-            identifier.pool.push((label, fingerprint, fixed));
+            identifier.pool.push((id, fingerprint, fixed));
         }
         identifier
     }
 
-    /// The device types this identifier can recognise.
+    /// The device types this identifier can recognise, sorted by name.
     pub fn known_types(&self) -> Vec<&str> {
-        self.models.keys().map(String::as_str).collect()
+        let mut names: Vec<&str> = self
+            .models
+            .keys()
+            .map(|id| self.registry.name(*id))
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// The ids of the types this identifier can recognise, in id
+    /// (interning) order.
+    pub fn known_type_ids(&self) -> impl Iterator<Item = TypeId> + '_ {
+        self.models.keys().copied()
     }
 
     /// Number of known types (= number of classifiers).
@@ -245,7 +304,7 @@ impl DeviceTypeIdentifier {
     ///
     /// Exposed separately for the timing evaluation (Table IV times
     /// classification and discrimination independently).
-    pub fn classify_candidates(&self, fixed: &FixedFingerprint) -> Vec<&str> {
+    pub fn classify_candidates(&self, fixed: &FixedFingerprint) -> Vec<TypeId> {
         self.models
             .iter()
             .filter(|(_, m)| {
@@ -253,45 +312,48 @@ impl DeviceTypeIdentifier {
                     .matches(fixed, self.config.accept_threshold)
                     .unwrap_or(false)
             })
-            .map(|(name, _)| name.as_str())
+            .map(|(id, _)| *id)
             .collect()
     }
 
-    /// The reference fingerprints stored for `label`, if known.
-    pub fn references(&self, label: &str) -> Option<&[Fingerprint]> {
-        self.models.get(label).map(|m| m.references.as_slice())
+    /// The reference fingerprints stored for `id`, if known.
+    pub fn references(&self, id: TypeId) -> Option<&[Fingerprint]> {
+        self.models.get(&id).map(|m| m.references.as_slice())
+    }
+
+    /// The reference fingerprints stored for a type name, if known.
+    pub fn references_by_name(&self, label: &str) -> Option<&[Fingerprint]> {
+        self.references(self.registry.get(label)?)
     }
 
     /// Identifies a device from its full fingerprint F.
     ///
     /// Stage one evaluates all per-type classifiers on F′; stage two
-    /// discriminates multiple matches with edit distance over F.
+    /// discriminates multiple matches with edit distance over F. The
+    /// result carries interned ids only — no strings are allocated.
     pub fn identify(&self, fingerprint: &Fingerprint) -> Identification {
         let fixed = fingerprint.to_fixed_with(self.config.fixed_prefix_len);
         let candidates = self.classify_candidates(&fixed);
         match candidates.len() {
             0 => Identification::Unknown,
             1 => Identification::Known {
-                device_type: candidates[0].to_string(),
-                candidates: vec![candidates[0].to_string()],
+                device_type: candidates[0],
+                candidates,
                 scores: Vec::new(),
             },
             _ => {
-                let candidate_refs: Vec<(&str, Vec<&Fingerprint>)> = candidates
+                let candidate_refs: Vec<(TypeId, Vec<&Fingerprint>)> = candidates
                     .iter()
-                    .map(|name| {
-                        let refs = self.models[*name].references.iter().collect();
-                        (*name, refs)
+                    .map(|id| {
+                        let refs = self.models[id].references.iter().collect();
+                        (*id, refs)
                     })
                     .collect();
                 let ranked = rank_candidates(fingerprint, &candidate_refs, self.config.distance);
                 Identification::Known {
-                    device_type: ranked[0].0.to_string(),
-                    candidates: candidates.iter().map(|c| c.to_string()).collect(),
-                    scores: ranked
-                        .into_iter()
-                        .map(|(name, score)| (name.to_string(), score))
-                        .collect(),
+                    device_type: ranked[0].0,
+                    candidates,
+                    scores: ranked,
                 }
             }
         }
@@ -344,9 +406,9 @@ mod tests {
         let id = trained();
         assert_eq!(id.type_count(), 3);
         let result = id.identify(&fp(&[104, 110, 120, 130]));
-        assert_eq!(result.device_type(), Some("TypeA"));
+        assert_eq!(id.name_of(&result), Some("TypeA"));
         let result = id.identify(&fp(&[505, 510, 520, 530]));
-        assert_eq!(result.device_type(), Some("TypeB"));
+        assert_eq!(id.name_of(&result), Some("TypeB"));
     }
 
     /// Fingerprint whose columns carry a binary protocol pattern
@@ -395,8 +457,7 @@ mod tests {
         let id = Trainer::default().train(&ds, 21).unwrap();
         // Sanity: known patterns are recognised.
         assert_eq!(
-            id.identify(&typed_fp(0b0001, &[104, 110, 120]))
-                .device_type(),
+            id.name_of(&id.identify(&typed_fp(0b0001, &[104, 110, 120]))),
             Some("BitsA")
         );
         let result = id.identify(&typed_fp(0b1000, &[104, 110, 120]));
@@ -410,14 +471,16 @@ mod tests {
         let mut id = trained();
         let before = id.identify(&fp(&[104, 110, 120, 130]));
         let new_fps: Vec<Fingerprint> = (0..10).map(|i| fp(&[3000 + i, 3010, 3020])).collect();
-        id.add_device_type("TypeNew", &new_fps, 5).unwrap();
+        let new_id = id.add_device_type("TypeNew", &new_fps, 5).unwrap();
         assert_eq!(id.type_count(), 4);
+        assert_eq!(id.type_name(new_id), "TypeNew");
         // Old prediction unchanged.
         let after = id.identify(&fp(&[104, 110, 120, 130]));
         assert_eq!(before.device_type(), after.device_type());
-        // New type recognised.
+        // New type recognised, under the id interning returned.
         let novel = id.identify(&fp(&[3004, 3010, 3020]));
-        assert_eq!(novel.device_type(), Some("TypeNew"));
+        assert_eq!(novel.device_type(), Some(new_id));
+        assert_eq!(id.name_of(&novel), Some("TypeNew"));
     }
 
     #[test]
@@ -464,9 +527,11 @@ mod tests {
     #[test]
     fn references_stored_per_type() {
         let id = trained();
-        let refs = id.references("TypeA").unwrap();
+        let refs = id.references_by_name("TypeA").unwrap();
         assert_eq!(refs.len(), 5);
-        assert!(id.references("NoSuchType").is_none());
+        assert!(id.references_by_name("NoSuchType").is_none());
+        let type_a = id.registry().get("TypeA").unwrap();
+        assert_eq!(id.references(type_a).unwrap().len(), 5);
     }
 
     #[test]
@@ -482,5 +547,15 @@ mod tests {
     fn known_types_sorted() {
         let id = trained();
         assert_eq!(id.known_types(), vec!["TypeA", "TypeB", "TypeC"]);
+    }
+
+    #[test]
+    fn registry_covers_all_trained_types() {
+        let id = trained();
+        let ids: Vec<TypeId> = id.known_type_ids().collect();
+        assert_eq!(ids.len(), 3);
+        for tid in ids {
+            assert!(id.registry().try_name(tid).is_some());
+        }
     }
 }

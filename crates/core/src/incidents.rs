@@ -9,12 +9,13 @@
 //!
 //! Security Gateways submit [`IncidentReport`]s (a policy violation, a
 //! device scanning its neighbours, an exfiltration attempt) tagged
-//! with the *identified device type* and a pseudonymous gateway id.
-//! The [`IncidentCorrelator`] flags a device type once enough
-//! *distinct* gateways report it within a sliding window — one
-//! misbehaving household (or one malicious gateway spamming reports)
-//! is never sufficient. Flagged types are turned into derived
-//! `CROWD-…` advisories that feed the regular
+//! with the *identified device type* — as an interned [`TypeId`], the
+//! same id the identification service returned to the gateway — and a
+//! pseudonymous gateway id. The [`IncidentCorrelator`] flags a device
+//! type once enough *distinct* gateways report it within a sliding
+//! window — one misbehaving household (or one malicious gateway
+//! spamming reports) is never sufficient. Flagged types are turned
+//! into derived `CROWD-…` advisories that feed the regular
 //! [`VulnerabilityDatabase`] assessment, so the next fingerprint of
 //! that type lands in restricted isolation like any CVE-listed type.
 //!
@@ -29,22 +30,24 @@
 //! use sentinel_core::incidents::{
 //!     CorrelatorConfig, GatewayId, IncidentCorrelator, IncidentKind, IncidentReport,
 //! };
-//! use sentinel_core::VulnerabilityDatabase;
+//! use sentinel_core::{TypeRegistry, VulnerabilityDatabase};
 //! use sentinel_net::SimTime;
 //!
+//! let mut registry = TypeRegistry::new();
+//! let cam = registry.intern("EdnetCam");
 //! let mut correlator = IncidentCorrelator::new(CorrelatorConfig::default());
 //! for gw in 0..3 {
 //!     correlator.submit(IncidentReport::new(
 //!         GatewayId(gw),
-//!         "EdnetCam",
+//!         cam,
 //!         IncidentKind::ScanningBehaviour,
 //!         SimTime::from_secs(60 * gw),
 //!     ));
 //! }
 //! let mut db = VulnerabilityDatabase::new();
-//! let flagged = correlator.apply_to(&mut db, SimTime::from_secs(300));
+//! let flagged = correlator.apply_to(&mut db, &registry, SimTime::from_secs(300));
 //! assert_eq!(flagged, 1);
-//! assert!(db.is_vulnerable("EdnetCam"));
+//! assert!(db.is_vulnerable(cam));
 //! ```
 
 use std::collections::{HashMap, HashSet};
@@ -52,6 +55,7 @@ use std::fmt;
 
 use sentinel_net::{SimDuration, SimTime};
 
+use crate::registry::{TypeId, TypeRegistry};
 use crate::vulnerability::{Severity, VulnerabilityDatabase, VulnerabilityRecord};
 
 /// Pseudonymous identifier of a reporting Security Gateway. Gateways
@@ -107,14 +111,15 @@ impl fmt::Display for IncidentKind {
 }
 
 /// One incident observed by one gateway, attributed to an identified
-/// device type.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// device type. `Copy` — reports cross the gateway → IoTSSP boundary
+/// by value with no allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IncidentReport {
     /// Pseudonymous reporter.
     pub gateway: GatewayId,
     /// Device type the incident is attributed to (the gateway's
     /// identification result).
-    pub device_type: String,
+    pub device_type: TypeId,
     /// What was observed.
     pub kind: IncidentKind,
     /// When the gateway observed it.
@@ -125,13 +130,13 @@ impl IncidentReport {
     /// Creates a report.
     pub fn new(
         gateway: GatewayId,
-        device_type: impl Into<String>,
+        device_type: TypeId,
         kind: IncidentKind,
         observed_at: SimTime,
     ) -> Self {
         IncidentReport {
             gateway,
-            device_type: device_type.into(),
+            device_type,
             kind,
             observed_at,
         }
@@ -163,10 +168,10 @@ impl Default for CorrelatorConfig {
 }
 
 /// A device type that crossed the correlation thresholds.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlaggedType {
     /// The flagged device type.
-    pub device_type: String,
+    pub device_type: TypeId,
     /// Distinct gateways that reported it within the window.
     pub distinct_gateways: usize,
     /// Total reports within the window.
@@ -180,7 +185,7 @@ pub struct FlaggedType {
 #[derive(Debug, Clone, Default)]
 pub struct IncidentCorrelator {
     config: CorrelatorConfig,
-    by_type: HashMap<String, Vec<IncidentReport>>,
+    by_type: HashMap<TypeId, Vec<IncidentReport>>,
 }
 
 impl IncidentCorrelator {
@@ -200,18 +205,18 @@ impl IncidentCorrelator {
     /// Records one incident report.
     pub fn submit(&mut self, report: IncidentReport) {
         self.by_type
-            .entry(report.device_type.clone())
+            .entry(report.device_type)
             .or_default()
             .push(report);
     }
 
     /// Total reports held for `device_type` (across all time).
-    pub fn report_count(&self, device_type: &str) -> usize {
-        self.by_type.get(device_type).map_or(0, Vec::len)
+    pub fn report_count(&self, device_type: TypeId) -> usize {
+        self.by_type.get(&device_type).map_or(0, Vec::len)
     }
 
     /// Evaluates the thresholds at time `now` and returns the flagged
-    /// types, sorted by type name.
+    /// types, sorted by type id.
     pub fn flagged_types(&self, now: SimTime) -> Vec<FlaggedType> {
         let mut flagged = Vec::new();
         for (device_type, reports) in &self.by_type {
@@ -236,13 +241,13 @@ impl IncidentCorrelator {
                 .map(|(kind, _)| kind)
                 .expect("in_window is non-empty");
             flagged.push(FlaggedType {
-                device_type: device_type.clone(),
+                device_type: *device_type,
                 distinct_gateways: gateways.len(),
                 reports_in_window: in_window.len(),
                 dominant_kind,
             });
         }
-        flagged.sort_by(|a, b| a.device_type.cmp(&b.device_type));
+        flagged.sort_by_key(|f| f.device_type);
         flagged
     }
 
@@ -257,23 +262,41 @@ impl IncidentCorrelator {
 
     /// Inserts a derived `CROWD-…` advisory into `db` for every
     /// flagged type that does not already carry one, and returns how
-    /// many types are currently flagged.
+    /// many flagged types the registry recognised (= had an advisory
+    /// ensured). `registry` supplies the type names embedded in the
+    /// derived advisory ids.
+    ///
+    /// Reports carrying a [`TypeId`] the registry does not know are
+    /// skipped rather than trusted: gateways are untrusted reporters
+    /// (a malicious or version-skewed gateway may submit arbitrary
+    /// ids), and a foreign id must not crash the correlation job nor
+    /// inject an advisory the operator cannot attribute.
     ///
     /// Derived advisories use the dominant incident kind's severity;
     /// a type already flagged keeps its original advisory (idempotent).
-    pub fn apply_to(&self, db: &mut VulnerabilityDatabase, now: SimTime) -> usize {
+    pub fn apply_to(
+        &self,
+        db: &mut VulnerabilityDatabase,
+        registry: &TypeRegistry,
+        now: SimTime,
+    ) -> usize {
         let flagged = self.flagged_types(now);
+        let mut applied = 0usize;
         for f in &flagged {
-            let advisory_id = format!("CROWD-{}", f.device_type);
+            let Some(name) = registry.try_name(f.device_type) else {
+                continue;
+            };
+            applied += 1;
+            let advisory_id = format!("CROWD-{name}");
             let already = db
-                .records_for(&f.device_type)
+                .records_for(f.device_type)
                 .iter()
                 .any(|r| r.id == advisory_id);
             if already {
                 continue;
             }
             db.add_record(
-                &f.device_type,
+                f.device_type,
                 VulnerabilityRecord::new(
                     advisory_id,
                     format!(
@@ -284,16 +307,36 @@ impl IncidentCorrelator {
                 ),
             );
         }
-        flagged.len()
+        applied
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::isolation::IsolationClass;
 
-    fn report(gw: u64, device: &str, kind: IncidentKind, secs: u64) -> IncidentReport {
-        IncidentReport::new(GatewayId(gw), device, kind, SimTime::from_secs(secs))
+    fn registry() -> TypeRegistry {
+        let mut reg = TypeRegistry::new();
+        for name in ["EdnetCam", "WeMoSwitch", "X", "Y", "A", "B"] {
+            reg.intern(name);
+        }
+        reg
+    }
+
+    fn report(
+        reg: &TypeRegistry,
+        gw: u64,
+        device: &str,
+        kind: IncidentKind,
+        secs: u64,
+    ) -> IncidentReport {
+        IncidentReport::new(
+            GatewayId(gw),
+            reg.get(device).unwrap(),
+            kind,
+            SimTime::from_secs(secs),
+        )
     }
 
     fn correlator() -> IncidentCorrelator {
@@ -306,33 +349,66 @@ mod tests {
 
     #[test]
     fn one_gateway_never_flags_a_type() {
+        let reg = registry();
         let mut c = correlator();
         // One gateway spamming five reports must not flag the type.
         for i in 0..5 {
-            c.submit(report(7, "EdnetCam", IncidentKind::ScanningBehaviour, i));
+            c.submit(report(
+                &reg,
+                7,
+                "EdnetCam",
+                IncidentKind::ScanningBehaviour,
+                i,
+            ));
         }
         assert!(c.flagged_types(SimTime::from_secs(100)).is_empty());
     }
 
     #[test]
     fn three_distinct_gateways_flag_a_type() {
+        let reg = registry();
         let mut c = correlator();
         for gw in 0..3 {
-            c.submit(report(gw, "EdnetCam", IncidentKind::ScanningBehaviour, gw));
+            c.submit(report(
+                &reg,
+                gw,
+                "EdnetCam",
+                IncidentKind::ScanningBehaviour,
+                gw,
+            ));
         }
         let flagged = c.flagged_types(SimTime::from_secs(100));
         assert_eq!(flagged.len(), 1);
-        assert_eq!(flagged[0].device_type, "EdnetCam");
+        assert_eq!(flagged[0].device_type, reg.get("EdnetCam").unwrap());
         assert_eq!(flagged[0].distinct_gateways, 3);
         assert_eq!(flagged[0].reports_in_window, 3);
     }
 
     #[test]
     fn reports_outside_the_window_do_not_count() {
+        let reg = registry();
         let mut c = correlator();
-        c.submit(report(1, "EdnetCam", IncidentKind::PolicyViolation, 0));
-        c.submit(report(2, "EdnetCam", IncidentKind::PolicyViolation, 10));
-        c.submit(report(3, "EdnetCam", IncidentKind::PolicyViolation, 4000));
+        c.submit(report(
+            &reg,
+            1,
+            "EdnetCam",
+            IncidentKind::PolicyViolation,
+            0,
+        ));
+        c.submit(report(
+            &reg,
+            2,
+            "EdnetCam",
+            IncidentKind::PolicyViolation,
+            10,
+        ));
+        c.submit(report(
+            &reg,
+            3,
+            "EdnetCam",
+            IncidentKind::PolicyViolation,
+            4000,
+        ));
         // At t=4100 the first two aged out of the one-hour window.
         assert!(c.flagged_types(SimTime::from_secs(4100)).is_empty());
         // At t=100 all three are in the window.
@@ -341,28 +417,32 @@ mod tests {
 
     #[test]
     fn dominant_kind_picks_most_frequent_then_most_severe() {
+        let reg = registry();
         let mut c = correlator();
-        c.submit(report(1, "X", IncidentKind::PolicyViolation, 1));
-        c.submit(report(2, "X", IncidentKind::ExfiltrationAttempt, 2));
-        c.submit(report(3, "X", IncidentKind::ExfiltrationAttempt, 3));
+        c.submit(report(&reg, 1, "X", IncidentKind::PolicyViolation, 1));
+        c.submit(report(&reg, 2, "X", IncidentKind::ExfiltrationAttempt, 2));
+        c.submit(report(&reg, 3, "X", IncidentKind::ExfiltrationAttempt, 3));
         let flagged = c.flagged_types(SimTime::from_secs(10));
         assert_eq!(flagged[0].dominant_kind, IncidentKind::ExfiltrationAttempt);
 
         // Tie: one of each → the more severe kind wins.
         let mut c = correlator();
-        c.submit(report(1, "Y", IncidentKind::PolicyViolation, 1));
-        c.submit(report(2, "Y", IncidentKind::CredentialMisuse, 2));
-        c.submit(report(3, "Y", IncidentKind::PolicyViolation, 3));
-        c.submit(report(4, "Y", IncidentKind::CredentialMisuse, 4));
+        c.submit(report(&reg, 1, "Y", IncidentKind::PolicyViolation, 1));
+        c.submit(report(&reg, 2, "Y", IncidentKind::CredentialMisuse, 2));
+        c.submit(report(&reg, 3, "Y", IncidentKind::PolicyViolation, 3));
+        c.submit(report(&reg, 4, "Y", IncidentKind::CredentialMisuse, 4));
         let flagged = c.flagged_types(SimTime::from_secs(10));
         assert_eq!(flagged[0].dominant_kind, IncidentKind::CredentialMisuse);
     }
 
     #[test]
     fn apply_to_inserts_one_idempotent_advisory() {
+        let reg = registry();
+        let cam = reg.get("EdnetCam").unwrap();
         let mut c = correlator();
         for gw in 0..4 {
             c.submit(report(
+                &reg,
                 gw,
                 "EdnetCam",
                 IncidentKind::ExfiltrationAttempt,
@@ -371,14 +451,15 @@ mod tests {
         }
         let mut db = VulnerabilityDatabase::new();
         let now = SimTime::from_secs(100);
-        assert_eq!(c.apply_to(&mut db, now), 1);
-        assert!(db.is_vulnerable("EdnetCam"));
-        let before = db.records_for("EdnetCam").len();
+        assert_eq!(c.apply_to(&mut db, &reg, now), 1);
+        assert!(db.is_vulnerable(cam));
+        assert_eq!(db.records_for(cam)[0].id, "CROWD-EdnetCam");
+        let before = db.records_for(cam).len();
         // Re-applying must not duplicate the advisory.
-        assert_eq!(c.apply_to(&mut db, now), 1);
-        assert_eq!(db.records_for("EdnetCam").len(), before);
+        assert_eq!(c.apply_to(&mut db, &reg, now), 1);
+        assert_eq!(db.records_for(cam).len(), before);
         assert_eq!(
-            db.records_for("EdnetCam")[0].severity,
+            db.records_for(cam)[0].severity,
             Severity::High,
             "exfiltration-dominated advisories are high severity"
         );
@@ -386,9 +467,12 @@ mod tests {
 
     #[test]
     fn flagged_type_downgrades_isolation_level() {
+        let reg = registry();
+        let wemo = reg.get("WeMoSwitch").unwrap();
         let mut c = correlator();
         for gw in 0..3 {
             c.submit(report(
+                &reg,
                 gw,
                 "WeMoSwitch",
                 IncidentKind::ScanningBehaviour,
@@ -396,28 +480,61 @@ mod tests {
             ));
         }
         let mut db = VulnerabilityDatabase::new();
-        let level_before = db.assess(Some("WeMoSwitch"));
-        assert!(level_before.in_trusted_overlay());
-        c.apply_to(&mut db, SimTime::from_secs(50));
-        let level_after = db.assess(Some("WeMoSwitch"));
-        assert!(
-            !level_after.in_trusted_overlay(),
+        assert!(db.assess(Some(wemo)).in_trusted_overlay());
+        c.apply_to(&mut db, &reg, SimTime::from_secs(50));
+        assert_eq!(
+            db.assess(Some(wemo)),
+            IsolationClass::Restricted,
             "crowd-flagged type must leave the trusted overlay"
         );
     }
 
     #[test]
     fn prune_drops_aged_reports_and_empty_types() {
+        let reg = registry();
         let mut c = correlator();
-        c.submit(report(1, "A", IncidentKind::PolicyViolation, 0));
-        c.submit(report(2, "B", IncidentKind::PolicyViolation, 5000));
+        c.submit(report(&reg, 1, "A", IncidentKind::PolicyViolation, 0));
+        c.submit(report(&reg, 2, "B", IncidentKind::PolicyViolation, 5000));
         c.prune(SimTime::from_secs(5100));
-        assert_eq!(c.report_count("A"), 0);
-        assert_eq!(c.report_count("B"), 1);
+        assert_eq!(c.report_count(reg.get("A").unwrap()), 0);
+        assert_eq!(c.report_count(reg.get("B").unwrap()), 1);
     }
 
     #[test]
     fn gateway_id_display_is_opaque_hex() {
         assert_eq!(GatewayId(0xabc).to_string(), "gw-0000000000000abc");
+    }
+
+    #[test]
+    fn foreign_type_ids_are_skipped_not_trusted() {
+        // Gateways are untrusted reporters: an id the server registry
+        // never interned (malicious gateway, or model-version skew)
+        // must neither panic the correlation job nor inject an
+        // advisory.
+        let reg = registry();
+        let foreign = crate::registry::TypeId::from_index(9_999);
+        let mut c = correlator();
+        for gw in 0..4 {
+            c.submit(IncidentReport::new(
+                GatewayId(gw),
+                foreign,
+                IncidentKind::CredentialMisuse,
+                SimTime::from_secs(gw),
+            ));
+            c.submit(report(
+                &reg,
+                gw,
+                "EdnetCam",
+                IncidentKind::ScanningBehaviour,
+                gw,
+            ));
+        }
+        let mut db = VulnerabilityDatabase::new();
+        // Both types crossed the thresholds, but only the recognised
+        // one is applied.
+        assert_eq!(c.flagged_types(SimTime::from_secs(50)).len(), 2);
+        assert_eq!(c.apply_to(&mut db, &reg, SimTime::from_secs(50)), 1);
+        assert!(db.is_vulnerable(reg.get("EdnetCam").unwrap()));
+        assert!(!db.is_vulnerable(foreign));
     }
 }

@@ -33,6 +33,58 @@ impl From<std::net::Ipv4Addr> for Endpoint {
     }
 }
 
+/// The *kind* of isolation assigned to a device, without the
+/// restricted allow-list payload.
+///
+/// This is what travels in every [`crate::ServiceResponse`]: a `Copy`
+/// three-way verdict that costs nothing to return per query. The full
+/// [`IsolationLevel`] — which owns the endpoint allow-list for
+/// restricted devices — is materialised only where a rule is actually
+/// installed, via [`IsolationClass::with_endpoints`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IsolationClass {
+    /// Untrusted overlay only, no Internet (unknown devices).
+    Strict,
+    /// Untrusted overlay plus a vendor allow-list (vulnerable types).
+    Restricted,
+    /// Trusted overlay, unrestricted Internet (clean types).
+    Trusted,
+}
+
+impl IsolationClass {
+    /// Whether devices of this class live in the trusted overlay.
+    pub fn in_trusted_overlay(self) -> bool {
+        matches!(self, IsolationClass::Trusted)
+    }
+
+    /// Short label used in reports and rules.
+    pub fn name(self) -> &'static str {
+        match self {
+            IsolationClass::Strict => "strict",
+            IsolationClass::Restricted => "restricted",
+            IsolationClass::Trusted => "trusted",
+        }
+    }
+
+    /// Materialises the full level, attaching `endpoints` to the
+    /// restricted class (the other classes carry no payload).
+    pub fn with_endpoints(self, endpoints: &[Endpoint]) -> IsolationLevel {
+        match self {
+            IsolationClass::Strict => IsolationLevel::Strict,
+            IsolationClass::Trusted => IsolationLevel::Trusted,
+            IsolationClass::Restricted => IsolationLevel::Restricted {
+                allowed_endpoints: endpoints.to_vec(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for IsolationClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The isolation level assigned to a device after vulnerability
 /// assessment.
 ///
@@ -54,6 +106,15 @@ pub enum IsolationLevel {
 }
 
 impl IsolationLevel {
+    /// The payload-free class of this level.
+    pub fn class(&self) -> IsolationClass {
+        match self {
+            IsolationLevel::Strict => IsolationClass::Strict,
+            IsolationLevel::Restricted { .. } => IsolationClass::Restricted,
+            IsolationLevel::Trusted => IsolationClass::Trusted,
+        }
+    }
+
     /// Whether devices at this level live in the trusted overlay.
     pub fn in_trusted_overlay(&self) -> bool {
         matches!(self, IsolationLevel::Trusted)
@@ -132,6 +193,30 @@ mod tests {
         let lvl = IsolationLevel::Trusted;
         assert!(lvl.permits_internet(&ep("anything.example")));
         assert!(lvl.in_trusted_overlay());
+    }
+
+    #[test]
+    fn class_round_trips_through_levels() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<IsolationClass>();
+        assert_eq!(IsolationLevel::Strict.class(), IsolationClass::Strict);
+        assert_eq!(IsolationLevel::Trusted.class(), IsolationClass::Trusted);
+        let eps = vec![ep("cloud.example")];
+        let level = IsolationClass::Restricted.with_endpoints(&eps);
+        assert_eq!(level.class(), IsolationClass::Restricted);
+        assert_eq!(
+            level,
+            IsolationLevel::Restricted {
+                allowed_endpoints: eps
+            }
+        );
+        assert_eq!(
+            IsolationClass::Strict.with_endpoints(&[]),
+            IsolationLevel::Strict
+        );
+        assert_eq!(IsolationClass::Trusted.to_string(), "trusted");
+        assert!(IsolationClass::Trusted.in_trusted_overlay());
+        assert!(!IsolationClass::Restricted.in_trusted_overlay());
     }
 
     #[test]

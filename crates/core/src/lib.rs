@@ -35,7 +35,8 @@
 //! let identifier = Trainer::new(IdentifierConfig::default()).train(&dataset, 42)?;
 //! let unknown = dataset.sample(0);
 //! let result = identifier.identify(unknown.fingerprint());
-//! println!("identified as {:?}", result.device_type());
+//! // Results carry interned TypeIds; names are borrowed on demand.
+//! println!("identified as {:?}", identifier.name_of(&result));
 //! # Ok::<(), sentinel_core::CoreError>(())
 //! ```
 
@@ -49,6 +50,7 @@ pub mod identifier;
 pub mod incidents;
 pub mod isolation;
 pub mod persist;
+pub mod registry;
 pub mod service;
 pub mod trainer;
 pub mod vulnerability;
@@ -59,7 +61,8 @@ pub use identifier::{DeviceTypeIdentifier, Identification};
 pub use incidents::{
     CorrelatorConfig, FlaggedType, GatewayId, IncidentCorrelator, IncidentKind, IncidentReport,
 };
-pub use isolation::{Endpoint, IsolationLevel};
-pub use service::{IoTSecurityService, ServiceResponse};
+pub use isolation::{Endpoint, IsolationClass, IsolationLevel};
+pub use registry::{TypeId, TypeRegistry};
+pub use service::{IoTSecurityService, ServiceResponse, BATCH_CHUNK};
 pub use trainer::{IdentifierConfig, Trainer};
 pub use vulnerability::{Severity, VulnerabilityDatabase, VulnerabilityRecord};

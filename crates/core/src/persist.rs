@@ -7,16 +7,22 @@
 //!
 //! * the [`IdentifierConfig`] (hyperparameters, distance variant,
 //!   accept threshold),
+//! * the [`crate::TypeRegistry`] — every interned type name in id
+//!   order, so a reloaded model hands out **the same [`crate::TypeId`]
+//!   values** as the original and ids embedded in external systems
+//!   (gateway device records, incident stores) stay valid,
 //! * one forest block per device type (via [`sentinel_ml::codec`])
 //!   plus that type's reference fingerprints for discrimination,
 //! * the training-sample pool, so incremental
 //!   [`DeviceTypeIdentifier::add_device_type`] keeps working after a
 //!   reload (new classifiers need negatives from the pool).
 //!
-//! Floats (the accept threshold, tree split thresholds) are stored as
-//! IEEE-754 bit patterns, so `write → read` reproduces a model that is
-//! behaviourally *identical*: every prediction, vote fraction and
-//! discrimination score matches the original exactly.
+//! Format v2 adds the explicit registry section; v1 documents (no
+//! registry section) are still read, with ids assigned in document
+//! order. Floats (the accept threshold, tree split thresholds) are
+//! stored as IEEE-754 bit patterns, so `write → read` reproduces a
+//! model that is behaviourally *identical*: every prediction, vote
+//! fraction and discrimination score matches the original exactly.
 //!
 //! # Example
 //!
@@ -48,12 +54,14 @@ use sentinel_ml::{FeatureSubsample, ForestConfig};
 use crate::classifier::TypeClassifier;
 use crate::error::CoreError;
 use crate::identifier::DeviceTypeIdentifier;
+use crate::registry::{TypeId, TypeRegistry};
 use crate::trainer::IdentifierConfig;
 
-const HEADER: &str = "iot-sentinel-model v1";
+const HEADER_V2: &str = "iot-sentinel-model v2";
+const HEADER_V1: &str = "iot-sentinel-model v1";
 const FOOTER: &str = "end model";
 
-/// Writes `identifier` to `w` in the v1 text format (a `&mut` writer
+/// Writes `identifier` to `w` in the v2 text format (a `&mut` writer
 /// also works).
 ///
 /// # Errors
@@ -66,18 +74,24 @@ pub fn write_identifier<W: Write>(
     identifier: &DeviceTypeIdentifier,
 ) -> Result<(), CoreError> {
     let mut w = w;
-    writeln!(w, "{HEADER}")?;
+    writeln!(w, "{HEADER_V2}")?;
     write_config(&mut w, identifier.config())?;
 
-    let models: Vec<_> = identifier.models().collect();
-    writeln!(w, "types {}", models.len())?;
-    for (name, classifier, references) in models {
+    let registry = identifier.registry();
+    writeln!(w, "registry {}", registry.len())?;
+    for name in registry.names() {
         if name.contains('\n') || name.contains('\r') {
             return Err(CoreError::BadDataset(format!(
                 "type name {name:?} contains a line break"
             )));
         }
-        writeln!(w, "type {} {name}", references.len())?;
+        writeln!(w, "name {name}")?;
+    }
+
+    let models: Vec<_> = identifier.models().collect();
+    writeln!(w, "types {}", models.len())?;
+    for (id, classifier, references) in models {
+        writeln!(w, "type {} {}", references.len(), registry.name(id))?;
         ml_codec::write_forest(&mut w, classifier.forest()).map_err(CoreError::Ml)?;
         for reference in references {
             write_fingerprint(&mut w, "reference", reference)?;
@@ -86,15 +100,20 @@ pub fn write_identifier<W: Write>(
 
     let pool: Vec<_> = identifier.pool_samples().collect();
     writeln!(w, "pool {}", pool.len())?;
-    for (label, fingerprint) in pool {
-        writeln!(w, "label {label}")?;
+    for (id, fingerprint) in pool {
+        writeln!(w, "label {}", registry.name(id))?;
         write_fingerprint(&mut w, "fingerprint", fingerprint)?;
     }
     writeln!(w, "{FOOTER}")?;
     Ok(())
 }
 
-/// Reads an identifier from `r`.
+/// Reads an identifier from `r` (v2 or legacy v1 documents).
+///
+/// v2 documents restore the type registry exactly — ids match the
+/// writing identifier's ids. v1 documents carry no registry section,
+/// so ids are assigned in document order (which matches the v1
+/// writer's BTreeMap name order).
 ///
 /// # Errors
 ///
@@ -106,10 +125,33 @@ pub fn read_identifier<R: Read>(r: R) -> Result<DeviceTypeIdentifier, CoreError>
     let mut line_no = 0usize;
 
     let header = read_line(&mut r, &mut line_no)?;
-    if header != HEADER {
-        return Err(persist_err(line_no, "expected `iot-sentinel-model v1`"));
-    }
+    let v2 = match header.as_str() {
+        HEADER_V2 => true,
+        HEADER_V1 => false,
+        _ => {
+            return Err(persist_err(
+                line_no,
+                "expected `iot-sentinel-model v2` (or legacy v1)",
+            ))
+        }
+    };
     let config = read_config(&mut r, &mut line_no)?;
+
+    let mut registry = TypeRegistry::new();
+    if v2 {
+        let registry_line = read_line(&mut r, &mut line_no)?;
+        let name_count: usize = expect_keyword_count(&registry_line, "registry", line_no)?;
+        for _ in 0..name_count {
+            let name_line = read_line(&mut r, &mut line_no)?;
+            let name = name_line
+                .strip_prefix("name ")
+                .ok_or_else(|| persist_err(line_no, "expected `name <type-name>`"))?;
+            if name.is_empty() {
+                return Err(persist_err(line_no, "empty type name in registry"));
+            }
+            registry.intern(name);
+        }
+    }
 
     let types_line = read_line(&mut r, &mut line_no)?;
     let type_count: usize = expect_keyword_count(&types_line, "types", line_no)?;
@@ -128,13 +170,14 @@ pub fn read_identifier<R: Read>(r: R) -> Result<DeviceTypeIdentifier, CoreError>
         if name.is_empty() {
             return Err(persist_err(line_no, "empty type name"));
         }
+        let id = resolve_name(&mut registry, name, v2, line_no)?;
         let forest = ml_codec::read_forest(&mut r).map_err(CoreError::Ml)?;
         let mut references = Vec::with_capacity(n_refs);
         for _ in 0..n_refs {
             references.push(read_fingerprint(&mut r, &mut line_no, "reference")?);
         }
         models.push((
-            name.to_string(),
+            id,
             TypeClassifier::from_parts(name.to_string(), forest),
             references,
         ));
@@ -148,14 +191,35 @@ pub fn read_identifier<R: Read>(r: R) -> Result<DeviceTypeIdentifier, CoreError>
         let label = label_line
             .strip_prefix("label ")
             .ok_or_else(|| persist_err(line_no, "expected `label <name>`"))?;
+        let id = resolve_name(&mut registry, label, v2, line_no)?;
         let fingerprint = read_fingerprint(&mut r, &mut line_no, "fingerprint")?;
-        pool.push((label.to_string(), fingerprint));
+        pool.push((id, fingerprint));
     }
     let footer = read_line(&mut r, &mut line_no)?;
     if footer != FOOTER {
         return Err(persist_err(line_no, "expected `end model` footer"));
     }
-    Ok(DeviceTypeIdentifier::from_parts(config, models, pool))
+    Ok(DeviceTypeIdentifier::from_parts(
+        config, registry, models, pool,
+    ))
+}
+
+/// Maps a type name to its id: v2 documents must have declared it in
+/// the registry section; v1 documents intern on first sight.
+fn resolve_name(
+    registry: &mut TypeRegistry,
+    name: &str,
+    v2: bool,
+    line_no: usize,
+) -> Result<TypeId, CoreError> {
+    match registry.get(name) {
+        Some(id) => Ok(id),
+        None if v2 => Err(persist_err(
+            line_no,
+            &format!("type name {name:?} missing from registry section"),
+        )),
+        None => Ok(registry.intern(name)),
+    }
 }
 
 fn write_config<W: Write>(w: &mut W, config: &IdentifierConfig) -> Result<(), CoreError> {
@@ -245,7 +309,7 @@ fn read_config<R: BufRead>(r: &mut R, line_no: &mut usize) -> Result<IdentifierC
                 };
             }
             "bootstrap" => config.forest.bootstrap = value == "1",
-            // Unknown keys are skipped so v1 readers tolerate additive
+            // Unknown keys are skipped so v2 readers tolerate additive
             // future extensions.
             _ => {}
         }
@@ -393,6 +457,23 @@ mod tests {
     }
 
     #[test]
+    fn registry_round_trips_with_identical_ids() {
+        let identifier = Trainer::new(config()).train(&dataset(), 3).unwrap();
+        let mut buf = Vec::new();
+        write_identifier(&mut buf, &identifier).unwrap();
+        let back = read_identifier(buf.as_slice()).unwrap();
+
+        // The id ↔ name bijection is preserved exactly: same names,
+        // same ids, same order — ids stored outside the model (device
+        // records, incident stores) survive a model reload.
+        assert_eq!(back.registry(), identifier.registry());
+        for (id, name) in identifier.registry().iter() {
+            assert_eq!(back.registry().name(id), name);
+            assert_eq!(back.registry().get(name), Some(id));
+        }
+    }
+
+    #[test]
     fn incremental_learning_survives_reload() {
         let identifier = Trainer::new(config()).train(&dataset(), 3).unwrap();
         let mut buf = Vec::new();
@@ -402,12 +483,49 @@ mod tests {
         // The pool travelled with the model, so a new type can be
         // added incrementally after reload.
         let new_fps: Vec<Fingerprint> = (0..6).map(|i| fp(&[1500 + i, 1510, 1520])).collect();
-        back.add_device_type("D", &new_fps, 9).unwrap();
+        let d = back.add_device_type("D", &new_fps, 9).unwrap();
         assert_eq!(back.type_count(), 4);
         assert_eq!(
             back.identify(&fp(&[1503, 1510, 1520])).device_type(),
-            Some("D")
+            Some(d)
         );
+    }
+
+    #[test]
+    fn legacy_v1_documents_still_read() {
+        let identifier = Trainer::new(config()).train(&dataset(), 3).unwrap();
+        let mut buf = Vec::new();
+        write_identifier(&mut buf, &identifier).unwrap();
+        let doc = String::from_utf8(buf).unwrap();
+        // Rewrite as a v1 document: v1 header, no registry section.
+        let v1 = doc.replacen(HEADER_V2, HEADER_V1, 1);
+        let registry_end = v1.find("types ").unwrap();
+        let registry_start = v1.find("registry ").unwrap();
+        let v1 = format!("{}{}", &v1[..registry_start], &v1[registry_end..]);
+        let back = read_identifier(v1.as_bytes()).unwrap();
+        assert_eq!(back.type_count(), identifier.type_count());
+        for probe in dataset().iter() {
+            assert_eq!(
+                back.name_of(&back.identify(probe.fingerprint())),
+                identifier.name_of(&identifier.identify(probe.fingerprint())),
+            );
+        }
+    }
+
+    #[test]
+    fn v2_rejects_names_missing_from_registry() {
+        let identifier = Trainer::new(config()).train(&dataset(), 3).unwrap();
+        let mut buf = Vec::new();
+        write_identifier(&mut buf, &identifier).unwrap();
+        let doc = String::from_utf8(buf).unwrap();
+        // Corrupt one pool label to a name the registry never declared.
+        let corrupted = doc.replacen("label A", "label Zebra", 1);
+        match read_identifier(corrupted.as_bytes()) {
+            Err(CoreError::Persist { message, .. }) => {
+                assert!(message.contains("missing from registry"), "{message}");
+            }
+            other => panic!("expected persist error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Interned device-type identifiers.
+//!
+//! The paper's IoTSSP answers millions of gateway queries against a
+//! small, slowly growing universe of device types (27 in the §VI
+//! evaluation). Keying every internal map on owned `String` labels —
+//! and cloning a label into every [`crate::ServiceResponse`] — puts an
+//! allocation on the hottest path in the system for no benefit: the
+//! label set is identical across all queries. This module interns each
+//! label once into a dense, copyable [`TypeId`] that every component
+//! (identifier models, vulnerability records, gateway device records)
+//! uses as its key; the human-readable name is recovered by a borrow
+//! from the [`TypeRegistry`], never by cloning.
+//!
+//! `TypeId`s are assigned densely in interning order, so they also
+//! index cheaply into side tables (`Vec`s keyed by `id.index()`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A device type, interned. Copyable, hashable, 4 bytes.
+///
+/// Valid only with the [`TypeRegistry`] that produced it; registries
+/// persisted and reloaded through [`crate::persist`] preserve the
+/// id ↔ name mapping exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(u32);
+
+impl TypeId {
+    /// The dense index of this id (0-based interning order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds an id from a dense index (persistence path; the caller
+    /// must guarantee the index came from the matching registry).
+    pub fn from_index(index: usize) -> Self {
+        TypeId(u32::try_from(index).expect("more than u32::MAX device types"))
+    }
+}
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type#{}", self.0)
+    }
+}
+
+/// The bijection between device-type names and [`TypeId`]s.
+///
+/// Interning is append-only: an id, once assigned, never changes or
+/// disappears, so ids taken out of a registry remain valid for its
+/// whole lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TypeRegistry {
+    names: Vec<Box<str>>,
+    index: HashMap<Box<str>, TypeId>,
+}
+
+impl TypeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        TypeRegistry::default()
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> TypeId {
+        if let Some(id) = self.index.get(name) {
+            return *id;
+        }
+        let id = TypeId::from_index(self.names.len());
+        self.names.push(name.into());
+        self.index.insert(name.into(), id);
+        id
+    }
+
+    /// The id of `name`, if it has been interned.
+    pub fn get(&self, name: &str) -> Option<TypeId> {
+        self.index.get(name).copied()
+    }
+
+    /// The name behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this registry (or a persisted
+    /// copy of it).
+    pub fn name(&self, id: TypeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// The name behind `id`, or `None` for a foreign id.
+    pub fn try_name(&self, id: TypeId) -> Option<&str> {
+        self.names.get(id.index()).map(|n| &**n)
+    }
+
+    /// Resolves an optional id, mapping `None` (unknown device) to
+    /// `None`.
+    pub fn resolve(&self, id: Option<TypeId>) -> Option<&str> {
+        id.map(|i| self.name(i))
+    }
+
+    /// Number of interned types.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (TypeId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TypeId::from_index(i), &**n))
+    }
+
+    /// All interned names in interning order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(|n| &**n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.intern("EdnetCam");
+        let b = reg.intern("HueBridge");
+        assert_eq!(reg.intern("EdnetCam"), a);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn lookup_both_directions() {
+        let mut reg = TypeRegistry::new();
+        let id = reg.intern("D-LinkCam");
+        assert_eq!(reg.get("D-LinkCam"), Some(id));
+        assert_eq!(reg.get("NoSuchType"), None);
+        assert_eq!(reg.name(id), "D-LinkCam");
+        assert_eq!(reg.try_name(TypeId::from_index(7)), None);
+        assert_eq!(reg.resolve(Some(id)), Some("D-LinkCam"));
+        assert_eq!(reg.resolve(None), None);
+    }
+
+    #[test]
+    fn iteration_follows_interning_order() {
+        let mut reg = TypeRegistry::new();
+        for name in ["C", "A", "B"] {
+            reg.intern(name);
+        }
+        let names: Vec<&str> = reg.names().collect();
+        assert_eq!(names, vec!["C", "A", "B"]);
+        let pairs: Vec<(usize, &str)> = reg.iter().map(|(id, n)| (id.index(), n)).collect();
+        assert_eq!(pairs, vec![(0, "C"), (1, "A"), (2, "B")]);
+    }
+
+    #[test]
+    fn type_id_is_small_and_copy() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<TypeId>();
+        assert_eq!(std::mem::size_of::<TypeId>(), 4);
+        assert_eq!(TypeId::from_index(3).to_string(), "type#3");
+    }
+}

@@ -5,22 +5,60 @@
 //! Security Gateway clients, it just receives fingerprints and returns
 //! an isolation level accordingly." — the service is accordingly a
 //! pure function of its models: no per-client state exists.
+//!
+//! The query path is allocation-free on the response side: a
+//! [`ServiceResponse`] is a `Copy` value carrying an interned
+//! [`TypeId`] and a payload-free [`IsolationClass`]; names and
+//! restricted allow-lists are resolved by borrowing from the service
+//! ([`IoTSecurityService::registry`],
+//! [`crate::VulnerabilityDatabase::vendor_endpoints`]) only where they
+//! are actually needed.
 
 use sentinel_fingerprint::Fingerprint;
 
 use crate::identifier::{DeviceTypeIdentifier, Identification};
-use crate::isolation::IsolationLevel;
+use crate::isolation::{IsolationClass, IsolationLevel};
+use crate::registry::{TypeId, TypeRegistry};
 use crate::vulnerability::VulnerabilityDatabase;
 
-/// The IoTSSP's answer to one fingerprint query.
-#[derive(Debug, Clone, PartialEq)]
+/// Fingerprints per chunk in [`IoTSecurityService::handle_batch`].
+/// Chunking keeps batches cache-friendly and marks the natural grain
+/// for spreading a batch across worker threads later.
+pub const BATCH_CHUNK: usize = 64;
+
+/// The IoTSSP's answer to one fingerprint query. `Copy` — returning it
+/// allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceResponse {
     /// The identified device type, or `None` for an unknown device.
-    pub device_type: Option<String>,
-    /// The isolation level the Security Gateway must enforce.
-    pub isolation: IsolationLevel,
+    pub device_type: Option<TypeId>,
+    /// The isolation class the Security Gateway must enforce.
+    /// Materialise the full [`IsolationLevel`] (with the restricted
+    /// allow-list) via [`ServiceResponse::isolation_level`] at
+    /// rule-install time.
+    pub isolation: IsolationClass,
     /// Whether edit-distance discrimination was needed.
     pub needed_discrimination: bool,
+}
+
+impl ServiceResponse {
+    /// Resolves the identified type to its name by borrowing from
+    /// `registry` — no clone, no allocation.
+    pub fn device_type_name<'a>(&self, registry: &'a TypeRegistry) -> Option<&'a str> {
+        registry.resolve(self.device_type)
+    }
+
+    /// Materialises the full isolation level, attaching the vendor
+    /// allow-list for restricted types (clones the endpoint list; call
+    /// where a rule is installed, not per query).
+    pub fn isolation_level(&self, vulnerabilities: &VulnerabilityDatabase) -> IsolationLevel {
+        let endpoints = self
+            .device_type
+            .filter(|_| self.isolation == IsolationClass::Restricted)
+            .map(|t| vulnerabilities.vendor_endpoints(t))
+            .unwrap_or(&[]);
+        self.isolation.with_endpoints(endpoints)
+    }
 }
 
 /// The IoT Security Service: identification models plus the
@@ -34,7 +72,24 @@ pub struct IoTSecurityService {
 impl IoTSecurityService {
     /// Assembles the service from a trained identifier and a
     /// vulnerability database.
+    ///
+    /// The database must have been keyed through **the identifier's
+    /// registry** — interning advisory names through any other
+    /// [`TypeRegistry`] silently aliases unrelated types. The
+    /// `SentinelBuilder` facade in the `iot-sentinel` crate guarantees
+    /// this; hand-wired callers should intern via
+    /// [`DeviceTypeIdentifier::registry_mut`]. Debug builds assert
+    /// that every database id at least resolves in the identifier's
+    /// registry (out-of-range ids are always a mis-binding).
     pub fn new(identifier: DeviceTypeIdentifier, vulnerabilities: VulnerabilityDatabase) -> Self {
+        debug_assert!(
+            vulnerabilities
+                .known_ids()
+                .all(|id| identifier.registry().try_name(id).is_some()),
+            "vulnerability database keyed by TypeIds unknown to the identifier's registry; \
+             intern advisory names through the identifier's TypeRegistry \
+             (SentinelBuilder does this automatically)"
+        );
         IoTSecurityService {
             identifier,
             vulnerabilities,
@@ -62,31 +117,61 @@ impl IoTSecurityService {
         &mut self.vulnerabilities
     }
 
-    /// Handles one fingerprint query from a Security Gateway:
-    /// identify, assess, map to an isolation level.
-    pub fn handle(&self, fingerprint: &Fingerprint) -> ServiceResponse {
-        let identification = self.identifier.identify(fingerprint);
-        let needed_discrimination = identification.needed_discrimination();
-        let device_type = identification.device_type().map(str::to_string);
-        let isolation = self.vulnerabilities.assess(device_type.as_deref());
+    /// Borrows the identifier and the vulnerability database mutably at
+    /// once (registration flows intern names through the identifier's
+    /// registry while inserting advisories).
+    pub fn parts_mut(&mut self) -> (&mut DeviceTypeIdentifier, &mut VulnerabilityDatabase) {
+        (&mut self.identifier, &mut self.vulnerabilities)
+    }
+
+    /// The type-name interner shared by identifier and database.
+    pub fn registry(&self) -> &TypeRegistry {
+        self.identifier.registry()
+    }
+
+    /// Resolves an optional type id to its name.
+    pub fn type_name(&self, id: Option<TypeId>) -> Option<&str> {
+        self.registry().resolve(id)
+    }
+
+    /// The single response-assembly path shared by [`Self::handle`]
+    /// and [`Self::handle_detailed`]: identification outcome →
+    /// assessment → response. Allocation-free.
+    fn respond(&self, identification: &Identification) -> ServiceResponse {
+        let device_type = identification.device_type();
         ServiceResponse {
             device_type,
-            isolation,
-            needed_discrimination,
+            isolation: self.vulnerabilities.assess(device_type),
+            needed_discrimination: identification.needed_discrimination(),
         }
+    }
+
+    /// Handles one fingerprint query from a Security Gateway:
+    /// identify, assess, map to an isolation class.
+    pub fn handle(&self, fingerprint: &Fingerprint) -> ServiceResponse {
+        self.respond(&self.identifier.identify(fingerprint))
     }
 
     /// Handles a query and also returns the raw identification (for
     /// evaluation harnesses that need candidate sets and scores).
     pub fn handle_detailed(&self, fingerprint: &Fingerprint) -> (ServiceResponse, Identification) {
         let identification = self.identifier.identify(fingerprint);
-        let device_type = identification.device_type().map(str::to_string);
-        let response = ServiceResponse {
-            device_type: device_type.clone(),
-            isolation: self.vulnerabilities.assess(device_type.as_deref()),
-            needed_discrimination: identification.needed_discrimination(),
-        };
-        (response, identification)
+        (self.respond(&identification), identification)
+    }
+
+    /// Handles a batch of fingerprint queries, producing one response
+    /// per fingerprint in order.
+    ///
+    /// Semantically identical to calling [`Self::handle`] N times; the
+    /// batch is processed in [`BATCH_CHUNK`]-sized chunks so a future
+    /// change can fan chunks out across worker threads without
+    /// touching callers.
+    pub fn handle_batch(&self, fingerprints: &[Fingerprint]) -> Vec<ServiceResponse> {
+        let mut responses = Vec::with_capacity(fingerprints.len());
+        for chunk in fingerprints.chunks(BATCH_CHUNK) {
+            responses.extend(chunk.iter().map(|fp| self.handle(fp)));
+        }
+        responses
     }
 }
 
@@ -134,12 +219,13 @@ mod tests {
         }
         let identifier = Trainer::default().train(&ds, 4).unwrap();
         let mut db = VulnerabilityDatabase::new();
+        let vuln = identifier.registry().get("VulnType").unwrap();
         db.add_record(
-            "VulnType",
+            vuln,
             VulnerabilityRecord::new("CVE-T-1", "demo", Severity::High),
         );
         db.add_vendor_endpoint(
-            "VulnType",
+            vuln,
             crate::isolation::Endpoint::Host("cloud.vuln.example".into()),
         );
         IoTSecurityService::new(identifier, db)
@@ -149,16 +235,22 @@ mod tests {
     fn clean_device_gets_trusted() {
         let svc = service();
         let resp = svc.handle(&fp_bits(0b0000_0011, &[103, 110, 120]));
-        assert_eq!(resp.device_type.as_deref(), Some("CleanType"));
-        assert_eq!(resp.isolation, IsolationLevel::Trusted);
+        assert_eq!(resp.device_type_name(svc.registry()), Some("CleanType"));
+        assert_eq!(resp.isolation, IsolationClass::Trusted);
     }
 
     #[test]
     fn vulnerable_device_gets_restricted() {
         let svc = service();
         let resp = svc.handle(&fp_bits(0b0000_1100, &[107, 110, 120]));
-        assert_eq!(resp.device_type.as_deref(), Some("VulnType"));
-        assert!(matches!(resp.isolation, IsolationLevel::Restricted { .. }));
+        assert_eq!(resp.device_type_name(svc.registry()), Some("VulnType"));
+        assert_eq!(resp.isolation, IsolationClass::Restricted);
+        match resp.isolation_level(svc.vulnerabilities()) {
+            IsolationLevel::Restricted { allowed_endpoints } => {
+                assert_eq!(allowed_endpoints.len(), 1);
+            }
+            other => panic!("expected restricted level, got {other}"),
+        }
     }
 
     #[test]
@@ -167,7 +259,11 @@ mod tests {
         // An unseen protocol-bit pattern: rejected by all classifiers.
         let resp = svc.handle(&fp_bits(0b1100_0000, &[107, 110, 120]));
         assert_eq!(resp.device_type, None);
-        assert_eq!(resp.isolation, IsolationLevel::Strict);
+        assert_eq!(resp.isolation, IsolationClass::Strict);
+        assert_eq!(
+            resp.isolation_level(svc.vulnerabilities()),
+            IsolationLevel::Strict
+        );
     }
 
     #[test]
@@ -176,23 +272,57 @@ mod tests {
         assert_eq!(
             svc.handle(&fp_bits(0b0000_0011, &[103, 110, 120]))
                 .isolation,
-            IsolationLevel::Trusted
+            IsolationClass::Trusted
         );
+        let clean = svc.registry().get("CleanType").unwrap();
         svc.vulnerabilities_mut().add_record(
-            "CleanType",
+            clean,
             VulnerabilityRecord::new("CVE-T-2", "new finding", Severity::Critical),
         );
-        assert!(matches!(
+        assert_eq!(
             svc.handle(&fp_bits(0b0000_0011, &[103, 110, 120]))
                 .isolation,
-            IsolationLevel::Restricted { .. }
-        ));
+            IsolationClass::Restricted
+        );
     }
 
     #[test]
     fn detailed_response_includes_identification() {
         let svc = service();
         let (resp, ident) = svc.handle_detailed(&fp_bits(0b0000_0011, &[103, 110, 120]));
-        assert_eq!(resp.device_type.as_deref(), ident.device_type());
+        assert_eq!(resp.device_type, ident.device_type());
+        assert_eq!(resp.needed_discrimination, ident.needed_discrimination());
+    }
+
+    #[test]
+    fn batch_equals_repeated_single_queries() {
+        let svc = service();
+        // More than one chunk's worth of queries, mixing all outcomes.
+        let probes: Vec<Fingerprint> = (0..super::BATCH_CHUNK + 9)
+            .map(|i| match i % 3 {
+                0 => fp_bits(0b0000_0011, &[103 + (i as u32 % 5), 110, 120]),
+                1 => fp_bits(0b0000_1100, &[104 + (i as u32 % 5), 110, 120]),
+                _ => fp_bits(0b1100_0000, &[105, 110, 120]),
+            })
+            .collect();
+        let batched = svc.handle_batch(&probes);
+        assert_eq!(batched.len(), probes.len());
+        for (probe, batch_resp) in probes.iter().zip(&batched) {
+            assert_eq!(*batch_resp, svc.handle(probe));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let svc = service();
+        assert!(svc.handle_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn responses_are_copy() {
+        fn assert_copy<T: Copy>() {}
+        // A Copy response cannot own a String: the compile-time bound
+        // is the proof that the per-query label clone is gone.
+        assert_copy::<ServiceResponse>();
     }
 }

@@ -86,11 +86,18 @@ impl Trainer {
             ));
         }
         let mut identifier = DeviceTypeIdentifier::new(self.config);
-        // Seed the identifier's negative pool with every sample, then
-        // train one classifier per type.
+        // Seed the identifier's negative pool with every sample — this
+        // interns every label into the identifier's TypeRegistry — then
+        // train one classifier per type. Per-type seeds are derived
+        // from the label *name*, so they are stable across interning
+        // orders.
         identifier.absorb_samples(dataset);
         for label in labels {
-            identifier.train_type(label, seed ^ fnv1a(label.as_bytes()))?;
+            let id = identifier
+                .registry()
+                .get(label)
+                .expect("absorb_samples interns every dataset label");
+            identifier.train_type(id, seed ^ fnv1a(label.as_bytes()))?;
         }
         Ok(identifier)
     }

@@ -48,16 +48,20 @@ pub fn dissimilarity_score(
 /// the candidates ordered by ascending dissimilarity (best first), each
 /// with its score.
 ///
+/// Generic over the candidate label `L` so callers can rank by
+/// borrowed names (`&str`) or by interned ids (e.g. `sentinel-core`'s
+/// `TypeId`) without any string traffic on the identification path.
+///
 /// Ties break towards the earlier candidate in the input, making the
 /// result deterministic for a fixed candidate order.
 ///
 /// Returns an empty vector when `candidates` is empty.
-pub fn rank_candidates<'a>(
+pub fn rank_candidates<L: Copy>(
     unknown: &Fingerprint,
-    candidates: &[(&'a str, Vec<&Fingerprint>)],
+    candidates: &[(L, Vec<&Fingerprint>)],
     variant: DistanceVariant,
-) -> Vec<(&'a str, f64)> {
-    let mut scored: Vec<(&'a str, f64)> = candidates
+) -> Vec<(L, f64)> {
+    let mut scored: Vec<(L, f64)> = candidates
         .iter()
         .map(|(label, refs)| (*label, dissimilarity_score(unknown, refs, variant)))
         .collect();
@@ -118,7 +122,8 @@ mod tests {
     #[test]
     fn empty_candidates_empty_result() {
         let unknown = fp(&[1]);
-        assert!(rank_candidates(&unknown, &[], DistanceVariant::Osa).is_empty());
+        let empty: &[(&str, Vec<&Fingerprint>)] = &[];
+        assert!(rank_candidates(&unknown, empty, DistanceVariant::Osa).is_empty());
     }
 
     #[test]

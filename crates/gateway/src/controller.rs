@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::net::IpAddr;
 
 use sentinel_core::incidents::{GatewayId, IncidentKind, IncidentReport};
-use sentinel_core::{Endpoint, IoTSecurityService, IsolationLevel, ServiceResponse};
+use sentinel_core::{Endpoint, IoTSecurityService, IsolationLevel, ServiceResponse, TypeRegistry};
 use sentinel_fingerprint::Fingerprint;
 use sentinel_net::{MacAddr, SimTime};
 
@@ -70,6 +70,18 @@ impl SdnController {
     /// The IoT Security Service in use.
     pub fn service(&self) -> &IoTSecurityService {
         &self.service
+    }
+
+    /// Mutable access to the IoT Security Service (incremental type
+    /// additions, new advisories).
+    pub fn service_mut(&mut self) -> &mut IoTSecurityService {
+        &mut self.service
+    }
+
+    /// The device-type interner of the backing service (resolves the
+    /// `TypeId`s stored in device records and responses to names).
+    pub fn registry(&self) -> &TypeRegistry {
+        self.service.registry()
     }
 
     /// The enforcement rule cache.
@@ -140,9 +152,13 @@ impl SdnController {
             .get_mut(&mac)
             .ok_or(GatewayError::UnknownDevice(mac))?;
         let response = self.service.handle(fingerprint);
-        record.apply_identification(response.device_type.clone(), response.isolation.clone());
+        // The response itself is a Copy value (TypeId + isolation
+        // class); the owned allow-list is materialised only here, where
+        // the enforcement rule is actually installed.
+        let level = response.isolation_level(self.service.vulnerabilities());
+        record.apply_identification(response.device_type, level.clone());
         self.overlays.assign(mac, record.overlay);
-        let pins: Vec<IpAddr> = match &response.isolation {
+        let pins: Vec<IpAddr> = match &level {
             IsolationLevel::Restricted { allowed_endpoints } => allowed_endpoints
                 .iter()
                 .filter_map(|e| match e {
@@ -152,9 +168,8 @@ impl SdnController {
                 .collect(),
             _ => Vec::new(),
         };
-        self.cache.install(
-            EnforcementRule::new(mac, response.isolation.clone()).with_permitted_ips(pins),
-        );
+        self.cache
+            .install(EnforcementRule::new(mac, level).with_permitted_ips(pins));
         Ok(response)
     }
 
@@ -249,11 +264,7 @@ impl SdnController {
             // no type to attribute an incident to.
             DenyReason::NoRule => return,
         };
-        let Some(device_type) = self
-            .devices
-            .get(&src)
-            .and_then(|record| record.device_type.as_deref())
-        else {
+        let Some(device_type) = self.devices.get(&src).and_then(|record| record.device_type) else {
             return;
         };
         self.pending_incidents
@@ -302,11 +313,12 @@ mod tests {
         }
         let identifier = Trainer::default().train(&ds, 4).unwrap();
         let mut db = VulnerabilityDatabase::new();
+        let vuln = identifier.registry().get("VulnType").unwrap();
         db.add_record(
-            "VulnType",
+            vuln,
             sentinel_core::VulnerabilityRecord::new("CVE-X", "demo", sentinel_core::Severity::High),
         );
-        db.add_vendor_endpoint("VulnType", Endpoint::Host("cloud.vuln.example".into()));
+        db.add_vendor_endpoint(vuln, Endpoint::Host("cloud.vuln.example".into()));
         SdnController::new(IoTSecurityService::new(identifier, db))
     }
 
@@ -343,7 +355,7 @@ mod tests {
         let resp = ctl
             .on_setup_complete(dev, &fp_bits(0b001, &[104, 110, 120]), &|_| None)
             .unwrap();
-        assert_eq!(resp.device_type.as_deref(), Some("CleanType"));
+        assert_eq!(resp.device_type_name(ctl.registry()), Some("CleanType"));
         let d = ctl.decide_flow(
             &flow_key(dev, mac(0), Ipv4Addr::new(8, 8, 8, 8)),
             false,
@@ -364,7 +376,7 @@ mod tests {
         let resp = ctl
             .on_setup_complete(dev, &fp_bits(0b010, &[105, 110, 120]), &resolver)
             .unwrap();
-        assert!(matches!(resp.isolation, IsolationLevel::Restricted { .. }));
+        assert_eq!(resp.isolation, sentinel_core::IsolationClass::Restricted);
         // Cloud reachable, everything else blocked.
         assert_eq!(
             ctl.decide_flow(&flow_key(dev, mac(0), cloud), false, SimTime::ZERO),
@@ -420,7 +432,7 @@ mod tests {
             .on_setup_complete(dev, &fp_bits(0b1000, &[104, 110, 120]), &|_| None)
             .unwrap();
         assert_eq!(resp.device_type, None);
-        assert_eq!(resp.isolation, IsolationLevel::Strict);
+        assert_eq!(resp.isolation, sentinel_core::IsolationClass::Strict);
         assert_eq!(
             ctl.decide_flow(
                 &flow_key(dev, mac(0), Ipv4Addr::new(8, 8, 8, 8)),
@@ -480,7 +492,7 @@ mod tests {
         let reports = ctl.drain_incidents();
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].gateway, GatewayId(0xfeed));
-        assert_eq!(reports[0].device_type, "VulnType");
+        assert_eq!(ctl.registry().name(reports[0].device_type), "VulnType");
         assert_eq!(reports[0].kind, IncidentKind::ExfiltrationAttempt);
         assert_eq!(reports[0].observed_at, at);
         // Draining empties the queue.

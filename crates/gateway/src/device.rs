@@ -2,7 +2,7 @@
 
 use std::net::Ipv4Addr;
 
-use sentinel_core::IsolationLevel;
+use sentinel_core::{IsolationLevel, TypeId};
 use sentinel_net::{MacAddr, SimTime};
 
 use crate::overlay::Overlay;
@@ -14,8 +14,10 @@ pub struct DeviceRecord {
     pub mac: MacAddr,
     /// Its DHCP-assigned address, once known.
     pub ip: Option<Ipv4Addr>,
-    /// Identified device type, once known.
-    pub device_type: Option<String>,
+    /// Identified device type, once known — the interned id handed
+    /// back by the IoT Security Service (resolve names through its
+    /// `TypeRegistry`).
+    pub device_type: Option<TypeId>,
     /// Current isolation level (new devices start strict until
     /// identified).
     pub isolation: IsolationLevel,
@@ -45,7 +47,7 @@ impl DeviceRecord {
 
     /// Applies an identification outcome: stores the type, adopts the
     /// isolation level and moves overlays accordingly.
-    pub fn apply_identification(&mut self, device_type: Option<String>, isolation: IsolationLevel) {
+    pub fn apply_identification(&mut self, device_type: Option<TypeId>, isolation: IsolationLevel) {
         self.device_type = device_type;
         self.overlay = Overlay::for_isolation(&isolation);
         self.isolation = isolation;
@@ -66,12 +68,16 @@ mod tests {
 
     #[test]
     fn identification_moves_overlay() {
+        let mut registry = sentinel_core::TypeRegistry::new();
+        let hue = registry.intern("HueBridge");
+        let cam = registry.intern("EdnetCam");
         let mut rec = DeviceRecord::new(MacAddr::new([2, 0, 0, 0, 0, 1]), SimTime::ZERO);
-        rec.apply_identification(Some("HueBridge".into()), IsolationLevel::Trusted);
+        rec.apply_identification(Some(hue), IsolationLevel::Trusted);
         assert_eq!(rec.overlay, Overlay::Trusted);
-        assert_eq!(rec.device_type.as_deref(), Some("HueBridge"));
+        assert_eq!(rec.device_type, Some(hue));
+        assert_eq!(registry.resolve(rec.device_type), Some("HueBridge"));
         rec.apply_identification(
-            Some("EdnetCam".into()),
+            Some(cam),
             IsolationLevel::Restricted {
                 allowed_endpoints: vec![],
             },

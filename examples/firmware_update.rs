@@ -6,10 +6,10 @@
 //!
 //! Run with: `cargo run --release --example firmware_update`
 
-use iot_sentinel::core::Trainer;
 use iot_sentinel::devices::{capture_setups, catalog, generate_dataset, NetworkEnvironment};
 use iot_sentinel::editdist::{fingerprint_distance, DistanceVariant};
 use iot_sentinel::fingerprint::FingerprintExtractor;
+use iot_sentinel::SentinelBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = NetworkEnvironment::default();
@@ -41,8 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Train with both firmware generations as separate types.
     println!("\ntraining with v1 and v2 as separate device types...");
-    let dataset = generate_dataset(&profiles, &env, 10, 9);
-    let identifier = Trainer::default().train(&dataset, 4)?;
+    let sentinel = SentinelBuilder::new()
+        .dataset(generate_dataset(&profiles, &env, 10, 9))
+        .training_seed(4)
+        .build()?;
 
     // Fresh captures of each version. Within a firmware generation the
     // two Smarter appliances stay mutually confusable (same module), so
@@ -60,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         for cap in capture_setups(profile, &env, runs, 0x77) {
             let fp = FingerprintExtractor::extract_from(cap.packets());
-            if let Some(t) = identifier.identify(&fp).device_type() {
+            if let Some(t) = sentinel.type_name(sentinel.handle(&fp).device_type) {
                 if generation.contains(&t) {
                     *hits += 1;
                 }

@@ -7,13 +7,11 @@
 //! Run with: `cargo run --release --example incident_correlation`
 
 use iot_sentinel::core::incidents::{CorrelatorConfig, GatewayId, IncidentCorrelator};
-use iot_sentinel::core::{
-    IdentifierConfig, IncidentKind, IncidentReport, IoTSecurityService, Trainer,
-    VulnerabilityDatabase,
-};
+use iot_sentinel::core::{IncidentKind, IncidentReport};
 use iot_sentinel::devices::{capture_setups, catalog, generate_dataset, NetworkEnvironment};
 use iot_sentinel::fingerprint::FingerprintExtractor;
 use iot_sentinel::net::{SimDuration, SimTime};
+use iot_sentinel::SentinelBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = NetworkEnvironment::default();
@@ -23,11 +21,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // NO entry for the Ednet camera yet.
     println!("training identification models (subset of 8 types)...");
     let subset: Vec<_> = profiles.iter().take(8).cloned().collect();
-    let dataset = generate_dataset(&subset, &env, 10, 21);
-    let identifier = Trainer::new(IdentifierConfig::default()).train(&dataset, 21)?;
-    let db = VulnerabilityDatabase::new();
-    let mut service = IoTSecurityService::new(identifier, db);
-    assert!(!service.vulnerabilities().is_vulnerable("EdnetCam"));
+    let mut sentinel = SentinelBuilder::new()
+        .dataset(generate_dataset(&subset, &env, 10, 21))
+        .training_seed(21)
+        .build()?;
+    let cam_id = sentinel
+        .registry()
+        .get("EdnetCam")
+        .expect("EdnetCam is in the training subset");
+    assert!(!sentinel.service().vulnerabilities().is_vulnerable(cam_id));
 
     // Day 0: a fresh EdnetCam fingerprint is assessed as clean.
     let cam = profiles.iter().find(|p| p.type_name == "EdnetCam").unwrap();
@@ -35,15 +37,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let capture = capture_setups(cam, &env, 1, seed).remove(0);
         FingerprintExtractor::extract_from(capture.packets())
     };
-    let before = service.handle(&fp(0x10));
+    let before = sentinel.handle(&fp(0x10));
     println!(
         "day 0: EdnetCam identified as {:?}, isolation {}",
-        before.device_type,
-        before.isolation.name()
+        sentinel.type_name(before.device_type),
+        before.isolation
     );
 
     // Days 1-2: a worm spreads among EdnetCams; affected households'
-    // gateways report scanning behaviour (pseudonymously).
+    // gateways report scanning behaviour (pseudonymously), tagged with
+    // the interned TypeId the IoTSSP handed them at identification.
     let mut correlator = IncidentCorrelator::new(CorrelatorConfig {
         window: SimDuration::from_secs(48 * 3600),
         min_gateways: 3,
@@ -53,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (gw, hour) in [(101u64, 2u64), (245, 7), (245, 9), (399, 20), (512, 26)] {
         let report = IncidentReport::new(
             GatewayId(gw),
-            "EdnetCam",
+            cam_id,
             IncidentKind::ScanningBehaviour,
             SimTime::from_secs(hour * 3600),
         );
@@ -63,9 +66,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The correlation job runs; the type crosses the threshold.
     let now = SimTime::from_secs(30 * 3600);
-    let flagged = correlator.apply_to(service.vulnerabilities_mut(), now);
+    let flagged = {
+        let (identifier, vulnerabilities) = sentinel.controller_mut().service_mut().parts_mut();
+        correlator.apply_to(vulnerabilities, identifier.registry(), now)
+    };
     println!("\ncorrelation at t+30h: {flagged} device type(s) flagged");
-    for record in service.vulnerabilities().records_for("EdnetCam") {
+    for record in sentinel.service().vulnerabilities().records_for(cam_id) {
         println!(
             "  derived advisory {}: {} [{}]",
             record.id, record.description, record.severity
@@ -74,11 +80,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Day 3: another household installs the same camera model — it is
     // now confined on arrival, before any CVE was ever filed.
-    let after = service.handle(&fp(0x20));
+    let after = sentinel.handle(&fp(0x20));
     println!(
         "\nday 3: EdnetCam identified as {:?}, isolation {}",
-        after.device_type,
-        after.isolation.name()
+        sentinel.type_name(after.device_type),
+        after.isolation
     );
     assert!(!after.isolation.in_trusted_overlay());
     println!("-> the fleet is protected by the households already hit.");

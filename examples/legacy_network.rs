@@ -8,10 +8,10 @@
 //!
 //! Run with: `cargo run --release --example legacy_network`
 
-use iot_sentinel::core::{IdentifierConfig, Trainer, VulnerabilityDatabase};
 use iot_sentinel::devices::{capture_setups, standby, NetworkEnvironment};
 use iot_sentinel::fingerprint::FingerprintExtractor;
 use iot_sentinel::gateway::{Overlay, OverlayMap, WpsRegistrar};
+use iot_sentinel::SentinelBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = NetworkEnvironment::default();
@@ -20,8 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (the §VIII-A profiling mode), not on setup conversations.
     println!("training standby models for 27 device types...");
     let standby_ds = standby::generate_standby_dataset(&env, 12, 404);
-    let identifier = Trainer::new(IdentifierConfig::default()).train(&standby_ds, 404)?;
-    let vulnerabilities = VulnerabilityDatabase::demo();
+    let sentinel = SentinelBuilder::new()
+        .dataset(standby_ds)
+        .training_seed(404)
+        .demo_vulnerabilities()
+        .build()?;
 
     // The legacy household: five devices installed long before the
     // firmware update, some WPS-capable, one with known CVEs.
@@ -53,15 +56,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // One standby observation window, anchored at a DHCP renewal.
         let capture = capture_setups(profile, &env, 1, 0xBEEF + idx as u64).remove(0);
         let fp = FingerprintExtractor::extract_from(capture.packets());
-        let identified = identifier.identify(&fp);
-        let level = vulnerabilities.assess(identified.device_type());
+        let response = sentinel.handle(&fp);
         println!(
             "  {mac}  {:>16} -> identified {:>16}  isolation {}",
             type_name,
-            identified.device_type().unwrap_or("<unknown>"),
-            level.name()
+            sentinel
+                .type_name(response.device_type)
+                .unwrap_or("<unknown>"),
+            response.isolation
         );
-        if level.in_trusted_overlay() {
+        if response.isolation.in_trusted_overlay() {
             clean_wps.push((mac, *supports_wps, *type_name));
         }
     }

@@ -4,10 +4,10 @@
 //!
 //! Run with: `cargo run --release --example pcap_workflow`
 
-use iot_sentinel::core::Trainer;
-use iot_sentinel::devices::{catalog, generate_dataset, NetworkEnvironment, SetupSimulator};
+use iot_sentinel::devices::{catalog, NetworkEnvironment, SetupSimulator};
 use iot_sentinel::fingerprint::FingerprintExtractor;
 use iot_sentinel::net::{CaptureMonitor, SetupDetectorConfig, TraceCapture};
+use iot_sentinel::SentinelBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = NetworkEnvironment::default();
@@ -45,12 +45,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Identify against a trained model.
-    let dataset = generate_dataset(&profiles, &env, 10, 2);
-    let identifier = Trainer::default().train(&dataset, 5)?;
-    let result = identifier.identify(&fingerprint);
+    let sentinel = SentinelBuilder::new()
+        .catalog(profiles.clone())
+        .environment(env.clone())
+        .setups_per_type(10)
+        .dataset_seed(2)
+        .training_seed(5)
+        .build()?;
+    let response = sentinel.handle(&fingerprint);
     println!(
         "identified from pcap as: {}",
-        result.device_type().unwrap_or("<unknown>")
+        sentinel
+            .type_name(response.device_type)
+            .unwrap_or("<unknown>")
     );
     Ok(())
 }

@@ -1,25 +1,35 @@
-//! Quickstart: train the identifier on the 27-type catalogue and
+//! Quickstart: build a `Sentinel` on the 27-type catalogue and
 //! identify a freshly captured device setup.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use iot_sentinel::core::{IdentifierConfig, Trainer};
-use iot_sentinel::devices::{capture_setups, catalog, generate_dataset, NetworkEnvironment};
+use iot_sentinel::devices::{capture_setups, catalog, NetworkEnvironment};
 use iot_sentinel::fingerprint::FingerprintExtractor;
+use iot_sentinel::SentinelBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = NetworkEnvironment::default();
     let profiles = catalog::standard_catalog();
 
+    // One builder call wires the whole pipeline: simulate 10 setups per
+    // type, train one Random Forest per type, load the demo CVE
+    // database — all keyed through one shared TypeRegistry.
     println!(
-        "collecting training data: {} types x 10 setups...",
+        "building Sentinel: {} types x 10 setups, demo vulnerability DB...",
         profiles.len()
     );
-    let dataset = generate_dataset(&profiles, &env, 10, 1);
-
-    println!("training one Random Forest per device type...");
-    let identifier = Trainer::new(IdentifierConfig::default()).train(&dataset, 42)?;
-    println!("identifier knows {} device types", identifier.type_count());
+    let sentinel = SentinelBuilder::new()
+        .catalog(profiles.clone())
+        .environment(env.clone())
+        .setups_per_type(10)
+        .dataset_seed(1)
+        .training_seed(42)
+        .demo_vulnerabilities()
+        .build()?;
+    println!(
+        "identifier knows {} device types",
+        sentinel.identifier().type_count()
+    );
 
     // A new HueBridge is set up (a capture run the trainer never saw).
     let hue = profiles
@@ -39,13 +49,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fingerprint.len()
     );
 
-    let result = identifier.identify(&fingerprint);
-    match result.device_type() {
-        Some(t) => println!("identified as: {t}"),
-        None => println!("unknown device type (would be assigned strict isolation)"),
+    // One query: interned TypeId + isolation class out, no per-query
+    // string allocation; the name is borrowed from the registry.
+    let response = sentinel.handle(&fingerprint);
+    match sentinel.type_name(response.device_type) {
+        Some(name) => println!("identified as: {name} (isolation {})", response.isolation),
+        None => println!("unknown device type (isolation {})", response.isolation),
     }
-    if result.needed_discrimination() {
+    if response.needed_discrimination {
         println!("(edit-distance discrimination was needed)");
     }
+
+    // The same service handles whole batches — one call per gateway
+    // sync instead of one per device.
+    let batch: Vec<_> = capture_setups(hue, &env, 4, 0xBEAD)
+        .iter()
+        .map(|c| FingerprintExtractor::extract_from(c.packets()))
+        .collect();
+    let responses = sentinel.handle_batch(&batch);
+    println!(
+        "\nbatch of {}: {} identified as HueBridge",
+        responses.len(),
+        responses
+            .iter()
+            .filter(|r| sentinel.type_name(r.device_type) == Some("HueBridge"))
+            .count()
+    );
     Ok(())
 }

@@ -10,21 +10,22 @@
 
 use std::net::IpAddr;
 
-use iot_sentinel::core::{IoTSecurityService, Trainer, VulnerabilityDatabase};
 use iot_sentinel::devices::{catalog, generate_dataset, NetworkEnvironment, SetupSimulator};
 use iot_sentinel::fingerprint::FingerprintExtractor;
-use iot_sentinel::gateway::{FlowKey, OvsSwitch, SdnController};
+use iot_sentinel::gateway::{FlowKey, OvsSwitch};
 use iot_sentinel::net::{CaptureMonitor, Port, SetupDetectorConfig, SimTime};
+use iot_sentinel::{SentinelBuilder, SentinelEvent};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = NetworkEnvironment::default();
     let profiles = catalog::standard_catalog();
 
     println!("== training the IoT Security Service ==");
-    let dataset = generate_dataset(&profiles, &env, 10, 7);
-    let identifier = Trainer::default().train(&dataset, 99)?;
-    let service = IoTSecurityService::new(identifier, VulnerabilityDatabase::demo());
-    let mut controller = SdnController::new(service);
+    let mut sentinel = SentinelBuilder::new()
+        .dataset(generate_dataset(&profiles, &env, 10, 7))
+        .training_seed(99)
+        .demo_vulnerabilities()
+        .build()?;
     let mut switch = OvsSwitch::new();
 
     // The resolver pins restricted DNS endpoints at install time.
@@ -45,26 +46,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             monitor.observe_frame(frame)?;
         }
         for capture in monitor.finish_all() {
-            controller.on_device_appeared(capture.mac(), capture.first_seen())?;
+            sentinel.device_appeared(capture.mac(), capture.first_seen())?;
             let fingerprint = FingerprintExtractor::extract_from(capture.packets());
-            let response = controller.on_setup_complete(capture.mac(), &fingerprint, &resolver)?;
+            let response = sentinel.complete_setup(capture.mac(), &fingerprint, &resolver)?;
             println!(
                 "{} ({} packets) -> identified {:?}, isolation {}",
                 capture.mac(),
                 capture.packets().len(),
-                response.device_type.as_deref().unwrap_or("<unknown>"),
+                sentinel
+                    .type_name(response.device_type)
+                    .unwrap_or("<unknown>"),
                 response.isolation
             );
             device_macs.push((name, capture.mac()));
         }
     }
 
+    println!("\n== typed event stream ==");
+    let events: Vec<SentinelEvent> = sentinel.events().collect();
+    for event in &events {
+        if let SentinelEvent::IsolationChanged { mac, from, to } = event {
+            println!("{mac}  isolation {from} -> {to}");
+        }
+    }
+
     println!("\n== overlay membership ==");
-    for record in controller.devices() {
+    for record in sentinel.devices() {
         println!(
             "{}  {:16}  overlay {}",
             record.mac,
-            record.device_type.as_deref().unwrap_or("<unknown>"),
+            sentinel
+                .registry()
+                .resolve(record.device_type)
+                .unwrap_or("<unknown>"),
             record.overlay
         );
     }
@@ -113,7 +127,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             src_port: Port::new(50000),
             dst_port: Port::new(443),
         };
-        let decision = switch.process_packet(key, local, SimTime::ZERO, &mut controller);
+        let decision = switch.process_packet(key, local, SimTime::ZERO, sentinel.controller_mut());
         println!("{label:45} -> {decision:?}");
     }
 

@@ -5,9 +5,10 @@
 //!
 //! Run with: `cargo run --release --example unknown_device`
 
-use iot_sentinel::core::{IdentifierConfig, Trainer};
+use iot_sentinel::core::{IdentifierConfig, IsolationClass};
 use iot_sentinel::devices::{capture_setups, catalog, generate_dataset, NetworkEnvironment};
 use iot_sentinel::fingerprint::FingerprintExtractor;
+use iot_sentinel::SentinelBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env = NetworkEnvironment::default();
@@ -24,7 +25,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         known.len(),
         profiles.len()
     );
-    let dataset = generate_dataset(&known, &env, 10, 5);
     // For unknown-device discovery a majority-vote threshold (0.5)
     // works better than the sibling-recall default (0.35): fewer
     // marginal accepts means genuinely novel devices are rejected by
@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         accept_threshold: 0.5,
         ..IdentifierConfig::default()
     };
-    let mut identifier = Trainer::new(config).train(&dataset, 17)?;
+    let mut sentinel = SentinelBuilder::new()
+        .dataset(generate_dataset(&known, &env, 10, 5))
+        .identifier_config(config)
+        .training_seed(17)
+        .build()?;
 
     // The withheld device joins the network.
     let homematic = profiles
@@ -46,32 +50,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|c| FingerprintExtractor::extract_from(c.packets()))
         .collect();
 
-    let mut unknown = 0;
-    for fp in &fingerprints {
-        if identifier.identify(fp).device_type().is_none() {
-            unknown += 1;
-        }
-    }
+    // One batch query covers all captured setups.
+    let unknown = sentinel
+        .handle_batch(&fingerprints)
+        .iter()
+        .filter(|resp| resp.device_type.is_none())
+        .count();
     println!(
         "{unknown}/{} setups of the unseen device were rejected by all {} classifiers",
         fingerprints.len(),
-        identifier.type_count()
+        sentinel.identifier().type_count()
     );
     println!("-> the device is assigned isolation level STRICT (no Internet)");
+    assert_eq!(
+        sentinel.handle(&fingerprints[0]).isolation,
+        IsolationClass::Strict
+    );
 
     // The IoTSSP operator labels the new type and adds it
     // incrementally.
     println!("\nadding device type HomeMaticPlug from its captured fingerprints...");
-    identifier.add_device_type("HomeMaticPlug", &fingerprints, 23)?;
-    println!("identifier now knows {} types", identifier.type_count());
+    let new_id = sentinel.add_device_type("HomeMaticPlug", &fingerprints, 23)?;
+    println!(
+        "identifier now knows {} types ({} interned as {new_id})",
+        sentinel.identifier().type_count(),
+        sentinel.resolve(new_id),
+    );
 
     // A fresh setup of the same device is now recognised.
     let probe = capture_setups(homematic, &env, 1, 0xCD).remove(0);
     let probe_fp = FingerprintExtractor::extract_from(probe.packets());
-    let result = identifier.identify(&probe_fp);
+    let response = sentinel.handle(&probe_fp);
     println!(
         "fresh capture identified as: {}",
-        result.device_type().unwrap_or("<unknown>")
+        sentinel
+            .type_name(response.device_type)
+            .unwrap_or("<unknown>")
     );
     Ok(())
 }

@@ -21,12 +21,13 @@ use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use iot_sentinel::core::{persist, IdentifierConfig, Trainer, VulnerabilityDatabase};
+use iot_sentinel::core::{persist, TypeRegistry, VulnerabilityDatabase};
 use iot_sentinel::devices::{
     catalog, generate_dataset, standby, NetworkEnvironment, SetupSimulator,
 };
 use iot_sentinel::fingerprint::{codec, Dataset, FingerprintExtractor, LabeledFingerprint};
 use iot_sentinel::net::{CaptureMonitor, MacAddr, SetupDetectorConfig, TraceCapture};
+use iot_sentinel::SentinelBuilder;
 
 const USAGE: &str = "\
 sentinel — IoT Sentinel device-type identification CLI
@@ -349,15 +350,17 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         dataset.len(),
         dataset.labels().len()
     );
-    let identifier = Trainer::new(IdentifierConfig::default())
-        .train(&dataset, seed)
+    let sentinel = SentinelBuilder::new()
+        .dataset(dataset)
+        .training_seed(seed)
+        .build()
         .map_err(|e| format!("training failed: {e}"))?;
     let file = File::create(&model_path).map_err(|e| format!("creating {model_path:?}: {e}"))?;
-    persist::write_identifier(BufWriter::new(file), &identifier)
+    persist::write_identifier(BufWriter::new(file), sentinel.identifier())
         .map_err(|e| format!("writing model: {e}"))?;
     println!(
         "trained {} per-type classifiers -> {}",
-        identifier.type_count(),
+        sentinel.identifier().type_count(),
         model_path.display()
     );
     Ok(())
@@ -372,19 +375,24 @@ fn cmd_identify(args: &[String]) -> Result<(), String> {
     let file = File::open(&model_path).map_err(|e| format!("opening {model_path:?}: {e}"))?;
     let identifier = persist::read_identifier(BufReader::new(file))
         .map_err(|e| format!("loading model: {e}"))?;
-    let vulnerabilities = VulnerabilityDatabase::demo();
+    let sentinel = SentinelBuilder::new()
+        .trained(identifier)
+        .demo_vulnerabilities()
+        .build()
+        .map_err(|e| format!("assembling service: {e}"))?;
 
     let fingerprints = fingerprints_from_pcap(&pcap_path, &ignored)?;
     if fingerprints.is_empty() {
         return Err("no device traffic found in the pcap".into());
     }
     for (mac, fingerprint) in fingerprints {
-        let result = identifier.identify(&fingerprint);
-        let level = vulnerabilities.assess(result.device_type());
+        let response = sentinel.handle(&fingerprint);
         println!(
             "{mac}: {} -> isolation {}",
-            result.device_type().unwrap_or("<unknown device type>"),
-            level.name()
+            sentinel
+                .type_name(response.device_type)
+                .unwrap_or("<unknown device type>"),
+            response.isolation
         );
     }
     Ok(())
@@ -393,12 +401,14 @@ fn cmd_identify(args: &[String]) -> Result<(), String> {
 fn cmd_assess(args: &[String]) -> Result<(), String> {
     let opts = Options::parse(args, &[])?;
     let type_name = opts.required("type")?;
-    let db = VulnerabilityDatabase::demo();
-    let level = db.assess(Some(type_name));
+    let mut registry = TypeRegistry::new();
+    let db = VulnerabilityDatabase::demo(&mut registry);
+    let id = registry.intern(type_name);
+    let level = db.assess(Some(id));
     println!("device type:     {type_name}");
-    println!("vulnerable:      {}", db.is_vulnerable(type_name));
+    println!("vulnerable:      {}", db.is_vulnerable(id));
     println!("isolation level: {}", level.name());
-    for record in db.records_for(type_name) {
+    for record in db.records_for(id) {
         println!(
             "  {}: {} [{}]",
             record.id, record.description, record.severity

@@ -12,7 +12,58 @@
 //! vulnerability database, and has an SDN gateway confine vulnerable
 //! or unknown devices to an untrusted network overlay.
 //!
-//! This meta-crate re-exports the workspace's crates:
+//! # Quickstart
+//!
+//! The whole pipeline assembles behind one facade: a
+//! [`SentinelBuilder`] takes the training source (device catalogue,
+//! labelled dataset, or pre-trained identifier) plus vulnerability
+//! knowledge, and yields a [`Sentinel`] that answers queries and runs
+//! the gateway lifecycle.
+//!
+//! ```no_run
+//! use iot_sentinel::devices::catalog;
+//! use iot_sentinel::{Sentinel, SentinelBuilder, SentinelEvent};
+//!
+//! // 1. Build: train on 27 device types, load the demo CVE database.
+//! let mut sentinel = SentinelBuilder::new()
+//!     .catalog(catalog::standard_catalog())
+//!     .setups_per_type(20)
+//!     .demo_vulnerabilities()
+//!     .build()?;
+//!
+//! // 2. Query: fingerprints in, interned type + isolation class out.
+//! //    Responses are Copy — the hot path allocates no strings; names
+//! //    resolve by borrowing from the shared TypeRegistry.
+//! # let fingerprint = iot_sentinel::fingerprint::Fingerprint::default();
+//! let response = sentinel.handle(&fingerprint);
+//! println!(
+//!     "identified {:?} -> {}",
+//!     sentinel.type_name(response.device_type),
+//!     response.isolation,
+//! );
+//!
+//! // 3. Batch: one call per gateway sync instead of one per device.
+//! # let fingerprints = vec![fingerprint.clone()];
+//! for resp in sentinel.handle_batch(&fingerprints) {
+//!     assert_eq!(resp, sentinel.handle(&fingerprint));
+//! }
+//!
+//! // 4. Stream: lifecycle calls emit typed events.
+//! # let mac = "02-00-00-00-00-01".parse()?;
+//! sentinel.device_appeared(mac, iot_sentinel::net::SimTime::ZERO)?;
+//! sentinel.complete_setup_unresolved(mac, &fingerprint)?;
+//! for event in sentinel.events() {
+//!     if let SentinelEvent::Identified { device_type, isolation, .. } = event {
+//!         println!("device identified: {device_type:?} -> {isolation}");
+//!     }
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! # Crate map
+//!
+//! This meta-crate hosts the [`Sentinel`] facade and re-exports the
+//! workspace's crates:
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
@@ -21,35 +72,24 @@
 //! | [`fingerprint`] | `sentinel-fingerprint` | 23 features, F, F′, datasets, k-fold |
 //! | [`ml`] | `sentinel-ml` | Random Forest, metrics |
 //! | [`editdist`] | `sentinel-editdist` | Damerau-Levenshtein over packet words |
-//! | [`core`] | `sentinel-core` | two-stage identifier, IoTSSP, vulnerability DB |
+//! | [`core`] | `sentinel-core` | two-stage identifier, IoTSSP, TypeRegistry, vulnerability DB |
 //! | [`gateway`] | `sentinel-gateway` | SDN switch/controller, rules, overlays, testbed |
 //!
-//! # Quickstart
-//!
-//! ```no_run
-//! use iot_sentinel::core::{IdentifierConfig, Trainer};
-//! use iot_sentinel::devices::{catalog, generate_dataset, NetworkEnvironment};
-//!
-//! // 1. Collect the training data: 27 device types, 20 setups each.
-//! let env = NetworkEnvironment::default();
-//! let dataset = generate_dataset(&catalog::standard_catalog(), &env, 20, 1);
-//!
-//! // 2. Train one classifier per device type.
-//! let identifier = Trainer::new(IdentifierConfig::default()).train(&dataset, 42)?;
-//!
-//! // 3. Identify a new fingerprint.
-//! let probe = dataset.sample(0);
-//! println!("{:?}", identifier.identify(probe.fingerprint()).device_type());
-//! # Ok::<(), iot_sentinel::core::CoreError>(())
-//! ```
+//! The component types ([`core::Trainer`], [`core::IoTSecurityService`],
+//! [`gateway::SdnController`], …) remain public for evaluation
+//! harnesses and fine-grained control, but [`SentinelBuilder`] is the
+//! supported way to assemble a working system.
 //!
 //! See `examples/` for end-to-end scenarios (gateway onboarding,
 //! vulnerability response, unknown devices, firmware updates, pcap
-//! workflows) and DESIGN.md / EXPERIMENTS.md for the reproduction
-//! methodology and measured results.
+//! workflows).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod sentinel;
+
+pub use sentinel::{BuildError, Sentinel, SentinelBuilder, SentinelEvent};
 
 pub use sentinel_core as core;
 pub use sentinel_devices as devices;

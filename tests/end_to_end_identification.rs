@@ -48,7 +48,8 @@ fn distinct_types_identify_from_fresh_captures() {
         // Fresh captures with a different seed than training.
         for capture in capture_setups(profile, &env, 3, 0xF00D) {
             let fp = FingerprintExtractor::extract_from(capture.packets());
-            if identifier.identify(&fp).device_type() == Some(profile.type_name.as_str()) {
+            let result = identifier.identify(&fp);
+            if identifier.name_of(&result) == Some(profile.type_name.as_str()) {
                 correct += 1;
             }
             total += 1;
@@ -98,7 +99,8 @@ fn sibling_pair_confusion_stays_within_pair() {
         let profile = profiles.iter().find(|p| p.type_name == name).unwrap();
         for capture in capture_setups(profile, &env, 4, 0xCAFE) {
             let fp = FingerprintExtractor::extract_from(capture.packets());
-            if let Some(predicted) = identifier.identify(&fp).device_type() {
+            let result = identifier.identify(&fp);
+            if let Some(predicted) = identifier.name_of(&result) {
                 if pair.contains(&predicted) {
                     within_pair += 1;
                 }

@@ -1,18 +1,18 @@
 //! The full enforcement pipeline: raw frames → capture monitor →
 //! fingerprint → IoT Security Service → SDN controller → switch
-//! decisions.
+//! decisions, assembled through the `SentinelBuilder` facade.
 
 use std::net::{IpAddr, Ipv4Addr};
 
 use iot_sentinel::core::{
-    Endpoint, IdentifierConfig, IoTSecurityService, IsolationLevel, Severity, Trainer,
-    VulnerabilityDatabase, VulnerabilityRecord,
+    Endpoint, IdentifierConfig, IsolationClass, Severity, VulnerabilityRecord,
 };
 use iot_sentinel::devices::{catalog, generate_dataset, NetworkEnvironment, SetupSimulator};
 use iot_sentinel::fingerprint::FingerprintExtractor;
-use iot_sentinel::gateway::{FlowDecision, FlowKey, OvsSwitch, SdnController};
+use iot_sentinel::gateway::{FlowDecision, FlowKey, OvsSwitch};
 use iot_sentinel::ml::{ForestConfig, TreeConfig};
 use iot_sentinel::net::{CaptureMonitor, MacAddr, Port, SetupDetectorConfig, SimTime};
+use iot_sentinel::SentinelBuilder;
 
 fn fast_config() -> IdentifierConfig {
     IdentifierConfig {
@@ -56,17 +56,20 @@ fn frames_to_flow_decisions() {
         .cloned()
         .collect();
 
-    // Train the IoTSSP; EdnetCam is known-vulnerable.
+    // Build the whole stack through the facade; EdnetCam is
+    // known-vulnerable.
     let dataset = generate_dataset(&selected, &env, 8, 4);
-    let identifier = Trainer::new(fast_config()).train(&dataset, 21).unwrap();
-    let mut db = VulnerabilityDatabase::new();
-    db.add_record(
-        "EdnetCam",
-        VulnerabilityRecord::new("CVE-DEMO-1", "open stream", Severity::Critical),
-    );
-    db.add_vendor_endpoint("EdnetCam", Endpoint::Host("ipcam.ednet.example".into()));
-    let service = IoTSecurityService::new(identifier, db);
-    let mut controller = SdnController::new(service);
+    let mut sentinel = SentinelBuilder::new()
+        .dataset(dataset)
+        .identifier_config(fast_config())
+        .training_seed(21)
+        .vulnerability(
+            "EdnetCam",
+            VulnerabilityRecord::new("CVE-DEMO-1", "open stream", Severity::Critical),
+        )
+        .vendor_endpoint("EdnetCam", Endpoint::Host("ipcam.ednet.example".into()))
+        .build()
+        .unwrap();
     let mut switch = OvsSwitch::new();
     let resolver_env = env.clone();
     let resolver = move |host: &str| Some(IpAddr::V4(resolver_env.resolve_host(host)));
@@ -83,15 +86,15 @@ fn frames_to_flow_decisions() {
             monitor.observe_frame(frame).unwrap();
         }
         for capture in monitor.finish_all() {
-            controller
-                .on_device_appeared(capture.mac(), capture.first_seen())
+            sentinel
+                .device_appeared(capture.mac(), capture.first_seen())
                 .unwrap();
             let fp = FingerprintExtractor::extract_from(capture.packets());
-            let response = controller
-                .on_setup_complete(capture.mac(), &fp, &resolver)
+            let response = sentinel
+                .complete_setup(capture.mac(), &fp, &resolver)
                 .unwrap();
             assert_eq!(
-                response.device_type.as_deref(),
+                sentinel.type_name(response.device_type),
                 Some(name),
                 "device must be identified correctly for this test to be meaningful"
             );
@@ -103,20 +106,20 @@ fn frames_to_flow_decisions() {
 
     // Isolation levels took effect.
     assert_eq!(
-        controller.device(hue).unwrap().isolation,
-        IsolationLevel::Trusted
+        sentinel.device(hue).unwrap().isolation.class(),
+        IsolationClass::Trusted
     );
-    assert!(matches!(
-        controller.device(cam).unwrap().isolation,
-        IsolationLevel::Restricted { .. }
-    ));
+    assert_eq!(
+        sentinel.device(cam).unwrap().isolation.class(),
+        IsolationClass::Restricted
+    );
 
     // Trusted bridge: full Internet.
     let d = switch.process_packet(
         flow(hue, env.gateway_mac, Ipv4Addr::new(8, 8, 8, 8)),
         false,
         SimTime::ZERO,
-        &mut controller,
+        sentinel.controller_mut(),
     );
     assert_eq!(d, FlowDecision::Allow);
 
@@ -126,14 +129,14 @@ fn frames_to_flow_decisions() {
         flow(cam, env.gateway_mac, cloud),
         false,
         SimTime::ZERO,
-        &mut controller,
+        sentinel.controller_mut(),
     );
     assert_eq!(d, FlowDecision::Allow, "vendor cloud must stay reachable");
     let d = switch.process_packet(
         flow(cam, env.gateway_mac, Ipv4Addr::new(8, 8, 8, 8)),
         false,
         SimTime::ZERO,
-        &mut controller,
+        sentinel.controller_mut(),
     );
     assert!(!d.is_allowed(), "non-vendor Internet must be blocked");
 
@@ -142,30 +145,30 @@ fn frames_to_flow_decisions() {
         flow(cam, hue, Ipv4Addr::new(192, 168, 1, 20)),
         true,
         SimTime::ZERO,
-        &mut controller,
+        sentinel.controller_mut(),
     );
     assert!(!d.is_allowed());
     let d = switch.process_packet(
         flow(hue, cam, Ipv4Addr::new(192, 168, 1, 21)),
         true,
         SimTime::ZERO,
-        &mut controller,
+        sentinel.controller_mut(),
     );
     assert!(!d.is_allowed());
 
     // Flow-table caching: replaying a flow does not re-consult the
     // controller.
-    let before = controller.packet_in_count();
+    let before = sentinel.controller().packet_in_count();
     for _ in 0..5 {
         switch.process_packet(
             flow(hue, env.gateway_mac, Ipv4Addr::new(8, 8, 8, 8)),
             false,
             SimTime::ZERO,
-            &mut controller,
+            sentinel.controller_mut(),
         );
     }
     assert_eq!(
-        controller.packet_in_count(),
+        sentinel.controller().packet_in_count(),
         before,
         "cached flows skip packet-in"
     );

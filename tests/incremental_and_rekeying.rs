@@ -50,7 +50,7 @@ fn incremental_type_addition_preserves_existing_predictions() {
         .collect();
     let before: Vec<_> = probes
         .iter()
-        .map(|fp| identifier.identify(fp).device_type().map(str::to_string))
+        .map(|fp| identifier.identify(fp).device_type())
         .collect();
 
     // Add a brand-new type incrementally.
@@ -67,7 +67,7 @@ fn incremental_type_addition_preserves_existing_predictions() {
     // Existing predictions unchanged.
     let after: Vec<_> = probes
         .iter()
-        .map(|fp| identifier.identify(fp).device_type().map(str::to_string))
+        .map(|fp| identifier.identify(fp).device_type())
         .collect();
     assert_eq!(before, after, "existing classifiers must be untouched");
 
@@ -75,7 +75,8 @@ fn incremental_type_addition_preserves_existing_predictions() {
     let fresh = capture_setups(newcomer, &env, 2, 0x22);
     for capture in fresh {
         let fp = FingerprintExtractor::extract_from(capture.packets());
-        assert_eq!(identifier.identify(&fp).device_type(), Some("Lightify"));
+        let result = identifier.identify(&fp);
+        assert_eq!(identifier.name_of(&result), Some("Lightify"));
     }
 }
 

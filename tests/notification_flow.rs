@@ -4,13 +4,15 @@
 //! removal actually happened.
 
 use iot_sentinel::core::{
-    IdentifierConfig, Severity, Trainer, VulnerabilityDatabase, VulnerabilityRecord,
+    IdentifierConfig, IsolationClass, Severity, TypeRegistry, VulnerabilityDatabase,
+    VulnerabilityRecord,
 };
 use iot_sentinel::devices::{capture_setups, catalog, generate_dataset, NetworkEnvironment};
 use iot_sentinel::fingerprint::FingerprintExtractor;
 use iot_sentinel::gateway::{NotificationCenter, NotificationState, SideChannel};
 use iot_sentinel::ml::{ForestConfig, TreeConfig};
 use iot_sentinel::net::{SimDuration, SimTime};
+use iot_sentinel::SentinelBuilder;
 
 fn fast_config() -> IdentifierConfig {
     IdentifierConfig {
@@ -45,19 +47,23 @@ fn uncontrollable_vulnerable_device_triggers_removal_advisory() {
         })
         .cloned()
         .collect();
-    let dataset = generate_dataset(&selected, &env, 8, 3);
-    let identifier = Trainer::new(fast_config()).train(&dataset, 11).unwrap();
 
     // The IoTSSP knows a CVE for the HomeMatic plug.
-    let mut vulnerabilities = VulnerabilityDatabase::demo();
-    vulnerabilities.add_record(
-        "HomeMaticPlug",
-        VulnerabilityRecord::new(
-            "CVE-DEMO-2016-0009",
-            "unauthenticated RF pairing",
-            Severity::High,
-        ),
-    );
+    let sentinel = SentinelBuilder::new()
+        .dataset(generate_dataset(&selected, &env, 8, 3))
+        .identifier_config(fast_config())
+        .training_seed(11)
+        .demo_vulnerabilities()
+        .vulnerability(
+            "HomeMaticPlug",
+            VulnerabilityRecord::new(
+                "CVE-DEMO-2016-0009",
+                "unauthenticated RF pairing",
+                Severity::High,
+            ),
+        )
+        .build()
+        .unwrap();
 
     // The device joins; the gateway identifies it.
     let homematic = selected
@@ -67,18 +73,29 @@ fn uncontrollable_vulnerable_device_triggers_removal_advisory() {
     let t0 = SimTime::from_secs(0);
     let capture = capture_setups(homematic, &env, 1, 0x77).remove(0);
     let fingerprint = FingerprintExtractor::extract_from(capture.packets());
-    let identified = identifier.identify(&fingerprint);
-    assert_eq!(identified.device_type(), Some("HomeMaticPlug"));
+    let response = sentinel.handle(&fingerprint);
+    assert_eq!(
+        sentinel.type_name(response.device_type),
+        Some("HomeMaticPlug")
+    );
 
     // Vulnerable + uncontrollable channel → isolation is insufficient,
     // escalate to a removal advisory.
-    let device_type = identified.device_type().unwrap();
-    assert!(vulnerabilities.is_vulnerable(device_type));
+    let device_type = response.device_type.unwrap();
+    assert!(sentinel
+        .service()
+        .vulnerabilities()
+        .is_vulnerable(device_type));
     assert!(homematic.connectivity.has_uncontrollable_channel());
 
     let mut center = NotificationCenter::new(SimDuration::from_secs(300));
     let mac = homematic.instance_mac(0);
-    let id = center.advise_removal(mac, Some(device_type), SideChannel::ProprietaryRf, t0);
+    let id = center.advise_removal(
+        mac,
+        sentinel.type_name(response.device_type),
+        SideChannel::ProprietaryRf,
+        t0,
+    );
     let advisory = center.get(id).unwrap();
     assert_eq!(advisory.state(), NotificationState::Pending);
     assert!(advisory.message().contains("HomeMaticPlug"));
@@ -108,8 +125,12 @@ fn controllable_vulnerable_device_is_confined_not_removed() {
     let cam = profiles.iter().find(|p| p.type_name == "EdnetCam").unwrap();
     assert!(!cam.connectivity.has_uncontrollable_channel());
 
-    let vulnerabilities = VulnerabilityDatabase::demo();
-    assert!(vulnerabilities.is_vulnerable("EdnetCam"));
-    let level = vulnerabilities.assess(Some("EdnetCam"));
-    assert!(!level.in_trusted_overlay());
+    let mut registry = TypeRegistry::new();
+    let vulnerabilities = VulnerabilityDatabase::demo(&mut registry);
+    let cam_id = registry.get("EdnetCam").unwrap();
+    assert!(vulnerabilities.is_vulnerable(cam_id));
+    assert_eq!(
+        vulnerabilities.assess(Some(cam_id)),
+        IsolationClass::Restricted
+    );
 }

@@ -1,0 +1,143 @@
+//! Allocation accounting for the IoTSSP query hot path.
+//!
+//! The `TypeId` redesign's core claim: answering a query allocates no
+//! strings — a [`ServiceResponse`] is a `Copy` value (interned id +
+//! isolation class), and names are resolved by *borrowing* from the
+//! [`TypeRegistry`]. This test pins the claim with a counting global
+//! allocator: response assembly (assessment + response construction +
+//! name resolution) performs **zero** heap allocations, and `handle`
+//! allocates exactly as much as the identification stage alone — the
+//! response adds nothing.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use iot_sentinel::core::{IsolationClass, Severity, VulnerabilityRecord};
+use iot_sentinel::fingerprint::{Dataset, Fingerprint, LabeledFingerprint, PacketFeatures};
+use iot_sentinel::{Sentinel, SentinelBuilder};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Heap allocations performed while running `f`.
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
+}
+
+fn fp_bits(bits: u32, tags: &[u32]) -> Fingerprint {
+    Fingerprint::from_columns(
+        tags.iter()
+            .map(|t| {
+                let mut v = [0u32; 23];
+                for (b, slot) in v.iter_mut().enumerate().take(12) {
+                    *slot = (bits >> b) & 1;
+                }
+                v[18] = *t;
+                PacketFeatures::from_raw(v)
+            })
+            .collect(),
+    )
+}
+
+fn sentinel() -> Sentinel {
+    let mut ds = Dataset::new();
+    for i in 0..12u32 {
+        ds.push(LabeledFingerprint::new(
+            "CleanType",
+            fp_bits(0b001, &[100 + i, 110, 120]),
+        ));
+        ds.push(LabeledFingerprint::new(
+            "VulnType",
+            fp_bits(0b010, &[100 + i, 110, 120]),
+        ));
+        ds.push(LabeledFingerprint::new(
+            "OtherType",
+            fp_bits(0b100, &[100 + i, 110, 120]),
+        ));
+    }
+    SentinelBuilder::new()
+        .dataset(ds)
+        .training_seed(4)
+        .vulnerability(
+            "VulnType",
+            VulnerabilityRecord::new("CVE-A", "demo", Severity::High),
+        )
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn response_assembly_is_allocation_free() {
+    let s = sentinel();
+    let service = s.service();
+    for (bits, expected) in [
+        (0b001u32, IsolationClass::Trusted),
+        (0b010, IsolationClass::Restricted),
+        (0b1000, IsolationClass::Strict),
+    ] {
+        let probe = fp_bits(bits, &[104, 110, 120]);
+        // Identification runs outside the measured region; what is
+        // measured is everything the redesign claims is free:
+        // assessment, response construction, and name resolution.
+        let (_, identification) = service.handle_detailed(&probe);
+        let device_type = identification.device_type();
+        let (allocs, response) = allocations_during(|| {
+            let isolation = service.vulnerabilities().assess(device_type);
+            let name: Option<&str> = service.registry().resolve(device_type);
+            std::hint::black_box(name);
+            iot_sentinel::core::ServiceResponse {
+                device_type,
+                isolation,
+                needed_discrimination: identification.needed_discrimination(),
+            }
+        });
+        assert_eq!(response.isolation, expected);
+        assert_eq!(
+            allocs, 0,
+            "assembling a response for {expected:?} must not touch the heap"
+        );
+    }
+}
+
+#[test]
+fn handle_allocates_no_more_than_identification_alone() {
+    let s = sentinel();
+    let service = s.service();
+    for bits in [0b001u32, 0b010, 0b1000] {
+        let probe = fp_bits(bits, &[104, 110, 120]);
+        // Warm up any lazily initialised state.
+        std::hint::black_box(service.handle(&probe));
+        std::hint::black_box(service.identifier().identify(&probe));
+
+        let (identify_allocs, _) =
+            allocations_during(|| std::hint::black_box(service.identifier().identify(&probe)));
+        let (handle_allocs, _) =
+            allocations_during(|| std::hint::black_box(service.handle(&probe)));
+        assert_eq!(
+            handle_allocs, identify_allocs,
+            "the response layer on top of identification must add zero allocations"
+        );
+    }
+}

@@ -167,16 +167,17 @@ proptest! {
         let window = SimDuration::from_secs(1_000);
         let strict = CorrelatorConfig { window, min_gateways: 3, min_reports: 5 };
         let relaxed = CorrelatorConfig { window, min_gateways: 2, min_reports: 2 };
+        let mut registry = iot_sentinel::core::TypeRegistry::new();
         let mut a = IncidentCorrelator::new(strict);
         let mut b = IncidentCorrelator::new(relaxed);
         for (gw, device, at) in &reports {
             let r = IncidentReport::new(
                 GatewayId(*gw),
-                format!("D{device}"),
+                registry.intern(&format!("D{device}")),
                 IncidentKind::PolicyViolation,
                 SimTime::from_secs(*at),
             );
-            a.submit(r.clone());
+            a.submit(r);
             b.submit(r);
         }
         let now = SimTime::from_secs(2_000);
