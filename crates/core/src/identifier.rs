@@ -1,9 +1,10 @@
 //! The two-stage device-type identifier (paper §IV-B).
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use sentinel_editdist::rank_candidates;
-use sentinel_fingerprint::{Dataset, Fingerprint, FixedFingerprint};
+use sentinel_fingerprint::{Dataset, Fingerprint, FixedFingerprint, FixedScratch};
 
 use crate::classifier::TypeClassifier;
 use crate::error::CoreError;
@@ -330,10 +331,20 @@ impl DeviceTypeIdentifier {
     ///
     /// Stage one evaluates all per-type classifiers on F′; stage two
     /// discriminates multiple matches with edit distance over F. The
-    /// result carries interned ids only — no strings are allocated.
+    /// result carries interned ids only — no strings are allocated,
+    /// and the F′ conversion reuses a per-thread [`FixedScratch`] so
+    /// the per-query fixed-vector allocation disappears in steady
+    /// state (each worker thread owns its own scratch, so concurrent
+    /// identification never contends).
     pub fn identify(&self, fingerprint: &Fingerprint) -> Identification {
-        let fixed = fingerprint.to_fixed_with(self.config.fixed_prefix_len);
-        let candidates = self.classify_candidates(&fixed);
+        thread_local! {
+            static FIXED_SCRATCH: RefCell<FixedScratch> = RefCell::new(FixedScratch::new());
+        }
+        let candidates = FIXED_SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            let fixed = scratch.fill(fingerprint, self.config.fixed_prefix_len);
+            self.classify_candidates(fixed)
+        });
         match candidates.len() {
             0 => Identification::Unknown,
             1 => Identification::Known {

@@ -50,7 +50,7 @@
 //! assert!(db.is_vulnerable(cam));
 //! ```
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 
 use sentinel_net::{SimDuration, SimTime};
@@ -154,15 +154,25 @@ pub struct CorrelatorConfig {
     pub min_gateways: usize,
     /// Minimum total reports within the window.
     pub min_reports: usize,
+    /// Hard per-type memory bound: each device type keeps at most this
+    /// many reports in a ring buffer, evicting the oldest first. Unlike
+    /// [`IncidentCorrelator::prune`] — which must be *called* to free
+    /// memory — the ring bounds a type's footprint even if a flood of
+    /// gateways reports it faster than the operator prunes. The default
+    /// (1024) is far above `min_reports`, so threshold behaviour is
+    /// unchanged.
+    pub max_reports_per_type: usize,
 }
 
 impl Default for CorrelatorConfig {
-    /// Three distinct gateways, three reports, over a 24-hour window.
+    /// Three distinct gateways, three reports, over a 24-hour window,
+    /// at most 1024 retained reports per type.
     fn default() -> Self {
         CorrelatorConfig {
             window: SimDuration::from_secs(24 * 3600),
             min_gateways: 3,
             min_reports: 3,
+            max_reports_per_type: 1024,
         }
     }
 }
@@ -180,12 +190,57 @@ pub struct FlaggedType {
     pub dominant_kind: IncidentKind,
 }
 
+/// A fixed-capacity ring of incident reports: pushing onto a full ring
+/// evicts the oldest report. This is what bounds the correlator's
+/// memory per device type — a report flood can never grow a type's
+/// buffer past its capacity, with or without [`IncidentCorrelator::prune`]
+/// being called.
+#[derive(Debug, Clone)]
+struct ReportRing {
+    reports: VecDeque<IncidentReport>,
+    capacity: usize,
+}
+
+impl ReportRing {
+    fn new(capacity: usize) -> Self {
+        ReportRing {
+            // Reports trickle in one household incident at a time;
+            // start small instead of reserving `capacity` up front.
+            reports: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn push(&mut self, report: IncidentReport) {
+        if self.reports.len() == self.capacity {
+            self.reports.pop_front();
+        }
+        self.reports.push_back(report);
+    }
+
+    fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &IncidentReport> {
+        self.reports.iter()
+    }
+
+    fn retain(&mut self, keep: impl FnMut(&IncidentReport) -> bool) {
+        self.reports.retain(keep);
+    }
+}
+
 /// Aggregates incident reports across gateways and derives advisories
 /// for types reported widely enough.
 #[derive(Debug, Clone, Default)]
 pub struct IncidentCorrelator {
     config: CorrelatorConfig,
-    by_type: HashMap<TypeId, Vec<IncidentReport>>,
+    by_type: HashMap<TypeId, ReportRing>,
 }
 
 impl IncidentCorrelator {
@@ -202,17 +257,21 @@ impl IncidentCorrelator {
         &self.config
     }
 
-    /// Records one incident report.
+    /// Records one incident report. A type already holding
+    /// [`CorrelatorConfig::max_reports_per_type`] reports evicts its
+    /// oldest report to make room.
     pub fn submit(&mut self, report: IncidentReport) {
+        let capacity = self.config.max_reports_per_type;
         self.by_type
             .entry(report.device_type)
-            .or_default()
+            .or_insert_with(|| ReportRing::new(capacity))
             .push(report);
     }
 
-    /// Total reports held for `device_type` (across all time).
+    /// Reports currently held for `device_type` (bounded by the ring
+    /// capacity).
     pub fn report_count(&self, device_type: TypeId) -> usize {
-        self.by_type.get(&device_type).map_or(0, Vec::len)
+        self.by_type.get(&device_type).map_or(0, ReportRing::len)
     }
 
     /// Evaluates the thresholds at time `now` and returns the flagged
@@ -344,6 +403,7 @@ mod tests {
             window: SimDuration::from_secs(3600),
             min_gateways: 3,
             min_reports: 3,
+            ..CorrelatorConfig::default()
         })
     }
 
@@ -498,6 +558,82 @@ mod tests {
         c.prune(SimTime::from_secs(5100));
         assert_eq!(c.report_count(reg.get("A").unwrap()), 0);
         assert_eq!(c.report_count(reg.get("B").unwrap()), 1);
+    }
+
+    #[test]
+    fn ring_capacity_bounds_memory_without_prune() {
+        let reg = registry();
+        let mut c = IncidentCorrelator::new(CorrelatorConfig {
+            window: SimDuration::from_secs(3600),
+            min_gateways: 3,
+            min_reports: 3,
+            max_reports_per_type: 8,
+        });
+        // A flood of 1000 reports never grows the buffer past 8, even
+        // though prune() is never called.
+        for i in 0..1000u64 {
+            c.submit(report(
+                &reg,
+                i,
+                "EdnetCam",
+                IncidentKind::PolicyViolation,
+                i,
+            ));
+        }
+        let cam = reg.get("EdnetCam").unwrap();
+        assert_eq!(c.report_count(cam), 8);
+        // The ring keeps the *newest* reports: the survivors are the
+        // last eight gateways, which still flag the type.
+        let flagged = c.flagged_types(SimTime::from_secs(1000));
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].reports_in_window, 8);
+        assert_eq!(flagged[0].distinct_gateways, 8);
+    }
+
+    #[test]
+    fn ring_eviction_drops_oldest_first() {
+        let reg = registry();
+        let mut c = IncidentCorrelator::new(CorrelatorConfig {
+            window: SimDuration::from_secs(10_000),
+            min_gateways: 1,
+            min_reports: 1,
+            max_reports_per_type: 3,
+        });
+        for (gw, at) in [(1u64, 10u64), (2, 20), (3, 30), (4, 40)] {
+            c.submit(report(&reg, gw, "X", IncidentKind::PolicyViolation, at));
+        }
+        let x = reg.get("X").unwrap();
+        assert_eq!(c.report_count(x), 3);
+        // Report at t=10 was evicted: only gateways 2,3,4 remain.
+        let flagged = c.flagged_types(SimTime::from_secs(50));
+        assert_eq!(flagged[0].distinct_gateways, 3);
+        // Prune at a moment that would have kept t=10 had it survived:
+        // the count stays 3 (nothing older than the window remains).
+        c.prune(SimTime::from_secs(50));
+        assert_eq!(c.report_count(x), 3);
+    }
+
+    #[test]
+    fn default_capacity_preserves_prune_behaviour() {
+        // With the default (large) capacity, submit/prune behave as the
+        // unbounded-Vec implementation did.
+        let reg = registry();
+        let mut c = IncidentCorrelator::new(CorrelatorConfig {
+            window: SimDuration::from_secs(3600),
+            min_gateways: 3,
+            min_reports: 3,
+            ..CorrelatorConfig::default()
+        });
+        assert_eq!(c.config().max_reports_per_type, 1024);
+        for gw in 0..100u64 {
+            c.submit(report(&reg, gw, "A", IncidentKind::PolicyViolation, gw));
+        }
+        let a = reg.get("A").unwrap();
+        assert_eq!(c.report_count(a), 100);
+        // All 100 reports (t = 0..100) are older than the one-hour
+        // window at t = 3750, so prune drops every one of them.
+        c.prune(SimTime::from_secs(3750));
+        assert_eq!(c.report_count(a), 0);
     }
 
     #[test]

@@ -162,15 +162,85 @@ impl IoTSecurityService {
     /// Handles a batch of fingerprint queries, producing one response
     /// per fingerprint in order.
     ///
-    /// Semantically identical to calling [`Self::handle`] N times; the
-    /// batch is processed in [`BATCH_CHUNK`]-sized chunks so a future
-    /// change can fan chunks out across worker threads without
-    /// touching callers.
+    /// Semantically identical to calling [`Self::handle`] N times.
+    /// Batches larger than one [`BATCH_CHUNK`] are fanned out across
+    /// scoped worker threads (one per available core, capped at the
+    /// chunk count); small batches stay on the calling thread. Use
+    /// [`Self::handle_batch_with`] to pin the worker count.
     pub fn handle_batch(&self, fingerprints: &[Fingerprint]) -> Vec<ServiceResponse> {
-        let mut responses = Vec::with_capacity(fingerprints.len());
-        for chunk in fingerprints.chunks(BATCH_CHUNK) {
-            responses.extend(chunk.iter().map(|fp| self.handle(fp)));
+        self.handle_batch_with(
+            fingerprints,
+            Self::default_batch_workers(fingerprints.len()),
+        )
+    }
+
+    /// The worker count [`Self::handle_batch`] picks for a batch of
+    /// `len` fingerprints: 1 for anything that fits a single
+    /// [`BATCH_CHUNK`], otherwise one worker per chunk up to the
+    /// machine's available parallelism.
+    pub fn default_batch_workers(len: usize) -> usize {
+        if len <= BATCH_CHUNK {
+            return 1;
         }
+        let chunks = len.div_ceil(BATCH_CHUNK);
+        std::thread::available_parallelism()
+            .map_or(1, usize::from)
+            .min(chunks)
+    }
+
+    /// Handles a batch with an explicit worker count, producing one
+    /// response per fingerprint in order.
+    ///
+    /// `workers <= 1` processes the batch sequentially on the calling
+    /// thread. With more workers the batch is split into
+    /// [`BATCH_CHUNK`]-sized chunks distributed round-robin across
+    /// scoped threads; responses land in pre-assigned disjoint output
+    /// slots, so the result is bit-identical to the sequential order
+    /// regardless of thread scheduling.
+    pub fn handle_batch_with(
+        &self,
+        fingerprints: &[Fingerprint],
+        workers: usize,
+    ) -> Vec<ServiceResponse> {
+        if workers <= 1 || fingerprints.len() <= BATCH_CHUNK {
+            let mut responses = Vec::with_capacity(fingerprints.len());
+            for chunk in fingerprints.chunks(BATCH_CHUNK) {
+                responses.extend(chunk.iter().map(|fp| self.handle(fp)));
+            }
+            return responses;
+        }
+        let filler = ServiceResponse {
+            device_type: None,
+            isolation: IsolationClass::Strict,
+            needed_discrimination: false,
+        };
+        let mut responses = vec![filler; fingerprints.len()];
+        // Deal (input chunk, output chunk) pairs round-robin into one
+        // work list per worker: output chunks are disjoint `&mut`
+        // slices, so no synchronisation is needed on the result. More
+        // workers than chunks would only spawn idle threads; cap.
+        let workers = workers.min(fingerprints.len().div_ceil(BATCH_CHUNK));
+        let mut lists: Vec<Vec<(&[Fingerprint], &mut [ServiceResponse])>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, pair) in fingerprints
+            .chunks(BATCH_CHUNK)
+            .zip(responses.chunks_mut(BATCH_CHUNK))
+            .enumerate()
+        {
+            lists[i % workers].push(pair);
+        }
+        crossbeam::thread::scope(|scope| {
+            for list in lists {
+                scope.spawn(move |_| {
+                    for (input, output) in list {
+                        for (slot, fp) in output.iter_mut().zip(input) {
+                            *slot = self.handle(fp);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("batch worker panicked");
         responses
     }
 }
@@ -316,6 +386,45 @@ mod tests {
     fn empty_batch_is_empty() {
         let svc = service();
         assert!(svc.handle_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_exactly() {
+        let svc = service();
+        // Several chunks plus a ragged tail, mixing all outcomes.
+        let probes: Vec<Fingerprint> = (0..super::BATCH_CHUNK * 3 + 17)
+            .map(|i| match i % 3 {
+                0 => fp_bits(0b0000_0011, &[103 + (i as u32 % 5), 110, 120]),
+                1 => fp_bits(0b0000_1100, &[104 + (i as u32 % 5), 110, 120]),
+                _ => fp_bits(0b1100_0000, &[105, 110, 120]),
+            })
+            .collect();
+        let sequential = svc.handle_batch_with(&probes, 1);
+        assert_eq!(sequential.len(), probes.len());
+        for workers in [2usize, 3, 4, 7, 64] {
+            assert_eq!(
+                svc.handle_batch_with(&probes, workers),
+                sequential,
+                "worker count {workers} must not change responses"
+            );
+        }
+        // The auto-sizing entry point agrees too.
+        assert_eq!(svc.handle_batch(&probes), sequential);
+    }
+
+    #[test]
+    fn default_batch_workers_stays_sequential_for_small_batches() {
+        assert_eq!(IoTSecurityService::default_batch_workers(0), 1);
+        assert_eq!(IoTSecurityService::default_batch_workers(1), 1);
+        assert_eq!(
+            IoTSecurityService::default_batch_workers(super::BATCH_CHUNK),
+            1
+        );
+        let large = IoTSecurityService::default_batch_workers(super::BATCH_CHUNK * 64);
+        assert!(large >= 1);
+        assert!(large <= 64, "never more workers than chunks");
+        // Two chunks can use at most two workers.
+        assert!(IoTSecurityService::default_batch_workers(super::BATCH_CHUNK + 1) <= 2);
     }
 
     #[test]

@@ -76,16 +76,24 @@ impl Fingerprint {
     /// The first `limit` **unique** columns, in order of first
     /// appearance.
     pub fn unique_prefix(&self, limit: usize) -> Vec<PacketFeatures> {
-        let mut unique: Vec<PacketFeatures> = Vec::with_capacity(limit);
+        let mut unique: Vec<PacketFeatures> = Vec::new();
+        self.unique_prefix_into(limit, &mut unique);
+        unique
+    }
+
+    /// Writes the first `limit` unique columns into `out` (cleared
+    /// first), in order of first appearance — the reusable-buffer core
+    /// shared by [`Fingerprint::unique_prefix`] and [`FixedScratch`].
+    pub fn unique_prefix_into(&self, limit: usize, out: &mut Vec<PacketFeatures>) {
+        out.clear();
         for col in &self.columns {
-            if unique.len() == limit {
+            if out.len() == limit {
                 break;
             }
-            if !unique.contains(col) {
-                unique.push(*col);
+            if !out.contains(col) {
+                out.push(*col);
             }
         }
-        unique
     }
 
     /// Builds the fixed-size fingerprint F′ from the first
@@ -99,13 +107,53 @@ impl Fingerprint {
     /// prefix length (used by the prefix-length ablation). The result
     /// always has `prefix_len × 23` dimensions.
     pub fn to_fixed_with(&self, prefix_len: usize) -> FixedFingerprint {
-        let unique = self.unique_prefix(prefix_len);
-        let mut values = vec![0f32; prefix_len * FEATURE_COUNT];
-        for (i, col) in unique.iter().enumerate() {
+        let mut scratch = FixedScratch::new();
+        scratch.fill(self, prefix_len);
+        scratch.fixed
+    }
+}
+
+/// Reusable workspace for computing F′ vectors without per-call heap
+/// allocation.
+///
+/// [`Fingerprint::to_fixed_with`] allocates two vectors per call (the
+/// unique-prefix column list and the F′ value vector). On the query hot
+/// path that cost is paid per fingerprint; a `FixedScratch` owns both
+/// buffers so repeated conversions reuse the same capacity. After the
+/// first call that established capacity, [`FixedScratch::fill`]
+/// performs **zero** heap allocations.
+#[derive(Debug, Clone, Default)]
+pub struct FixedScratch {
+    unique: Vec<PacketFeatures>,
+    fixed: FixedFingerprint,
+}
+
+impl FixedScratch {
+    /// An empty scratch; buffers grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        FixedScratch::default()
+    }
+
+    /// Computes F′ of `fingerprint` with `prefix_len` unique-packet
+    /// slots into the scratch-owned buffer and returns a borrow of it.
+    /// Equivalent to [`Fingerprint::to_fixed_with`] but allocation-free
+    /// once the buffers have grown to `prefix_len` capacity.
+    pub fn fill(&mut self, fingerprint: &Fingerprint, prefix_len: usize) -> &FixedFingerprint {
+        fingerprint.unique_prefix_into(prefix_len, &mut self.unique);
+        let values = &mut self.fixed.values;
+        values.clear();
+        values.resize(prefix_len * FEATURE_COUNT, 0f32);
+        for (i, col) in self.unique.iter().enumerate() {
             let f = col.to_f32();
             values[i * FEATURE_COUNT..(i + 1) * FEATURE_COUNT].copy_from_slice(&f);
         }
-        FixedFingerprint { values }
+        &self.fixed
+    }
+
+    /// The most recently filled F′ vector.
+    pub fn fixed(&self) -> &FixedFingerprint {
+        &self.fixed
     }
 }
 
@@ -248,6 +296,34 @@ mod tests {
     #[should_panic(expected = "not a multiple")]
     fn from_values_rejects_bad_length() {
         let _ = FixedFingerprint::from_values(vec![0.0; 10]);
+    }
+
+    #[test]
+    fn scratch_fill_matches_to_fixed_with() {
+        let mut scratch = FixedScratch::new();
+        for n in [0usize, 1, 3, 12, 20] {
+            let cols: Vec<PacketFeatures> = (1..=n as u32).map(col).collect();
+            let fp = Fingerprint::from_columns(cols);
+            for prefix in [4usize, 12] {
+                let direct = fp.to_fixed_with(prefix);
+                let via_scratch = scratch.fill(&fp, prefix).clone();
+                assert_eq!(direct, via_scratch, "n={n} prefix={prefix}");
+                assert_eq!(scratch.fixed(), &direct);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_prefix_lengths_resets_padding() {
+        // A long fill followed by a short one must not leak stale
+        // values into the padding slots.
+        let long = Fingerprint::from_columns((1..=12u32).map(col).collect());
+        let short = Fingerprint::from_columns(vec![col(42)]);
+        let mut scratch = FixedScratch::new();
+        scratch.fill(&long, 12);
+        let fixed = scratch.fill(&short, 12);
+        assert_eq!(fixed.filled_slots(), 1);
+        assert!(fixed.as_slice()[FEATURE_COUNT..].iter().all(|v| *v == 0.0));
     }
 
     #[test]

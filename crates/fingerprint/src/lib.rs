@@ -61,5 +61,5 @@ pub use dataset::{Dataset, LabeledFingerprint};
 pub use error::FingerprintError;
 pub use extractor::FingerprintExtractor;
 pub use features::{FeatureId, PacketFeatures, FEATURE_COUNT};
-pub use fingerprint::{Fingerprint, FixedFingerprint, FIXED_DIMS, FIXED_PACKETS};
+pub use fingerprint::{Fingerprint, FixedFingerprint, FixedScratch, FIXED_DIMS, FIXED_PACKETS};
 pub use folds::StratifiedKFold;

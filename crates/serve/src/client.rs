@@ -1,0 +1,247 @@
+//! The blocking query client: connect (with retries), send batches of
+//! fingerprints, read ordered responses.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use sentinel_core::ServiceResponse;
+use sentinel_fingerprint::Fingerprint;
+
+use crate::wire::{self, ErrorCode, Message, ResponseItem, WireError, HEADER_LEN};
+
+/// Tunables for [`SentinelClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Total connection attempts before giving up. Default 5.
+    pub connect_attempts: u32,
+    /// Pause between connection attempts. Default 100 ms.
+    pub retry_delay: Duration,
+    /// Per-read/-write timeout once connected. Default 10 s.
+    pub io_timeout: Duration,
+    /// Maximum accepted payload length per response frame. Default
+    /// 1 MiB.
+    pub max_frame_bytes: u32,
+    /// Whether queries ask the server to resolve type names.
+    /// Default `false` (ids only — the allocation-light mode).
+    pub resolve_names: bool,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_attempts: 5,
+            retry_delay: Duration::from_millis(100),
+            io_timeout: Duration::from_secs(10),
+            max_frame_bytes: wire::DEFAULT_MAX_FRAME_BYTES,
+            resolve_names: false,
+        }
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// The transport failed (connect, read or write).
+    Io(std::io::Error),
+    /// The server's bytes violated the wire format.
+    Wire(WireError),
+    /// The server answered with an error frame.
+    Server {
+        /// The reported error code.
+        code: ErrorCode,
+        /// The server's message.
+        message: String,
+    },
+    /// The server sent a well-formed but out-of-protocol message
+    /// (e.g. a request, or a response of the wrong length).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error [{code}]: {message}")
+            }
+            ClientError::Protocol(message) => write!(f, "protocol violation: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// One identification returned over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// The verdict, bit-identical to what the in-process service
+    /// returns for the same fingerprint.
+    pub response: ServiceResponse,
+    /// The resolved type name, when [`ClientConfig::resolve_names`]
+    /// was set and the device was identified.
+    pub name: Option<String>,
+}
+
+/// A blocking connection to a `sentinel-serve` server.
+#[derive(Debug)]
+pub struct SentinelClient {
+    stream: TcpStream,
+    peer: SocketAddr,
+    config: ClientConfig,
+    buf: Vec<u8>,
+}
+
+impl SentinelClient {
+    /// Connects, retrying [`ClientConfig::connect_attempts`] times
+    /// with [`ClientConfig::retry_delay`] pauses — enough for "start
+    /// server, start client" races on loopback and for transient
+    /// listener backlogs.
+    pub fn connect(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<Self, ClientError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )));
+        }
+        let attempts = config.connect_attempts.max(1);
+        let mut last_error: Option<std::io::Error> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(config.retry_delay);
+            }
+            for addr in &addrs {
+                match TcpStream::connect(addr) {
+                    Ok(stream) => {
+                        stream.set_read_timeout(Some(config.io_timeout))?;
+                        stream.set_write_timeout(Some(config.io_timeout))?;
+                        let _ = stream.set_nodelay(true);
+                        return Ok(SentinelClient {
+                            peer: *addr,
+                            stream,
+                            config,
+                            buf: Vec::new(),
+                        });
+                    }
+                    Err(e) => last_error = Some(e),
+                }
+            }
+        }
+        Err(ClientError::Io(last_error.expect("at least one attempt")))
+    }
+
+    /// The server address this client is connected to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Round-trips a liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send(&Message::Ping)?;
+        match self.receive()? {
+            Message::Pong => Ok(()),
+            Message::Error(e) => Err(ClientError::Server {
+                code: e.code,
+                message: e.message,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "expected pong, got kind {:#04x}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Identifies one fingerprint.
+    pub fn query(&mut self, fingerprint: &Fingerprint) -> Result<QueryResult, ClientError> {
+        let mut results = self.query_batch(std::slice::from_ref(fingerprint))?;
+        results.pop().ok_or_else(|| {
+            ClientError::Protocol("server answered a 1-query batch with 0 items".to_string())
+        })
+    }
+
+    /// Identifies a batch of fingerprints, returning one result per
+    /// fingerprint in request order — the remote equivalent of
+    /// [`sentinel_core::IoTSecurityService::handle_batch`].
+    pub fn query_batch(
+        &mut self,
+        fingerprints: &[Fingerprint],
+    ) -> Result<Vec<QueryResult>, ClientError> {
+        // Encode straight from the borrowed slice — building an owned
+        // QueryRequest would deep-copy every fingerprint column.
+        self.buf.clear();
+        wire::encode_query_request_frame(self.config.resolve_names, fingerprints, &mut self.buf)?;
+        self.stream.write_all(&self.buf)?;
+        self.stream.flush()?;
+        match self.receive()? {
+            Message::QueryResponse(response) => {
+                if response.items.len() != fingerprints.len() {
+                    return Err(ClientError::Protocol(format!(
+                        "queried {} fingerprints, server answered {}",
+                        fingerprints.len(),
+                        response.items.len()
+                    )));
+                }
+                Ok(response
+                    .items
+                    .into_iter()
+                    .map(|ResponseItem { response, name }| QueryResult { response, name })
+                    .collect())
+            }
+            Message::Error(e) => Err(ClientError::Server {
+                code: e.code,
+                message: e.message,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "expected a query response, got kind {:#04x}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn send(&mut self, message: &Message) -> Result<(), ClientError> {
+        self.buf.clear();
+        wire::encode_frame(message, &mut self.buf)?;
+        self.stream.write_all(&self.buf)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    fn receive(&mut self) -> Result<Message, ClientError> {
+        let mut header = [0u8; HEADER_LEN];
+        self.stream.read_exact(&mut header)?;
+        let header = wire::decode_header(&header)?;
+        if header.len > self.config.max_frame_bytes {
+            return Err(ClientError::Wire(WireError::FrameTooLarge {
+                len: header.len,
+                max: self.config.max_frame_bytes,
+            }));
+        }
+        let mut payload = vec![0u8; header.len as usize];
+        self.stream.read_exact(&mut payload)?;
+        Ok(wire::decode_payload(header.kind, &payload)?)
+    }
+}

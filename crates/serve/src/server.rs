@@ -1,0 +1,531 @@
+//! The threaded TCP query server: an [`IoTSecurityService`] behind a
+//! listening socket.
+//!
+//! Architecture: one accept thread owns the [`TcpListener`] (run
+//! non-blocking and polled, so shutdown is always observed) and feeds
+//! accepted connections into a **bounded** channel drained by a fixed
+//! pool of worker threads (built on the `crossbeam` scoped-thread
+//! shim, so the workers borrow the service instead of cloning it);
+//! connection bursts beyond pool + backlog are refused at accept time
+//! rather than parked on an unbounded queue. Each worker
+//! serves one connection at a time: frames in, [`IoTSecurityService::handle_batch`]
+//! answers out. Shutdown is graceful — the accept loop stops taking
+//! connections, workers finish their in-flight frame and notice the
+//! flag at the next idle poll, and [`ServerHandle::shutdown`] joins
+//! everything before returning the final stats.
+//!
+//! Robustness guards, per connection:
+//!
+//! * the announced payload length is checked against
+//!   [`ServerConfig::max_frame_bytes`] **before** any buffer is sized,
+//! * a started frame must complete within [`ServerConfig::io_timeout`]
+//!   — one whole-frame deadline across all reads, so drip-feeding
+//!   bytes cannot stretch it (slow-loris),
+//! * a connection idle longer than [`ServerConfig::idle_timeout`] is
+//!   closed, so silent connections cannot pin workers forever,
+//! * malformed frames are answered with a typed error frame and the
+//!   connection is closed; the server itself keeps serving,
+//! * query batches over [`ServerConfig::max_batch`] are refused
+//!   without being identified.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sentinel_core::IoTSecurityService;
+
+use crate::wire::{
+    self, ErrorCode, ErrorFrame, Message, QueryResponse, ResponseItem, WireError, HEADER_LEN,
+};
+
+/// Tunables for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (= concurrently served connections). Default 4.
+    pub workers: usize,
+    /// Maximum accepted payload length per frame. Frames announcing
+    /// more are refused before any allocation. Default 1 MiB.
+    pub max_frame_bytes: u32,
+    /// Maximum fingerprints per query batch. Default 4096.
+    pub max_batch: usize,
+    /// How often the accept loop and idle connections check the
+    /// shutdown flag. Default 100 ms.
+    pub poll_interval: Duration,
+    /// Whole-frame read deadline: once a frame's first byte arrives,
+    /// the rest of the frame must arrive within this budget or the
+    /// connection is dropped (slow-loris guard — the deadline spans
+    /// all reads of the frame, not each read separately). Default 10 s.
+    pub io_timeout: Duration,
+    /// How long a connection may sit idle between frames before the
+    /// server closes it, freeing its worker for queued connections.
+    /// Default 60 s.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_frame_bytes: wire::DEFAULT_MAX_FRAME_BYTES,
+            max_batch: 4096,
+            poll_interval: Duration::from_millis(100),
+            io_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Counters shared by the accept loop and all workers.
+#[derive(Debug, Default)]
+struct SharedStats {
+    connections_accepted: AtomicU64,
+    connections_refused: AtomicU64,
+    connections_active: AtomicU64,
+    frames_served: AtomicU64,
+    queries_answered: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// A point-in-time snapshot of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Connections accepted since the server started.
+    pub connections_accepted: u64,
+    /// Connections refused because the worker pool and its bounded
+    /// hand-off backlog were both saturated.
+    pub connections_refused: u64,
+    /// Connections currently being served.
+    pub connections_active: u64,
+    /// Frames successfully decoded and answered.
+    pub frames_served: u64,
+    /// Individual fingerprint queries answered (a batch of N counts N).
+    pub queries_answered: u64,
+    /// Frames rejected as malformed, oversized, or otherwise invalid.
+    pub protocol_errors: u64,
+}
+
+impl SharedStats {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_refused: self.connections_refused.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            frames_served: self.frames_served.load(Ordering::Relaxed),
+            queries_answered: self.queries_answered.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What one connection did, folded into the shared totals when it
+/// closes and inspectable in tests via the totals.
+#[derive(Debug, Default, Clone, Copy)]
+struct ConnectionTally {
+    frames: u64,
+    queries: u64,
+    errors: u64,
+}
+
+/// Handle to a running server: address, live stats, graceful shutdown.
+///
+/// Dropping the handle also shuts the server down (and joins it);
+/// prefer calling [`ServerHandle::shutdown`] to observe the final
+/// stats.
+#[derive(Debug)]
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<SharedStats>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is actually listening on (resolves port
+    /// 0 binds to the ephemeral port picked by the OS).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the server's counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
+    }
+
+    /// Stops accepting, lets in-flight frames finish, joins all
+    /// threads and returns the final stats.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.signal_and_join();
+        self.stats.snapshot()
+    }
+
+    fn signal_and_join(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop runs the listener in non-blocking mode and
+        // polls the flag, so no wake-up connection is needed (one
+        // would not even be possible for binds to unconnectable
+        // addresses like 0.0.0.0).
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.signal_and_join();
+        }
+    }
+}
+
+/// Binds `addr` and serves `service` over the wire protocol until the
+/// returned handle is shut down (or dropped).
+///
+/// # Errors
+///
+/// Propagates the bind failure; everything after the bind runs on the
+/// server's own threads.
+pub fn serve(
+    service: IoTSecurityService,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    // The accept loop polls a non-blocking listener so shutdown is
+    // always observed; failing to get that mode must fail the bind,
+    // not silently degrade into a join-forever shutdown.
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(SharedStats::default());
+    let accept = {
+        let shutdown = Arc::clone(&shutdown);
+        let stats = Arc::clone(&stats);
+        std::thread::Builder::new()
+            .name("sentinel-serve".to_string())
+            .spawn(move || run(listener, service, config, shutdown, stats))?
+    };
+    Ok(ServerHandle {
+        local_addr,
+        shutdown,
+        stats,
+        accept: Some(accept),
+    })
+}
+
+fn run(
+    listener: TcpListener,
+    service: IoTSecurityService,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<SharedStats>,
+) {
+    let workers = config.workers.max(1);
+    // Connections a worker fans a big batch across: share the cores
+    // between the pool instead of letting every connection's
+    // handle_batch auto-size to all of them and oversubscribe.
+    let batch_workers = std::thread::available_parallelism()
+        .map_or(1, usize::from)
+        .div_ceil(workers)
+        .max(1);
+    // Bounded hand-off: a connection burst beyond what the pool can
+    // absorb is refused at accept time (the socket is closed) instead
+    // of parking unbounded fds in a queue nobody may ever drain.
+    let (sender, receiver): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+        mpsc::sync_channel(workers * 4);
+    let receiver = Mutex::new(receiver);
+    // Scoped threads: workers borrow the service, the flag and the
+    // stats for the lifetime of the scope, which ends only after the
+    // accept loop broke and every worker drained out.
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let receiver = &receiver;
+            let service = &service;
+            let config = &config;
+            let shutdown = &shutdown;
+            let stats = &stats;
+            scope.spawn(move |_| loop {
+                // Take the next connection; holding the lock only for
+                // the recv keeps hand-off cheap.
+                let next = {
+                    let Ok(guard) = receiver.lock() else { break };
+                    guard.recv()
+                };
+                match next {
+                    Ok(stream) => {
+                        handle_connection(stream, service, config, batch_workers, shutdown, stats)
+                    }
+                    Err(_) => break, // channel closed: shutting down
+                }
+            });
+        }
+        // Non-blocking accept + poll (mode set at bind time): shutdown
+        // can never be missed, no matter what address is bound.
+        while !shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Hand-off runs in blocking mode again.
+                    let _ = stream.set_nonblocking(false);
+                    match sender.try_send(stream) {
+                        Ok(()) => {
+                            stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(mpsc::TrySendError::Full(stream)) => {
+                            // Pool saturated and backlog full: refuse
+                            // by closing instead of parking the fd.
+                            stats.connections_refused.fetch_add(1, Ordering::Relaxed);
+                            drop(stream);
+                        }
+                        Err(mpsc::TrySendError::Disconnected(_)) => break,
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(config.poll_interval);
+                }
+                Err(_) => {
+                    // Transient accept failure (EMFILE, aborted
+                    // handshake); keep listening.
+                    std::thread::sleep(config.poll_interval);
+                }
+            }
+        }
+        drop(sender);
+    })
+    .expect("server worker panicked");
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &IoTSecurityService,
+    config: &ServerConfig,
+    batch_workers: usize,
+    shutdown: &AtomicBool,
+    stats: &SharedStats,
+) {
+    stats.connections_active.fetch_add(1, Ordering::Relaxed);
+    let tally = serve_connection(stream, service, config, batch_workers, shutdown);
+    stats
+        .frames_served
+        .fetch_add(tally.frames, Ordering::Relaxed);
+    stats
+        .queries_answered
+        .fetch_add(tally.queries, Ordering::Relaxed);
+    stats
+        .protocol_errors
+        .fetch_add(tally.errors, Ordering::Relaxed);
+    stats.connections_active.fetch_sub(1, Ordering::Relaxed);
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    service: &IoTSecurityService,
+    config: &ServerConfig,
+    batch_workers: usize,
+    shutdown: &AtomicBool,
+) -> ConnectionTally {
+    let _ = stream.set_nodelay(true);
+    let mut tally = ConnectionTally::default();
+    let mut write_buf = Vec::new();
+    // Idle phase between frames: poll for the first header byte so the
+    // worker can notice shutdown; `Ok(None)` is clean EOF or shutdown,
+    // `Err` a dead socket — both end the connection.
+    while let Ok(Some(first)) = poll_first_byte(&mut stream, config, shutdown) {
+        // A frame started: header and payload together must arrive
+        // within one whole-frame deadline — dripping one byte per
+        // read cannot stretch it (slow-loris guard).
+        let deadline = Instant::now() + config.io_timeout;
+        let mut header = [0u8; HEADER_LEN];
+        header[0] = first;
+        if read_exact_deadline(&mut stream, &mut header[1..], deadline).is_err() {
+            tally.errors += 1;
+            break;
+        }
+        let parsed = match wire::decode_header(&header) {
+            Ok(parsed) if parsed.len > config.max_frame_bytes => Err(WireError::FrameTooLarge {
+                len: parsed.len,
+                max: config.max_frame_bytes,
+            }),
+            other => other,
+        };
+        let header = match parsed {
+            Ok(header) => header,
+            Err(error) => {
+                // Framing is broken (or refused): report and close —
+                // the byte stream cannot be resynchronised.
+                tally.errors += 1;
+                let _ = send_error(&mut stream, &mut write_buf, &error);
+                break;
+            }
+        };
+        let mut payload = vec![0u8; header.len as usize];
+        if read_exact_deadline(&mut stream, &mut payload, deadline).is_err() {
+            tally.errors += 1;
+            break;
+        }
+        match wire::decode_payload(header.kind, &payload) {
+            Ok(Message::Ping) => {
+                if send_message(&mut stream, &mut write_buf, &Message::Pong).is_err() {
+                    break;
+                }
+                tally.frames += 1;
+            }
+            Ok(Message::QueryRequest(request)) => {
+                if request.fingerprints.len() > config.max_batch {
+                    tally.errors += 1;
+                    let _ = send_message(
+                        &mut stream,
+                        &mut write_buf,
+                        &Message::Error(ErrorFrame {
+                            code: ErrorCode::BatchTooLarge,
+                            message: format!(
+                                "batch of {} exceeds the server cap of {}",
+                                request.fingerprints.len(),
+                                config.max_batch
+                            ),
+                        }),
+                    );
+                    break;
+                }
+                // Explicit worker count: the pool's connections share
+                // the machine; auto-sizing would hand every connection
+                // all cores at once.
+                let responses = service.handle_batch_with(&request.fingerprints, batch_workers);
+                let queries = responses.len() as u64;
+                let items: Vec<ResponseItem> = responses
+                    .into_iter()
+                    .map(|response| ResponseItem {
+                        name: request
+                            .resolve_names
+                            .then(|| response.device_type_name(service.registry()))
+                            .flatten()
+                            .map(str::to_string),
+                        response,
+                    })
+                    .collect();
+                if send_message(
+                    &mut stream,
+                    &mut write_buf,
+                    &Message::QueryResponse(QueryResponse { items }),
+                )
+                .is_err()
+                {
+                    break;
+                }
+                tally.frames += 1;
+                tally.queries += queries;
+            }
+            Ok(_) => {
+                // Server-to-client messages arriving at the server.
+                tally.errors += 1;
+                let _ = send_error(
+                    &mut stream,
+                    &mut write_buf,
+                    &WireError::UnsupportedKind(header.kind),
+                );
+                break;
+            }
+            Err(error) => {
+                tally.errors += 1;
+                let _ = send_error(&mut stream, &mut write_buf, &error);
+                break;
+            }
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    tally
+}
+
+/// Waits for the first byte of the next frame, returning `None` on
+/// clean EOF, shutdown, or after [`ServerConfig::idle_timeout`] of
+/// silence (so an idle connection cannot pin its worker forever).
+/// Short timeouts between polls only trigger a shutdown-flag check.
+fn poll_first_byte(
+    stream: &mut TcpStream,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+) -> std::io::Result<Option<u8>> {
+    stream.set_read_timeout(Some(config.poll_interval))?;
+    let idle_deadline = Instant::now() + config.idle_timeout;
+    let mut byte = [0u8; 1];
+    loop {
+        if shutdown.load(Ordering::SeqCst) || Instant::now() >= idle_deadline {
+            return Ok(None);
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => return Ok(None),
+            Ok(_) => return Ok(Some(byte[0])),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// `read_exact` against an absolute deadline: the per-read timeout is
+/// re-derived from the time remaining, so the deadline bounds the
+/// whole read no matter how slowly bytes trickle in.
+fn read_exact_deadline(
+    stream: &mut TcpStream,
+    mut buf: &mut [u8],
+    deadline: Instant,
+) -> std::io::Result<()> {
+    while !buf.is_empty() {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "frame read deadline exceeded",
+            ));
+        }
+        // set_read_timeout rejects a zero Duration; clamp up.
+        stream.set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+        match stream.read(buf) {
+            Ok(0) => return Err(std::io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => buf = &mut buf[n..],
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn send_message(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    message: &Message,
+) -> std::io::Result<()> {
+    buf.clear();
+    wire::encode_frame(message, buf)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    stream.write_all(buf)?;
+    stream.flush()
+}
+
+/// Maps a decode failure to the error frame the client sees.
+fn send_error(stream: &mut TcpStream, buf: &mut Vec<u8>, error: &WireError) -> std::io::Result<()> {
+    let code = match error {
+        WireError::UnsupportedVersion(_) => ErrorCode::UnsupportedVersion,
+        WireError::FrameTooLarge { .. } => ErrorCode::FrameTooLarge,
+        WireError::UnsupportedKind(_) => ErrorCode::UnsupportedKind,
+        _ => ErrorCode::Malformed,
+    };
+    send_message(
+        stream,
+        buf,
+        &Message::Error(ErrorFrame {
+            code,
+            message: error.to_string(),
+        }),
+    )
+}

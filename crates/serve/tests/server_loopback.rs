@@ -1,0 +1,270 @@
+//! Server/client integration over loopback: correctness of remote
+//! answers, protocol-error handling, frame-size guards, stats, and
+//! graceful shutdown.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use sentinel_core::VulnerabilityRecord;
+use sentinel_core::{IoTSecurityService, IsolationClass, Severity, Trainer, VulnerabilityDatabase};
+use sentinel_fingerprint::{Dataset, Fingerprint, LabeledFingerprint, PacketFeatures};
+use sentinel_serve::wire::{self, Message, HEADER_LEN, MAGIC, VERSION};
+use sentinel_serve::{serve, ClientConfig, ClientError, ErrorCode, SentinelClient, ServerConfig};
+
+fn fp_bits(bits: u32, tags: &[u32]) -> Fingerprint {
+    Fingerprint::from_columns(
+        tags.iter()
+            .map(|t| {
+                let mut v = [0u32; 23];
+                for (b, slot) in v.iter_mut().enumerate().take(12) {
+                    *slot = (bits >> b) & 1;
+                }
+                v[18] = *t;
+                PacketFeatures::from_raw(v)
+            })
+            .collect(),
+    )
+}
+
+fn service() -> IoTSecurityService {
+    let mut ds = Dataset::new();
+    for i in 0..12u32 {
+        ds.push(LabeledFingerprint::new(
+            "CleanType",
+            fp_bits(0b001, &[100 + i, 110, 120]),
+        ));
+        ds.push(LabeledFingerprint::new(
+            "VulnType",
+            fp_bits(0b010, &[100 + i, 110, 120]),
+        ));
+        ds.push(LabeledFingerprint::new(
+            "OtherType",
+            fp_bits(0b100, &[100 + i, 110, 120]),
+        ));
+    }
+    let mut identifier = Trainer::default().train(&ds, 4).unwrap();
+    let mut db = VulnerabilityDatabase::new();
+    let vuln = identifier.registry_mut().intern("VulnType");
+    db.add_record(
+        vuln,
+        VulnerabilityRecord::new("CVE-S-1", "demo", Severity::High),
+    );
+    IoTSecurityService::new(identifier, db)
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        workers: 4,
+        poll_interval: Duration::from_millis(20),
+        io_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn remote_answers_match_in_process_answers() {
+    let svc = service();
+    let probes: Vec<Fingerprint> = (0..20)
+        .map(|i| fp_bits(1 << (i % 4), &[100 + i as u32 % 8, 110, 120]))
+        .collect();
+    let local = svc.handle_batch(&probes);
+
+    let handle = serve(svc, "127.0.0.1:0", test_config()).expect("bind");
+    let mut client = SentinelClient::connect(
+        handle.local_addr(),
+        ClientConfig {
+            resolve_names: true,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect");
+    client.ping().expect("ping");
+    let remote = client.query_batch(&probes).expect("query");
+    assert_eq!(remote.len(), local.len());
+    for (local_resp, remote_item) in local.iter().zip(&remote) {
+        assert_eq!(*local_resp, remote_item.response);
+    }
+    // Resolved names: known types carry their label, unknowns none.
+    for item in &remote {
+        match item.response.device_type {
+            Some(_) => assert!(item.name.is_some()),
+            None => assert!(item.name.is_none()),
+        }
+    }
+    assert!(remote
+        .iter()
+        .any(|item| item.name.as_deref() == Some("VulnType")
+            && item.response.isolation == IsolationClass::Restricted));
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.connections_accepted, 1);
+    assert_eq!(stats.frames_served, 2); // ping + one batch
+    assert_eq!(stats.queries_answered, probes.len() as u64);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn malformed_frames_do_not_kill_the_server() {
+    let handle = serve(service(), "127.0.0.1:0", test_config()).expect("bind");
+    let addr = handle.local_addr();
+
+    // 1. Garbage bytes: the server answers with an error frame (or
+    //    just closes) and keeps serving.
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n")
+        .expect("write garbage");
+    let mut sink = Vec::new();
+    let _ = raw.read_to_end(&mut sink); // server closes on us
+    drop(raw);
+
+    // 2. Wrong version byte: typed unsupported-version error frame.
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut frame = Vec::new();
+    wire::encode_frame(&Message::Ping, &mut frame).unwrap();
+    frame[4] = VERSION + 9;
+    raw.write_all(&frame).expect("write bad version");
+    let mut response = Vec::new();
+    raw.read_to_end(&mut response).expect("read error frame");
+    assert!(response.len() >= HEADER_LEN, "expected an error frame back");
+    let (message, _) =
+        wire::decode_frame(&response, wire::DEFAULT_MAX_FRAME_BYTES).expect("decode error frame");
+    match message {
+        Message::Error(e) => assert_eq!(e.code, ErrorCode::UnsupportedVersion),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    drop(raw);
+
+    // 3. Oversized length prefix: refused before allocation.
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&MAGIC.to_be_bytes());
+    frame.push(VERSION);
+    frame.push(0x01);
+    frame.extend_from_slice(&u32::MAX.to_be_bytes());
+    raw.write_all(&frame).expect("write oversized");
+    let mut response = Vec::new();
+    raw.read_to_end(&mut response).expect("read error frame");
+    let (message, _) =
+        wire::decode_frame(&response, wire::DEFAULT_MAX_FRAME_BYTES).expect("decode error frame");
+    match message {
+        Message::Error(e) => assert_eq!(e.code, ErrorCode::FrameTooLarge),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    drop(raw);
+
+    // After all that abuse a well-behaved client still gets answers.
+    let mut client = SentinelClient::connect(addr, ClientConfig::default()).expect("connect");
+    let result = client
+        .query(&fp_bits(0b001, &[104, 110, 120]))
+        .expect("server must still serve");
+    assert_eq!(result.response.isolation, IsolationClass::Trusted);
+
+    let stats = handle.shutdown();
+    assert!(stats.protocol_errors >= 3, "stats: {stats:?}");
+    assert_eq!(stats.queries_answered, 1);
+}
+
+#[test]
+fn oversized_batch_is_refused_with_a_typed_error() {
+    let config = ServerConfig {
+        max_batch: 4,
+        ..test_config()
+    };
+    let handle = serve(service(), "127.0.0.1:0", config).expect("bind");
+    let mut client =
+        SentinelClient::connect(handle.local_addr(), ClientConfig::default()).expect("connect");
+    let probes = vec![fp_bits(0b001, &[104, 110, 120]); 5];
+    match client.query_batch(&probes) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::BatchTooLarge);
+        }
+        other => panic!("expected a batch-too-large server error, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn client_retries_cover_slow_server_start() {
+    // Nothing listens yet: exhausting retries yields an Io error
+    // rather than hanging.
+    let config = ClientConfig {
+        connect_attempts: 2,
+        retry_delay: Duration::from_millis(10),
+        ..ClientConfig::default()
+    };
+    // Port 1 on loopback is essentially guaranteed closed.
+    match SentinelClient::connect("127.0.0.1:1", config) {
+        Err(ClientError::Io(_)) => {}
+        other => panic!("expected an Io error, got {other:?}"),
+    }
+}
+
+#[test]
+fn idle_connections_are_closed_and_slow_frames_time_out() {
+    let config = ServerConfig {
+        idle_timeout: Duration::from_millis(100),
+        io_timeout: Duration::from_millis(200),
+        ..test_config()
+    };
+    let handle = serve(service(), "127.0.0.1:0", config).expect("bind");
+    let addr = handle.local_addr();
+
+    // A silent connection is evicted after the idle timeout instead of
+    // pinning its worker forever.
+    let mut idle = TcpStream::connect(addr).expect("connect idle");
+    idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut sink = Vec::new();
+    let n = idle
+        .read_to_end(&mut sink)
+        .expect("server closes idle conn");
+    assert_eq!(n, 0, "idle close sends nothing");
+
+    // A drip-fed frame trips the whole-frame deadline even though each
+    // individual byte arrives well within the per-read window.
+    let mut frame = Vec::new();
+    wire::encode_frame(&Message::Ping, &mut frame).unwrap();
+    let mut slow = TcpStream::connect(addr).expect("connect slow");
+    slow.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut closed_early = false;
+    for byte in &frame {
+        if slow.write_all(std::slice::from_ref(byte)).is_err() {
+            closed_early = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(60));
+    }
+    let mut sink = Vec::new();
+    let got_pong = !closed_early
+        && matches!(
+            slow.read_to_end(&mut sink),
+            Ok(n) if n >= HEADER_LEN
+                && wire::decode_frame(&sink, wire::DEFAULT_MAX_FRAME_BYTES)
+                    .is_ok_and(|(m, _)| m == Message::Pong)
+        );
+    assert!(
+        !got_pong,
+        "a 10-byte frame dripped over ~600ms must miss the 200ms frame deadline"
+    );
+
+    // The server is still healthy for fast clients.
+    let mut client = SentinelClient::connect(addr, ClientConfig::default()).expect("connect");
+    client.ping().expect("ping still works");
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_is_graceful_while_clients_are_connected() {
+    let handle = serve(service(), "127.0.0.1:0", test_config()).expect("bind");
+    let addr = handle.local_addr();
+    // An idle client holds its connection open across shutdown.
+    let idle = TcpStream::connect(addr).expect("connect idle");
+    std::thread::sleep(Duration::from_millis(50));
+    let stats = handle.shutdown(); // must not hang on the idle client
+    assert!(stats.connections_accepted >= 1);
+    assert_eq!(stats.connections_active, 0, "workers drained: {stats:?}");
+    drop(idle);
+}

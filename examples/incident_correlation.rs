@@ -51,6 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         window: SimDuration::from_secs(48 * 3600),
         min_gateways: 3,
         min_reports: 5,
+        ..CorrelatorConfig::default()
     });
     println!("\nincident reports arriving at the IoTSSP:");
     for (gw, hour) in [(101u64, 2u64), (245, 7), (245, 9), (399, 20), (512, 26)] {

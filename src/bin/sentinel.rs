@@ -27,6 +27,7 @@ use iot_sentinel::devices::{
 };
 use iot_sentinel::fingerprint::{codec, Dataset, FingerprintExtractor, LabeledFingerprint};
 use iot_sentinel::net::{CaptureMonitor, MacAddr, SetupDetectorConfig, TraceCapture};
+use iot_sentinel::serve::{ClientConfig, SentinelClient, ServerConfig};
 use iot_sentinel::SentinelBuilder;
 
 const USAGE: &str = "\
@@ -65,6 +66,16 @@ USAGE:
   sentinel assess --type <NAME>
       Vulnerability assessment and isolation level for a device type
       (demo CVE database).
+
+  sentinel serve --model <FILE> [--addr HOST:PORT] [--workers N] [--port-file FILE]
+      Serve the trained model as an IoT Security Service over TCP
+      (default 127.0.0.1:7787; port 0 picks an ephemeral port). Prints
+      the bound address, optionally writes the port to --port-file,
+      and runs until terminated.
+
+  sentinel query --addr HOST:PORT --pcap <FILE> [--ignore-mac <MAC>]
+      Identify every device in a pcap against a *running* server —
+      the remote counterpart of `sentinel identify`.
 ";
 
 fn main() -> ExitCode {
@@ -82,6 +93,8 @@ fn main() -> ExitCode {
         "train" => cmd_train(rest),
         "identify" => cmd_identify(rest),
         "assess" => cmd_assess(rest),
+        "serve" => cmd_serve(rest),
+        "query" => cmd_query(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -412,6 +425,74 @@ fn cmd_assess(args: &[String]) -> Result<(), String> {
         println!(
             "  {}: {} [{}]",
             record.id, record.description, record.severity
+        );
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &[])?;
+    let model_path = PathBuf::from(opts.required("model")?);
+    let addr = opts.first("addr").unwrap_or("127.0.0.1:7787");
+    let workers: usize = opts.number("workers", 4)?;
+
+    let file = File::open(&model_path).map_err(|e| format!("opening {model_path:?}: {e}"))?;
+    let identifier = persist::read_identifier(BufReader::new(file))
+        .map_err(|e| format!("loading model: {e}"))?;
+    let sentinel = SentinelBuilder::new()
+        .trained(identifier)
+        .demo_vulnerabilities()
+        .build()
+        .map_err(|e| format!("assembling service: {e}"))?;
+    let config = ServerConfig {
+        workers: workers.max(1),
+        ..ServerConfig::default()
+    };
+    let handle = sentinel
+        .serve(addr, config)
+        .map_err(|e| format!("binding {addr}: {e}"))?;
+    let bound = handle.local_addr();
+    println!(
+        "serving {} device types on {bound} ({workers} workers)",
+        sentinel.identifier().type_count()
+    );
+    if let Some(port_file) = opts.first("port-file") {
+        std::fs::write(port_file, format!("{}\n", bound.port()))
+            .map_err(|e| format!("writing {port_file:?}: {e}"))?;
+    }
+    // Serve until the process is terminated; the handle keeps the
+    // worker pool alive.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &[])?;
+    let addr = opts.required("addr")?;
+    let pcap_path = PathBuf::from(opts.required("pcap")?);
+    let ignored = parse_ignored_macs(&opts)?;
+
+    let fingerprints = fingerprints_from_pcap(&pcap_path, &ignored)?;
+    if fingerprints.is_empty() {
+        return Err("no device traffic found in the pcap".into());
+    }
+    let config = ClientConfig {
+        resolve_names: true,
+        ..ClientConfig::default()
+    };
+    let mut client =
+        SentinelClient::connect(addr, config).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let probes: Vec<iot_sentinel::fingerprint::Fingerprint> =
+        fingerprints.iter().map(|(_, fp)| fp.clone()).collect();
+    let results = client
+        .query_batch(&probes)
+        .map_err(|e| format!("query failed: {e}"))?;
+    for ((mac, _), result) in fingerprints.iter().zip(results) {
+        println!(
+            "{mac}: {} -> isolation {}",
+            result.name.as_deref().unwrap_or("<unknown device type>"),
+            result.response.isolation
         );
     }
     Ok(())

@@ -74,6 +74,7 @@
 //! | [`editdist`] | `sentinel-editdist` | Damerau-Levenshtein over packet words |
 //! | [`core`] | `sentinel-core` | two-stage identifier, IoTSSP, TypeRegistry, vulnerability DB |
 //! | [`gateway`] | `sentinel-gateway` | SDN switch/controller, rules, overlays, testbed |
+//! | [`serve`] | `sentinel-serve` | wire protocol, threaded TCP query server, blocking client |
 //!
 //! The component types ([`core::Trainer`], [`core::IoTSecurityService`],
 //! [`gateway::SdnController`], …) remain public for evaluation
@@ -98,3 +99,4 @@ pub use sentinel_fingerprint as fingerprint;
 pub use sentinel_gateway as gateway;
 pub use sentinel_ml as ml;
 pub use sentinel_net as net;
+pub use sentinel_serve as serve;

@@ -527,6 +527,31 @@ impl Sentinel {
         vulnerabilities.add_vendor_endpoint_named(identifier.registry_mut(), device_type, endpoint)
     }
 
+    // ----- network front-end ----------------------------------------
+
+    /// Serves this Sentinel's IoT Security Service over TCP: binds
+    /// `addr` and answers wire-protocol fingerprint queries (see
+    /// [`sentinel_serve::wire`]) until the returned handle is shut
+    /// down.
+    ///
+    /// The server snapshots the service at call time (models are
+    /// immutable once trained, so a snapshot is exactly what a
+    /// deployed IoTSSP serves); later knowledge updates through this
+    /// `Sentinel` do not reach an already-running server — start a new
+    /// one to roll a model out. The `Sentinel` itself stays fully
+    /// usable, including its gateway lifecycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket bind failure.
+    pub fn serve(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+        config: sentinel_serve::ServerConfig,
+    ) -> std::io::Result<sentinel_serve::ServerHandle> {
+        sentinel_serve::serve(self.controller.service().clone(), addr, config)
+    }
+
     // ----- component access -----------------------------------------
 
     /// The registry of connected devices.

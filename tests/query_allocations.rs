@@ -122,6 +122,42 @@ fn response_assembly_is_allocation_free() {
 }
 
 #[test]
+fn identify_fixed_conversion_is_allocation_free_in_steady_state() {
+    // `identify` converts F to F′ through a per-thread scratch buffer;
+    // once that scratch is warm, identification allocates exactly what
+    // candidate classification alone allocates — the per-query
+    // fixed-vector (and unique-prefix) allocations are gone.
+    let s = sentinel();
+    let identifier = s.identifier();
+    let prefix_len = identifier.config().fixed_prefix_len;
+    for bits in [0b001u32, 0b010, 0b1000] {
+        let probe = fp_bits(bits, &[104, 110, 120]);
+        let fixed = probe.to_fixed_with(prefix_len);
+        // Warm up the thread-local scratch (and any lazy state).
+        std::hint::black_box(identifier.identify(&probe));
+        std::hint::black_box(identifier.classify_candidates(&fixed));
+
+        let (classify_allocs, _) =
+            allocations_during(|| std::hint::black_box(identifier.classify_candidates(&fixed)));
+        let (identify_allocs, _) =
+            allocations_during(|| std::hint::black_box(identifier.identify(&probe)));
+        assert_eq!(
+            identify_allocs, classify_allocs,
+            "identify (bits {bits:#b}) must allocate exactly as much as \
+             classification alone: the F->F' conversion reuses the scratch"
+        );
+        // And the conversion it avoids is a real cost: computing F'
+        // from scratch allocates.
+        let (fresh_conversion_allocs, _) =
+            allocations_during(|| std::hint::black_box(probe.to_fixed_with(prefix_len)));
+        assert!(
+            fresh_conversion_allocs > 0,
+            "to_fixed_with without a scratch is expected to allocate"
+        );
+    }
+}
+
+#[test]
 fn handle_allocates_no_more_than_identification_alone() {
     let s = sentinel();
     let service = s.service();

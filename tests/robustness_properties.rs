@@ -165,8 +165,12 @@ proptest! {
         reports in proptest::collection::vec((0u64..6, 0u8..4, 0u64..2_000), 0..80),
     ) {
         let window = SimDuration::from_secs(1_000);
-        let strict = CorrelatorConfig { window, min_gateways: 3, min_reports: 5 };
-        let relaxed = CorrelatorConfig { window, min_gateways: 2, min_reports: 2 };
+        let strict = CorrelatorConfig {
+            window, min_gateways: 3, min_reports: 5, ..CorrelatorConfig::default()
+        };
+        let relaxed = CorrelatorConfig {
+            window, min_gateways: 2, min_reports: 2, ..CorrelatorConfig::default()
+        };
         let mut registry = iot_sentinel::core::TypeRegistry::new();
         let mut a = IncidentCorrelator::new(strict);
         let mut b = IncidentCorrelator::new(relaxed);

@@ -1,0 +1,189 @@
+//! End-to-end acceptance for the network front-end: a
+//! [`iot_sentinel::serve`] server started from the `Sentinel` facade
+//! must answer batch queries **byte-identically** to the in-process
+//! `handle_batch`, under concurrent client connections, and survive
+//! malformed frames.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use iot_sentinel::core::{Severity, VulnerabilityRecord};
+use iot_sentinel::fingerprint::{Dataset, Fingerprint, LabeledFingerprint, PacketFeatures};
+use iot_sentinel::serve::{ClientConfig, SentinelClient, ServerConfig};
+use iot_sentinel::{Sentinel, SentinelBuilder};
+
+fn fp_bits(bits: u32, tags: &[u32]) -> Fingerprint {
+    Fingerprint::from_columns(
+        tags.iter()
+            .map(|t| {
+                let mut v = [0u32; 23];
+                for (b, slot) in v.iter_mut().enumerate().take(12) {
+                    *slot = (bits >> b) & 1;
+                }
+                v[18] = *t;
+                PacketFeatures::from_raw(v)
+            })
+            .collect(),
+    )
+}
+
+fn sentinel() -> Sentinel {
+    let mut ds = Dataset::new();
+    for i in 0..12u32 {
+        ds.push(LabeledFingerprint::new(
+            "CleanType",
+            fp_bits(0b001, &[100 + i, 110, 120]),
+        ));
+        ds.push(LabeledFingerprint::new(
+            "VulnType",
+            fp_bits(0b010, &[100 + i, 110, 120]),
+        ));
+        ds.push(LabeledFingerprint::new(
+            "OtherType",
+            fp_bits(0b100, &[100 + i, 110, 120]),
+        ));
+    }
+    SentinelBuilder::new()
+        .dataset(ds)
+        .training_seed(4)
+        .vulnerability(
+            "VulnType",
+            VulnerabilityRecord::new("CVE-L-1", "demo", Severity::High),
+        )
+        .build()
+        .unwrap()
+}
+
+fn probes(n: usize) -> Vec<Fingerprint> {
+    (0..n)
+        .map(|i| fp_bits(1 << (i % 4), &[100 + i as u32 % 9, 110, 120]))
+        .collect()
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        workers: 6,
+        poll_interval: Duration::from_millis(20),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn loopback_batch_is_byte_identical_to_in_process() {
+    let s = sentinel();
+    let batch = probes(150); // spans multiple BATCH_CHUNKs server-side
+    let local = s.handle_batch(&batch);
+
+    let handle = s.serve("127.0.0.1:0", server_config()).expect("bind");
+    let mut client =
+        SentinelClient::connect(handle.local_addr(), ClientConfig::default()).expect("connect");
+    let remote = client.query_batch(&batch).expect("remote batch");
+    let remote_responses: Vec<_> = remote.iter().map(|r| r.response).collect();
+    assert_eq!(remote_responses, local);
+    // The Sentinel stays fully usable while serving.
+    assert_eq!(s.handle(&batch[0]), local[0]);
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_all_get_correct_answers() {
+    let s = sentinel();
+    let handle = s.serve("127.0.0.1:0", server_config()).expect("bind");
+    let addr = handle.local_addr();
+
+    // Four client threads, each with its own probe mix, each checked
+    // against the in-process truth.
+    std::thread::scope(|scope| {
+        for worker in 0..4usize {
+            let s = &s;
+            scope.spawn(move || {
+                let batch: Vec<Fingerprint> = (0..40)
+                    .map(|i| {
+                        fp_bits(
+                            1 << ((i + worker) % 4),
+                            &[100 + ((i + worker) as u32 % 9), 110, 120],
+                        )
+                    })
+                    .collect();
+                let expected = s.handle_batch(&batch);
+                let mut client =
+                    SentinelClient::connect(addr, ClientConfig::default()).expect("connect");
+                for round in 0..3 {
+                    let remote = client.query_batch(&batch).expect("remote batch");
+                    let got: Vec<_> = remote.iter().map(|r| r.response).collect();
+                    assert_eq!(got, expected, "client {worker} round {round}");
+                }
+            });
+        }
+    });
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.connections_accepted, 4);
+    assert_eq!(stats.queries_answered, 4 * 3 * 40);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn malformed_frames_leave_healthy_clients_unaffected() {
+    let s = sentinel();
+    let handle = s.serve("127.0.0.1:0", server_config()).expect("bind");
+    let addr = handle.local_addr();
+
+    let mut healthy =
+        SentinelClient::connect(addr, ClientConfig::default()).expect("connect healthy");
+    healthy.ping().expect("ping before abuse");
+
+    // A hostile peer sprays garbage and disappears.
+    for _ in 0..3 {
+        let mut hostile = TcpStream::connect(addr).expect("connect hostile");
+        let _ = hostile.write_all(&[0xFF; 64]);
+        drop(hostile);
+    }
+
+    // The healthy client's established connection still answers.
+    let batch = probes(10);
+    let expected = s.handle_batch(&batch);
+    let remote = healthy.query_batch(&batch).expect("query after abuse");
+    let got: Vec<_> = remote.iter().map(|r| r.response).collect();
+    assert_eq!(got, expected);
+    // And so do fresh connections.
+    let mut fresh = SentinelClient::connect(addr, ClientConfig::default()).expect("connect fresh");
+    fresh.ping().expect("ping after abuse");
+
+    // The hostile connections are handled asynchronously; wait for
+    // their protocol errors to land in the stats before shutting down
+    // (shutdown closes still-queued connections without reading them).
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while handle.stats().protocol_errors < 3 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stats = handle.shutdown();
+    assert!(stats.protocol_errors >= 3, "stats: {stats:?}");
+}
+
+#[test]
+fn resolved_names_match_the_registry() {
+    let s = sentinel();
+    let handle = s.serve("127.0.0.1:0", server_config()).expect("bind");
+    let mut client = SentinelClient::connect(
+        handle.local_addr(),
+        ClientConfig {
+            resolve_names: true,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect");
+    let batch = probes(12);
+    let remote = client.query_batch(&batch).expect("remote batch");
+    for (probe, item) in batch.iter().zip(&remote) {
+        let expected = s.handle(probe);
+        assert_eq!(item.response, expected);
+        assert_eq!(
+            item.name.as_deref(),
+            s.type_name(expected.device_type),
+            "remote name must be the registry's name"
+        );
+    }
+    handle.shutdown();
+}
