@@ -1,0 +1,373 @@
+//! Epoch-swapped sharing of a live [`IoTSecurityService`].
+//!
+//! The paper's IoT Security Service continuously absorbs new device
+//! fingerprints and vulnerability reports (§IV-B), while its Security
+//! Gateway clients expect the query endpoint to stay up indefinitely.
+//! Those two requirements meet in [`ServiceCell`]: an atomically
+//! swappable `Arc<IoTSecurityService>` that lets *writers* publish a
+//! fully-built replacement service while *readers* keep answering
+//! queries against the epoch they pinned — no reader ever observes a
+//! half-updated model, and no reload ever blocks the query path for
+//! longer than one `Arc` clone.
+//!
+//! # Epochs
+//!
+//! Every published service carries a monotonically increasing epoch
+//! number, starting at 1 for the service the cell was created with.
+//! Readers call [`ServiceCell::load`] to pin `(Arc, epoch)` as a
+//! [`ServiceEpoch`], serve any number of queries against it, and call
+//! [`ServiceCell::refresh`] at their next natural boundary (the server
+//! does so once per wire frame — never mid-batch, so a batch response
+//! is always computed against exactly one epoch). `refresh` is
+//! wait-free while no reload happened: it compares one atomic epoch
+//! counter and touches the lock only when the cell actually moved on.
+//!
+//! # Safety of a swap
+//!
+//! A replacement service may only *extend* the current one:
+//! [`TypeRegistry::ensure_extends`] verifies that every already-issued
+//! [`crate::TypeId`] keeps its meaning (same name, same index; new
+//! types append). [`ServiceCell::replace`] and
+//! [`ServiceCell::replace_identifier`] enforce this under the writer
+//! lock, so concurrent reloads serialize and each validates against
+//! the service it actually replaces.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::identifier::DeviceTypeIdentifier;
+use crate::registry::{RegistryMismatch, TypeRegistry};
+use crate::service::IoTSecurityService;
+
+/// A shared, hot-swappable [`IoTSecurityService`]: wait-free reads of
+/// the current epoch, serialized atomic publication of replacements.
+#[derive(Debug)]
+pub struct ServiceCell {
+    /// The current service. The mutex guards the *swap*, not queries:
+    /// readers hold it only long enough to clone the `Arc`.
+    current: Mutex<Arc<IoTSecurityService>>,
+    /// Epoch of `current`, written inside the lock, readable without
+    /// it (the wait-free fast path of [`ServiceCell::refresh`]).
+    epoch: AtomicU64,
+    /// Successful swaps since the cell was created.
+    reloads: AtomicU64,
+}
+
+/// A pinned epoch: one immutable service plus the epoch number it was
+/// published under. Cheap to clone (an `Arc` clone).
+///
+/// Dereferences to the [`IoTSecurityService`], so a pinned epoch is a
+/// drop-in for `&IoTSecurityService` in query code.
+#[derive(Debug, Clone)]
+pub struct ServiceEpoch {
+    service: Arc<IoTSecurityService>,
+    epoch: u64,
+}
+
+impl ServiceEpoch {
+    /// The pinned service.
+    pub fn service(&self) -> &IoTSecurityService {
+        &self.service
+    }
+
+    /// The epoch this service was published under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl std::ops::Deref for ServiceEpoch {
+    type Target = IoTSecurityService;
+
+    fn deref(&self) -> &IoTSecurityService {
+        &self.service
+    }
+}
+
+impl ServiceCell {
+    /// Wraps `service` as epoch 1.
+    pub fn new(service: IoTSecurityService) -> Self {
+        ServiceCell {
+            current: Mutex::new(Arc::new(service)),
+            epoch: AtomicU64::new(1),
+            reloads: AtomicU64::new(0),
+        }
+    }
+
+    /// The epoch of the currently published service.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Successful [`ServiceCell::replace`]/[`replace_identifier`]
+    /// swaps so far (`epoch - 1`, kept separately for stats
+    /// reporting).
+    ///
+    /// [`replace_identifier`]: ServiceCell::replace_identifier
+    pub fn reloads(&self) -> u64 {
+        self.reloads.load(Ordering::Acquire)
+    }
+
+    /// Pins the current epoch: one `Arc` clone under the lock.
+    pub fn load(&self) -> ServiceEpoch {
+        let guard = self.lock();
+        ServiceEpoch {
+            service: Arc::clone(&guard),
+            // Read inside the lock, so the pair is always consistent.
+            epoch: self.epoch.load(Ordering::Acquire),
+        }
+    }
+
+    /// Re-pins `pinned` if the cell has published a newer epoch,
+    /// returning whether it moved. Wait-free when nothing changed:
+    /// one atomic load, no lock.
+    pub fn refresh(&self, pinned: &mut ServiceEpoch) -> bool {
+        if self.epoch.load(Ordering::Acquire) == pinned.epoch {
+            return false;
+        }
+        *pinned = self.load();
+        true
+    }
+
+    /// Publishes `service` as the next epoch after verifying it
+    /// extends the current one (see [`TypeRegistry::ensure_extends`]).
+    /// Returns the new epoch. Readers that already pinned the old
+    /// epoch keep it alive until their next refresh.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryMismatch`] when the replacement would invalidate an
+    /// already-issued [`crate::TypeId`]; the cell is left untouched.
+    pub fn replace(&self, service: IoTSecurityService) -> Result<u64, RegistryMismatch> {
+        let mut guard = self.lock();
+        service.registry().ensure_extends(guard.registry())?;
+        Ok(self.publish(&mut guard, service))
+    }
+
+    /// Publishes a service built from a freshly loaded `identifier`
+    /// (e.g. a v2 model document read via
+    /// [`crate::persist::read_identifier`]) while carrying the current
+    /// epoch's vulnerability database over. The identifier's registry
+    /// must extend the current one; advisories keyed by existing ids
+    /// therefore stay valid against the new model.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ServiceCell::replace`].
+    pub fn replace_identifier(
+        &self,
+        identifier: DeviceTypeIdentifier,
+    ) -> Result<u64, RegistryMismatch> {
+        let mut guard = self.lock();
+        identifier.registry().ensure_extends(guard.registry())?;
+        let vulnerabilities = guard.vulnerabilities().clone();
+        Ok(self.publish(
+            &mut guard,
+            IoTSecurityService::new(identifier, vulnerabilities),
+        ))
+    }
+
+    /// The registry of the currently published epoch, cloned (for
+    /// validation and reporting outside the lock).
+    pub fn registry(&self) -> TypeRegistry {
+        self.lock().registry().clone()
+    }
+
+    fn publish(
+        &self,
+        guard: &mut MutexGuard<'_, Arc<IoTSecurityService>>,
+        service: IoTSecurityService,
+    ) -> u64 {
+        **guard = Arc::new(service);
+        let next = self.epoch.load(Ordering::Relaxed) + 1;
+        self.epoch.store(next, Ordering::Release);
+        self.reloads.fetch_add(1, Ordering::Release);
+        next
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Arc<IoTSecurityService>> {
+        // The critical sections only clone/replace an Arc — none can
+        // panic — but recover from poisoning anyway rather than
+        // cascading a writer panic into every reader.
+        self.current.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::Trainer;
+    use crate::vulnerability::{Severity, VulnerabilityDatabase, VulnerabilityRecord};
+    use sentinel_fingerprint::{Dataset, Fingerprint, LabeledFingerprint, PacketFeatures};
+
+    fn fp_bits(bits: u32, tags: &[u32]) -> Fingerprint {
+        Fingerprint::from_columns(
+            tags.iter()
+                .map(|t| {
+                    let mut v = [0u32; 23];
+                    for (b, slot) in v.iter_mut().enumerate().take(12) {
+                        *slot = (bits >> b) & 1;
+                    }
+                    v[18] = *t;
+                    PacketFeatures::from_raw(v)
+                })
+                .collect(),
+        )
+    }
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new();
+        for i in 0..12u32 {
+            ds.push(LabeledFingerprint::new(
+                "CleanType",
+                fp_bits(0b001, &[100 + i, 110, 120]),
+            ));
+            ds.push(LabeledFingerprint::new(
+                "VulnType",
+                fp_bits(0b010, &[100 + i, 110, 120]),
+            ));
+            ds.push(LabeledFingerprint::new(
+                "OtherType",
+                fp_bits(0b100, &[100 + i, 110, 120]),
+            ));
+        }
+        ds
+    }
+
+    fn service() -> IoTSecurityService {
+        let identifier = Trainer::default().train(&dataset(), 4).unwrap();
+        IoTSecurityService::new(identifier, VulnerabilityDatabase::new())
+    }
+
+    #[test]
+    fn fresh_cell_is_epoch_one_with_zero_reloads() {
+        let cell = ServiceCell::new(service());
+        assert_eq!(cell.epoch(), 1);
+        assert_eq!(cell.reloads(), 0);
+        let pinned = cell.load();
+        assert_eq!(pinned.epoch(), 1);
+        assert_eq!(pinned.registry().len(), 3);
+    }
+
+    #[test]
+    fn refresh_is_a_no_op_until_a_replace_lands() {
+        let cell = ServiceCell::new(service());
+        let mut pinned = cell.load();
+        assert!(!cell.refresh(&mut pinned));
+
+        let mut next = service();
+        let vuln = next.registry().get("VulnType").unwrap();
+        next.vulnerabilities_mut().add_record(
+            vuln,
+            VulnerabilityRecord::new("CVE-C-1", "demo", Severity::High),
+        );
+        assert_eq!(cell.replace(next).unwrap(), 2);
+        assert_eq!(cell.reloads(), 1);
+
+        // The old pin still answers from the old epoch...
+        assert!(!pinned.vulnerabilities().is_vulnerable(vuln));
+        // ...until refreshed.
+        assert!(cell.refresh(&mut pinned));
+        assert_eq!(pinned.epoch(), 2);
+        assert!(pinned.vulnerabilities().is_vulnerable(vuln));
+        assert!(!cell.refresh(&mut pinned));
+    }
+
+    #[test]
+    fn replace_rejects_registry_regressions() {
+        let cell = ServiceCell::new(service());
+        // A service trained on disjoint labels maps existing ids to
+        // different names — swapping it in would corrupt every issued
+        // TypeId.
+        let mut foreign_ds = Dataset::new();
+        for i in 0..12u32 {
+            foreign_ds.push(LabeledFingerprint::new(
+                "Alpha",
+                fp_bits(0b001, &[100 + i, 110, 120]),
+            ));
+            foreign_ds.push(LabeledFingerprint::new(
+                "Beta",
+                fp_bits(0b010, &[100 + i, 110, 120]),
+            ));
+        }
+        let foreign = Trainer::default().train(&foreign_ds, 4).unwrap();
+        let foreign = IoTSecurityService::new(foreign, VulnerabilityDatabase::new());
+        assert!(cell.replace(foreign).is_err());
+        assert_eq!(
+            cell.epoch(),
+            1,
+            "a rejected replace must not move the epoch"
+        );
+        assert_eq!(cell.reloads(), 0);
+    }
+
+    #[test]
+    fn replace_identifier_keeps_the_current_advisories() {
+        let mut seeded = service();
+        let vuln = seeded.registry().get("VulnType").unwrap();
+        seeded.vulnerabilities_mut().add_record(
+            vuln,
+            VulnerabilityRecord::new("CVE-C-2", "demo", Severity::High),
+        );
+        let cell = ServiceCell::new(seeded);
+
+        // A retrained identifier with one appended type.
+        let mut identifier = cell.load().identifier().clone();
+        let new_fps: Vec<Fingerprint> = (0..10)
+            .map(|i| fp_bits(0b1000, &[900 + i, 910, 920]))
+            .collect();
+        let new_id = identifier.add_device_type("NewType", &new_fps, 9).unwrap();
+
+        assert_eq!(cell.replace_identifier(identifier).unwrap(), 2);
+        let pinned = cell.load();
+        assert_eq!(pinned.registry().name(new_id), "NewType");
+        // The advisory keyed before the reload still bites after it.
+        assert!(pinned.vulnerabilities().is_vulnerable(vuln));
+        assert_eq!(
+            pinned
+                .handle(&fp_bits(0b1000, &[903, 910, 920]))
+                .device_type,
+            Some(new_id)
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_always_observe_whole_epochs() {
+        use std::sync::atomic::AtomicBool;
+
+        // Epoch N's service has N appended marker types; a reader must
+        // never observe a registry whose length disagrees with what
+        // any single publish produced.
+        let cell = ServiceCell::new(service());
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut pinned = cell.load();
+                    while !stop.load(Ordering::Acquire) {
+                        cell.refresh(&mut pinned);
+                        let len = pinned.registry().len();
+                        assert_eq!(
+                            len,
+                            3 + (pinned.epoch() - 1) as usize,
+                            "epoch and registry must move together"
+                        );
+                    }
+                });
+            }
+            for round in 0..8u64 {
+                let mut identifier = cell.load().identifier().clone();
+                let fps: Vec<Fingerprint> = (0..8)
+                    .map(|i| fp_bits(0b1 << (4 + round), &[2000 + 100 * round as u32 + i, 7, 8]))
+                    .collect();
+                identifier
+                    .add_device_type(&format!("Marker{round}"), &fps, round)
+                    .unwrap();
+                assert_eq!(cell.replace_identifier(identifier).unwrap(), round + 2);
+            }
+            stop.store(true, Ordering::Release);
+        });
+        assert_eq!(cell.epoch(), 9);
+        assert_eq!(cell.reloads(), 8);
+    }
+}

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cell;
 pub mod classifier;
 pub mod error;
 pub mod eval;
@@ -55,6 +56,7 @@ pub mod service;
 pub mod trainer;
 pub mod vulnerability;
 
+pub use cell::{ServiceCell, ServiceEpoch};
 pub use classifier::TypeClassifier;
 pub use error::CoreError;
 pub use identifier::{DeviceTypeIdentifier, Identification};
@@ -62,7 +64,7 @@ pub use incidents::{
     CorrelatorConfig, FlaggedType, GatewayId, IncidentCorrelator, IncidentKind, IncidentReport,
 };
 pub use isolation::{Endpoint, IsolationClass, IsolationLevel};
-pub use registry::{TypeId, TypeRegistry};
+pub use registry::{RegistryMismatch, TypeId, TypeRegistry};
 pub use service::{IoTSecurityService, ServiceResponse, BATCH_CHUNK};
 pub use trainer::{IdentifierConfig, Trainer};
 pub use vulnerability::{Severity, VulnerabilityDatabase, VulnerabilityRecord};

@@ -492,6 +492,35 @@ mod tests {
     }
 
     #[test]
+    fn extended_model_documents_keep_existing_ids_stable() {
+        // The hot-reload contract: a v2 document written after new
+        // types were added reloads into a registry that *extends* the
+        // original — every old id resolves to the same name at the
+        // same index, new ids strictly append.
+        let identifier = Trainer::new(config()).train(&dataset(), 3).unwrap();
+        let mut buf = Vec::new();
+        write_identifier(&mut buf, &identifier).unwrap();
+        let old = read_identifier(buf.as_slice()).unwrap();
+
+        let mut extended = identifier.clone();
+        let new_fps: Vec<Fingerprint> = (0..6).map(|i| fp(&[1500 + i, 1510, 1520])).collect();
+        let new_id = extended.add_device_type("D", &new_fps, 9).unwrap();
+        let mut buf = Vec::new();
+        write_identifier(&mut buf, &extended).unwrap();
+        let reloaded = read_identifier(buf.as_slice()).unwrap();
+
+        reloaded
+            .registry()
+            .ensure_extends(old.registry())
+            .expect("an extended model document must extend the old registry");
+        for (id, name) in old.registry().iter() {
+            assert_eq!(reloaded.registry().name(id), name);
+        }
+        assert_eq!(new_id.index(), old.registry().len());
+        assert_eq!(reloaded.registry().name(new_id), "D");
+    }
+
+    #[test]
     fn legacy_v1_documents_still_read() {
         let identifier = Trainer::new(config()).train(&dataset(), 3).unwrap();
         let mut buf = Vec::new();

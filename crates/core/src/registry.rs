@@ -17,6 +17,52 @@
 use std::collections::HashMap;
 use std::fmt;
 
+/// Why a replacement registry cannot take over from an existing one
+/// (see [`TypeRegistry::ensure_extends`]).
+///
+/// Hot-swapping a model under live traffic is only safe when every
+/// [`TypeId`] already handed out stays valid: ids live on in gateway
+/// device records, incident stores and in-flight responses. A
+/// replacement registry must therefore be a *superset* of the old one
+/// — same names at the same indices, new names appended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryMismatch {
+    /// The new registry interns fewer types than the old one, so some
+    /// already-issued ids would dangle.
+    Shrunk {
+        /// Types in the registry being replaced.
+        old: usize,
+        /// Types in the replacement.
+        new: usize,
+    },
+    /// An already-issued id would resolve to a different name.
+    Renamed {
+        /// The id whose meaning would change.
+        id: TypeId,
+        /// The name the id resolves to today.
+        old: String,
+        /// The name the replacement assigns to the same id.
+        new: String,
+    },
+}
+
+impl fmt::Display for RegistryMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryMismatch::Shrunk { old, new } => write!(
+                f,
+                "replacement registry has {new} types but {old} ids are already issued"
+            ),
+            RegistryMismatch::Renamed { id, old, new } => write!(
+                f,
+                "replacement registry renames {id} from {old:?} to {new:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryMismatch {}
+
 /// A device type, interned. Copyable, hashable, 4 bytes.
 ///
 /// Valid only with the [`TypeRegistry`] that produced it; registries
@@ -120,6 +166,39 @@ impl TypeRegistry {
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.names.iter().map(|n| &**n)
     }
+
+    /// Verifies that this registry can replace `base` without
+    /// invalidating any id `base` has issued: every `(id, name)` pair
+    /// of `base` must appear identically here, with new types only
+    /// appended after them.
+    ///
+    /// This is the safety condition for model hot-reload — see
+    /// [`crate::cell::ServiceCell`].
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryMismatch::Shrunk`] when this registry has fewer types
+    /// than `base`, [`RegistryMismatch::Renamed`] when an existing id
+    /// would change its name.
+    pub fn ensure_extends(&self, base: &TypeRegistry) -> Result<(), RegistryMismatch> {
+        if self.names.len() < base.names.len() {
+            return Err(RegistryMismatch::Shrunk {
+                old: base.names.len(),
+                new: self.names.len(),
+            });
+        }
+        for (index, old_name) in base.names.iter().enumerate() {
+            let new_name = &self.names[index];
+            if new_name != old_name {
+                return Err(RegistryMismatch::Renamed {
+                    id: TypeId::from_index(index),
+                    old: old_name.to_string(),
+                    new: new_name.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +239,42 @@ mod tests {
         assert_eq!(names, vec!["C", "A", "B"]);
         let pairs: Vec<(usize, &str)> = reg.iter().map(|(id, n)| (id.index(), n)).collect();
         assert_eq!(pairs, vec![(0, "C"), (1, "A"), (2, "B")]);
+    }
+
+    #[test]
+    fn extension_accepts_supersets_and_itself() {
+        let mut base = TypeRegistry::new();
+        base.intern("EdnetCam");
+        base.intern("HueBridge");
+        assert_eq!(base.ensure_extends(&base), Ok(()));
+        let mut extended = base.clone();
+        extended.intern("D-LinkCam");
+        assert_eq!(extended.ensure_extends(&base), Ok(()));
+        // Extension is directional: the smaller registry cannot
+        // replace the larger one.
+        assert_eq!(
+            base.ensure_extends(&extended),
+            Err(RegistryMismatch::Shrunk { old: 3, new: 2 })
+        );
+    }
+
+    #[test]
+    fn extension_rejects_renamed_ids() {
+        let mut base = TypeRegistry::new();
+        base.intern("EdnetCam");
+        base.intern("HueBridge");
+        let mut reordered = TypeRegistry::new();
+        reordered.intern("HueBridge");
+        reordered.intern("EdnetCam");
+        reordered.intern("Extra");
+        match reordered.ensure_extends(&base) {
+            Err(RegistryMismatch::Renamed { id, old, new }) => {
+                assert_eq!(id.index(), 0);
+                assert_eq!(old, "EdnetCam");
+                assert_eq!(new, "HueBridge");
+            }
+            other => panic!("expected Renamed, got {other:?}"),
+        }
     }
 
     #[test]

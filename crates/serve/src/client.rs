@@ -9,7 +9,9 @@ use std::time::Duration;
 use sentinel_core::ServiceResponse;
 use sentinel_fingerprint::Fingerprint;
 
-use crate::wire::{self, ErrorCode, Message, ResponseItem, WireError, HEADER_LEN};
+use crate::wire::{
+    self, ErrorCode, Message, ReloadAck, ReloadRequest, ResponseItem, WireError, HEADER_LEN,
+};
 
 /// Tunables for [`SentinelClient`].
 #[derive(Debug, Clone)]
@@ -113,6 +115,9 @@ pub struct SentinelClient {
     peer: SocketAddr,
     config: ClientConfig,
     buf: Vec<u8>,
+    /// Response payloads land here, resized in place — steady-state
+    /// receives allocate nothing for the frame itself.
+    read_buf: Vec<u8>,
 }
 
 impl SentinelClient {
@@ -145,6 +150,7 @@ impl SentinelClient {
                             stream,
                             config,
                             buf: Vec::new(),
+                            read_buf: Vec::new(),
                         });
                     }
                     Err(e) => last_error = Some(e),
@@ -222,6 +228,42 @@ impl SentinelClient {
         }
     }
 
+    /// Pushes a model document to the server's admin channel: the
+    /// server loads it into a fresh service and hot-swaps it as the
+    /// next epoch, without dropping any connection. Requires the
+    /// server to run with its admin flag set.
+    ///
+    /// `model` is the raw text of a v2 model document (as written by
+    /// `sentinel_core::persist::write_identifier`); its type registry
+    /// must extend the served one (existing ids stable, new types
+    /// appended) or the server answers
+    /// [`ErrorCode::ReloadRejected`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::AdminDisabled`] or
+    /// [`ErrorCode::ReloadRejected`] for refused reloads, plus the
+    /// usual transport/wire failures.
+    pub fn reload(&mut self, model: Vec<u8>) -> Result<ReloadAck, ClientError> {
+        let sent = self.send(&Message::Reload(ReloadRequest { model }));
+        // The encode buffer just held a whole model document; don't
+        // pin that capacity on a long-lived client whose queries need
+        // a fraction of it.
+        self.buf = Vec::new();
+        sent?;
+        match self.receive()? {
+            Message::ReloadAck(ack) => Ok(ack),
+            Message::Error(e) => Err(ClientError::Server {
+                code: e.code,
+                message: e.message,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "expected a reload ack, got kind {:#04x}",
+                other.kind()
+            ))),
+        }
+    }
+
     fn send(&mut self, message: &Message) -> Result<(), ClientError> {
         self.buf.clear();
         wire::encode_frame(message, &mut self.buf)?;
@@ -240,8 +282,14 @@ impl SentinelClient {
                 max: self.config.max_frame_bytes,
             }));
         }
-        let mut payload = vec![0u8; header.len as usize];
-        self.stream.read_exact(&mut payload)?;
-        Ok(wire::decode_payload(header.kind, &payload)?)
+        // Reuse one receive buffer: resize in place instead of a fresh
+        // allocation per frame.
+        self.read_buf.resize(header.len as usize, 0);
+        self.stream.read_exact(&mut self.read_buf)?;
+        Ok(wire::decode_payload_at(
+            header.version,
+            header.kind,
+            &self.read_buf,
+        )?)
     }
 }

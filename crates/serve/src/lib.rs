@@ -34,5 +34,8 @@ pub mod server;
 pub mod wire;
 
 pub use client::{ClientConfig, ClientError, QueryResult, SentinelClient};
-pub use server::{serve, ServerConfig, ServerHandle, ServerStats};
-pub use wire::{ErrorCode, Message, QueryRequest, QueryResponse, WireError, VERSION};
+pub use server::{serve, serve_cell, ServerConfig, ServerHandle, ServerStats};
+pub use wire::{
+    ErrorCode, Message, QueryRequest, QueryResponse, ReloadAck, ReloadRequest, WireError,
+    MIN_VERSION, VERSION,
+};

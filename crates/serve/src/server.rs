@@ -1,23 +1,40 @@
 //! The threaded TCP query server: an [`IoTSecurityService`] behind a
-//! listening socket.
+//! listening socket, hot-swappable under live traffic.
 //!
 //! Architecture: one accept thread owns the [`TcpListener`] (run
 //! non-blocking and polled, so shutdown is always observed) and feeds
 //! accepted connections into a **bounded** channel drained by a fixed
 //! pool of worker threads (built on the `crossbeam` scoped-thread
-//! shim, so the workers borrow the service instead of cloning it);
-//! connection bursts beyond pool + backlog are refused at accept time
-//! rather than parked on an unbounded queue. Each worker
+//! shim, so the workers borrow the shared [`ServiceCell`] instead of
+//! cloning it); connection bursts beyond pool + backlog are refused at
+//! accept time rather than parked on an unbounded queue. Each worker
 //! serves one connection at a time: frames in, [`IoTSecurityService::handle_batch`]
 //! answers out. Shutdown is graceful — the accept loop stops taking
 //! connections, workers finish their in-flight frame and notice the
 //! flag at the next idle poll, and [`ServerHandle::shutdown`] joins
 //! everything before returning the final stats.
 //!
-//! Robustness guards, per connection:
+//! # Epochs and hot reload
+//!
+//! The served model lives in a [`ServiceCell`]: workers pin the
+//! current epoch **once per frame** — never mid-batch, so a batch
+//! response is always computed against exactly one model — and
+//! re-pin at the next frame boundary with a wait-free epoch check.
+//! Writers (a [`Sentinel::reload`] in the owning process, or an admin
+//! client sending a v2 `Reload` frame when [`ServerConfig::admin`] is
+//! set) publish a fully-built replacement service atomically; no
+//! connection is dropped, no in-flight query torn.
+//!
+//! [`Sentinel::reload`]: ../../iot_sentinel/struct.Sentinel.html#method.reload
+//!
+//! # Robustness guards, per connection
 //!
 //! * the announced payload length is checked against
-//!   [`ServerConfig::max_frame_bytes`] **before** any buffer is sized,
+//!   [`ServerConfig::max_frame_bytes`] (or, for admin reload frames,
+//!   [`ServerConfig::max_reload_bytes`]) **before** any buffer is
+//!   sized,
+//! * payloads land in one per-connection read buffer that is resized
+//!   in place — steady-state frames allocate nothing on the read side,
 //! * a started frame must complete within [`ServerConfig::io_timeout`]
 //!   — one whole-frame deadline across all reads, so drip-feeding
 //!   bytes cannot stretch it (slow-loris),
@@ -26,23 +43,34 @@
 //! * malformed frames are answered with a typed error frame and the
 //!   connection is closed; the server itself keeps serving,
 //! * query batches over [`ServerConfig::max_batch`] are refused
-//!   without being identified.
+//!   without being identified,
+//! * a panic while serving a connection (e.g. from service code on a
+//!   pathological fingerprint) is caught per connection: the
+//!   connection dies, [`ServerStats::worker_panics`] increments, and
+//!   the worker moves on to the next connection.
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use sentinel_core::IoTSecurityService;
+use sentinel_core::{persist, IoTSecurityService, ServiceCell, ServiceEpoch};
 
 use crate::wire::{
-    self, ErrorCode, ErrorFrame, Message, QueryResponse, ResponseItem, WireError, HEADER_LEN,
+    self, ErrorCode, ErrorFrame, FrameHeader, Message, QueryRequest, QueryResponse, ReloadAck,
+    ResponseItem, WireError, HEADER_LEN,
 };
 
+/// Test-only fault injection: called with every decoded query request
+/// on the serving worker thread, so tests can make a handler panic (or
+/// stall) deterministically. See [`ServerConfig::fault_injection`].
+pub type FaultInjection = Arc<dyn Fn(&QueryRequest) + Send + Sync>;
+
 /// Tunables for [`serve`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Worker threads (= concurrently served connections). Default 4.
     pub workers: usize,
@@ -63,6 +91,41 @@ pub struct ServerConfig {
     /// server closes it, freeing its worker for queued connections.
     /// Default 60 s.
     pub idle_timeout: Duration,
+    /// Whether the admin channel is enabled: when `true`, v2 `Reload`
+    /// frames hot-swap the served model; when `false` (the default)
+    /// they are answered with an [`ErrorCode::AdminDisabled`] error
+    /// frame and the connection is closed.
+    pub admin: bool,
+    /// Payload cap for admin reload frames — model documents are far
+    /// larger than query batches, so they get their own limit (applied
+    /// only when [`ServerConfig::admin`] is set; unauthorized peers
+    /// stay bounded by [`ServerConfig::max_frame_bytes`]). Default
+    /// 64 MiB.
+    pub max_reload_bytes: u32,
+    /// Test-only hook: invoked with every decoded query request on the
+    /// worker thread before it is handled. Lets tests inject a panic
+    /// into the serving path; leave `None` (the default) in production.
+    #[doc(hidden)]
+    pub fault_injection: Option<FaultInjection>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("workers", &self.workers)
+            .field("max_frame_bytes", &self.max_frame_bytes)
+            .field("max_batch", &self.max_batch)
+            .field("poll_interval", &self.poll_interval)
+            .field("io_timeout", &self.io_timeout)
+            .field("idle_timeout", &self.idle_timeout)
+            .field("admin", &self.admin)
+            .field("max_reload_bytes", &self.max_reload_bytes)
+            .field(
+                "fault_injection",
+                &self.fault_injection.as_ref().map(|_| "<hook>"),
+            )
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -74,6 +137,9 @@ impl Default for ServerConfig {
             poll_interval: Duration::from_millis(100),
             io_timeout: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(60),
+            admin: false,
+            max_reload_bytes: 64 << 20,
+            fault_injection: None,
         }
     }
 }
@@ -87,6 +153,7 @@ struct SharedStats {
     frames_served: AtomicU64,
     queries_answered: AtomicU64,
     protocol_errors: AtomicU64,
+    worker_panics: AtomicU64,
 }
 
 /// A point-in-time snapshot of the server's counters.
@@ -105,6 +172,14 @@ pub struct ServerStats {
     pub queries_answered: u64,
     /// Frames rejected as malformed, oversized, or otherwise invalid.
     pub protocol_errors: u64,
+    /// Connections torn down by a panic inside their handler. The
+    /// server survives each one; a non-zero value still means a bug
+    /// worth chasing.
+    pub worker_panics: u64,
+    /// The epoch of the model currently being served (starts at 1).
+    pub epoch: u64,
+    /// Successful model reloads since the cell was created.
+    pub reloads: u64,
 }
 
 impl SharedStats {
@@ -116,6 +191,9 @@ impl SharedStats {
             frames_served: self.frames_served.load(Ordering::Relaxed),
             queries_answered: self.queries_answered.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            epoch: 0,
+            reloads: 0,
         }
     }
 }
@@ -129,6 +207,24 @@ struct ConnectionTally {
     errors: u64,
 }
 
+/// Decrements a gauge when dropped — keeps
+/// [`ServerStats::connections_active`] exact on every exit path,
+/// including a panic unwinding out of the connection handler.
+struct GaugeGuard<'a>(&'a AtomicU64);
+
+impl<'a> GaugeGuard<'a> {
+    fn increment(gauge: &'a AtomicU64) -> Self {
+        gauge.fetch_add(1, Ordering::Relaxed);
+        GaugeGuard(gauge)
+    }
+}
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Handle to a running server: address, live stats, graceful shutdown.
 ///
 /// Dropping the handle also shuts the server down (and joins it);
@@ -139,6 +235,7 @@ pub struct ServerHandle {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     stats: Arc<SharedStats>,
+    cell: Arc<ServiceCell>,
     accept: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -149,16 +246,27 @@ impl ServerHandle {
         self.local_addr
     }
 
-    /// A snapshot of the server's counters.
+    /// A snapshot of the server's counters, including the served
+    /// model's current epoch and reload count.
     pub fn stats(&self) -> ServerStats {
-        self.stats.snapshot()
+        let mut stats = self.stats.snapshot();
+        stats.epoch = self.cell.epoch();
+        stats.reloads = self.cell.reloads();
+        stats
+    }
+
+    /// The epoch-swapped cell this server answers from. Publishing a
+    /// replacement service through it hot-reloads the server (and any
+    /// other server sharing the cell) at the next frame boundary.
+    pub fn cell(&self) -> &Arc<ServiceCell> {
+        &self.cell
     }
 
     /// Stops accepting, lets in-flight frames finish, joins all
     /// threads and returns the final stats.
     pub fn shutdown(mut self) -> ServerStats {
         self.signal_and_join();
-        self.stats.snapshot()
+        self.stats()
     }
 
     fn signal_and_join(&mut self) {
@@ -184,12 +292,32 @@ impl Drop for ServerHandle {
 /// Binds `addr` and serves `service` over the wire protocol until the
 /// returned handle is shut down (or dropped).
 ///
+/// The service is wrapped in a fresh [`ServiceCell`]; use
+/// [`serve_cell`] to share a cell across servers or keep a reload
+/// handle outside the server.
+///
 /// # Errors
 ///
 /// Propagates the bind failure; everything after the bind runs on the
 /// server's own threads.
 pub fn serve(
     service: IoTSecurityService,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    serve_cell(Arc::new(ServiceCell::new(service)), addr, config)
+}
+
+/// Binds `addr` and serves whatever `cell` currently publishes,
+/// re-pinning the epoch at every frame boundary — the hot-reloadable
+/// entry point behind [`serve`] and `Sentinel::serve`.
+///
+/// # Errors
+///
+/// Propagates the bind failure; everything after the bind runs on the
+/// server's own threads.
+pub fn serve_cell(
+    cell: Arc<ServiceCell>,
     addr: impl ToSocketAddrs,
     config: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
@@ -204,21 +332,23 @@ pub fn serve(
     let accept = {
         let shutdown = Arc::clone(&shutdown);
         let stats = Arc::clone(&stats);
+        let cell = Arc::clone(&cell);
         std::thread::Builder::new()
             .name("sentinel-serve".to_string())
-            .spawn(move || run(listener, service, config, shutdown, stats))?
+            .spawn(move || run(listener, cell, config, shutdown, stats))?
     };
     Ok(ServerHandle {
         local_addr,
         shutdown,
         stats,
+        cell,
         accept: Some(accept),
     })
 }
 
 fn run(
     listener: TcpListener,
-    service: IoTSecurityService,
+    cell: Arc<ServiceCell>,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
     stats: Arc<SharedStats>,
@@ -237,13 +367,13 @@ fn run(
     let (sender, receiver): (SyncSender<TcpStream>, Receiver<TcpStream>) =
         mpsc::sync_channel(workers * 4);
     let receiver = Mutex::new(receiver);
-    // Scoped threads: workers borrow the service, the flag and the
+    // Scoped threads: workers borrow the cell, the flag and the
     // stats for the lifetime of the scope, which ends only after the
     // accept loop broke and every worker drained out.
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
             let receiver = &receiver;
-            let service = &service;
+            let cell = &cell;
             let config = &config;
             let shutdown = &shutdown;
             let stats = &stats;
@@ -256,7 +386,7 @@ fn run(
                 };
                 match next {
                     Ok(stream) => {
-                        handle_connection(stream, service, config, batch_workers, shutdown, stats)
+                        handle_connection(stream, cell, config, batch_workers, shutdown, stats)
                     }
                     Err(_) => break, // channel closed: shutting down
                 }
@@ -294,34 +424,103 @@ fn run(
         }
         drop(sender);
     })
-    .expect("server worker panicked");
+    .expect("server scope failed");
 }
 
 fn handle_connection(
     stream: TcpStream,
-    service: &IoTSecurityService,
+    cell: &ServiceCell,
     config: &ServerConfig,
     batch_workers: usize,
     shutdown: &AtomicBool,
     stats: &SharedStats,
 ) {
-    stats.connections_active.fetch_add(1, Ordering::Relaxed);
-    let tally = serve_connection(stream, service, config, batch_workers, shutdown);
-    stats
-        .frames_served
-        .fetch_add(tally.frames, Ordering::Relaxed);
-    stats
-        .queries_answered
-        .fetch_add(tally.queries, Ordering::Relaxed);
-    stats
-        .protocol_errors
-        .fetch_add(tally.errors, Ordering::Relaxed);
-    stats.connections_active.fetch_sub(1, Ordering::Relaxed);
+    // RAII, not paired fetch_add/fetch_sub: the gauge must return to
+    // zero even when the handler below panics out.
+    let _active = GaugeGuard::increment(&stats.connections_active);
+    // A panic inside service code must cost one connection, not the
+    // whole server: without this catch it would unwind through the
+    // crossbeam scope and tear down every worker.
+    match std::panic::catch_unwind(AssertUnwindSafe(|| {
+        serve_connection(stream, cell, config, batch_workers, shutdown)
+    })) {
+        Ok(tally) => {
+            stats
+                .frames_served
+                .fetch_add(tally.frames, Ordering::Relaxed);
+            stats
+                .queries_answered
+                .fetch_add(tally.queries, Ordering::Relaxed);
+            stats
+                .protocol_errors
+                .fetch_add(tally.errors, Ordering::Relaxed);
+        }
+        Err(_) => {
+            // The stream died inside the closure (dropped while
+            // unwinding), closing the connection; its tally is lost.
+            stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Why a frame could not be read off the socket.
+enum FrameError {
+    /// The transport died or the whole-frame deadline passed — nothing
+    /// sensible can be sent back.
+    Io,
+    /// The header was readable but invalid or refused; report the
+    /// reason to the peer before closing.
+    Wire(WireError),
+}
+
+/// Reads one full frame: completes the header around the already-read
+/// `first` byte, validates it, then lands the payload in `read_buf` —
+/// resized in place, so the per-connection buffer is reused frame
+/// after frame and steady-state reads allocate nothing.
+///
+/// `peer_version` is updated as soon as the header decodes, so even a
+/// refused frame (e.g. over-cap) is answered at the version the peer
+/// actually spoke.
+fn read_frame<'a>(
+    stream: &mut TcpStream,
+    first: u8,
+    config: &ServerConfig,
+    read_buf: &'a mut Vec<u8>,
+    peer_version: &mut u8,
+) -> Result<(FrameHeader, &'a [u8]), FrameError> {
+    // A frame started: header and payload together must arrive within
+    // one whole-frame deadline — dripping one byte per read cannot
+    // stretch it (slow-loris guard).
+    let deadline = Instant::now() + config.io_timeout;
+    let mut header = [0u8; HEADER_LEN];
+    header[0] = first;
+    read_exact_deadline(stream, &mut header[1..], deadline).map_err(|_| FrameError::Io)?;
+    let header = wire::decode_header(&header).map_err(FrameError::Wire)?;
+    *peer_version = header.version;
+    // Admin reload frames carry whole model documents; everything else
+    // stays under the tight query-path cap. Without the admin flag the
+    // generous cap never applies — unauthorized peers cannot make the
+    // server size a large buffer — and neither does a version-1 frame,
+    // where the reload kind cannot be valid anyway.
+    let cap = if header.kind == wire::kind::RELOAD && header.version >= 2 && config.admin {
+        config.max_reload_bytes.max(config.max_frame_bytes)
+    } else {
+        config.max_frame_bytes
+    };
+    if header.len > cap {
+        return Err(FrameError::Wire(WireError::FrameTooLarge {
+            len: header.len,
+            max: cap,
+        }));
+    }
+    read_buf.resize(header.len as usize, 0);
+    read_exact_deadline(stream, read_buf, deadline).map_err(|_| FrameError::Io)?;
+    Ok((header, read_buf.as_slice()))
 }
 
 fn serve_connection(
     mut stream: TcpStream,
-    service: &IoTSecurityService,
+    cell: &ServiceCell,
     config: &ServerConfig,
     batch_workers: usize,
     shutdown: &AtomicBool,
@@ -329,45 +528,103 @@ fn serve_connection(
     let _ = stream.set_nodelay(true);
     let mut tally = ConnectionTally::default();
     let mut write_buf = Vec::new();
+    let mut read_buf = Vec::new();
+    // Pin the current model epoch; re-pinned at every frame boundary
+    // below (wait-free unless a reload landed), never mid-frame — a
+    // batch response is always computed against exactly one epoch.
+    let mut pinned: ServiceEpoch = cell.load();
+    // Until a frame arrives we answer at our own version; after that,
+    // at the version the peer last spoke (v1 clients get v1 answers).
+    let mut peer_version = wire::VERSION;
     // Idle phase between frames: poll for the first header byte so the
     // worker can notice shutdown; `Ok(None)` is clean EOF or shutdown,
     // `Err` a dead socket — both end the connection.
     while let Ok(Some(first)) = poll_first_byte(&mut stream, config, shutdown) {
-        // A frame started: header and payload together must arrive
-        // within one whole-frame deadline — dripping one byte per
-        // read cannot stretch it (slow-loris guard).
-        let deadline = Instant::now() + config.io_timeout;
-        let mut header = [0u8; HEADER_LEN];
-        header[0] = first;
-        if read_exact_deadline(&mut stream, &mut header[1..], deadline).is_err() {
-            tally.errors += 1;
-            break;
-        }
-        let parsed = match wire::decode_header(&header) {
-            Ok(parsed) if parsed.len > config.max_frame_bytes => Err(WireError::FrameTooLarge {
-                len: parsed.len,
-                max: config.max_frame_bytes,
-            }),
-            other => other,
-        };
-        let header = match parsed {
-            Ok(header) => header,
-            Err(error) => {
+        let decoded = match read_frame(&mut stream, first, config, &mut read_buf, &mut peer_version)
+        {
+            Ok((header, payload)) => {
+                if header.kind == wire::kind::RELOAD && header.version >= 2 {
+                    // Admin frames are handled straight from the
+                    // borrowed payload: a model document is large, and
+                    // decoding it into an owned message first would
+                    // hold it in memory twice.
+                    if !config.admin {
+                        tally.errors += 1;
+                        let _ = send_message(
+                            &mut stream,
+                            &mut write_buf,
+                            peer_version,
+                            &Message::Error(ErrorFrame {
+                                code: ErrorCode::AdminDisabled,
+                                message: "this server's admin channel is disabled".to_string(),
+                            }),
+                        );
+                        break;
+                    }
+                    match handle_reload(cell, payload) {
+                        Ok(ack) => {
+                            // Serve the model we just published from
+                            // this connection's next answer on.
+                            cell.refresh(&mut pinned);
+                            if send_message(
+                                &mut stream,
+                                &mut write_buf,
+                                peer_version,
+                                &Message::ReloadAck(ack),
+                            )
+                            .is_err()
+                            {
+                                break;
+                            }
+                            tally.frames += 1;
+                        }
+                        Err(message) => {
+                            // A refused reload is not a framing error:
+                            // the connection stays usable.
+                            tally.errors += 1;
+                            if send_message(
+                                &mut stream,
+                                &mut write_buf,
+                                peer_version,
+                                &Message::Error(ErrorFrame {
+                                    code: ErrorCode::ReloadRejected,
+                                    message,
+                                }),
+                            )
+                            .is_err()
+                            {
+                                break;
+                            }
+                        }
+                    }
+                    // Model documents dwarf query frames; return the
+                    // borrowed capacity instead of pinning it for the
+                    // connection's lifetime. (`shrink_to` never drops
+                    // below the current length, so empty the buffer
+                    // first.)
+                    read_buf.clear();
+                    read_buf.shrink_to(config.max_frame_bytes as usize);
+                    continue;
+                }
+                wire::decode_payload_at(header.version, header.kind, payload)
+            }
+            Err(FrameError::Io) => {
+                tally.errors += 1;
+                break;
+            }
+            Err(FrameError::Wire(error)) => {
                 // Framing is broken (or refused): report and close —
                 // the byte stream cannot be resynchronised.
                 tally.errors += 1;
-                let _ = send_error(&mut stream, &mut write_buf, &error);
+                let _ = send_error(&mut stream, &mut write_buf, peer_version, &error);
                 break;
             }
         };
-        let mut payload = vec![0u8; header.len as usize];
-        if read_exact_deadline(&mut stream, &mut payload, deadline).is_err() {
-            tally.errors += 1;
-            break;
-        }
-        match wire::decode_payload(header.kind, &payload) {
+        cell.refresh(&mut pinned);
+        match decoded {
             Ok(Message::Ping) => {
-                if send_message(&mut stream, &mut write_buf, &Message::Pong).is_err() {
+                if send_message(&mut stream, &mut write_buf, peer_version, &Message::Pong).is_err()
+                {
                     break;
                 }
                 tally.frames += 1;
@@ -378,6 +635,7 @@ fn serve_connection(
                     let _ = send_message(
                         &mut stream,
                         &mut write_buf,
+                        peer_version,
                         &Message::Error(ErrorFrame {
                             code: ErrorCode::BatchTooLarge,
                             message: format!(
@@ -389,9 +647,15 @@ fn serve_connection(
                     );
                     break;
                 }
+                if let Some(hook) = &config.fault_injection {
+                    hook(&request);
+                }
                 // Explicit worker count: the pool's connections share
                 // the machine; auto-sizing would hand every connection
-                // all cores at once.
+                // all cores at once. The whole batch — identification
+                // and name resolution — runs against the one pinned
+                // epoch.
+                let service = pinned.service();
                 let responses = service.handle_batch_with(&request.fingerprints, batch_workers);
                 let queries = responses.len() as u64;
                 let items: Vec<ResponseItem> = responses
@@ -408,6 +672,7 @@ fn serve_connection(
                 if send_message(
                     &mut stream,
                     &mut write_buf,
+                    peer_version,
                     &Message::QueryResponse(QueryResponse { items }),
                 )
                 .is_err()
@@ -417,25 +682,40 @@ fn serve_connection(
                 tally.frames += 1;
                 tally.queries += queries;
             }
-            Ok(_) => {
+            // Reload frames never reach here: they are handled above,
+            // straight from the borrowed payload.
+            Ok(other) => {
                 // Server-to-client messages arriving at the server.
                 tally.errors += 1;
                 let _ = send_error(
                     &mut stream,
                     &mut write_buf,
-                    &WireError::UnsupportedKind(header.kind),
+                    peer_version,
+                    &WireError::UnsupportedKind(other.kind()),
                 );
                 break;
             }
             Err(error) => {
                 tally.errors += 1;
-                let _ = send_error(&mut stream, &mut write_buf, &error);
+                let _ = send_error(&mut stream, &mut write_buf, peer_version, &error);
                 break;
             }
         }
     }
     let _ = stream.shutdown(Shutdown::Both);
     tally
+}
+
+/// Parses a model document and publishes it through the cell,
+/// returning the ack to send or the rejection message.
+fn handle_reload(cell: &ServiceCell, model_doc: &[u8]) -> Result<ReloadAck, String> {
+    let identifier =
+        persist::read_identifier(model_doc).map_err(|e| format!("model document: {e}"))?;
+    let types = identifier.registry().len() as u32;
+    let epoch = cell
+        .replace_identifier(identifier)
+        .map_err(|e| e.to_string())?;
+    Ok(ReloadAck { epoch, types })
 }
 
 /// Waits for the first byte of the next frame, returning `None` on
@@ -503,17 +783,23 @@ fn read_exact_deadline(
 fn send_message(
     stream: &mut TcpStream,
     buf: &mut Vec<u8>,
+    version: u8,
     message: &Message,
 ) -> std::io::Result<()> {
     buf.clear();
-    wire::encode_frame(message, buf)
+    wire::encode_frame_at(version, message, buf)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     stream.write_all(buf)?;
     stream.flush()
 }
 
 /// Maps a decode failure to the error frame the client sees.
-fn send_error(stream: &mut TcpStream, buf: &mut Vec<u8>, error: &WireError) -> std::io::Result<()> {
+fn send_error(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    version: u8,
+    error: &WireError,
+) -> std::io::Result<()> {
     let code = match error {
         WireError::UnsupportedVersion(_) => ErrorCode::UnsupportedVersion,
         WireError::FrameTooLarge { .. } => ErrorCode::FrameTooLarge,
@@ -523,9 +809,109 @@ fn send_error(stream: &mut TcpStream, buf: &mut Vec<u8>, error: &WireError) -> s
     send_message(
         stream,
         buf,
+        version,
         &Message::Error(ErrorFrame {
             code,
             message: error.to_string(),
         }),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Completes `read_frame` against a peer that writes `frames` and
+    /// returns the read buffer used, for capacity/reuse inspection.
+    fn drive_read_frames(frames: Vec<Vec<u8>>) -> (Vec<(u8, usize)>, Vec<u8>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            for frame in frames {
+                stream.write_all(&frame).expect("write frame");
+            }
+            stream.flush().unwrap();
+            // Keep the socket open until the reader is done.
+            let mut sink = [0u8; 1];
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+            let _ = stream.read(&mut sink);
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        let config = ServerConfig {
+            io_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
+        };
+        let shutdown = AtomicBool::new(false);
+        let mut read_buf = Vec::new();
+        let mut peer_version = wire::VERSION;
+        let mut seen = Vec::new();
+        while let Ok(Some(first)) = poll_first_byte(&mut stream, &config, &shutdown) {
+            match read_frame(
+                &mut stream,
+                first,
+                &config,
+                &mut read_buf,
+                &mut peer_version,
+            ) {
+                Ok((header, payload)) => seen.push((header.kind, payload.len())),
+                Err(_) => break,
+            }
+            if seen.len() == 4 {
+                break;
+            }
+        }
+        drop(stream);
+        writer.join().unwrap();
+        (seen, read_buf)
+    }
+
+    #[test]
+    fn read_buffer_is_reused_across_frames() {
+        let mut small = Vec::new();
+        wire::encode_frame(
+            &Message::Error(ErrorFrame {
+                code: ErrorCode::Internal,
+                message: "x".repeat(100),
+            }),
+            &mut small,
+        )
+        .unwrap();
+        let mut big = Vec::new();
+        wire::encode_frame(
+            &Message::Error(ErrorFrame {
+                code: ErrorCode::Internal,
+                message: "y".repeat(400),
+            }),
+            &mut big,
+        )
+        .unwrap();
+        let mut ping = Vec::new();
+        wire::encode_frame(&Message::Ping, &mut ping).unwrap();
+
+        let (seen, read_buf) = drive_read_frames(vec![small, big.clone(), ping, big]);
+        assert_eq!(
+            seen.iter().map(|(_, len)| *len).collect::<Vec<_>>(),
+            vec![103, 403, 0, 403]
+        );
+        // One buffer served all four frames: capacity grew to cover
+        // the largest payload and stayed put through the empty and
+        // repeated frames — no per-frame allocation.
+        assert!(read_buf.capacity() >= 403, "buffer kept its capacity");
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_before_the_buffer_grows() {
+        let mut frame = Vec::new();
+        wire::encode_frame(&Message::Ping, &mut frame).unwrap();
+        frame[6..10].copy_from_slice(&(wire::DEFAULT_MAX_FRAME_BYTES + 1).to_be_bytes());
+        let (seen, read_buf) = drive_read_frames(vec![frame]);
+        assert!(seen.is_empty());
+        assert_eq!(
+            read_buf.capacity(),
+            0,
+            "refused frame must not size the buffer"
+        );
+    }
 }

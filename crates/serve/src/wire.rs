@@ -21,15 +21,24 @@
 //! | `0x02` | [`QueryResponse`] | count `u16`, then per item: tag `u8` (0 unknown / 1 known), type id `u32` (known only), isolation `u8` (0 strict / 1 restricted / 2 trusted), flags `u8` (bit 0: discrimination ran, bit 1: name follows), then name `u16` len + UTF-8 (flagged only) |
 //! | `0x03` | `Ping` | empty |
 //! | `0x04` | `Pong` | empty |
+//! | `0x05` | [`ReloadRequest`] *(v2, admin)* | the raw v2 model document bytes (see `sentinel_core::persist`) |
+//! | `0x06` | [`ReloadAck`] *(v2)* | epoch `u64`, type count `u32` |
 //! | `0x7F` | [`ErrorFrame`] | code `u8`, message `u16` len + UTF-8 |
 //!
 //! # Version policy
 //!
-//! The version byte is [`VERSION`]. A server receiving any other
-//! version answers with an [`ErrorCode::UnsupportedVersion`] error
-//! frame (encoded at its own version) and closes the connection;
-//! payload layouts are only ever extended under a new version byte, so
-//! a frame that decodes at all decodes unambiguously.
+//! The current version byte is [`VERSION`] (2); every version back to
+//! [`MIN_VERSION`] (1) is still decoded, and responders answer at the
+//! version the request arrived under, so version-1 clients keep
+//! working against version-2 servers. Version 2 changes no existing
+//! payload layout — it only adds the admin `Reload`/`ReloadAck` kinds,
+//! which are rejected as [`WireError::UnsupportedKind`] when carried
+//! under version 1. A receiver seeing a version outside
+//! `MIN_VERSION..=VERSION` answers with an
+//! [`ErrorCode::UnsupportedVersion`] error frame (encoded at its own
+//! version) and closes the connection; payload layouts are only ever
+//! changed under a new version byte, so a frame that decodes at all
+//! decodes unambiguously.
 //!
 //! # Robustness
 //!
@@ -50,7 +59,10 @@ use std::fmt;
 pub const MAGIC: u32 = 0x534E_544C;
 
 /// Current protocol version.
-pub const VERSION: u8 = 1;
+pub const VERSION: u8 = 2;
+
+/// Oldest protocol version still decoded (and answered in kind).
+pub const MIN_VERSION: u8 = 1;
 
 /// Size of the fixed frame header (magic + version + kind + length).
 pub const HEADER_LEN: usize = 10;
@@ -68,8 +80,20 @@ pub mod kind {
     pub const PING: u8 = 0x03;
     /// Liveness answer.
     pub const PONG: u8 = 0x04;
+    /// Model hot-reload request (v2, admin-gated server side).
+    pub const RELOAD: u8 = 0x05;
+    /// Acknowledgement of a completed reload (v2).
+    pub const RELOAD_ACK: u8 = 0x06;
     /// Protocol error report.
     pub const ERROR: u8 = 0x7F;
+}
+
+/// The oldest version a message kind can travel under.
+fn kind_min_version(kind_byte: u8) -> u8 {
+    match kind_byte {
+        kind::RELOAD | kind::RELOAD_ACK => 2,
+        _ => 1,
+    }
 }
 
 /// Why a frame failed to encode or decode.
@@ -118,7 +142,10 @@ impl fmt::Display for WireError {
         match self {
             WireError::BadMagic(got) => write!(f, "bad frame magic {got:#010x}"),
             WireError::UnsupportedVersion(v) => {
-                write!(f, "unsupported protocol version {v} (expected {VERSION})")
+                write!(
+                    f,
+                    "unsupported protocol version {v} (expected {MIN_VERSION}..={VERSION})"
+                )
             }
             WireError::UnsupportedKind(k) => write!(f, "unsupported message kind {k:#04x}"),
             WireError::FrameTooLarge { len, max } => {
@@ -158,6 +185,12 @@ pub enum ErrorCode {
     BatchTooLarge,
     /// The peer failed internally while handling the request.
     Internal,
+    /// An admin frame (reload) reached a server whose admin channel is
+    /// disabled.
+    AdminDisabled,
+    /// A reload was refused: the model document did not parse, or its
+    /// registry would invalidate already-issued type ids.
+    ReloadRejected,
 }
 
 impl ErrorCode {
@@ -170,6 +203,8 @@ impl ErrorCode {
             ErrorCode::UnsupportedKind => 4,
             ErrorCode::BatchTooLarge => 5,
             ErrorCode::Internal => 6,
+            ErrorCode::AdminDisabled => 7,
+            ErrorCode::ReloadRejected => 8,
         }
     }
 
@@ -182,6 +217,8 @@ impl ErrorCode {
             4 => ErrorCode::UnsupportedKind,
             5 => ErrorCode::BatchTooLarge,
             6 => ErrorCode::Internal,
+            7 => ErrorCode::AdminDisabled,
+            8 => ErrorCode::ReloadRejected,
             other => {
                 return Err(WireError::BadValue {
                     field: "error code",
@@ -200,6 +237,8 @@ impl ErrorCode {
             ErrorCode::UnsupportedKind => "unsupported-kind",
             ErrorCode::BatchTooLarge => "batch-too-large",
             ErrorCode::Internal => "internal",
+            ErrorCode::AdminDisabled => "admin-disabled",
+            ErrorCode::ReloadRejected => "reload-rejected",
         }
     }
 }
@@ -247,6 +286,27 @@ pub struct ErrorFrame {
     pub message: String,
 }
 
+/// An admin request to hot-swap the server's model (v2).
+///
+/// The payload is the raw bytes of a v2 model document
+/// (`sentinel_core::persist`); the server loads it into a fresh
+/// service and publishes it as the next epoch, provided its
+/// `TypeRegistry` extends the currently served one.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReloadRequest {
+    /// The model document bytes.
+    pub model: Vec<u8>,
+}
+
+/// The server's answer to a successful [`ReloadRequest`] (v2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReloadAck {
+    /// The epoch the reloaded service was published under.
+    pub epoch: u64,
+    /// Device types the reloaded service knows.
+    pub types: u32,
+}
+
 /// Any message the protocol can carry.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -258,6 +318,10 @@ pub enum Message {
     Ping,
     /// Liveness answer (server → client).
     Pong,
+    /// Model hot-reload request (admin client → server, v2).
+    Reload(ReloadRequest),
+    /// Reload acknowledgement (server → admin client, v2).
+    ReloadAck(ReloadAck),
     /// Protocol error (server → client).
     Error(ErrorFrame),
 }
@@ -270,14 +334,25 @@ impl Message {
             Message::QueryResponse(_) => kind::QUERY_RESPONSE,
             Message::Ping => kind::PING,
             Message::Pong => kind::PONG,
+            Message::Reload(_) => kind::RELOAD,
+            Message::ReloadAck(_) => kind::RELOAD_ACK,
             Message::Error(_) => kind::ERROR,
         }
+    }
+
+    /// The oldest protocol version this message can travel under.
+    pub fn min_version(&self) -> u8 {
+        kind_min_version(self.kind())
     }
 }
 
 /// A decoded frame header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameHeader {
+    /// The protocol version the frame arrived under (within
+    /// [`MIN_VERSION`]`..=`[`VERSION`]). Responders answer at this
+    /// version.
+    pub version: u8,
     /// The message-kind byte (not yet validated against known kinds).
     pub kind: u8,
     /// Payload length in bytes.
@@ -294,11 +369,12 @@ pub fn decode_header(header: &[u8; HEADER_LEN]) -> Result<FrameHeader, WireError
         return Err(WireError::BadMagic(magic));
     }
     let version = header[4];
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(WireError::UnsupportedVersion(version));
     }
     let len = u32::from_be_bytes([header[6], header[7], header[8], header[9]]);
     Ok(FrameHeader {
+        version,
         kind: header[5],
         len,
     })
@@ -316,12 +392,41 @@ pub fn decode_header(header: &[u8; HEADER_LEN]) -> Result<FrameHeader, WireError
 /// width (batch > 65535, fingerprint > 65535 columns, name or error
 /// message > 65535 bytes, payload > `u32::MAX`).
 pub fn encode_frame(message: &Message, buf: &mut Vec<u8>) -> Result<(), WireError> {
-    write_frame(message.kind(), buf, |buf| match message {
+    encode_frame_at(VERSION, message, buf)
+}
+
+/// Like [`encode_frame`], but stamps an explicit protocol `version`
+/// byte — the path responders use to answer a request at the version
+/// it arrived under.
+///
+/// # Errors
+///
+/// As for [`encode_frame`], plus [`WireError::UnsupportedKind`] when
+/// the message does not exist at `version` (the v2 reload kinds under
+/// version 1) and [`WireError::UnsupportedVersion`] for versions this
+/// build does not speak.
+pub fn encode_frame_at(version: u8, message: &Message, buf: &mut Vec<u8>) -> Result<(), WireError> {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    if message.min_version() > version {
+        return Err(WireError::UnsupportedKind(message.kind()));
+    }
+    write_frame(version, message.kind(), buf, |buf| match message {
         Message::QueryRequest(request) => {
             encode_query_request(request.resolve_names, &request.fingerprints, buf)
         }
         Message::QueryResponse(response) => encode_query_response(response, buf),
         Message::Ping | Message::Pong => Ok(()),
+        Message::Reload(request) => {
+            buf.put_slice(&request.model);
+            Ok(())
+        }
+        Message::ReloadAck(ack) => {
+            buf.put_u64(ack.epoch);
+            buf.put_u32(ack.types);
+            Ok(())
+        }
         Message::Error(error) => encode_error(error, buf),
     })
 }
@@ -339,7 +444,7 @@ pub fn encode_query_request_frame(
     fingerprints: &[Fingerprint],
     buf: &mut Vec<u8>,
 ) -> Result<(), WireError> {
-    write_frame(kind::QUERY_REQUEST, buf, |buf| {
+    write_frame(VERSION, kind::QUERY_REQUEST, buf, |buf| {
         encode_query_request(resolve_names, fingerprints, buf)
     })
 }
@@ -348,13 +453,14 @@ pub fn encode_query_request_frame(
 /// patching, and rollback of `buf` to its original length on any
 /// failure.
 fn write_frame(
+    version: u8,
     kind_byte: u8,
     buf: &mut Vec<u8>,
     payload: impl FnOnce(&mut Vec<u8>) -> Result<(), WireError>,
 ) -> Result<(), WireError> {
     let start = buf.len();
     buf.put_u32(MAGIC);
-    buf.put_u8(VERSION);
+    buf.put_u8(version);
     buf.put_u8(kind_byte);
     buf.put_u32(0); // payload length, patched below
     let payload_start = buf.len();
@@ -375,18 +481,37 @@ fn write_frame(
     Ok(())
 }
 
-/// Decodes the payload of a frame whose header announced `kind`.
+/// Decodes the payload of a frame whose header announced `kind`, at
+/// the current protocol version.
 ///
 /// The payload must be exactly the message: trailing bytes are
 /// rejected, every count is validated against the available bytes, and
 /// no input can cause a panic.
 pub fn decode_payload(kind_byte: u8, payload: &[u8]) -> Result<Message, WireError> {
+    decode_payload_at(VERSION, kind_byte, payload)
+}
+
+/// Like [`decode_payload`], but honours the protocol `version` the
+/// frame's header carried: kinds introduced after `version` are
+/// rejected as [`WireError::UnsupportedKind`], exactly as a peer of
+/// that version would reject them.
+pub fn decode_payload_at(version: u8, kind_byte: u8, payload: &[u8]) -> Result<Message, WireError> {
+    if kind_min_version(kind_byte) > version {
+        return Err(WireError::UnsupportedKind(kind_byte));
+    }
     let mut reader = Reader::new(payload);
     let message = match kind_byte {
         kind::QUERY_REQUEST => Message::QueryRequest(decode_query_request(&mut reader)?),
         kind::QUERY_RESPONSE => Message::QueryResponse(decode_query_response(&mut reader)?),
         kind::PING => Message::Ping,
         kind::PONG => Message::Pong,
+        kind::RELOAD => Message::Reload(ReloadRequest {
+            model: reader.take(reader.remaining())?.to_vec(),
+        }),
+        kind::RELOAD_ACK => Message::ReloadAck(ReloadAck {
+            epoch: reader.u64()?,
+            types: reader.u32()?,
+        }),
         kind::ERROR => Message::Error(decode_error(&mut reader)?),
         other => return Err(WireError::UnsupportedKind(other)),
     };
@@ -417,7 +542,10 @@ pub fn decode_frame(bytes: &[u8], max_frame_bytes: u32) -> Result<(Message, usiz
     let Some(payload) = bytes[HEADER_LEN..].get(..len) else {
         return Err(WireError::Truncated);
     };
-    Ok((decode_payload(header.kind, payload)?, HEADER_LEN + len))
+    Ok((
+        decode_payload_at(header.version, header.kind, payload)?,
+        HEADER_LEN + len,
+    ))
 }
 
 // ----- request ------------------------------------------------------
@@ -655,6 +783,13 @@ impl<'a> Reader<'a> {
         let b = self.take(4)?;
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
 }
 
 #[cfg(test)]
@@ -719,6 +854,83 @@ mod tests {
             ],
         });
         assert_eq!(roundtrip(&response), response);
+    }
+
+    #[test]
+    fn reload_frames_roundtrip() {
+        let reload = Message::Reload(ReloadRequest {
+            model: b"iot-sentinel-model v2\n...".to_vec(),
+        });
+        assert_eq!(roundtrip(&reload), reload);
+        // An empty document is a valid (if doomed) payload.
+        let empty = Message::Reload(ReloadRequest::default());
+        assert_eq!(roundtrip(&empty), empty);
+        let ack = Message::ReloadAck(ReloadAck {
+            epoch: u64::MAX - 3,
+            types: 28,
+        });
+        assert_eq!(roundtrip(&ack), ack);
+    }
+
+    #[test]
+    fn version_one_frames_still_decode() {
+        let mut buf = Vec::new();
+        encode_frame_at(1, &Message::Ping, &mut buf).unwrap();
+        assert_eq!(buf[4], 1);
+        let (message, consumed) = decode_frame(&buf, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(message, Message::Ping);
+        assert_eq!(consumed, buf.len());
+
+        let request = Message::QueryRequest(QueryRequest {
+            resolve_names: true,
+            fingerprints: vec![fp(&[1, 2, 3])],
+        });
+        let mut buf = Vec::new();
+        encode_frame_at(1, &request, &mut buf).unwrap();
+        assert_eq!(
+            decode_frame(&buf, DEFAULT_MAX_FRAME_BYTES).unwrap().0,
+            request
+        );
+    }
+
+    #[test]
+    fn reload_kinds_do_not_exist_at_version_one() {
+        let reload = Message::Reload(ReloadRequest {
+            model: vec![1, 2, 3],
+        });
+        // A v1 peer can neither send...
+        let mut buf = Vec::new();
+        assert_eq!(
+            encode_frame_at(1, &reload, &mut buf),
+            Err(WireError::UnsupportedKind(kind::RELOAD))
+        );
+        assert!(buf.is_empty(), "refused encode must leave no bytes");
+        // ...nor receive reload kinds: a v2 reload frame rewritten to
+        // claim version 1 is rejected as an unknown kind.
+        encode_frame(&reload, &mut buf).unwrap();
+        buf[4] = 1;
+        assert_eq!(
+            decode_frame(&buf, DEFAULT_MAX_FRAME_BYTES),
+            Err(WireError::UnsupportedKind(kind::RELOAD))
+        );
+    }
+
+    #[test]
+    fn truncated_reload_ack_is_rejected() {
+        let mut buf = Vec::new();
+        encode_frame(
+            &Message::ReloadAck(ReloadAck { epoch: 7, types: 3 }),
+            &mut buf,
+        )
+        .unwrap();
+        // Shorten the payload by one byte (and fix the length prefix).
+        buf.pop();
+        let len = (buf.len() - HEADER_LEN) as u32;
+        buf[6..10].copy_from_slice(&len.to_be_bytes());
+        assert_eq!(
+            decode_frame(&buf, DEFAULT_MAX_FRAME_BYTES),
+            Err(WireError::Truncated)
+        );
     }
 
     #[test]

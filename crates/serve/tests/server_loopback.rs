@@ -1,13 +1,17 @@
 //! Server/client integration over loopback: correctness of remote
-//! answers, protocol-error handling, frame-size guards, stats, and
-//! graceful shutdown.
+//! answers, protocol-error handling, frame-size guards, panic
+//! containment, admin hot-reload, stats, and graceful shutdown.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use sentinel_core::VulnerabilityRecord;
-use sentinel_core::{IoTSecurityService, IsolationClass, Severity, Trainer, VulnerabilityDatabase};
+use sentinel_core::{
+    persist, IoTSecurityService, IsolationClass, Severity, Trainer, VulnerabilityDatabase,
+};
 use sentinel_fingerprint::{Dataset, Fingerprint, LabeledFingerprint, PacketFeatures};
 use sentinel_serve::wire::{self, Message, HEADER_LEN, MAGIC, VERSION};
 use sentinel_serve::{serve, ClientConfig, ClientError, ErrorCode, SentinelClient, ServerConfig};
@@ -254,6 +258,229 @@ fn idle_connections_are_closed_and_slow_frames_time_out() {
     let mut client = SentinelClient::connect(addr, ClientConfig::default()).expect("connect");
     client.ping().expect("ping still works");
     handle.shutdown();
+}
+
+#[test]
+fn panicking_handler_kills_one_connection_not_the_server() {
+    // The hook panics on the first query it sees; everything after
+    // that serves normally.
+    let hits = Arc::new(AtomicU64::new(0));
+    let config = ServerConfig {
+        fault_injection: Some(Arc::new({
+            let hits = Arc::clone(&hits);
+            move |_request: &wire::QueryRequest| {
+                if hits.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("injected handler fault");
+                }
+            }
+        })),
+        ..test_config()
+    };
+    let svc = service();
+    let probe = fp_bits(0b001, &[104, 110, 120]);
+    let expected = svc.handle(&probe);
+    let handle = serve(svc, "127.0.0.1:0", config).expect("bind");
+    let addr = handle.local_addr();
+
+    // The faulted connection dies without an answer…
+    let mut victim = SentinelClient::connect(addr, ClientConfig::default()).expect("connect");
+    assert!(
+        victim.query(&probe).is_err(),
+        "the panicking handler cannot have produced an answer"
+    );
+
+    // …but the server survives: the same (still-connected? no — the
+    // stream died) client reconnects and fresh connections answer.
+    let mut fresh = SentinelClient::connect(addr, ClientConfig::default()).expect("reconnect");
+    let result = fresh
+        .query(&probe)
+        .expect("the server must keep serving after a worker panic");
+    assert_eq!(result.response, expected);
+
+    // The panic is counted (the count lands asynchronously, after the
+    // victim saw its connection die).
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while handle.stats().worker_panics < 1 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.worker_panics, 1, "stats: {stats:?}");
+    assert_eq!(
+        stats.connections_active, 0,
+        "the active gauge must return to zero even across a panic: {stats:?}"
+    );
+    assert_eq!(stats.queries_answered, 1);
+}
+
+#[test]
+fn active_gauge_returns_to_zero_after_abusive_clients() {
+    // A mix of abuse: a panicking handler, raw garbage, and a client
+    // that disappears mid-frame — the gauge must still drain to zero.
+    let config = ServerConfig {
+        fault_injection: Some(Arc::new(|_request: &wire::QueryRequest| {
+            panic!("every query panics")
+        })),
+        ..test_config()
+    };
+    let handle = serve(service(), "127.0.0.1:0", config).expect("bind");
+    let addr = handle.local_addr();
+
+    let probe = fp_bits(0b001, &[104, 110, 120]);
+    for _ in 0..3 {
+        let mut client = SentinelClient::connect(addr, ClientConfig::default()).expect("connect");
+        assert!(client.query(&probe).is_err());
+    }
+    let mut garbage = TcpStream::connect(addr).expect("connect garbage");
+    let _ = garbage.write_all(&[0xAB; 32]);
+    drop(garbage);
+    // A frame announcing a payload that never arrives.
+    let mut half = TcpStream::connect(addr).expect("connect half-frame");
+    let mut frame = Vec::new();
+    wire::encode_frame(&Message::Ping, &mut frame).unwrap();
+    frame[6..10].copy_from_slice(&64u32.to_be_bytes());
+    let _ = half.write_all(&frame);
+    drop(half);
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = handle.stats();
+        if stats.worker_panics >= 3 && stats.connections_active == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "gauge never drained: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.worker_panics, 3, "stats: {stats:?}");
+    assert_eq!(stats.connections_active, 0, "stats: {stats:?}");
+}
+
+/// The served model with one extra incrementally learned type, as a
+/// persisted v2 document.
+fn extended_model_doc(svc: &IoTSecurityService) -> (Vec<u8>, Fingerprint) {
+    let mut identifier = svc.identifier().clone();
+    let new_fps: Vec<Fingerprint> = (0..10)
+        .map(|i| fp_bits(0b1000, &[900 + i, 910, 920]))
+        .collect();
+    identifier
+        .add_device_type("HotType", &new_fps, 9)
+        .expect("incremental training");
+    let mut doc = Vec::new();
+    persist::write_identifier(&mut doc, &identifier).expect("persist");
+    (doc, fp_bits(0b1000, &[903, 910, 920]))
+}
+
+#[test]
+fn admin_reload_hot_swaps_the_model_on_a_live_connection() {
+    let svc = service();
+    let (doc, new_type_probe) = extended_model_doc(&svc);
+    let config = ServerConfig {
+        admin: true,
+        ..test_config()
+    };
+    let handle = serve(svc, "127.0.0.1:0", config).expect("bind");
+    let mut client =
+        SentinelClient::connect(handle.local_addr(), ClientConfig::default()).expect("connect");
+
+    // Before the reload the probe is unknown.
+    let before = client.query(&new_type_probe).expect("query before");
+    assert_eq!(before.response.device_type, None);
+    assert_eq!(handle.stats().epoch, 1);
+
+    let ack = client.reload(doc).expect("reload");
+    assert_eq!(ack.epoch, 2);
+    assert_eq!(ack.types, 4);
+
+    // The *same* connection serves the new model from its next frame:
+    // no reconnect needed, nothing dropped.
+    let after = client.query(&new_type_probe).expect("query after");
+    assert!(
+        after.response.device_type.is_some(),
+        "the reloaded model must identify the new type"
+    );
+    // The advisory database carried over across the swap.
+    let vuln = client
+        .query(&fp_bits(0b010, &[104, 110, 120]))
+        .expect("vuln query");
+    assert_eq!(vuln.response.isolation, IsolationClass::Restricted);
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.epoch, 2);
+    assert_eq!(stats.reloads, 1);
+    assert_eq!(stats.worker_panics, 0);
+}
+
+#[test]
+fn reload_is_refused_without_the_admin_flag() {
+    let svc = service();
+    let (doc, _) = extended_model_doc(&svc);
+    let handle = serve(svc, "127.0.0.1:0", test_config()).expect("bind");
+    let mut client =
+        SentinelClient::connect(handle.local_addr(), ClientConfig::default()).expect("connect");
+    match client.reload(doc) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::AdminDisabled),
+        other => panic!("expected an admin-disabled error, got {other:?}"),
+    }
+    // Nothing was swapped, and the server still answers.
+    let mut fresh =
+        SentinelClient::connect(handle.local_addr(), ClientConfig::default()).expect("connect");
+    fresh.ping().expect("ping");
+    let stats = handle.shutdown();
+    assert_eq!(stats.epoch, 1);
+    assert_eq!(stats.reloads, 0);
+}
+
+#[test]
+fn reload_with_a_mismatched_registry_is_rejected() {
+    // A model trained on a different label universe: its registry
+    // renames every issued id, so swapping it in would corrupt the
+    // meaning of in-flight and stored TypeIds.
+    let mut foreign_ds = Dataset::new();
+    for i in 0..12u32 {
+        foreign_ds.push(LabeledFingerprint::new(
+            "Alpha",
+            fp_bits(0b001, &[100 + i, 110, 120]),
+        ));
+        foreign_ds.push(LabeledFingerprint::new(
+            "Beta",
+            fp_bits(0b010, &[100 + i, 110, 120]),
+        ));
+        foreign_ds.push(LabeledFingerprint::new(
+            "Gamma",
+            fp_bits(0b100, &[100 + i, 110, 120]),
+        ));
+    }
+    let foreign = Trainer::default().train(&foreign_ds, 4).unwrap();
+    let mut foreign_doc = Vec::new();
+    persist::write_identifier(&mut foreign_doc, &foreign).unwrap();
+
+    let config = ServerConfig {
+        admin: true,
+        ..test_config()
+    };
+    let handle = serve(service(), "127.0.0.1:0", config).expect("bind");
+    let mut client =
+        SentinelClient::connect(handle.local_addr(), ClientConfig::default()).expect("connect");
+    match client.reload(foreign_doc) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::ReloadRejected);
+            assert!(message.contains("renames"), "message: {message}");
+        }
+        other => panic!("expected a reload-rejected error, got {other:?}"),
+    }
+    // A garbage document is rejected the same way, and the connection
+    // stays usable through both refusals.
+    match client.reload(b"not a model".to_vec()) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::ReloadRejected),
+        other => panic!("expected a reload-rejected error, got {other:?}"),
+    }
+    client.ping().expect("connection survives refused reloads");
+    let stats = handle.shutdown();
+    assert_eq!(stats.epoch, 1);
+    assert_eq!(stats.reloads, 0);
 }
 
 #[test]

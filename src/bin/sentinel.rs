@@ -55,8 +55,10 @@ USAGE:
       dataset): DIR/<DeviceType>/*.pcap. The subdirectory name becomes
       the fingerprint label.
 
-  sentinel train --dataset <FILE> --model <FILE> [--seed S]
+  sentinel train --dataset <FILE> --model <FILE> [--seed S] [--exclude <NAME>]...
       Train one classifier per device type and persist the model.
+      --exclude drops a device type from the dataset before training
+      (repeatable; useful for staging a later hot-reload).
 
   sentinel identify --model <FILE> --pcap <FILE> [--ignore-mac <MAC>]
       Identify every device in a pcap against a trained model.
@@ -67,15 +69,22 @@ USAGE:
       Vulnerability assessment and isolation level for a device type
       (demo CVE database).
 
-  sentinel serve --model <FILE> [--addr HOST:PORT] [--workers N] [--port-file FILE]
+  sentinel serve --model <FILE> [--addr HOST:PORT] [--workers N] [--port-file FILE] [--admin]
       Serve the trained model as an IoT Security Service over TCP
       (default 127.0.0.1:7787; port 0 picks an ephemeral port). Prints
       the bound address, optionally writes the port to --port-file,
-      and runs until terminated.
+      and runs until terminated. With --admin, `sentinel reload` can
+      hot-swap the served model.
 
   sentinel query --addr HOST:PORT --pcap <FILE> [--ignore-mac <MAC>]
       Identify every device in a pcap against a *running* server —
       the remote counterpart of `sentinel identify`.
+
+  sentinel reload --addr HOST:PORT --model <FILE>
+      Hot-swap the model a running `sentinel serve --admin` answers
+      from, without dropping its connections. The new model's type
+      registry must extend the served one (same types at the same ids,
+      new types appended) — retrain on a superset dataset.
 ";
 
 fn main() -> ExitCode {
@@ -95,6 +104,7 @@ fn main() -> ExitCode {
         "assess" => cmd_assess(rest),
         "serve" => cmd_serve(rest),
         "query" => cmd_query(rest),
+        "reload" => cmd_reload(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -357,7 +367,29 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     let model_path = PathBuf::from(opts.required("model")?);
     let seed: u64 = opts.number("seed", 42)?;
 
-    let dataset = read_dataset(&dataset_path)?;
+    let mut dataset = read_dataset(&dataset_path)?;
+    let excluded: Vec<&str> = opts.all("exclude").collect();
+    if !excluded.is_empty() {
+        for name in &excluded {
+            if !dataset.labels().contains(name) {
+                return Err(format!(
+                    "--exclude {name:?} matches no label in the dataset"
+                ));
+            }
+        }
+        let mut filtered = Dataset::new();
+        for sample in dataset.iter() {
+            if !excluded.contains(&sample.label()) {
+                filtered.push(sample.clone());
+            }
+        }
+        eprintln!(
+            "excluded {} type(s): {}",
+            excluded.len(),
+            excluded.join(", ")
+        );
+        dataset = filtered;
+    }
     eprintln!(
         "training on {} fingerprints across {} types...",
         dataset.len(),
@@ -431,21 +463,23 @@ fn cmd_assess(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let opts = Options::parse(args, &[])?;
+    let opts = Options::parse(args, &["admin"])?;
     let model_path = PathBuf::from(opts.required("model")?);
     let addr = opts.first("addr").unwrap_or("127.0.0.1:7787");
     let workers: usize = opts.number("workers", 4)?;
+    let admin = opts.flag("admin");
 
     let file = File::open(&model_path).map_err(|e| format!("opening {model_path:?}: {e}"))?;
     let identifier = persist::read_identifier(BufReader::new(file))
         .map_err(|e| format!("loading model: {e}"))?;
-    let sentinel = SentinelBuilder::new()
+    let mut sentinel = SentinelBuilder::new()
         .trained(identifier)
         .demo_vulnerabilities()
         .build()
         .map_err(|e| format!("assembling service: {e}"))?;
     let config = ServerConfig {
         workers: workers.max(1),
+        admin,
         ..ServerConfig::default()
     };
     let handle = sentinel
@@ -453,8 +487,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("binding {addr}: {e}"))?;
     let bound = handle.local_addr();
     println!(
-        "serving {} device types on {bound} ({workers} workers)",
-        sentinel.identifier().type_count()
+        "serving {} device types on {bound} ({workers} workers{})",
+        sentinel.identifier().type_count(),
+        if admin { ", admin enabled" } else { "" }
     );
     if let Some(port_file) = opts.first("port-file") {
         std::fs::write(port_file, format!("{}\n", bound.port()))
@@ -495,6 +530,26 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             result.response.isolation
         );
     }
+    Ok(())
+}
+
+fn cmd_reload(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &[])?;
+    let addr = opts.required("addr")?;
+    let model_path = PathBuf::from(opts.required("model")?);
+
+    let model = std::fs::read(&model_path).map_err(|e| format!("reading {model_path:?}: {e}"))?;
+    let mut client = SentinelClient::connect(addr, ClientConfig::default())
+        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let ack = client
+        .reload(model)
+        .map_err(|e| format!("reload failed: {e}"))?;
+    println!(
+        "reloaded {}: epoch {} now serves {} device types",
+        model_path.display(),
+        ack.epoch,
+        ack.types
+    );
     Ok(())
 }
 

@@ -27,12 +27,13 @@
 
 use std::collections::VecDeque;
 use std::net::IpAddr;
+use std::sync::Arc;
 
 use sentinel_core::incidents::GatewayId;
 use sentinel_core::{
     CoreError, DeviceTypeIdentifier, Identification, IdentifierConfig, IoTSecurityService,
-    IsolationClass, ServiceResponse, Trainer, TypeId, TypeRegistry, VulnerabilityDatabase,
-    VulnerabilityRecord,
+    IsolationClass, RegistryMismatch, ServiceCell, ServiceResponse, Trainer, TypeId, TypeRegistry,
+    VulnerabilityDatabase, VulnerabilityRecord,
 };
 use sentinel_core::{Endpoint, IncidentReport};
 use sentinel_devices::{generate_dataset, DeviceProfile, NetworkEnvironment};
@@ -320,6 +321,7 @@ impl SentinelBuilder {
         Ok(Sentinel {
             controller,
             events: VecDeque::new(),
+            cell: None,
         })
     }
 }
@@ -333,6 +335,10 @@ impl SentinelBuilder {
 pub struct Sentinel {
     controller: SdnController,
     events: VecDeque<SentinelEvent>,
+    /// The epoch-swapped cell shared with every server started from
+    /// this Sentinel; created on first use ([`Sentinel::serve`] /
+    /// [`Sentinel::reload`] / [`Sentinel::service_cell`]).
+    cell: Option<Arc<ServiceCell>>,
 }
 
 impl Sentinel {
@@ -534,22 +540,96 @@ impl Sentinel {
     /// [`sentinel_serve::wire`]) until the returned handle is shut
     /// down.
     ///
-    /// The server snapshots the service at call time (models are
-    /// immutable once trained, so a snapshot is exactly what a
-    /// deployed IoTSSP serves); later knowledge updates through this
-    /// `Sentinel` do not reach an already-running server — start a new
-    /// one to roll a model out. The `Sentinel` itself stays fully
-    /// usable, including its gateway lifecycle.
+    /// The server answers from this Sentinel's [`ServiceCell`]: the
+    /// current service is published into the cell (on first use) and
+    /// every server started from this `Sentinel` shares it. Knowledge
+    /// updates made afterwards ([`Sentinel::add_device_type`],
+    /// [`Sentinel::add_vulnerability`], …) reach running servers when
+    /// they are published with [`Sentinel::reload`] — connections stay
+    /// up across the swap, and in-flight batches are never answered
+    /// from a mix of models. The `Sentinel` itself stays fully usable,
+    /// including its gateway lifecycle.
     ///
     /// # Errors
     ///
     /// Propagates the socket bind failure.
     pub fn serve(
-        &self,
+        &mut self,
         addr: impl std::net::ToSocketAddrs,
         config: sentinel_serve::ServerConfig,
     ) -> std::io::Result<sentinel_serve::ServerHandle> {
-        sentinel_serve::serve(self.controller.service().clone(), addr, config)
+        let cell = Arc::clone(self.service_cell());
+        sentinel_serve::serve_cell(cell, addr, config)
+    }
+
+    // ----- model hot-reload -----------------------------------------
+
+    /// The epoch-swapped cell behind [`Sentinel::serve`] (created on
+    /// first use, seeded with the current service). Hand a clone to
+    /// [`sentinel_serve::serve_cell`] to run extra servers off the
+    /// same hot-reloadable model.
+    pub fn service_cell(&mut self) -> &Arc<ServiceCell> {
+        if self.cell.is_none() {
+            self.cell = Some(Arc::new(ServiceCell::new(
+                self.controller.service().clone(),
+            )));
+        }
+        self.cell.as_ref().expect("cell just initialised")
+    }
+
+    /// The epoch currently published to servers (0 before the first
+    /// [`Sentinel::serve`] / [`Sentinel::reload`] created the cell).
+    pub fn epoch(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |cell| cell.epoch())
+    }
+
+    /// Publishes this Sentinel's current knowledge — identifier models
+    /// *and* vulnerability database — as the next service epoch, so
+    /// every running server picks it up at its next frame boundary
+    /// without dropping a connection. Call after
+    /// [`Sentinel::add_device_type`], [`Sentinel::add_vulnerability`]
+    /// or [`Sentinel::add_vendor_endpoint`] to roll the update out.
+    /// Returns the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryMismatch`] if the cell was meanwhile advanced to a
+    /// registry this Sentinel's service no longer extends (e.g. a
+    /// wire-admin reload added types this process never saw).
+    pub fn reload(&mut self) -> Result<u64, RegistryMismatch> {
+        let service = self.controller.service().clone();
+        self.service_cell().replace(service)
+    }
+
+    /// Swaps in a newly trained `identifier` — e.g. one reloaded from
+    /// a v2 model document via
+    /// [`sentinel_core::persist::read_identifier`] — keeping the
+    /// current vulnerability database, then publishes the result as
+    /// the next epoch (like [`Sentinel::reload`]).
+    ///
+    /// The identifier's registry must extend the current one: every
+    /// already-issued [`TypeId`] keeps its meaning, new types append.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryMismatch`] when the replacement would invalidate
+    /// issued ids; nothing is swapped in that case.
+    pub fn reload_model(
+        &mut self,
+        identifier: DeviceTypeIdentifier,
+    ) -> Result<u64, RegistryMismatch> {
+        identifier
+            .registry()
+            .ensure_extends(self.controller.service().registry())?;
+        let vulnerabilities = self.controller.service().vulnerabilities().clone();
+        let service = IoTSecurityService::new(identifier, vulnerabilities);
+        // Publish first: the cell may have advanced past this process
+        // (a wire-admin reload), and its own extension check is the
+        // authoritative one. Only a successful publish touches the
+        // in-process service, so an error leaves everything untouched.
+        let epoch = self.service_cell().replace(service.clone())?;
+        *self.controller.service_mut() = service;
+        Ok(epoch)
     }
 
     // ----- component access -----------------------------------------
@@ -804,6 +884,115 @@ mod tests {
         assert_eq!(s.resolve(id), "NovelType");
         let resp = s.handle(&fp_bits(0b1000, &[903, 910, 920]));
         assert_eq!(resp.device_type, Some(id));
+    }
+
+    #[test]
+    fn reload_publishes_knowledge_updates_to_the_cell() {
+        let mut s = sentinel();
+        let cell = Arc::clone(s.service_cell());
+        assert_eq!(s.epoch(), 1);
+        let old_pin = cell.load();
+
+        s.add_vulnerability(
+            "CleanType",
+            VulnerabilityRecord::new("CVE-R-1", "fresh", Severity::Critical),
+        );
+        // The mutation is local until published…
+        assert_eq!(
+            old_pin.handle(&fp_bits(0b001, &[104, 110, 120])).isolation,
+            IsolationClass::Trusted
+        );
+        assert_eq!(s.reload().unwrap(), 2);
+        // …and the cell answers with it afterwards, while the old pin
+        // keeps its epoch until refreshed.
+        assert_eq!(
+            cell.load()
+                .handle(&fp_bits(0b001, &[104, 110, 120]))
+                .isolation,
+            IsolationClass::Restricted
+        );
+        assert_eq!(
+            old_pin.handle(&fp_bits(0b001, &[104, 110, 120])).isolation,
+            IsolationClass::Trusted
+        );
+        assert_eq!(s.epoch(), 2);
+    }
+
+    #[test]
+    fn reload_model_swaps_extended_identifiers_and_rejects_foreign_ones() {
+        let mut s = sentinel();
+        // An extension of the current identifier: same registry prefix
+        // plus one incrementally learned type.
+        let mut extended = s.identifier().clone();
+        let fps: Vec<Fingerprint> = (0..10)
+            .map(|i| fp_bits(0b1000, &[900 + i, 910, 920]))
+            .collect();
+        let new_id = extended.add_device_type("NovelType", &fps, 9).unwrap();
+        assert_eq!(s.reload_model(extended).unwrap(), 2);
+        let resp = s.handle(&fp_bits(0b1000, &[903, 910, 920]));
+        assert_eq!(resp.device_type, Some(new_id));
+        // The advisory registered at build time survives the swap.
+        assert_eq!(
+            s.handle(&fp_bits(0b010, &[104, 110, 120])).isolation,
+            IsolationClass::Restricted
+        );
+
+        // A foreign identifier (different label universe) is refused
+        // and changes nothing.
+        let mut foreign_ds = Dataset::new();
+        for i in 0..12u32 {
+            foreign_ds.push(LabeledFingerprint::new(
+                "Zeta",
+                fp_bits(0b001, &[100 + i, 110, 120]),
+            ));
+            foreign_ds.push(LabeledFingerprint::new(
+                "Eta",
+                fp_bits(0b010, &[100 + i, 110, 120]),
+            ));
+        }
+        let foreign = Trainer::default().train(&foreign_ds, 4).unwrap();
+        assert!(s.reload_model(foreign).is_err());
+        assert_eq!(s.epoch(), 2, "a refused reload must not advance the epoch");
+        assert_eq!(
+            s.handle(&fp_bits(0b1000, &[903, 910, 920])).device_type,
+            Some(new_id)
+        );
+    }
+
+    #[test]
+    fn reload_model_failure_leaves_in_process_service_untouched() {
+        let mut s = sentinel();
+        let cell = Arc::clone(s.service_cell());
+        // A wire-admin reload advances the shared cell past this
+        // process: id 3 is now a type this Sentinel never interned.
+        let mut remote = s.identifier().clone();
+        let remote_fps: Vec<Fingerprint> = (0..10)
+            .map(|i| fp_bits(0b1000, &[900 + i, 910, 920]))
+            .collect();
+        remote
+            .add_device_type("RemoteType", &remote_fps, 9)
+            .unwrap();
+        cell.replace_identifier(remote).unwrap();
+        assert_eq!(cell.epoch(), 2);
+
+        // A locally extended identifier passes the local check but
+        // collides with the cell's id 3 — the publish must fail
+        // *before* anything in-process is swapped.
+        let mut local = s.identifier().clone();
+        let local_fps: Vec<Fingerprint> = (0..10)
+            .map(|i| fp_bits(0b1_0000, &[700 + i, 710, 720]))
+            .collect();
+        local.add_device_type("LocalType", &local_fps, 9).unwrap();
+        let probe = fp_bits(0b1_0000, &[703, 710, 720]);
+        let before = s.handle(&probe);
+        assert!(s.reload_model(local).is_err());
+        assert!(
+            s.identifier().registry().get("LocalType").is_none(),
+            "a failed reload_model must not leave the in-process \
+             service diverged from the served epochs"
+        );
+        assert_eq!(s.handle(&probe), before);
+        assert_eq!(cell.epoch(), 2);
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! End-to-end acceptance for the network front-end: a
 //! [`iot_sentinel::serve`] server started from the `Sentinel` facade
 //! must answer batch queries **byte-identically** to the in-process
-//! `handle_batch`, under concurrent client connections, and survive
-//! malformed frames.
+//! `handle_batch`, under concurrent client connections, survive
+//! malformed frames, and hot-swap model epochs under live traffic
+//! without a single dropped connection or torn batch.
 
 use std::io::Write;
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
+use iot_sentinel::core::{IsolationClass, ServiceResponse};
 use iot_sentinel::core::{Severity, VulnerabilityRecord};
 use iot_sentinel::fingerprint::{Dataset, Fingerprint, LabeledFingerprint, PacketFeatures};
 use iot_sentinel::serve::{ClientConfig, SentinelClient, ServerConfig};
@@ -71,7 +75,7 @@ fn server_config() -> ServerConfig {
 
 #[test]
 fn loopback_batch_is_byte_identical_to_in_process() {
-    let s = sentinel();
+    let mut s = sentinel();
     let batch = probes(150); // spans multiple BATCH_CHUNKs server-side
     let local = s.handle_batch(&batch);
 
@@ -88,7 +92,7 @@ fn loopback_batch_is_byte_identical_to_in_process() {
 
 #[test]
 fn concurrent_clients_all_get_correct_answers() {
-    let s = sentinel();
+    let mut s = sentinel();
     let handle = s.serve("127.0.0.1:0", server_config()).expect("bind");
     let addr = handle.local_addr();
 
@@ -126,7 +130,7 @@ fn concurrent_clients_all_get_correct_answers() {
 
 #[test]
 fn malformed_frames_leave_healthy_clients_unaffected() {
-    let s = sentinel();
+    let mut s = sentinel();
     let handle = s.serve("127.0.0.1:0", server_config()).expect("bind");
     let addr = handle.local_addr();
 
@@ -162,9 +166,132 @@ fn malformed_frames_leave_healthy_clients_unaffected() {
     assert!(stats.protocol_errors >= 3, "stats: {stats:?}");
 }
 
+/// The acceptance pin for hot reload: 4 client threads hammer
+/// `query_batch` while the main thread publishes two new epochs — one
+/// adding a device type, one flipping an advisory's isolation class.
+/// No client may see an error, every batch response must match *one*
+/// published epoch exactly (a mixed-epoch answer means a model swap
+/// tore a batch), and post-reload queries must identify the new type.
+#[test]
+fn reload_under_load_swaps_epochs_without_tearing_or_dropping() {
+    let mut s = sentinel();
+    // One probe per trained type, plus one matching the type published
+    // in the first reload (unknown until then).
+    let batch: Vec<Fingerprint> = vec![
+        fp_bits(0b001, &[104, 110, 120]),
+        fp_bits(0b010, &[105, 110, 120]),
+        fp_bits(0b100, &[106, 110, 120]),
+        fp_bits(0b1000, &[903, 910, 920]),
+    ];
+    // Every expected answer vector is registered here *before* the
+    // epoch that produces it is published, so whatever a client reads
+    // back is already in the list when it checks.
+    let published: Mutex<Vec<Vec<ServiceResponse>>> = Mutex::new(vec![s.handle_batch(&batch)]);
+    let handle = s.serve("127.0.0.1:0", server_config()).expect("bind");
+    let addr = handle.local_addr();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for client_id in 0..4usize {
+            let batch = &batch;
+            let published = &published;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut client = SentinelClient::connect(addr, ClientConfig::default())
+                    .expect("client connects");
+                let mut rounds = 0u64;
+                let mut epochs_seen = std::collections::HashSet::new();
+                while !stop.load(Ordering::Acquire) {
+                    // Zero tolerated errors: a dropped connection or
+                    // errored query during a reload fails the test.
+                    let remote = client
+                        .query_batch(batch)
+                        .unwrap_or_else(|e| panic!("client {client_id} errored: {e}"));
+                    let got: Vec<ServiceResponse> = remote.iter().map(|r| r.response).collect();
+                    let known = published.lock().unwrap();
+                    let epoch = known.iter().position(|expected| *expected == got);
+                    assert!(
+                        epoch.is_some(),
+                        "client {client_id} round {rounds}: response matches no \
+                         published epoch (torn batch?): {got:?} vs {known:?}"
+                    );
+                    epochs_seen.insert(epoch.unwrap());
+                    rounds += 1;
+                }
+                assert!(rounds > 0, "client {client_id} never completed a round");
+                epochs_seen
+            });
+        }
+
+        // Let the clients hit epoch 1, then roll out two epochs under
+        // their feet.
+        std::thread::sleep(Duration::from_millis(60));
+
+        // Reload 1: a new device type appears.
+        let new_fps: Vec<Fingerprint> = (0..10)
+            .map(|i| fp_bits(0b1000, &[900 + i, 910, 920]))
+            .collect();
+        s.add_device_type("HotType", &new_fps, 9)
+            .expect("incremental training");
+        let expected = s.handle_batch(&batch);
+        published.lock().unwrap().push(expected);
+        assert_eq!(s.reload().expect("first reload"), 2);
+
+        std::thread::sleep(Duration::from_millis(60));
+
+        // Reload 2: an advisory flips CleanType's isolation class.
+        s.add_vulnerability(
+            "CleanType",
+            VulnerabilityRecord::new("CVE-HOT-1", "published mid-flight", Severity::Critical),
+        );
+        let expected = s.handle_batch(&batch);
+        published.lock().unwrap().push(expected);
+        assert_eq!(s.reload().expect("second reload"), 3);
+
+        std::thread::sleep(Duration::from_millis(60));
+        stop.store(true, Ordering::Release);
+    });
+
+    // Post-reload: a fresh query identifies the hot-added type and
+    // sees the new advisory's verdict.
+    let final_responses = {
+        let mut client = SentinelClient::connect(addr, ClientConfig::default()).expect("connect");
+        client.query_batch(&batch).expect("post-reload batch")
+    };
+    let hot_id = s.identifier().registry().get("HotType").expect("interned");
+    assert_eq!(final_responses[3].response.device_type, Some(hot_id));
+    assert_eq!(
+        final_responses[0].response.isolation,
+        IsolationClass::Restricted
+    );
+    assert_eq!(
+        final_responses,
+        {
+            let published = published.lock().unwrap();
+            published
+                .last()
+                .unwrap()
+                .iter()
+                .map(|r| iot_sentinel::serve::QueryResult {
+                    response: *r,
+                    name: None,
+                })
+                .collect::<Vec<_>>()
+        },
+        "a fresh connection must serve the final epoch"
+    );
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.reloads, 2, "stats: {stats:?}");
+    assert_eq!(stats.epoch, 3, "stats: {stats:?}");
+    assert_eq!(stats.protocol_errors, 0, "stats: {stats:?}");
+    assert_eq!(stats.worker_panics, 0, "stats: {stats:?}");
+    assert_eq!(stats.connections_active, 0, "stats: {stats:?}");
+}
+
 #[test]
 fn resolved_names_match_the_registry() {
-    let s = sentinel();
+    let mut s = sentinel();
     let handle = s.serve("127.0.0.1:0", server_config()).expect("bind");
     let mut client = SentinelClient::connect(
         handle.local_addr(),

@@ -1,0 +1,133 @@
+//! Allocation accounting for the server's steady-state frame path.
+//!
+//! PR 3 replaced the per-frame `vec![0u8; len]` payload buffer with
+//! one per-connection read buffer that is resized in place (server
+//! *and* client side). This test pins the result with a counting
+//! global allocator: once a connection is warm, a frame round-trip
+//! whose payload decodes without owned data — a ping, or a query with
+//! an empty batch (3 payload bytes, so the read buffer is genuinely
+//! exercised) — performs **zero** heap allocations end to end: client
+//! encode, server read + decode + respond, client read + decode all
+//! run out of reused buffers.
+//!
+//! The test drives the loopback server synchronously (one round-trip
+//! at a time), so every allocation inside the measured window belongs
+//! to the frame path: the accept thread and idle workers only poll
+//! with stack buffers.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use iot_sentinel::fingerprint::{Dataset, Fingerprint, LabeledFingerprint, PacketFeatures};
+use iot_sentinel::serve::{ClientConfig, SentinelClient, ServerConfig};
+use iot_sentinel::SentinelBuilder;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, result)
+}
+
+fn fp_bits(bits: u32, tags: &[u32]) -> Fingerprint {
+    Fingerprint::from_columns(
+        tags.iter()
+            .map(|t| {
+                let mut v = [0u32; 23];
+                for (b, slot) in v.iter_mut().enumerate().take(12) {
+                    *slot = (bits >> b) & 1;
+                }
+                v[18] = *t;
+                PacketFeatures::from_raw(v)
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn steady_state_frames_allocate_nothing_on_the_read_side() {
+    let mut ds = Dataset::new();
+    for i in 0..12u32 {
+        ds.push(LabeledFingerprint::new(
+            "TypeA",
+            fp_bits(0b001, &[100 + i, 110, 120]),
+        ));
+        ds.push(LabeledFingerprint::new(
+            "TypeB",
+            fp_bits(0b010, &[100 + i, 110, 120]),
+        ));
+    }
+    let mut sentinel = SentinelBuilder::new()
+        .dataset(ds)
+        .training_seed(4)
+        .build()
+        .expect("train");
+    let handle = sentinel
+        .serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                poll_interval: Duration::from_millis(20),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+    let mut client =
+        SentinelClient::connect(handle.local_addr(), ClientConfig::default()).expect("connect");
+
+    // Warm-up: grow every reused buffer (client send/receive, server
+    // read/write) to its steady-state capacity.
+    for _ in 0..16 {
+        client.ping().expect("warm-up ping");
+        let empty = client.query_batch(&[]).expect("warm-up empty batch");
+        assert!(empty.is_empty());
+    }
+
+    // Steady state: a ping round-trip (empty payload) and an
+    // empty-batch query round-trip (3 payload bytes through the
+    // server's read buffer, 2 through the client's) — with reused
+    // buffers on both sides, none of it touches the heap.
+    let (allocs, _) = allocations_during(|| {
+        for _ in 0..64 {
+            client.ping().expect("steady-state ping");
+            client.query_batch(&[]).expect("steady-state empty batch");
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "128 warm frame round-trips must not allocate: the read path \
+         reuses one buffer per connection"
+    );
+
+    // Sanity: real queries still answer (and are allowed to allocate —
+    // decoded fingerprints and response vectors are owned data).
+    let result = client
+        .query(&fp_bits(0b001, &[104, 110, 120]))
+        .expect("real query");
+    assert!(result.response.device_type.is_some());
+
+    handle.shutdown();
+}
