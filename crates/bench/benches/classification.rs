@@ -1,31 +1,120 @@
-//! Criterion bench: stage-one Random Forest classification (the
-//! "1 classification" and "27 classifications" rows of Table IV).
+//! Stage-one classification bench: the interpreted tree-walking bank
+//! vs the compiled flat-arena bank (the "1 classification" / "27
+//! classifications" rows of Table IV, plus the §VI-B thousands-of-types
+//! claim at a replicated ~1 000-type bank).
+//!
+//! Besides the human-readable report, writes `BENCH_classification.json`
+//! (ns per query for each variant and the compiled-over-interpreted
+//! speedups) so the perf trajectory is machine-checkable across PRs.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
-use sentinel_core::Trainer;
+use sentinel_bench::bench_report::{measure_ns, write_bench_json};
+use sentinel_core::{CandidateScratch, Trainer};
 use sentinel_devices::{catalog, generate_dataset, NetworkEnvironment};
+use sentinel_fingerprint::FixedFingerprint;
 
-fn bench_classification(c: &mut Criterion) {
+/// Replicas of the 27-type bank forming the large-scale scenario
+/// (27 × 37 = 999 device types).
+const REPLICAS: usize = 37;
+
+fn main() {
     let env = NetworkEnvironment::default();
     let profiles = catalog::standard_catalog();
     let dataset = generate_dataset(&profiles, &env, 10, 1);
     let identifier = Trainer::default().train(&dataset, 7).expect("training");
-    let fixed = dataset.sample(0).fingerprint().to_fixed();
+    let types = identifier.type_count();
 
-    c.bench_function("classify_27_type_bank", |b| {
-        b.iter(|| identifier.classify_candidates(black_box(&fixed)))
-    });
+    // A spread of probes (one per sampled type) so the measurement is
+    // not a single lucky early-exit path; every number below is
+    // normalised to ns per single query.
+    let probes: Vec<FixedFingerprint> = (0..4)
+        .map(|i| dataset.sample(i * 10).fingerprint().to_fixed())
+        .collect();
+    let per_query = |ns_per_pass: f64| ns_per_pass / probes.len() as f64;
 
-    // Single-classifier cost via a 2-type identifier.
-    let two: Vec<_> = profiles[..2].to_vec();
-    let small_ds = generate_dataset(&two, &env, 10, 1);
-    let small = Trainer::default().train(&small_ds, 7).expect("training");
-    let small_fixed = small_ds.sample(0).fingerprint().to_fixed();
-    c.bench_function("classify_2_type_bank", |b| {
-        b.iter(|| small.classify_candidates(black_box(&small_fixed)))
-    });
+    let interpreted_27 = per_query(measure_ns(|| {
+        for fixed in &probes {
+            std::hint::black_box(identifier.classify_candidates_interpreted(fixed));
+        }
+    }));
+
+    let mut scratch = CandidateScratch::new();
+    let compiled_27 = per_query(measure_ns(|| {
+        for fixed in &probes {
+            identifier.classify_candidates_into(fixed, &mut scratch);
+            std::hint::black_box(scratch.candidates());
+        }
+    }));
+
+    // The replicated large bank: same forests tiled into a genuinely
+    // larger arena (memory scales like a real 999-type bank).
+    let large_bank = identifier.compiled_bank().repeat(REPLICAS);
+    let large_types = large_bank.forest_count();
+    let compiled_large = per_query(measure_ns(|| {
+        for fixed in &probes {
+            let mut accepted = 0usize;
+            large_bank.for_each_accepting(fixed.as_slice(), |_| accepted += 1);
+            std::hint::black_box(accepted);
+        }
+    }));
+    let interpreted_large = per_query(measure_ns(|| {
+        for fixed in &probes {
+            for _ in 0..REPLICAS {
+                std::hint::black_box(identifier.classify_candidates_interpreted(fixed));
+            }
+        }
+    }));
+
+    let speedup_27 = interpreted_27 / compiled_27;
+    let speedup_large = interpreted_large / compiled_large;
+
+    println!(
+        "classify_{types}_interpreted{:>28} time: [{:.3} µs/query]",
+        "",
+        interpreted_27 / 1e3
+    );
+    println!(
+        "classify_{types}_compiled{:>31} time: [{:.3} µs/query]",
+        "",
+        compiled_27 / 1e3
+    );
+    println!(
+        "classify_{large_types}_interpreted (replicated){:>14} time: [{:.3} µs/query]",
+        "",
+        interpreted_large / 1e3
+    );
+    println!(
+        "classify_{large_types}_compiled (replicated){:>17} time: [{:.3} µs/query]",
+        "",
+        compiled_large / 1e3
+    );
+    println!(
+        "compiled-over-interpreted speedup: {speedup_27:.2}x at {types} types, \
+         {speedup_large:.2}x at {large_types} types"
+    );
+    println!(
+        "compiled arena: {} nodes, {} KiB for {types} types",
+        identifier.compiled_bank().node_count(),
+        identifier.compiled_bank().arena_bytes() / 1024
+    );
+
+    let path = write_bench_json(
+        "classification",
+        "ns_per_query",
+        &[
+            ("interpreted_27_types", interpreted_27),
+            ("compiled_27_types", compiled_27),
+            ("interpreted_999_types_replicated", interpreted_large),
+            ("compiled_999_types_replicated", compiled_large),
+        ],
+        &[
+            ("speedup_27_types", speedup_27),
+            ("speedup_999_types_replicated", speedup_large),
+            (
+                "compiled_arena_bytes_27_types",
+                identifier.compiled_bank().arena_bytes() as f64,
+            ),
+        ],
+    )
+    .expect("writing bench json");
+    println!("wrote {}", path.display());
 }
-
-criterion_group!(benches, bench_classification);
-criterion_main!(benches);

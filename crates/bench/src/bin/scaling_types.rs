@@ -4,14 +4,18 @@
 //! can easily scale to thousands of device-types while keeping
 //! classification time below 100 ms."
 //!
-//! We time the stage-one classifier bank at increasing type counts by
-//! replicating trained classifiers (classification cost depends only
-//! on the number of classifiers, not on how they were trained).
+//! Where the original harness *projected* large type counts from the
+//! per-classifier cost, this now **measures** them: the trained
+//! 27-classifier bank is compiled into its flat arena and tiled to the
+//! target type count (each replica with its own arena region, so the
+//! memory footprint behaves like a genuinely larger bank), then a full
+//! early-exit voting pass is timed at every size. The interpreted
+//! projection is kept alongside as the baseline the compiled bank is
+//! beating.
 //!
 //! Usage: `scaling_types`
 
-use std::time::Instant;
-
+use sentinel_bench::bench_report::measure_ns;
 use sentinel_bench::evaluation_dataset;
 use sentinel_core::Trainer;
 
@@ -20,35 +24,50 @@ fn main() {
     eprintln!("training the 27-type identifier once...");
     let identifier = Trainer::default().train(&dataset, 7).expect("training");
     let probe = dataset.sample(0).fingerprint().to_fixed();
+    let base_types = identifier.type_count();
 
-    // Measure per-classifier cost from the real 27-classifier bank.
-    let reps = 2_000;
-    let t0 = Instant::now();
-    for _ in 0..reps {
-        let _ = identifier.classify_candidates(&probe);
-    }
-    let bank_ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
-    let per_classifier_ms = bank_ms / identifier.type_count() as f64;
+    // Interpreted baseline: per-classifier cost from the real
+    // 27-classifier bank, projected linearly (it has no early exit, so
+    // the projection is faithful).
+    let interpreted_bank_ns = measure_ns(|| {
+        std::hint::black_box(identifier.classify_candidates_interpreted(&probe));
+    });
+    let interpreted_per_classifier_ms = interpreted_bank_ns / 1e6 / base_types as f64;
 
     println!("== §VI-B: classification scaling in the number of device types ==");
     println!(
-        "measured: one 27-classifier pass = {bank_ms:.4} ms ({per_classifier_ms:.5} ms per classifier)"
+        "interpreted bank: one {base_types}-classifier pass = {:.4} ms \
+         ({:.5} ms per classifier, projected linearly below)",
+        interpreted_bank_ns / 1e6,
+        interpreted_per_classifier_ms
     );
     println!();
     println!(
-        "{:>8} | {:>16} | below 100 ms?",
-        "types", "classification ms"
+        "{:>8} | {:>12} | {:>12} | {:>14} | below 100 ms?",
+        "types", "compiled ms", "arena KiB", "interpreted ms"
     );
-    for types in [27usize, 100, 500, 1_000, 2_000, 5_000] {
-        let projected = per_classifier_ms * types as f64;
+    for &target in &[27usize, 108, 513, 999, 2_001, 4_995] {
+        let replicas = target.div_ceil(base_types);
+        let bank = identifier.compiled_bank().repeat(replicas);
+        let types = bank.forest_count();
+        let sample = probe.as_slice();
+        let compiled_ns = measure_ns(|| {
+            let mut accepted = 0usize;
+            bank.for_each_accepting(sample, |_| accepted += 1);
+            std::hint::black_box(accepted);
+        });
+        let compiled_ms = compiled_ns / 1e6;
+        let projected_interpreted_ms = interpreted_per_classifier_ms * types as f64;
         println!(
-            "{types:>8} | {projected:>16.3} | {}",
-            if projected < 100.0 { "yes" } else { "NO" }
+            "{types:>8} | {compiled_ms:>12.3} | {:>12} | {projected_interpreted_ms:>14.3} | {}",
+            bank.arena_bytes() / 1024,
+            if compiled_ms < 100.0 { "yes" } else { "NO" }
         );
     }
     println!();
     println!(
         "paper: 27 classifications = 0.385 ms; classification stays below 100 ms \
-         into the thousands of types — linear growth, same conclusion here."
+         into the thousands of types — measured (not projected) here on the \
+         compiled bank, same conclusion with margin to spare."
     );
 }

@@ -87,6 +87,121 @@ pub fn fmt_ratio(r: f64) -> String {
     format!("{r:.3}")
 }
 
+/// Machine-readable bench reporting: wall-clock measurement plus a
+/// tiny hand-rolled JSON writer (the workspace has no serde), so
+/// benches can record their numbers as `BENCH_<name>.json` for the
+/// perf trajectory across PRs.
+pub mod bench_report {
+    use std::io::Write;
+    use std::path::PathBuf;
+    use std::time::{Duration, Instant};
+
+    /// Measures `f` and returns the best observed ns-per-iteration.
+    ///
+    /// Same estimator as the vendored criterion shim: a warm-up sizes
+    /// the batch, the batch is timed a handful of times, and the
+    /// lowest per-iteration time wins (minimum is the classic
+    /// noise-resistant location estimator for timing). Honors
+    /// `SENTINEL_BENCH_FAST=1` to shrink the budget in CI.
+    pub fn measure_ns<O, F: FnMut() -> O>(mut f: F) -> f64 {
+        let (warmup, measure, runs) = if std::env::var_os("SENTINEL_BENCH_FAST").is_some() {
+            (Duration::from_millis(5), Duration::from_millis(20), 3)
+        } else {
+            (Duration::from_millis(50), Duration::from_millis(200), 5)
+        };
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < warmup {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        let batch = iters.max(1);
+        let per_run = (measure.as_nanos() as u64 / runs as u64).max(1);
+        let mut best = f64::INFINITY;
+        for _ in 0..runs {
+            let mut done: u64 = 0;
+            let t0 = Instant::now();
+            while done < batch || t0.elapsed().as_nanos() < u128::from(per_run) {
+                std::hint::black_box(f());
+                done += 1;
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / done as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        best
+    }
+
+    /// Renders an f64 for JSON (finite guard; JSON has no NaN/inf).
+    fn json_number(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.2}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// The directory bench reports land in: `$SENTINEL_BENCH_OUT` if
+    /// set, else the workspace root (the nearest ancestor of the
+    /// running package carrying a `Cargo.lock` — `cargo bench` runs
+    /// bench binaries with the *package* directory as CWD), else the
+    /// current directory.
+    pub fn report_dir() -> PathBuf {
+        if let Some(dir) = std::env::var_os("SENTINEL_BENCH_OUT") {
+            return PathBuf::from(dir);
+        }
+        if let Some(manifest_dir) = std::env::var_os("CARGO_MANIFEST_DIR") {
+            let mut dir = PathBuf::from(manifest_dir);
+            loop {
+                if dir.join("Cargo.lock").is_file() {
+                    return dir;
+                }
+                if !dir.pop() {
+                    break;
+                }
+            }
+        }
+        PathBuf::from(".")
+    }
+
+    /// Writes `BENCH_<bench>.json` with a `results` object (the raw
+    /// measurements, in `unit`) and a `derived` object (ratios and
+    /// other computed figures) into [`report_dir`]. Returns the path
+    /// written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn write_bench_json(
+        bench: &str,
+        unit: &str,
+        results: &[(&str, f64)],
+        derived: &[(&str, f64)],
+    ) -> std::io::Result<PathBuf> {
+        let path = report_dir().join(format!("BENCH_{bench}.json"));
+        let mut out = Vec::new();
+        writeln!(out, "{{")?;
+        writeln!(out, "  \"bench\": \"{bench}\",")?;
+        writeln!(out, "  \"unit\": \"{unit}\",")?;
+        writeln!(out, "  \"results\": {{")?;
+        for (i, (name, value)) in results.iter().enumerate() {
+            let comma = if i + 1 == results.len() { "" } else { "," };
+            writeln!(out, "    \"{name}\": {}{comma}", json_number(*value))?;
+        }
+        writeln!(out, "  }},")?;
+        writeln!(out, "  \"derived\": {{")?;
+        for (i, (name, value)) in derived.iter().enumerate() {
+            let comma = if i + 1 == derived.len() { "" } else { "," };
+            writeln!(out, "    \"{name}\": {}{comma}", json_number(*value))?;
+        }
+        writeln!(out, "  }}")?;
+        writeln!(out, "}}")?;
+        std::fs::write(&path, out)?;
+        Ok(path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

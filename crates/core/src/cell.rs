@@ -329,6 +329,12 @@ mod tests {
                 .device_type,
             Some(new_id)
         );
+        // Every published epoch serves the compiled flat-arena bank —
+        // one forest per known type, including the appended one.
+        assert_eq!(
+            pinned.identifier().compiled_bank().forest_count(),
+            pinned.identifier().type_count()
+        );
     }
 
     #[test]

@@ -83,14 +83,15 @@ impl TypeClassifier {
         Ok(self.confidence(fixed)? >= threshold)
     }
 
-    /// The fraction of trees voting positive, in `[0, 1]`.
+    /// The fraction of trees voting positive, in `[0, 1]`. Computed
+    /// through [`RandomForest::positive_vote_fraction`], so even the
+    /// interpreted path allocates no per-call vote vector.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Ml`] for a dimension mismatch.
     pub fn confidence(&self, fixed: &FixedFingerprint) -> Result<f32, CoreError> {
-        let proba = self.forest.predict_proba(fixed.as_slice())?;
-        Ok(proba[1])
+        Ok(self.forest.positive_vote_fraction(fixed.as_slice())?)
     }
 }
 

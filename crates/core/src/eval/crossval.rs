@@ -151,11 +151,11 @@ pub fn cross_validate(
             let result = identifier.identify(sample.fingerprint());
             report.total += 1;
             match &result {
-                crate::identifier::Identification::Known { candidates, .. } => {
-                    if candidates.len() > 1 {
+                crate::identifier::Identification::Known { accepted, .. } => {
+                    if *accepted > 1 {
                         report.multi_match += 1;
-                        report.candidate_sum += candidates.len();
-                        report.distance_computations += candidates.len() * refs;
+                        report.candidate_sum += accepted;
+                        report.distance_computations += accepted * refs;
                     }
                     report
                         .confusion

@@ -3,8 +3,9 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 
-use sentinel_editdist::rank_candidates;
+use sentinel_editdist::dissimilarity_over;
 use sentinel_fingerprint::{Dataset, Fingerprint, FixedFingerprint, FixedScratch};
+use sentinel_ml::{CompiledBank, CompiledBankBuilder};
 
 use crate::classifier::TypeClassifier;
 use crate::error::CoreError;
@@ -14,18 +15,22 @@ use crate::trainer::{fnv1a, negative_indices, reference_indices, IdentifierConfi
 /// The outcome of identifying one fingerprint.
 ///
 /// Carries interned [`TypeId`]s only — resolve them to names through
-/// the identifier's [`TypeRegistry`] (borrowed, never cloned).
+/// the identifier's [`TypeRegistry`] (borrowed, never cloned). The
+/// single-candidate (and unknown) outcomes own no heap data at all, so
+/// the warm query path hands them out allocation-free; `scores` only
+/// materialises when discrimination actually ran.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Identification {
     /// Exactly one prediction was produced.
     Known {
         /// The predicted device type.
         device_type: TypeId,
-        /// Types whose classifiers accepted the fingerprint (≥ 1; more
+        /// How many classifiers accepted the fingerprint (≥ 1; more
         /// than one means discrimination ran).
-        candidates: Vec<TypeId>,
-        /// Dissimilarity scores per candidate when discrimination ran
-        /// (empty on a single classifier match).
+        accepted: usize,
+        /// Dissimilarity scores per accepting candidate, best first,
+        /// when discrimination ran (empty on a single classifier
+        /// match).
         scores: Vec<(TypeId, f64)>,
     },
     /// Every classifier rejected the fingerprint: a new device type
@@ -42,25 +47,65 @@ impl Identification {
         }
     }
 
+    /// How many classifiers accepted the fingerprint (0 for an
+    /// unknown device).
+    pub fn accepted_candidates(&self) -> usize {
+        match self {
+            Identification::Known { accepted, .. } => *accepted,
+            Identification::Unknown => 0,
+        }
+    }
+
     /// Whether the edit-distance discrimination stage was needed
     /// (more than one classifier accepted).
     pub fn needed_discrimination(&self) -> bool {
-        match self {
-            Identification::Known { candidates, .. } => candidates.len() > 1,
-            Identification::Unknown => false,
-        }
+        self.accepted_candidates() > 1
     }
 
     /// Number of edit-distance computations performed for this
     /// identification (candidates × references when discrimination
     /// ran).
     pub fn distance_computations(&self, references_per_type: usize) -> usize {
-        match self {
-            Identification::Known { candidates, .. } if candidates.len() > 1 => {
-                candidates.len() * references_per_type
-            }
-            _ => 0,
+        if self.needed_discrimination() {
+            self.accepted_candidates() * references_per_type
+        } else {
+            0
         }
+    }
+}
+
+/// Reusable per-thread workspace for the identification hot path: the
+/// F′ conversion buffers, the accepted-candidate list and the
+/// discrimination score list all live here, so a warm
+/// [`DeviceTypeIdentifier::identify_with`] call performs **zero** heap
+/// allocations on the common single-candidate (and unknown) outcomes.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateScratch {
+    fixed: FixedScratch,
+    candidates: Vec<TypeId>,
+    scores: Vec<(TypeId, f64)>,
+}
+
+impl CandidateScratch {
+    /// An empty scratch; buffers grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        CandidateScratch::default()
+    }
+
+    /// The candidate ids produced by the most recent
+    /// [`DeviceTypeIdentifier::classify_candidates_into`] /
+    /// [`DeviceTypeIdentifier::identify_with`] call, in classifier
+    /// (id) order.
+    pub fn candidates(&self) -> &[TypeId] {
+        &self.candidates
+    }
+
+    /// The per-candidate dissimilarity scores of the most recent
+    /// [`DeviceTypeIdentifier::identify_with`] call (best first;
+    /// empty if that query did not need discrimination).
+    pub fn scores(&self) -> &[(TypeId, f64)] {
+        &self.scores
     }
 }
 
@@ -93,6 +138,11 @@ pub struct DeviceTypeIdentifier {
     models: BTreeMap<TypeId, TypeModel>,
     /// Pool of training samples: (type, full F, fixed F′).
     pool: Vec<(TypeId, Fingerprint, FixedFingerprint)>,
+    /// The whole classifier bank compiled into one flat arena (always
+    /// in sync with `models`); `compiled_ids[i]` is the [`TypeId`] of
+    /// the bank's forest `i`.
+    compiled: CompiledBank,
+    compiled_ids: Vec<TypeId>,
 }
 
 impl DeviceTypeIdentifier {
@@ -102,7 +152,34 @@ impl DeviceTypeIdentifier {
             registry: TypeRegistry::new(),
             models: BTreeMap::new(),
             pool: Vec::new(),
+            compiled: CompiledBank::default(),
+            compiled_ids: Vec::new(),
         }
+    }
+
+    /// Recompiles the flat-arena bank from the current models. Must be
+    /// called after every batch of model mutations so queries always
+    /// run against the compiled representation (the `classify_into`
+    /// debug assertion catches forgotten rebuilds). Only fails for a
+    /// non-binary classifier forest, which the training paths cannot
+    /// produce (the persistence path validates before reaching here).
+    pub(crate) fn rebuild_compiled(&mut self) -> Result<(), CoreError> {
+        let mut builder = CompiledBankBuilder::new();
+        let mut ids = Vec::with_capacity(self.models.len());
+        for (id, model) in &self.models {
+            builder.push(model.classifier.forest(), self.config.accept_threshold)?;
+            ids.push(*id);
+        }
+        self.compiled = builder.finish();
+        self.compiled_ids = ids;
+        Ok(())
+    }
+
+    /// The compiled flat-arena classifier bank serving
+    /// [`DeviceTypeIdentifier::classify_candidates`] (bank statistics,
+    /// scaling experiments).
+    pub fn compiled_bank(&self) -> &CompiledBank {
+        &self.compiled
     }
 
     /// The configuration this identifier was built with.
@@ -154,6 +231,11 @@ impl DeviceTypeIdentifier {
     }
 
     /// Trains (or retrains) the classifier for `id` from the pool.
+    ///
+    /// Does **not** recompile the flat-arena bank — callers must
+    /// follow up with [`DeviceTypeIdentifier::rebuild_compiled`] once
+    /// their batch of `train_type` calls is done (rebuilding per call
+    /// would make bulk training quadratic in bank size).
     pub(crate) fn train_type(&mut self, id: TypeId, seed: u64) -> Result<(), CoreError> {
         let label = self.registry.name(id);
         let positives: Vec<&FixedFingerprint> = self
@@ -234,6 +316,7 @@ impl DeviceTypeIdentifier {
             self.pool.push((id, f.clone(), fixed));
         }
         self.train_type(id, seed ^ fnv1a(label.as_bytes()))?;
+        self.rebuild_compiled()?;
         Ok(id)
     }
 
@@ -255,12 +338,18 @@ impl DeviceTypeIdentifier {
     /// `registry` must already contain every id referenced by `models`
     /// and `pool`; fixed fingerprints are recomputed from the full
     /// fingerprints with the loaded configuration's prefix length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Ml`] when a loaded classifier forest
+    /// cannot be compiled into the flat-arena bank (it is not binary —
+    /// a malformed model document).
     pub(crate) fn from_parts(
         config: IdentifierConfig,
         registry: TypeRegistry,
         models: Vec<(TypeId, TypeClassifier, Vec<Fingerprint>)>,
         pool: Vec<(TypeId, Fingerprint)>,
-    ) -> Self {
+    ) -> Result<Self, CoreError> {
         let mut identifier = DeviceTypeIdentifier::new(config);
         identifier.registry = registry;
         for (id, classifier, references) in models {
@@ -276,7 +365,8 @@ impl DeviceTypeIdentifier {
             let fixed = fingerprint.to_fixed_with(config.fixed_prefix_len);
             identifier.pool.push((id, fingerprint, fixed));
         }
-        identifier
+        identifier.rebuild_compiled()?;
+        Ok(identifier)
     }
 
     /// The device types this identifier can recognise, sorted by name.
@@ -303,9 +393,35 @@ impl DeviceTypeIdentifier {
 
     /// Stage one only: which classifiers accept `fixed`?
     ///
+    /// Runs the compiled flat-arena bank with early-exit voting.
     /// Exposed separately for the timing evaluation (Table IV times
-    /// classification and discrimination independently).
+    /// classification and discrimination independently); hot-path
+    /// callers should prefer
+    /// [`DeviceTypeIdentifier::classify_candidates_into`], which reuses
+    /// the caller's buffers instead of allocating the result.
     pub fn classify_candidates(&self, fixed: &FixedFingerprint) -> Vec<TypeId> {
+        let mut out = Vec::new();
+        self.classify_into(fixed, &mut out);
+        out
+    }
+
+    /// Allocation-free stage one: fills `scratch` with the ids of the
+    /// classifiers accepting `fixed` (read them back via
+    /// [`CandidateScratch::candidates`]), reusing the scratch's buffer
+    /// capacity across calls.
+    pub fn classify_candidates_into(
+        &self,
+        fixed: &FixedFingerprint,
+        scratch: &mut CandidateScratch,
+    ) {
+        self.classify_into(fixed, &mut scratch.candidates);
+    }
+
+    /// Stage one through the reference tree-walking interpreter (one
+    /// [`TypeClassifier`] at a time, no arena, no early exit). Kept as
+    /// the semantic baseline the compiled bank is pinned against —
+    /// candidate sets must be bit-identical — and for A/B benchmarks.
+    pub fn classify_candidates_interpreted(&self, fixed: &FixedFingerprint) -> Vec<TypeId> {
         self.models
             .iter()
             .filter(|(_, m)| {
@@ -315,6 +431,20 @@ impl DeviceTypeIdentifier {
             })
             .map(|(id, _)| *id)
             .collect()
+    }
+
+    fn classify_into(&self, fixed: &FixedFingerprint, out: &mut Vec<TypeId>) {
+        debug_assert_eq!(
+            self.compiled_ids.len(),
+            self.models.len(),
+            "compiled bank out of sync with models — a mutation path \
+             forgot to call rebuild_compiled()"
+        );
+        out.clear();
+        let sample = fixed.as_slice();
+        let ids = &self.compiled_ids;
+        self.compiled
+            .for_each_accepting(sample, |index| out.push(ids[index]));
     }
 
     /// The reference fingerprints stored for `id`, if known.
@@ -329,42 +459,80 @@ impl DeviceTypeIdentifier {
 
     /// Identifies a device from its full fingerprint F.
     ///
-    /// Stage one evaluates all per-type classifiers on F′; stage two
-    /// discriminates multiple matches with edit distance over F. The
-    /// result carries interned ids only — no strings are allocated,
-    /// and the F′ conversion reuses a per-thread [`FixedScratch`] so
-    /// the per-query fixed-vector allocation disappears in steady
-    /// state (each worker thread owns its own scratch, so concurrent
-    /// identification never contends).
+    /// Stage one runs the compiled classifier bank on F′; stage two
+    /// discriminates multiple matches with edit distance over F. Uses
+    /// a per-thread [`CandidateScratch`], so the warm
+    /// single-candidate/unknown path performs **zero** heap
+    /// allocations end to end (each worker thread owns its own
+    /// scratch, so concurrent identification never contends). Callers
+    /// that manage their own scratch lifetimes should use
+    /// [`DeviceTypeIdentifier::identify_with`] directly.
     pub fn identify(&self, fingerprint: &Fingerprint) -> Identification {
         thread_local! {
-            static FIXED_SCRATCH: RefCell<FixedScratch> = RefCell::new(FixedScratch::new());
+            static QUERY_SCRATCH: RefCell<CandidateScratch> =
+                RefCell::new(CandidateScratch::new());
         }
-        let candidates = FIXED_SCRATCH.with(|scratch| {
-            let mut scratch = scratch.borrow_mut();
-            let fixed = scratch.fill(fingerprint, self.config.fixed_prefix_len);
-            self.classify_candidates(fixed)
-        });
+        QUERY_SCRATCH.with(|scratch| self.identify_with(fingerprint, &mut scratch.borrow_mut()))
+    }
+
+    /// [`DeviceTypeIdentifier::identify`] against a caller-owned
+    /// scratch: the F′ conversion, the candidate list and the
+    /// discrimination scores all reuse `scratch`'s buffers. On the
+    /// single-candidate and unknown outcomes the returned
+    /// [`Identification`] owns no heap data, so a warm call allocates
+    /// nothing at all; when discrimination runs, only the returned
+    /// score vector is allocated.
+    pub fn identify_with(
+        &self,
+        fingerprint: &Fingerprint,
+        scratch: &mut CandidateScratch,
+    ) -> Identification {
+        debug_assert_eq!(
+            self.compiled_ids.len(),
+            self.models.len(),
+            "compiled bank out of sync with models — a mutation path \
+             forgot to call rebuild_compiled()"
+        );
+        let CandidateScratch {
+            fixed,
+            candidates,
+            scores,
+        } = scratch;
+        // Clearing up front keeps the scratch accessors honest: after
+        // a query that needed no discrimination, `scores()` is empty
+        // rather than echoing an earlier query's ranking.
+        scores.clear();
+        let fx = fixed.fill(fingerprint, self.config.fixed_prefix_len);
+        {
+            candidates.clear();
+            let sample = fx.as_slice();
+            let ids = &self.compiled_ids;
+            self.compiled
+                .for_each_accepting(sample, |index| candidates.push(ids[index]));
+        }
         match candidates.len() {
             0 => Identification::Unknown,
             1 => Identification::Known {
                 device_type: candidates[0],
-                candidates,
+                accepted: 1,
                 scores: Vec::new(),
             },
-            _ => {
-                let candidate_refs: Vec<(TypeId, Vec<&Fingerprint>)> = candidates
-                    .iter()
-                    .map(|id| {
-                        let refs = self.models[id].references.iter().collect();
-                        (*id, refs)
-                    })
-                    .collect();
-                let ranked = rank_candidates(fingerprint, &candidate_refs, self.config.distance);
+            accepted => {
+                for id in candidates.iter() {
+                    let score = dissimilarity_over(
+                        fingerprint,
+                        &self.models[id].references,
+                        self.config.distance,
+                    );
+                    scores.push((*id, score));
+                }
+                // Stable ascending sort: ties break toward the earlier
+                // (lower-id) candidate, like `rank_candidates`.
+                scores.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
                 Identification::Known {
-                    device_type: ranked[0].0,
-                    candidates,
-                    scores: ranked,
+                    device_type: scores[0].0,
+                    accepted,
+                    scores: scores.clone(),
                 }
             }
         }
@@ -521,11 +689,15 @@ mod tests {
         let result = id.identify(&fp(&[100, 110, 120]));
         match &result {
             Identification::Known {
-                candidates, scores, ..
+                accepted, scores, ..
             } => {
-                assert!(candidates.len() >= 2, "twins should both match");
+                assert!(*accepted >= 2, "twins should both match");
                 assert!(result.needed_discrimination());
-                assert_eq!(scores.len(), candidates.len());
+                assert_eq!(scores.len(), *accepted);
+                assert!(
+                    scores.windows(2).all(|w| w[0].1 <= w[1].1),
+                    "scores are ranked best first"
+                );
                 assert!(
                     result.distance_computations(5) >= 10,
                     "2 candidates x 5 refs"
@@ -533,6 +705,81 @@ mod tests {
             }
             Identification::Unknown => panic!("twin fingerprint must be recognised"),
         }
+    }
+
+    #[test]
+    fn scratch_scores_reset_when_discrimination_is_skipped() {
+        // Twins force discrimination; a far type resolves on a single
+        // classifier. The scratch must not echo the twins' ranking
+        // after the single-candidate query.
+        let mut ds = Dataset::new();
+        for i in 0..20u32 {
+            ds.push(LabeledFingerprint::new(
+                "TwinOne",
+                fp(&[100, 110, 120 + (i % 2)]),
+            ));
+            ds.push(LabeledFingerprint::new(
+                "TwinTwo",
+                fp(&[100, 110, 120 + (i % 2)]),
+            ));
+            for far in 0..12u32 {
+                ds.push(LabeledFingerprint::new(
+                    format!("Far{far}").leak() as &str,
+                    fp(&[900 + 50 * far, 910 + 50 * far, 920 + 50 * far]),
+                ));
+            }
+        }
+        let id = Trainer::default().train(&ds, 3).unwrap();
+        let mut scratch = CandidateScratch::new();
+        let twin = id.identify_with(&fp(&[100, 110, 120]), &mut scratch);
+        assert!(twin.needed_discrimination());
+        assert!(!scratch.scores().is_empty());
+
+        let far = id.identify_with(&fp(&[900, 910, 920]), &mut scratch);
+        assert!(!far.needed_discrimination());
+        assert!(
+            scratch.scores().is_empty(),
+            "scores from the twin query must not survive a \
+             no-discrimination query"
+        );
+    }
+
+    #[test]
+    fn compiled_bank_matches_interpreter() {
+        let id = trained();
+        assert_eq!(id.compiled_bank().forest_count(), id.type_count());
+        let mut scratch = CandidateScratch::new();
+        for probe in [
+            fp(&[104, 110, 120, 130]),
+            fp(&[505, 510, 520, 530]),
+            fp(&[905, 910, 920, 930]),
+            fp(&[1, 2, 3]),
+            Fingerprint::from_columns(Vec::new()),
+        ] {
+            let fixed = probe.to_fixed_with(id.config().fixed_prefix_len);
+            let compiled = id.classify_candidates(&fixed);
+            assert_eq!(
+                compiled,
+                id.classify_candidates_interpreted(&fixed),
+                "compiled and interpreted banks disagree on {probe:?}"
+            );
+            id.classify_candidates_into(&fixed, &mut scratch);
+            assert_eq!(scratch.candidates(), compiled.as_slice());
+            // identify_with agrees with identify (same scratch reuse).
+            assert_eq!(id.identify_with(&probe, &mut scratch), id.identify(&probe));
+        }
+    }
+
+    #[test]
+    fn wrong_dimension_fixed_rejects_everywhere() {
+        // A fixed fingerprint built with the wrong prefix length is
+        // rejected by both the interpreter (dimension-mismatch ->
+        // unmatched) and the compiled bank (per-forest check).
+        let id = trained();
+        let probe = fp(&[104, 110, 120, 130]);
+        let wrong = probe.to_fixed_with(3);
+        assert!(id.classify_candidates(&wrong).is_empty());
+        assert!(id.classify_candidates_interpreted(&wrong).is_empty());
     }
 
     #[test]

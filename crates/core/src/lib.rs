@@ -59,7 +59,7 @@ pub mod vulnerability;
 pub use cell::{ServiceCell, ServiceEpoch};
 pub use classifier::TypeClassifier;
 pub use error::CoreError;
-pub use identifier::{DeviceTypeIdentifier, Identification};
+pub use identifier::{CandidateScratch, DeviceTypeIdentifier, Identification};
 pub use incidents::{
     CorrelatorConfig, FlaggedType, GatewayId, IncidentCorrelator, IncidentKind, IncidentReport,
 };

@@ -199,9 +199,7 @@ pub fn read_identifier<R: Read>(r: R) -> Result<DeviceTypeIdentifier, CoreError>
     if footer != FOOTER {
         return Err(persist_err(line_no, "expected `end model` footer"));
     }
-    Ok(DeviceTypeIdentifier::from_parts(
-        config, registry, models, pool,
-    ))
+    DeviceTypeIdentifier::from_parts(config, registry, models, pool)
 }
 
 /// Maps a type name to its id: v2 documents must have declared it in

@@ -99,6 +99,10 @@ impl Trainer {
                 .expect("absorb_samples interns every dataset label");
             identifier.train_type(id, seed ^ fnv1a(label.as_bytes()))?;
         }
+        // One bank compilation for the whole batch — `train_type`
+        // deliberately leaves the flat arena stale so bulk training
+        // stays linear in the bank size.
+        identifier.rebuild_compiled()?;
         Ok(identifier)
     }
 }

@@ -36,4 +36,4 @@ pub mod score;
 pub use damerau::damerau_levenshtein;
 pub use osa::{levenshtein, normalized_osa, osa_distance};
 pub use packet_word::{fingerprint_distance, DistanceVariant};
-pub use score::{dissimilarity_score, rank_candidates};
+pub use score::{dissimilarity_over, dissimilarity_score, rank_candidates};

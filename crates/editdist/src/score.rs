@@ -44,6 +44,21 @@ pub fn dissimilarity_score(
         .sum()
 }
 
+/// [`dissimilarity_score`] over a slice of owned reference
+/// fingerprints — the shape model stores keep them in. Saves callers
+/// on the identification hot path from materialising a `Vec<&…>` per
+/// candidate just to call the borrowed-slice form.
+pub fn dissimilarity_over(
+    unknown: &Fingerprint,
+    references: &[Fingerprint],
+    variant: DistanceVariant,
+) -> f64 {
+    references
+        .iter()
+        .map(|r| fingerprint_distance(unknown, r, variant))
+        .sum()
+}
+
 /// Scores `unknown` against every candidate's reference set and returns
 /// the candidates ordered by ascending dissimilarity (best first), each
 /// with its score.
@@ -92,6 +107,20 @@ mod tests {
         let score = dissimilarity_score(&unknown, &refs, DistanceVariant::Osa);
         assert!(score <= 5.0);
         assert!(score > 0.0);
+    }
+
+    #[test]
+    fn owned_and_borrowed_scoring_agree() {
+        let unknown = fp(&[1, 2, 3]);
+        let near = fp(&[1, 2, 4]);
+        let far = fp(&[9, 8, 7]);
+        let owned = vec![near.clone(), far.clone()];
+        let borrowed: Vec<&Fingerprint> = owned.iter().collect();
+        assert_eq!(
+            dissimilarity_over(&unknown, &owned, DistanceVariant::Osa),
+            dissimilarity_score(&unknown, &borrowed, DistanceVariant::Osa),
+        );
+        assert_eq!(dissimilarity_over(&unknown, &[], DistanceVariant::Osa), 0.0);
     }
 
     #[test]

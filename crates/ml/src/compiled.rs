@@ -1,0 +1,642 @@
+//! Compiled classifier banks: flat-arena forest evaluation with
+//! early-exit voting.
+//!
+//! The interpreter in [`crate::forest`] walks one [`RandomForest`] at a
+//! time through enum nodes whose leaves own `Vec<u32>` histograms —
+//! flexible for training and inspection, but the identification hot
+//! path evaluates *dozens to thousands* of binary forests per query,
+//! and pays enum dispatch, pointer chasing and a per-forest vote `Vec`
+//! for it. This module compiles an entire bank of binary forests into
+//! one contiguous arena:
+//!
+//! * **Packed branch nodes** ([`PackedNode`]): `feature: u16`,
+//!   `threshold: f32`, child references `u32` — 16 bytes, cache-dense,
+//!   no discriminant to match on.
+//! * **Implicit leaves**: every classifier in the bank is binary, so a
+//!   leaf carries exactly one bit of information (does this tree vote
+//!   for the positive class?). Leaves are folded into tagged child
+//!   references ([`LEAF_BIT`] plus the vote in bit 0) and vanish from
+//!   the arena entirely — no `Vec<u32>` histograms, no leaf nodes.
+//! * **Early-exit voting**: a forest accepts once `accept_votes` trees
+//!   voted positive and rejects as soon as the remaining trees cannot
+//!   reach that count; either way the remaining trees are never
+//!   walked. `accept_votes` is derived from the caller's fractional
+//!   threshold by scanning the (tiny) vote domain, so the decision is
+//!   **bit-identical** to comparing the interpreter's
+//!   `positive_vote_fraction` against the same threshold.
+//! * **Allocation-free, panic-free evaluation**: [`CompiledBank::accepts`]
+//!   and [`CompiledBank::for_each_accepting`] touch no heap and use
+//!   checked arena accesses with a step budget, so even a corrupt
+//!   arena (out-of-range references, reference cycles) degrades to a
+//!   negative vote instead of a panic or an endless loop.
+//!
+//! Banks are built through [`CompiledBankBuilder`], which validates
+//! every forest (binary, features within `u16`, arena small enough for
+//! tagged references) — arenas produced by the builder are structurally
+//! sound by construction. [`CompiledBank::from_raw_parts`] exists for
+//! robustness tests and external tooling that wants to feed the
+//! evaluator hostile arenas.
+
+use crate::error::MlError;
+use crate::forest::RandomForest;
+use crate::tree::Node;
+
+/// Tag bit marking a child reference as a leaf; bit 0 then carries the
+/// tree's positive-class vote. References without the tag are indices
+/// into the bank's node arena.
+pub const LEAF_BIT: u32 = 1 << 31;
+
+/// One branch node of the compiled arena: 16 bytes, no enum
+/// discriminant. `left`/`right` are tagged references (see
+/// [`LEAF_BIT`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackedNode {
+    /// Feature index tested by this branch.
+    pub feature: u16,
+    /// Branch threshold: `sample[feature] <= threshold` goes left.
+    pub threshold: f32,
+    /// Tagged reference to the left child.
+    pub left: u32,
+    /// Tagged reference to the right child.
+    pub right: u32,
+}
+
+/// Per-forest metadata: where its tree roots live in the root table
+/// and how many positive votes it takes to accept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForestSpan {
+    /// First entry of this forest in the bank's root table.
+    pub roots_start: u32,
+    /// Number of trees (= root-table entries).
+    pub n_trees: u32,
+    /// Positive votes required to accept; `n_trees + 1` means the
+    /// forest can never accept (a threshold above 1.0).
+    pub accept_votes: u32,
+    /// Feature dimensionality; samples of any other length are
+    /// rejected (mirroring the interpreter's dimension check).
+    pub n_features: u32,
+}
+
+/// A bank of binary forests compiled into one flat arena.
+///
+/// Construction goes through [`CompiledBankBuilder`]; evaluation is
+/// allocation-free and panic-free. Forests keep the order they were
+/// pushed in, so candidate sets produced by
+/// [`CompiledBank::for_each_accepting`] are ordered exactly like a
+/// sequential scan over the source forests.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledBank {
+    nodes: Vec<PackedNode>,
+    roots: Vec<u32>,
+    forests: Vec<ForestSpan>,
+}
+
+impl CompiledBank {
+    /// Assembles a bank from raw arena parts **without validation**.
+    ///
+    /// Evaluation tolerates arbitrary garbage here (out-of-range
+    /// references, cycles, spans past the tables) by voting negative,
+    /// so this is safe to call — it just may not *mean* anything.
+    /// Intended for robustness tests and external arena tooling;
+    /// everything else should use [`CompiledBankBuilder`].
+    pub fn from_raw_parts(
+        nodes: Vec<PackedNode>,
+        roots: Vec<u32>,
+        forests: Vec<ForestSpan>,
+    ) -> Self {
+        CompiledBank {
+            nodes,
+            roots,
+            forests,
+        }
+    }
+
+    /// Number of forests in the bank.
+    pub fn forest_count(&self) -> usize {
+        self.forests.len()
+    }
+
+    /// Whether the bank holds no forests.
+    pub fn is_empty(&self) -> bool {
+        self.forests.is_empty()
+    }
+
+    /// Total packed branch nodes across all forests.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Approximate arena footprint in bytes (nodes + roots + spans).
+    pub fn arena_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<PackedNode>()
+            + self.roots.len() * std::mem::size_of::<u32>()
+            + self.forests.len() * std::mem::size_of::<ForestSpan>()
+    }
+
+    /// The per-forest metadata, in push order.
+    pub fn spans(&self) -> &[ForestSpan] {
+        &self.forests
+    }
+
+    /// Does forest `index` accept `sample`?
+    ///
+    /// Early-exits once the accept count is reached or mathematically
+    /// unreachable. Returns `false` for an out-of-range index, a
+    /// wrong-length sample, or a corrupt arena — never panics.
+    pub fn accepts(&self, index: usize, sample: &[f32]) -> bool {
+        match self.forests.get(index) {
+            Some(span) => self.span_accepts(span, sample),
+            None => false,
+        }
+    }
+
+    /// Calls `f(index)` for every forest accepting `sample`, in push
+    /// order. Allocation-free.
+    pub fn for_each_accepting(&self, sample: &[f32], mut f: impl FnMut(usize)) {
+        for (index, span) in self.forests.iter().enumerate() {
+            if self.span_accepts(span, sample) {
+                f(index);
+            }
+        }
+    }
+
+    /// Full positive-vote count of forest `index` on `sample` (no
+    /// early exit — evaluation and debugging aid). `None` for an
+    /// out-of-range index or wrong-length sample.
+    pub fn positive_votes(&self, index: usize, sample: &[f32]) -> Option<u32> {
+        let span = self.forests.get(index)?;
+        if sample.len() != span.n_features as usize {
+            return None;
+        }
+        let roots = self.span_roots(span)?;
+        Some(
+            roots
+                .iter()
+                .map(|root| u32::from(self.walk(*root, sample)))
+                .sum(),
+        )
+    }
+
+    /// Tiles the bank `times` times: the result holds `times ×
+    /// forest_count` forests, each copy with its own arena region (so
+    /// the memory footprint scales like a genuinely larger bank —
+    /// what the type-count scaling benchmarks need).
+    pub fn repeat(&self, times: usize) -> CompiledBank {
+        let mut out = CompiledBank {
+            nodes: Vec::with_capacity(self.nodes.len() * times),
+            roots: Vec::with_capacity(self.roots.len() * times),
+            forests: Vec::with_capacity(self.forests.len() * times),
+        };
+        for copy in 0..times {
+            let node_offset = (copy * self.nodes.len()) as u32;
+            let root_offset = (copy * self.roots.len()) as u32;
+            let shift = |reference: u32| {
+                if reference & LEAF_BIT != 0 {
+                    reference
+                } else {
+                    reference + node_offset
+                }
+            };
+            out.nodes.extend(self.nodes.iter().map(|n| PackedNode {
+                left: shift(n.left),
+                right: shift(n.right),
+                ..*n
+            }));
+            out.roots.extend(self.roots.iter().map(|r| shift(*r)));
+            out.forests.extend(self.forests.iter().map(|s| ForestSpan {
+                roots_start: s.roots_start + root_offset,
+                ..*s
+            }));
+        }
+        out
+    }
+
+    fn span_roots(&self, span: &ForestSpan) -> Option<&[u32]> {
+        let start = span.roots_start as usize;
+        let end = start.checked_add(span.n_trees as usize)?;
+        self.roots.get(start..end)
+    }
+
+    fn span_accepts(&self, span: &ForestSpan, sample: &[f32]) -> bool {
+        if sample.len() != span.n_features as usize {
+            return false;
+        }
+        let needed = span.accept_votes;
+        if needed == 0 {
+            // A zero (or negative) threshold accepts with no votes —
+            // exactly what fraction >= threshold yields.
+            return true;
+        }
+        let Some(roots) = self.span_roots(span) else {
+            return false;
+        };
+        if u64::from(needed) > roots.len() as u64 {
+            return false;
+        }
+        let mut votes = 0u32;
+        let mut remaining = roots.len() as u32;
+        for root in roots {
+            remaining -= 1;
+            if self.walk(*root, sample) {
+                votes += 1;
+                if votes >= needed {
+                    return true;
+                }
+            }
+            if votes + remaining < needed {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Walks one tree from a tagged root reference to its leaf vote.
+    /// The step budget bounds traversal on cyclic (corrupt) arenas;
+    /// any out-of-range access votes negative.
+    fn walk(&self, mut reference: u32, sample: &[f32]) -> bool {
+        let mut steps = self.nodes.len() + 1;
+        loop {
+            if reference & LEAF_BIT != 0 {
+                return reference & 1 == 1;
+            }
+            if steps == 0 {
+                return false;
+            }
+            steps -= 1;
+            let Some(node) = self.nodes.get(reference as usize) else {
+                return false;
+            };
+            let value = match sample.get(node.feature as usize) {
+                Some(v) => *v,
+                None => return false,
+            };
+            reference = if value <= node.threshold {
+                node.left
+            } else {
+                node.right
+            };
+        }
+    }
+}
+
+/// Incrementally compiles binary forests into one [`CompiledBank`].
+#[derive(Debug, Clone, Default)]
+pub struct CompiledBankBuilder {
+    bank: CompiledBank,
+}
+
+impl CompiledBankBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        CompiledBankBuilder::default()
+    }
+
+    /// Compiles `forest` into the arena with the given fractional
+    /// accept threshold, returning the forest's bank index.
+    ///
+    /// The accept rule is bit-identical to
+    /// `forest.positive_vote_fraction(sample)? >= accept_threshold`:
+    /// the required vote count is the smallest `v` whose fraction
+    /// `v / n_trees` (computed in `f32`, like the interpreter) clears
+    /// the threshold.
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::BadConfig`] if the forest is not binary, a feature
+    /// index exceeds `u16`, or the arena would outgrow the tagged
+    /// 31-bit reference space.
+    pub fn push(&mut self, forest: &RandomForest, accept_threshold: f32) -> Result<usize, MlError> {
+        if forest.n_classes() != 2 {
+            return Err(MlError::BadConfig(format!(
+                "compiled banks hold binary forests only (got {} classes)",
+                forest.n_classes()
+            )));
+        }
+        if forest.n_features() > usize::from(u16::MAX) + 1 {
+            return Err(MlError::BadConfig(format!(
+                "feature dimensionality {} exceeds the packed u16 index",
+                forest.n_features()
+            )));
+        }
+        let branch_nodes: usize = forest
+            .trees()
+            .iter()
+            .map(|t| t.node_count() - t.leaf_count())
+            .sum();
+        if self.bank.nodes.len() + branch_nodes >= LEAF_BIT as usize {
+            return Err(MlError::BadConfig(
+                "compiled arena exceeds the 31-bit reference space".into(),
+            ));
+        }
+        let roots_start = self.bank.roots.len() as u32;
+        for tree in forest.trees() {
+            let root = self.compile_tree(tree.nodes());
+            self.bank.roots.push(root);
+        }
+        let n_trees = forest.n_trees() as u32;
+        self.bank.forests.push(ForestSpan {
+            roots_start,
+            n_trees,
+            accept_votes: votes_needed(accept_threshold, forest.n_trees()),
+            n_features: forest.n_features() as u32,
+        });
+        Ok(self.bank.forests.len() - 1)
+    }
+
+    /// Finishes the bank.
+    pub fn finish(self) -> CompiledBank {
+        self.bank
+    }
+
+    /// Compiles one tree's node list, returning the tagged root
+    /// reference. Tree invariants (children strictly forward, binary
+    /// leaf histograms) are guaranteed by `DecisionTree`'s own
+    /// validation.
+    fn compile_tree(&mut self, tree_nodes: &[Node]) -> u32 {
+        // First pass: assign every tree node its arena reference —
+        // splits get the next arena slots in order, leaves fold into
+        // tagged references.
+        let base = self.bank.nodes.len() as u32;
+        let mut references = Vec::with_capacity(tree_nodes.len());
+        let mut splits = 0u32;
+        for node in tree_nodes {
+            references.push(match node {
+                Node::Leaf { counts } => {
+                    // Binary argmax with the interpreter's tie rule
+                    // (`max_by_key` keeps the *last* maximum, so a tie
+                    // votes positive).
+                    let negative = counts.first().copied().unwrap_or(0);
+                    let positive = counts.get(1).copied().unwrap_or(0) >= negative;
+                    LEAF_BIT | u32::from(positive)
+                }
+                Node::Split { .. } => {
+                    splits += 1;
+                    base + splits - 1
+                }
+            });
+        }
+        // Second pass: emit packed nodes with resolved child refs.
+        for node in tree_nodes {
+            if let Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } = node
+            {
+                self.bank.nodes.push(PackedNode {
+                    feature: *feature as u16,
+                    threshold: *threshold,
+                    left: references[*left],
+                    right: references[*right],
+                });
+            }
+        }
+        references[0]
+    }
+}
+
+/// The smallest vote count whose `f32` fraction of `n_trees` clears
+/// `threshold`, or `n_trees + 1` when no count does (threshold above
+/// 1.0, or NaN — which the interpreter likewise never accepts).
+fn votes_needed(threshold: f32, n_trees: usize) -> u32 {
+    let total = n_trees as f32;
+    (0..=n_trees)
+        .find(|v| *v as f32 / total >= threshold)
+        .map(|v| v as u32)
+        .unwrap_or(n_trees as u32 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::ForestConfig;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn training_data(seed: u64, n: usize, d: usize) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut samples = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let row: Vec<f32> = (0..d).map(|_| rng.gen::<f32>()).collect();
+            let label = usize::from(row[0] + row[d - 1] > 1.0);
+            samples.push(row);
+            labels.push(label);
+        }
+        (samples, labels)
+    }
+
+    fn forest(seed: u64, d: usize) -> RandomForest {
+        let (samples, labels) = training_data(seed, 120, d);
+        RandomForest::fit(&samples, &labels, 2, &ForestConfig::default(), seed).unwrap()
+    }
+
+    #[test]
+    fn bank_matches_interpreter_on_every_threshold() {
+        let forests: Vec<RandomForest> = (0..4).map(|i| forest(40 + i, 3)).collect();
+        for threshold in [0.0f32, 0.2, 0.35, 0.5, 0.9, 1.0, 1.5, -0.5] {
+            let mut builder = CompiledBankBuilder::new();
+            for f in &forests {
+                builder.push(f, threshold).unwrap();
+            }
+            let bank = builder.finish();
+            let mut rng = SmallRng::seed_from_u64(7);
+            for _ in 0..200 {
+                let sample: Vec<f32> = (0..3).map(|_| rng.gen::<f32>() * 1.5).collect();
+                for (i, f) in forests.iter().enumerate() {
+                    let interpreted = f.positive_vote_fraction(&sample).unwrap() >= threshold;
+                    assert_eq!(
+                        bank.accepts(i, &sample),
+                        interpreted,
+                        "forest {i} at threshold {threshold} on {sample:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_accepting_preserves_push_order() {
+        let forests: Vec<RandomForest> = (0..5).map(|i| forest(60 + i, 2)).collect();
+        let mut builder = CompiledBankBuilder::new();
+        for f in &forests {
+            builder.push(f, 0.5).unwrap();
+        }
+        let bank = builder.finish();
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let sample: Vec<f32> = (0..2).map(|_| rng.gen::<f32>() * 1.5).collect();
+            let mut compiled = Vec::new();
+            bank.for_each_accepting(&sample, |i| compiled.push(i));
+            let sequential: Vec<usize> = forests
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.positive_vote_fraction(&sample).unwrap() >= 0.5)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(compiled, sequential);
+        }
+    }
+
+    #[test]
+    fn votes_needed_maps_thresholds_exactly() {
+        assert_eq!(votes_needed(0.0, 33), 0);
+        assert_eq!(votes_needed(-1.0, 33), 0);
+        assert_eq!(votes_needed(0.5, 33), 17);
+        assert_eq!(votes_needed(0.35, 33), 12);
+        assert_eq!(votes_needed(1.0, 33), 33);
+        assert_eq!(votes_needed(1.01, 33), 34);
+        assert_eq!(votes_needed(f32::NAN, 33), 34);
+        // Exactness at representable fractions: 16/32 == 0.5.
+        assert_eq!(votes_needed(0.5, 32), 16);
+    }
+
+    #[test]
+    fn single_leaf_trees_compile() {
+        // max_depth 0 forests are all leaves — no packed nodes at all.
+        let (samples, labels) = training_data(5, 40, 2);
+        let config = ForestConfig {
+            tree: crate::tree::TreeConfig {
+                max_depth: 0,
+                ..crate::tree::TreeConfig::default()
+            },
+            ..ForestConfig::default()
+        };
+        let f = RandomForest::fit(&samples, &labels, 2, &config, 5).unwrap();
+        let mut builder = CompiledBankBuilder::new();
+        builder.push(&f, 0.5).unwrap();
+        let bank = builder.finish();
+        assert_eq!(bank.node_count(), 0);
+        let sample = [0.3f32, 0.9];
+        assert_eq!(
+            bank.accepts(0, &sample),
+            f.positive_vote_fraction(&sample).unwrap() >= 0.5
+        );
+    }
+
+    #[test]
+    fn wrong_dimension_and_bad_index_vote_negative() {
+        let f = forest(9, 3);
+        let mut builder = CompiledBankBuilder::new();
+        builder.push(&f, 0.0).unwrap();
+        let bank = builder.finish();
+        // Threshold 0 accepts everything of the right shape...
+        assert!(bank.accepts(0, &[0.1, 0.2, 0.3]));
+        // ...but never a wrong-length sample or unknown forest.
+        assert!(!bank.accepts(0, &[0.1, 0.2]));
+        assert!(!bank.accepts(1, &[0.1, 0.2, 0.3]));
+        assert_eq!(bank.positive_votes(0, &[0.1, 0.2]), None);
+        assert_eq!(bank.positive_votes(1, &[0.1, 0.2, 0.3]), None);
+    }
+
+    #[test]
+    fn rejects_non_binary_forests() {
+        let mut samples = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..3usize {
+            for i in 0..20 {
+                samples.push(vec![c as f32 * 5.0 + (i % 3) as f32 * 0.1]);
+                labels.push(c);
+            }
+        }
+        let f = RandomForest::fit(&samples, &labels, 3, &ForestConfig::default(), 1).unwrap();
+        let err = CompiledBankBuilder::new().push(&f, 0.5).unwrap_err();
+        assert!(matches!(err, MlError::BadConfig(_)));
+    }
+
+    #[test]
+    fn corrupt_arenas_never_panic() {
+        let sample = [0.5f32, 0.5];
+        let span = ForestSpan {
+            roots_start: 0,
+            n_trees: 1,
+            accept_votes: 1,
+            n_features: 2,
+        };
+        // Root reference past the arena.
+        let bank = CompiledBank::from_raw_parts(vec![], vec![42], vec![span]);
+        assert!(!bank.accepts(0, &sample));
+        // Node whose children form a cycle.
+        let cyclic = PackedNode {
+            feature: 0,
+            threshold: 0.5,
+            left: 0,
+            right: 0,
+        };
+        let bank = CompiledBank::from_raw_parts(vec![cyclic], vec![0], vec![span]);
+        assert!(!bank.accepts(0, &sample));
+        assert_eq!(bank.positive_votes(0, &sample), Some(0));
+        // Feature index past the sample (span lies about dimensions).
+        let oob_feature = PackedNode {
+            feature: 7,
+            threshold: 0.5,
+            left: LEAF_BIT | 1,
+            right: LEAF_BIT | 1,
+        };
+        let bank = CompiledBank::from_raw_parts(vec![oob_feature], vec![0], vec![span]);
+        assert!(!bank.accepts(0, &sample));
+        // Span whose root range overflows the root table.
+        let wild = ForestSpan {
+            roots_start: u32::MAX,
+            n_trees: u32::MAX,
+            accept_votes: 1,
+            n_features: 2,
+        };
+        let bank = CompiledBank::from_raw_parts(vec![], vec![], vec![wild]);
+        assert!(!bank.accepts(0, &sample));
+        // accept_votes beyond the tree count can never accept.
+        let greedy = ForestSpan {
+            accept_votes: 5,
+            ..span
+        };
+        let bank = CompiledBank::from_raw_parts(vec![], vec![LEAF_BIT | 1], vec![greedy]);
+        assert!(!bank.accepts(0, &sample));
+    }
+
+    #[test]
+    fn repeat_tiles_forests_and_arena() {
+        let forests: Vec<RandomForest> = (0..3).map(|i| forest(80 + i, 2)).collect();
+        let mut builder = CompiledBankBuilder::new();
+        for f in &forests {
+            builder.push(f, 0.5).unwrap();
+        }
+        let bank = builder.finish();
+        let tiled = bank.repeat(4);
+        assert_eq!(tiled.forest_count(), 12);
+        assert_eq!(tiled.node_count(), 4 * bank.node_count());
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let sample: Vec<f32> = (0..2).map(|_| rng.gen::<f32>() * 1.5).collect();
+            for copy in 0..4 {
+                for i in 0..3 {
+                    assert_eq!(
+                        tiled.accepts(copy * 3 + i, &sample),
+                        bank.accepts(i, &sample),
+                        "copy {copy} forest {i}"
+                    );
+                }
+            }
+        }
+        assert_eq!(bank.repeat(0).forest_count(), 0);
+    }
+
+    #[test]
+    fn arena_accounting() {
+        let f = forest(2, 3);
+        let mut builder = CompiledBankBuilder::new();
+        builder.push(&f, 0.5).unwrap();
+        let bank = builder.finish();
+        assert_eq!(bank.forest_count(), 1);
+        assert!(!bank.is_empty());
+        let branch_nodes: usize = f
+            .trees()
+            .iter()
+            .map(|t| t.node_count() - t.leaf_count())
+            .sum();
+        assert_eq!(bank.node_count(), branch_nodes);
+        assert!(bank.arena_bytes() >= branch_nodes * std::mem::size_of::<PackedNode>());
+        assert_eq!(bank.spans().len(), 1);
+        assert!(CompiledBank::default().is_empty());
+    }
+}

@@ -216,6 +216,29 @@ impl RandomForest {
         let total = self.trees.len() as f32;
         Ok(votes.into_iter().map(|v| v as f32 / total).collect())
     }
+
+    /// The fraction of trees voting for class 1, computed without any
+    /// heap allocation — the hot-path form of `predict_proba(..)[1]`
+    /// for the binary (one-vs-rest) classifiers of the identification
+    /// pipeline. Bit-identical to `predict_proba(sample)?[1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] for a wrong-length sample
+    /// and [`MlError::BadConfig`] when the forest has fewer than two
+    /// classes (no positive class exists).
+    pub fn positive_vote_fraction(&self, sample: &[f32]) -> Result<f32, MlError> {
+        if self.n_classes < 2 {
+            return Err(MlError::BadConfig(
+                "positive_vote_fraction needs a positive class (n_classes >= 2)".into(),
+            ));
+        }
+        let mut votes = 0u32;
+        for tree in &self.trees {
+            votes += u32::from(tree.predict(sample)? == 1);
+        }
+        Ok(votes as f32 / self.trees.len() as f32)
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +285,31 @@ mod tests {
         let p = forest.predict_proba(&[0.7, 0.2]).unwrap();
         assert_eq!(p.len(), 2);
         assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn positive_vote_fraction_matches_predict_proba() {
+        let (samples, labels) = noisy_threshold_data(200, 9);
+        let forest = RandomForest::fit(&samples, &labels, 2, &ForestConfig::default(), 13).unwrap();
+        for i in 0..40 {
+            let x = vec![i as f32 / 40.0, 0.6];
+            assert_eq!(
+                forest.positive_vote_fraction(&x).unwrap(),
+                forest.predict_proba(&x).unwrap()[1],
+                "fractions must be bit-identical at {x:?}"
+            );
+        }
+        assert!(forest.positive_vote_fraction(&[0.5]).is_err());
+    }
+
+    #[test]
+    fn positive_vote_fraction_needs_two_classes() {
+        let samples = vec![vec![1.0], vec![2.0]];
+        let forest = RandomForest::fit(&samples, &[0, 0], 1, &ForestConfig::default(), 1).unwrap();
+        assert!(matches!(
+            forest.positive_vote_fraction(&[1.0]).unwrap_err(),
+            MlError::BadConfig(_)
+        ));
     }
 
     #[test]

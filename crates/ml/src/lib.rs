@@ -11,6 +11,11 @@
 //!   majority voting and vote-fraction probabilities. Training is
 //!   parallelised across trees with `crossbeam` scoped threads while
 //!   remaining bit-for-bit deterministic for a given seed.
+//! * [`compiled`] — flat-arena compilation of whole *banks* of binary
+//!   forests: packed 16-byte branch nodes, leaves folded into tagged
+//!   child references, early-exit voting, allocation- and panic-free
+//!   evaluation. The representation behind the identification hot
+//!   path.
 //! * [`metrics`] — accuracy and labelled confusion matrices (the shapes
 //!   reported in Fig. 5 and Table III).
 //! * [`sampler`] — bootstrap and without-replacement index sampling
@@ -36,12 +41,14 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod compiled;
 pub mod error;
 pub mod forest;
 pub mod metrics;
 pub mod sampler;
 pub mod tree;
 
+pub use compiled::{CompiledBank, CompiledBankBuilder, ForestSpan, PackedNode};
 pub use error::MlError;
 pub use forest::{ForestConfig, RandomForest};
 pub use metrics::{accuracy, ConfusionMatrix};

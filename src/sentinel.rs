@@ -345,7 +345,10 @@ impl Sentinel {
     // ----- stateless IoTSSP queries ---------------------------------
 
     /// Answers one fingerprint query: identified type + isolation
-    /// class. Stateless and allocation-free on the response.
+    /// class. Stateless; stage one runs against the compiled
+    /// flat-arena classifier bank through a per-thread scratch, so a
+    /// warm single-candidate (or unknown-device) query performs zero
+    /// heap allocations end to end.
     pub fn handle(&self, fingerprint: &Fingerprint) -> ServiceResponse {
         self.controller.service().handle(fingerprint)
     }
@@ -358,7 +361,7 @@ impl Sentinel {
     }
 
     /// Answers one query and also returns the raw identification
-    /// (candidate set and discrimination scores).
+    /// (accepted-candidate count and discrimination scores).
     pub fn handle_detailed(&self, fingerprint: &Fingerprint) -> (ServiceResponse, Identification) {
         self.controller.service().handle_detailed(fingerprint)
     }

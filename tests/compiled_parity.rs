@@ -1,0 +1,156 @@
+//! Compiled-bank / interpreter parity properties.
+//!
+//! The compiled flat-arena classifier bank (`sentinel-ml::compiled`)
+//! exists purely as a faster representation of the per-type forest
+//! bank: for every fingerprint it must produce the **bit-identical
+//! candidate set** the reference tree-walking interpreter produces —
+//! including after incremental `add_device_type` calls, after a
+//! persistence round-trip, and across `ServiceCell` hot-reload epochs
+//! (every published service carries a freshly compiled bank).
+
+use proptest::prelude::*;
+
+use iot_sentinel::core::{
+    persist, CandidateScratch, IdentifierConfig, IoTSecurityService, ServiceCell, Trainer,
+    VulnerabilityDatabase,
+};
+use iot_sentinel::fingerprint::{Dataset, Fingerprint, LabeledFingerprint, PacketFeatures};
+use iot_sentinel::ml::{ForestConfig, TreeConfig};
+
+fn fp(tags: &[u32]) -> Fingerprint {
+    Fingerprint::from_columns(
+        tags.iter()
+            .map(|t| {
+                let mut v = [0u32; 23];
+                v[18] = 40 + *t;
+                v[20] = t % 4;
+                PacketFeatures::from_raw(v)
+            })
+            .collect(),
+    )
+}
+
+fn quick_config() -> IdentifierConfig {
+    IdentifierConfig {
+        forest: ForestConfig {
+            n_trees: 7,
+            tree: TreeConfig::default(),
+            bootstrap: true,
+            threads: 1,
+        },
+        ..IdentifierConfig::default()
+    }
+}
+
+fn class_dataset(class_seeds: &[u32], samples_per_class: usize) -> Dataset {
+    let mut ds = Dataset::new();
+    for (ci, cs) in class_seeds.iter().enumerate() {
+        for i in 0..samples_per_class as u32 {
+            ds.push(LabeledFingerprint::new(
+                format!("T{ci}"),
+                fp(&[cs + i, cs + 17, cs + 31]),
+            ));
+        }
+    }
+    ds
+}
+
+/// Asserts the compiled bank and the interpreter agree on `probe`,
+/// through every stage-one entry point.
+fn assert_parity(
+    identifier: &iot_sentinel::core::DeviceTypeIdentifier,
+    scratch: &mut CandidateScratch,
+    probe: &Fingerprint,
+) {
+    let fixed = probe.to_fixed_with(identifier.config().fixed_prefix_len);
+    let compiled = identifier.classify_candidates(&fixed);
+    let interpreted = identifier.classify_candidates_interpreted(&fixed);
+    assert_eq!(
+        compiled, interpreted,
+        "compiled and interpreted candidate sets diverge on {probe:?}"
+    );
+    identifier.classify_candidates_into(&fixed, scratch);
+    assert_eq!(scratch.candidates(), compiled.as_slice());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The compiled bank returns bit-identical candidate sets to the
+    /// interpreter over arbitrary trained banks and random probes —
+    /// both for in-distribution fingerprints and for alien ones.
+    #[test]
+    fn compiled_bank_matches_interpreter(
+        class_seeds in proptest::collection::vec(0u32..10_000, 2..6),
+        samples_per_class in 4usize..8,
+        probe_tags in proptest::collection::vec(0u32..12_000, 1..16),
+    ) {
+        let ds = class_dataset(&class_seeds, samples_per_class);
+        let identifier = Trainer::new(quick_config()).train(&ds, 5).unwrap();
+        prop_assert_eq!(identifier.compiled_bank().forest_count(), identifier.type_count());
+        let mut scratch = CandidateScratch::new();
+        for tag in probe_tags {
+            assert_parity(&identifier, &mut scratch, &fp(&[tag, tag + 17, tag + 31]));
+        }
+    }
+
+    /// Parity survives incremental learning: `add_device_type` trains
+    /// one new classifier and recompiles the bank; candidate sets stay
+    /// bit-identical for old and new probes alike.
+    #[test]
+    fn parity_survives_add_device_type(
+        class_seeds in proptest::collection::vec(0u32..8_000, 2..4),
+        new_seed in 20_000u32..30_000,
+        probe_tags in proptest::collection::vec(0u32..32_000, 1..12),
+    ) {
+        let ds = class_dataset(&class_seeds, 5);
+        let mut identifier = Trainer::new(quick_config()).train(&ds, 7).unwrap();
+        let new_fps: Vec<Fingerprint> = (0..5u32)
+            .map(|i| fp(&[new_seed + i, new_seed + 17, new_seed + 31]))
+            .collect();
+        identifier.add_device_type("Late", &new_fps, 11).unwrap();
+        prop_assert_eq!(identifier.compiled_bank().forest_count(), identifier.type_count());
+        let mut scratch = CandidateScratch::new();
+        assert_parity(&identifier, &mut scratch, &new_fps[0]);
+        for tag in probe_tags {
+            assert_parity(&identifier, &mut scratch, &fp(&[tag, tag + 17, tag + 31]));
+        }
+    }
+
+    /// Parity survives persistence and a `ServiceCell` hot reload: the
+    /// loaded identifier recompiles its bank, the published epoch
+    /// serves it, and candidate sets still match the interpreter.
+    #[test]
+    fn parity_survives_reload_epochs(
+        class_seeds in proptest::collection::vec(0u32..8_000, 2..4),
+        new_seed in 20_000u32..30_000,
+        probe_tags in proptest::collection::vec(0u32..32_000, 1..10),
+    ) {
+        let ds = class_dataset(&class_seeds, 5);
+        let identifier = Trainer::new(quick_config()).train(&ds, 9).unwrap();
+        let cell = ServiceCell::new(IoTSecurityService::new(
+            identifier,
+            VulnerabilityDatabase::new(),
+        ));
+
+        // Persist the served model, reload it, extend it by one type,
+        // and publish the result as epoch 2.
+        let mut buf = Vec::new();
+        persist::write_identifier(&mut buf, cell.load().identifier()).unwrap();
+        let mut reloaded = persist::read_identifier(buf.as_slice()).unwrap();
+        let new_fps: Vec<Fingerprint> = (0..5u32)
+            .map(|i| fp(&[new_seed + i, new_seed + 17, new_seed + 31]))
+            .collect();
+        reloaded.add_device_type("Hotswap", &new_fps, 13).unwrap();
+        prop_assert_eq!(cell.replace_identifier(reloaded).unwrap(), 2);
+
+        let pinned = cell.load();
+        let identifier = pinned.identifier();
+        prop_assert_eq!(identifier.compiled_bank().forest_count(), identifier.type_count());
+        let mut scratch = CandidateScratch::new();
+        assert_parity(identifier, &mut scratch, &new_fps[0]);
+        for tag in probe_tags {
+            assert_parity(identifier, &mut scratch, &fp(&[tag, tag + 17, tag + 31]));
+        }
+    }
+}

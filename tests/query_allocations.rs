@@ -1,18 +1,22 @@
 //! Allocation accounting for the IoTSSP query hot path.
 //!
-//! The `TypeId` redesign's core claim: answering a query allocates no
-//! strings — a [`ServiceResponse`] is a `Copy` value (interned id +
-//! isolation class), and names are resolved by *borrowing* from the
-//! [`TypeRegistry`]. This test pins the claim with a counting global
-//! allocator: response assembly (assessment + response construction +
-//! name resolution) performs **zero** heap allocations, and `handle`
-//! allocates exactly as much as the identification stage alone — the
-//! response adds nothing.
+//! Two stacked claims are pinned with a counting global allocator:
+//!
+//! * The `TypeId` redesign: answering a query allocates no strings —
+//!   a [`ServiceResponse`] is a `Copy` value (interned id + isolation
+//!   class), and names are resolved by *borrowing* from the
+//!   [`TypeRegistry`]. Response assembly performs **zero** heap
+//!   allocations.
+//! * The compiled classifier bank: `identify` runs stage one against
+//!   a flat node arena through a per-thread `CandidateScratch`, so a
+//!   warm single-candidate (or unknown) query performs **zero** heap
+//!   allocations end to end — F′ conversion, candidate collection,
+//!   vote counting, identification result and response included.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use iot_sentinel::core::{IsolationClass, Severity, VulnerabilityRecord};
+use iot_sentinel::core::{CandidateScratch, IsolationClass, Severity, VulnerabilityRecord};
 use iot_sentinel::fingerprint::{Dataset, Fingerprint, LabeledFingerprint, PacketFeatures};
 use iot_sentinel::{Sentinel, SentinelBuilder};
 
@@ -88,6 +92,11 @@ fn sentinel() -> Sentinel {
         .unwrap()
 }
 
+/// The probes every test below agrees on: two clean single-candidate
+/// matches and one unknown device. None of them needs discrimination,
+/// so all three sit on the allocation-free fast path.
+const PROBE_BITS: [u32; 3] = [0b001, 0b010, 0b1000];
+
 #[test]
 fn response_assembly_is_allocation_free() {
     let s = sentinel();
@@ -122,58 +131,111 @@ fn response_assembly_is_allocation_free() {
 }
 
 #[test]
-fn identify_fixed_conversion_is_allocation_free_in_steady_state() {
-    // `identify` converts F to F′ through a per-thread scratch buffer;
-    // once that scratch is warm, identification allocates exactly what
-    // candidate classification alone allocates — the per-query
-    // fixed-vector (and unique-prefix) allocations are gone.
+fn warm_identify_is_allocation_free() {
+    // The compiled-bank claim in full: stage one runs against the flat
+    // arena, candidates land in the per-thread scratch, and the
+    // single-candidate / unknown outcomes own no heap data — so a warm
+    // `identify` performs zero allocations.
     let s = sentinel();
     let identifier = s.identifier();
-    let prefix_len = identifier.config().fixed_prefix_len;
-    for bits in [0b001u32, 0b010, 0b1000] {
+    for bits in PROBE_BITS {
         let probe = fp_bits(bits, &[104, 110, 120]);
-        let fixed = probe.to_fixed_with(prefix_len);
         // Warm up the thread-local scratch (and any lazy state).
         std::hint::black_box(identifier.identify(&probe));
-        std::hint::black_box(identifier.classify_candidates(&fixed));
 
-        let (classify_allocs, _) =
-            allocations_during(|| std::hint::black_box(identifier.classify_candidates(&fixed)));
-        let (identify_allocs, _) =
+        let (identify_allocs, result) =
             allocations_during(|| std::hint::black_box(identifier.identify(&probe)));
-        assert_eq!(
-            identify_allocs, classify_allocs,
-            "identify (bits {bits:#b}) must allocate exactly as much as \
-             classification alone: the F->F' conversion reuses the scratch"
-        );
-        // And the conversion it avoids is a real cost: computing F'
-        // from scratch allocates.
-        let (fresh_conversion_allocs, _) =
-            allocations_during(|| std::hint::black_box(probe.to_fixed_with(prefix_len)));
         assert!(
-            fresh_conversion_allocs > 0,
-            "to_fixed_with without a scratch is expected to allocate"
+            !result.needed_discrimination(),
+            "probe {bits:#b} must sit on the single-candidate fast path"
+        );
+        assert_eq!(
+            identify_allocs, 0,
+            "warm identify (bits {bits:#b}) must not touch the heap"
         );
     }
 }
 
 #[test]
-fn handle_allocates_no_more_than_identification_alone() {
+fn classify_candidates_into_reuses_the_scratch() {
+    let s = sentinel();
+    let identifier = s.identifier();
+    let prefix_len = identifier.config().fixed_prefix_len;
+    let mut scratch = CandidateScratch::new();
+    for bits in PROBE_BITS {
+        let probe = fp_bits(bits, &[104, 110, 120]);
+        let fixed = probe.to_fixed_with(prefix_len);
+        // First call may grow the scratch buffers...
+        identifier.classify_candidates_into(&fixed, &mut scratch);
+        // ...after which classification is allocation-free.
+        let (allocs, ()) =
+            allocations_during(|| identifier.classify_candidates_into(&fixed, &mut scratch));
+        assert_eq!(
+            allocs, 0,
+            "classify_candidates_into (bits {bits:#b}) must reuse the scratch"
+        );
+        assert_eq!(
+            scratch.candidates(),
+            identifier.classify_candidates(&fixed).as_slice(),
+            "scratch and owned-Vec entry points must agree"
+        );
+        // And the caller-owned-scratch identify is equally free.
+        std::hint::black_box(identifier.identify_with(&probe, &mut scratch));
+        let (allocs, _) = allocations_during(|| {
+            std::hint::black_box(identifier.identify_with(&probe, &mut scratch))
+        });
+        assert_eq!(allocs, 0, "warm identify_with (bits {bits:#b})");
+    }
+    // The conversion the scratch replaces is a real cost: computing F′
+    // from scratch does allocate.
+    let probe = fp_bits(0b001, &[104, 110, 120]);
+    let (fresh_conversion_allocs, _) =
+        allocations_during(|| std::hint::black_box(probe.to_fixed_with(prefix_len)));
+    assert!(
+        fresh_conversion_allocs > 0,
+        "to_fixed_with without a scratch is expected to allocate"
+    );
+}
+
+#[test]
+fn warm_handle_is_allocation_free() {
+    // End to end: the full service query (identify + assess + respond)
+    // must be allocation-free once the per-thread scratch is warm.
     let s = sentinel();
     let service = s.service();
-    for bits in [0b001u32, 0b010, 0b1000] {
+    for bits in PROBE_BITS {
         let probe = fp_bits(bits, &[104, 110, 120]);
         // Warm up any lazily initialised state.
         std::hint::black_box(service.handle(&probe));
-        std::hint::black_box(service.identifier().identify(&probe));
 
-        let (identify_allocs, _) =
-            allocations_during(|| std::hint::black_box(service.identifier().identify(&probe)));
         let (handle_allocs, _) =
             allocations_during(|| std::hint::black_box(service.handle(&probe)));
         assert_eq!(
-            handle_allocs, identify_allocs,
-            "the response layer on top of identification must add zero allocations"
+            handle_allocs, 0,
+            "a warm single-candidate handle (bits {bits:#b}) must not touch the heap"
+        );
+    }
+}
+
+#[test]
+fn interpreted_bank_no_longer_allocates_vote_vectors() {
+    // The reference interpreter also stopped paying `predict_proba`'s
+    // per-classifier vote vector: scanning the bank through
+    // `classify_candidates_interpreted` allocates only the returned
+    // candidate Vec (at most one allocation per non-empty result).
+    let s = sentinel();
+    let identifier = s.identifier();
+    let prefix_len = identifier.config().fixed_prefix_len;
+    for bits in PROBE_BITS {
+        let fixed = fp_bits(bits, &[104, 110, 120]).to_fixed_with(prefix_len);
+        let (allocs, candidates) =
+            allocations_during(|| identifier.classify_candidates_interpreted(&fixed));
+        let budget = u64::from(!candidates.is_empty());
+        assert!(
+            allocs <= budget,
+            "interpreted scan (bits {bits:#b}) allocated {allocs} times for \
+             {} candidates — the vote vectors are supposed to be gone",
+            candidates.len()
         );
     }
 }
