@@ -4,8 +4,8 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use sentinel_editdist::dissimilarity_over;
-use sentinel_fingerprint::{Dataset, Fingerprint, FixedFingerprint, FixedScratch};
-use sentinel_ml::{CompiledBank, CompiledBankBuilder};
+use sentinel_fingerprint::{Dataset, Fingerprint, FixedFingerprint, FixedScratch, FEATURE_COUNT};
+use sentinel_ml::{CompiledBank, CompiledBankBuilder, ShardScratch};
 
 use crate::classifier::TypeClassifier;
 use crate::error::CoreError;
@@ -109,6 +109,91 @@ impl CandidateScratch {
     }
 }
 
+/// Reusable workspace for the thread-sharded stage-one scan: the
+/// per-shard candidate lanes plus the merged candidate list. Warm
+/// [`DeviceTypeIdentifier::classify_candidates_sharded_into`] calls
+/// reuse all buffers.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedScratch {
+    lanes: ShardScratch,
+    candidates: Vec<TypeId>,
+}
+
+impl ShardedScratch {
+    /// An empty scratch; buffers grow on first use and are reused.
+    pub fn new() -> Self {
+        ShardedScratch::default()
+    }
+
+    /// The candidate ids produced by the most recent
+    /// [`DeviceTypeIdentifier::classify_candidates_sharded_into`]
+    /// call, in classifier (id) order.
+    pub fn candidates(&self) -> &[TypeId] {
+        &self.candidates
+    }
+}
+
+/// Shape and acceleration statistics of a compiled classifier bank
+/// (see [`DeviceTypeIdentifier::bank_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankStats {
+    /// Compiled forests (= known device types).
+    pub forests: usize,
+    /// Packed branch nodes across all forests.
+    pub nodes: usize,
+    /// Approximate arena footprint (nodes + roots + spans + index).
+    pub arena_bytes: usize,
+    /// Whether queries consult the feature-usage prefilter.
+    pub indexed: bool,
+    /// Stripe lanes the prefilter folds F′ dimensions into (23 for
+    /// banks compiled by this crate: the per-packet feature columns).
+    pub stripes: u32,
+}
+
+/// A compiled bank tiled to a large replicated type count, with the
+/// forest→[`TypeId`] mapping that [`CompiledBank::repeat`] alone does
+/// not carry: all copies share one registry/id slice, forest `i`
+/// answering for base forest `i mod base_count`.
+///
+/// The mapping is computed in `usize` — replica counts and forest
+/// indices past `u16::MAX` (the regime the 100k-type scaling bench
+/// exercises) stay exact. Built by
+/// [`DeviceTypeIdentifier::replicated_bank`], which also refuses
+/// tilings whose node references would wrap into earlier copies (the
+/// "off-by-bank" arena corruption) via [`CompiledBank::try_repeat`].
+#[derive(Debug, Clone)]
+pub struct ReplicatedBank {
+    bank: CompiledBank,
+    base_ids: Vec<TypeId>,
+}
+
+impl ReplicatedBank {
+    /// The tiled arena (every copy owns its own region).
+    pub fn bank(&self) -> &CompiledBank {
+        &self.bank
+    }
+
+    /// Total replicated type count (= tiled forest count).
+    pub fn type_count(&self) -> usize {
+        self.bank.forest_count()
+    }
+
+    /// Number of distinct base types behind the replicas.
+    pub fn base_count(&self) -> usize {
+        self.base_ids.len()
+    }
+
+    /// The device type forest `index` of the tiled bank answers for,
+    /// or `None` past the tiled forest count.
+    pub fn type_of(&self, index: usize) -> Option<TypeId> {
+        if index < self.bank.forest_count() {
+            Some(self.base_ids[index % self.base_ids.len()])
+        } else {
+            None
+        }
+    }
+}
+
 /// Per-type model state: the classifier plus reference fingerprints
 /// for discrimination.
 #[derive(Debug, Clone)]
@@ -163,8 +248,12 @@ impl DeviceTypeIdentifier {
     /// debug assertion catches forgotten rebuilds). Only fails for a
     /// non-binary classifier forest, which the training paths cannot
     /// produce (the persistence path validates before reaching here).
+    ///
+    /// Banks are indexed on the 23 per-packet F′ feature columns
+    /// (dimension `23·p + c` folds to column `c`), so the feature-usage
+    /// prefilter's stripes are exactly the paper's 23 features.
     pub(crate) fn rebuild_compiled(&mut self) -> Result<(), CoreError> {
-        let mut builder = CompiledBankBuilder::new();
+        let mut builder = CompiledBankBuilder::with_stripes(FEATURE_COUNT as u32);
         let mut ids = Vec::with_capacity(self.models.len());
         for (id, model) in &self.models {
             builder.push(model.classifier.forest(), self.config.accept_threshold)?;
@@ -173,6 +262,43 @@ impl DeviceTypeIdentifier {
         self.compiled = builder.finish();
         self.compiled_ids = ids;
         Ok(())
+    }
+
+    /// Appends **one** freshly trained model to the compiled bank
+    /// without touching the already-compiled regions — O(new forest)
+    /// instead of O(bank). Only valid when `id` sorts after every
+    /// compiled id (the bank mirrors the model map's ascending-id
+    /// order); [`DeviceTypeIdentifier::add_device_type`] falls back to
+    /// a full [`DeviceTypeIdentifier::rebuild_compiled`] otherwise
+    /// (retrains, out-of-order interning).
+    fn append_compiled(&mut self, id: TypeId) -> Result<(), CoreError> {
+        debug_assert!(self.compiled_ids.last().is_none_or(|last| *last < id));
+        let model = &self.models[&id];
+        let bank = std::mem::take(&mut self.compiled);
+        // A never-compiled identifier holds an unindexed default bank;
+        // start a fresh F′-striped builder instead of inheriting its
+        // disabled index.
+        let mut builder = if bank.is_empty() && !bank.is_indexed() {
+            CompiledBankBuilder::with_stripes(FEATURE_COUNT as u32)
+        } else {
+            CompiledBankBuilder::from_bank(bank)
+        };
+        match builder.push(model.classifier.forest(), self.config.accept_threshold) {
+            Ok(_) => {
+                self.compiled = builder.finish();
+                self.compiled_ids.push(id);
+                Ok(())
+            }
+            // The taken bank was dropped with the failed builder; a
+            // full rebuild restores models⇄bank consistency (or
+            // reports the same error). Clear the id column first so
+            // that even a failing rebuild leaves the (empty) bank and
+            // the id list mutually consistent.
+            Err(_) => {
+                self.compiled_ids.clear();
+                self.rebuild_compiled()
+            }
+        }
     }
 
     /// The compiled flat-arena classifier bank serving
@@ -315,8 +441,19 @@ impl DeviceTypeIdentifier {
             let fixed = f.to_fixed_with(self.config.fixed_prefix_len);
             self.pool.push((id, f.clone(), fixed));
         }
+        let fresh = !self.models.contains_key(&id);
         self.train_type(id, seed ^ fnv1a(label.as_bytes()))?;
-        self.rebuild_compiled()?;
+        // The common case — a type the bank has never seen, with an id
+        // sorting after every compiled forest — appends its node
+        // region and index row in O(new forest). Retraining an
+        // existing type (its forest changed in place) or a label
+        // interned out of order (the bank mirrors ascending-id order)
+        // falls back to the full recompile.
+        if fresh && self.compiled_ids.last().is_none_or(|last| *last < id) {
+            self.append_compiled(id)?;
+        } else {
+            self.rebuild_compiled()?;
+        }
         Ok(id)
     }
 
@@ -415,6 +552,100 @@ impl DeviceTypeIdentifier {
         scratch: &mut CandidateScratch,
     ) {
         self.classify_into(fixed, &mut scratch.candidates);
+    }
+
+    /// Stage one through the compiled bank **without** the
+    /// feature-usage prefilter: every forest is walked. The PR-4 full
+    /// scan, kept for A/B benchmarks against the indexed path.
+    pub fn classify_candidates_full(&self, fixed: &FixedFingerprint) -> Vec<TypeId> {
+        let mut out = Vec::new();
+        let ids = &self.compiled_ids;
+        self.compiled
+            .for_each_accepting_full(fixed.as_slice(), |index| out.push(ids[index]));
+        out
+    }
+
+    /// Stage one across `shards` scan threads: the compiled bank's
+    /// span table is split into disjoint contiguous ranges, each
+    /// scanned (prefilter included) by a crossbeam-scoped thread, and
+    /// the per-shard candidate lanes are merged in shard order — the
+    /// result is **bit-identical** to
+    /// [`DeviceTypeIdentifier::classify_candidates`], including order.
+    /// Worth it from a few thousand types up; at 27 types the spawn
+    /// cost dominates. Allocates the returned `Vec` (and a per-call
+    /// scratch); hot-path callers should prefer
+    /// [`DeviceTypeIdentifier::classify_candidates_sharded_into`].
+    pub fn classify_candidates_sharded(
+        &self,
+        fixed: &FixedFingerprint,
+        shards: usize,
+    ) -> Vec<TypeId> {
+        let mut scratch = ShardedScratch::new();
+        self.classify_candidates_sharded_into(fixed, shards, &mut scratch);
+        std::mem::take(&mut scratch.candidates)
+    }
+
+    /// [`DeviceTypeIdentifier::classify_candidates_sharded`] against a
+    /// caller-owned scratch: the per-shard lanes and the candidate
+    /// list reuse `scratch`'s buffers (read the result back via
+    /// [`ShardedScratch::candidates`]). Warm calls touch the heap only
+    /// for the scoped threads' fixed spawn bookkeeping — one shard
+    /// runs inline and allocates nothing.
+    pub fn classify_candidates_sharded_into(
+        &self,
+        fixed: &FixedFingerprint,
+        shards: usize,
+        scratch: &mut ShardedScratch,
+    ) {
+        debug_assert_eq!(
+            self.compiled_ids.len(),
+            self.models.len(),
+            "compiled bank out of sync with models — a mutation path \
+             forgot to call rebuild_compiled()"
+        );
+        let ShardedScratch { lanes, candidates } = scratch;
+        candidates.clear();
+        let ids = &self.compiled_ids;
+        self.compiled
+            .for_each_accepting_sharded(fixed.as_slice(), shards, lanes, |index| {
+                candidates.push(ids[index])
+            });
+    }
+
+    /// Shape and acceleration statistics of the compiled bank serving
+    /// this identifier's stage one.
+    pub fn bank_stats(&self) -> BankStats {
+        BankStats {
+            forests: self.compiled.forest_count(),
+            nodes: self.compiled.node_count(),
+            arena_bytes: self.compiled.arena_bytes(),
+            indexed: self.compiled.is_indexed(),
+            stripes: self.compiled.index().stripes(),
+        }
+    }
+
+    /// Tiles this identifier's compiled bank `replicas` times for
+    /// type-count scaling experiments, keeping the forest→[`TypeId`]
+    /// mapping: all copies share this identifier's registry, and
+    /// forest `i` of the tiled bank answers for the type of base
+    /// forest `i mod type_count`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BadDataset`] when the identifier has no compiled
+    /// forests or `replicas` is zero; [`CoreError::Ml`] when the tiled
+    /// arena would overflow the 31-bit reference space
+    /// ([`CompiledBank::try_repeat`]).
+    pub fn replicated_bank(&self, replicas: usize) -> Result<ReplicatedBank, CoreError> {
+        if self.compiled_ids.is_empty() || replicas == 0 {
+            return Err(CoreError::BadDataset(
+                "replicating needs a trained bank and at least one copy".into(),
+            ));
+        }
+        Ok(ReplicatedBank {
+            bank: self.compiled.try_repeat(replicas)?,
+            base_ids: self.compiled_ids.clone(),
+        })
     }
 
     /// Stage one through the reference tree-walking interpreter (one
@@ -780,6 +1011,159 @@ mod tests {
         let wrong = probe.to_fixed_with(3);
         assert!(id.classify_candidates(&wrong).is_empty());
         assert!(id.classify_candidates_interpreted(&wrong).is_empty());
+    }
+
+    /// Every stage-one entry point — indexed, full scan, sharded at
+    /// several widths, caller-scratch — must agree with the
+    /// interpreter bit for bit.
+    fn assert_all_scans_agree(id: &DeviceTypeIdentifier, probe: &Fingerprint) {
+        let fixed = probe.to_fixed_with(id.config().fixed_prefix_len);
+        let interpreted = id.classify_candidates_interpreted(&fixed);
+        assert_eq!(id.classify_candidates(&fixed), interpreted);
+        assert_eq!(id.classify_candidates_full(&fixed), interpreted);
+        let mut scratch = ShardedScratch::new();
+        for shards in [1usize, 2, 3, 8] {
+            assert_eq!(
+                id.classify_candidates_sharded(&fixed, shards),
+                interpreted,
+                "sharded({shards}) diverged on {probe:?}"
+            );
+            id.classify_candidates_sharded_into(&fixed, shards, &mut scratch);
+            assert_eq!(scratch.candidates(), interpreted.as_slice());
+        }
+    }
+
+    #[test]
+    fn incremental_append_keeps_every_scan_path_in_parity() {
+        let mut id = trained();
+        let stats_before = id.bank_stats();
+        assert!(stats_before.indexed);
+        assert_eq!(stats_before.stripes, 23);
+        assert_eq!(stats_before.forests, 3);
+        // Two incremental additions ride the append fast path (fresh
+        // labels, ascending ids).
+        for (label, base) in [("TypeD", 3000u32), ("TypeE", 4000)] {
+            let fps: Vec<Fingerprint> = (0..10)
+                .map(|i| fp(&[base + i, base + 10, base + 20]))
+                .collect();
+            id.add_device_type(label, &fps, 5).unwrap();
+            for probe in [
+                fp(&[104, 110, 120, 130]),
+                fp(&[505, 510, 520, 530]),
+                fp(&[base + 4, base + 10, base + 20]),
+                fp(&[1, 2, 3]),
+            ] {
+                assert_all_scans_agree(&id, &probe);
+            }
+        }
+        let stats_after = id.bank_stats();
+        assert_eq!(stats_after.forests, 5);
+        assert!(stats_after.indexed, "appends keep the index usable");
+        assert!(stats_after.nodes >= stats_before.nodes);
+    }
+
+    #[test]
+    fn out_of_order_interning_and_retrains_fall_back_to_recompiles() {
+        let mut id = trained();
+        // Interned now, trained later: its id sorts *before* the next
+        // fresh label's, so training it below cannot append at the
+        // bank's tail.
+        id.registry_mut().intern("AheadOfTime");
+        let late: Vec<Fingerprint> = (0..10).map(|i| fp(&[5000 + i, 5010, 5020])).collect();
+        id.add_device_type("ZLate", &late, 7).unwrap();
+        let early: Vec<Fingerprint> = (0..10).map(|i| fp(&[7000 + i, 7010, 7020])).collect();
+        id.add_device_type("AheadOfTime", &early, 9).unwrap();
+        assert_eq!(id.type_count(), 5);
+        // Retraining an existing type (forest replaced in place) also
+        // recompiles rather than appending a duplicate forest.
+        let retrain: Vec<Fingerprint> = (0..10).map(|i| fp(&[100 + i, 110, 120, 130])).collect();
+        id.add_device_type("TypeA", &retrain, 11).unwrap();
+        assert_eq!(id.type_count(), 5);
+        assert_eq!(id.bank_stats().forests, 5);
+        for probe in [
+            fp(&[104, 110, 120, 130]),
+            fp(&[5004, 5010, 5020]),
+            fp(&[7004, 7010, 7020]),
+            fp(&[905, 910, 920, 930]),
+        ] {
+            assert_all_scans_agree(&id, &probe);
+        }
+    }
+
+    fn leaf_only_identifier() -> DeviceTypeIdentifier {
+        use sentinel_ml::{ForestConfig, TreeConfig};
+        let config = IdentifierConfig {
+            forest: ForestConfig {
+                n_trees: 3,
+                tree: TreeConfig {
+                    max_depth: 0,
+                    ..TreeConfig::default()
+                },
+                bootstrap: true,
+                threads: 1,
+            },
+            ..IdentifierConfig::default()
+        };
+        Trainer::new(config).train(&dataset(), 3).unwrap()
+    }
+
+    #[test]
+    fn replicated_bank_maps_forests_to_types_past_u16_max() {
+        // Regression: the forest→TypeId mapping of a tiled bank must
+        // stay exact when the replicated type count exceeds u16::MAX —
+        // all copies share one registry slice, so the mapping is a
+        // usize modulo, never a narrowed index. Leaf-only forests keep
+        // the 120k-forest arena tiny (zero packed nodes).
+        let id = leaf_only_identifier();
+        let base: Vec<TypeId> = id.known_type_ids().collect();
+        assert_eq!(base.len(), 3);
+        let replicas = 40_000usize;
+        let tiled = id.replicated_bank(replicas).unwrap();
+        assert_eq!(tiled.type_count(), 120_000);
+        assert_eq!(tiled.base_count(), 3);
+        assert!(tiled.type_count() > usize::from(u16::MAX));
+        for index in [0usize, 1, 2, 3, 65_535, 65_536, 65_537, 99_999, 119_999] {
+            assert_eq!(
+                tiled.type_of(index),
+                Some(base[index % 3]),
+                "forest {index} mapped to the wrong bank copy"
+            );
+        }
+        assert_eq!(tiled.type_of(120_000), None);
+        // The tiled arena answers like the base bank, copy for copy.
+        let probe = fp(&[104, 110, 120, 130]).to_fixed_with(id.config().fixed_prefix_len);
+        let base_accepts: Vec<bool> = (0..3)
+            .map(|i| id.compiled_bank().accepts(i, probe.as_slice()))
+            .collect();
+        for index in [3usize, 65_537, 119_997] {
+            assert_eq!(
+                tiled.bank().accepts(index, probe.as_slice()),
+                base_accepts[index % 3]
+            );
+        }
+    }
+
+    #[test]
+    fn replicated_bank_rejects_bad_shapes_with_typed_errors() {
+        let id = trained();
+        assert!(matches!(
+            id.replicated_bank(0),
+            Err(CoreError::BadDataset(_))
+        ));
+        // A tiling whose node references would wrap into earlier
+        // copies must come back as a typed error, not a corrupt bank.
+        let nodes = id.bank_stats().nodes;
+        assert!(nodes > 0);
+        let overflow = (1usize << 31) / nodes + 1;
+        assert!(matches!(
+            id.replicated_bank(overflow),
+            Err(CoreError::Ml(_))
+        ));
+        let untrained = DeviceTypeIdentifier::new(IdentifierConfig::default());
+        assert!(matches!(
+            untrained.replicated_bank(4),
+            Err(CoreError::BadDataset(_))
+        ));
     }
 
     #[test]

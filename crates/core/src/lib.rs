@@ -59,7 +59,10 @@ pub mod vulnerability;
 pub use cell::{ServiceCell, ServiceEpoch};
 pub use classifier::TypeClassifier;
 pub use error::CoreError;
-pub use identifier::{CandidateScratch, DeviceTypeIdentifier, Identification};
+pub use identifier::{
+    BankStats, CandidateScratch, DeviceTypeIdentifier, Identification, ReplicatedBank,
+    ShardedScratch,
+};
 pub use incidents::{
     CorrelatorConfig, FlaggedType, GatewayId, IncidentCorrelator, IncidentKind, IncidentReport,
 };

@@ -107,6 +107,14 @@ impl IoTSecurityService {
         &mut self.identifier
     }
 
+    /// Shape and acceleration statistics of the compiled classifier
+    /// bank this service answers stage one from — what an operator
+    /// checks after a [`crate::ServiceCell`] republish to confirm the
+    /// freshly published epoch serves an indexed bank.
+    pub fn bank_stats(&self) -> crate::identifier::BankStats {
+        self.identifier.bank_stats()
+    }
+
     /// The vulnerability database.
     pub fn vulnerabilities(&self) -> &VulnerabilityDatabase {
         &self.vulnerabilities

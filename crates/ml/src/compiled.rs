@@ -36,15 +36,38 @@
 //! sound by construction. [`CompiledBank::from_raw_parts`] exists for
 //! robustness tests and external tooling that wants to feed the
 //! evaluator hostile arenas.
+//!
+//! On top of the arena sit two scan accelerators (both bit-identical
+//! to the sequential full scan on builder-made banks):
+//!
+//! * a **feature-usage prefilter** ([`crate::index::BankIndex`]): each
+//!   forest records which feature stripes its branch nodes test plus
+//!   its precomputed verdict on the all-default sample; a query whose
+//!   nonzero stripes miss a forest's tested set is answered from the
+//!   cached verdict without walking a tree.
+//! * a **thread-sharded scan** ([`CompiledBank::for_each_accepting_sharded`]):
+//!   disjoint [`ForestSpan`] ranges are scanned by crossbeam-scoped
+//!   threads into per-shard lanes and merged in shard order, so
+//!   candidate order is exactly the sequential push order.
 
 use crate::error::MlError;
 use crate::forest::RandomForest;
+use crate::index::{BankIndex, IndexRow, MAX_STRIPES};
 use crate::tree::Node;
 
 /// Tag bit marking a child reference as a leaf; bit 0 then carries the
 /// tree's positive-class vote. References without the tag are indices
 /// into the bank's node arena.
 pub const LEAF_BIT: u32 = 1 << 31;
+
+/// Bank size from which [`CompiledBank::for_each_accepting`] consults
+/// the feature-usage prefilter. Computing the query bitmap is a fixed
+/// ~O(sample) cost; below this many forests it is a measurable
+/// fraction of the whole scan (≈8% at 27 types) while above it it
+/// disappears (<2% at 64, ~0 at thousands). The sharded scan always
+/// consults the index — sharding only makes sense on banks far past
+/// this threshold.
+pub const PREFILTER_MIN_FORESTS: usize = 64;
 
 /// One branch node of the compiled arena: 16 bytes, no enum
 /// discriminant. `left`/`right` are tagged references (see
@@ -89,6 +112,7 @@ pub struct CompiledBank {
     nodes: Vec<PackedNode>,
     roots: Vec<u32>,
     forests: Vec<ForestSpan>,
+    index: BankIndex,
 }
 
 impl CompiledBank {
@@ -98,7 +122,8 @@ impl CompiledBank {
     /// references, cycles, spans past the tables) by voting negative,
     /// so this is safe to call — it just may not *mean* anything.
     /// Intended for robustness tests and external arena tooling;
-    /// everything else should use [`CompiledBankBuilder`].
+    /// everything else should use [`CompiledBankBuilder`]. Raw banks
+    /// carry no feature-usage index: every query is a full scan.
     pub fn from_raw_parts(
         nodes: Vec<PackedNode>,
         roots: Vec<u32>,
@@ -108,7 +133,44 @@ impl CompiledBank {
             nodes,
             roots,
             forests,
+            index: BankIndex::disabled(),
         }
+    }
+
+    /// [`CompiledBank::from_raw_parts`] with an externally supplied
+    /// feature-usage index, garbage welcome.
+    ///
+    /// The index is advisory: it is consulted only when
+    /// [`BankIndex::is_usable`] holds for the forest count (otherwise
+    /// every query falls back to the full scan), and a hostile row can
+    /// only ever reroute its forest to the row's recorded default
+    /// verdict — never cause a panic, an out-of-bounds access or
+    /// unbounded work. Robustness-test entry point.
+    pub fn from_raw_parts_indexed(
+        nodes: Vec<PackedNode>,
+        roots: Vec<u32>,
+        forests: Vec<ForestSpan>,
+        index: BankIndex,
+    ) -> Self {
+        CompiledBank {
+            nodes,
+            roots,
+            forests,
+            index,
+        }
+    }
+
+    /// The bank's feature-usage index. Usable (consulted by queries)
+    /// only when [`BankIndex::is_usable`] holds for
+    /// [`CompiledBank::forest_count`]; builder-made banks always
+    /// satisfy that.
+    pub fn index(&self) -> &BankIndex {
+        &self.index
+    }
+
+    /// Whether queries on this bank actually use the prefilter.
+    pub fn is_indexed(&self) -> bool {
+        self.index.is_usable(self.forests.len())
     }
 
     /// Number of forests in the bank.
@@ -126,11 +188,13 @@ impl CompiledBank {
         self.nodes.len()
     }
 
-    /// Approximate arena footprint in bytes (nodes + roots + spans).
+    /// Approximate arena footprint in bytes (nodes + roots + spans +
+    /// index rows).
     pub fn arena_bytes(&self) -> usize {
         self.nodes.len() * std::mem::size_of::<PackedNode>()
             + self.roots.len() * std::mem::size_of::<u32>()
             + self.forests.len() * std::mem::size_of::<ForestSpan>()
+            + std::mem::size_of_val(self.index.rows())
     }
 
     /// The per-forest metadata, in push order.
@@ -152,12 +216,166 @@ impl CompiledBank {
 
     /// Calls `f(index)` for every forest accepting `sample`, in push
     /// order. Allocation-free.
-    pub fn for_each_accepting(&self, sample: &[f32], mut f: impl FnMut(usize)) {
+    ///
+    /// From [`PREFILTER_MIN_FORESTS`] forests up (and with a usable
+    /// feature-usage index), the query's nonzero-stripe bitmap is
+    /// computed once and every forest whose tested-stripe set does not
+    /// intersect it is answered from its cached all-default verdict
+    /// without walking the arena — bit-identical to the full scan by
+    /// construction (all tested dimensions read the default `0.0`).
+    /// Below the threshold the bitmap's fixed cost cannot pay for
+    /// itself against a scan this short, so small banks take
+    /// [`CompiledBank::for_each_accepting_full`] directly; use
+    /// [`CompiledBank::for_each_accepting_indexed`] to force the
+    /// prefilter at any size (parity tests, benchmarks).
+    pub fn for_each_accepting(&self, sample: &[f32], f: impl FnMut(usize)) {
+        if self.forests.len() >= PREFILTER_MIN_FORESTS {
+            self.for_each_accepting_indexed(sample, f);
+        } else {
+            self.for_each_accepting_full(sample, f);
+        }
+    }
+
+    /// [`CompiledBank::for_each_accepting`] with the prefilter forced
+    /// on regardless of bank size (it still requires a usable index —
+    /// raw-parts banks without one scan fully). The surface the parity
+    /// suites and A/B benches drive, so prefilter semantics are
+    /// exercised on banks of every size, not only past the hot path's
+    /// size threshold.
+    pub fn for_each_accepting_indexed(&self, sample: &[f32], mut f: impl FnMut(usize)) {
+        match self.usable_bitmap(sample) {
+            Some(bitmap) => {
+                for (index, span) in self.forests.iter().enumerate() {
+                    if self.prefiltered_verdict(index, span, sample, bitmap) {
+                        f(index);
+                    }
+                }
+            }
+            None => self.for_each_accepting_full(sample, f),
+        }
+    }
+
+    /// The unindexed full scan: every forest is evaluated through the
+    /// arena, no prefilter consulted. Reference for A/B benchmarks and
+    /// the fallback for banks without a usable index.
+    pub fn for_each_accepting_full(&self, sample: &[f32], mut f: impl FnMut(usize)) {
         for (index, span) in self.forests.iter().enumerate() {
             if self.span_accepts(span, sample) {
                 f(index);
             }
         }
+    }
+
+    /// Calls `f(index)` for every forest accepting `sample`, scanning
+    /// disjoint span ranges on `shards` crossbeam-scoped threads
+    /// (prefilter applied per shard; the query bitmap is computed
+    /// once). Accepted indices land in `scratch`'s per-shard lanes and
+    /// are merged in shard order, so `f` observes **exactly** the
+    /// sequential push order — bit-identical to
+    /// [`CompiledBank::for_each_accepting`].
+    ///
+    /// `shards` is clamped to `1..=forest_count`; one shard (or an
+    /// empty bank) runs inline without spawning. A warm call's only
+    /// heap traffic is the fixed per-spawn bookkeeping of the scoped
+    /// threads — the scratch lanes are reused across calls.
+    pub fn for_each_accepting_sharded(
+        &self,
+        sample: &[f32],
+        shards: usize,
+        scratch: &mut ShardScratch,
+        mut f: impl FnMut(usize),
+    ) {
+        let n = self.forests.len();
+        let shards = shards.clamp(1, n.max(1));
+        // Lane entries are u32 forest indices; banks that large cannot
+        // be built (roots alone exceed u32), but a hostile span table
+        // could be — scan it serially.
+        if shards <= 1 || n > u32::MAX as usize {
+            self.for_each_accepting(sample, f);
+            return;
+        }
+        if scratch.lanes.len() < shards {
+            scratch.lanes.resize_with(shards, Vec::new);
+        }
+        let bitmap = self.usable_bitmap(sample);
+        let chunk = n.div_ceil(shards);
+        let (first, rest) = scratch.lanes.split_at_mut(1);
+        let first = &mut first[0];
+        crossbeam::thread::scope(|s| {
+            for (i, lane) in rest.iter_mut().take(shards - 1).enumerate() {
+                let start = (i + 1) * chunk;
+                s.spawn(move |_| {
+                    self.scan_range(start..(start + chunk).min(n), sample, bitmap, lane)
+                });
+            }
+            self.scan_range(0..chunk.min(n), sample, bitmap, first);
+        })
+        .expect("scoped scan threads do not panic");
+        for lane in &scratch.lanes[..shards] {
+            for index in lane {
+                f(*index as usize);
+            }
+        }
+    }
+
+    /// Scans one contiguous forest range into `out` (cleared first) —
+    /// the shard worker body. Bounds-clamped so hostile ranges cannot
+    /// index past the span table.
+    fn scan_range(
+        &self,
+        range: std::ops::Range<usize>,
+        sample: &[f32],
+        bitmap: Option<u32>,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        let end = range.end.min(self.forests.len());
+        for index in range.start.min(end)..end {
+            let span = &self.forests[index];
+            let accepts = match bitmap {
+                Some(bm) => self.prefiltered_verdict(index, span, sample, bm),
+                None => self.span_accepts(span, sample),
+            };
+            if accepts {
+                out.push(index as u32);
+            }
+        }
+    }
+
+    /// The query's nonzero-stripe bitmap, or `None` when the index is
+    /// not usable for this bank and queries must scan fully.
+    fn usable_bitmap(&self, sample: &[f32]) -> Option<u32> {
+        if self.index.is_usable(self.forests.len()) {
+            Some(self.index.sample_bitmap(sample))
+        } else {
+            None
+        }
+    }
+
+    /// One forest's verdict under the prefilter: a forest whose tested
+    /// stripes miss the query's nonzero stripes reads the default
+    /// value at every tested dimension, so its cached all-default
+    /// verdict IS its verdict — no walk needed. The dimension check
+    /// runs first so a wrong-length sample stays `false` exactly like
+    /// [`CompiledBank::span_accepts`]. Missing rows (impossible when
+    /// the usability check passed, but kept panic-free) fall back to
+    /// the full evaluation.
+    #[inline]
+    fn prefiltered_verdict(
+        &self,
+        index: usize,
+        span: &ForestSpan,
+        sample: &[f32],
+        bitmap: u32,
+    ) -> bool {
+        if sample.len() == span.n_features as usize {
+            if let Some(row) = self.index.rows().get(index) {
+                if row.tested & bitmap == 0 {
+                    return row.default_accepts;
+                }
+            }
+        }
+        self.span_accepts(span, sample)
     }
 
     /// Full positive-vote count of forest `index` on `sample` (no
@@ -180,12 +398,60 @@ impl CompiledBank {
     /// Tiles the bank `times` times: the result holds `times ×
     /// forest_count` forests, each copy with its own arena region (so
     /// the memory footprint scales like a genuinely larger bank —
-    /// what the type-count scaling benchmarks need).
+    /// what the type-count scaling benchmarks need). The feature-usage
+    /// index tiles with it: every copy keeps its source forest's row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tiled arena would overflow the tagged 31-bit
+    /// reference space or the `u32` root table — before this check,
+    /// large tilings silently wrapped node references *into earlier
+    /// copies' regions* (an off-by-bank corruption that surfaced at
+    /// replicated type counts past `u16::MAX`). Use
+    /// [`CompiledBank::try_repeat`] to get the typed error instead.
     pub fn repeat(&self, times: usize) -> CompiledBank {
+        self.try_repeat(times)
+            .expect("tiled bank exceeds the 31-bit arena reference space")
+    }
+
+    /// [`CompiledBank::repeat`] with overflow reported as a typed
+    /// error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::BadConfig`] when `times × node_count` would reach
+    /// the tagged 31-bit reference space (node references would wrap
+    /// into earlier copies) or `times × root_count` would overflow the
+    /// `u32` root offsets. Checked **before** any allocation.
+    pub fn try_repeat(&self, times: usize) -> Result<CompiledBank, MlError> {
+        let nodes_total = self
+            .nodes
+            .len()
+            .checked_mul(times)
+            .filter(|total| *total < LEAF_BIT as usize)
+            .ok_or_else(|| {
+                MlError::BadConfig(format!(
+                    "tiling {} nodes x {times} copies exceeds the 31-bit arena \
+                     reference space",
+                    self.nodes.len()
+                ))
+            })?;
+        let roots_total = self
+            .roots
+            .len()
+            .checked_mul(times)
+            .filter(|total| *total <= u32::MAX as usize)
+            .ok_or_else(|| {
+                MlError::BadConfig(format!(
+                    "tiling {} roots x {times} copies overflows the u32 root table",
+                    self.roots.len()
+                ))
+            })?;
         let mut out = CompiledBank {
-            nodes: Vec::with_capacity(self.nodes.len() * times),
-            roots: Vec::with_capacity(self.roots.len() * times),
+            nodes: Vec::with_capacity(nodes_total),
+            roots: Vec::with_capacity(roots_total),
             forests: Vec::with_capacity(self.forests.len() * times),
+            index: self.index.repeat(times),
         };
         for copy in 0..times {
             let node_offset = (copy * self.nodes.len()) as u32;
@@ -208,7 +474,7 @@ impl CompiledBank {
                 ..*s
             }));
         }
-        out
+        Ok(out)
     }
 
     fn span_roots(&self, span: &ForestSpan) -> Option<&[u32]> {
@@ -279,16 +545,78 @@ impl CompiledBank {
     }
 }
 
-/// Incrementally compiles binary forests into one [`CompiledBank`].
+/// Reusable per-shard lanes for [`CompiledBank::for_each_accepting_sharded`]:
+/// each scan thread writes accepted forest indices into its own lane,
+/// and a warm call reuses the lanes' capacity — the scan itself
+/// allocates nothing beyond the scoped threads' fixed spawn
+/// bookkeeping.
 #[derive(Debug, Clone, Default)]
+pub struct ShardScratch {
+    lanes: Vec<Vec<u32>>,
+}
+
+impl ShardScratch {
+    /// An empty scratch; lanes grow on first use and are reused.
+    pub fn new() -> Self {
+        ShardScratch::default()
+    }
+
+    /// Number of lanes currently allocated (= the widest shard count
+    /// seen so far).
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+}
+
+/// Incrementally compiles binary forests into one [`CompiledBank`].
+#[derive(Debug, Clone)]
 pub struct CompiledBankBuilder {
     bank: CompiledBank,
 }
 
+impl Default for CompiledBankBuilder {
+    fn default() -> Self {
+        CompiledBankBuilder::new()
+    }
+}
+
 impl CompiledBankBuilder {
-    /// An empty builder.
+    /// An empty builder indexing on [`MAX_STRIPES`] feature stripes
+    /// (dimension `d` maps to index bit `d % 32`). Callers whose
+    /// samples have a semantic column period — like Sentinel's
+    /// 23-features-per-packet F′ layout — should pick it with
+    /// [`CompiledBankBuilder::with_stripes`] for a sharper prefilter.
     pub fn new() -> Self {
-        CompiledBankBuilder::default()
+        CompiledBankBuilder::with_stripes(MAX_STRIPES)
+    }
+
+    /// An empty builder folding feature dimensions into `stripes`
+    /// index bits (`1..=32`; anything else disables indexing and the
+    /// finished bank scans fully).
+    pub fn with_stripes(stripes: u32) -> Self {
+        CompiledBankBuilder {
+            bank: CompiledBank {
+                index: BankIndex::new(stripes),
+                ..CompiledBank::default()
+            },
+        }
+    }
+
+    /// Resumes building on top of an existing bank: pushed forests
+    /// **append** their node region, root entries, span and index row
+    /// — nothing already compiled is touched or recompiled. This is
+    /// the incremental-compilation path behind `add_device_type` at
+    /// large bank sizes (re-running the whole builder would be
+    /// O(bank) per added type).
+    ///
+    /// If the bank's index is not usable for its forest count (a
+    /// raw-parts bank), indexing stays disabled for the appended bank
+    /// too — a partial index would silently misroute queries.
+    pub fn from_bank(mut bank: CompiledBank) -> Self {
+        if !bank.forests.is_empty() && !bank.index.is_usable(bank.forests.len()) {
+            bank.index = BankIndex::disabled();
+        }
+        CompiledBankBuilder { bank }
     }
 
     /// Compiles `forest` into the arena with the given fractional
@@ -329,17 +657,38 @@ impl CompiledBankBuilder {
             ));
         }
         let roots_start = self.bank.roots.len() as u32;
+        let nodes_start = self.bank.nodes.len();
         for tree in forest.trees() {
             let root = self.compile_tree(tree.nodes());
             self.bank.roots.push(root);
         }
         let n_trees = forest.n_trees() as u32;
-        self.bank.forests.push(ForestSpan {
+        let span = ForestSpan {
             roots_start,
             n_trees,
             accept_votes: votes_needed(accept_threshold, forest.n_trees()),
             n_features: forest.n_features() as u32,
-        });
+        };
+        self.bank.forests.push(span);
+        let stripes = self.bank.index.stripes();
+        if (1..=MAX_STRIPES).contains(&stripes) {
+            // Index row: the stripes this forest's branch nodes test
+            // (union over its freshly emitted node region — an
+            // over-approximation of any single walk, which is exactly
+            // what makes skipping sound), plus its verdict on the
+            // all-default sample, evaluated once right here.
+            let tested = self.bank.nodes[nodes_start..]
+                .iter()
+                .fold(0u32, |bits, node| {
+                    bits | 1 << (u32::from(node.feature) % stripes)
+                });
+            let zeros = vec![0f32; span.n_features as usize];
+            let default_accepts = self.bank.span_accepts(&span, &zeros);
+            self.bank.index.push_row(IndexRow {
+                tested,
+                default_accepts,
+            });
+        }
         Ok(self.bank.forests.len() - 1)
     }
 
@@ -468,7 +817,7 @@ mod tests {
         for _ in 0..50 {
             let sample: Vec<f32> = (0..2).map(|_| rng.gen::<f32>() * 1.5).collect();
             let mut compiled = Vec::new();
-            bank.for_each_accepting(&sample, |i| compiled.push(i));
+            bank.for_each_accepting_indexed(&sample, |i| compiled.push(i));
             let sequential: Vec<usize> = forests
                 .iter()
                 .enumerate()
@@ -619,6 +968,373 @@ mod tests {
             }
         }
         assert_eq!(bank.repeat(0).forest_count(), 0);
+    }
+
+    #[test]
+    fn builder_banks_are_indexed_and_prefilter_is_bit_identical() {
+        let forests: Vec<RandomForest> = (0..4).map(|i| forest(90 + i, 3)).collect();
+        let mut builder = CompiledBankBuilder::with_stripes(3);
+        for f in &forests {
+            builder.push(f, 0.35).unwrap();
+        }
+        let bank = builder.finish();
+        assert!(bank.is_indexed());
+        assert_eq!(bank.index().rows().len(), 4);
+        assert_eq!(bank.index().stripes(), 3);
+        let mut rng = SmallRng::seed_from_u64(13);
+        for case in 0..300 {
+            // Mix dense and mostly-zero samples — the latter is where
+            // the prefilter actually routes to cached verdicts.
+            let sample: Vec<f32> = (0..3)
+                .map(|_| {
+                    if case % 3 == 0 || rng.gen::<f32>() < 0.6 {
+                        0.0
+                    } else {
+                        rng.gen::<f32>() * 1.5
+                    }
+                })
+                .collect();
+            let mut indexed = Vec::new();
+            bank.for_each_accepting_indexed(&sample, |i| indexed.push(i));
+            let mut full = Vec::new();
+            bank.for_each_accepting_full(&sample, |i| full.push(i));
+            assert_eq!(indexed, full, "prefilter diverged on {sample:?}");
+            let interpreted: Vec<usize> = forests
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.positive_vote_fraction(&sample).unwrap() >= 0.35)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(indexed, interpreted);
+        }
+        // The all-default sample is answered purely from cached
+        // verdicts; it must still match the full scan bit for bit.
+        let zeros = [0f32; 3];
+        assert_eq!(bank.index().sample_bitmap(&zeros), 0);
+        let mut indexed = Vec::new();
+        bank.for_each_accepting_indexed(&zeros, |i| indexed.push(i));
+        let mut full = Vec::new();
+        bank.for_each_accepting_full(&zeros, |i| full.push(i));
+        assert_eq!(indexed, full);
+        let defaults: Vec<usize> = bank
+            .index()
+            .rows()
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| row.default_accepts)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(
+            indexed, defaults,
+            "cached verdicts are the zero-sample truth"
+        );
+    }
+
+    #[test]
+    fn sharded_scan_is_bit_identical_and_ordered() {
+        let forests: Vec<RandomForest> = (0..7).map(|i| forest(110 + i, 2)).collect();
+        let mut builder = CompiledBankBuilder::with_stripes(2);
+        for f in &forests {
+            builder.push(f, 0.2).unwrap();
+        }
+        let bank = builder.finish();
+        let mut scratch = ShardScratch::new();
+        let mut rng = SmallRng::seed_from_u64(29);
+        for _ in 0..60 {
+            let sample: Vec<f32> = (0..2).map(|_| rng.gen::<f32>() * 1.5).collect();
+            let mut sequential = Vec::new();
+            bank.for_each_accepting_indexed(&sample, |i| sequential.push(i));
+            // Every shard count — including 1 (inline) and counts past
+            // the forest count (clamped) — merges to the same order.
+            for shards in [0usize, 1, 2, 3, 5, 7, 16] {
+                let mut sharded = Vec::new();
+                bank.for_each_accepting_sharded(&sample, shards, &mut scratch, |i| sharded.push(i));
+                assert_eq!(
+                    sharded, sequential,
+                    "sharded({shards}) diverged on {sample:?}"
+                );
+            }
+        }
+        assert!(scratch.lane_count() >= 7);
+    }
+
+    #[test]
+    fn from_bank_appends_identically_to_one_shot_compilation() {
+        let forests: Vec<RandomForest> = (0..5).map(|i| forest(130 + i, 3)).collect();
+        let mut oneshot = CompiledBankBuilder::with_stripes(3);
+        for f in &forests {
+            oneshot.push(f, 0.5).unwrap();
+        }
+        let oneshot = oneshot.finish();
+
+        let mut first = CompiledBankBuilder::with_stripes(3);
+        for f in &forests[..3] {
+            first.push(f, 0.5).unwrap();
+        }
+        let mut resumed = CompiledBankBuilder::from_bank(first.finish());
+        for f in &forests[3..] {
+            resumed.push(f, 0.5).unwrap();
+        }
+        let resumed = resumed.finish();
+
+        // The append path reproduces the one-shot arena exactly.
+        assert_eq!(resumed.nodes, oneshot.nodes);
+        assert_eq!(resumed.roots, oneshot.roots);
+        assert_eq!(resumed.spans(), oneshot.spans());
+        assert_eq!(resumed.index(), oneshot.index());
+    }
+
+    #[test]
+    fn from_bank_on_unindexed_banks_keeps_indexing_disabled() {
+        let span = ForestSpan {
+            roots_start: 0,
+            n_trees: 1,
+            accept_votes: 1,
+            n_features: 3,
+        };
+        let raw = CompiledBank::from_raw_parts(vec![], vec![LEAF_BIT | 1], vec![span]);
+        assert!(!raw.is_indexed());
+        let mut builder = CompiledBankBuilder::from_bank(raw);
+        builder.push(&forest(150, 3), 0.5).unwrap();
+        let bank = builder.finish();
+        // A partial index would misroute; it must stay disabled...
+        assert!(!bank.is_indexed());
+        // ...and queries fall back to the (correct) full scan.
+        let sample = [0.4f32, 0.6, 0.1];
+        let mut indexed = Vec::new();
+        bank.for_each_accepting_indexed(&sample, |i| indexed.push(i));
+        let mut full = Vec::new();
+        bank.for_each_accepting_full(&sample, |i| full.push(i));
+        assert_eq!(indexed, full);
+    }
+
+    #[test]
+    fn try_repeat_reports_overflow_as_typed_errors() {
+        let mut builder = CompiledBankBuilder::new();
+        builder.push(&forest(42, 2), 0.5).unwrap();
+        let bank = builder.finish();
+        assert!(bank.node_count() > 0);
+        // Node references would wrap into earlier copies — the
+        // off-by-bank corruption this guard exists for.
+        let times = LEAF_BIT as usize / bank.node_count() + 1;
+        assert!(matches!(bank.try_repeat(times), Err(MlError::BadConfig(_))));
+        // Root-table overflow on a nodeless (leaf-only) bank.
+        let span = ForestSpan {
+            roots_start: 0,
+            n_trees: 2,
+            accept_votes: 1,
+            n_features: 1,
+        };
+        let leafy = CompiledBank::from_raw_parts(vec![], vec![LEAF_BIT | 1, LEAF_BIT], vec![span]);
+        let times = u32::MAX as usize / 2 + 1;
+        assert!(matches!(
+            leafy.try_repeat(times),
+            Err(MlError::BadConfig(_))
+        ));
+        // In-range tilings still work through the checked path.
+        assert_eq!(bank.try_repeat(3).unwrap().forest_count(), 3);
+    }
+
+    #[test]
+    fn repeat_tiles_the_index_with_the_arena() {
+        let forests: Vec<RandomForest> = (0..3).map(|i| forest(160 + i, 2)).collect();
+        let mut builder = CompiledBankBuilder::with_stripes(2);
+        for f in &forests {
+            builder.push(f, 0.5).unwrap();
+        }
+        let bank = builder.finish();
+        let tiled = bank.repeat(5);
+        assert!(tiled.is_indexed());
+        assert_eq!(tiled.index().rows().len(), 15);
+        for copy in 0..5 {
+            assert_eq!(
+                &tiled.index().rows()[copy * 3..copy * 3 + 3],
+                bank.index().rows()
+            );
+        }
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut scratch = ShardScratch::new();
+        for _ in 0..30 {
+            let sample: Vec<f32> = (0..2).map(|_| rng.gen::<f32>() * 1.5).collect();
+            let mut indexed = Vec::new();
+            tiled.for_each_accepting_indexed(&sample, |i| indexed.push(i));
+            let mut full = Vec::new();
+            tiled.for_each_accepting_full(&sample, |i| full.push(i));
+            assert_eq!(indexed, full);
+            let mut sharded = Vec::new();
+            tiled.for_each_accepting_sharded(&sample, 4, &mut scratch, |i| sharded.push(i));
+            assert_eq!(sharded, full);
+        }
+    }
+
+    #[test]
+    fn corrupt_index_rows_never_panic_and_only_reroute_to_recorded_defaults() {
+        // A sound arena with hostile index rows: every query must
+        // complete panic-free, and each forest's answer is either its
+        // true scan verdict or the garbage row's recorded default —
+        // nothing else (no OOB, no unbounded work, no invented votes).
+        let forests: Vec<RandomForest> = (0..3).map(|i| forest(170 + i, 2)).collect();
+        let mut builder = CompiledBankBuilder::with_stripes(2);
+        for f in &forests {
+            builder.push(f, 0.5).unwrap();
+        }
+        let sound = builder.finish();
+        let mut rng = SmallRng::seed_from_u64(41);
+        for _ in 0..40 {
+            let garbage_rows: Vec<IndexRow> = (0..3)
+                .map(|_| IndexRow {
+                    tested: rng.gen::<u32>(),
+                    default_accepts: rng.gen::<f32>() < 0.5,
+                })
+                .collect();
+            let hostile = CompiledBank::from_raw_parts_indexed(
+                sound.nodes.clone(),
+                sound.roots.clone(),
+                sound.forests.clone(),
+                BankIndex::from_rows(2, garbage_rows.clone()),
+            );
+            assert!(hostile.is_indexed());
+            for _ in 0..20 {
+                let sample: Vec<f32> = (0..2)
+                    .map(|_| {
+                        if rng.gen::<f32>() < 0.5 {
+                            0.0
+                        } else {
+                            rng.gen::<f32>() * 1.5
+                        }
+                    })
+                    .collect();
+                let mut verdicts = [false; 3];
+                hostile.for_each_accepting_indexed(&sample, |i| verdicts[i] = true);
+                let mut sharded = Vec::new();
+                let mut scratch = ShardScratch::new();
+                hostile.for_each_accepting_sharded(&sample, 3, &mut scratch, |i| sharded.push(i));
+                for (i, row) in garbage_rows.iter().enumerate() {
+                    let truth = sound.accepts(i, &sample);
+                    assert!(
+                        verdicts[i] == truth || verdicts[i] == row.default_accepts,
+                        "forest {i} invented a verdict on {sample:?}"
+                    );
+                    assert_eq!(
+                        sharded.contains(&i),
+                        verdicts[i],
+                        "sharded and serial hostile scans diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unusable_index_shapes_degrade_to_the_full_scan() {
+        let forests: Vec<RandomForest> = (0..3).map(|i| forest(180 + i, 2)).collect();
+        let mut builder = CompiledBankBuilder::with_stripes(2);
+        for f in &forests {
+            builder.push(f, 0.5).unwrap();
+        }
+        let sound = builder.finish();
+        let junk_row = IndexRow {
+            tested: 0,
+            default_accepts: true,
+        };
+        // Row-count mismatches and out-of-range stripe counts must be
+        // ignored entirely — exact full-scan behavior, junk defaults
+        // never consulted.
+        let shapes = [
+            BankIndex::from_rows(2, vec![junk_row; 1]),
+            BankIndex::from_rows(2, vec![junk_row; 7]),
+            BankIndex::from_rows(0, vec![junk_row; 3]),
+            BankIndex::from_rows(MAX_STRIPES + 9, vec![junk_row; 3]),
+        ];
+        let mut rng = SmallRng::seed_from_u64(43);
+        for index in shapes {
+            let hostile = CompiledBank::from_raw_parts_indexed(
+                sound.nodes.clone(),
+                sound.roots.clone(),
+                sound.forests.clone(),
+                index,
+            );
+            assert!(!hostile.is_indexed());
+            for _ in 0..20 {
+                let sample: Vec<f32> = (0..2).map(|_| rng.gen::<f32>() * 1.5).collect();
+                let mut got = Vec::new();
+                hostile.for_each_accepting_indexed(&sample, |i| got.push(i));
+                let mut want = Vec::new();
+                sound.for_each_accepting_full(&sample, |i| want.push(i));
+                assert_eq!(got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_arenas_with_corrupt_indexes_stay_panic_free() {
+        // Garbage everywhere at once: cyclic nodes, wild spans, wild
+        // index rows. Evaluation must terminate under the step budget
+        // with only scan-or-default verdicts, through every entry
+        // point including the sharded one.
+        let cyclic = PackedNode {
+            feature: 9,
+            threshold: 0.5,
+            left: 0,
+            right: 0,
+        };
+        let spans = vec![
+            ForestSpan {
+                roots_start: 0,
+                n_trees: 1,
+                accept_votes: 1,
+                n_features: 2,
+            },
+            ForestSpan {
+                roots_start: u32::MAX,
+                n_trees: u32::MAX,
+                accept_votes: 1,
+                n_features: 2,
+            },
+            ForestSpan {
+                roots_start: 0,
+                n_trees: 1,
+                accept_votes: 0,
+                n_features: 2,
+            },
+        ];
+        let rows = vec![
+            IndexRow {
+                tested: 0,
+                default_accepts: true,
+            },
+            IndexRow {
+                tested: u32::MAX,
+                default_accepts: true,
+            },
+            IndexRow {
+                tested: 0b10,
+                default_accepts: false,
+            },
+        ];
+        let bank = CompiledBank::from_raw_parts_indexed(
+            vec![cyclic],
+            vec![0],
+            spans,
+            BankIndex::from_rows(2, rows.clone()),
+        );
+        assert!(bank.is_indexed());
+        let mut scratch = ShardScratch::new();
+        for sample in [[0.5f32, 0.5], [0.0, 0.0], [f32::NAN, 1.0]] {
+            let mut serial = Vec::new();
+            bank.for_each_accepting_indexed(&sample, |i| serial.push(i));
+            let mut sharded = Vec::new();
+            bank.for_each_accepting_sharded(&sample, 3, &mut scratch, |i| sharded.push(i));
+            assert_eq!(serial, sharded);
+            for (i, row) in rows.iter().enumerate() {
+                let scan = bank.accepts(i, &sample);
+                let got = serial.contains(&i);
+                assert!(
+                    got == scan || got == row.default_accepts,
+                    "corrupt forest {i} invented a verdict on {sample:?}"
+                );
+            }
+        }
     }
 
     #[test]

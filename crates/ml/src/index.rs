@@ -1,0 +1,267 @@
+//! Feature-usage index over a compiled classifier bank: the prefilter
+//! that lets a query skip most forests without walking a single tree.
+//!
+//! The observation: a binary forest's verdict on a sample depends only
+//! on the feature dimensions its branch nodes actually *test*. IoT
+//! Sentinel's F′ vectors are mostly zeros (most of the 23 per-packet
+//! features are 0/1 protocol flags, and a device only exercises a
+//! handful of protocols), so for many (query, forest) pairs every
+//! tested dimension reads the default value `0.0` — and the forest's
+//! verdict is **exactly** its verdict on the all-default (all-zero)
+//! fingerprint, which can be computed once at compile time.
+//!
+//! The index stores, per forest, an [`IndexRow`]:
+//!
+//! * `tested` — a bitmap over *feature stripes*: dimension `d` maps to
+//!   bit `d % stripes`. For Sentinel banks `stripes` is 23, so the
+//!   bits are exactly the 23 per-packet F′ features (dimension
+//!   `23·p + c` carries feature column `c` of packet slot `p`).
+//! * `default_accepts` — the forest's precomputed verdict on the
+//!   all-zero sample of its own dimensionality.
+//!
+//! At query time the bank computes the query's nonzero-stripe bitmap
+//! **once** ([`BankIndex::sample_bitmap`]); any forest whose `tested`
+//! set does not intersect it reads zeros at every tested dimension and
+//! is answered from `default_accepts` without touching the arena.
+//!
+//! Correctness does not depend on the stripe choice: for *any* mapping
+//! of dimensions to bits, `tested ∩ nonzero = ∅` implies every tested
+//! dimension is zero, hence the walk is identical to the all-zero
+//! walk. The stripe count only affects selectivity. (Two float
+//! subtleties are load-bearing and covered by tests: `NaN != 0.0` is
+//! true, so NaN dimensions always set their stripe bit and are never
+//! wrongly skipped; `-0.0 == 0.0`, and `-0.0 <= t` branches exactly
+//! like `0.0 <= t`, so treating `-0.0` as default is sound.)
+//!
+//! An index is **advisory**: [`crate::CompiledBank`] only consults it
+//! when [`BankIndex::is_usable`] holds for the bank's forest count,
+//! and falls back to the full scan otherwise. Hostile or corrupt index
+//! rows (see [`crate::CompiledBank::from_raw_parts_indexed`]) can
+//! misroute a forest to its default verdict, but can never cause a
+//! panic, unbounded work, or an out-of-bounds access — the corruption
+//! battery in `compiled` pins this.
+
+/// Upper bound on the stripe count: bitmaps are `u32`.
+pub const MAX_STRIPES: u32 = 32;
+
+/// One forest's entry in the bank index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexRow {
+    /// Bitmap of feature stripes tested by the forest's branch nodes
+    /// (bit `d % stripes` for every tested dimension `d`).
+    pub tested: u32,
+    /// The forest's verdict on the all-zero sample of its own
+    /// dimensionality, precomputed at compile time.
+    pub default_accepts: bool,
+}
+
+/// Feature-usage prefilter rows for every forest of a compiled bank.
+///
+/// Built by [`crate::CompiledBankBuilder`]; assembled directly from
+/// rows only for robustness tests and external arena tooling via
+/// [`BankIndex::from_rows`] + [`crate::CompiledBank::from_raw_parts_indexed`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BankIndex {
+    stripes: u32,
+    /// Union of every row's `tested` bits — lets
+    /// [`BankIndex::sample_bitmap`] stop scanning dimensions once no
+    /// further bit can change a routing decision.
+    tested_union: u32,
+    rows: Vec<IndexRow>,
+}
+
+impl BankIndex {
+    /// An empty index mapping dimensions to `stripes` bit lanes.
+    /// A stripe count of zero (or above [`MAX_STRIPES`]) produces a
+    /// permanently unusable index — the bank scans fully.
+    pub fn new(stripes: u32) -> Self {
+        BankIndex {
+            stripes,
+            tested_union: 0,
+            rows: Vec::new(),
+        }
+    }
+
+    /// A disabled index: never usable, the bank always scans fully.
+    pub fn disabled() -> Self {
+        BankIndex::new(0)
+    }
+
+    /// Assembles an index from externally supplied rows, garbage
+    /// welcome — evaluation treats rows as advisory (see the module
+    /// docs). Robustness-test / arena-tooling entry point.
+    pub fn from_rows(stripes: u32, rows: Vec<IndexRow>) -> Self {
+        let tested_union = rows.iter().fold(0, |u, r| u | r.tested);
+        BankIndex {
+            stripes,
+            tested_union,
+            rows,
+        }
+    }
+
+    /// The stripe count dimensions are folded into.
+    pub fn stripes(&self) -> u32 {
+        self.stripes
+    }
+
+    /// The per-forest rows, in forest order.
+    pub fn rows(&self) -> &[IndexRow] {
+        &self.rows
+    }
+
+    /// Appends one forest's row (builder path).
+    pub(crate) fn push_row(&mut self, row: IndexRow) {
+        self.tested_union |= row.tested;
+        self.rows.push(row);
+    }
+
+    /// Tiles the rows `times` times (mirror of
+    /// [`crate::CompiledBank::repeat`]: every copy keeps its source
+    /// forest's row).
+    pub(crate) fn repeat(&self, times: usize) -> BankIndex {
+        let mut rows = Vec::with_capacity(self.rows.len() * times);
+        for _ in 0..times {
+            rows.extend_from_slice(&self.rows);
+        }
+        BankIndex {
+            stripes: self.stripes,
+            tested_union: self.tested_union,
+            rows,
+        }
+    }
+
+    /// Whether the bank may consult this index: a sane stripe count
+    /// and exactly one row per forest. Anything else — including the
+    /// row-count mismatches hostile constructions produce — makes the
+    /// bank ignore the index and scan fully.
+    pub fn is_usable(&self, forest_count: usize) -> bool {
+        self.stripes >= 1 && self.stripes <= MAX_STRIPES && self.rows.len() == forest_count
+    }
+
+    /// The query's nonzero-stripe bitmap: bit `d % stripes` is set
+    /// when some dimension `d` of that stripe holds a value other than
+    /// (positive or negative) zero. NaN is "not zero", so NaN
+    /// dimensions set their bit.
+    ///
+    /// Only stripes some forest actually tests are computed — bits
+    /// outside the tested union cannot change a routing decision, so
+    /// they are left unset. The scan walks each live stripe's
+    /// dimensions with stride `stripes` and stops at the first nonzero
+    /// value, which makes dense real-world fingerprints (whose active
+    /// stripes hit in the first packet slot) cheap: a handful of loads
+    /// per stripe instead of a full pass over the sample.
+    ///
+    /// Allocation-free; computed once per query.
+    pub fn sample_bitmap(&self, sample: &[f32]) -> u32 {
+        debug_assert!(self.stripes >= 1 && self.stripes <= MAX_STRIPES);
+        let stripes = self.stripes as usize;
+        let mut bitmap = 0u32;
+        let mut remaining = self.tested_union;
+        while remaining != 0 {
+            let stripe = remaining.trailing_zeros();
+            remaining &= remaining - 1;
+            if stripe as usize >= stripes {
+                // Hostile rows can carry bits no dimension folds to;
+                // they never intersect a query and are skipped here.
+                continue;
+            }
+            let mut dim = stripe as usize;
+            while dim < sample.len() {
+                if sample[dim] != 0.0 {
+                    bitmap |= 1 << stripe;
+                    break;
+                }
+                dim += stripes;
+            }
+        }
+        bitmap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_bitmap_folds_dimensions_into_stripes() {
+        let idx = BankIndex::from_rows(
+            4,
+            vec![IndexRow {
+                tested: 0b1111,
+                default_accepts: false,
+            }],
+        );
+        // Dims 0..8 fold mod 4: nonzero at dims 1 and 6 → bits 1 and 2.
+        let bm = idx.sample_bitmap(&[0.0, 3.0, 0.0, 0.0, 0.0, 0.0, -2.0, 0.0]);
+        assert_eq!(bm, 0b0110);
+        assert_eq!(idx.sample_bitmap(&[0.0; 8]), 0);
+    }
+
+    #[test]
+    fn negative_zero_is_default_nan_is_not() {
+        let idx = BankIndex::from_rows(
+            2,
+            vec![IndexRow {
+                tested: 0b11,
+                default_accepts: false,
+            }],
+        );
+        assert_eq!(idx.sample_bitmap(&[-0.0, -0.0]), 0);
+        assert_eq!(idx.sample_bitmap(&[f32::NAN, 0.0]), 0b01);
+    }
+
+    #[test]
+    fn early_exit_stops_at_the_tested_union() {
+        // Only stripe 0 is ever tested; once it is covered the scan
+        // must stop setting further bits.
+        let idx = BankIndex::from_rows(
+            8,
+            vec![IndexRow {
+                tested: 0b1,
+                default_accepts: true,
+            }],
+        );
+        let sample = [1.0f32; 16];
+        let bm = idx.sample_bitmap(&sample);
+        assert_eq!(bm & 0b1, 0b1);
+        assert_eq!(bm, 0b1, "scan must stop once the union is covered");
+    }
+
+    #[test]
+    fn usability_rules() {
+        assert!(BankIndex::from_rows(23, vec![]).is_usable(0));
+        let row = IndexRow {
+            tested: 1,
+            default_accepts: false,
+        };
+        assert!(BankIndex::from_rows(1, vec![row; 3]).is_usable(3));
+        assert!(BankIndex::from_rows(MAX_STRIPES, vec![row; 3]).is_usable(3));
+        // Row-count mismatch, zero stripes, oversized stripes: unusable.
+        assert!(!BankIndex::from_rows(23, vec![row; 2]).is_usable(3));
+        assert!(!BankIndex::from_rows(0, vec![row; 3]).is_usable(3));
+        assert!(!BankIndex::from_rows(MAX_STRIPES + 1, vec![row; 3]).is_usable(3));
+        assert!(!BankIndex::disabled().is_usable(0));
+    }
+
+    #[test]
+    fn repeat_tiles_rows() {
+        let rows = vec![
+            IndexRow {
+                tested: 0b01,
+                default_accepts: true,
+            },
+            IndexRow {
+                tested: 0b10,
+                default_accepts: false,
+            },
+        ];
+        let idx = BankIndex::from_rows(2, rows.clone());
+        let tiled = idx.repeat(3);
+        assert_eq!(tiled.rows().len(), 6);
+        assert!(tiled.is_usable(6));
+        for copy in 0..3 {
+            assert_eq!(&tiled.rows()[copy * 2..copy * 2 + 2], rows.as_slice());
+        }
+        assert_eq!(idx.repeat(0).rows().len(), 0);
+    }
+}

@@ -15,7 +15,11 @@
 //!   forests: packed 16-byte branch nodes, leaves folded into tagged
 //!   child references, early-exit voting, allocation- and panic-free
 //!   evaluation. The representation behind the identification hot
-//!   path.
+//!   path, with a thread-sharded scan for very large banks.
+//! * [`index`] — the feature-usage prefilter over compiled banks:
+//!   per-forest tested-stripe bitmaps plus cached all-default
+//!   verdicts, so queries skip forests that never look at their
+//!   nonzero features.
 //! * [`metrics`] — accuracy and labelled confusion matrices (the shapes
 //!   reported in Fig. 5 and Table III).
 //! * [`sampler`] — bootstrap and without-replacement index sampling
@@ -44,12 +48,16 @@ pub mod codec;
 pub mod compiled;
 pub mod error;
 pub mod forest;
+pub mod index;
 pub mod metrics;
 pub mod sampler;
 pub mod tree;
 
-pub use compiled::{CompiledBank, CompiledBankBuilder, ForestSpan, PackedNode};
+pub use compiled::{
+    CompiledBank, CompiledBankBuilder, ForestSpan, PackedNode, ShardScratch, PREFILTER_MIN_FORESTS,
+};
 pub use error::MlError;
 pub use forest::{ForestConfig, RandomForest};
+pub use index::{BankIndex, IndexRow, MAX_STRIPES};
 pub use metrics::{accuracy, ConfusionMatrix};
 pub use tree::{DecisionTree, FeatureSubsample, TreeConfig};

@@ -658,6 +658,15 @@ impl Sentinel {
         self.controller.service().identifier()
     }
 
+    /// Shape and acceleration statistics of the compiled classifier
+    /// bank behind [`Sentinel::handle`]'s stage one: forest/node
+    /// counts, arena footprint, and whether the feature-usage
+    /// prefilter is active (it is for every trained or reloaded
+    /// model).
+    pub fn bank_stats(&self) -> sentinel_core::BankStats {
+        self.controller.service().bank_stats()
+    }
+
     /// The SDN controller, for flows the facade does not cover
     /// (flow-level filters, rule-cache preloading, testbeds).
     pub fn controller(&self) -> &SdnController {

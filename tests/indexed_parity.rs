@@ -1,0 +1,203 @@
+//! Indexed / sharded scan parity properties.
+//!
+//! The feature-bitmap prefilter and the thread-sharded scan exist
+//! purely as faster routes through the compiled classifier bank: for
+//! every fingerprint, over every bank shape we can randomly construct,
+//! the candidate set (content **and** order) must be bit-identical to
+//! the reference tree-walking interpreter — the same contract
+//! `compiled_parity.rs` pins for the plain compiled scan. An index is
+//! a correctness hazard (a wrongly skipped forest is a silently lost
+//! candidate), so this suite drives the indexed paths through every
+//! mutation path a served bank goes through: incremental
+//! `add_device_type` appends (which extend the arena and index in
+//! place), persistence round-trips, and `ServiceCell` hot-reload
+//! epochs.
+
+use proptest::prelude::*;
+
+use iot_sentinel::core::{
+    persist, IdentifierConfig, IoTSecurityService, ServiceCell, ShardedScratch, Trainer,
+    VulnerabilityDatabase,
+};
+use iot_sentinel::fingerprint::{Dataset, Fingerprint, LabeledFingerprint, PacketFeatures};
+use iot_sentinel::ml::{ForestConfig, TreeConfig};
+
+fn fp(tags: &[u32]) -> Fingerprint {
+    Fingerprint::from_columns(
+        tags.iter()
+            .map(|t| {
+                let mut v = [0u32; 23];
+                v[18] = 40 + *t;
+                v[20] = t % 4;
+                // A protocol-flag column keyed off the tag, so probes
+                // differ in which of the 23 feature columns are
+                // nonzero — the dimension the prefilter routes on.
+                v[(t % 12) as usize] = 1;
+                PacketFeatures::from_raw(v)
+            })
+            .collect(),
+    )
+}
+
+fn quick_config() -> IdentifierConfig {
+    IdentifierConfig {
+        forest: ForestConfig {
+            n_trees: 7,
+            tree: TreeConfig::default(),
+            bootstrap: true,
+            threads: 1,
+        },
+        ..IdentifierConfig::default()
+    }
+}
+
+fn class_dataset(class_seeds: &[u32], samples_per_class: usize) -> Dataset {
+    let mut ds = Dataset::new();
+    for (ci, cs) in class_seeds.iter().enumerate() {
+        for i in 0..samples_per_class as u32 {
+            ds.push(LabeledFingerprint::new(
+                format!("T{ci}"),
+                fp(&[cs + i, cs + 17, cs + 31]),
+            ));
+        }
+    }
+    ds
+}
+
+/// Asserts the indexed scan, the unindexed full scan, and the sharded
+/// scan at several widths all reproduce the interpreter's candidate
+/// set exactly, through the owned-Vec and caller-scratch entry points.
+fn assert_indexed_parity(
+    identifier: &iot_sentinel::core::DeviceTypeIdentifier,
+    scratch: &mut ShardedScratch,
+    probe: &Fingerprint,
+) {
+    let fixed = probe.to_fixed_with(identifier.config().fixed_prefix_len);
+    let interpreted = identifier.classify_candidates_interpreted(&fixed);
+    let indexed = identifier.classify_candidates(&fixed);
+    assert_eq!(
+        indexed, interpreted,
+        "indexed scan diverged from the interpreter on {probe:?}"
+    );
+    assert_eq!(
+        identifier.classify_candidates_full(&fixed),
+        interpreted,
+        "full scan diverged from the interpreter on {probe:?}"
+    );
+    // The hot path only consults the prefilter past its size
+    // threshold; force it at bank level so banks of *every* size
+    // exercise the skip-to-cached-verdict route.
+    let ids: Vec<_> = identifier.known_type_ids().collect();
+    let mut forced = Vec::new();
+    identifier
+        .compiled_bank()
+        .for_each_accepting_indexed(fixed.as_slice(), |i| forced.push(ids[i]));
+    assert_eq!(
+        forced, interpreted,
+        "forced prefilter scan diverged from the interpreter on {probe:?}"
+    );
+    for shards in [1usize, 2, 3, 7] {
+        identifier.classify_candidates_sharded_into(&fixed, shards, scratch);
+        assert_eq!(
+            scratch.candidates(),
+            interpreted.as_slice(),
+            "sharded({shards}) scan diverged on {probe:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random banks × random fingerprints: the indexed and sharded
+    /// candidate sets are bit-identical to the interpreter, for
+    /// in-distribution and alien probes alike.
+    #[test]
+    fn indexed_scan_matches_interpreter(
+        class_seeds in proptest::collection::vec(0u32..10_000, 2..6),
+        samples_per_class in 4usize..8,
+        probe_tags in proptest::collection::vec(0u32..12_000, 1..16),
+    ) {
+        let ds = class_dataset(&class_seeds, samples_per_class);
+        let identifier = Trainer::new(quick_config()).train(&ds, 5).unwrap();
+        let stats = identifier.bank_stats();
+        prop_assert!(stats.indexed, "trained banks must carry a usable index");
+        prop_assert_eq!(stats.stripes, 23);
+        prop_assert_eq!(stats.forests, identifier.type_count());
+        let mut scratch = ShardedScratch::new();
+        for tag in probe_tags {
+            assert_indexed_parity(&identifier, &mut scratch, &fp(&[tag, tag + 17, tag + 31]));
+        }
+        // The all-default fingerprint exercises the pure
+        // cached-verdict route (its nonzero bitmap is empty).
+        assert_indexed_parity(&identifier, &mut scratch, &Fingerprint::from_columns(Vec::new()));
+    }
+
+    /// Parity survives incremental learning: `add_device_type` appends
+    /// the new forest's node region and index row in place (no
+    /// recompilation of existing regions) and candidate sets stay
+    /// bit-identical for old and new probes alike — across several
+    /// consecutive appends.
+    #[test]
+    fn parity_survives_incremental_appends(
+        class_seeds in proptest::collection::vec(0u32..8_000, 2..4),
+        new_seeds in proptest::collection::vec(20_000u32..30_000, 1..4),
+        probe_tags in proptest::collection::vec(0u32..32_000, 1..10),
+    ) {
+        let ds = class_dataset(&class_seeds, 5);
+        let mut identifier = Trainer::new(quick_config()).train(&ds, 7).unwrap();
+        let mut scratch = ShardedScratch::new();
+        for (round, new_seed) in new_seeds.iter().enumerate() {
+            let new_fps: Vec<Fingerprint> = (0..5u32)
+                .map(|i| fp(&[new_seed + i, new_seed + 17, new_seed + 31]))
+                .collect();
+            identifier
+                .add_device_type(&format!("Late{round}"), &new_fps, 11 + round as u64)
+                .unwrap();
+            prop_assert_eq!(identifier.bank_stats().forests, identifier.type_count());
+            prop_assert!(identifier.bank_stats().indexed);
+            assert_indexed_parity(&identifier, &mut scratch, &new_fps[0]);
+        }
+        for tag in probe_tags {
+            assert_indexed_parity(&identifier, &mut scratch, &fp(&[tag, tag + 17, tag + 31]));
+        }
+    }
+
+    /// Parity survives persistence and `ServiceCell` hot-reload
+    /// epochs: the reloaded identifier recompiles (and re-indexes) its
+    /// bank, an incremental append extends it, the published epoch
+    /// serves it — and every scan route still matches the interpreter.
+    #[test]
+    fn parity_survives_reload_epochs(
+        class_seeds in proptest::collection::vec(0u32..8_000, 2..4),
+        new_seed in 20_000u32..30_000,
+        probe_tags in proptest::collection::vec(0u32..32_000, 1..10),
+    ) {
+        let ds = class_dataset(&class_seeds, 5);
+        let identifier = Trainer::new(quick_config()).train(&ds, 9).unwrap();
+        let cell = ServiceCell::new(IoTSecurityService::new(
+            identifier,
+            VulnerabilityDatabase::new(),
+        ));
+
+        let mut buf = Vec::new();
+        persist::write_identifier(&mut buf, cell.load().identifier()).unwrap();
+        let mut reloaded = persist::read_identifier(buf.as_slice()).unwrap();
+        prop_assert!(reloaded.bank_stats().indexed, "reload must re-index the bank");
+        let new_fps: Vec<Fingerprint> = (0..5u32)
+            .map(|i| fp(&[new_seed + i, new_seed + 17, new_seed + 31]))
+            .collect();
+        reloaded.add_device_type("Hotswap", &new_fps, 13).unwrap();
+        prop_assert_eq!(cell.replace_identifier(reloaded).unwrap(), 2);
+
+        let pinned = cell.load();
+        let identifier = pinned.identifier();
+        prop_assert_eq!(identifier.bank_stats().forests, identifier.type_count());
+        prop_assert!(identifier.bank_stats().indexed);
+        let mut scratch = ShardedScratch::new();
+        assert_indexed_parity(identifier, &mut scratch, &new_fps[0]);
+        for tag in probe_tags {
+            assert_indexed_parity(identifier, &mut scratch, &fp(&[tag, tag + 17, tag + 31]));
+        }
+    }
+}

@@ -12,13 +12,34 @@
 //!   warm single-candidate (or unknown) query performs **zero** heap
 //!   allocations end to end — F′ conversion, candidate collection,
 //!   vote counting, identification result and response included.
+//! * The feature-usage index: trained banks now route stage one
+//!   through the prefilter (query bitmap + cached default verdicts),
+//!   and that must not cost an allocation either — the zero-allocation
+//!   pins above now hold *for the indexed scan*. The thread-sharded
+//!   scan is allowed exactly its fixed per-spawn scoped-thread
+//!   bookkeeping (lanes are reused), pinned as an exact, reproducible,
+//!   linear-in-spawns count.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
-use iot_sentinel::core::{CandidateScratch, IsolationClass, Severity, VulnerabilityRecord};
+use iot_sentinel::core::{
+    CandidateScratch, IsolationClass, Severity, ShardedScratch, VulnerabilityRecord,
+};
 use iot_sentinel::fingerprint::{Dataset, Fingerprint, LabeledFingerprint, PacketFeatures};
 use iot_sentinel::{Sentinel, SentinelBuilder};
+
+/// The allocation counter is process-global, so concurrently running
+/// tests would pollute each other's measured windows. Every test in
+/// this binary holds this lock for its whole body.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 struct CountingAllocator;
 
@@ -99,6 +120,7 @@ const PROBE_BITS: [u32; 3] = [0b001, 0b010, 0b1000];
 
 #[test]
 fn response_assembly_is_allocation_free() {
+    let _serial = serial();
     let s = sentinel();
     let service = s.service();
     for (bits, expected) in [
@@ -132,6 +154,7 @@ fn response_assembly_is_allocation_free() {
 
 #[test]
 fn warm_identify_is_allocation_free() {
+    let _serial = serial();
     // The compiled-bank claim in full: stage one runs against the flat
     // arena, candidates land in the per-thread scratch, and the
     // single-candidate / unknown outcomes own no heap data — so a warm
@@ -158,6 +181,7 @@ fn warm_identify_is_allocation_free() {
 
 #[test]
 fn classify_candidates_into_reuses_the_scratch() {
+    let _serial = serial();
     let s = sentinel();
     let identifier = s.identifier();
     let prefix_len = identifier.config().fixed_prefix_len;
@@ -199,6 +223,7 @@ fn classify_candidates_into_reuses_the_scratch() {
 
 #[test]
 fn warm_handle_is_allocation_free() {
+    let _serial = serial();
     // End to end: the full service query (identify + assess + respond)
     // must be allocation-free once the per-thread scratch is warm.
     let s = sentinel();
@@ -218,7 +243,87 @@ fn warm_handle_is_allocation_free() {
 }
 
 #[test]
+fn sharded_scan_allocations_are_pinned_to_spawn_bookkeeping() {
+    let _serial = serial();
+    // The sharded scan's lanes live in the caller's scratch, so the
+    // only heap traffic a warm call is allowed is the scoped threads'
+    // fixed per-spawn bookkeeping: one shard runs inline and must be
+    // allocation-free; k shards must cost an *exact, reproducible*
+    // count that grows linearly with the number of spawned threads.
+    // Five types, so shard counts up to 4 are not clamped away.
+    let mut ds = Dataset::new();
+    for (label, bits) in [
+        ("TypeA", 0b00001u32),
+        ("TypeB", 0b00010),
+        ("TypeC", 0b00100),
+        ("TypeD", 0b10000),
+        ("TypeE", 0b100000),
+    ] {
+        for i in 0..12u32 {
+            ds.push(LabeledFingerprint::new(
+                label,
+                fp_bits(bits, &[100 + i, 110, 120]),
+            ));
+        }
+    }
+    let s = SentinelBuilder::new()
+        .dataset(ds)
+        .training_seed(4)
+        .build()
+        .unwrap();
+    let identifier = s.identifier();
+    let prefix_len = identifier.config().fixed_prefix_len;
+    let probe = fp_bits(0b001, &[104, 110, 120]).to_fixed_with(prefix_len);
+    let expected = identifier.classify_candidates(&probe);
+    let mut scratch = ShardedScratch::new();
+    // Grow every lane buffer (and any lazy thread-runtime state) at
+    // the widest shard count before measuring.
+    for _ in 0..2 {
+        identifier.classify_candidates_sharded_into(&probe, 4, &mut scratch);
+    }
+
+    let measure = |shards: usize, scratch: &mut ShardedScratch| {
+        identifier.classify_candidates_sharded_into(&probe, shards, scratch);
+        let (allocs, ()) = allocations_during(|| {
+            identifier.classify_candidates_sharded_into(&probe, shards, scratch)
+        });
+        assert_eq!(scratch.candidates(), expected.as_slice());
+        allocs
+    };
+
+    assert_eq!(
+        measure(1, &mut scratch),
+        0,
+        "a warm single-shard scan runs inline and must not touch the heap"
+    );
+    let a2 = measure(2, &mut scratch);
+    let a3 = measure(3, &mut scratch);
+    let a4 = measure(4, &mut scratch);
+    assert_eq!(
+        a2,
+        measure(2, &mut scratch),
+        "warm 2-shard allocation count must be exactly reproducible"
+    );
+    assert_eq!(
+        a3,
+        measure(3, &mut scratch),
+        "warm 3-shard allocation count must be exactly reproducible"
+    );
+    assert_eq!(
+        a4 + a2,
+        2 * a3,
+        "each extra shard may cost exactly one thread-spawn's bookkeeping \
+         (2→3→4 shards: {a2} → {a3} → {a4} allocations)"
+    );
+    assert!(
+        a2 <= 16,
+        "2-shard spawn bookkeeping ballooned to {a2} allocations"
+    );
+}
+
+#[test]
 fn interpreted_bank_no_longer_allocates_vote_vectors() {
+    let _serial = serial();
     // The reference interpreter also stopped paying `predict_proba`'s
     // per-classifier vote vector: scanning the bank through
     // `classify_candidates_interpreted` allocates only the returned
