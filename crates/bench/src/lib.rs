@@ -179,23 +179,36 @@ pub mod bench_report {
         results: &[(&str, f64)],
         derived: &[(&str, f64)],
     ) -> std::io::Result<PathBuf> {
+        write_bench_json_sections(bench, unit, &[("results", results), ("derived", derived)])
+    }
+
+    /// Writes `BENCH_<bench>.json` with one flat `name: number` object
+    /// per named section — the generalised shape for reports (like the
+    /// fleet simulator's) that carry more than `results`/`derived`.
+    /// Returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn write_bench_json_sections(
+        bench: &str,
+        unit: &str,
+        sections: &[(&str, &[(&str, f64)])],
+    ) -> std::io::Result<PathBuf> {
         let path = report_dir().join(format!("BENCH_{bench}.json"));
         let mut out = Vec::new();
         writeln!(out, "{{")?;
         writeln!(out, "  \"bench\": \"{bench}\",")?;
         writeln!(out, "  \"unit\": \"{unit}\",")?;
-        writeln!(out, "  \"results\": {{")?;
-        for (i, (name, value)) in results.iter().enumerate() {
-            let comma = if i + 1 == results.len() { "" } else { "," };
-            writeln!(out, "    \"{name}\": {}{comma}", json_number(*value))?;
+        for (s, (section, entries)) in sections.iter().enumerate() {
+            writeln!(out, "  \"{section}\": {{")?;
+            for (i, (name, value)) in entries.iter().enumerate() {
+                let comma = if i + 1 == entries.len() { "" } else { "," };
+                writeln!(out, "    \"{name}\": {}{comma}", json_number(*value))?;
+            }
+            let comma = if s + 1 == sections.len() { "" } else { "," };
+            writeln!(out, "  }}{comma}")?;
         }
-        writeln!(out, "  }},")?;
-        writeln!(out, "  \"derived\": {{")?;
-        for (i, (name, value)) in derived.iter().enumerate() {
-            let comma = if i + 1 == derived.len() { "" } else { "," };
-            writeln!(out, "    \"{name}\": {}{comma}", json_number(*value))?;
-        }
-        writeln!(out, "  }}")?;
         writeln!(out, "}}")?;
         std::fs::write(&path, out)?;
         Ok(path)

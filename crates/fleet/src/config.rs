@@ -1,0 +1,154 @@
+//! Fleet scenario configuration: population, lifecycle timing, link
+//! model and virtual→wall-clock pacing.
+
+use std::time::Duration;
+
+/// Per-link network model applied to every device's queries.
+///
+/// All times are *virtual*: they shape the simulated schedule, not the
+/// real sockets the driver later opens.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Fastest round-trip the access link can deliver.
+    pub rtt_min: Duration,
+    /// Slowest ordinary round-trip (uniform between min and max).
+    pub rtt_max: Duration,
+    /// Probability that a query transmission is lost and must be
+    /// retransmitted after [`LinkConfig::retry_timeout`].
+    pub loss: f64,
+    /// Retransmission timeout per lost transmission (at most
+    /// [`MAX_RETRANSMITS`] per query).
+    pub retry_timeout: Duration,
+    /// Rate cap: minimum spacing between consecutive sends from one
+    /// device, as a gateway's policer would enforce.
+    pub min_gap: Duration,
+}
+
+/// Retransmissions a query suffers at most before the link gives up
+/// injecting delay (the query itself still goes through — the cap only
+/// bounds simulated patience).
+pub const MAX_RETRANSMITS: u32 = 5;
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            rtt_min: Duration::from_millis(2),
+            rtt_max: Duration::from_millis(25),
+            loss: 0.005,
+            retry_timeout: Duration::from_millis(250),
+            min_gap: Duration::from_millis(10),
+        }
+    }
+}
+
+/// How simulated virtual time maps onto wall-clock time while driving
+/// the live server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pacing {
+    /// Ignore virtual timestamps: send every query as fast as the
+    /// connection allows. Measures the throughput ceiling; latency is
+    /// time-in-flight only.
+    Uncapped,
+    /// Replay the schedule sped up by this factor (1.0 = real time,
+    /// 60.0 = one virtual minute per wall second). Latency is measured
+    /// open-loop against each query's scheduled wall target, so server
+    /// queueing delay is *included* rather than silently absorbed.
+    Scaled(f64),
+}
+
+/// The whole scenario: population size, lifecycle timing, link model.
+///
+/// Defaults describe a plausible ISP access population: devices enroll
+/// over a ramp, burst 6–14 setup queries, then re-fingerprint every
+/// 20–60 virtual seconds with occasional standby periods, and a slice
+/// of the fleet churns out and is replaced.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Devices enrolled at the start (churn replaces them 1:1 beyond
+    /// this).
+    pub devices: u32,
+    /// Master seed; every stream in the simulation derives from it.
+    pub seed: u64,
+    /// Virtual horizon. Events scheduled past it are dropped.
+    pub duration: Duration,
+    /// Enrollment window: device start times spread uniformly in it.
+    pub ramp: Duration,
+    /// Fewest queries in a device's setup burst.
+    pub setup_queries_min: u32,
+    /// Most queries in a device's setup burst.
+    pub setup_queries_max: u32,
+    /// Shortest pause between setup-burst queries.
+    pub setup_gap_min: Duration,
+    /// Longest pause between setup-burst queries.
+    pub setup_gap_max: Duration,
+    /// Shortest steady-state re-fingerprint interval.
+    pub steady_min: Duration,
+    /// Longest steady-state re-fingerprint interval.
+    pub steady_max: Duration,
+    /// Probability a steady-state wakeup chooses standby instead of a
+    /// query.
+    pub standby_probability: f64,
+    /// How long a standby period lasts before the device wakes.
+    pub standby_duration: Duration,
+    /// Mean device lifetime; `None` disables churn. Actual lifetimes
+    /// draw uniformly from 50–150% of this.
+    pub churn_lifetime: Option<Duration>,
+    /// Delay before a churned-out device's replacement enrolls.
+    pub replacement_delay: Duration,
+    /// Virtual instant of the mid-run hot reload; `None` skips the
+    /// reload scenario.
+    pub reload_at: Option<Duration>,
+    /// The shared link model.
+    pub link: LinkConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            devices: 1_000,
+            seed: 42,
+            duration: Duration::from_secs(120),
+            ramp: Duration::from_secs(30),
+            setup_queries_min: 6,
+            setup_queries_max: 14,
+            setup_gap_min: Duration::from_millis(200),
+            setup_gap_max: Duration::from_millis(1_500),
+            steady_min: Duration::from_secs(20),
+            steady_max: Duration::from_secs(60),
+            standby_probability: 0.15,
+            standby_duration: Duration::from_secs(30),
+            churn_lifetime: Some(Duration::from_secs(90)),
+            replacement_delay: Duration::from_secs(5),
+            reload_at: Some(Duration::from_secs(60)),
+            link: LinkConfig::default(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Panics with a description when a field combination is
+    /// internally inconsistent (empty ranges, probabilities outside
+    /// `[0, 1]`) — called once up front so failures are legible
+    /// instead of surfacing as RNG panics mid-simulation.
+    pub fn validate(&self) {
+        assert!(self.devices > 0, "fleet needs at least one device");
+        assert!(
+            self.setup_queries_min <= self.setup_queries_max,
+            "setup burst range is empty"
+        );
+        assert!(
+            self.setup_gap_min <= self.setup_gap_max,
+            "setup gap range is empty"
+        );
+        assert!(self.steady_min <= self.steady_max, "steady range is empty");
+        assert!(
+            (0.0..=1.0).contains(&self.standby_probability),
+            "standby probability outside [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.link.loss),
+            "loss probability outside [0, 1]"
+        );
+        assert!(self.link.rtt_min <= self.link.rtt_max, "rtt range is empty");
+    }
+}

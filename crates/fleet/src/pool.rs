@@ -1,0 +1,98 @@
+//! The fingerprint pool: real per-type fingerprints the simulated
+//! devices send, grouped by device type.
+
+use sentinel_devices::{catalog, generate_dataset, NetworkEnvironment};
+use sentinel_fingerprint::{Dataset, Fingerprint};
+
+/// Per-type fingerprint variants, indexed the way the simulator
+/// addresses them: `(type_index, variant)`.
+///
+/// A fleet of a million devices does not need a million distinct
+/// fingerprints — devices of one type send setup traffic drawn from
+/// the same small family of captures, which is exactly what the
+/// catalog generator produces. The pool keeps that family per type and
+/// hands out variants round-robin.
+#[derive(Debug, Clone)]
+pub struct FingerprintPool {
+    types: Vec<(String, Vec<Fingerprint>)>,
+}
+
+impl FingerprintPool {
+    /// Groups an existing labelled dataset by type.
+    ///
+    /// # Panics
+    ///
+    /// When the dataset is empty — a fleet with nothing to send is a
+    /// configuration error.
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        let mut types: Vec<(String, Vec<Fingerprint>)> = Vec::new();
+        for (label, indices) in dataset.indices_by_label() {
+            let prints = indices
+                .into_iter()
+                .map(|i| dataset.sample(i).fingerprint().clone())
+                .collect();
+            types.push((label.to_string(), prints));
+        }
+        assert!(
+            !types.is_empty(),
+            "fingerprint pool needs at least one type"
+        );
+        FingerprintPool { types }
+    }
+
+    /// Generates a pool from the standard 27-type catalog:
+    /// `setups_per_type` captures per type, deterministic for `seed`.
+    pub fn from_catalog(setups_per_type: u32, seed: u64) -> Self {
+        let profiles = catalog::standard_catalog();
+        let dataset = generate_dataset(
+            &profiles,
+            &NetworkEnvironment::default(),
+            setups_per_type.max(1),
+            seed,
+        );
+        Self::from_dataset(&dataset)
+    }
+
+    /// Number of device types.
+    pub fn types(&self) -> usize {
+        self.types.len()
+    }
+
+    /// The type name at `type_index` (modulo the type count).
+    pub fn type_name(&self, type_index: usize) -> &str {
+        &self.types[type_index % self.types.len()].0
+    }
+
+    /// The fingerprint for `(type_index, variant)`; both wrap, so any
+    /// `u32` the simulator drew addresses a real capture.
+    pub fn get(&self, type_index: usize, variant: u32) -> &Fingerprint {
+        let (_, prints) = &self.types[type_index % self.types.len()];
+        &prints[variant as usize % prints.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_pool_has_all_types_and_wraps() {
+        let pool = FingerprintPool::from_catalog(2, 7);
+        assert_eq!(pool.types(), 27);
+        // Variant addressing wraps instead of panicking.
+        let a = pool.get(0, 0);
+        let b = pool.get(0, 2);
+        assert_eq!(a, b, "2 variants: variant 2 wraps to 0");
+        // Type addressing wraps too.
+        assert_eq!(pool.type_name(0), pool.type_name(27));
+    }
+
+    #[test]
+    fn pool_is_deterministic_per_seed() {
+        let a = FingerprintPool::from_catalog(2, 9);
+        let b = FingerprintPool::from_catalog(2, 9);
+        for t in 0..a.types() {
+            assert_eq!(a.get(t, 1), b.get(t, 1));
+        }
+    }
+}

@@ -1,0 +1,590 @@
+//! The deterministic discrete-event simulation: device lifecycles,
+//! link model and open-loop schedule, producing a [`FleetTrace`] that
+//! the driver later replays against a live server.
+//!
+//! Determinism contract: the trace is a pure function of
+//! ([`FleetConfig`], type count). Every random draw comes from a
+//! per-device xoshiro stream seeded from the master seed and the
+//! device id, and the event heap breaks virtual-time ties by insertion
+//! sequence, so no interleaving ambiguity exists. Two runs with the
+//! same inputs produce bit-identical event vectors — the property the
+//! determinism tests and [`FleetTrace::digest`] lock down.
+
+use std::collections::BinaryHeap;
+
+use rand::{rngs::SmallRng, Rng, RngCore, SeedableRng};
+
+use crate::config::{FleetConfig, MAX_RETRANSMITS};
+
+/// Pseudo-device id used for fleet-wide events (the reload marker).
+pub const DEVICE_NONE: u32 = u32::MAX;
+
+/// What happened at one instant of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetAction {
+    /// A device joined the fleet (initial ramp or churn replacement).
+    Enroll,
+    /// A device transmitted one fingerprint query.
+    Query {
+        /// Device-type index into the fingerprint pool.
+        type_index: u16,
+        /// Which capture variant of that type to send.
+        variant: u32,
+        /// Simulated lost transmissions that delayed this send.
+        retransmits: u8,
+    },
+    /// A device went to standby.
+    Standby,
+    /// A device woke from standby.
+    Wake,
+    /// A device churned out of the fleet.
+    Churn,
+    /// The fleet-wide hot-reload instant (device = [`DEVICE_NONE`]).
+    Reload,
+}
+
+/// One trace entry: virtual nanosecond, device, action. The vector
+/// [`simulate`] returns is sorted by `(at_ns, emission order)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time in nanoseconds since simulation start.
+    pub at_ns: u64,
+    /// The acting device, or [`DEVICE_NONE`].
+    pub device: u32,
+    /// What the device did.
+    pub action: FleetAction,
+}
+
+/// Deterministic counts summarising one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimSummary {
+    /// Enroll events emitted (initial population + replacements).
+    pub enrolled: u64,
+    /// Total query events.
+    pub queries: u64,
+    /// Queries sent during setup bursts.
+    pub setup_queries: u64,
+    /// Queries sent in the steady re-fingerprint phase.
+    pub steady_queries: u64,
+    /// Standby events.
+    pub standbys: u64,
+    /// Wake events.
+    pub wakes: u64,
+    /// Devices churned out.
+    pub churned: u64,
+    /// Replacement devices that enrolled within the horizon.
+    pub replacements: u64,
+    /// Simulated lost transmissions across all queries.
+    pub retransmits: u64,
+    /// The virtual horizon in nanoseconds.
+    pub horizon_ns: u64,
+}
+
+/// The product of [`simulate`]: the sorted event trace plus summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetTrace {
+    /// Every event, sorted by virtual time (ties in emission order).
+    pub events: Vec<TraceEvent>,
+    /// Deterministic counts over the whole run.
+    pub summary: SimSummary,
+}
+
+impl FleetTrace {
+    /// FNV-1a fingerprint of the full event vector — equal digests ⇔
+    /// bit-identical traces, the compact form reports carry.
+    pub fn digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for event in &self.events {
+            eat(event.at_ns);
+            eat(u64::from(event.device));
+            let (tag, a, b, c) = match event.action {
+                FleetAction::Enroll => (0u64, 0, 0, 0),
+                FleetAction::Query {
+                    type_index,
+                    variant,
+                    retransmits,
+                } => (
+                    1,
+                    u64::from(type_index),
+                    u64::from(variant),
+                    u64::from(retransmits),
+                ),
+                FleetAction::Standby => (2, 0, 0, 0),
+                FleetAction::Wake => (3, 0, 0, 0),
+                FleetAction::Churn => (4, 0, 0, 0),
+                FleetAction::Reload => (5, 0, 0, 0),
+            };
+            eat(tag);
+            eat(a);
+            eat(b);
+            eat(c);
+        }
+        hash
+    }
+}
+
+/// What a query transitions into once answered.
+#[derive(Debug, Clone, Copy)]
+enum After {
+    Setup { remaining: u32 },
+    Steady,
+}
+
+/// Internal per-device lifecycle steps on the event heap.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Enroll,
+    /// A query whose send instant (the heap key) and completion were
+    /// already decided; popping it emits the Query event.
+    SendQuery {
+        variant: u32,
+        retransmits: u8,
+        completion: u64,
+        then: After,
+    },
+    Standby,
+    Wake,
+    ChurnOut,
+    Reload,
+}
+
+struct Pending {
+    at: u64,
+    seq: u64,
+    device: u32,
+    step: Step,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct Device {
+    rng: SmallRng,
+    type_index: u16,
+    /// Earliest instant the link lets this device transmit again.
+    next_free: u64,
+    /// Virtual instant the device churns out, when churn is on.
+    death: Option<u64>,
+}
+
+/// SplitMix64 — decorrelates consecutive device ids into independent
+/// seed space before xoshiro seeding.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+struct Sim<'a> {
+    config: &'a FleetConfig,
+    types: usize,
+    horizon: u64,
+    heap: BinaryHeap<Pending>,
+    seq: u64,
+    devices: Vec<Device>,
+    events: Vec<TraceEvent>,
+    summary: SimSummary,
+}
+
+impl Sim<'_> {
+    fn new_device(&mut self, seed_stream: u64) -> u32 {
+        let id = u32::try_from(self.devices.len()).expect("fleet exceeds u32 devices");
+        self.devices.push(Device {
+            rng: SmallRng::seed_from_u64(self.config.seed ^ mix(seed_stream)),
+            type_index: (seed_stream % self.types as u64) as u16,
+            next_free: 0,
+            death: None,
+        });
+        id
+    }
+
+    /// Pushes `step` for `device` at `at`, routing through the churn
+    /// check: a step that would run at or past the device's death
+    /// becomes the churn-out event instead. Steps past the horizon are
+    /// dropped (the simulation simply ends).
+    fn push(&mut self, device: u32, at: u64, step: Step) {
+        let (at, step) = match self.devices[device as usize].death {
+            Some(death) if at >= death && !matches!(step, Step::ChurnOut) => {
+                (death, Step::ChurnOut)
+            }
+            _ => (at, step),
+        };
+        if at > self.horizon {
+            return;
+        }
+        self.seq += 1;
+        self.heap.push(Pending {
+            at,
+            seq: self.seq,
+            device,
+            step,
+        });
+    }
+
+    fn emit(&mut self, at: u64, device: u32, action: FleetAction) {
+        self.events.push(TraceEvent {
+            at_ns: at,
+            device,
+            action,
+        });
+    }
+
+    /// Decides one query's link fate (retransmissions, rate cap, RTT)
+    /// and schedules its send step no earlier than `earliest`.
+    fn plan_query(&mut self, device: u32, earliest: u64, then: After) {
+        let link = &self.config.link;
+        let (variant, retransmits, rtt) = {
+            let dev = &mut self.devices[device as usize];
+            let variant = dev.rng.next_u64() as u32;
+            let mut retransmits = 0u32;
+            while retransmits < MAX_RETRANSMITS && link.loss > 0.0 && dev.rng.gen_bool(link.loss) {
+                retransmits += 1;
+            }
+            let rtt = dev
+                .rng
+                .gen_range(ns(link.rtt_min)..=ns(link.rtt_max).max(ns(link.rtt_min)));
+            (variant, retransmits, rtt)
+        };
+        let dev = &mut self.devices[device as usize];
+        let send_at = earliest.max(dev.next_free) + u64::from(retransmits) * ns(link.retry_timeout);
+        dev.next_free = send_at + ns(link.min_gap);
+        let completion = send_at + rtt;
+        self.summary.retransmits += u64::from(retransmits);
+        self.push(
+            device,
+            send_at,
+            Step::SendQuery {
+                variant,
+                retransmits: retransmits as u8,
+                completion,
+                then,
+            },
+        );
+    }
+
+    fn handle(&mut self, at: u64, device: u32, step: Step) {
+        let config = self.config;
+        match step {
+            Step::Reload => {
+                self.emit(at, DEVICE_NONE, FleetAction::Reload);
+            }
+            Step::Enroll => {
+                self.emit(at, device, FleetAction::Enroll);
+                self.summary.enrolled += 1;
+                let dev = &mut self.devices[device as usize];
+                dev.next_free = at;
+                if let Some(lifetime) = config.churn_lifetime {
+                    let life = ns(lifetime);
+                    let drawn = dev.rng.gen_range(life / 2..=life + life / 2);
+                    dev.death = Some(at.saturating_add(drawn.max(1)));
+                }
+                let burst = self.devices[device as usize]
+                    .rng
+                    .gen_range(config.setup_queries_min..=config.setup_queries_max);
+                if burst == 0 {
+                    let wait = self.draw_gap(device, config.steady_min, config.steady_max);
+                    self.push(device, at + wait, Step::Standby);
+                    return;
+                }
+                let gap = self.draw_gap(device, config.setup_gap_min, config.setup_gap_max);
+                self.plan_query(device, at + gap, After::Setup { remaining: burst });
+            }
+            Step::SendQuery {
+                variant,
+                retransmits,
+                completion,
+                then,
+            } => {
+                let type_index = self.devices[device as usize].type_index;
+                self.emit(
+                    at,
+                    device,
+                    FleetAction::Query {
+                        type_index,
+                        variant,
+                        retransmits,
+                    },
+                );
+                self.summary.queries += 1;
+                match then {
+                    After::Setup { remaining } => {
+                        self.summary.setup_queries += 1;
+                        if remaining > 1 {
+                            let gap =
+                                self.draw_gap(device, config.setup_gap_min, config.setup_gap_max);
+                            self.plan_query(
+                                device,
+                                completion + gap,
+                                After::Setup {
+                                    remaining: remaining - 1,
+                                },
+                            );
+                        } else {
+                            let wait = self.draw_gap(device, config.steady_min, config.steady_max);
+                            self.push(device, completion + wait, Step::Standby);
+                        }
+                    }
+                    After::Steady => {
+                        self.summary.steady_queries += 1;
+                        let wait = self.draw_gap(device, config.steady_min, config.steady_max);
+                        self.push(device, completion + wait, Step::Standby);
+                    }
+                }
+            }
+            // "Standby" on the heap is the steady-state decision point:
+            // the device either naps or re-fingerprints.
+            Step::Standby => {
+                let naps = self.devices[device as usize]
+                    .rng
+                    .gen_bool(config.standby_probability);
+                if naps {
+                    self.emit(at, device, FleetAction::Standby);
+                    self.summary.standbys += 1;
+                    self.push(device, at + ns(config.standby_duration), Step::Wake);
+                } else {
+                    self.plan_query(device, at, After::Steady);
+                }
+            }
+            Step::Wake => {
+                self.emit(at, device, FleetAction::Wake);
+                self.summary.wakes += 1;
+                // Waking devices re-fingerprint promptly, like a setup
+                // step: identity is re-checked on re-appearance.
+                let gap = self.draw_gap(device, config.setup_gap_min, config.setup_gap_max);
+                self.plan_query(device, at + gap, After::Steady);
+            }
+            Step::ChurnOut => {
+                self.emit(at, device, FleetAction::Churn);
+                self.summary.churned += 1;
+                let replacement_at = at + ns(config.replacement_delay);
+                if replacement_at <= self.horizon {
+                    self.summary.replacements += 1;
+                    let fresh = self.new_device(u64::from(device) + 0x1_0000_0000);
+                    self.push(fresh, replacement_at, Step::Enroll);
+                }
+            }
+        }
+    }
+
+    fn draw_gap(&mut self, device: u32, min: std::time::Duration, max: std::time::Duration) -> u64 {
+        let (low, high) = (ns(min), ns(max));
+        self.devices[device as usize]
+            .rng
+            .gen_range(low..=high.max(low))
+    }
+}
+
+/// Runs the simulation for `config` over a pool of `types` device
+/// types and returns the deterministic trace.
+///
+/// # Panics
+///
+/// Propagates [`FleetConfig::validate`] panics, and panics when
+/// `types` is 0.
+pub fn simulate(config: &FleetConfig, types: usize) -> FleetTrace {
+    config.validate();
+    assert!(types > 0, "simulation needs at least one device type");
+    let mut sim = Sim {
+        config,
+        types,
+        horizon: ns(config.duration),
+        heap: BinaryHeap::new(),
+        seq: 0,
+        devices: Vec::with_capacity(config.devices as usize),
+        events: Vec::new(),
+        summary: SimSummary {
+            horizon_ns: ns(config.duration),
+            ..SimSummary::default()
+        },
+    };
+    let ramp = ns(config.ramp).min(sim.horizon);
+    for _ in 0..config.devices {
+        let id = sim.new_device(sim.devices.len() as u64);
+        let enroll_at = if ramp == 0 {
+            0
+        } else {
+            sim.devices[id as usize].rng.gen_range(0..=ramp)
+        };
+        sim.push(id, enroll_at, Step::Enroll);
+    }
+    if let Some(reload_at) = config.reload_at {
+        let at = ns(reload_at);
+        if at <= sim.horizon {
+            sim.seq += 1;
+            sim.heap.push(Pending {
+                at,
+                seq: sim.seq,
+                device: DEVICE_NONE,
+                step: Step::Reload,
+            });
+        }
+    }
+    while let Some(Pending {
+        at, device, step, ..
+    }) = sim.heap.pop()
+    {
+        sim.handle(at, device, step);
+    }
+    FleetTrace {
+        events: sim.events,
+        summary: sim.summary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn small_config() -> FleetConfig {
+        FleetConfig {
+            devices: 50,
+            seed: 7,
+            duration: Duration::from_secs(60),
+            ramp: Duration::from_secs(5),
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn trace_is_sorted_and_nonempty() {
+        let trace = simulate(&small_config(), 27);
+        assert!(trace.summary.queries > 0);
+        assert!(
+            trace.events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns),
+            "events must be time-sorted"
+        );
+        assert!(trace
+            .events
+            .iter()
+            .all(|e| e.at_ns <= trace.summary.horizon_ns));
+    }
+
+    #[test]
+    fn same_seed_same_trace_different_seed_differs() {
+        let config = small_config();
+        let a = simulate(&config, 27);
+        let b = simulate(&config, 27);
+        assert_eq!(a.events, b.events, "same seed must replay bit-identically");
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.digest(), b.digest());
+        let other = FleetConfig { seed: 8, ..config };
+        assert_ne!(simulate(&other, 27).digest(), a.digest());
+    }
+
+    #[test]
+    fn summary_counts_match_the_events() {
+        let trace = simulate(&small_config(), 27);
+        let count = |pred: fn(&FleetAction) -> bool| {
+            trace.events.iter().filter(|e| pred(&e.action)).count() as u64
+        };
+        assert_eq!(
+            count(|a| matches!(a, FleetAction::Enroll)),
+            trace.summary.enrolled
+        );
+        assert_eq!(
+            count(|a| matches!(a, FleetAction::Query { .. })),
+            trace.summary.queries
+        );
+        assert_eq!(
+            count(|a| matches!(a, FleetAction::Standby)),
+            trace.summary.standbys
+        );
+        assert_eq!(
+            count(|a| matches!(a, FleetAction::Wake)),
+            trace.summary.wakes
+        );
+        assert_eq!(
+            count(|a| matches!(a, FleetAction::Churn)),
+            trace.summary.churned
+        );
+        assert_eq!(
+            trace.summary.queries,
+            trace.summary.setup_queries + trace.summary.steady_queries
+        );
+    }
+
+    #[test]
+    fn churn_produces_replacements_and_reload_marker_is_present() {
+        let trace = simulate(&small_config(), 27);
+        assert!(
+            trace.summary.churned > 0,
+            "90s mean lifetime in 60s run must churn"
+        );
+        assert!(trace.summary.replacements <= trace.summary.churned);
+        let reloads = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.action, FleetAction::Reload))
+            .count();
+        assert_eq!(reloads, 1);
+        assert!(trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.action, FleetAction::Reload))
+            .all(|e| e.device == DEVICE_NONE));
+    }
+
+    #[test]
+    fn devices_respect_the_link_rate_cap() {
+        let config = small_config();
+        let trace = simulate(&config, 27);
+        let min_gap = config.link.min_gap.as_nanos() as u64;
+        let mut last_send: std::collections::HashMap<u32, u64> = Default::default();
+        for event in &trace.events {
+            if let FleetAction::Query { .. } = event.action {
+                if let Some(prev) = last_send.insert(event.device, event.at_ns) {
+                    assert!(
+                        event.at_ns >= prev + min_gap,
+                        "device {} sent {}ns after previous (cap {}ns)",
+                        event.device,
+                        event.at_ns - prev,
+                        min_gap
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_churn_config_never_churns() {
+        let config = FleetConfig {
+            churn_lifetime: None,
+            reload_at: None,
+            ..small_config()
+        };
+        let trace = simulate(&config, 27);
+        assert_eq!(trace.summary.churned, 0);
+        assert_eq!(trace.summary.enrolled, u64::from(config.devices));
+        assert!(!trace
+            .events
+            .iter()
+            .any(|e| matches!(e.action, FleetAction::Reload)));
+    }
+}

@@ -6,6 +6,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use rand::{rngs::SmallRng, Rng, SeedableRng};
 use sentinel_core::ServiceResponse;
 use sentinel_fingerprint::Fingerprint;
 
@@ -18,8 +19,17 @@ use crate::wire::{
 pub struct ClientConfig {
     /// Total connection attempts before giving up. Default 5.
     pub connect_attempts: u32,
-    /// Pause between connection attempts. Default 100 ms.
+    /// Base pause before the first retry; each further retry doubles
+    /// it (see [`ClientConfig::max_retry_delay`]). Default 100 ms.
     pub retry_delay: Duration,
+    /// Ceiling on the exponential backoff between connection attempts.
+    /// Default 2 s.
+    pub max_retry_delay: Duration,
+    /// Seed for the jitter added to each backoff pause. Two clients
+    /// with the same seed sleep identical schedules, so tests stay
+    /// deterministic; give fleet members distinct seeds to spread
+    /// their reconnect stampede. Default 0.
+    pub retry_jitter_seed: u64,
     /// Per-read/-write timeout once connected. Default 10 s.
     pub io_timeout: Duration,
     /// Maximum accepted payload length per response frame. Default
@@ -35,6 +45,8 @@ impl Default for ClientConfig {
         ClientConfig {
             connect_attempts: 5,
             retry_delay: Duration::from_millis(100),
+            max_retry_delay: Duration::from_secs(2),
+            retry_jitter_seed: 0,
             io_timeout: Duration::from_secs(10),
             max_frame_bytes: wire::DEFAULT_MAX_FRAME_BYTES,
             resolve_names: false,
@@ -97,6 +109,41 @@ impl From<WireError> for ClientError {
     }
 }
 
+/// The deterministic backoff schedule: attempt `retry` (1-based)
+/// sleeps `min(retry_delay << (retry - 1), max_retry_delay)` plus a
+/// seeded jitter of up to half that, so a herd of clients with
+/// distinct seeds de-synchronises while any single schedule replays
+/// bit-identically from its seed.
+fn backoff_delay(config: &ClientConfig, retry: u32) -> Duration {
+    let base = config
+        .retry_delay
+        .checked_mul(
+            1u32.checked_shl(retry.saturating_sub(1))
+                .unwrap_or(u32::MAX),
+        )
+        .unwrap_or(config.max_retry_delay)
+        .min(config.max_retry_delay);
+    let jitter_span = base.as_nanos() as u64 / 2;
+    if jitter_span == 0 {
+        return base;
+    }
+    // One stream per (seed, retry) pair: the schedule is a pure
+    // function of the config, independent of call interleaving.
+    let mut rng = SmallRng::seed_from_u64(config.retry_jitter_seed ^ u64::from(retry));
+    base + Duration::from_nanos(rng.gen_range(0..jitter_span))
+}
+
+/// Counters a [`SentinelClient`] keeps about its own traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Failed connection attempts survived during [`SentinelClient::connect`].
+    pub connect_retries: u64,
+    /// Query frames written (single queries count as 1-batches).
+    pub requests_sent: u64,
+    /// Well-formed query responses received.
+    pub responses_received: u64,
+}
+
 /// One identification returned over the wire.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
@@ -106,6 +153,17 @@ pub struct QueryResult {
     /// The resolved type name, when [`ClientConfig::resolve_names`]
     /// was set and the device was identified.
     pub name: Option<String>,
+}
+
+/// A batch of results together with the service epoch that answered
+/// it — the payload of [`SentinelClient::query_batch_stamped`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StampedBatch {
+    /// One result per queried fingerprint, in request order.
+    pub results: Vec<QueryResult>,
+    /// The serving [`sentinel_core::ServiceCell`] epoch, when the
+    /// server speaks wire v3; `None` from older servers.
+    pub epoch: Option<u64>,
 }
 
 /// A blocking connection to a `sentinel-serve` server.
@@ -118,13 +176,16 @@ pub struct SentinelClient {
     /// Response payloads land here, resized in place — steady-state
     /// receives allocate nothing for the frame itself.
     read_buf: Vec<u8>,
+    stats: ClientStats,
+    last_epoch: Option<u64>,
 }
 
 impl SentinelClient {
-    /// Connects, retrying [`ClientConfig::connect_attempts`] times
-    /// with [`ClientConfig::retry_delay`] pauses — enough for "start
-    /// server, start client" races on loopback and for transient
-    /// listener backlogs.
+    /// Connects, retrying up to [`ClientConfig::connect_attempts`]
+    /// times under bounded exponential backoff with seeded jitter —
+    /// enough for "start server, start client" races on loopback and
+    /// for transient listener backlogs, without the thundering herd a
+    /// fixed pause invites.
     pub fn connect(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<Self, ClientError> {
         let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
         if addrs.is_empty() {
@@ -137,7 +198,7 @@ impl SentinelClient {
         let mut last_error: Option<std::io::Error> = None;
         for attempt in 0..attempts {
             if attempt > 0 {
-                std::thread::sleep(config.retry_delay);
+                std::thread::sleep(backoff_delay(&config, attempt));
             }
             for addr in &addrs {
                 match TcpStream::connect(addr) {
@@ -151,6 +212,11 @@ impl SentinelClient {
                             config,
                             buf: Vec::new(),
                             read_buf: Vec::new(),
+                            stats: ClientStats {
+                                connect_retries: u64::from(attempt),
+                                ..ClientStats::default()
+                            },
+                            last_epoch: None,
                         });
                     }
                     Err(e) => last_error = Some(e),
@@ -163,6 +229,18 @@ impl SentinelClient {
     /// The server address this client is connected to.
     pub fn peer_addr(&self) -> SocketAddr {
         self.peer
+    }
+
+    /// This connection's traffic counters so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// The service epoch stamped on the most recent query response,
+    /// when the server speaks wire v3. `None` before the first
+    /// response or against pre-v3 servers.
+    pub fn last_epoch(&self) -> Option<u64> {
+        self.last_epoch
     }
 
     /// Round-trips a liveness probe.
@@ -196,12 +274,24 @@ impl SentinelClient {
         &mut self,
         fingerprints: &[Fingerprint],
     ) -> Result<Vec<QueryResult>, ClientError> {
+        Ok(self.query_batch_stamped(fingerprints)?.results)
+    }
+
+    /// Like [`SentinelClient::query_batch`], but also surfaces the
+    /// service epoch the server answered under — the signal fleet
+    /// harnesses use to watch a hot reload propagate request by
+    /// request.
+    pub fn query_batch_stamped(
+        &mut self,
+        fingerprints: &[Fingerprint],
+    ) -> Result<StampedBatch, ClientError> {
         // Encode straight from the borrowed slice — building an owned
         // QueryRequest would deep-copy every fingerprint column.
         self.buf.clear();
         wire::encode_query_request_frame(self.config.resolve_names, fingerprints, &mut self.buf)?;
         self.stream.write_all(&self.buf)?;
         self.stream.flush()?;
+        self.stats.requests_sent += 1;
         match self.receive()? {
             Message::QueryResponse(response) => {
                 if response.items.len() != fingerprints.len() {
@@ -211,11 +301,18 @@ impl SentinelClient {
                         response.items.len()
                     )));
                 }
-                Ok(response
-                    .items
-                    .into_iter()
-                    .map(|ResponseItem { response, name }| QueryResult { response, name })
-                    .collect())
+                self.stats.responses_received += 1;
+                if response.epoch.is_some() {
+                    self.last_epoch = response.epoch;
+                }
+                Ok(StampedBatch {
+                    results: response
+                        .items
+                        .into_iter()
+                        .map(|ResponseItem { response, name }| QueryResult { response, name })
+                        .collect(),
+                    epoch: response.epoch,
+                })
             }
             Message::Error(e) => Err(ClientError::Server {
                 code: e.code,
@@ -291,5 +388,61 @@ impl SentinelClient {
             header.kind,
             &self.read_buf,
         )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let config = ClientConfig {
+            retry_delay: Duration::from_millis(100),
+            max_retry_delay: Duration::from_millis(450),
+            ..ClientConfig::default()
+        };
+        for (retry, base_ms) in [(1u32, 100u64), (2, 200), (3, 400), (4, 450), (40, 450)] {
+            let delay = backoff_delay(&config, retry);
+            let base = Duration::from_millis(base_ms);
+            assert!(
+                delay >= base && delay < base + base / 2 + Duration::from_nanos(1),
+                "retry {retry}: {delay:?} outside [{base:?}, {base:?} + 50%)",
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let config = ClientConfig::default();
+        for retry in 1..=6 {
+            assert_eq!(backoff_delay(&config, retry), backoff_delay(&config, retry));
+        }
+        let reseeded = ClientConfig {
+            retry_jitter_seed: 99,
+            ..ClientConfig::default()
+        };
+        assert!(
+            (1..=6).any(|r| backoff_delay(&config, r) != backoff_delay(&reseeded, r)),
+            "different seeds should produce a different schedule",
+        );
+    }
+
+    #[test]
+    fn backoff_survives_extreme_retry_counts() {
+        let config = ClientConfig::default();
+        assert_eq!(backoff_delay(&config, u32::MAX), {
+            // Shift saturates, so the cap applies (plus jitter).
+            let d = backoff_delay(&config, u32::MAX);
+            assert!(d >= config.max_retry_delay);
+            assert!(d < config.max_retry_delay * 3 / 2 + Duration::from_nanos(1));
+            d
+        });
+        // A zero base delay must not panic on the jitter draw.
+        let zero = ClientConfig {
+            retry_delay: Duration::ZERO,
+            ..ClientConfig::default()
+        };
+        assert_eq!(backoff_delay(&zero, 1), Duration::ZERO);
     }
 }

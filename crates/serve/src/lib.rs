@@ -33,7 +33,9 @@ pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use client::{ClientConfig, ClientError, QueryResult, SentinelClient};
+pub use client::{
+    ClientConfig, ClientError, ClientStats, QueryResult, SentinelClient, StampedBatch,
+};
 pub use server::{serve, serve_cell, ServerConfig, ServerHandle, ServerStats};
 pub use wire::{
     ErrorCode, Message, QueryRequest, QueryResponse, ReloadAck, ReloadRequest, WireError,

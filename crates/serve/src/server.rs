@@ -673,7 +673,10 @@ fn serve_connection(
                     &mut stream,
                     &mut write_buf,
                     peer_version,
-                    &Message::QueryResponse(QueryResponse { items }),
+                    &Message::QueryResponse(QueryResponse {
+                        epoch: Some(pinned.epoch()),
+                        items,
+                    }),
                 )
                 .is_err()
                 {

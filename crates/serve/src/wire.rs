@@ -18,7 +18,7 @@
 //! | kind | message | payload |
 //! |---|---|---|
 //! | `0x01` | [`QueryRequest`] | flags `u8` (bit 0: resolve names), count `u16`, then per fingerprint: column count `u16`, columns × 23 × `u32` |
-//! | `0x02` | [`QueryResponse`] | count `u16`, then per item: tag `u8` (0 unknown / 1 known), type id `u32` (known only), isolation `u8` (0 strict / 1 restricted / 2 trusted), flags `u8` (bit 0: discrimination ran, bit 1: name follows), then name `u16` len + UTF-8 (flagged only) |
+//! | `0x02` | [`QueryResponse`] | *(v3 only)* service epoch `u64` (0 = unstamped), then count `u16`, then per item: tag `u8` (0 unknown / 1 known), type id `u32` (known only), isolation `u8` (0 strict / 1 restricted / 2 trusted), flags `u8` (bit 0: discrimination ran, bit 1: name follows), then name `u16` len + UTF-8 (flagged only) |
 //! | `0x03` | `Ping` | empty |
 //! | `0x04` | `Pong` | empty |
 //! | `0x05` | [`ReloadRequest`] *(v2, admin)* | the raw v2 model document bytes (see `sentinel_core::persist`) |
@@ -27,14 +27,18 @@
 //!
 //! # Version policy
 //!
-//! The current version byte is [`VERSION`] (2); every version back to
+//! The current version byte is [`VERSION`] (3); every version back to
 //! [`MIN_VERSION`] (1) is still decoded, and responders answer at the
 //! version the request arrived under, so version-1 clients keep
-//! working against version-2 servers. Version 2 changes no existing
+//! working against version-3 servers. Version 2 changes no existing
 //! payload layout — it only adds the admin `Reload`/`ReloadAck` kinds,
 //! which are rejected as [`WireError::UnsupportedKind`] when carried
-//! under version 1. A receiver seeing a version outside
-//! `MIN_VERSION..=VERSION` answers with an
+//! under version 1. Version 3 prepends the serving epoch (`u64`) to
+//! the `QueryResponse` payload — the room PR 3 reserved for
+//! epoch-aware responses — so clients can observe model hot-reload
+//! propagation per request; responses encoded at version 1 or 2 keep
+//! the old layout and simply omit the stamp. A receiver seeing a
+//! version outside `MIN_VERSION..=VERSION` answers with an
 //! [`ErrorCode::UnsupportedVersion`] error frame (encoded at its own
 //! version) and closes the connection; payload layouts are only ever
 //! changed under a new version byte, so a frame that decodes at all
@@ -59,7 +63,11 @@ use std::fmt;
 pub const MAGIC: u32 = 0x534E_544C;
 
 /// Current protocol version.
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
+
+/// Oldest protocol version whose `QueryResponse` payload carries the
+/// serving epoch stamp.
+pub const EPOCH_STAMP_MIN_VERSION: u8 = 3;
 
 /// Oldest protocol version still decoded (and answered in kind).
 pub const MIN_VERSION: u8 = 1;
@@ -273,6 +281,11 @@ pub struct ResponseItem {
 /// The ordered answers to a [`QueryRequest`].
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct QueryResponse {
+    /// The [`sentinel_core::ServiceCell`] epoch the whole batch was
+    /// answered under (v3; epochs start at 1, so `None` encodes as 0).
+    /// `None` for responses that travelled at version 1 or 2, whose
+    /// layout predates the stamp.
+    pub epoch: Option<u64>,
     /// One item per queried fingerprint, in request order.
     pub items: Vec<ResponseItem>,
 }
@@ -416,7 +429,7 @@ pub fn encode_frame_at(version: u8, message: &Message, buf: &mut Vec<u8>) -> Res
         Message::QueryRequest(request) => {
             encode_query_request(request.resolve_names, &request.fingerprints, buf)
         }
-        Message::QueryResponse(response) => encode_query_response(response, buf),
+        Message::QueryResponse(response) => encode_query_response(version, response, buf),
         Message::Ping | Message::Pong => Ok(()),
         Message::Reload(request) => {
             buf.put_slice(&request.model);
@@ -502,7 +515,9 @@ pub fn decode_payload_at(version: u8, kind_byte: u8, payload: &[u8]) -> Result<M
     let mut reader = Reader::new(payload);
     let message = match kind_byte {
         kind::QUERY_REQUEST => Message::QueryRequest(decode_query_request(&mut reader)?),
-        kind::QUERY_RESPONSE => Message::QueryResponse(decode_query_response(&mut reader)?),
+        kind::QUERY_RESPONSE => {
+            Message::QueryResponse(decode_query_response(version, &mut reader)?)
+        }
         kind::PING => Message::Ping,
         kind::PONG => Message::Pong,
         kind::RELOAD => Message::Reload(ReloadRequest {
@@ -637,7 +652,15 @@ fn isolation_from_u8(value: u8) -> Result<IsolationClass, WireError> {
     })
 }
 
-fn encode_query_response(response: &QueryResponse, buf: &mut Vec<u8>) -> Result<(), WireError> {
+fn encode_query_response(
+    version: u8,
+    response: &QueryResponse,
+    buf: &mut Vec<u8>,
+) -> Result<(), WireError> {
+    if version >= EPOCH_STAMP_MIN_VERSION {
+        // Epochs start at 1, so 0 is a safe "unstamped" sentinel.
+        buf.put_u64(response.epoch.unwrap_or(0));
+    }
     buf.put_u16(check_u16("response count", response.items.len())?);
     for item in &response.items {
         match item.response.device_type {
@@ -668,7 +691,15 @@ fn encode_query_response(response: &QueryResponse, buf: &mut Vec<u8>) -> Result<
     Ok(())
 }
 
-fn decode_query_response(reader: &mut Reader<'_>) -> Result<QueryResponse, WireError> {
+fn decode_query_response(version: u8, reader: &mut Reader<'_>) -> Result<QueryResponse, WireError> {
+    let epoch = if version >= EPOCH_STAMP_MIN_VERSION {
+        match reader.u64()? {
+            0 => None,
+            stamped => Some(stamped),
+        }
+    } else {
+        None
+    };
     let count = reader.u16()? as usize;
     // Each item is at least 3 bytes (tag + isolation + flags).
     let mut items = Vec::with_capacity(count.min(reader.remaining() / 3 + 1));
@@ -711,7 +742,7 @@ fn decode_query_response(reader: &mut Reader<'_>) -> Result<QueryResponse, WireE
             name,
         });
     }
-    Ok(QueryResponse { items })
+    Ok(QueryResponse { epoch, items })
 }
 
 // ----- error --------------------------------------------------------
@@ -834,6 +865,7 @@ mod tests {
     #[test]
     fn response_roundtrip_preserves_items() {
         let response = Message::QueryResponse(QueryResponse {
+            epoch: Some(41),
             items: vec![
                 ResponseItem {
                     response: ServiceResponse {
@@ -854,6 +886,49 @@ mod tests {
             ],
         });
         assert_eq!(roundtrip(&response), response);
+    }
+
+    #[test]
+    fn epoch_stamp_survives_a_v3_roundtrip() {
+        let response = Message::QueryResponse(QueryResponse {
+            epoch: Some(u64::MAX - 9),
+            items: Vec::new(),
+        });
+        assert_eq!(roundtrip(&response), response);
+        // An unstamped response stays unstamped (0 on the wire).
+        let unstamped = Message::QueryResponse(QueryResponse::default());
+        assert_eq!(roundtrip(&unstamped), unstamped);
+    }
+
+    #[test]
+    fn pre_v3_responses_omit_the_epoch_stamp() {
+        let response = QueryResponse {
+            epoch: Some(17),
+            items: vec![ResponseItem {
+                response: ServiceResponse {
+                    device_type: Some(TypeId::from_index(3)),
+                    isolation: IsolationClass::Trusted,
+                    needed_discrimination: false,
+                },
+                name: None,
+            }],
+        };
+        let message = Message::QueryResponse(response.clone());
+        for version in [1u8, 2] {
+            let mut old = Vec::new();
+            encode_frame_at(version, &message, &mut old).unwrap();
+            let mut current = Vec::new();
+            encode_frame(&message, &mut current).unwrap();
+            // The old layout is exactly the v3 layout minus the 8-byte
+            // stamp: the struct field never leaks into pre-v3 bytes.
+            assert_eq!(old.len() + 8, current.len());
+            let (decoded, _) = decode_frame(&old, DEFAULT_MAX_FRAME_BYTES).unwrap();
+            let Message::QueryResponse(decoded) = decoded else {
+                panic!("expected a query response");
+            };
+            assert_eq!(decoded.epoch, None, "v{version} carries no stamp");
+            assert_eq!(decoded.items, response.items);
+        }
     }
 
     #[test]
@@ -1034,6 +1109,7 @@ mod tests {
     fn out_of_domain_enums_are_rejected() {
         // Isolation byte 9 in a one-item response.
         let mut buf = Vec::new();
+        buf.put_u64(0); // v3 epoch stamp (unstamped)
         buf.put_u16(1);
         buf.put_u8(ITEM_TAG_UNKNOWN);
         buf.put_u8(9); // isolation
@@ -1061,6 +1137,7 @@ mod tests {
     #[test]
     fn bad_utf8_name_is_rejected() {
         let mut buf = Vec::new();
+        buf.put_u64(0); // v3 epoch stamp (unstamped)
         buf.put_u16(1);
         buf.put_u8(ITEM_TAG_KNOWN);
         buf.put_u32(3);

@@ -69,12 +69,14 @@ proptest! {
 
     #[test]
     fn response_roundtrips(
+        epoch_draw in (any::<bool>(), 1u64..=u64::MAX),
         draws in proptest::collection::vec(
             (any::<bool>(), 0u32..100_000, 0u8..3, any::<bool>(), any::<bool>(), "[a-zA-Z0-9-]{0,24}"),
             0..40,
         ),
     ) {
         let response = Message::QueryResponse(QueryResponse {
+            epoch: epoch_draw.0.then_some(epoch_draw.1),
             items: draws
                 .into_iter()
                 .map(|(known, id, iso, disc, named, name)| {

@@ -85,6 +85,17 @@ USAGE:
       from, without dropping its connections. The new model's type
       registry must extend the served one (same types at the same ids,
       new types appended) — retrain on a superset dataset.
+
+  sentinel fleet [--devices N] [--seed S] [--duration-secs T] [--speedup X]
+                 [--connections C] [--setups K] [--addr HOST:PORT] [--no-reload]
+      Simulate a device fleet (enrollment ramp, setup bursts, steady
+      re-fingerprinting, standby/wake, churn) and replay it against a
+      live server, writing BENCH_fleet.json. Without --addr it trains
+      a model from the catalog and self-hosts on an ephemeral port,
+      firing a hot reload mid-run to measure epoch-propagation lag
+      (--no-reload skips it; against an external --addr the reload
+      scenario is off). Default pacing is uncapped; --speedup X replays
+      the schedule at X times real time instead.
 ";
 
 fn main() -> ExitCode {
@@ -105,6 +116,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(rest),
         "query" => cmd_query(rest),
         "reload" => cmd_reload(rest),
+        "fleet" => cmd_fleet(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -550,6 +562,141 @@ fn cmd_reload(args: &[String]) -> Result<(), String> {
         ack.epoch,
         ack.types
     );
+    Ok(())
+}
+
+fn cmd_fleet(args: &[String]) -> Result<(), String> {
+    use iot_sentinel::fleet::{DriveConfig, FingerprintPool, FleetConfig, Pacing, ReloadHook};
+    use std::time::Duration;
+
+    let opts = Options::parse(args, &["no-reload"])?;
+    let devices: u32 = opts.number("devices", 10_000)?;
+    let seed: u64 = opts.number("seed", 42)?;
+    let duration_secs: u64 = opts.number("duration-secs", 120)?;
+    let connections: usize = opts.number("connections", 4)?;
+    let setups: u32 = opts.number("setups", 3)?;
+    let speedup: Option<f64> = match opts.first("speedup") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("--speedup got a non-numeric value {raw:?}"))?,
+        ),
+    };
+    if let Some(speed) = speedup {
+        if !speed.is_finite() || speed <= 0.0 {
+            return Err("--speedup must be positive".into());
+        }
+    }
+
+    // Lifecycle timing scales with the virtual horizon so short CI
+    // runs still exercise every phase (churn, standby, reload).
+    let duration = Duration::from_secs(duration_secs.max(1));
+    let mut config = FleetConfig {
+        devices: devices.max(1),
+        seed,
+        duration,
+        ramp: duration / 4,
+        steady_min: duration / 6,
+        steady_max: duration / 2,
+        standby_duration: duration / 4,
+        churn_lifetime: Some(duration * 3 / 4),
+        reload_at: (!opts.flag("no-reload")).then_some(duration / 2),
+        ..FleetConfig::default()
+    };
+
+    eprintln!("generating fingerprint pool (27 types x {setups} setups, seed {seed})...");
+    let pool = FingerprintPool::from_catalog(setups, seed);
+
+    // External server: drive it as-is (the reload scenario needs our
+    // own model document, so it only runs self-hosted). Otherwise
+    // train from the catalog and self-host on an ephemeral port.
+    let mut server_handle = None;
+    let mut model_bytes: Option<Vec<u8>> = None;
+    let addr = match opts.first("addr") {
+        Some(addr) => {
+            config.reload_at = None;
+            addr.to_string()
+        }
+        None => {
+            eprintln!("training service from the catalog...");
+            let mut sentinel = SentinelBuilder::new()
+                .catalog(catalog::standard_catalog())
+                .setups_per_type(setups)
+                .training_seed(seed)
+                .demo_vulnerabilities()
+                .build()
+                .map_err(|e| format!("training failed: {e}"))?;
+            let mut bytes = Vec::new();
+            persist::write_identifier(&mut bytes, sentinel.identifier())
+                .map_err(|e| format!("persisting model: {e}"))?;
+            model_bytes = Some(bytes);
+            // One worker per fleet connection plus one spare: workers
+            // each own a connection, and the mid-run reload arrives on
+            // its own admin connection that must not starve.
+            let server_config = ServerConfig {
+                workers: connections.max(1) + 1,
+                admin: true,
+                ..ServerConfig::default()
+            };
+            let handle = sentinel
+                .serve("127.0.0.1:0", server_config)
+                .map_err(|e| format!("binding loopback server: {e}"))?;
+            let addr = handle.local_addr().to_string();
+            eprintln!("self-hosting on {addr} (admin enabled)");
+            server_handle = Some(handle);
+            addr
+        }
+    };
+
+    let reload_hook: Option<ReloadHook<'_>> = match (&model_bytes, config.reload_at) {
+        (Some(bytes), Some(_)) => {
+            // Re-pushing the same document is a registry-compatible
+            // reload: the server installs it as a fresh epoch, which
+            // is exactly the propagation signal the fleet measures.
+            let admin_addr = addr.clone();
+            let bytes = bytes.clone();
+            Some(Box::new(move || {
+                let mut admin =
+                    SentinelClient::connect(admin_addr.as_str(), ClientConfig::default())
+                        .map_err(|e| format!("admin connect: {e}"))?;
+                admin
+                    .reload(bytes.clone())
+                    .map(|ack| ack.epoch)
+                    .map_err(|e| format!("admin reload: {e}"))
+            }))
+        }
+        _ => {
+            config.reload_at = None;
+            None
+        }
+    };
+
+    let drive_config = DriveConfig {
+        connections: connections.max(1),
+        pacing: speedup.map_or(Pacing::Uncapped, Pacing::Scaled),
+        client: ClientConfig {
+            retry_jitter_seed: seed,
+            ..ClientConfig::default()
+        },
+    };
+    eprintln!(
+        "simulating {} devices over {} virtual s, driving via {} connections...",
+        config.devices,
+        duration.as_secs(),
+        drive_config.connections
+    );
+    let (_trace, report) =
+        iot_sentinel::fleet::run(&config, &pool, &addr, &drive_config, reload_hook)?;
+    for line in report.lines() {
+        println!("{line}");
+    }
+    let path = report
+        .write()
+        .map_err(|e| format!("writing BENCH_fleet.json: {e}"))?;
+    println!("wrote {}", path.display());
+    if let Some(handle) = server_handle {
+        handle.shutdown();
+    }
     Ok(())
 }
 

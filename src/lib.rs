@@ -75,6 +75,7 @@
 //! | [`core`] | `sentinel-core` | two-stage identifier, IoTSSP, TypeRegistry, vulnerability DB |
 //! | [`gateway`] | `sentinel-gateway` | SDN switch/controller, rules, overlays, testbed |
 //! | [`serve`] | `sentinel-serve` | wire protocol, threaded TCP query server, blocking client |
+//! | [`fleet`] | `sentinel-fleet` | discrete-event fleet simulator + live-server load driver |
 //!
 //! The component types ([`core::Trainer`], [`core::IoTSecurityService`],
 //! [`gateway::SdnController`], …) remain public for evaluation
@@ -96,6 +97,7 @@ pub use sentinel_core as core;
 pub use sentinel_devices as devices;
 pub use sentinel_editdist as editdist;
 pub use sentinel_fingerprint as fingerprint;
+pub use sentinel_fleet as fleet;
 pub use sentinel_gateway as gateway;
 pub use sentinel_ml as ml;
 pub use sentinel_net as net;
