@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 
 use sentinel_editdist::dissimilarity_over;
 use sentinel_fingerprint::{Dataset, Fingerprint, FixedFingerprint, FixedScratch, FEATURE_COUNT};
-use sentinel_ml::{CompiledBank, CompiledBankBuilder, ShardScratch};
+use sentinel_ml::{CompiledBank, CompiledBankBuilder, ScanSnapshot, ShardScratch};
 
 use crate::classifier::TypeClassifier;
 use crate::error::CoreError;
@@ -148,6 +148,10 @@ pub struct BankStats {
     /// Stripe lanes the prefilter folds F′ dimensions into (23 for
     /// banks compiled by this crate: the per-packet feature columns).
     pub stripes: u32,
+    /// Cumulative scan-traffic counters (queries answered, prefilter
+    /// consults, arena walks skipped) at the instant the stats were
+    /// taken.
+    pub scan: ScanSnapshot,
 }
 
 /// A compiled bank tiled to a large replicated type count, with the
@@ -621,6 +625,7 @@ impl DeviceTypeIdentifier {
             arena_bytes: self.compiled.arena_bytes(),
             indexed: self.compiled.is_indexed(),
             stripes: self.compiled.index().stripes(),
+            scan: self.compiled.scan_counters(),
         }
     }
 

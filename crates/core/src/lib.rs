@@ -68,6 +68,7 @@ pub use incidents::{
 };
 pub use isolation::{Endpoint, IsolationClass, IsolationLevel};
 pub use registry::{RegistryMismatch, TypeId, TypeRegistry};
+pub use sentinel_ml::ScanSnapshot;
 pub use service::{IoTSecurityService, ServiceResponse, BATCH_CHUNK};
 pub use trainer::{IdentifierConfig, Trainer};
 pub use vulnerability::{Severity, VulnerabilityDatabase, VulnerabilityRecord};

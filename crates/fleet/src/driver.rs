@@ -19,9 +19,9 @@ use std::time::{Duration, Instant};
 use sentinel_serve::{ClientConfig, SentinelClient};
 
 use crate::config::Pacing;
-use crate::histogram::LogHistogram;
 use crate::pool::FingerprintPool;
 use crate::sim::{FleetAction, FleetTrace};
+use sentinel_obs::{LogHistogram, MetricsSnapshot};
 
 /// Driver tunables, independent of the simulated scenario.
 #[derive(Debug, Clone)]
@@ -92,6 +92,12 @@ pub struct DriveOutcome {
     /// Reload measurement, when the trace carried a reload marker and
     /// a hook was supplied.
     pub reload: Option<ReloadOutcome>,
+    /// The server's own metrics snapshot (counters plus per-stage
+    /// latency histograms), fetched over a `Stats` frame once the
+    /// replay drained. `None` when the server predates wire v3 or the
+    /// extra connection failed — the replay's client-side numbers
+    /// stand alone either way.
+    pub server: Option<MetricsSnapshot>,
 }
 
 impl DriveOutcome {
@@ -394,6 +400,12 @@ pub fn drive(
     } else {
         None
     };
+    // One extra connection after the replay drained: the server-side
+    // view of the run just measured. Best-effort — a pre-v3 server or
+    // a refused connection only costs this section, not the replay.
+    let server = SentinelClient::connect(addr, config.client.clone())
+        .ok()
+        .and_then(|mut client| client.server_stats().ok());
     Ok(DriveOutcome {
         latency,
         wall_elapsed,
@@ -402,5 +414,6 @@ pub fn drive(
         errors,
         connect_retries,
         reload,
+        server,
     })
 }

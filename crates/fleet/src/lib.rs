@@ -37,16 +37,18 @@
 
 pub mod config;
 pub mod driver;
-pub mod histogram;
 pub mod pool;
 pub mod report;
 pub mod sim;
 
 pub use config::{FleetConfig, LinkConfig, Pacing, MAX_RETRANSMITS};
 pub use driver::{drive, DriveConfig, DriveOutcome, ReloadHook, ReloadOutcome};
-pub use histogram::LogHistogram;
 pub use pool::FingerprintPool;
 pub use report::FleetReport;
+/// The latency histogram fleet reports are built on — promoted into
+/// `sentinel-obs` as the workspace's single implementation; re-exported
+/// here so existing fleet callers keep compiling unchanged.
+pub use sentinel_obs::LogHistogram;
 pub use sim::{simulate, FleetAction, FleetTrace, SimSummary, TraceEvent, DEVICE_NONE};
 
 /// End-to-end convenience: simulate `config` over `pool`'s types,

@@ -5,6 +5,7 @@
 use std::path::PathBuf;
 
 use sentinel_bench::bench_report::write_bench_json_sections;
+use sentinel_obs::{Counter, MetricsSnapshot, Stage};
 
 use crate::config::FleetConfig;
 use crate::driver::DriveOutcome;
@@ -58,6 +59,10 @@ pub struct FleetReport {
     /// Epoch regressions: old-epoch responses on a connection that had
     /// already seen the new epoch (must be zero on a healthy server).
     pub stale_after_reload: Option<u64>,
+    /// The server's own metrics snapshot for the run, fetched over a
+    /// `Stats` frame after the replay drained (`None` against pre-v3
+    /// servers).
+    pub server: Option<MetricsSnapshot>,
 }
 
 fn us(ns: u64) -> f64 {
@@ -91,6 +96,7 @@ impl FleetReport {
                 .map(|r| r.propagation_lag.as_secs_f64() * 1_000.0),
             reload_epoch: outcome.reload.as_ref().map(|r| r.epoch),
             stale_after_reload: outcome.reload.as_ref().map(|r| r.stale_responses),
+            server: outcome.server.clone(),
         }
     }
 
@@ -141,11 +147,62 @@ impl FleetReport {
             // JSON writer's f64 numbers, still a strong change signal.
             ("trace_digest_lo", f64::from(self.trace_digest as u32)),
         ];
-        write_bench_json_sections(
-            "fleet",
-            "us",
-            &[("results", &results), ("derived", &derived), ("sim", &sim)],
-        )
+        // Satellite view of the same run: the client side's counters
+        // under the obs catalog names, so dashboards join the two
+        // sections on one vocabulary.
+        let client: Vec<(&str, f64)> = vec![
+            (
+                Counter::ClientConnectRetries.name(),
+                self.connect_retries as f64,
+            ),
+            (Counter::ClientRequestsSent.name(), self.queries_sent as f64),
+            (
+                Counter::ClientResponsesReceived.name(),
+                self.responses_ok as f64,
+            ),
+        ];
+        // The server's own view, when it answered a Stats frame: every
+        // known counter, plus a per-stage latency summary. Owned keys
+        // (stage names are composed) bridged into the &str slices the
+        // writer takes.
+        let server_owned: Vec<(String, f64)> = match &self.server {
+            Some(snapshot) => {
+                let mut entries = vec![("epoch".to_string(), snapshot.epoch as f64)];
+                for counter in Counter::ALL {
+                    entries.push((counter.name().to_string(), snapshot.counter(counter) as f64));
+                }
+                for stage in Stage::ALL {
+                    let Some(summary) = snapshot.stage(stage) else {
+                        continue;
+                    };
+                    let stage = stage.name();
+                    entries.push((format!("stage_{stage}_count"), summary.count as f64));
+                    entries.push((format!("stage_{stage}_p50_us"), us(summary.p50_ns)));
+                    entries.push((format!("stage_{stage}_p99_us"), us(summary.p99_ns)));
+                    entries.push((format!("stage_{stage}_max_us"), us(summary.max_ns)));
+                    entries.push((
+                        format!("stage_{stage}_mean_us"),
+                        summary.mean_ns() / 1_000.0,
+                    ));
+                }
+                entries
+            }
+            None => Vec::new(),
+        };
+        let server: Vec<(&str, f64)> = server_owned
+            .iter()
+            .map(|(name, value)| (name.as_str(), *value))
+            .collect();
+        let mut sections: Vec<(&str, &[(&str, f64)])> = vec![
+            ("results", &results),
+            ("derived", &derived),
+            ("sim", &sim),
+            ("client", &client),
+        ];
+        if !server.is_empty() {
+            sections.push(("server", &server));
+        }
+        write_bench_json_sections("fleet", "us", &sections)
     }
 
     /// Human-readable summary lines for the CLI.
@@ -186,6 +243,25 @@ impl FleetReport {
                 lag,
                 self.stale_after_reload.unwrap_or(0)
             ));
+        }
+        if let Some(snapshot) = &self.server {
+            out.push(format!(
+                "server: epoch {}, {} query frames / {} queries answered, {} errors, {} reloads",
+                snapshot.epoch,
+                snapshot.counter(Counter::QueryFrames),
+                snapshot.counter(Counter::QueriesAnswered),
+                snapshot.counter(Counter::ProtocolErrors),
+                snapshot.counter(Counter::Reloads),
+            ));
+            if let Some(frame) = snapshot.stage(Stage::Frame) {
+                out.push(format!(
+                    "server: frame stage p50 {:.0} us, p99 {:.0} us, max {:.0} us over {} frames",
+                    us(frame.p50_ns),
+                    us(frame.p99_ns),
+                    us(frame.max_ns),
+                    frame.count,
+                ));
+            }
         }
         out
     }

@@ -54,6 +54,7 @@ use crate::error::MlError;
 use crate::forest::RandomForest;
 use crate::index::{BankIndex, IndexRow, MAX_STRIPES};
 use crate::tree::Node;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 /// Tag bit marking a child reference as a leaf; bit 0 then carries the
 /// tree's positive-class vote. References without the tag are indices
@@ -100,6 +101,57 @@ pub struct ForestSpan {
     pub n_features: u32,
 }
 
+/// Cumulative scan-traffic counters a bank records as queries pass
+/// through it: relaxed atomics bumped a constant number of times per
+/// query (never per forest), so the counting cost is a few uncontended
+/// cache-line RMWs — invisible next to the arena scan itself — and the
+/// scan paths stay allocation-free and `&self`.
+///
+/// Read via [`CompiledBank::scan_counters`]; surfaced to operators
+/// through the serve layer's Stats frame. Cloning a bank copies the
+/// counter values at that instant (a clone is a faithful snapshot of
+/// the bank, counters included).
+#[derive(Debug, Default)]
+pub struct ScanCounters {
+    queries: AtomicU64,
+    prefiltered: AtomicU64,
+    forests_skipped: AtomicU64,
+}
+
+impl Clone for ScanCounters {
+    fn clone(&self) -> Self {
+        let snap = self.snapshot();
+        ScanCounters {
+            queries: AtomicU64::new(snap.queries),
+            prefiltered: AtomicU64::new(snap.prefiltered),
+            forests_skipped: AtomicU64::new(snap.forests_skipped),
+        }
+    }
+}
+
+impl ScanCounters {
+    /// The counters' current values.
+    pub fn snapshot(&self) -> ScanSnapshot {
+        ScanSnapshot {
+            queries: self.queries.load(Relaxed),
+            prefiltered: self.prefiltered.load(Relaxed),
+            forests_skipped: self.forests_skipped.load(Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a bank's [`ScanCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanSnapshot {
+    /// Bank scans answered (one per fingerprint classified).
+    pub queries: u64,
+    /// Scans that consulted the feature-bitmap prefilter.
+    pub prefiltered: u64,
+    /// Forest evaluations answered from the prefilter's cached
+    /// all-default verdict without walking the arena.
+    pub forests_skipped: u64,
+}
+
 /// A bank of binary forests compiled into one flat arena.
 ///
 /// Construction goes through [`CompiledBankBuilder`]; evaluation is
@@ -113,6 +165,7 @@ pub struct CompiledBank {
     roots: Vec<u32>,
     forests: Vec<ForestSpan>,
     index: BankIndex,
+    counters: ScanCounters,
 }
 
 impl CompiledBank {
@@ -134,6 +187,7 @@ impl CompiledBank {
             roots,
             forests,
             index: BankIndex::disabled(),
+            counters: ScanCounters::default(),
         }
     }
 
@@ -157,6 +211,7 @@ impl CompiledBank {
             roots,
             forests,
             index,
+            counters: ScanCounters::default(),
         }
     }
 
@@ -202,6 +257,15 @@ impl CompiledBank {
         &self.forests
     }
 
+    /// Cumulative scan-traffic counters: how many queries this bank
+    /// has answered, how many consulted the prefilter, and how many
+    /// arena walks the prefilter skipped. Lock-free to read; the scan
+    /// paths bump them with a constant number of relaxed atomics per
+    /// query.
+    pub fn scan_counters(&self) -> ScanSnapshot {
+        self.counters.snapshot()
+    }
+
     /// Does forest `index` accept `sample`?
     ///
     /// Early-exits once the accept count is reached or mathematically
@@ -245,10 +309,16 @@ impl CompiledBank {
     pub fn for_each_accepting_indexed(&self, sample: &[f32], mut f: impl FnMut(usize)) {
         match self.usable_bitmap(sample) {
             Some(bitmap) => {
+                self.counters.queries.fetch_add(1, Relaxed);
+                self.counters.prefiltered.fetch_add(1, Relaxed);
+                let mut skipped = 0u64;
                 for (index, span) in self.forests.iter().enumerate() {
-                    if self.prefiltered_verdict(index, span, sample, bitmap) {
+                    if self.prefiltered_verdict(index, span, sample, bitmap, &mut skipped) {
                         f(index);
                     }
+                }
+                if skipped > 0 {
+                    self.counters.forests_skipped.fetch_add(skipped, Relaxed);
                 }
             }
             None => self.for_each_accepting_full(sample, f),
@@ -259,6 +329,7 @@ impl CompiledBank {
     /// arena, no prefilter consulted. Reference for A/B benchmarks and
     /// the fallback for banks without a usable index.
     pub fn for_each_accepting_full(&self, sample: &[f32], mut f: impl FnMut(usize)) {
+        self.counters.queries.fetch_add(1, Relaxed);
         for (index, span) in self.forests.iter().enumerate() {
             if self.span_accepts(span, sample) {
                 f(index);
@@ -298,6 +369,10 @@ impl CompiledBank {
             scratch.lanes.resize_with(shards, Vec::new);
         }
         let bitmap = self.usable_bitmap(sample);
+        self.counters.queries.fetch_add(1, Relaxed);
+        if bitmap.is_some() {
+            self.counters.prefiltered.fetch_add(1, Relaxed);
+        }
         let chunk = n.div_ceil(shards);
         let (first, rest) = scratch.lanes.split_at_mut(1);
         let first = &mut first[0];
@@ -330,15 +405,19 @@ impl CompiledBank {
     ) {
         out.clear();
         let end = range.end.min(self.forests.len());
+        let mut skipped = 0u64;
         for index in range.start.min(end)..end {
             let span = &self.forests[index];
             let accepts = match bitmap {
-                Some(bm) => self.prefiltered_verdict(index, span, sample, bm),
+                Some(bm) => self.prefiltered_verdict(index, span, sample, bm, &mut skipped),
                 None => self.span_accepts(span, sample),
             };
             if accepts {
                 out.push(index as u32);
             }
+        }
+        if skipped > 0 {
+            self.counters.forests_skipped.fetch_add(skipped, Relaxed);
         }
     }
 
@@ -359,7 +438,10 @@ impl CompiledBank {
     /// runs first so a wrong-length sample stays `false` exactly like
     /// [`CompiledBank::span_accepts`]. Missing rows (impossible when
     /// the usability check passed, but kept panic-free) fall back to
-    /// the full evaluation.
+    /// the full evaluation. `skipped` accumulates arena walks the
+    /// prefilter avoided — a thread-local tally the callers flush to
+    /// [`ScanCounters`] once per scan, keeping atomics off the
+    /// per-forest path.
     #[inline]
     fn prefiltered_verdict(
         &self,
@@ -367,10 +449,12 @@ impl CompiledBank {
         span: &ForestSpan,
         sample: &[f32],
         bitmap: u32,
+        skipped: &mut u64,
     ) -> bool {
         if sample.len() == span.n_features as usize {
             if let Some(row) = self.index.rows().get(index) {
                 if row.tested & bitmap == 0 {
+                    *skipped += 1;
                     return row.default_accepts;
                 }
             }
@@ -452,6 +536,7 @@ impl CompiledBank {
             roots: Vec::with_capacity(roots_total),
             forests: Vec::with_capacity(self.forests.len() * times),
             index: self.index.repeat(times),
+            counters: ScanCounters::default(),
         };
         for copy in 0..times {
             let node_offset = (copy * self.nodes.len()) as u32;
@@ -803,6 +888,49 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn scan_counters_track_queries_and_skips() {
+        let forests: Vec<RandomForest> = (0..4).map(|i| forest(90 + i, 3)).collect();
+        let mut builder = CompiledBankBuilder::new();
+        for f in &forests {
+            builder.push(f, 0.5).unwrap();
+        }
+        let bank = builder.finish();
+        assert_eq!(bank.scan_counters(), ScanSnapshot::default());
+
+        let sample = [0.4f32, 0.6, 0.2];
+        bank.for_each_accepting_full(&sample, |_| {});
+        let after_full = bank.scan_counters();
+        assert_eq!(after_full.queries, 1);
+        assert_eq!(after_full.prefiltered, 0);
+
+        bank.for_each_accepting_indexed(&sample, |_| {});
+        let after_indexed = bank.scan_counters();
+        assert_eq!(after_indexed.queries, 2);
+        assert_eq!(after_indexed.prefiltered, 1);
+
+        // The all-zero sample misses every tested stripe: the
+        // prefilter answers all forests from cached verdicts.
+        bank.for_each_accepting_indexed(&[0.0, 0.0, 0.0], |_| {});
+        let after_zero = bank.scan_counters();
+        assert_eq!(after_zero.queries, 3);
+        assert_eq!(after_zero.prefiltered, 2);
+        assert_eq!(
+            after_zero.forests_skipped - after_indexed.forests_skipped,
+            bank.forest_count() as u64
+        );
+
+        let mut scratch = ShardScratch::new();
+        bank.for_each_accepting_sharded(&sample, 2, &mut scratch, |_| {});
+        assert_eq!(bank.scan_counters().queries, 4);
+        assert_eq!(bank.scan_counters().prefiltered, 3);
+
+        // Clones carry the values; fresh builds start at zero.
+        let cloned = bank.clone();
+        assert_eq!(cloned.scan_counters(), bank.scan_counters());
+        assert_eq!(bank.repeat(2).scan_counters(), ScanSnapshot::default());
     }
 
     #[test]

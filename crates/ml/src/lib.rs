@@ -54,7 +54,8 @@ pub mod sampler;
 pub mod tree;
 
 pub use compiled::{
-    CompiledBank, CompiledBankBuilder, ForestSpan, PackedNode, ShardScratch, PREFILTER_MIN_FORESTS,
+    CompiledBank, CompiledBankBuilder, ForestSpan, PackedNode, ScanCounters, ScanSnapshot,
+    ShardScratch, PREFILTER_MIN_FORESTS,
 };
 pub use error::MlError;
 pub use forest::{ForestConfig, RandomForest};

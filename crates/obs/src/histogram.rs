@@ -1,7 +1,12 @@
-//! Hand-rolled log-linear latency histogram (the HdrHistogram shape):
+//! Hand-rolled log-linear latency histograms (the HdrHistogram shape):
 //! constant memory, O(1) record, ≤ 1/16 relative bucket error — good
 //! enough for p50/p99/p999 over millions of samples without keeping
-//! them.
+//! them. [`LogHistogram`] is the single-writer form (merge-friendly,
+//! used by the fleet driver's per-worker reports); [`AtomicHistogram`]
+//! is the shared-writer form the server's metrics registry records
+//! into from its worker threads.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 /// Sub-bucket resolution: each power-of-two range splits into 16
 /// linear sub-buckets, bounding relative error at 1/16 (~6%).
@@ -117,6 +122,11 @@ impl LogHistogram {
         self.max
     }
 
+    /// Sum of all samples (kept at full width, so it cannot overflow).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Mean of all samples (exact — the sum is kept at full width).
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
@@ -141,6 +151,77 @@ impl LogHistogram {
             }
         }
         self.max
+    }
+}
+
+/// The shared-writer sibling of [`LogHistogram`]: identical bucket
+/// scheme, but every bucket is a relaxed [`AtomicU64`], so any number
+/// of threads can [`AtomicHistogram::record`] concurrently through a
+/// shared reference — lock-free and allocation-free, the contract the
+/// serve path's stage timers rely on.
+///
+/// Reads go through [`AtomicHistogram::merge_into`], which folds the
+/// bucket counts into a plain [`LogHistogram`]. Per-bucket counts are
+/// monotone under concurrent recording (each is a single atomic), so
+/// repeated snapshots never observe a count going backwards; the
+/// `sum`/`min`/`max` companions are updated by separate relaxed
+/// operations and may trail the bucket counts by in-flight samples —
+/// exact at quiescence, advisory mid-flight.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    counts: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free, allocation-free, `&self`.
+    ///
+    /// The running sum is kept in a `u64` (unlike the single-writer
+    /// histogram's `u128` — there is no 128-bit atomic on stable);
+    /// with nanosecond samples it wraps after ~584 years of recorded
+    /// latency, which is beyond any server's lifetime.
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_index(value)].fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+        self.min.fetch_min(value, Relaxed);
+        self.max.fetch_max(value, Relaxed);
+    }
+
+    /// Number of recorded samples: the bucket counts summed, so the
+    /// value is consistent with what [`AtomicHistogram::merge_into`]
+    /// would fold out at the same instant.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Relaxed)).sum()
+    }
+
+    /// Folds this histogram's current contents into `out`.
+    pub fn merge_into(&self, out: &mut LogHistogram) {
+        for (mine, theirs) in out.counts.iter_mut().zip(self.counts.iter()) {
+            let theirs = theirs.load(Relaxed);
+            *mine += theirs;
+            out.total += theirs;
+        }
+        out.sum += u128::from(self.sum.load(Relaxed));
+        out.min = out.min.min(self.min.load(Relaxed));
+        out.max = out.max.max(self.max.load(Relaxed));
     }
 }
 
@@ -226,5 +307,59 @@ mod tests {
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn atomic_matches_single_writer() {
+        let atomic = AtomicHistogram::new();
+        let mut plain = LogHistogram::new();
+        for v in 0..1_000u64 {
+            let sample = v * 31 + 5;
+            atomic.record(sample);
+            plain.record(sample);
+        }
+        assert_eq!(atomic.count(), plain.count());
+        let mut folded = LogHistogram::new();
+        atomic.merge_into(&mut folded);
+        assert_eq!(folded.count(), plain.count());
+        assert_eq!(folded.min(), plain.min());
+        assert_eq!(folded.max(), plain.max());
+        assert_eq!(folded.mean(), plain.mean());
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(folded.quantile(q), plain.quantile(q));
+        }
+    }
+
+    #[test]
+    fn atomic_records_concurrently() {
+        let atomic = std::sync::Arc::new(AtomicHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&atomic);
+                std::thread::spawn(move || {
+                    for v in 0..10_000u64 {
+                        h.record(v * 4 + t);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut folded = LogHistogram::new();
+        atomic.merge_into(&mut folded);
+        assert_eq!(folded.count(), 40_000);
+        assert_eq!(folded.min(), 0);
+        assert_eq!(folded.max(), 4 * 9_999 + 3);
+    }
+
+    #[test]
+    fn atomic_empty_merge_is_identity() {
+        let atomic = AtomicHistogram::new();
+        let mut out = LogHistogram::new();
+        atomic.merge_into(&mut out);
+        assert_eq!(out.count(), 0);
+        assert_eq!(out.min(), 0);
+        assert_eq!(out.max(), 0);
     }
 }

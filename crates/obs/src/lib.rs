@@ -1,0 +1,33 @@
+//! `sentinel-obs`: observability primitives for the IoT Sentinel
+//! stack.
+//!
+//! The paper's security enforcement loop has a gateway *trusting* the
+//! identification service; this crate is what makes a live service
+//! inspectable instead of a black box. It holds the workspace's one
+//! latency-histogram implementation and the lock-free metrics registry
+//! the serve pipeline records into:
+//!
+//! - [`LogHistogram`] — single-writer log-linear histogram (promoted
+//!   here from `sentinel-fleet`, which re-exports it).
+//! - [`AtomicHistogram`] — the shared-writer form: relaxed atomic
+//!   buckets, `&self` recording, lock- and allocation-free.
+//! - [`MetricsRegistry`] — fixed-catalog atomic [`Counter`]s plus
+//!   per-worker [`Stage`]-latency histogram shards; snapshotting merges
+//!   the shards without ever stalling a recorder.
+//! - [`MetricsSnapshot`] / [`HistogramSummary`] — the point-in-time
+//!   view: what the Stats wire frame ships, what
+//!   [`MetricsSnapshot::to_text`] renders as Prometheus text
+//!   exposition, and what fleet bench reports embed.
+//!
+//! The crate is dependency-free and protocol-agnostic: `sentinel-serve`
+//! owns the wire encoding of snapshots, `sentinel-fleet` the report
+//! embedding. Everything here is plain data plus atomics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod registry;
+
+pub use histogram::{AtomicHistogram, LogHistogram};
+pub use registry::{Counter, HistogramSummary, MetricsRegistry, MetricsSnapshot, Stage};

@@ -325,6 +325,28 @@ impl SentinelClient {
         }
     }
 
+    /// Fetches the server's live metrics snapshot: the lock-free
+    /// registry's counters and per-stage latency histograms, overlaid
+    /// with the service epoch, reload count and compiled-bank scan
+    /// counters. Requires a v3 server; pre-v3 servers answer
+    /// [`ErrorCode::UnsupportedVersion`] via an error frame. Stats is
+    /// read-only introspection and works against servers whose admin
+    /// channel is disabled.
+    pub fn server_stats(&mut self) -> Result<sentinel_obs::MetricsSnapshot, ClientError> {
+        self.send(&Message::Stats)?;
+        match self.receive()? {
+            Message::StatsResponse(snapshot) => Ok(snapshot),
+            Message::Error(e) => Err(ClientError::Server {
+                code: e.code,
+                message: e.message,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "expected a stats response, got kind {:#04x}",
+                other.kind()
+            ))),
+        }
+    }
+
     /// Pushes a model document to the server's admin channel: the
     /// server loads it into a fresh service and hot-swaps it as the
     /// next epoch, without dropping any connection. Requires the

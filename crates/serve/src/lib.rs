@@ -36,6 +36,7 @@ pub mod wire;
 pub use client::{
     ClientConfig, ClientError, ClientStats, QueryResult, SentinelClient, StampedBatch,
 };
+pub use sentinel_obs::{Counter, HistogramSummary, MetricsRegistry, MetricsSnapshot, Stage};
 pub use server::{serve, serve_cell, ServerConfig, ServerHandle, ServerStats};
 pub use wire::{
     ErrorCode, Message, QueryRequest, QueryResponse, ReloadAck, ReloadRequest, WireError,

@@ -48,16 +48,35 @@
 //!   pathological fingerprint) is caught per connection: the
 //!   connection dies, [`ServerStats::worker_panics`] increments, and
 //!   the worker moves on to the next connection.
+//!
+//! # Observability
+//!
+//! Every lifecycle event and every answered frame is recorded **live**
+//! into a lock-free [`MetricsRegistry`] (one atomic counter per event,
+//! one stage-histogram shard per worker) rather than folded in at
+//! connection close, so a poller always sees current totals even under
+//! long-lived connections. Query frames additionally record four stage
+//! latencies — payload decode, identification scan, response encode,
+//! and the whole frame — into the recording worker's own histogram
+//! shard: the warm query path pays a handful of relaxed atomic RMWs
+//! and two clock reads per stage, no locks and no allocation. The
+//! registry is readable three ways: in-process via
+//! [`ServerHandle::metrics`] / [`ServerHandle::metrics_snapshot`], as
+//! a [`ServerStats`] compatibility snapshot, and over the wire via the
+//! v3 `Stats` frame (answered to any peer — it is read-only
+//! introspection and deliberately not admin-gated, so dashboards can
+//! watch servers whose admin channel is off).
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use sentinel_core::{persist, IoTSecurityService, ServiceCell, ServiceEpoch};
+use sentinel_obs::{Counter, MetricsRegistry, MetricsSnapshot, Stage};
 
 use crate::wire::{
     self, ErrorCode, ErrorFrame, FrameHeader, Message, QueryRequest, QueryResponse, ReloadAck,
@@ -144,18 +163,6 @@ impl Default for ServerConfig {
     }
 }
 
-/// Counters shared by the accept loop and all workers.
-#[derive(Debug, Default)]
-struct SharedStats {
-    connections_accepted: AtomicU64,
-    connections_refused: AtomicU64,
-    connections_active: AtomicU64,
-    frames_served: AtomicU64,
-    queries_answered: AtomicU64,
-    protocol_errors: AtomicU64,
-    worker_panics: AtomicU64,
-}
-
 /// A point-in-time snapshot of the server's counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServerStats {
@@ -182,46 +189,39 @@ pub struct ServerStats {
     pub reloads: u64,
 }
 
-impl SharedStats {
-    fn snapshot(&self) -> ServerStats {
+impl ServerStats {
+    /// Builds the compatibility snapshot from the live registry (epoch
+    /// and reloads are the cell's business; the caller overlays them).
+    fn from_registry(registry: &MetricsRegistry) -> ServerStats {
         ServerStats {
-            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
-            connections_refused: self.connections_refused.load(Ordering::Relaxed),
-            connections_active: self.connections_active.load(Ordering::Relaxed),
-            frames_served: self.frames_served.load(Ordering::Relaxed),
-            queries_answered: self.queries_answered.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            connections_accepted: registry.get(Counter::ConnectionsAccepted),
+            connections_refused: registry.get(Counter::ConnectionsRefused),
+            connections_active: registry.get(Counter::ConnectionsActive),
+            frames_served: registry.get(Counter::FramesServed),
+            queries_answered: registry.get(Counter::QueriesAnswered),
+            protocol_errors: registry.get(Counter::ProtocolErrors),
+            worker_panics: registry.get(Counter::WorkerPanics),
             epoch: 0,
             reloads: 0,
         }
     }
 }
 
-/// What one connection did, folded into the shared totals when it
-/// closes and inspectable in tests via the totals.
-#[derive(Debug, Default, Clone, Copy)]
-struct ConnectionTally {
-    frames: u64,
-    queries: u64,
-    errors: u64,
-}
-
-/// Decrements a gauge when dropped — keeps
+/// Decrements the connections-active gauge when dropped — keeps
 /// [`ServerStats::connections_active`] exact on every exit path,
 /// including a panic unwinding out of the connection handler.
-struct GaugeGuard<'a>(&'a AtomicU64);
+struct GaugeGuard<'a>(&'a MetricsRegistry);
 
 impl<'a> GaugeGuard<'a> {
-    fn increment(gauge: &'a AtomicU64) -> Self {
-        gauge.fetch_add(1, Ordering::Relaxed);
-        GaugeGuard(gauge)
+    fn increment(registry: &'a MetricsRegistry) -> Self {
+        registry.incr(Counter::ConnectionsActive);
+        GaugeGuard(registry)
     }
 }
 
 impl Drop for GaugeGuard<'_> {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::Relaxed);
+        self.0.decr(Counter::ConnectionsActive);
     }
 }
 
@@ -234,7 +234,7 @@ impl Drop for GaugeGuard<'_> {
 pub struct ServerHandle {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    stats: Arc<SharedStats>,
+    registry: Arc<MetricsRegistry>,
     cell: Arc<ServiceCell>,
     accept: Option<std::thread::JoinHandle<()>>,
 }
@@ -249,10 +249,28 @@ impl ServerHandle {
     /// A snapshot of the server's counters, including the served
     /// model's current epoch and reload count.
     pub fn stats(&self) -> ServerStats {
-        let mut stats = self.stats.snapshot();
+        let mut stats = ServerStats::from_registry(&self.registry);
         stats.epoch = self.cell.epoch();
         stats.reloads = self.cell.reloads();
         stats
+    }
+
+    /// The live metrics registry this server records into. Useful for
+    /// embedding servers that want to read (or extend) the counters
+    /// without a snapshot.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The full metrics snapshot, exactly as a `Stats` wire frame
+    /// would report it: every registry counter, the per-stage latency
+    /// summaries, the serving epoch, the cell's reload count, and the
+    /// served bank's scan counters.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        stats_snapshot(&self.registry, self.cell.epoch(), self.cell.reloads(), {
+            let service = self.cell.load();
+            service.bank_stats().scan
+        })
     }
 
     /// The epoch-swapped cell this server answers from. Publishing a
@@ -328,19 +346,21 @@ pub fn serve_cell(
     listener.set_nonblocking(true)?;
     let local_addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let stats = Arc::new(SharedStats::default());
+    // One stage-histogram shard per worker: a worker only ever records
+    // into its own shard, so stage timers never contend.
+    let registry = Arc::new(MetricsRegistry::new(config.workers.max(1)));
     let accept = {
         let shutdown = Arc::clone(&shutdown);
-        let stats = Arc::clone(&stats);
+        let registry = Arc::clone(&registry);
         let cell = Arc::clone(&cell);
         std::thread::Builder::new()
             .name("sentinel-serve".to_string())
-            .spawn(move || run(listener, cell, config, shutdown, stats))?
+            .spawn(move || run(listener, cell, config, shutdown, registry))?
     };
     Ok(ServerHandle {
         local_addr,
         shutdown,
-        stats,
+        registry,
         cell,
         accept: Some(accept),
     })
@@ -351,7 +371,7 @@ fn run(
     cell: Arc<ServiceCell>,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
-    stats: Arc<SharedStats>,
+    registry: Arc<MetricsRegistry>,
 ) {
     let workers = config.workers.max(1);
     // Connections a worker fans a big batch across: share the cores
@@ -371,12 +391,12 @@ fn run(
     // stats for the lifetime of the scope, which ends only after the
     // accept loop broke and every worker drained out.
     crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
+        for shard in 0..workers {
             let receiver = &receiver;
             let cell = &cell;
             let config = &config;
             let shutdown = &shutdown;
-            let stats = &stats;
+            let registry = &registry;
             scope.spawn(move |_| loop {
                 // Take the next connection; holding the lock only for
                 // the recv keeps hand-off cheap.
@@ -385,9 +405,15 @@ fn run(
                     guard.recv()
                 };
                 match next {
-                    Ok(stream) => {
-                        handle_connection(stream, cell, config, batch_workers, shutdown, stats)
-                    }
+                    Ok(stream) => handle_connection(
+                        stream,
+                        cell,
+                        config,
+                        batch_workers,
+                        shutdown,
+                        registry,
+                        shard,
+                    ),
                     Err(_) => break, // channel closed: shutting down
                 }
             });
@@ -401,12 +427,12 @@ fn run(
                     let _ = stream.set_nonblocking(false);
                     match sender.try_send(stream) {
                         Ok(()) => {
-                            stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                            registry.incr(Counter::ConnectionsAccepted);
                         }
                         Err(mpsc::TrySendError::Full(stream)) => {
                             // Pool saturated and backlog full: refuse
                             // by closing instead of parking the fd.
-                            stats.connections_refused.fetch_add(1, Ordering::Relaxed);
+                            registry.incr(Counter::ConnectionsRefused);
                             drop(stream);
                         }
                         Err(mpsc::TrySendError::Disconnected(_)) => break,
@@ -433,33 +459,31 @@ fn handle_connection(
     config: &ServerConfig,
     batch_workers: usize,
     shutdown: &AtomicBool,
-    stats: &SharedStats,
+    registry: &MetricsRegistry,
+    shard: usize,
 ) {
-    // RAII, not paired fetch_add/fetch_sub: the gauge must return to
-    // zero even when the handler below panics out.
-    let _active = GaugeGuard::increment(&stats.connections_active);
+    // RAII, not paired incr/decr: the gauge must return to zero even
+    // when the handler below panics out.
+    let _active = GaugeGuard::increment(registry);
     // A panic inside service code must cost one connection, not the
     // whole server: without this catch it would unwind through the
-    // crossbeam scope and tear down every worker.
-    match std::panic::catch_unwind(AssertUnwindSafe(|| {
-        serve_connection(stream, cell, config, batch_workers, shutdown)
-    })) {
-        Ok(tally) => {
-            stats
-                .frames_served
-                .fetch_add(tally.frames, Ordering::Relaxed);
-            stats
-                .queries_answered
-                .fetch_add(tally.queries, Ordering::Relaxed);
-            stats
-                .protocol_errors
-                .fetch_add(tally.errors, Ordering::Relaxed);
-        }
-        Err(_) => {
-            // The stream died inside the closure (dropped while
-            // unwinding), closing the connection; its tally is lost.
-            stats.worker_panics.fetch_add(1, Ordering::Relaxed);
-        }
+    // crossbeam scope and tear down every worker. Frame and error
+    // counters are recorded live inside serve_connection, so whatever
+    // the connection did before the panic is already counted.
+    if std::panic::catch_unwind(AssertUnwindSafe(|| {
+        serve_connection(
+            stream,
+            cell,
+            config,
+            batch_workers,
+            shutdown,
+            registry,
+            shard,
+        )
+    }))
+    .is_err()
+    {
+        registry.incr(Counter::WorkerPanics);
     }
 }
 
@@ -524,9 +548,10 @@ fn serve_connection(
     config: &ServerConfig,
     batch_workers: usize,
     shutdown: &AtomicBool,
-) -> ConnectionTally {
+    registry: &MetricsRegistry,
+    shard: usize,
+) {
     let _ = stream.set_nodelay(true);
-    let mut tally = ConnectionTally::default();
     let mut write_buf = Vec::new();
     let mut read_buf = Vec::new();
     // Pin the current model epoch; re-pinned at every frame boundary
@@ -540,6 +565,11 @@ fn serve_connection(
     // worker can notice shutdown; `Ok(None)` is clean EOF or shutdown,
     // `Err` a dead socket — both end the connection.
     while let Ok(Some(first)) = poll_first_byte(&mut stream, config, shutdown) {
+        // Stage timers measure server-side processing from the moment
+        // the frame's bytes are fully in hand — socket read time is the
+        // client's latency problem, not a pipeline stage.
+        let frame_start;
+        let decode_done;
         let decoded = match read_frame(&mut stream, first, config, &mut read_buf, &mut peer_version)
         {
             Ok((header, payload)) => {
@@ -549,7 +579,8 @@ fn serve_connection(
                     // decoding it into an owned message first would
                     // hold it in memory twice.
                     if !config.admin {
-                        tally.errors += 1;
+                        registry.incr(Counter::AdminRejected);
+                        registry.incr(Counter::ProtocolErrors);
                         let _ = send_message(
                             &mut stream,
                             &mut write_buf,
@@ -576,12 +607,13 @@ fn serve_connection(
                             {
                                 break;
                             }
-                            tally.frames += 1;
+                            registry.incr(Counter::FramesServed);
                         }
                         Err(message) => {
                             // A refused reload is not a framing error:
                             // the connection stays usable.
-                            tally.errors += 1;
+                            registry.incr(Counter::ReloadsRejected);
+                            registry.incr(Counter::ProtocolErrors);
                             if send_message(
                                 &mut stream,
                                 &mut write_buf,
@@ -606,16 +638,19 @@ fn serve_connection(
                     read_buf.shrink_to(config.max_frame_bytes as usize);
                     continue;
                 }
-                wire::decode_payload_at(header.version, header.kind, payload)
+                frame_start = Instant::now();
+                let decoded = wire::decode_payload_at(header.version, header.kind, payload);
+                decode_done = Instant::now();
+                decoded
             }
             Err(FrameError::Io) => {
-                tally.errors += 1;
+                registry.incr(Counter::ProtocolErrors);
                 break;
             }
             Err(FrameError::Wire(error)) => {
                 // Framing is broken (or refused): report and close —
                 // the byte stream cannot be resynchronised.
-                tally.errors += 1;
+                registry.incr(Counter::ProtocolErrors);
                 let _ = send_error(&mut stream, &mut write_buf, peer_version, &error);
                 break;
             }
@@ -627,11 +662,11 @@ fn serve_connection(
                 {
                     break;
                 }
-                tally.frames += 1;
+                registry.incr(Counter::FramesServed);
             }
             Ok(Message::QueryRequest(request)) => {
                 if request.fingerprints.len() > config.max_batch {
-                    tally.errors += 1;
+                    registry.incr(Counter::ProtocolErrors);
                     let _ = send_message(
                         &mut stream,
                         &mut write_buf,
@@ -656,7 +691,9 @@ fn serve_connection(
                 // and name resolution — runs against the one pinned
                 // epoch.
                 let service = pinned.service();
+                let scan_start = Instant::now();
                 let responses = service.handle_batch_with(&request.fingerprints, batch_workers);
+                let scan_done = Instant::now();
                 let queries = responses.len() as u64;
                 let items: Vec<ResponseItem> = responses
                     .into_iter()
@@ -682,14 +719,43 @@ fn serve_connection(
                 {
                     break;
                 }
-                tally.frames += 1;
-                tally.queries += queries;
+                // One record per stage per query frame, in pipeline
+                // order; `Frame` is the end-to-end figure the others
+                // decompose.
+                let frame_done = Instant::now();
+                registry.record(shard, Stage::Decode, elapsed_ns(frame_start, decode_done));
+                registry.record(shard, Stage::Scan, elapsed_ns(scan_start, scan_done));
+                registry.record(shard, Stage::Encode, elapsed_ns(scan_done, frame_done));
+                registry.record(shard, Stage::Frame, elapsed_ns(frame_start, frame_done));
+                registry.incr(Counter::FramesServed);
+                registry.incr(Counter::QueryFrames);
+                registry.add(Counter::QueriesAnswered, queries);
+            }
+            Ok(Message::Stats) => {
+                let snapshot = stats_snapshot(
+                    registry,
+                    pinned.epoch(),
+                    cell.reloads(),
+                    pinned.service().bank_stats().scan,
+                );
+                if send_message(
+                    &mut stream,
+                    &mut write_buf,
+                    peer_version,
+                    &Message::StatsResponse(snapshot),
+                )
+                .is_err()
+                {
+                    break;
+                }
+                registry.incr(Counter::FramesServed);
+                registry.incr(Counter::StatsServed);
             }
             // Reload frames never reach here: they are handled above,
             // straight from the borrowed payload.
             Ok(other) => {
                 // Server-to-client messages arriving at the server.
-                tally.errors += 1;
+                registry.incr(Counter::ProtocolErrors);
                 let _ = send_error(
                     &mut stream,
                     &mut write_buf,
@@ -699,14 +765,38 @@ fn serve_connection(
                 break;
             }
             Err(error) => {
-                tally.errors += 1;
+                registry.incr(Counter::ProtocolErrors);
                 let _ = send_error(&mut stream, &mut write_buf, peer_version, &error);
                 break;
             }
         }
     }
     let _ = stream.shutdown(Shutdown::Both);
-    tally
+}
+
+/// Nanoseconds between two instants, saturated into `u64`.
+fn elapsed_ns(start: Instant, end: Instant) -> u64 {
+    u64::try_from(end.saturating_duration_since(start).as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Builds the full [`MetricsSnapshot`] served on a Stats frame: the
+/// registry's counters and stage histograms, overlaid with the state
+/// that lives outside the registry — the service epoch, the reload
+/// count from the [`ServiceCell`], and the compiled bank's scan
+/// counters.
+fn stats_snapshot(
+    registry: &MetricsRegistry,
+    epoch: u64,
+    reloads: u64,
+    scan: sentinel_core::ScanSnapshot,
+) -> MetricsSnapshot {
+    let mut snapshot = registry.snapshot();
+    snapshot.epoch = epoch;
+    snapshot.set_counter(Counter::Reloads, reloads);
+    snapshot.set_counter(Counter::ScanQueries, scan.queries);
+    snapshot.set_counter(Counter::ScanPrefiltered, scan.prefiltered);
+    snapshot.set_counter(Counter::ScanForestsSkipped, scan.forests_skipped);
+    snapshot
 }
 
 /// Parses a model document and publishes it through the cell,

@@ -23,6 +23,8 @@
 //! | `0x04` | `Pong` | empty |
 //! | `0x05` | [`ReloadRequest`] *(v2, admin)* | the raw v2 model document bytes (see `sentinel_core::persist`) |
 //! | `0x06` | [`ReloadAck`] *(v2)* | epoch `u64`, type count `u32` |
+//! | `0x07` | `Stats` *(v3)* | empty |
+//! | `0x08` | `StatsResponse` *(v3)* | epoch `u64`, counter count `u16`, then per counter: id `u16`, value `u64`; stage count `u8`, then per stage: id `u8`, then count / sum / min / max / p50 / p90 / p99 / p999 as `u64` (durations in nanoseconds) |
 //! | `0x7F` | [`ErrorFrame`] | code `u8`, message `u16` len + UTF-8 |
 //!
 //! # Version policy
@@ -37,7 +39,14 @@
 //! the `QueryResponse` payload — the room PR 3 reserved for
 //! epoch-aware responses — so clients can observe model hot-reload
 //! propagation per request; responses encoded at version 1 or 2 keep
-//! the old layout and simply omit the stamp. A receiver seeing a
+//! the old layout and simply omit the stamp. The `Stats` /
+//! `StatsResponse` kinds are a v3-compatible extension in the same
+//! mould as v2's reload kinds: no existing payload changes, the new
+//! kinds are simply rejected as [`WireError::UnsupportedKind`] under
+//! versions 1 and 2, and the snapshot payload itself is
+//! forward-compatible (counters and stages travel as `(id, value)`
+//! pairs; a decoder keeps ids it does not recognise). A receiver
+//! seeing a
 //! version outside `MIN_VERSION..=VERSION` answers with an
 //! [`ErrorCode::UnsupportedVersion`] error frame (encoded at its own
 //! version) and closes the connection; payload layouts are only ever
@@ -56,6 +65,7 @@
 use bytes::BufMut;
 use sentinel_core::{IsolationClass, ServiceResponse, TypeId};
 use sentinel_fingerprint::{Fingerprint, PacketFeatures, FEATURE_COUNT};
+use sentinel_obs::{HistogramSummary, MetricsSnapshot};
 
 use std::fmt;
 
@@ -92,6 +102,10 @@ pub mod kind {
     pub const RELOAD: u8 = 0x05;
     /// Acknowledgement of a completed reload (v2).
     pub const RELOAD_ACK: u8 = 0x06;
+    /// Metrics-snapshot request (v3).
+    pub const STATS: u8 = 0x07;
+    /// Metrics-snapshot response (v3).
+    pub const STATS_RESPONSE: u8 = 0x08;
     /// Protocol error report.
     pub const ERROR: u8 = 0x7F;
 }
@@ -100,6 +114,7 @@ pub mod kind {
 fn kind_min_version(kind_byte: u8) -> u8 {
     match kind_byte {
         kind::RELOAD | kind::RELOAD_ACK => 2,
+        kind::STATS | kind::STATS_RESPONSE => 3,
         _ => 1,
     }
 }
@@ -335,6 +350,12 @@ pub enum Message {
     Reload(ReloadRequest),
     /// Reload acknowledgement (server → admin client, v2).
     ReloadAck(ReloadAck),
+    /// Metrics-snapshot request (client → server, v3). Read-only
+    /// introspection, served whether or not the admin channel is
+    /// enabled.
+    Stats,
+    /// The server's metrics snapshot (server → client, v3).
+    StatsResponse(MetricsSnapshot),
     /// Protocol error (server → client).
     Error(ErrorFrame),
 }
@@ -349,6 +370,8 @@ impl Message {
             Message::Pong => kind::PONG,
             Message::Reload(_) => kind::RELOAD,
             Message::ReloadAck(_) => kind::RELOAD_ACK,
+            Message::Stats => kind::STATS,
+            Message::StatsResponse(_) => kind::STATS_RESPONSE,
             Message::Error(_) => kind::ERROR,
         }
     }
@@ -440,6 +463,8 @@ pub fn encode_frame_at(version: u8, message: &Message, buf: &mut Vec<u8>) -> Res
             buf.put_u32(ack.types);
             Ok(())
         }
+        Message::Stats => Ok(()),
+        Message::StatsResponse(snapshot) => encode_stats_snapshot(snapshot, buf),
         Message::Error(error) => encode_error(error, buf),
     })
 }
@@ -527,6 +552,8 @@ pub fn decode_payload_at(version: u8, kind_byte: u8, payload: &[u8]) -> Result<M
             epoch: reader.u64()?,
             types: reader.u32()?,
         }),
+        kind::STATS => Message::Stats,
+        kind::STATS_RESPONSE => Message::StatsResponse(decode_stats_snapshot(&mut reader)?),
         kind::ERROR => Message::Error(decode_error(&mut reader)?),
         other => return Err(WireError::UnsupportedKind(other)),
     };
@@ -743,6 +770,73 @@ fn decode_query_response(version: u8, reader: &mut Reader<'_>) -> Result<QueryRe
         });
     }
     Ok(QueryResponse { epoch, items })
+}
+
+// ----- stats --------------------------------------------------------
+
+fn encode_stats_snapshot(snapshot: &MetricsSnapshot, buf: &mut Vec<u8>) -> Result<(), WireError> {
+    buf.put_u64(snapshot.epoch);
+    buf.put_u16(check_u16("counter count", snapshot.counters.len())?);
+    for &(id, value) in &snapshot.counters {
+        buf.put_u16(id);
+        buf.put_u64(value);
+    }
+    let stages = u8::try_from(snapshot.stages.len()).map_err(|_| WireError::TooLong {
+        field: "stage count",
+        len: snapshot.stages.len(),
+        max: u8::MAX as usize,
+    })?;
+    buf.put_u8(stages);
+    for &(id, summary) in &snapshot.stages {
+        buf.put_u8(id);
+        for value in [
+            summary.count,
+            summary.sum_ns,
+            summary.min_ns,
+            summary.max_ns,
+            summary.p50_ns,
+            summary.p90_ns,
+            summary.p99_ns,
+            summary.p999_ns,
+        ] {
+            buf.put_u64(value);
+        }
+    }
+    Ok(())
+}
+
+fn decode_stats_snapshot(reader: &mut Reader<'_>) -> Result<MetricsSnapshot, WireError> {
+    let epoch = reader.u64()?;
+    let count = reader.u16()? as usize;
+    // Each counter entry is 10 bytes on the wire.
+    let mut counters = Vec::with_capacity(count.min(reader.remaining() / 10 + 1));
+    for _ in 0..count {
+        let id = reader.u16()?;
+        let value = reader.u64()?;
+        counters.push((id, value));
+    }
+    let stage_count = reader.u8()? as usize;
+    // Each stage entry is 65 bytes on the wire.
+    let mut stages = Vec::with_capacity(stage_count.min(reader.remaining() / 65 + 1));
+    for _ in 0..stage_count {
+        let id = reader.u8()?;
+        let summary = HistogramSummary {
+            count: reader.u64()?,
+            sum_ns: reader.u64()?,
+            min_ns: reader.u64()?,
+            max_ns: reader.u64()?,
+            p50_ns: reader.u64()?,
+            p90_ns: reader.u64()?,
+            p99_ns: reader.u64()?,
+            p999_ns: reader.u64()?,
+        };
+        stages.push((id, summary));
+    }
+    Ok(MetricsSnapshot {
+        epoch,
+        counters,
+        stages,
+    })
 }
 
 // ----- error --------------------------------------------------------
@@ -987,6 +1081,80 @@ mod tests {
         assert_eq!(
             decode_frame(&buf, DEFAULT_MAX_FRAME_BYTES),
             Err(WireError::UnsupportedKind(kind::RELOAD))
+        );
+    }
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        use sentinel_obs::{Counter, MetricsRegistry, Stage};
+        let registry = MetricsRegistry::new(2);
+        registry.add(Counter::QueryFrames, 3);
+        registry.add(Counter::QueriesAnswered, 5);
+        registry.record(0, Stage::Decode, 1_200);
+        registry.record(1, Stage::Scan, 88_000);
+        registry.record(0, Stage::Frame, 95_000);
+        let mut snapshot = registry.snapshot();
+        snapshot.epoch = 2;
+        snapshot.set_counter(Counter::Reloads, 1);
+        snapshot
+    }
+
+    #[test]
+    fn stats_roundtrip_preserves_snapshot() {
+        assert_eq!(roundtrip(&Message::Stats), Message::Stats);
+        let response = Message::StatsResponse(sample_snapshot());
+        assert_eq!(roundtrip(&response), response);
+    }
+
+    #[test]
+    fn stats_snapshot_keeps_unknown_ids() {
+        // Forward compatibility: a poller must keep counter/stage ids
+        // it does not recognise instead of dropping or rejecting them.
+        let mut snapshot = sample_snapshot();
+        snapshot.counters.push((4_097, 99));
+        snapshot.stages.push((200, Default::default()));
+        let response = Message::StatsResponse(snapshot.clone());
+        assert_eq!(roundtrip(&response), response);
+    }
+
+    #[test]
+    fn stats_kinds_do_not_exist_before_version_three() {
+        for version in [1u8, 2] {
+            let mut buf = Vec::new();
+            assert_eq!(
+                encode_frame_at(version, &Message::Stats, &mut buf),
+                Err(WireError::UnsupportedKind(kind::STATS))
+            );
+            assert_eq!(
+                encode_frame_at(
+                    version,
+                    &Message::StatsResponse(sample_snapshot()),
+                    &mut buf
+                ),
+                Err(WireError::UnsupportedKind(kind::STATS_RESPONSE))
+            );
+            assert!(buf.is_empty(), "refused encode must leave no bytes");
+            // A v3 stats frame rewritten to claim an older version is
+            // rejected exactly as an old peer would reject it.
+            encode_frame(&Message::Stats, &mut buf).unwrap();
+            buf[4] = version;
+            assert_eq!(
+                decode_frame(&buf, DEFAULT_MAX_FRAME_BYTES),
+                Err(WireError::UnsupportedKind(kind::STATS))
+            );
+            buf.clear();
+        }
+    }
+
+    #[test]
+    fn truncated_stats_response_is_rejected() {
+        let mut buf = Vec::new();
+        encode_frame(&Message::StatsResponse(sample_snapshot()), &mut buf).unwrap();
+        buf.pop();
+        let len = (buf.len() - HEADER_LEN) as u32;
+        buf[6..10].copy_from_slice(&len.to_be_bytes());
+        assert_eq!(
+            decode_frame(&buf, DEFAULT_MAX_FRAME_BYTES),
+            Err(WireError::Truncated)
         );
     }
 

@@ -86,6 +86,13 @@ USAGE:
       registry must extend the served one (same types at the same ids,
       new types appended) — retrain on a superset dataset.
 
+  sentinel stats --addr HOST:PORT [--text]
+      Fetch a running server's live metrics over a Stats frame:
+      lifecycle counters, per-stage query latency histograms, service
+      epoch and reload count. Default output is `key value` lines
+      (grep-friendly); --text switches to Prometheus-style text
+      exposition for scraping.
+
   sentinel fleet [--devices N] [--seed S] [--duration-secs T] [--speedup X]
                  [--connections C] [--setups K] [--addr HOST:PORT] [--no-reload]
       Simulate a device fleet (enrollment ramp, setup bursts, steady
@@ -116,6 +123,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(rest),
         "query" => cmd_query(rest),
         "reload" => cmd_reload(rest),
+        "stats" => cmd_stats(rest),
         "fleet" => cmd_fleet(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -562,6 +570,42 @@ fn cmd_reload(args: &[String]) -> Result<(), String> {
         ack.epoch,
         ack.types
     );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    use iot_sentinel::obs::{Counter, Stage};
+
+    let opts = Options::parse(args, &["text"])?;
+    let addr = opts.required("addr")?;
+    let mut client = SentinelClient::connect(addr, ClientConfig::default())
+        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let snapshot = client
+        .server_stats()
+        .map_err(|e| format!("stats request failed: {e}"))?;
+    if opts.flag("text") {
+        print!("{}", snapshot.to_text());
+        return Ok(());
+    }
+    // `key value` lines, one metric per line, in catalog order —
+    // stable to grep/awk in CI smoke scripts.
+    println!("epoch {}", snapshot.epoch);
+    for counter in Counter::ALL {
+        println!("{} {}", counter.name(), snapshot.counter(counter));
+    }
+    for stage in Stage::ALL {
+        let Some(summary) = snapshot.stage(stage) else {
+            continue;
+        };
+        let name = stage.name();
+        println!("stage_{name}_count {}", summary.count);
+        println!("stage_{name}_sum_ns {}", summary.sum_ns);
+        println!("stage_{name}_p50_ns {}", summary.p50_ns);
+        println!("stage_{name}_p90_ns {}", summary.p90_ns);
+        println!("stage_{name}_p99_ns {}", summary.p99_ns);
+        println!("stage_{name}_p999_ns {}", summary.p999_ns);
+        println!("stage_{name}_max_ns {}", summary.max_ns);
+    }
     Ok(())
 }
 

@@ -75,6 +75,7 @@
 //! | [`core`] | `sentinel-core` | two-stage identifier, IoTSSP, TypeRegistry, vulnerability DB |
 //! | [`gateway`] | `sentinel-gateway` | SDN switch/controller, rules, overlays, testbed |
 //! | [`serve`] | `sentinel-serve` | wire protocol, threaded TCP query server, blocking client |
+//! | [`obs`] | `sentinel-obs` | lock-free metrics registry, stage histograms, snapshots |
 //! | [`fleet`] | `sentinel-fleet` | discrete-event fleet simulator + live-server load driver |
 //!
 //! The component types ([`core::Trainer`], [`core::IoTSecurityService`],
@@ -101,4 +102,5 @@ pub use sentinel_fleet as fleet;
 pub use sentinel_gateway as gateway;
 pub use sentinel_ml as ml;
 pub use sentinel_net as net;
+pub use sentinel_obs as obs;
 pub use sentinel_serve as serve;

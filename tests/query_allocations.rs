@@ -322,6 +322,41 @@ fn sharded_scan_allocations_are_pinned_to_spawn_bookkeeping() {
 }
 
 #[test]
+fn scan_instrumentation_counts_without_allocating() {
+    let _serial = serial();
+    // The compiled bank now keeps live scan counters (queries seen,
+    // prefilter consultations, forests skipped). They are plain
+    // relaxed atomics bumped at query granularity, so the warm handle
+    // path must stay allocation-free with them recording — and they
+    // must actually advance inside the measured window.
+    let s = sentinel();
+    let service = s.service();
+    let probe = fp_bits(0b001, &[104, 110, 120]);
+    std::hint::black_box(service.handle(&probe));
+
+    let before = service.bank_stats().scan;
+    let (allocs, _) = allocations_during(|| {
+        for _ in 0..32 {
+            std::hint::black_box(service.handle(&probe));
+        }
+    });
+    let after = service.bank_stats().scan;
+    assert_eq!(
+        allocs, 0,
+        "warm handle with scan counters live must not touch the heap"
+    );
+    assert_eq!(
+        after.queries - before.queries,
+        32,
+        "every warm handle must count exactly one scan query"
+    );
+    assert!(
+        after.prefiltered >= before.prefiltered,
+        "prefilter consultations must never regress"
+    );
+}
+
+#[test]
 fn interpreted_bank_no_longer_allocates_vote_vectors() {
     let _serial = serial();
     // The reference interpreter also stopped paying `predict_proba`'s

@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use iot_sentinel::fingerprint::{Dataset, Fingerprint, LabeledFingerprint, PacketFeatures};
+use iot_sentinel::obs::{Counter, Stage};
 use iot_sentinel::serve::{ClientConfig, SentinelClient, ServerConfig};
 use iot_sentinel::SentinelBuilder;
 
@@ -109,7 +110,39 @@ fn steady_state_frames_allocate_nothing_on_the_read_side() {
     // Steady state: a ping round-trip (empty payload) and an
     // empty-batch query round-trip (3 payload bytes through the
     // server's read buffer, 2 through the client's) — with reused
-    // buffers on both sides, none of it touches the heap.
+    // buffers on both sides, none of it touches the heap. The metrics
+    // registry is live on this path (counters and stage histograms per
+    // frame), so the deltas below double as proof that the
+    // zero-allocation claim holds *with instrumentation recording*.
+    let registry = handle.metrics().clone();
+    // The server counts a frame *after* writing its response, so the
+    // client can observe the reply a beat before the counter lands.
+    // The connection is synchronous and idle here, so waiting for the
+    // count to stop moving makes the before/after deltas exact.
+    let settle = |registry: &iot_sentinel::obs::MetricsRegistry| {
+        let mut last = registry.get(Counter::FramesServed);
+        let mut stable = 0;
+        for _ in 0..1_000 {
+            std::thread::sleep(Duration::from_millis(1));
+            let now = registry.get(Counter::FramesServed);
+            if now == last {
+                stable += 1;
+                if stable >= 5 {
+                    return;
+                }
+            } else {
+                stable = 0;
+                last = now;
+            }
+        }
+    };
+    settle(&registry);
+    let frames_before = registry.get(Counter::FramesServed);
+    let query_frames_before = registry.get(Counter::QueryFrames);
+    let stage_counts_before: Vec<u64> = Stage::ALL
+        .iter()
+        .map(|&stage| registry.stage_histogram(stage).count())
+        .collect();
     let (allocs, _) = allocations_during(|| {
         for _ in 0..64 {
             client.ping().expect("steady-state ping");
@@ -119,8 +152,24 @@ fn steady_state_frames_allocate_nothing_on_the_read_side() {
     assert_eq!(
         allocs, 0,
         "128 warm frame round-trips must not allocate: the read path \
-         reuses one buffer per connection"
+         reuses one buffer per connection and the metrics registry is \
+         lock-free and fixed-size"
     );
+
+    // The instrumentation really ran inside the measured window: every
+    // round-trip counted a served frame, every query frame recorded
+    // all four pipeline stages.
+    settle(&registry);
+    assert_eq!(registry.get(Counter::FramesServed) - frames_before, 128);
+    assert_eq!(registry.get(Counter::QueryFrames) - query_frames_before, 64);
+    for (&stage, before) in Stage::ALL.iter().zip(stage_counts_before) {
+        assert_eq!(
+            registry.stage_histogram(stage).count() - before,
+            64,
+            "stage {} must record once per query frame",
+            stage.name()
+        );
+    }
 
     // Sanity: real queries still answer (and are allowed to allocate —
     // decoded fingerprints and response vectors are owned data).
