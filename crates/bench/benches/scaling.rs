@@ -10,8 +10,12 @@
 //!   feature column is populated, which intersects every forest's
 //!   tested set — the prefilter can skip nothing and must instead cost
 //!   ~nothing; the wall-clock flattener at this end is the sharded
-//!   scan (one thread per span range, so it needs cores: on a 1-CPU
-//!   host it degrades to ~the serial time plus spawn overhead).
+//!   scan. Two shard executors are timed against each other: the
+//!   persistent work-stealing **pool** (the production path — span
+//!   ranges as tasks on pinned workers) and the old **scoped** baseline
+//!   (spawn one thread per shard per call), so the JSON records that
+//!   replacing per-call spawns with the pool did not cost dense-scan
+//!   throughput.
 //! * **idle** (empty/all-default) fingerprints — devices that have
 //!   sent nothing yet, which gateways still query in every periodic
 //!   batch: the nonzero bitmap is empty, every forest is answered from
@@ -31,6 +35,7 @@ use sentinel_core::{CandidateScratch, ReplicatedBank, Trainer};
 use sentinel_devices::{catalog, generate_dataset, NetworkEnvironment};
 use sentinel_fingerprint::FixedFingerprint;
 use sentinel_ml::{CompiledBank, ShardScratch};
+use sentinel_pool::ComputePool;
 
 /// Replica multiples of the 27-type bank: ~1k, ~10k, ~100k types.
 const REPLICAS: [usize; 3] = [37, 370, 3700];
@@ -54,14 +59,19 @@ fn skip_fraction(bank: &CompiledBank, probe: &FixedFingerprint) -> f64 {
     skipped as f64 / index.rows().len().max(1) as f64
 }
 
-/// Asserts the indexed and sharded scans reproduce the full scan's
-/// candidate set exactly on `bank`, then returns (full, indexed,
-/// sharded) ns-per-query over `probes`.
+/// Asserts the indexed, pooled-sharded and scoped-sharded scans all
+/// reproduce the full scan's candidate set exactly on `bank`, then
+/// returns (full, indexed, pooled, scoped) ns-per-query over `probes`.
+/// The pooled rows run on `pool` (sized by the caller, independent of
+/// `SENTINEL_POOL_THREADS`, so CI's single-worker default does not
+/// skew the comparison); the scoped rows spawn a thread per shard per
+/// call — the pre-pool baseline.
 fn measure_bank(
     bank: &CompiledBank,
     probes: &[FixedFingerprint],
     shards: usize,
-) -> (f64, f64, f64) {
+    pool: &ComputePool,
+) -> (f64, f64, f64, f64) {
     let mut scratch = ShardScratch::new();
     for probe in probes {
         let sample = probe.as_slice();
@@ -70,9 +80,12 @@ fn measure_bank(
         let mut indexed = Vec::new();
         bank.for_each_accepting(sample, |i| indexed.push(i));
         assert_eq!(indexed, full, "indexed scan lost or invented a candidate");
-        let mut sharded = Vec::new();
-        bank.for_each_accepting_sharded(sample, shards, &mut scratch, |i| sharded.push(i));
-        assert_eq!(sharded, full, "sharded scan lost or invented a candidate");
+        let mut pooled = Vec::new();
+        bank.for_each_accepting_pooled(pool, sample, shards, &mut scratch, |i| pooled.push(i));
+        assert_eq!(pooled, full, "pooled scan lost or invented a candidate");
+        let mut scoped = Vec::new();
+        bank.for_each_accepting_sharded_scoped(sample, shards, &mut scratch, |i| scoped.push(i));
+        assert_eq!(scoped, full, "scoped scan lost or invented a candidate");
     }
     let per_query = |ns_per_pass: f64| ns_per_pass / probes.len() as f64;
     let full_ns = per_query(measure_ns(|| {
@@ -89,16 +102,25 @@ fn measure_bank(
             std::hint::black_box(accepted);
         }
     }));
-    let sharded_ns = per_query(measure_ns(|| {
+    let pooled_ns = per_query(measure_ns(|| {
         for probe in probes {
             let mut accepted = 0usize;
-            bank.for_each_accepting_sharded(probe.as_slice(), shards, &mut scratch, |_| {
+            bank.for_each_accepting_pooled(pool, probe.as_slice(), shards, &mut scratch, |_| {
                 accepted += 1
             });
             std::hint::black_box(accepted);
         }
     }));
-    (full_ns, indexed_ns, sharded_ns)
+    let scoped_ns = per_query(measure_ns(|| {
+        for probe in probes {
+            let mut accepted = 0usize;
+            bank.for_each_accepting_sharded_scoped(probe.as_slice(), shards, &mut scratch, |_| {
+                accepted += 1
+            });
+            std::hint::black_box(accepted);
+        }
+    }));
+    (full_ns, indexed_ns, pooled_ns, scoped_ns)
 }
 
 fn main() {
@@ -196,21 +218,26 @@ fn main() {
         skip_fraction(identifier.compiled_bank(), &idle_probe) * 100.0
     );
 
+    // One persistent pool for every pooled row, sized to the shard
+    // count like production sizes its pool to the machine.
+    let pool = ComputePool::new(shards);
     for replicas in REPLICAS {
         let tiled: ReplicatedBank = identifier
             .replicated_bank(replicas)
             .expect("tiling stays inside the 31-bit reference space");
         let types = tiled.type_count();
-        let (full_ns, indexed_ns, sharded_ns) = measure_bank(tiled.bank(), &probes, shards);
+        let (full_ns, indexed_ns, pooled_ns, scoped_ns) =
+            measure_bank(tiled.bank(), &probes, shards, &pool);
         let idle = std::slice::from_ref(&idle_probe);
-        let (idle_full_ns, idle_indexed_ns, _) = measure_bank(tiled.bank(), idle, 1);
+        let (idle_full_ns, idle_indexed_ns, _, _) = measure_bank(tiled.bank(), idle, 1, &pool);
         println!(
             "{types:>8} types | dense: full {:>10.3} µs, indexed {:>10.3} µs, \
-             sharded({shards}) {:>10.3} µs | idle: full {:>10.3} µs, indexed \
-             {:>8.3} µs | arena {} KiB",
+             pooled({shards}) {:>10.3} µs, scoped({shards}) {:>10.3} µs | idle: \
+             full {:>10.3} µs, indexed {:>8.3} µs | arena {} KiB",
             full_ns / 1e3,
             indexed_ns / 1e3,
-            sharded_ns / 1e3,
+            pooled_ns / 1e3,
+            scoped_ns / 1e3,
             idle_full_ns / 1e3,
             idle_indexed_ns / 1e3,
             tiled.bank().arena_bytes() / 1024
@@ -218,7 +245,8 @@ fn main() {
         let label = |kind: &str| format!("{kind}_{types}_types_replicated");
         results.push((label("full"), full_ns));
         results.push((label("indexed"), indexed_ns));
-        results.push((label("sharded"), sharded_ns));
+        results.push((label("sharded"), pooled_ns));
+        results.push((label("sharded_scoped"), scoped_ns));
         results.push((label("full_idle"), idle_full_ns));
         results.push((label("indexed_idle"), idle_indexed_ns));
         derived.push((
@@ -227,7 +255,11 @@ fn main() {
         ));
         derived.push((
             format!("speedup_sharded_{types}_types"),
-            full_ns / sharded_ns,
+            full_ns / pooled_ns,
+        ));
+        derived.push((
+            format!("speedup_pooled_vs_scoped_{types}_types"),
+            scoped_ns / pooled_ns,
         ));
         derived.push((
             format!("speedup_indexed_idle_{types}_types"),

@@ -23,6 +23,10 @@ pub mod thread {
             F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
             T: Send + 'scope,
         {
+            // Every scoped spawn is visible to the workspace-wide
+            // spawn ledger so allocation/spawn-pinning tests can
+            // assert that warm query paths never reach this shim.
+            sentinel_pool::note_thread_spawn();
             let inner = self.inner;
             self.inner.spawn(move || f(&Scope { inner }))
         }

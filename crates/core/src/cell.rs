@@ -35,6 +35,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
+use sentinel_pool::ComputePool;
+
 use crate::identifier::DeviceTypeIdentifier;
 use crate::registry::{RegistryMismatch, TypeRegistry};
 use crate::service::IoTSecurityService;
@@ -51,6 +53,12 @@ pub struct ServiceCell {
     epoch: AtomicU64,
     /// Successful swaps since the cell was created.
     reloads: AtomicU64,
+    /// The compute pool every parallel path of this service runs on:
+    /// batch chunks, sharded span scans, background recompiles. Sized
+    /// once when the cell is built and **kept across epoch swaps** —
+    /// a hot reload republishes models against the same pinned
+    /// workers, so reloading never churns threads.
+    pool: Arc<ComputePool>,
 }
 
 /// A pinned epoch: one immutable service plus the epoch number it was
@@ -85,13 +93,28 @@ impl std::ops::Deref for ServiceEpoch {
 }
 
 impl ServiceCell {
-    /// Wraps `service` as epoch 1.
+    /// Wraps `service` as epoch 1, computing on the process-wide
+    /// global pool ([`sentinel_pool::global`]). Use
+    /// [`ServiceCell::with_pool`] to give the cell a private pool
+    /// (explicit sizing, isolation in tests).
     pub fn new(service: IoTSecurityService) -> Self {
+        ServiceCell::with_pool(service, Arc::clone(sentinel_pool::global()))
+    }
+
+    /// Wraps `service` as epoch 1 on an explicit compute pool.
+    pub fn with_pool(service: IoTSecurityService, pool: Arc<ComputePool>) -> Self {
         ServiceCell {
             current: Mutex::new(Arc::new(service)),
             epoch: AtomicU64::new(1),
             reloads: AtomicU64::new(0),
+            pool,
         }
+    }
+
+    /// The compute pool this cell's service runs on. Shared by every
+    /// epoch the cell ever publishes.
+    pub fn pool(&self) -> &Arc<ComputePool> {
+        &self.pool
     }
 
     /// The epoch of the currently published service.
@@ -375,5 +398,43 @@ mod tests {
         });
         assert_eq!(cell.epoch(), 9);
         assert_eq!(cell.reloads(), 8);
+    }
+
+    #[test]
+    fn pool_survives_epoch_swaps() {
+        // Exact thread-count accounting lives in the serialized
+        // `pool_threads` integration suite; here we pin the identity:
+        // every epoch publishes against the same pool instance.
+        let pool = Arc::new(ComputePool::new(2));
+        let cell = ServiceCell::with_pool(service(), Arc::clone(&pool));
+        let before_swaps = Arc::as_ptr(cell.pool());
+        for round in 0..3u64 {
+            let mut identifier = cell.load().identifier().clone();
+            let fps: Vec<Fingerprint> = (0..8)
+                .map(|i| fp_bits(0b1 << (4 + round), &[3000 + 100 * round as u32 + i, 7, 8]))
+                .collect();
+            identifier
+                .add_device_type(&format!("Swap{round}"), &fps, round)
+                .unwrap();
+            cell.replace_identifier(identifier).unwrap();
+            assert_eq!(Arc::as_ptr(cell.pool()), before_swaps);
+        }
+        // The swapped-in service still answers on the pinned pool.
+        let pinned = cell.load();
+        let probes: Vec<Fingerprint> = (0..crate::service::BATCH_CHUNK * 2 + 5)
+            .map(|i| fp_bits(0b001, &[100 + (i as u32 % 5), 110, 120]))
+            .collect();
+        let pooled = pinned.handle_batch_on(cell.pool(), &probes);
+        assert_eq!(pooled, pinned.handle_batch_with(&probes, 1));
+    }
+
+    #[test]
+    fn default_cell_shares_the_global_pool() {
+        let cell = ServiceCell::new(service());
+        assert_eq!(
+            Arc::as_ptr(cell.pool()),
+            Arc::as_ptr(sentinel_pool::global()),
+            "plain cells must share one process-wide worker set"
+        );
     }
 }

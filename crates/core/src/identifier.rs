@@ -569,15 +569,15 @@ impl DeviceTypeIdentifier {
         out
     }
 
-    /// Stage one across `shards` scan threads: the compiled bank's
-    /// span table is split into disjoint contiguous ranges, each
-    /// scanned (prefilter included) by a crossbeam-scoped thread, and
-    /// the per-shard candidate lanes are merged in shard order — the
-    /// result is **bit-identical** to
+    /// Stage one across `shards` span ranges on the global compute
+    /// pool: each range is scanned (prefilter included) by a pool
+    /// task, and the per-shard candidate lanes are merged in shard
+    /// order — the result is **bit-identical** to
     /// [`DeviceTypeIdentifier::classify_candidates`], including order.
-    /// Worth it from a few thousand types up; at 27 types the spawn
-    /// cost dominates. Allocates the returned `Vec` (and a per-call
-    /// scratch); hot-path callers should prefer
+    /// Banks under the pool hand-off break-even run inline on the
+    /// caller instead (`sentinel_ml::SHARDED_MIN_FORESTS`). Allocates
+    /// the returned `Vec` (and a per-call scratch); hot-path callers
+    /// should prefer
     /// [`DeviceTypeIdentifier::classify_candidates_sharded_into`].
     pub fn classify_candidates_sharded(
         &self,
@@ -592,9 +592,8 @@ impl DeviceTypeIdentifier {
     /// [`DeviceTypeIdentifier::classify_candidates_sharded`] against a
     /// caller-owned scratch: the per-shard lanes and the candidate
     /// list reuse `scratch`'s buffers (read the result back via
-    /// [`ShardedScratch::candidates`]). Warm calls touch the heap only
-    /// for the scoped threads' fixed spawn bookkeeping — one shard
-    /// runs inline and allocates nothing.
+    /// [`ShardedScratch::candidates`]). Warm calls allocate nothing
+    /// and spawn nothing, inline or pooled.
     pub fn classify_candidates_sharded_into(
         &self,
         fixed: &FixedFingerprint,
@@ -746,6 +745,59 @@ impl DeviceTypeIdentifier {
             self.compiled
                 .for_each_accepting(sample, |index| candidates.push(ids[index]));
         }
+        self.stage_two(fingerprint, candidates, scores)
+    }
+
+    /// [`DeviceTypeIdentifier::identify_with`] with stage one fanned
+    /// out across `pool` via the pooled sharded scan (`shards` span
+    /// ranges, candidate order bit-identical to the serial scan).
+    /// Stage two is shared with the serial path, so the outcome is
+    /// exactly [`DeviceTypeIdentifier::identify`]'s — this is the
+    /// large-bank query path, and the inner half of the nested
+    /// batch×shard fan-out: called from a task already on `pool`, the
+    /// scan's sub-tasks ride the same workers through work-stealing
+    /// instead of spawning. Warm calls allocate nothing and spawn
+    /// nothing.
+    pub fn identify_sharded_on(
+        &self,
+        pool: &sentinel_pool::ComputePool,
+        fingerprint: &Fingerprint,
+        shards: usize,
+        scratch: &mut CandidateScratch,
+        lanes: &mut ShardScratch,
+    ) -> Identification {
+        debug_assert_eq!(
+            self.compiled_ids.len(),
+            self.models.len(),
+            "compiled bank out of sync with models — a mutation path \
+             forgot to call rebuild_compiled()"
+        );
+        let CandidateScratch {
+            fixed,
+            candidates,
+            scores,
+        } = scratch;
+        scores.clear();
+        let fx = fixed.fill(fingerprint, self.config.fixed_prefix_len);
+        candidates.clear();
+        let ids = &self.compiled_ids;
+        self.compiled
+            .for_each_accepting_pooled(pool, fx.as_slice(), shards, lanes, |index| {
+                candidates.push(ids[index])
+            });
+        self.stage_two(fingerprint, candidates, scores)
+    }
+
+    /// The stage-two tail shared by every identify variant: resolve
+    /// the accepted candidate set to an [`Identification`], running
+    /// edit-distance discrimination only when more than one classifier
+    /// accepted. `scores` must arrive cleared.
+    fn stage_two(
+        &self,
+        fingerprint: &Fingerprint,
+        candidates: &[TypeId],
+        scores: &mut Vec<(TypeId, f64)>,
+    ) -> Identification {
         match candidates.len() {
             0 => Identification::Unknown,
             1 => Identification::Known {

@@ -14,9 +14,14 @@
 //! [`crate::VulnerabilityDatabase::vendor_endpoints`]) only where they
 //! are actually needed.
 
-use sentinel_fingerprint::Fingerprint;
+use std::cell::RefCell;
+use std::sync::{Mutex, MutexGuard};
 
-use crate::identifier::{DeviceTypeIdentifier, Identification};
+use sentinel_fingerprint::Fingerprint;
+use sentinel_ml::ShardScratch;
+use sentinel_pool::ComputePool;
+
+use crate::identifier::{CandidateScratch, DeviceTypeIdentifier, Identification};
 use crate::isolation::{IsolationClass, IsolationLevel};
 use crate::registry::{TypeId, TypeRegistry};
 use crate::vulnerability::VulnerabilityDatabase;
@@ -171,10 +176,10 @@ impl IoTSecurityService {
     /// per fingerprint in order.
     ///
     /// Semantically identical to calling [`Self::handle`] N times.
-    /// Batches larger than one [`BATCH_CHUNK`] are fanned out across
-    /// scoped worker threads (one per available core, capped at the
-    /// chunk count); small batches stay on the calling thread. Use
-    /// [`Self::handle_batch_with`] to pin the worker count.
+    /// Batches larger than one [`BATCH_CHUNK`] are fanned out as chunk
+    /// tasks on the global compute pool; small batches stay on the
+    /// calling thread. No call here ever spawns a thread. Use
+    /// [`Self::handle_batch_on`] to pick the pool.
     pub fn handle_batch(&self, fingerprints: &[Fingerprint]) -> Vec<ServiceResponse> {
         self.handle_batch_with(
             fingerprints,
@@ -196,15 +201,15 @@ impl IoTSecurityService {
             .min(chunks)
     }
 
-    /// Handles a batch with an explicit worker count, producing one
-    /// response per fingerprint in order.
+    /// Handles a batch with an explicit worker-count cap, producing
+    /// one response per fingerprint in order.
     ///
     /// `workers <= 1` processes the batch sequentially on the calling
-    /// thread. With more workers the batch is split into
-    /// [`BATCH_CHUNK`]-sized chunks distributed round-robin across
-    /// scoped threads; responses land in pre-assigned disjoint output
-    /// slots, so the result is bit-identical to the sequential order
-    /// regardless of thread scheduling.
+    /// thread; anything larger routes the batch through the global
+    /// compute pool ([`Self::handle_batch_on`]), whose fixed worker
+    /// set — not this argument — bounds the parallelism. The
+    /// parameter survives as the sequential/parallel switch so
+    /// existing callers keep their pinned-sequential behaviour.
     pub fn handle_batch_with(
         &self,
         fingerprints: &[Fingerprint],
@@ -217,40 +222,154 @@ impl IoTSecurityService {
             }
             return responses;
         }
-        let filler = ServiceResponse {
-            device_type: None,
-            isolation: IsolationClass::Strict,
-            needed_discrimination: false,
-        };
-        let mut responses = vec![filler; fingerprints.len()];
-        // Deal (input chunk, output chunk) pairs round-robin into one
-        // work list per worker: output chunks are disjoint `&mut`
-        // slices, so no synchronisation is needed on the result. More
-        // workers than chunks would only spawn idle threads; cap.
-        let workers = workers.min(fingerprints.len().div_ceil(BATCH_CHUNK));
-        let mut lists: Vec<Vec<(&[Fingerprint], &mut [ServiceResponse])>> =
-            (0..workers).map(|_| Vec::new()).collect();
-        for (i, pair) in fingerprints
-            .chunks(BATCH_CHUNK)
-            .zip(responses.chunks_mut(BATCH_CHUNK))
-            .enumerate()
-        {
-            lists[i % workers].push(pair);
-        }
-        crossbeam::thread::scope(|scope| {
-            for list in lists {
-                scope.spawn(move |_| {
-                    for (input, output) in list {
-                        for (slot, fp) in output.iter_mut().zip(input) {
-                            *slot = self.handle(fp);
-                        }
-                    }
-                });
-            }
-        })
-        .expect("batch worker panicked");
+        self.handle_batch_on(sentinel_pool::global(), fingerprints)
+    }
+
+    /// Handles a batch on an explicit compute pool: the batch is split
+    /// into [`BATCH_CHUNK`]-sized chunk tasks, each chunk's responses
+    /// land in its own lane, and lanes are merged in chunk order — the
+    /// result is bit-identical to the sequential order regardless of
+    /// scheduling. Called from a task already running on `pool`, the
+    /// chunks execute via work-stealing on the same workers; nothing
+    /// here ever spawns a thread.
+    pub fn handle_batch_on(
+        &self,
+        pool: &ComputePool,
+        fingerprints: &[Fingerprint],
+    ) -> Vec<ServiceResponse> {
+        let mut responses = Vec::with_capacity(fingerprints.len());
+        self.handle_batch_into(pool, fingerprints, &mut responses);
         responses
     }
+
+    /// [`Self::handle_batch_on`] against a caller-owned output buffer:
+    /// `out` is cleared and refilled, so a warm caller that reuses its
+    /// buffer performs zero heap allocations for the whole batch (the
+    /// per-chunk lanes live in per-thread scratch and reuse their
+    /// capacity too).
+    pub fn handle_batch_into(
+        &self,
+        pool: &ComputePool,
+        fingerprints: &[Fingerprint],
+        out: &mut Vec<ServiceResponse>,
+    ) {
+        out.clear();
+        if fingerprints.len() <= BATCH_CHUNK {
+            out.extend(fingerprints.iter().map(|fp| self.handle(fp)));
+            return;
+        }
+        let chunks = fingerprints.len().div_ceil(BATCH_CHUNK);
+        BATCH_SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            if scratch.lanes.len() < chunks {
+                scratch.lanes.resize_with(chunks, Default::default);
+            }
+            let lanes = &scratch.lanes[..chunks];
+            let outcome = pool.for_each(chunks, |chunk| {
+                let start = chunk * BATCH_CHUNK;
+                let end = (start + BATCH_CHUNK).min(fingerprints.len());
+                let mut lane = lane_guard(&lanes[chunk]);
+                lane.clear();
+                lane.extend(fingerprints[start..end].iter().map(|fp| self.handle(fp)));
+            });
+            if let Err(contained) = outcome {
+                panic!("batch worker panicked: {}", contained.message());
+            }
+            for lane in lanes {
+                out.extend(lane_guard(lane).iter().copied());
+            }
+        });
+    }
+
+    /// The nested fan-out path: batch chunks run as tasks on `pool`,
+    /// and *inside* each chunk every fingerprint's stage-one scan
+    /// fans out again over `shards` span ranges — on the **same**
+    /// pool, via work-stealing
+    /// ([`DeviceTypeIdentifier::identify_sharded_on`]). Total live
+    /// compute threads stay exactly the pool size however large the
+    /// batch×shard product gets; the pre-pool implementation spawned
+    /// scoped threads at both layers and oversubscribed the machine.
+    ///
+    /// Responses are bit-identical to [`Self::handle_batch`] because
+    /// both layers merge in submission order.
+    pub fn handle_batch_sharded_on(
+        &self,
+        pool: &ComputePool,
+        fingerprints: &[Fingerprint],
+        shards: usize,
+    ) -> Vec<ServiceResponse> {
+        thread_local! {
+            static SHARDED_QUERY_SCRATCH: RefCell<(CandidateScratch, ShardScratch)> =
+                RefCell::new((CandidateScratch::new(), ShardScratch::new()));
+        }
+        let mut responses = Vec::with_capacity(fingerprints.len());
+        if fingerprints.len() <= BATCH_CHUNK {
+            SHARDED_QUERY_SCRATCH.with(|scratch| {
+                let (candidates, lanes) = &mut *scratch.borrow_mut();
+                responses.extend(fingerprints.iter().map(|fp| {
+                    self.respond(
+                        &self
+                            .identifier
+                            .identify_sharded_on(pool, fp, shards, candidates, lanes),
+                    )
+                }));
+            });
+            return responses;
+        }
+        let chunks = fingerprints.len().div_ceil(BATCH_CHUNK);
+        BATCH_SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            if scratch.lanes.len() < chunks {
+                scratch.lanes.resize_with(chunks, Default::default);
+            }
+            let lanes = &scratch.lanes[..chunks];
+            let outcome = pool.for_each(chunks, |chunk| {
+                let start = chunk * BATCH_CHUNK;
+                let end = (start + BATCH_CHUNK).min(fingerprints.len());
+                let mut lane = lane_guard(&lanes[chunk]);
+                lane.clear();
+                SHARDED_QUERY_SCRATCH.with(|scratch| {
+                    let (candidates, scan_lanes) = &mut *scratch.borrow_mut();
+                    lane.extend(fingerprints[start..end].iter().map(|fp| {
+                        self.respond(
+                            &self
+                                .identifier
+                                .identify_sharded_on(pool, fp, shards, candidates, scan_lanes),
+                        )
+                    }));
+                });
+            });
+            if let Err(contained) = outcome {
+                panic!("batch worker panicked: {}", contained.message());
+            }
+            for lane in lanes {
+                responses.extend(lane_guard(lane).iter().copied());
+            }
+        });
+        responses
+    }
+}
+
+/// Locks a batch lane, recovering the guard if a panicking chunk task
+/// poisoned it (lanes are cleared before reuse, so no stale state can
+/// leak into the next batch).
+fn lane_guard(lane: &Mutex<Vec<ServiceResponse>>) -> MutexGuard<'_, Vec<ServiceResponse>> {
+    lane.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Reusable per-chunk response lanes for the pooled batch paths. One
+/// lane per chunk, each behind its own (always uncontended) `Mutex` so
+/// pool tasks — which share the job closure by reference — get
+/// exclusive lane access; lanes are merged in chunk order. Thread-local
+/// per *calling* thread: pool workers running a batch hand-off and
+/// serve connection threads each warm their own copy once and reuse it.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    lanes: Vec<Mutex<Vec<ServiceResponse>>>,
+}
+
+thread_local! {
+    static BATCH_SCRATCH: RefCell<BatchScratch> = RefCell::new(BatchScratch::default());
 }
 
 #[cfg(test)]
@@ -433,6 +552,63 @@ mod tests {
         assert!(large <= 64, "never more workers than chunks");
         // Two chunks can use at most two workers.
         assert!(IoTSecurityService::default_batch_workers(super::BATCH_CHUNK + 1) <= 2);
+    }
+
+    #[test]
+    fn pooled_batch_matches_sequential_on_any_pool_size() {
+        let svc = service();
+        let probes: Vec<Fingerprint> = (0..super::BATCH_CHUNK * 3 + 17)
+            .map(|i| match i % 3 {
+                0 => fp_bits(0b0000_0011, &[103 + (i as u32 % 5), 110, 120]),
+                1 => fp_bits(0b0000_1100, &[104 + (i as u32 % 5), 110, 120]),
+                _ => fp_bits(0b1100_0000, &[105, 110, 120]),
+            })
+            .collect();
+        let sequential = svc.handle_batch_with(&probes, 1);
+        for threads in [1usize, 2, 5] {
+            let pool = ComputePool::new(threads);
+            assert_eq!(
+                svc.handle_batch_on(&pool, &probes),
+                sequential,
+                "pool size {threads} must not change responses"
+            );
+        }
+        // The buffer-reusing variant agrees and refills in place.
+        let pool = ComputePool::new(2);
+        let mut out = vec![sequential[0]; 3];
+        svc.handle_batch_into(&pool, &probes, &mut out);
+        assert_eq!(out, sequential);
+    }
+
+    #[test]
+    fn nested_sharded_batch_matches_sequential_and_never_spawns() {
+        let svc = service();
+        let probes: Vec<Fingerprint> = (0..super::BATCH_CHUNK * 2 + 9)
+            .map(|i| match i % 3 {
+                0 => fp_bits(0b0000_0011, &[103 + (i as u32 % 5), 110, 120]),
+                1 => fp_bits(0b0000_1100, &[104 + (i as u32 % 5), 110, 120]),
+                _ => fp_bits(0b1100_0000, &[105, 110, 120]),
+            })
+            .collect();
+        let sequential = svc.handle_batch_with(&probes, 1);
+        let pool = ComputePool::new(2);
+        // Warm every layer once, then confirm the batch×shard product
+        // path both agrees bit-identically and reconciles its task
+        // accounting (everything submitted to this private pool ran).
+        for shards in [1usize, 2, 3] {
+            assert_eq!(
+                svc.handle_batch_sharded_on(&pool, &probes, shards),
+                sequential,
+                "shard count {shards} must not change responses"
+            );
+        }
+        let counters = pool.counters();
+        assert_eq!(counters.submitted, counters.executed);
+        // A sub-chunk batch takes the inline arm and still agrees.
+        assert_eq!(
+            svc.handle_batch_sharded_on(&pool, &probes[..5], 2),
+            sequential[..5],
+        );
     }
 
     #[test]

@@ -46,15 +46,19 @@
 //!   nonzero stripes miss a forest's tested set is answered from the
 //!   cached verdict without walking a tree.
 //! * a **thread-sharded scan** ([`CompiledBank::for_each_accepting_sharded`]):
-//!   disjoint [`ForestSpan`] ranges are scanned by crossbeam-scoped
-//!   threads into per-shard lanes and merged in shard order, so
-//!   candidate order is exactly the sequential push order.
+//!   disjoint [`ForestSpan`] ranges are submitted as tasks to a
+//!   persistent [`sentinel_pool::ComputePool`] (no per-call thread
+//!   spawns), scanned into per-shard lanes and merged in shard order,
+//!   so candidate order is exactly the sequential push order. Banks
+//!   below [`SHARDED_MIN_FORESTS`] route inline instead — small scans
+//!   are cheaper than any hand-off.
 
 use crate::error::MlError;
 use crate::forest::RandomForest;
 use crate::index::{BankIndex, IndexRow, MAX_STRIPES};
 use crate::tree::Node;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, MutexGuard};
 
 /// Tag bit marking a child reference as a leaf; bit 0 then carries the
 /// tree's positive-class vote. References without the tag are indices
@@ -69,6 +73,15 @@ pub const LEAF_BIT: u32 = 1 << 31;
 /// consults the index — sharding only makes sense on banks far past
 /// this threshold.
 pub const PREFILTER_MIN_FORESTS: usize = 64;
+
+/// Bank size from which [`CompiledBank::for_each_accepting_sharded`]
+/// fans span-range tasks out to the compute pool. Below it the whole
+/// scan finishes in the time pool hand-off alone costs (ticket pushes,
+/// wakeups, lane merging), so small banks run inline on the caller —
+/// the same shape as [`PREFILTER_MIN_FORESTS`] gating the prefilter.
+/// Use [`CompiledBank::for_each_accepting_pooled`] to force pool
+/// execution at any size (parity tests, benchmarks).
+pub const SHARDED_MIN_FORESTS: usize = 1024;
 
 /// One branch node of the compiled arena: 16 bytes, no enum
 /// discriminant. `left`/`right` are tagged references (see
@@ -337,19 +350,92 @@ impl CompiledBank {
         }
     }
 
-    /// Calls `f(index)` for every forest accepting `sample`, scanning
-    /// disjoint span ranges on `shards` crossbeam-scoped threads
-    /// (prefilter applied per shard; the query bitmap is computed
-    /// once). Accepted indices land in `scratch`'s per-shard lanes and
-    /// are merged in shard order, so `f` observes **exactly** the
-    /// sequential push order — bit-identical to
+    /// Calls `f(index)` for every forest accepting `sample`, fanning
+    /// disjoint span ranges out across the global compute pool —
+    /// accepted indices land in `scratch`'s per-shard lanes and are
+    /// merged in shard order, so `f` observes **exactly** the
+    /// sequential push order, bit-identical to
     /// [`CompiledBank::for_each_accepting`].
     ///
-    /// `shards` is clamped to `1..=forest_count`; one shard (or an
-    /// empty bank) runs inline without spawning. A warm call's only
-    /// heap traffic is the fixed per-spawn bookkeeping of the scoped
-    /// threads — the scratch lanes are reused across calls.
+    /// Banks below [`SHARDED_MIN_FORESTS`] (and degenerate shard
+    /// counts) run inline on the caller with no task submission at
+    /// all; larger banks ride [`sentinel_pool::global`]. Warm calls
+    /// are allocation-free and spawn-free either way. Use
+    /// [`CompiledBank::for_each_accepting_pooled`] to pick the pool
+    /// and force pooling regardless of size.
     pub fn for_each_accepting_sharded(
+        &self,
+        sample: &[f32],
+        shards: usize,
+        scratch: &mut ShardScratch,
+        f: impl FnMut(usize),
+    ) {
+        let n = self.forests.len();
+        if shards <= 1 || n < SHARDED_MIN_FORESTS || n > u32::MAX as usize {
+            self.for_each_accepting(sample, f);
+            return;
+        }
+        self.for_each_accepting_pooled(sentinel_pool::global(), sample, shards, scratch, f);
+    }
+
+    /// The pooled sharded scan behind
+    /// [`CompiledBank::for_each_accepting_sharded`], with the pool
+    /// explicit and no inline-size gate (parity tests and benches
+    /// drive it on banks of every size). The prefilter is applied per
+    /// shard; the query bitmap is computed once up front.
+    ///
+    /// `shards` is clamped to `1..=forest_count`; one shard (or an
+    /// empty bank) runs inline. Lane entries are u32 forest indices;
+    /// banks that large cannot be built (roots alone exceed u32), but
+    /// a hostile span table could be — scan it serially. A panic
+    /// inside a scan task is contained by the pool and re-raised here
+    /// once all sibling shards finished, preserving the unwinding
+    /// behaviour of the old scoped-thread scan.
+    pub fn for_each_accepting_pooled(
+        &self,
+        pool: &sentinel_pool::ComputePool,
+        sample: &[f32],
+        shards: usize,
+        scratch: &mut ShardScratch,
+        mut f: impl FnMut(usize),
+    ) {
+        let n = self.forests.len();
+        let shards = shards.clamp(1, n.max(1));
+        if shards <= 1 || n > u32::MAX as usize {
+            self.for_each_accepting(sample, f);
+            return;
+        }
+        if scratch.lanes.len() < shards {
+            scratch.lanes.resize_with(shards, Default::default);
+        }
+        let bitmap = self.usable_bitmap(sample);
+        self.counters.queries.fetch_add(1, Relaxed);
+        if bitmap.is_some() {
+            self.counters.prefiltered.fetch_add(1, Relaxed);
+        }
+        let chunk = n.div_ceil(shards);
+        let lanes = &scratch.lanes[..shards];
+        let outcome = pool.for_each(shards, |shard| {
+            let start = shard * chunk;
+            let mut lane = lane_guard(&lanes[shard]);
+            self.scan_range(start..(start + chunk).min(n), sample, bitmap, &mut lane);
+        });
+        if let Err(contained) = outcome {
+            panic!("sharded scan task panicked: {}", contained.message());
+        }
+        for lane in lanes {
+            for index in lane_guard(lane).iter() {
+                f(*index as usize);
+            }
+        }
+    }
+
+    /// The pre-pool sharded scan, one crossbeam-scoped thread per
+    /// shard beyond the caller's. Kept as the A/B baseline for the
+    /// `scaling` bench and as an independent parity reference for the
+    /// pooled path; production code routes through
+    /// [`CompiledBank::for_each_accepting_sharded`] instead.
+    pub fn for_each_accepting_sharded_scoped(
         &self,
         sample: &[f32],
         shards: usize,
@@ -358,15 +444,12 @@ impl CompiledBank {
     ) {
         let n = self.forests.len();
         let shards = shards.clamp(1, n.max(1));
-        // Lane entries are u32 forest indices; banks that large cannot
-        // be built (roots alone exceed u32), but a hostile span table
-        // could be — scan it serially.
         if shards <= 1 || n > u32::MAX as usize {
             self.for_each_accepting(sample, f);
             return;
         }
         if scratch.lanes.len() < shards {
-            scratch.lanes.resize_with(shards, Vec::new);
+            scratch.lanes.resize_with(shards, Default::default);
         }
         let bitmap = self.usable_bitmap(sample);
         self.counters.queries.fetch_add(1, Relaxed);
@@ -374,20 +457,21 @@ impl CompiledBank {
             self.counters.prefiltered.fetch_add(1, Relaxed);
         }
         let chunk = n.div_ceil(shards);
-        let (first, rest) = scratch.lanes.split_at_mut(1);
-        let first = &mut first[0];
+        let lanes = &scratch.lanes[..shards];
         crossbeam::thread::scope(|s| {
-            for (i, lane) in rest.iter_mut().take(shards - 1).enumerate() {
-                let start = (i + 1) * chunk;
+            for (i, lane) in lanes.iter().enumerate().skip(1) {
+                let start = i * chunk;
                 s.spawn(move |_| {
-                    self.scan_range(start..(start + chunk).min(n), sample, bitmap, lane)
+                    let mut lane = lane_guard(lane);
+                    self.scan_range(start..(start + chunk).min(n), sample, bitmap, &mut lane)
                 });
             }
-            self.scan_range(0..chunk.min(n), sample, bitmap, first);
+            let mut first = lane_guard(&lanes[0]);
+            self.scan_range(0..chunk.min(n), sample, bitmap, &mut first);
         })
         .expect("scoped scan threads do not panic");
-        for lane in &scratch.lanes[..shards] {
-            for index in lane {
+        for lane in lanes {
+            for index in lane_guard(lane).iter() {
                 f(*index as usize);
             }
         }
@@ -630,14 +714,35 @@ impl CompiledBank {
     }
 }
 
+/// Locks a scratch lane, recovering the guard if a panicking scan task
+/// poisoned it (the lane is cleared at the start of every scan, so a
+/// poisoned lane carries no stale state into the next call).
+fn lane_guard(lane: &Mutex<Vec<u32>>) -> MutexGuard<'_, Vec<u32>> {
+    lane.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// Reusable per-shard lanes for [`CompiledBank::for_each_accepting_sharded`]:
-/// each scan thread writes accepted forest indices into its own lane,
+/// each scan task writes accepted forest indices into its own lane,
 /// and a warm call reuses the lanes' capacity — the scan itself
-/// allocates nothing beyond the scoped threads' fixed spawn
-/// bookkeeping.
-#[derive(Debug, Clone, Default)]
+/// allocates nothing. Each lane sits behind its own `Mutex` so pool
+/// tasks (which share the job closure by reference) get exclusive
+/// lane access; tasks own disjoint lanes, so every lock is
+/// uncontended.
+#[derive(Debug, Default)]
 pub struct ShardScratch {
-    lanes: Vec<Vec<u32>>,
+    lanes: Vec<Mutex<Vec<u32>>>,
+}
+
+impl Clone for ShardScratch {
+    fn clone(&self) -> Self {
+        ShardScratch {
+            lanes: self
+                .lanes
+                .iter()
+                .map(|lane| Mutex::new(lane_guard(lane).clone()))
+                .collect(),
+        }
+    }
 }
 
 impl ShardScratch {
@@ -847,6 +952,7 @@ mod tests {
     use crate::forest::ForestConfig;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
+    use sentinel_pool::ComputePool;
 
     fn training_data(seed: u64, n: usize, d: usize) -> (Vec<Vec<f32>>, Vec<usize>) {
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -923,7 +1029,7 @@ mod tests {
         );
 
         let mut scratch = ShardScratch::new();
-        bank.for_each_accepting_sharded(&sample, 2, &mut scratch, |_| {});
+        bank.for_each_accepting_pooled(sentinel_pool::global(), &sample, 2, &mut scratch, |_| {});
         assert_eq!(bank.scan_counters().queries, 4);
         assert_eq!(bank.scan_counters().prefiltered, 3);
 
@@ -1175,15 +1281,82 @@ mod tests {
             // Every shard count — including 1 (inline) and counts past
             // the forest count (clamped) — merges to the same order.
             for shards in [0usize, 1, 2, 3, 5, 7, 16] {
-                let mut sharded = Vec::new();
-                bank.for_each_accepting_sharded(&sample, shards, &mut scratch, |i| sharded.push(i));
-                assert_eq!(
-                    sharded, sequential,
-                    "sharded({shards}) diverged on {sample:?}"
+                let mut pooled = Vec::new();
+                bank.for_each_accepting_pooled(
+                    sentinel_pool::global(),
+                    &sample,
+                    shards,
+                    &mut scratch,
+                    |i| pooled.push(i),
                 );
+                assert_eq!(
+                    pooled, sequential,
+                    "pooled({shards}) diverged on {sample:?}"
+                );
+                // The auto entry point routes a bank this small inline;
+                // candidate order must be bit-identical to the pooled run.
+                let mut auto = Vec::new();
+                bank.for_each_accepting_sharded(&sample, shards, &mut scratch, |i| auto.push(i));
+                assert_eq!(auto, pooled, "inline({shards}) diverged on {sample:?}");
             }
         }
         assert!(scratch.lane_count() >= 7);
+    }
+
+    #[test]
+    fn auto_sharded_scan_pools_past_the_threshold_and_stays_bit_identical() {
+        let forests: Vec<RandomForest> = (0..7).map(|i| forest(210 + i, 2)).collect();
+        let mut builder = CompiledBankBuilder::with_stripes(2);
+        for f in &forests {
+            builder.push(f, 0.2).unwrap();
+        }
+        let small = builder.finish();
+        let tiled = small.repeat(SHARDED_MIN_FORESTS / small.forest_count() + 1);
+        assert!(tiled.forest_count() >= SHARDED_MIN_FORESTS);
+        let pool = ComputePool::new(3);
+        let mut scratch = ShardScratch::new();
+        let mut rng = SmallRng::seed_from_u64(57);
+        for _ in 0..10 {
+            let sample: Vec<f32> = (0..2).map(|_| rng.gen::<f32>() * 1.5).collect();
+            let mut sequential = Vec::new();
+            tiled.for_each_accepting_indexed(&sample, |i| sequential.push(i));
+            let mut auto = Vec::new();
+            tiled.for_each_accepting_sharded(&sample, 4, &mut scratch, |i| auto.push(i));
+            assert_eq!(auto, sequential, "auto-pooled diverged on {sample:?}");
+            let mut scoped = Vec::new();
+            tiled.for_each_accepting_sharded_scoped(&sample, 4, &mut scratch, |i| scoped.push(i));
+            assert_eq!(scoped, sequential, "scoped baseline diverged on {sample:?}");
+            let mut pooled = Vec::new();
+            tiled.for_each_accepting_pooled(&pool, &sample, 4, &mut scratch, |i| pooled.push(i));
+            assert_eq!(pooled, sequential, "private pool diverged on {sample:?}");
+        }
+        // Past the threshold the auto path really used the global pool.
+        let counters = sentinel_pool::global().counters();
+        assert!(counters.submitted > 0);
+    }
+
+    #[test]
+    fn small_banks_scan_inline_without_touching_the_pool() {
+        let forests: Vec<RandomForest> = (0..5).map(|i| forest(230 + i, 2)).collect();
+        let mut builder = CompiledBankBuilder::with_stripes(2);
+        for f in &forests {
+            builder.push(f, 0.2).unwrap();
+        }
+        let bank = builder.finish();
+        assert!(bank.forest_count() < SHARDED_MIN_FORESTS);
+        // A private pool observes zero submissions because the auto
+        // entry point never reaches a pool for a bank this small —
+        // task hand-off would dominate the whole scan.
+        let pool = ComputePool::new(2);
+        let before = pool.counters().submitted;
+        let mut scratch = ShardScratch::new();
+        let mut out = Vec::new();
+        bank.for_each_accepting_sharded(&[0.4, 0.6], 4, &mut scratch, |i| out.push(i));
+        let mut serial = Vec::new();
+        bank.for_each_accepting(&[0.4, 0.6], |i| serial.push(i));
+        assert_eq!(out, serial);
+        assert_eq!(pool.counters().submitted, before);
+        assert_eq!(scratch.lane_count(), 0, "inline scans never grow lanes");
     }
 
     #[test]
@@ -1290,7 +1463,13 @@ mod tests {
             tiled.for_each_accepting_full(&sample, |i| full.push(i));
             assert_eq!(indexed, full);
             let mut sharded = Vec::new();
-            tiled.for_each_accepting_sharded(&sample, 4, &mut scratch, |i| sharded.push(i));
+            tiled.for_each_accepting_pooled(
+                sentinel_pool::global(),
+                &sample,
+                4,
+                &mut scratch,
+                |i| sharded.push(i),
+            );
             assert_eq!(sharded, full);
         }
     }
@@ -1336,7 +1515,13 @@ mod tests {
                 hostile.for_each_accepting_indexed(&sample, |i| verdicts[i] = true);
                 let mut sharded = Vec::new();
                 let mut scratch = ShardScratch::new();
-                hostile.for_each_accepting_sharded(&sample, 3, &mut scratch, |i| sharded.push(i));
+                hostile.for_each_accepting_pooled(
+                    sentinel_pool::global(),
+                    &sample,
+                    3,
+                    &mut scratch,
+                    |i| sharded.push(i),
+                );
                 for (i, row) in garbage_rows.iter().enumerate() {
                     let truth = sound.accepts(i, &sample);
                     assert!(
@@ -1452,7 +1637,13 @@ mod tests {
             let mut serial = Vec::new();
             bank.for_each_accepting_indexed(&sample, |i| serial.push(i));
             let mut sharded = Vec::new();
-            bank.for_each_accepting_sharded(&sample, 3, &mut scratch, |i| sharded.push(i));
+            bank.for_each_accepting_pooled(
+                sentinel_pool::global(),
+                &sample,
+                3,
+                &mut scratch,
+                |i| sharded.push(i),
+            );
             assert_eq!(serial, sharded);
             for (i, row) in rows.iter().enumerate() {
                 let scan = bank.accepts(i, &sample);

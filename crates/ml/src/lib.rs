@@ -55,7 +55,7 @@ pub mod tree;
 
 pub use compiled::{
     CompiledBank, CompiledBankBuilder, ForestSpan, PackedNode, ScanCounters, ScanSnapshot,
-    ShardScratch, PREFILTER_MIN_FORESTS,
+    ShardScratch, PREFILTER_MIN_FORESTS, SHARDED_MIN_FORESTS,
 };
 pub use error::MlError;
 pub use forest::{ForestConfig, RandomForest};

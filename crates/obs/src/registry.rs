@@ -78,11 +78,27 @@ pub enum Counter {
     ClientRequestsSent = 16,
     /// Client-side: response frames received.
     ClientResponsesReceived = 17,
+    /// Compute-pool tasks submitted (`for_each` indices plus `run`
+    /// hand-offs). Lives in the pool, overlaid into snapshots by the
+    /// server; the pool outlives reloads, so this never resets.
+    PoolTasksSubmitted = 18,
+    /// Compute-pool tasks that finished executing (panicked tasks
+    /// included, so this reconciles exactly with
+    /// [`Counter::PoolTasksSubmitted`] when the pool is quiescent).
+    PoolTasksExecuted = 19,
+    /// Tickets a pool worker took from another worker's deque.
+    PoolSteals = 20,
+    /// Tickets pushed into the pool's injector by external threads.
+    PoolInjectorPushes = 21,
+    /// Times a pool worker parked with no work queued.
+    PoolParks = 22,
+    /// Times a parked pool worker was woken.
+    PoolUnparks = 23,
 }
 
 impl Counter {
     /// Every catalog entry, in id order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 24] = [
         Counter::ConnectionsAccepted,
         Counter::ConnectionsRefused,
         Counter::ConnectionsActive,
@@ -101,6 +117,12 @@ impl Counter {
         Counter::ClientConnectRetries,
         Counter::ClientRequestsSent,
         Counter::ClientResponsesReceived,
+        Counter::PoolTasksSubmitted,
+        Counter::PoolTasksExecuted,
+        Counter::PoolSteals,
+        Counter::PoolInjectorPushes,
+        Counter::PoolParks,
+        Counter::PoolUnparks,
     ];
 
     /// Number of catalog entries.
@@ -137,6 +159,12 @@ impl Counter {
             Counter::ClientConnectRetries => "client_connect_retries",
             Counter::ClientRequestsSent => "client_requests_sent",
             Counter::ClientResponsesReceived => "client_responses_received",
+            Counter::PoolTasksSubmitted => "pool_tasks_submitted",
+            Counter::PoolTasksExecuted => "pool_tasks_executed",
+            Counter::PoolSteals => "pool_steals",
+            Counter::PoolInjectorPushes => "pool_injector_pushes",
+            Counter::PoolParks => "pool_parks",
+            Counter::PoolUnparks => "pool_unparks",
         }
     }
 

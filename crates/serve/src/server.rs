@@ -8,8 +8,13 @@
 //! shim, so the workers borrow the shared [`ServiceCell`] instead of
 //! cloning it); connection bursts beyond pool + backlog are refused at
 //! accept time rather than parked on an unbounded queue. Each worker
-//! serves one connection at a time: frames in, [`IoTSecurityService::handle_batch`]
-//! answers out. Shutdown is graceful — the accept loop stops taking
+//! serves one connection at a time and does **I/O only**: frames in,
+//! then the decoded batch is handed to the cell's persistent
+//! [`sentinel_pool::ComputePool`] — every connection's compute shares
+//! one fixed, work-stealing worker set sized once per cell, so
+//! concurrent batches cannot oversubscribe the machine and the warm
+//! path never spawns a thread. Shutdown is graceful — the accept loop
+//! stops taking
 //! connections, workers finish their in-flight frame and notice the
 //! flag at the next idle poll, and [`ServerHandle::shutdown`] joins
 //! everything before returning the final stats.
@@ -267,10 +272,16 @@ impl ServerHandle {
     /// summaries, the serving epoch, the cell's reload count, and the
     /// served bank's scan counters.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        stats_snapshot(&self.registry, self.cell.epoch(), self.cell.reloads(), {
-            let service = self.cell.load();
-            service.bank_stats().scan
-        })
+        stats_snapshot(
+            &self.registry,
+            self.cell.epoch(),
+            self.cell.reloads(),
+            {
+                let service = self.cell.load();
+                service.bank_stats().scan
+            },
+            self.cell.pool().counters(),
+        )
     }
 
     /// The epoch-swapped cell this server answers from. Publishing a
@@ -374,13 +385,6 @@ fn run(
     registry: Arc<MetricsRegistry>,
 ) {
     let workers = config.workers.max(1);
-    // Connections a worker fans a big batch across: share the cores
-    // between the pool instead of letting every connection's
-    // handle_batch auto-size to all of them and oversubscribe.
-    let batch_workers = std::thread::available_parallelism()
-        .map_or(1, usize::from)
-        .div_ceil(workers)
-        .max(1);
     // Bounded hand-off: a connection burst beyond what the pool can
     // absorb is refused at accept time (the socket is closed) instead
     // of parking unbounded fds in a queue nobody may ever drain.
@@ -405,15 +409,9 @@ fn run(
                     guard.recv()
                 };
                 match next {
-                    Ok(stream) => handle_connection(
-                        stream,
-                        cell,
-                        config,
-                        batch_workers,
-                        shutdown,
-                        registry,
-                        shard,
-                    ),
+                    Ok(stream) => {
+                        handle_connection(stream, cell, config, shutdown, registry, shard)
+                    }
                     Err(_) => break, // channel closed: shutting down
                 }
             });
@@ -457,7 +455,6 @@ fn handle_connection(
     stream: TcpStream,
     cell: &ServiceCell,
     config: &ServerConfig,
-    batch_workers: usize,
     shutdown: &AtomicBool,
     registry: &MetricsRegistry,
     shard: usize,
@@ -471,15 +468,7 @@ fn handle_connection(
     // counters are recorded live inside serve_connection, so whatever
     // the connection did before the panic is already counted.
     if std::panic::catch_unwind(AssertUnwindSafe(|| {
-        serve_connection(
-            stream,
-            cell,
-            config,
-            batch_workers,
-            shutdown,
-            registry,
-            shard,
-        )
+        serve_connection(stream, cell, config, shutdown, registry, shard)
     }))
     .is_err()
     {
@@ -546,7 +535,6 @@ fn serve_connection(
     mut stream: TcpStream,
     cell: &ServiceCell,
     config: &ServerConfig,
-    batch_workers: usize,
     shutdown: &AtomicBool,
     registry: &MetricsRegistry,
     shard: usize,
@@ -592,7 +580,18 @@ fn serve_connection(
                         );
                         break;
                     }
-                    match handle_reload(cell, payload) {
+                    // A reload recompiles the whole bank — by far the
+                    // heaviest request the server takes. Run it on the
+                    // compute pool so the rebuild rides the same fixed
+                    // worker set as queries instead of monopolising a
+                    // connection thread's core arbitration.
+                    let reload_outcome = cell
+                        .pool()
+                        .run(|| handle_reload(cell, payload))
+                        .unwrap_or_else(|contained| {
+                            panic!("reload task panicked: {}", contained.message())
+                        });
+                    match reload_outcome {
                         Ok(ack) => {
                             // Serve the model we just published from
                             // this connection's next answer on.
@@ -685,14 +684,24 @@ fn serve_connection(
                 if let Some(hook) = &config.fault_injection {
                     hook(&request);
                 }
-                // Explicit worker count: the pool's connections share
-                // the machine; auto-sizing would hand every connection
-                // all cores at once. The whole batch — identification
-                // and name resolution — runs against the one pinned
-                // epoch.
+                // Hand the decoded batch to the cell's compute pool:
+                // connection threads stay I/O-only, and concurrent
+                // connections share the pool's fixed worker set through
+                // work stealing instead of each sizing itself to all
+                // cores and oversubscribing. The whole batch —
+                // identification and name resolution — runs against
+                // the one pinned epoch.
                 let service = pinned.service();
+                let pool = cell.pool().as_ref();
                 let scan_start = Instant::now();
-                let responses = service.handle_batch_with(&request.fingerprints, batch_workers);
+                let responses = pool
+                    .run(|| service.handle_batch_on(pool, &request.fingerprints))
+                    .unwrap_or_else(|contained| {
+                        // Preserve pre-pool semantics: a panic in
+                        // service code unwinds out of serve_connection
+                        // and is counted as a worker panic above.
+                        panic!("batch task panicked: {}", contained.message())
+                    });
                 let scan_done = Instant::now();
                 let queries = responses.len() as u64;
                 let items: Vec<ResponseItem> = responses
@@ -737,6 +746,7 @@ fn serve_connection(
                     pinned.epoch(),
                     cell.reloads(),
                     pinned.service().bank_stats().scan,
+                    cell.pool().counters(),
                 );
                 if send_message(
                     &mut stream,
@@ -782,13 +792,14 @@ fn elapsed_ns(start: Instant, end: Instant) -> u64 {
 /// Builds the full [`MetricsSnapshot`] served on a Stats frame: the
 /// registry's counters and stage histograms, overlaid with the state
 /// that lives outside the registry — the service epoch, the reload
-/// count from the [`ServiceCell`], and the compiled bank's scan
-/// counters.
+/// count from the [`ServiceCell`], the compiled bank's scan counters,
+/// and the cell's compute-pool counters.
 fn stats_snapshot(
     registry: &MetricsRegistry,
     epoch: u64,
     reloads: u64,
     scan: sentinel_core::ScanSnapshot,
+    pool: sentinel_pool::PoolCounters,
 ) -> MetricsSnapshot {
     let mut snapshot = registry.snapshot();
     snapshot.epoch = epoch;
@@ -796,6 +807,12 @@ fn stats_snapshot(
     snapshot.set_counter(Counter::ScanQueries, scan.queries);
     snapshot.set_counter(Counter::ScanPrefiltered, scan.prefiltered);
     snapshot.set_counter(Counter::ScanForestsSkipped, scan.forests_skipped);
+    snapshot.set_counter(Counter::PoolTasksSubmitted, pool.submitted);
+    snapshot.set_counter(Counter::PoolTasksExecuted, pool.executed);
+    snapshot.set_counter(Counter::PoolSteals, pool.steals);
+    snapshot.set_counter(Counter::PoolInjectorPushes, pool.injector_pushes);
+    snapshot.set_counter(Counter::PoolParks, pool.parks);
+    snapshot.set_counter(Counter::PoolUnparks, pool.unparks);
     snapshot
 }
 

@@ -69,12 +69,16 @@ USAGE:
       Vulnerability assessment and isolation level for a device type
       (demo CVE database).
 
-  sentinel serve --model <FILE> [--addr HOST:PORT] [--workers N] [--port-file FILE] [--admin]
+  sentinel serve --model <FILE> [--addr HOST:PORT] [--workers N] [--compute-threads N]
+                 [--port-file FILE] [--admin]
       Serve the trained model as an IoT Security Service over TCP
       (default 127.0.0.1:7787; port 0 picks an ephemeral port). Prints
       the bound address, optionally writes the port to --port-file,
       and runs until terminated. With --admin, `sentinel reload` can
-      hot-swap the served model.
+      hot-swap the served model. --workers sizes the I/O connection
+      pool; --compute-threads sizes the work-stealing compute pool all
+      batches and reloads run on (default: the SENTINEL_POOL_THREADS
+      environment variable, else all cores).
 
   sentinel query --addr HOST:PORT --pcap <FILE> [--ignore-mac <MAC>]
       Identify every device in a pcap against a *running* server —
@@ -94,15 +98,17 @@ USAGE:
       exposition for scraping.
 
   sentinel fleet [--devices N] [--seed S] [--duration-secs T] [--speedup X]
-                 [--connections C] [--setups K] [--addr HOST:PORT] [--no-reload]
+                 [--connections C] [--setups K] [--compute-threads N]
+                 [--addr HOST:PORT] [--no-reload]
       Simulate a device fleet (enrollment ramp, setup bursts, steady
       re-fingerprinting, standby/wake, churn) and replay it against a
       live server, writing BENCH_fleet.json. Without --addr it trains
       a model from the catalog and self-hosts on an ephemeral port,
       firing a hot reload mid-run to measure epoch-propagation lag
       (--no-reload skips it; against an external --addr the reload
-      scenario is off). Default pacing is uncapped; --speedup X replays
-      the schedule at X times real time instead.
+      scenario is off; --compute-threads sizes the self-hosted
+      server's compute pool). Default pacing is uncapped; --speedup X
+      replays the schedule at X times real time instead.
 ";
 
 fn main() -> ExitCode {
@@ -487,6 +493,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let model_path = PathBuf::from(opts.required("model")?);
     let addr = opts.first("addr").unwrap_or("127.0.0.1:7787");
     let workers: usize = opts.number("workers", 4)?;
+    // 0 = the process-wide shared pool (SENTINEL_POOL_THREADS or all
+    // cores); anything else sizes a private compute pool.
+    let compute_threads: usize = opts.number("compute-threads", 0)?;
     let admin = opts.flag("admin");
 
     let file = File::open(&model_path).map_err(|e| format!("opening {model_path:?}: {e}"))?;
@@ -495,6 +504,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut sentinel = SentinelBuilder::new()
         .trained(identifier)
         .demo_vulnerabilities()
+        .compute_threads(compute_threads)
         .build()
         .map_err(|e| format!("assembling service: {e}"))?;
     let config = ServerConfig {
@@ -507,8 +517,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .map_err(|e| format!("binding {addr}: {e}"))?;
     let bound = handle.local_addr();
     println!(
-        "serving {} device types on {bound} ({workers} workers{})",
+        "serving {} device types on {bound} ({workers} workers, {} compute threads{})",
         sentinel.identifier().type_count(),
+        handle.cell().pool().threads(),
         if admin { ", admin enabled" } else { "" }
     );
     if let Some(port_file) = opts.first("port-file") {
@@ -619,6 +630,8 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
     let duration_secs: u64 = opts.number("duration-secs", 120)?;
     let connections: usize = opts.number("connections", 4)?;
     let setups: u32 = opts.number("setups", 3)?;
+    // Compute-pool size for the self-hosted server; 0 = shared pool.
+    let compute_threads: usize = opts.number("compute-threads", 0)?;
     let speedup: Option<f64> = match opts.first("speedup") {
         None => None,
         Some(raw) => Some(
@@ -668,6 +681,7 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
                 .setups_per_type(setups)
                 .training_seed(seed)
                 .demo_vulnerabilities()
+                .compute_threads(compute_threads)
                 .build()
                 .map_err(|e| format!("training failed: {e}"))?;
             let mut bytes = Vec::new();

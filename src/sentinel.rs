@@ -160,6 +160,7 @@ pub struct SentinelBuilder {
     records: Vec<(String, VulnerabilityRecord)>,
     endpoints: Vec<(String, Endpoint)>,
     gateway_id: Option<GatewayId>,
+    compute_threads: Option<usize>,
 }
 
 impl Default for SentinelBuilder {
@@ -183,6 +184,7 @@ impl SentinelBuilder {
             records: Vec::new(),
             endpoints: Vec::new(),
             gateway_id: None,
+            compute_threads: None,
         }
     }
 
@@ -262,6 +264,21 @@ impl SentinelBuilder {
         self
     }
 
+    /// Sizes the compute pool this Sentinel's [`ServiceCell`] owns
+    /// (see [`Sentinel::service_cell`]): the fixed set of pinned
+    /// worker threads that all parallel work — sharded classifier
+    /// scans, query-batch fan-out, server-side batches and admin
+    /// reloads — runs on. `0` or unset keeps the process-wide shared
+    /// pool ([`sentinel_pool::global`], sized by the
+    /// `SENTINEL_POOL_THREADS` environment variable or the machine's
+    /// available parallelism); any other value gives this Sentinel a
+    /// private pool of exactly that many workers, kept across hot
+    /// reloads.
+    pub fn compute_threads(mut self, threads: usize) -> Self {
+        self.compute_threads = (threads > 0).then_some(threads);
+        self
+    }
+
     /// Enables §III-B incident reporting under the pseudonymous `id`:
     /// policy-violating flows from identified devices surface as
     /// [`SentinelEvent::IncidentRaised`].
@@ -322,6 +339,7 @@ impl SentinelBuilder {
             controller,
             events: VecDeque::new(),
             cell: None,
+            compute_threads: self.compute_threads,
         })
     }
 }
@@ -339,6 +357,9 @@ pub struct Sentinel {
     /// this Sentinel; created on first use ([`Sentinel::serve`] /
     /// [`Sentinel::reload`] / [`Sentinel::service_cell`]).
     cell: Option<Arc<ServiceCell>>,
+    /// [`SentinelBuilder::compute_threads`]: private pool size for the
+    /// cell, `None` for the process-wide shared pool.
+    compute_threads: Option<usize>,
 }
 
 impl Sentinel {
@@ -570,12 +591,20 @@ impl Sentinel {
     /// The epoch-swapped cell behind [`Sentinel::serve`] (created on
     /// first use, seeded with the current service). Hand a clone to
     /// [`sentinel_serve::serve_cell`] to run extra servers off the
-    /// same hot-reloadable model.
+    /// same hot-reloadable model. The cell owns the compute pool all
+    /// of its parallel work runs on — sized once here, per
+    /// [`SentinelBuilder::compute_threads`], and kept across hot
+    /// reloads.
     pub fn service_cell(&mut self) -> &Arc<ServiceCell> {
         if self.cell.is_none() {
-            self.cell = Some(Arc::new(ServiceCell::new(
-                self.controller.service().clone(),
-            )));
+            let service = self.controller.service().clone();
+            self.cell = Some(Arc::new(match self.compute_threads {
+                Some(threads) => ServiceCell::with_pool(
+                    service,
+                    Arc::new(sentinel_pool::ComputePool::new(threads)),
+                ),
+                None => ServiceCell::new(service),
+            }));
         }
         self.cell.as_ref().expect("cell just initialised")
     }

@@ -15,10 +15,13 @@
 //! * The feature-usage index: trained banks now route stage one
 //!   through the prefilter (query bitmap + cached default verdicts),
 //!   and that must not cost an allocation either — the zero-allocation
-//!   pins above now hold *for the indexed scan*. The thread-sharded
-//!   scan is allowed exactly its fixed per-spawn scoped-thread
-//!   bookkeeping (lanes are reused), pinned as an exact, reproducible,
-//!   linear-in-spawns count.
+//!   pins above now hold *for the indexed scan*.
+//! * The compute pool: parallel paths no longer spawn scoped threads
+//!   per call — sharded scans and batch fan-out run on persistent
+//!   pinned workers, so a warm pooled call is **zero heap
+//!   allocations** AND **zero thread spawns** (pinned by the
+//!   workspace-wide spawn ledger), and the pool's own accounting
+//!   reconciles: every task submitted was executed.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,6 +31,8 @@ use iot_sentinel::core::{
     CandidateScratch, IsolationClass, Severity, ShardedScratch, VulnerabilityRecord,
 };
 use iot_sentinel::fingerprint::{Dataset, Fingerprint, LabeledFingerprint, PacketFeatures};
+use iot_sentinel::ml::ShardScratch;
+use iot_sentinel::pool::{thread_spawns, ComputePool};
 use iot_sentinel::{Sentinel, SentinelBuilder};
 
 /// The allocation counter is process-global, so concurrently running
@@ -242,15 +247,9 @@ fn warm_handle_is_allocation_free() {
     }
 }
 
-#[test]
-fn sharded_scan_allocations_are_pinned_to_spawn_bookkeeping() {
-    let _serial = serial();
-    // The sharded scan's lanes live in the caller's scratch, so the
-    // only heap traffic a warm call is allowed is the scoped threads'
-    // fixed per-spawn bookkeeping: one shard runs inline and must be
-    // allocation-free; k shards must cost an *exact, reproducible*
-    // count that grows linearly with the number of spawned threads.
-    // Five types, so shard counts up to 4 are not clamped away.
+/// The 5-type dataset the sharded tests train on, so shard counts up
+/// to 4 are not clamped away.
+fn five_type_dataset() -> Dataset {
     let mut ds = Dataset::new();
     for (label, bits) in [
         ("TypeA", 0b00001u32),
@@ -266,8 +265,87 @@ fn sharded_scan_allocations_are_pinned_to_spawn_bookkeeping() {
             ));
         }
     }
+    ds
+}
+
+#[test]
+fn pooled_sharded_scan_is_allocation_and_spawn_free() {
+    let _serial = serial();
+    // The sharded scan used to spawn scoped threads per call and was
+    // allowed their fixed per-spawn bookkeeping. On the compute pool
+    // the workers are persistent, so the pin tightens to zero: a warm
+    // pooled scan at ANY shard count allocates nothing and spawns
+    // nothing — the lanes live in the caller's scratch and the
+    // tickets in the pool's reused deques.
     let s = SentinelBuilder::new()
-        .dataset(ds)
+        .dataset(five_type_dataset())
+        .training_seed(4)
+        .build()
+        .unwrap();
+    let identifier = s.identifier();
+    let probe = fp_bits(0b001, &[104, 110, 120]);
+    let expected = identifier.identify(&probe);
+    let pool = ComputePool::new(3);
+    let mut scratch = CandidateScratch::new();
+    let mut lanes = ShardScratch::default();
+    // Grow every lane buffer and the pool's queues at the widest
+    // shard count before measuring.
+    for _ in 0..4 {
+        std::hint::black_box(identifier.identify_sharded_on(
+            &pool,
+            &probe,
+            4,
+            &mut scratch,
+            &mut lanes,
+        ));
+    }
+
+    let spawns_before = thread_spawns();
+    for shards in [1usize, 2, 3, 4] {
+        identifier.identify_sharded_on(&pool, &probe, shards, &mut scratch, &mut lanes);
+        let (allocs, result) = allocations_during(|| {
+            std::hint::black_box(identifier.identify_sharded_on(
+                &pool,
+                &probe,
+                shards,
+                &mut scratch,
+                &mut lanes,
+            ))
+        });
+        assert_eq!(
+            result.device_type(),
+            expected.device_type(),
+            "{shards}-shard identification diverged from the sequential result"
+        );
+        assert_eq!(
+            allocs, 0,
+            "a warm {shards}-shard pooled scan must not touch the heap"
+        );
+    }
+    assert_eq!(
+        thread_spawns(),
+        spawns_before,
+        "pooled scans must not spawn threads"
+    );
+    let counters = pool.counters();
+    assert_eq!(
+        counters.submitted, counters.executed,
+        "every task handed to the pool must have run"
+    );
+    assert!(
+        counters.submitted > 0,
+        "multi-shard scans must actually have used the pool"
+    );
+}
+
+#[test]
+fn small_bank_auto_sharding_is_inline_and_allocation_free() {
+    let _serial = serial();
+    // The auto-router sends banks below the sharding threshold through
+    // the plain inline scan: same results, zero allocations, zero
+    // spawns, and no pool traffic at all.
+    let s = SentinelBuilder::new()
+        .dataset(five_type_dataset())
         .training_seed(4)
         .build()
         .unwrap();
@@ -276,48 +354,75 @@ fn sharded_scan_allocations_are_pinned_to_spawn_bookkeeping() {
     let probe = fp_bits(0b001, &[104, 110, 120]).to_fixed_with(prefix_len);
     let expected = identifier.classify_candidates(&probe);
     let mut scratch = ShardedScratch::new();
-    // Grow every lane buffer (and any lazy thread-runtime state) at
-    // the widest shard count before measuring.
     for _ in 0..2 {
         identifier.classify_candidates_sharded_into(&probe, 4, &mut scratch);
     }
-
-    let measure = |shards: usize, scratch: &mut ShardedScratch| {
-        identifier.classify_candidates_sharded_into(&probe, shards, scratch);
+    let spawns_before = thread_spawns();
+    for shards in [1usize, 2, 3, 4] {
         let (allocs, ()) = allocations_during(|| {
-            identifier.classify_candidates_sharded_into(&probe, shards, scratch)
+            identifier.classify_candidates_sharded_into(&probe, shards, &mut scratch)
         });
         assert_eq!(scratch.candidates(), expected.as_slice());
-        allocs
-    };
+        assert_eq!(
+            allocs, 0,
+            "a warm auto-routed {shards}-shard scan must not touch the heap"
+        );
+    }
+    assert_eq!(
+        thread_spawns(),
+        spawns_before,
+        "small banks must scan inline without spawning"
+    );
+}
 
+#[test]
+fn warm_pooled_batch_is_allocation_and_spawn_free() {
+    let _serial = serial();
+    // handle_batch's parallel arm fans chunks out on the pool; with
+    // the response buffer caller-owned (`handle_batch_into`), a warm
+    // batch is zero allocations and zero spawns end to end.
+    let s = sentinel();
+    let service = s.service();
+    let pool = ComputePool::new(2);
+    let probes: Vec<Fingerprint> = (0..iot_sentinel::core::BATCH_CHUNK * 2 + 5)
+        .map(|i| {
+            let bits = PROBE_BITS[i % PROBE_BITS.len()];
+            fp_bits(bits, &[104, 110, 120])
+        })
+        .collect();
+    let sequential = service.handle_batch_with(&probes, 1);
+    let mut out = Vec::new();
+    // Chunk→worker placement is racy, so a cold worker could warm its
+    // thread-local query scratch inside the measured window. Warm
+    // every executor deterministically instead: threads+1 barrier
+    // tasks force the caller and both workers to run exactly one task
+    // each (an executor blocked in the barrier cannot take a second),
+    // and each task warms its own thread's scratch.
+    let barrier = std::sync::Barrier::new(3);
+    pool.for_each(3, |_| {
+        barrier.wait();
+        for bits in PROBE_BITS {
+            std::hint::black_box(service.handle(&fp_bits(bits, &[104, 110, 120])));
+        }
+    })
+    .unwrap();
+    // Then warm the caller-side lane and output buffers.
+    for _ in 0..2 {
+        service.handle_batch_into(&pool, &probes, &mut out);
+    }
+    let spawns_before = thread_spawns();
+    let (allocs, ()) = allocations_during(|| service.handle_batch_into(&pool, &probes, &mut out));
+    assert_eq!(allocs, 0, "a warm pooled batch must not touch the heap");
     assert_eq!(
-        measure(1, &mut scratch),
-        0,
-        "a warm single-shard scan runs inline and must not touch the heap"
+        thread_spawns(),
+        spawns_before,
+        "pooled batches must not spawn threads"
     );
-    let a2 = measure(2, &mut scratch);
-    let a3 = measure(3, &mut scratch);
-    let a4 = measure(4, &mut scratch);
+    assert_eq!(out, sequential, "pooled batch responses diverged");
+    let counters = pool.counters();
     assert_eq!(
-        a2,
-        measure(2, &mut scratch),
-        "warm 2-shard allocation count must be exactly reproducible"
-    );
-    assert_eq!(
-        a3,
-        measure(3, &mut scratch),
-        "warm 3-shard allocation count must be exactly reproducible"
-    );
-    assert_eq!(
-        a4 + a2,
-        2 * a3,
-        "each extra shard may cost exactly one thread-spawn's bookkeeping \
-         (2→3→4 shards: {a2} → {a3} → {a4} allocations)"
-    );
-    assert!(
-        a2 <= 16,
-        "2-shard spawn bookkeeping ballooned to {a2} allocations"
+        counters.submitted, counters.executed,
+        "every task handed to the pool must have run"
     );
 }
 

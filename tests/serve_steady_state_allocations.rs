@@ -14,6 +14,13 @@
 //! at a time), so every allocation inside the measured window belongs
 //! to the frame path: the accept thread and idle workers only poll
 //! with stack buffers.
+//!
+//! The compute-pool redesign adds two pins on the same window: the
+//! batch hand-off now runs on the cell's persistent pool, so warm
+//! round-trips must also be **zero thread spawns** (the pool's workers
+//! were pinned at startup; nothing on the frame path may spawn), and
+//! the pool's accounting must reconcile — exactly one `run` hand-off
+//! per query frame, every task submitted also executed.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -143,6 +150,8 @@ fn steady_state_frames_allocate_nothing_on_the_read_side() {
         .iter()
         .map(|&stage| registry.stage_histogram(stage).count())
         .collect();
+    let spawns_before = iot_sentinel::pool::thread_spawns();
+    let pool_before = handle.cell().pool().counters();
     let (allocs, _) = allocations_during(|| {
         for _ in 0..64 {
             client.ping().expect("steady-state ping");
@@ -170,6 +179,34 @@ fn steady_state_frames_allocate_nothing_on_the_read_side() {
             stage.name()
         );
     }
+
+    // Zero thread spawns in steady state: the compute pool's workers
+    // and the server's I/O threads all predate the measured window.
+    assert_eq!(
+        iot_sentinel::pool::thread_spawns(),
+        spawns_before,
+        "warm round-trips must not spawn threads"
+    );
+    // And the pool's ledger reconciles: each of the 64 query frames
+    // was exactly one `run` hand-off to the cell's pool (pings never
+    // touch it), and everything submitted has executed.
+    let pool_after = handle.cell().pool().counters();
+    assert_eq!(
+        pool_after.submitted - pool_before.submitted,
+        64,
+        "one pool hand-off per query frame"
+    );
+    assert_eq!(
+        pool_after.submitted, pool_after.executed,
+        "every task handed to the pool must have run"
+    );
+    // The Stats wire frame reports the same pool counters.
+    let snapshot = handle.metrics_snapshot();
+    assert_eq!(
+        snapshot.counter(Counter::PoolTasksSubmitted),
+        handle.cell().pool().counters().submitted,
+        "the Stats overlay must mirror the live pool ledger"
+    );
 
     // Sanity: real queries still answer (and are allowed to allocate —
     // decoded fingerprints and response vectors are owned data).
