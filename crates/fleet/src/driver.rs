@@ -16,7 +16,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use sentinel_serve::{ClientConfig, SentinelClient};
+use sentinel_serve::{ClientConfig, ClientError, ErrorCode, SentinelClient};
 
 use crate::config::Pacing;
 use crate::pool::FingerprintPool;
@@ -87,6 +87,15 @@ pub struct DriveOutcome {
     pub responses_ok: u64,
     /// Transport/protocol/server errors encountered.
     pub errors: u64,
+    /// The subset of `errors` that were queries the server shed with a
+    /// retryable `Overloaded` answer (after the client's own overload
+    /// retries ran out). Shed queries were refused, not corrupted —
+    /// under deliberate overload they are the system working as
+    /// designed.
+    pub shed: u64,
+    /// Query batches resent inside the client after a retryable
+    /// `Overloaded` answer, summed over connections.
+    pub overload_retries: u64,
     /// Connect retries summed over every (re)connection.
     pub connect_retries: u64,
     /// Reload measurement, when the trace carried a reload marker and
@@ -125,6 +134,8 @@ struct WorkerReport {
     sent: u64,
     ok: u64,
     errors: u64,
+    shed: u64,
+    overload_retries: u64,
     connect_retries: u64,
     first_new_epoch_wall: Option<u64>,
     stale: u64,
@@ -147,6 +158,8 @@ fn run_worker(
         sent: 0,
         ok: 0,
         errors: 0,
+        shed: 0,
+        overload_retries: 0,
         connect_retries: 0,
         first_new_epoch_wall: None,
         stale: 0,
@@ -199,6 +212,17 @@ fn run_worker(
                     }
                 }
             }
+            // A shed query is a typed refusal on a healthy connection
+            // (the client's own overload retries already ran out):
+            // count it and keep the connection — reconnecting would
+            // only add to the stampede the server is shedding against.
+            Err(ClientError::Server {
+                code: ErrorCode::Overloaded,
+                ..
+            }) => {
+                report.errors += 1;
+                report.shed += 1;
+            }
             Err(_) => {
                 report.errors += 1;
                 // One reconnect attempt keeps a single dropped
@@ -206,6 +230,7 @@ fn run_worker(
                 // plan.
                 match SentinelClient::connect(addr, client_config.clone()) {
                     Ok(fresh) => {
+                        report.overload_retries += client.stats().overload_retries;
                         report.connect_retries += fresh.stats().connect_retries;
                         client = fresh;
                     }
@@ -217,6 +242,7 @@ fn run_worker(
             }
         }
     }
+    report.overload_retries += client.stats().overload_retries;
     report
 }
 
@@ -363,6 +389,8 @@ pub fn drive(
     let mut queries_sent = 0;
     let mut responses_ok = 0;
     let mut errors = 0;
+    let mut shed = 0;
+    let mut overload_retries = 0;
     let mut connect_retries = 0;
     let mut stale = 0;
     let mut worst_lag_ns: u64 = 0;
@@ -373,6 +401,8 @@ pub fn drive(
         queries_sent += report.sent;
         responses_ok += report.ok;
         errors += report.errors;
+        shed += report.shed;
+        overload_retries += report.overload_retries;
         connect_retries += report.connect_retries;
         stale += report.stale;
         if let Some(first) = report.first_new_epoch_wall {
@@ -412,6 +442,8 @@ pub fn drive(
         queries_sent,
         responses_ok,
         errors,
+        shed,
+        overload_retries,
         connect_retries,
         reload,
         server,

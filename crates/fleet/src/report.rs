@@ -49,6 +49,11 @@ pub struct FleetReport {
     pub responses_ok: u64,
     /// Errors (transport, protocol, server).
     pub errors: u64,
+    /// The subset of `errors` the server shed with a retryable
+    /// `Overloaded` answer after client-side retries ran out.
+    pub shed: u64,
+    /// Client-side overload retries (shed answers that were resent).
+    pub overload_retries: u64,
     /// Connect retries across all (re)connections.
     pub connect_retries: u64,
     /// Reload-under-fire: worst per-connection epoch-propagation lag
@@ -89,6 +94,8 @@ impl FleetReport {
             queries_sent: outcome.queries_sent,
             responses_ok: outcome.responses_ok,
             errors: outcome.errors,
+            shed: outcome.shed,
+            overload_retries: outcome.overload_retries,
             connect_retries: outcome.connect_retries,
             reload_lag_ms: outcome
                 .reload
@@ -123,6 +130,8 @@ impl FleetReport {
             ("wall_secs", self.wall_secs),
             ("queries_sent", self.queries_sent as f64),
             ("responses_ok", self.responses_ok as f64),
+            ("shed", self.shed as f64),
+            ("overload_retries", self.overload_retries as f64),
             ("connect_retries", self.connect_retries as f64),
         ];
         if let Some(epoch) = self.reload_epoch {
@@ -223,12 +232,13 @@ impl FleetReport {
                 self.sim.retransmits
             ),
             format!(
-                "live:  {} ok / {} sent in {:.2} wall s -> {:.0} qps, {} errors, {} connect retries",
+                "live:  {} ok / {} sent in {:.2} wall s -> {:.0} qps, {} errors ({} shed), {} connect retries",
                 self.responses_ok,
                 self.queries_sent,
                 self.wall_secs,
                 self.qps,
                 self.errors,
+                self.shed,
                 self.connect_retries
             ),
             format!(

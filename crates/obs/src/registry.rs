@@ -94,11 +94,30 @@ pub enum Counter {
     PoolParks = 22,
     /// Times a parked pool worker was woken.
     PoolUnparks = 23,
+    /// Fingerprints shed by admission control instead of computed (a
+    /// shed batch of 8 counts 8 here and 1 in
+    /// [`Counter::OverloadRejections`]). Monotone.
+    QueriesShed = 24,
+    /// Frames answered with the retryable `Overloaded` error: query
+    /// frames refused by the in-flight budget plus admin reload frames
+    /// refused by the reload rate limit. Monotone.
+    OverloadRejections = 25,
+    /// Admin reload frames refused by the token-bucket rate limit
+    /// (a subset of [`Counter::OverloadRejections`]). Monotone.
+    ReloadsRateLimited = 26,
+    /// Reload tasks that panicked mid-validation and were rolled back:
+    /// the previous epoch kept serving and the peer got a typed
+    /// `ReloadRejected` answer. Monotone.
+    ReloadRollbacks = 27,
+    /// Faults deliberately injected by a chaos harness (stalls,
+    /// truncated frames, hangups, scheduled task panics). Zero outside
+    /// chaos runs. Monotone.
+    FaultsInjected = 28,
 }
 
 impl Counter {
     /// Every catalog entry, in id order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 29] = [
         Counter::ConnectionsAccepted,
         Counter::ConnectionsRefused,
         Counter::ConnectionsActive,
@@ -123,6 +142,11 @@ impl Counter {
         Counter::PoolInjectorPushes,
         Counter::PoolParks,
         Counter::PoolUnparks,
+        Counter::QueriesShed,
+        Counter::OverloadRejections,
+        Counter::ReloadsRateLimited,
+        Counter::ReloadRollbacks,
+        Counter::FaultsInjected,
     ];
 
     /// Number of catalog entries.
@@ -165,6 +189,11 @@ impl Counter {
             Counter::PoolInjectorPushes => "pool_injector_pushes",
             Counter::PoolParks => "pool_parks",
             Counter::PoolUnparks => "pool_unparks",
+            Counter::QueriesShed => "queries_shed",
+            Counter::OverloadRejections => "overload_rejections",
+            Counter::ReloadsRateLimited => "reloads_rate_limited",
+            Counter::ReloadRollbacks => "reload_rollbacks",
+            Counter::FaultsInjected => "faults_injected",
         }
     }
 

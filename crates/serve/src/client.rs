@@ -38,6 +38,12 @@ pub struct ClientConfig {
     /// Whether queries ask the server to resolve type names.
     /// Default `false` (ids only — the allocation-light mode).
     pub resolve_names: bool,
+    /// How many times a query batch answered with the retryable
+    /// [`ErrorCode::Overloaded`] error is resent, sleeping the same
+    /// seeded exponential backoff schedule as connects between
+    /// attempts. A shed request was never executed, so resending is
+    /// always safe. `0` surfaces the error immediately. Default 4.
+    pub overload_retries: u32,
 }
 
 impl Default for ClientConfig {
@@ -50,6 +56,7 @@ impl Default for ClientConfig {
             io_timeout: Duration::from_secs(10),
             max_frame_bytes: wire::DEFAULT_MAX_FRAME_BYTES,
             resolve_names: false,
+            overload_retries: 4,
         }
     }
 }
@@ -72,6 +79,24 @@ pub enum ClientError {
     /// The server sent a well-formed but out-of-protocol message
     /// (e.g. a request, or a response of the wrong length).
     Protocol(String),
+}
+
+impl ClientError {
+    /// Whether resending the same request after a backoff is safe and
+    /// plausibly useful. `true` exactly for server-shed requests
+    /// ([`ErrorCode::Overloaded`]): the server refused before
+    /// executing anything, and the condition is transient by
+    /// definition. Everything else is either fatal (protocol, wire) or
+    /// of unknown progress (transport death mid-request).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server {
+                code: ErrorCode::Overloaded,
+                ..
+            }
+        )
+    }
 }
 
 impl fmt::Display for ClientError {
@@ -142,6 +167,9 @@ pub struct ClientStats {
     pub requests_sent: u64,
     /// Well-formed query responses received.
     pub responses_received: u64,
+    /// Query batches resent after a retryable [`ErrorCode::Overloaded`]
+    /// answer (each resend counts once, whatever its outcome).
+    pub overload_retries: u64,
 }
 
 /// One identification returned over the wire.
@@ -281,7 +309,31 @@ impl SentinelClient {
     /// service epoch the server answered under — the signal fleet
     /// harnesses use to watch a hot reload propagate request by
     /// request.
+    ///
+    /// A server answering [`ErrorCode::Overloaded`] shed the batch
+    /// without executing it; the client resends up to
+    /// [`ClientConfig::overload_retries`] times, sleeping the seeded
+    /// backoff schedule between attempts, before surfacing the error.
     pub fn query_batch_stamped(
+        &mut self,
+        fingerprints: &[Fingerprint],
+    ) -> Result<StampedBatch, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.query_batch_stamped_once(fingerprints) {
+                Err(error) if error.is_retryable() && attempt < self.config.overload_retries => {
+                    attempt += 1;
+                    self.stats.overload_retries += 1;
+                    std::thread::sleep(backoff_delay(&self.config, attempt));
+                }
+                outcome => return outcome,
+            }
+        }
+    }
+
+    /// One send/receive round of [`SentinelClient::query_batch_stamped`],
+    /// with no overload retry.
+    fn query_batch_stamped_once(
         &mut self,
         fingerprints: &[Fingerprint],
     ) -> Result<StampedBatch, ClientError> {

@@ -37,7 +37,7 @@ pub use client::{
     ClientConfig, ClientError, ClientStats, QueryResult, SentinelClient, StampedBatch,
 };
 pub use sentinel_obs::{Counter, HistogramSummary, MetricsRegistry, MetricsSnapshot, Stage};
-pub use server::{serve, serve_cell, ServerConfig, ServerHandle, ServerStats};
+pub use server::{serve, serve_cell, ReloadRate, ServerConfig, ServerHandle, ServerStats};
 pub use wire::{
     ErrorCode, Message, QueryRequest, QueryResponse, ReloadAck, ReloadRequest, WireError,
     MIN_VERSION, VERSION,

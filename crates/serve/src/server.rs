@@ -77,7 +77,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use sentinel_core::{persist, IoTSecurityService, ServiceCell, ServiceEpoch};
@@ -89,9 +89,30 @@ use crate::wire::{
 };
 
 /// Test-only fault injection: called with every decoded query request
-/// on the serving worker thread, so tests can make a handler panic (or
-/// stall) deterministically. See [`ServerConfig::fault_injection`].
+/// inside the compute-pool task that handles it, so tests and the
+/// chaos harness can make a handler panic (or stall) deterministically.
+/// See [`ServerConfig::fault_injection`].
 pub type FaultInjection = Arc<dyn Fn(&QueryRequest) + Send + Sync>;
+
+/// Test-only reload fault injection: called with every admitted admin
+/// reload payload inside the compute-pool task that validates it, so
+/// tests can panic mid-reload and exercise the rollback path. See
+/// [`ServerConfig::reload_fault_injection`].
+pub type ReloadFaultInjection = Arc<dyn Fn(&[u8]) + Send + Sync>;
+
+/// Token-bucket rate limit for admin reload frames: at most `burst`
+/// reloads back-to-back, refilling at `refill_per_sec` tokens per
+/// second. Reloads recompile the whole classifier bank — the heaviest
+/// request the server takes — so an admin peer stuck in a retry loop
+/// (or a hostile one) must not be able to monopolise the compute pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReloadRate {
+    /// Maximum reload frames admitted back-to-back from a full bucket.
+    pub burst: u32,
+    /// Tokens refilled per second (fractional rates allowed; `0.0`
+    /// means the bucket never refills — useful in tests).
+    pub refill_per_sec: f64,
+}
 
 /// Tunables for [`serve`].
 #[derive(Clone)]
@@ -126,11 +147,38 @@ pub struct ServerConfig {
     /// stay bounded by [`ServerConfig::max_frame_bytes`]). Default
     /// 64 MiB.
     pub max_reload_bytes: u32,
-    /// Test-only hook: invoked with every decoded query request on the
-    /// worker thread before it is handled. Lets tests inject a panic
-    /// into the serving path; leave `None` (the default) in production.
+    /// Server-wide in-flight work budget: at most this many decoded
+    /// query batches may be handed to the compute pool at once. A
+    /// batch that cannot take a permit within
+    /// [`ServerConfig::queue_deadline`] is shed with a retryable
+    /// [`ErrorCode::Overloaded`] answer instead of queueing unboundedly
+    /// behind a saturated pool. `0` (the default) disables admission
+    /// control.
+    pub max_inflight: usize,
+    /// How long a decoded batch may wait for an in-flight permit
+    /// before it is shed. By the time the budget has been full this
+    /// long the answer would be stale anyway — shedding early keeps
+    /// the queue short and tells the client to back off. Only
+    /// meaningful with [`ServerConfig::max_inflight`] > 0; `ZERO`
+    /// means shed immediately when the budget is full. Default 1 s.
+    pub queue_deadline: Duration,
+    /// Token-bucket rate limit on admin reload frames. `None` (the
+    /// default) disables the limit; rate-limited reloads are answered
+    /// with a retryable [`ErrorCode::Overloaded`] error and counted in
+    /// [`Counter::ReloadsRateLimited`].
+    pub reload_rate: Option<ReloadRate>,
+    /// Test-only hook: invoked with every decoded query request inside
+    /// the compute-pool task before it is handled. Lets tests inject a
+    /// panic into the serving path; leave `None` (the default) in
+    /// production.
     #[doc(hidden)]
     pub fault_injection: Option<FaultInjection>,
+    /// Test-only hook: invoked with every admitted reload payload
+    /// inside the compute-pool task before validation. Lets tests
+    /// panic mid-reload to exercise rollback; leave `None` (the
+    /// default) in production.
+    #[doc(hidden)]
+    pub reload_fault_injection: Option<ReloadFaultInjection>,
 }
 
 impl std::fmt::Debug for ServerConfig {
@@ -144,9 +192,16 @@ impl std::fmt::Debug for ServerConfig {
             .field("idle_timeout", &self.idle_timeout)
             .field("admin", &self.admin)
             .field("max_reload_bytes", &self.max_reload_bytes)
+            .field("max_inflight", &self.max_inflight)
+            .field("queue_deadline", &self.queue_deadline)
+            .field("reload_rate", &self.reload_rate)
             .field(
                 "fault_injection",
                 &self.fault_injection.as_ref().map(|_| "<hook>"),
+            )
+            .field(
+                "reload_fault_injection",
+                &self.reload_fault_injection.as_ref().map(|_| "<hook>"),
             )
             .finish()
     }
@@ -163,7 +218,114 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(60),
             admin: false,
             max_reload_bytes: 64 << 20,
+            max_inflight: 0,
+            queue_deadline: Duration::from_secs(1),
+            reload_rate: None,
             fault_injection: None,
+            reload_fault_injection: None,
+        }
+    }
+}
+
+/// Admission control over decoded batches: a fixed budget of in-flight
+/// permits guarding the connection-worker → compute-pool hand-off.
+/// Waiters block on a condvar until a permit frees or their queue
+/// deadline passes — work that would go stale in the queue is shed at
+/// the gate (with a retryable [`ErrorCode::Overloaded`] answer)
+/// instead of computed late.
+///
+/// A budget of `0` disables the gate: `acquire` returns a no-op permit
+/// without touching the lock, so servers that do not opt in pay one
+/// branch on the warm path.
+struct InflightGate {
+    budget: usize,
+    inflight: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl InflightGate {
+    fn new(budget: usize) -> Self {
+        InflightGate {
+            budget,
+            inflight: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Takes a permit, waiting until `deadline` for one to free.
+    /// Returns `None` when the budget stayed full the whole time —
+    /// the caller must shed the work.
+    fn acquire(&self, deadline: Instant) -> Option<InflightPermit<'_>> {
+        if self.budget == 0 {
+            return Some(InflightPermit { gate: None });
+        }
+        let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if *inflight < self.budget {
+                *inflight += 1;
+                return Some(InflightPermit { gate: Some(self) });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timed_out) = self
+                .freed
+                .wait_timeout(inflight, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            inflight = guard;
+        }
+    }
+}
+
+/// RAII in-flight permit: releases its budget slot (and wakes one
+/// waiter) on drop, including a panic unwinding out of the pool
+/// hand-off — a panicking batch must not leak capacity.
+struct InflightPermit<'a> {
+    gate: Option<&'a InflightGate>,
+}
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        if let Some(gate) = self.gate {
+            let mut inflight = gate.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            *inflight = inflight.saturating_sub(1);
+            drop(inflight);
+            gate.freed.notify_one();
+        }
+    }
+}
+
+/// The live token-bucket state behind [`ReloadRate`].
+struct ReloadBucket {
+    rate: ReloadRate,
+    /// `(tokens, last_refill)` — reload frames are rare and already
+    /// serialized through the cell's writer lock, so one mutex is fine.
+    state: Mutex<(f64, Instant)>,
+}
+
+impl ReloadBucket {
+    fn new(rate: ReloadRate) -> Self {
+        let burst = f64::from(rate.burst);
+        ReloadBucket {
+            rate,
+            state: Mutex::new((burst, Instant::now())),
+        }
+    }
+
+    /// Takes one token if available, refilling lazily from elapsed
+    /// wall time. `false` means the reload must be refused.
+    fn try_take(&self) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let now = Instant::now();
+        let elapsed = now.saturating_duration_since(state.1).as_secs_f64();
+        state.0 = (state.0 + elapsed * self.rate.refill_per_sec).min(f64::from(self.rate.burst));
+        state.1 = now;
+        if state.0 >= 1.0 {
+            state.0 -= 1.0;
+            true
+        } else {
+            false
         }
     }
 }
@@ -391,6 +553,10 @@ fn run(
     let (sender, receiver): (SyncSender<TcpStream>, Receiver<TcpStream>) =
         mpsc::sync_channel(workers * 4);
     let receiver = Mutex::new(receiver);
+    // Server-wide admission control and the reload rate limit: shared
+    // by every connection worker, created once per server.
+    let gate = InflightGate::new(config.max_inflight);
+    let reload_bucket = config.reload_rate.map(ReloadBucket::new);
     // Scoped threads: workers borrow the cell, the flag and the
     // stats for the lifetime of the scope, which ends only after the
     // accept loop broke and every worker drained out.
@@ -401,6 +567,8 @@ fn run(
             let config = &config;
             let shutdown = &shutdown;
             let registry = &registry;
+            let gate = &gate;
+            let reload_bucket = &reload_bucket;
             scope.spawn(move |_| loop {
                 // Take the next connection; holding the lock only for
                 // the recv keeps hand-off cheap.
@@ -409,9 +577,16 @@ fn run(
                     guard.recv()
                 };
                 match next {
-                    Ok(stream) => {
-                        handle_connection(stream, cell, config, shutdown, registry, shard)
-                    }
+                    Ok(stream) => handle_connection(
+                        stream,
+                        cell,
+                        config,
+                        shutdown,
+                        registry,
+                        shard,
+                        gate,
+                        reload_bucket.as_ref(),
+                    ),
                     Err(_) => break, // channel closed: shutting down
                 }
             });
@@ -451,6 +626,7 @@ fn run(
     .expect("server scope failed");
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     stream: TcpStream,
     cell: &ServiceCell,
@@ -458,6 +634,8 @@ fn handle_connection(
     shutdown: &AtomicBool,
     registry: &MetricsRegistry,
     shard: usize,
+    gate: &InflightGate,
+    reload_bucket: Option<&ReloadBucket>,
 ) {
     // RAII, not paired incr/decr: the gauge must return to zero even
     // when the handler below panics out.
@@ -468,7 +646,16 @@ fn handle_connection(
     // counters are recorded live inside serve_connection, so whatever
     // the connection did before the panic is already counted.
     if std::panic::catch_unwind(AssertUnwindSafe(|| {
-        serve_connection(stream, cell, config, shutdown, registry, shard)
+        serve_connection(
+            stream,
+            cell,
+            config,
+            shutdown,
+            registry,
+            shard,
+            gate,
+            reload_bucket,
+        )
     }))
     .is_err()
     {
@@ -531,6 +718,7 @@ fn read_frame<'a>(
     Ok((header, read_buf.as_slice()))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     mut stream: TcpStream,
     cell: &ServiceCell,
@@ -538,6 +726,8 @@ fn serve_connection(
     shutdown: &AtomicBool,
     registry: &MetricsRegistry,
     shard: usize,
+    gate: &InflightGate,
+    reload_bucket: Option<&ReloadBucket>,
 ) {
     let _ = stream.set_nodelay(true);
     let mut write_buf = Vec::new();
@@ -580,6 +770,35 @@ fn serve_connection(
                         );
                         break;
                     }
+                    // Rate limit admitted admin frames: a reload
+                    // recompiles the whole bank, so a peer stuck in a
+                    // retry loop must not monopolise the compute pool.
+                    // Refused frames get the retryable Overloaded code
+                    // — the connection stays usable.
+                    if let Some(bucket) = reload_bucket {
+                        if !bucket.try_take() {
+                            registry.incr(Counter::ReloadsRateLimited);
+                            registry.incr(Counter::OverloadRejections);
+                            if send_message(
+                                &mut stream,
+                                &mut write_buf,
+                                peer_version,
+                                &Message::Error(ErrorFrame {
+                                    code: ErrorCode::Overloaded,
+                                    message: "admin reload rate limit exceeded; retry after \
+                                              backoff"
+                                        .to_string(),
+                                }),
+                            )
+                            .is_err()
+                            {
+                                break;
+                            }
+                            read_buf.clear();
+                            read_buf.shrink_to(config.max_frame_bytes as usize);
+                            continue;
+                        }
+                    }
                     // A reload recompiles the whole bank — by far the
                     // heaviest request the server takes. Run it on the
                     // compute pool so the rebuild rides the same fixed
@@ -587,9 +806,25 @@ fn serve_connection(
                     // connection thread's core arbitration.
                     let reload_outcome = cell
                         .pool()
-                        .run(|| handle_reload(cell, payload))
+                        .run(|| {
+                            if let Some(hook) = &config.reload_fault_injection {
+                                hook(payload);
+                            }
+                            handle_reload(cell, payload)
+                        })
                         .unwrap_or_else(|contained| {
-                            panic!("reload task panicked: {}", contained.message())
+                            // A panic mid-reload never reaches the
+                            // epoch swap — `ServiceCell` publishes only
+                            // after validation succeeds, with three
+                            // atomic stores that cannot panic — so the
+                            // previous model keeps serving: containment
+                            // *is* rollback. Answer a typed rejection
+                            // instead of burning the connection.
+                            registry.incr(Counter::ReloadRollbacks);
+                            Err(format!(
+                                "reload task panicked (previous epoch kept): {}",
+                                contained.message()
+                            ))
                         });
                     match reload_outcome {
                         Ok(ack) => {
@@ -681,21 +916,55 @@ fn serve_connection(
                     );
                     break;
                 }
-                if let Some(hook) = &config.fault_injection {
-                    hook(&request);
-                }
+                // Admission control: the decoded batch must take an
+                // in-flight permit before it may touch the compute
+                // pool. When the budget stays full past the queue
+                // deadline the batch is shed with a retryable typed
+                // error — computing it late would waste the pool on an
+                // answer the client has already given up on.
+                let deadline = Instant::now() + config.queue_deadline;
+                let Some(permit) = gate.acquire(deadline) else {
+                    registry.incr(Counter::OverloadRejections);
+                    registry.add(Counter::QueriesShed, request.fingerprints.len() as u64);
+                    if send_message(
+                        &mut stream,
+                        &mut write_buf,
+                        peer_version,
+                        &Message::Error(ErrorFrame {
+                            code: ErrorCode::Overloaded,
+                            message: format!(
+                                "server over capacity ({} batches in flight); \
+                                 retry after backoff",
+                                config.max_inflight
+                            ),
+                        }),
+                    )
+                    .is_err()
+                    {
+                        break;
+                    }
+                    continue;
+                };
                 // Hand the decoded batch to the cell's compute pool:
                 // connection threads stay I/O-only, and concurrent
                 // connections share the pool's fixed worker set through
                 // work stealing instead of each sizing itself to all
                 // cores and oversubscribing. The whole batch —
                 // identification and name resolution — runs against
-                // the one pinned epoch.
+                // the one pinned epoch. The fault hook runs inside the
+                // pool task so an injected panic is a genuine scheduled
+                // task panic, and the permit is held across the compute
+                // (released by RAII even when the task panics).
                 let service = pinned.service();
                 let pool = cell.pool().as_ref();
                 let scan_start = Instant::now();
                 let responses = pool
-                    .run(|| service.handle_batch_on(pool, &request.fingerprints))
+                    .run(|| {
+                        if let Some(hook) = &config.fault_injection {
+                            hook(&request);
+                        }
+                        service.handle_batch_on(pool, &request.fingerprints)
+                    })
                     .unwrap_or_else(|contained| {
                         // Preserve pre-pool semantics: a panic in
                         // service code unwinds out of serve_connection
@@ -703,6 +972,7 @@ fn serve_connection(
                         panic!("batch task panicked: {}", contained.message())
                     });
                 let scan_done = Instant::now();
+                drop(permit);
                 let queries = responses.len() as u64;
                 let items: Vec<ResponseItem> = responses
                     .into_iter()

@@ -214,6 +214,11 @@ pub enum ErrorCode {
     /// A reload was refused: the model document did not parse, or its
     /// registry would invalidate already-issued type ids.
     ReloadRejected,
+    /// The server shed the request instead of computing it — the
+    /// in-flight work budget stayed full past the queue deadline, or
+    /// an admin reload tripped the rate limit. Retryable: the request
+    /// was never executed, so resending after a backoff is safe.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -228,6 +233,7 @@ impl ErrorCode {
             ErrorCode::Internal => 6,
             ErrorCode::AdminDisabled => 7,
             ErrorCode::ReloadRejected => 8,
+            ErrorCode::Overloaded => 9,
         }
     }
 
@@ -242,6 +248,7 @@ impl ErrorCode {
             6 => ErrorCode::Internal,
             7 => ErrorCode::AdminDisabled,
             8 => ErrorCode::ReloadRejected,
+            9 => ErrorCode::Overloaded,
             other => {
                 return Err(WireError::BadValue {
                     field: "error code",
@@ -262,6 +269,7 @@ impl ErrorCode {
             ErrorCode::Internal => "internal",
             ErrorCode::AdminDisabled => "admin-disabled",
             ErrorCode::ReloadRejected => "reload-rejected",
+            ErrorCode::Overloaded => "overloaded",
         }
     }
 }

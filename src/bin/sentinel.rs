@@ -99,7 +99,7 @@ USAGE:
 
   sentinel fleet [--devices N] [--seed S] [--duration-secs T] [--speedup X]
                  [--connections C] [--setups K] [--compute-threads N]
-                 [--addr HOST:PORT] [--no-reload]
+                 [--addr HOST:PORT] [--no-reload] [--chaos SEED]
       Simulate a device fleet (enrollment ramp, setup bursts, steady
       re-fingerprinting, standby/wake, churn) and replay it against a
       live server, writing BENCH_fleet.json. Without --addr it trains
@@ -109,6 +109,15 @@ USAGE:
       scenario is off; --compute-threads sizes the self-hosted
       server's compute pool). Default pacing is uncapped; --speedup X
       replays the schedule at X times real time instead.
+      --chaos SEED runs the fleet as a fault-injection soak against
+      the self-hosted server (incompatible with --addr): a seeded,
+      bit-reproducible fault plan drives attacker connections
+      (mid-frame stalls, truncated frames, hangups) plus scheduled
+      compute-pool panics concurrently with the real load, the server
+      runs with a finite admission budget and a reload rate limit,
+      and the run fails unless every robustness invariant holds
+      (server alive, counters reconcile exactly, epoch advanced, zero
+      regressions).
 ";
 
 fn main() -> ExitCode {
@@ -621,7 +630,10 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_fleet(args: &[String]) -> Result<(), String> {
+    use iot_sentinel::chaos::{self, ChaosConfig, FaultPlan, RegistrySlot};
     use iot_sentinel::fleet::{DriveConfig, FingerprintPool, FleetConfig, Pacing, ReloadHook};
+    use iot_sentinel::serve::ReloadRate;
+    use std::sync::Arc;
     use std::time::Duration;
 
     let opts = Options::parse(args, &["no-reload"])?;
@@ -644,6 +656,33 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
             return Err("--speedup must be positive".into());
         }
     }
+    let chaos_seed: Option<u64> = match opts.first("chaos") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("--chaos got a non-numeric seed {raw:?}"))?,
+        ),
+    };
+    if chaos_seed.is_some() && opts.first("addr").is_some() {
+        return Err(
+            "--chaos needs the self-hosted server (it injects pool-task \
+                    panics and audits the server's own counters); drop --addr"
+                .into(),
+        );
+    }
+    // The chaos plan (and the registry slot its panic hook will report
+    // into) must exist before the server config, because the hook is
+    // part of it.
+    let chaos_run = chaos_seed.map(|chaos_seed| {
+        let plan = FaultPlan::generate(&ChaosConfig {
+            seed: chaos_seed,
+            connections: 6,
+            panic_every: 20,
+            panics: 3,
+            ..ChaosConfig::default()
+        });
+        (plan, RegistrySlot::new())
+    });
 
     // Lifecycle timing scales with the virtual horizon so short CI
     // runs still exercise every phase (churn, standby, reload).
@@ -691,15 +730,35 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
             // One worker per fleet connection plus one spare: workers
             // each own a connection, and the mid-run reload arrives on
             // its own admin connection that must not starve.
-            let server_config = ServerConfig {
+            let mut server_config = ServerConfig {
                 workers: connections.max(1) + 1,
                 admin: true,
                 ..ServerConfig::default()
             };
+            if let Some((plan, slot)) = &chaos_run {
+                // Chaos mode: spare workers for the attacker
+                // connections, a finite admission budget with a short
+                // queue deadline so overload sheds instead of queueing,
+                // a reload rate limit the one mid-run reload fits
+                // inside, and the plan's scheduled pool-task panics.
+                server_config.workers = connections.max(1) + 3;
+                server_config.max_inflight = connections.max(2) / 2;
+                server_config.queue_deadline = Duration::from_millis(25);
+                server_config.reload_rate = Some(ReloadRate {
+                    burst: 2,
+                    refill_per_sec: 1.0,
+                });
+                server_config.fault_injection = Some(chaos::query_panic_hook(plan, slot.clone()));
+            }
             let handle = sentinel
                 .serve("127.0.0.1:0", server_config)
                 .map_err(|e| format!("binding loopback server: {e}"))?;
             let addr = handle.local_addr().to_string();
+            if let Some((_, slot)) = &chaos_run {
+                // Bind before any traffic so every scheduled panic is
+                // booked into the served registry.
+                slot.bind(Arc::clone(handle.metrics()));
+            }
             eprintln!("self-hosting on {addr} (admin enabled)");
             server_handle = Some(handle);
             addr
@@ -737,6 +796,29 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
             ..ClientConfig::default()
         },
     };
+    // The injector abuses the server *concurrently* with the replay:
+    // stalls, truncated frames and hangups land while real load (and
+    // the mid-run reload) is in flight — that interleaving is the
+    // whole point of the soak.
+    let injector = chaos_run.as_ref().map(|(plan, _)| {
+        let plan = plan.clone();
+        let addr = addr.clone();
+        let registry = Arc::clone(
+            server_handle
+                .as_ref()
+                .expect("chaos mode always self-hosts")
+                .metrics(),
+        );
+        eprintln!(
+            "chaos: plan digest {:016x}: {} attacker connections, {} frame faults, {} scheduled panics",
+            plan.digest(),
+            plan.connections.len(),
+            plan.frame_faults(),
+            plan.panic_queries.len(),
+        );
+        std::thread::spawn(move || chaos::inject(addr.as_str(), &plan, Some(&registry)))
+    });
+
     eprintln!(
         "simulating {} devices over {} virtual s, driving via {} connections...",
         config.devices,
@@ -748,6 +830,19 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
     for line in report.lines() {
         println!("{line}");
     }
+
+    if let Some((plan, _)) = &chaos_run {
+        let injected = injector
+            .expect("injector spawned whenever a plan exists")
+            .join()
+            .map_err(|_| "chaos injector thread panicked".to_string())?
+            .map_err(|e| format!("chaos injector I/O: {e}"))?;
+        let handle = server_handle
+            .as_ref()
+            .expect("chaos mode always self-hosts");
+        audit_chaos(plan, &injected, &report, handle)?;
+    }
+
     let path = report
         .write()
         .map_err(|e| format!("writing BENCH_fleet.json: {e}"))?;
@@ -756,6 +851,147 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
         handle.shutdown();
     }
     Ok(())
+}
+
+/// Audits a chaos soak after both the replay and the injector drained:
+/// every robustness invariant the harness promises is checked against
+/// the server's quiesced books, and any violation fails the run.
+fn audit_chaos(
+    plan: &iot_sentinel::chaos::FaultPlan,
+    injected: &iot_sentinel::chaos::InjectorReport,
+    report: &iot_sentinel::fleet::FleetReport,
+    handle: &iot_sentinel::serve::ServerHandle,
+) -> Result<(), String> {
+    use iot_sentinel::obs::Counter;
+    use std::time::{Duration, Instant};
+
+    // Client teardown races the server's bookkeeping by a few
+    // milliseconds: wait for the active-connection gauge to drain
+    // before reading the final snapshot.
+    let registry = handle.metrics();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while registry.get(Counter::ConnectionsActive) != 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let snapshot = handle.metrics_snapshot();
+    let worker_panics = snapshot.counter(Counter::WorkerPanics);
+    let faults_injected = snapshot.counter(Counter::FaultsInjected);
+    let shed = snapshot.counter(Counter::QueriesShed);
+
+    println!(
+        "chaos: seed {}, plan digest {:016x}",
+        plan.seed,
+        plan.digest()
+    );
+    println!(
+        "chaos: injector ran {} connections / {} frames ({} stalls, {} truncates, {} hangups); \
+         {} scheduled pool panics fired; faults_injected {}",
+        injected.connections,
+        injected.frames_sent,
+        injected.stalls,
+        injected.truncates,
+        injected.hangups,
+        worker_panics,
+        faults_injected,
+    );
+    println!(
+        "chaos: {} queries shed over {} overload rejections, {} client overload retries",
+        shed,
+        snapshot.counter(Counter::OverloadRejections),
+        report.overload_retries,
+    );
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut check = |ok: bool, line: String| {
+        if !ok {
+            violations.push(line);
+        }
+    };
+    // The server survived and its books balance: faults it absorbed
+    // are exactly the faults the harness injected, abuse cost exactly
+    // the errors the fault model promises, and every driver-side error
+    // is accounted for as a shed answer or a killed connection.
+    check(
+        snapshot.counter(Counter::ConnectionsActive) == 0,
+        format!(
+            "connections leaked: {} still active after drain",
+            snapshot.counter(Counter::ConnectionsActive)
+        ),
+    );
+    check(
+        worker_panics <= plan.panic_queries.len() as u64,
+        format!(
+            "unscheduled panics: {worker_panics} worker panics > {} scheduled",
+            plan.panic_queries.len()
+        ),
+    );
+    check(
+        faults_injected == injected.faults() + worker_panics,
+        format!(
+            "faults_injected {} != injector faults {} + worker panics {worker_panics}",
+            faults_injected,
+            injected.faults()
+        ),
+    );
+    check(
+        snapshot.counter(Counter::ProtocolErrors) == injected.truncates,
+        format!(
+            "protocol_errors {} != injected truncates {} (hangups and stalls must cost zero)",
+            snapshot.counter(Counter::ProtocolErrors),
+            injected.truncates
+        ),
+    );
+    check(
+        snapshot.counter(Counter::QueriesAnswered) == report.responses_ok,
+        format!(
+            "queries_answered {} != driver responses_ok {}",
+            snapshot.counter(Counter::QueriesAnswered),
+            report.responses_ok
+        ),
+    );
+    check(
+        report.errors == report.shed + worker_panics,
+        format!(
+            "driver errors {} != shed {} + worker panics {worker_panics}: \
+             some request was neither answered nor typed-shed",
+            report.errors, report.shed
+        ),
+    );
+    if let Some(epoch) = report.reload_epoch {
+        check(
+            epoch == 2 && snapshot.epoch == 2,
+            format!(
+                "reload under fire did not advance the epoch: driver saw {epoch}, server at {}",
+                snapshot.epoch
+            ),
+        );
+        check(
+            report.stale_after_reload == Some(0),
+            format!(
+                "epoch regressions after reload: {:?}",
+                report.stale_after_reload
+            ),
+        );
+        check(
+            snapshot.counter(Counter::Reloads) == 1
+                && snapshot.counter(Counter::ReloadRollbacks) == 0,
+            format!(
+                "reload books off: {} reloads, {} rollbacks (expected 1 / 0)",
+                snapshot.counter(Counter::Reloads),
+                snapshot.counter(Counter::ReloadRollbacks)
+            ),
+        );
+    }
+
+    if violations.is_empty() {
+        println!("invariants: ok");
+        Ok(())
+    } else {
+        Err(format!(
+            "chaos invariants violated:\n  {}",
+            violations.join("\n  ")
+        ))
+    }
 }
 
 fn parse_ignored_macs(opts: &Options) -> Result<Vec<MacAddr>, String> {

@@ -78,6 +78,7 @@
 //! | [`serve`] | `sentinel-serve` | wire protocol, threaded TCP query server, blocking client |
 //! | [`obs`] | `sentinel-obs` | lock-free metrics registry, stage histograms, snapshots |
 //! | [`fleet`] | `sentinel-fleet` | discrete-event fleet simulator + live-server load driver |
+//! | [`chaos`] | `sentinel-chaos` | seeded fault plans + live-server fault injection (chaos soaks) |
 //!
 //! The component types ([`core::Trainer`], [`core::IoTSecurityService`],
 //! [`gateway::SdnController`], …) remain public for evaluation
@@ -95,6 +96,7 @@ mod sentinel;
 
 pub use sentinel::{BuildError, Sentinel, SentinelBuilder, SentinelEvent};
 
+pub use sentinel_chaos as chaos;
 pub use sentinel_core as core;
 pub use sentinel_devices as devices;
 pub use sentinel_editdist as editdist;
