@@ -1,34 +1,36 @@
 //! Type-count scaling bench: the PR-4 full arena scan vs the indexed
-//! scan (feature-bitmap prefilter) vs the thread-sharded scan, at the
-//! real 27-type bank and at replicated ~1k / ~10k / ~100k type counts
-//! — the measured trajectory toward the ROADMAP's 10⁵-type target.
+//! scan (feature-bitmap prefilter) vs the quantized scan (8-byte
+//! nodes) vs the coarse-to-fine clustered scan vs the thread-sharded
+//! scan, at the real 27-type bank and at replicated ~1k / ~10k /
+//! ~100k / ~1M type counts — the measured trajectory toward the
+//! ROADMAP's sub-5 ms dense probe at 10⁵ types.
 //!
 //! Two probe regimes are measured, because the prefilter's value is
 //! workload-shaped:
 //!
 //! * **dense** setup fingerprints (the paper's workload): every active
 //!   feature column is populated, which intersects every forest's
-//!   tested set — the prefilter can skip nothing and must instead cost
-//!   ~nothing; the wall-clock flattener at this end is the sharded
-//!   scan. Two shard executors are timed against each other: the
-//!   persistent work-stealing **pool** (the production path — span
-//!   ranges as tasks on pinned workers) and the old **scoped** baseline
-//!   (spawn one thread per shard per call), so the JSON records that
-//!   replacing per-call spawns with the pool did not cost dense-scan
-//!   throughput.
+//!   tested set — the prefilter can skip nothing. This regime is where
+//!   the PR-9 numbers showed the bank going memory-bandwidth-bound
+//!   (210 MiB streamed per probe at ~100k types), and it is what the
+//!   three new layers attack: the quantized arena halves the bytes per
+//!   node, the hot-first layout packs the accept-heavy regions into
+//!   one prefix, and the clustered scan walks one representative per
+//!   duplicate-content group — which on a replicated bank collapses
+//!   the dense probe from O(types) to O(base types) + one memo read
+//!   per member.
 //! * **idle** (empty/all-default) fingerprints — devices that have
 //!   sent nothing yet, which gateways still query in every periodic
 //!   batch: the nonzero bitmap is empty, every forest is answered from
 //!   its cached default verdict, and the scan never touches the node
-//!   arena at all. This is where the index beats the full scan by
-//!   orders of magnitude at every size.
+//!   arena at all.
 //!
 //! Every variant is checked for candidate parity against the full scan
-//! at every size before it is timed (an index that loses a candidate
+//! at every size before it is timed (a scan that loses a candidate
 //! would be a correctness bug, not a speedup). Writes
 //! `BENCH_scaling.json` (ns per query for each variant, size and
-//! regime, plus derived speedups and the prefilter skip fractions) so
-//! the perf trajectory is machine-checkable across PRs.
+//! regime, plus derived speedups and skip fractions); CI gates the
+//! dense ~100k-type production row at < 5 ms.
 
 use sentinel_bench::bench_report::{measure_ns, write_bench_json};
 use sentinel_core::{CandidateScratch, ReplicatedBank, Trainer};
@@ -37,8 +39,8 @@ use sentinel_fingerprint::FixedFingerprint;
 use sentinel_ml::{CompiledBank, ShardScratch};
 use sentinel_pool::ComputePool;
 
-/// Replica multiples of the 27-type bank: ~1k, ~10k, ~100k types.
-const REPLICAS: [usize; 3] = [37, 370, 3700];
+/// Replica multiples of the 27-type bank: ~1k, ~10k, ~100k, ~1M types.
+const REPLICAS: [usize; 4] = [37, 370, 3700, 37000];
 
 /// The idle-device probe: a fingerprint with no packets yet, whose F′
 /// is all default values. Gateways query these on every periodic
@@ -59,27 +61,56 @@ fn skip_fraction(bank: &CompiledBank, probe: &FixedFingerprint) -> f64 {
     skipped as f64 / index.rows().len().max(1) as f64
 }
 
-/// Asserts the indexed, pooled-sharded and scoped-sharded scans all
-/// reproduce the full scan's candidate set exactly on `bank`, then
-/// returns (full, indexed, pooled, scoped) ns-per-query over `probes`.
-/// The pooled rows run on `pool` (sized by the caller, independent of
-/// `SENTINEL_POOL_THREADS`, so CI's single-worker default does not
-/// skew the comparison); the scoped rows spawn a thread per shard per
-/// call — the pre-pool baseline.
+/// ns-per-query for every scan tier over one probe set.
+struct TierTimes {
+    /// Pure f32 full scan (the reference).
+    full: f64,
+    /// Routed quantized full scan (8-byte nodes where proven).
+    quant: f64,
+    /// Forced feature-bitmap prefilter.
+    indexed: f64,
+    /// Coarse-to-fine clustered scan (one walk per content group).
+    clustered: f64,
+    /// The auto-routed production entry point.
+    production: f64,
+    /// Pooled sharded scan (persistent work-stealing pool).
+    pooled: f64,
+    /// Scoped sharded baseline (a spawn per shard per call).
+    scoped: f64,
+}
+
+/// Asserts every scan tier reproduces the full scan's candidate set
+/// exactly on `bank` — content *and* order — then times each tier over
+/// `probes`. The pooled rows run on `pool` (sized by the caller,
+/// independent of `SENTINEL_POOL_THREADS`, so CI's single-worker
+/// default does not skew the comparison); the scoped rows spawn a
+/// thread per shard per call — the pre-pool baseline.
 fn measure_bank(
     bank: &CompiledBank,
     probes: &[FixedFingerprint],
     shards: usize,
     pool: &ComputePool,
-) -> (f64, f64, f64, f64) {
+) -> TierTimes {
     let mut scratch = ShardScratch::new();
     for probe in probes {
         let sample = probe.as_slice();
         let mut full = Vec::new();
         bank.for_each_accepting_full(sample, |i| full.push(i));
+        let mut quant = Vec::new();
+        bank.for_each_accepting_quant(sample, |i| quant.push(i));
+        assert_eq!(quant, full, "quantized scan lost or invented a candidate");
         let mut indexed = Vec::new();
-        bank.for_each_accepting(sample, |i| indexed.push(i));
+        bank.for_each_accepting_indexed(sample, |i| indexed.push(i));
         assert_eq!(indexed, full, "indexed scan lost or invented a candidate");
+        let mut clustered = Vec::new();
+        bank.for_each_accepting_clustered(sample, |i| clustered.push(i));
+        assert_eq!(
+            clustered, full,
+            "clustered scan lost or invented a candidate"
+        );
+        let mut auto = Vec::new();
+        bank.for_each_accepting(sample, |i| auto.push(i));
+        assert_eq!(auto, full, "auto route lost or invented a candidate");
         let mut pooled = Vec::new();
         bank.for_each_accepting_pooled(pool, sample, shards, &mut scratch, |i| pooled.push(i));
         assert_eq!(pooled, full, "pooled scan lost or invented a candidate");
@@ -87,22 +118,29 @@ fn measure_bank(
         bank.for_each_accepting_sharded_scoped(sample, shards, &mut scratch, |i| scoped.push(i));
         assert_eq!(scoped, full, "scoped scan lost or invented a candidate");
     }
+    type EmitFn<'a> = &'a dyn Fn(&[f32], &mut dyn FnMut(usize));
     let per_query = |ns_per_pass: f64| ns_per_pass / probes.len() as f64;
-    let full_ns = per_query(measure_ns(|| {
+    let count = |emit: EmitFn| {
+        let mut accepted = 0usize;
         for probe in probes {
-            let mut accepted = 0usize;
-            bank.for_each_accepting_full(probe.as_slice(), |_| accepted += 1);
-            std::hint::black_box(accepted);
+            emit(probe.as_slice(), &mut |_| accepted += 1);
         }
+        std::hint::black_box(accepted);
+    };
+    let full = per_query(measure_ns(|| {
+        count(&|s, f| bank.for_each_accepting_full(s, f))
     }));
-    let indexed_ns = per_query(measure_ns(|| {
-        for probe in probes {
-            let mut accepted = 0usize;
-            bank.for_each_accepting(probe.as_slice(), |_| accepted += 1);
-            std::hint::black_box(accepted);
-        }
+    let quant = per_query(measure_ns(|| {
+        count(&|s, f| bank.for_each_accepting_quant(s, f))
     }));
-    let pooled_ns = per_query(measure_ns(|| {
+    let indexed = per_query(measure_ns(|| {
+        count(&|s, f| bank.for_each_accepting_indexed(s, f))
+    }));
+    let clustered = per_query(measure_ns(|| {
+        count(&|s, f| bank.for_each_accepting_clustered(s, f))
+    }));
+    let production = per_query(measure_ns(|| count(&|s, f| bank.for_each_accepting(s, f))));
+    let pooled = per_query(measure_ns(|| {
         for probe in probes {
             let mut accepted = 0usize;
             bank.for_each_accepting_pooled(pool, probe.as_slice(), shards, &mut scratch, |_| {
@@ -111,7 +149,7 @@ fn measure_bank(
             std::hint::black_box(accepted);
         }
     }));
-    let scoped_ns = per_query(measure_ns(|| {
+    let scoped = per_query(measure_ns(|| {
         for probe in probes {
             let mut accepted = 0usize;
             bank.for_each_accepting_sharded_scoped(probe.as_slice(), shards, &mut scratch, |_| {
@@ -120,7 +158,15 @@ fn measure_bank(
             std::hint::black_box(accepted);
         }
     }));
-    (full_ns, indexed_ns, pooled_ns, scoped_ns)
+    TierTimes {
+        full,
+        quant,
+        indexed,
+        clustered,
+        production,
+        pooled,
+        scoped,
+    }
 }
 
 fn main() {
@@ -137,6 +183,10 @@ fn main() {
 
     let stats = identifier.bank_stats();
     assert!(stats.indexed, "trained banks must be indexed");
+    assert_eq!(
+        stats.quantized_forests, stats.forests,
+        "trained banks must quantize every forest (bit-exact codebooks)"
+    );
     let (cols_min, cols_max) = {
         let rows = identifier.compiled_bank().index().rows();
         let min = rows
@@ -152,10 +202,13 @@ fn main() {
         (min, max)
     };
     println!(
-        "bank: {} types, {} nodes, {} KiB arena, prefilter on {} stripes \
-         (forests test {cols_min}–{cols_max} of 23 F′ columns), {shards} scan shards",
+        "bank: {} types, {} nodes ({} quantized forests, {} cluster groups), \
+         {} KiB arena, prefilter on {} stripes (forests test \
+         {cols_min}–{cols_max} of 23 F′ columns), {shards} scan shards",
         stats.forests,
         stats.nodes,
+        stats.quantized_forests,
+        stats.cluster_groups,
         stats.arena_bytes / 1024,
         stats.stripes
     );
@@ -188,17 +241,26 @@ fn main() {
             std::hint::black_box(accepted);
         }
     }) / probes.len() as f64;
+    let quant_27 = measure_ns(|| {
+        for probe in &probes {
+            let mut accepted = 0usize;
+            bank_27.for_each_accepting_quant(probe.as_slice(), |_| accepted += 1);
+            std::hint::black_box(accepted);
+        }
+    }) / probes.len() as f64;
     println!(
         "{:>8} types | full {:>10.3} µs | production {:>10.3} µs | forced \
-         prefilter {:>10.3} µs | (sharding not worth the spawns at this size)",
+         prefilter {:>10.3} µs | quant {:>10.3} µs",
         stats.forests,
         full_27 / 1e3,
         indexed_27 / 1e3,
-        forced_27 / 1e3
+        forced_27 / 1e3,
+        quant_27 / 1e3
     );
     results.push(("full_27_types".into(), full_27));
     results.push(("production_27_types".into(), indexed_27));
     results.push(("forced_prefilter_27_types".into(), forced_27));
+    results.push(("quant_27_types".into(), quant_27));
     derived.push(("speedup_production_27_types".into(), full_27 / indexed_27));
 
     let mean_skip = probes
@@ -226,44 +288,63 @@ fn main() {
             .replicated_bank(replicas)
             .expect("tiling stays inside the 31-bit reference space");
         let types = tiled.type_count();
-        let (full_ns, indexed_ns, pooled_ns, scoped_ns) =
-            measure_bank(tiled.bank(), &probes, shards, &pool);
+        let dense = measure_bank(tiled.bank(), &probes, shards, &pool);
         let idle = std::slice::from_ref(&idle_probe);
-        let (idle_full_ns, idle_indexed_ns, _, _) = measure_bank(tiled.bank(), idle, 1, &pool);
+        let idle_times = measure_bank(tiled.bank(), idle, 1, &pool);
         println!(
-            "{types:>8} types | dense: full {:>10.3} µs, indexed {:>10.3} µs, \
+            "{types:>8} types | dense: full {:>10.3} µs, quant {:>10.3} µs, \
+             indexed {:>10.3} µs, clustered {:>8.3} µs, production {:>8.3} µs, \
              pooled({shards}) {:>10.3} µs, scoped({shards}) {:>10.3} µs | idle: \
              full {:>10.3} µs, indexed {:>8.3} µs | arena {} KiB",
-            full_ns / 1e3,
-            indexed_ns / 1e3,
-            pooled_ns / 1e3,
-            scoped_ns / 1e3,
-            idle_full_ns / 1e3,
-            idle_indexed_ns / 1e3,
+            dense.full / 1e3,
+            dense.quant / 1e3,
+            dense.indexed / 1e3,
+            dense.clustered / 1e3,
+            dense.production / 1e3,
+            dense.pooled / 1e3,
+            dense.scoped / 1e3,
+            idle_times.full / 1e3,
+            idle_times.indexed / 1e3,
             tiled.bank().arena_bytes() / 1024
         );
         let label = |kind: &str| format!("{kind}_{types}_types_replicated");
-        results.push((label("full"), full_ns));
-        results.push((label("indexed"), indexed_ns));
-        results.push((label("sharded"), pooled_ns));
-        results.push((label("sharded_scoped"), scoped_ns));
-        results.push((label("full_idle"), idle_full_ns));
-        results.push((label("indexed_idle"), idle_indexed_ns));
+        results.push((label("full"), dense.full));
+        results.push((label("quant"), dense.quant));
+        results.push((label("indexed"), dense.indexed));
+        results.push((label("clustered"), dense.clustered));
+        results.push((label("production"), dense.production));
+        results.push((label("sharded"), dense.pooled));
+        results.push((label("sharded_scoped"), dense.scoped));
+        results.push((label("full_idle"), idle_times.full));
+        results.push((label("indexed_idle"), idle_times.indexed));
+        results.push((label("clustered_idle"), idle_times.clustered));
+        derived.push((
+            format!("speedup_quant_{types}_types"),
+            dense.full / dense.quant,
+        ));
         derived.push((
             format!("speedup_indexed_{types}_types"),
-            full_ns / indexed_ns,
+            dense.full / dense.indexed,
+        ));
+        derived.push((
+            format!("speedup_clustered_{types}_types"),
+            dense.full / dense.clustered,
+        ));
+        derived.push((
+            format!("speedup_production_{types}_types"),
+            dense.full / dense.production,
         ));
         derived.push((
             format!("speedup_sharded_{types}_types"),
-            full_ns / pooled_ns,
+            dense.full / dense.pooled,
         ));
         derived.push((
             format!("speedup_pooled_vs_scoped_{types}_types"),
-            scoped_ns / pooled_ns,
+            dense.scoped / dense.pooled,
         ));
         derived.push((
             format!("speedup_indexed_idle_{types}_types"),
-            idle_full_ns / idle_indexed_ns,
+            idle_times.full / idle_times.indexed,
         ));
         derived.push((
             format!("arena_bytes_{types}_types"),

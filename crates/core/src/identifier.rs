@@ -148,6 +148,13 @@ pub struct BankStats {
     /// Stripe lanes the prefilter folds F′ dimensions into (23 for
     /// banks compiled by this crate: the per-packet feature columns).
     pub stripes: u32,
+    /// Forests proven decision-identical under 8-byte threshold
+    /// quantization (the rest escalate to the retained f32 arena).
+    pub quantized_forests: usize,
+    /// Duplicate-content cluster groups (one representative walk
+    /// answers every member); equals `forests` when every type is
+    /// distinct.
+    pub cluster_groups: usize,
     /// Cumulative scan-traffic counters (queries answered, prefilter
     /// consults, arena walks skipped) at the instant the stats were
     /// taken.
@@ -624,8 +631,21 @@ impl DeviceTypeIdentifier {
             arena_bytes: self.compiled.arena_bytes(),
             indexed: self.compiled.is_indexed(),
             stripes: self.compiled.index().stripes(),
+            quantized_forests: self.compiled.quantized_forest_count(),
+            cluster_groups: self.compiled.clusters().group_count(),
             scan: self.compiled.scan_counters(),
         }
+    }
+
+    /// Physically relocates the compiled bank's node regions
+    /// most-accepted-first, guided by the accept tallies recorded by
+    /// every scan since the bank was built. Purely a layout change —
+    /// candidate sets, their order, and every verdict are bit-identical
+    /// before and after — but dense probes walk the hot forests as one
+    /// contiguous prefix of the arena instead of scattered regions.
+    /// Incremental appends keep working afterwards.
+    pub fn optimize_bank_layout(&mut self) {
+        self.compiled = self.compiled.rebuilt_hot_first();
     }
 
     /// Tiles this identifier's compiled bank `replicas` times for
@@ -1117,6 +1137,45 @@ mod tests {
         assert_eq!(stats_after.forests, 5);
         assert!(stats_after.indexed, "appends keep the index usable");
         assert!(stats_after.nodes >= stats_before.nodes);
+    }
+
+    #[test]
+    fn hot_first_layout_and_quantization_keep_scans_identical() {
+        let mut id = trained();
+        let stats = id.bank_stats();
+        // Training thresholds are f32 midpoints stored bit-exactly —
+        // every forest quantizes with a build-time proof — and
+        // distinct types compile to distinct cluster groups.
+        assert_eq!(stats.quantized_forests, stats.forests);
+        assert_eq!(stats.cluster_groups, stats.forests);
+        let probes = [
+            fp(&[104, 110, 120, 130]),
+            fp(&[505, 510, 520, 530]),
+            fp(&[905, 910, 920, 930]),
+            fp(&[1, 2, 3]),
+        ];
+        // Warm the accept tallies, then relocate hottest-first.
+        for probe in &probes {
+            assert_all_scans_agree(&id, probe);
+        }
+        id.optimize_bank_layout();
+        let after = id.bank_stats();
+        assert_eq!(after.forests, stats.forests);
+        assert_eq!(after.nodes, stats.nodes);
+        assert_eq!(after.quantized_forests, stats.quantized_forests);
+        for probe in &probes {
+            assert_all_scans_agree(&id, probe);
+        }
+        // Appends still ride the incremental path after relocation.
+        let fps: Vec<Fingerprint> = (0..10).map(|i| fp(&[8000 + i, 8010, 8020])).collect();
+        id.add_device_type("PostLayout", &fps, 13).unwrap();
+        let grown = id.bank_stats();
+        assert_eq!(grown.forests, stats.forests + 1);
+        assert_eq!(grown.quantized_forests, grown.forests);
+        let extra = fp(&[8004, 8010, 8020]);
+        for probe in probes.iter().chain(std::iter::once(&extra)) {
+            assert_all_scans_agree(&id, probe);
+        }
     }
 
     #[test]

@@ -120,6 +120,16 @@ impl IoTSecurityService {
         self.identifier.bank_stats()
     }
 
+    /// Relocates the compiled bank's node regions most-accepted-first
+    /// using the accept tallies accrued by served queries — a pure
+    /// layout optimization (every verdict stays bit-identical) that an
+    /// operator runs during a quiet period once the workload's hot set
+    /// has shown itself. See
+    /// [`DeviceTypeIdentifier::optimize_bank_layout`].
+    pub fn optimize_bank_layout(&mut self) {
+        self.identifier.optimize_bank_layout()
+    }
+
     /// The vulnerability database.
     pub fn vulnerabilities(&self) -> &VulnerabilityDatabase {
         &self.vulnerabilities

@@ -55,9 +55,14 @@
 
 use crate::error::MlError;
 use crate::forest::RandomForest;
-use crate::index::{BankIndex, IndexRow, MAX_STRIPES};
+use crate::index::{BankIndex, ClusterIndex, IndexRow, MAX_STRIPES};
+use crate::quant::{
+    QuantBank, QuantNode, ThresholdCodebook, QUANT_FEATURE_MASK, QUANT_LEFT_LEAF, QUANT_LEFT_VOTE,
+};
 use crate::tree::Node;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
 use std::sync::{Mutex, MutexGuard};
 
 /// Tag bit marking a child reference as a leaf; bit 0 then carries the
@@ -82,6 +87,15 @@ pub const PREFILTER_MIN_FORESTS: usize = 64;
 /// Use [`CompiledBank::for_each_accepting_pooled`] to force pool
 /// execution at any size (parity tests, benchmarks).
 pub const SHARDED_MIN_FORESTS: usize = 1024;
+
+/// Bank size from which [`CompiledBank::for_each_accepting`] prefers
+/// the clustered scan (when the bank's [`ClusterIndex`] is usable and
+/// actually collapses forests — at least 2 members per group on
+/// average). Below it the per-forest group lookup cannot beat the
+/// plain prefiltered scan; use
+/// [`CompiledBank::for_each_accepting_clustered`] to force clustering
+/// at any size (parity tests, benchmarks).
+pub const CLUSTER_MIN_FORESTS: usize = 256;
 
 /// One branch node of the compiled arena: 16 bytes, no enum
 /// discriminant. `left`/`right` are tagged references (see
@@ -165,13 +179,59 @@ pub struct ScanSnapshot {
     pub forests_skipped: u64,
 }
 
+/// Per-forest accept tallies: one relaxed `AtomicU32` per forest,
+/// bumped each time a scan emits that forest as a candidate. This is
+/// the signal [`CompiledBank::rebuilt_hot_first`] sorts node regions
+/// by — forests that accept often end up first in the arena, so the
+/// hot front of a scan's memory traffic is one dense prefix instead
+/// of scattered regions. Cloning a bank snapshots the tallies.
+#[derive(Debug, Default)]
+struct HeatCounters(Vec<AtomicU32>);
+
+impl Clone for HeatCounters {
+    fn clone(&self) -> Self {
+        HeatCounters(
+            self.0
+                .iter()
+                .map(|h| AtomicU32::new(h.load(Relaxed)))
+                .collect(),
+        )
+    }
+}
+
+impl HeatCounters {
+    fn zeros(n: usize) -> Self {
+        HeatCounters((0..n).map(|_| AtomicU32::new(0)).collect())
+    }
+
+    #[inline]
+    fn bump(&self, index: usize) {
+        if let Some(h) = self.0.get(index) {
+            h.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Adds one zeroed tally (the builder grows this alongside the
+    /// span table).
+    fn grow(&mut self) {
+        self.0.push(AtomicU32::new(0));
+    }
+
+    fn snapshot(&self) -> Vec<u32> {
+        self.0.iter().map(|h| h.load(Relaxed)).collect()
+    }
+}
+
 /// A bank of binary forests compiled into one flat arena.
 ///
 /// Construction goes through [`CompiledBankBuilder`]; evaluation is
 /// allocation-free and panic-free. Forests keep the order they were
 /// pushed in, so candidate sets produced by
 /// [`CompiledBank::for_each_accepting`] are ordered exactly like a
-/// sequential scan over the source forests.
+/// sequential scan over the source forests — every accelerated layout
+/// below (quantized arena, hot-first relocation, cluster index) is a
+/// *physical* rearrangement that leaves this logical order, and every
+/// verdict, bit-identical.
 #[derive(Debug, Clone, Default)]
 pub struct CompiledBank {
     nodes: Vec<PackedNode>,
@@ -179,6 +239,17 @@ pub struct CompiledBank {
     forests: Vec<ForestSpan>,
     index: BankIndex,
     counters: ScanCounters,
+    /// Per-forest `(start, end)` bounds of the forest's region in
+    /// `nodes`. Builder-made banks always carry one entry per forest;
+    /// raw-parts banks carry none (and consequently cannot be
+    /// hot-first relocated or clustered).
+    regions: Vec<(u32, u32)>,
+    /// The quantized 8-byte side arena (empty = fully escalated).
+    quant: QuantBank,
+    /// Duplicate-content cluster groups (empty = no clustering).
+    clusters: ClusterIndex,
+    /// Per-forest accept tallies feeding the hot-first layout.
+    heat: HeatCounters,
 }
 
 impl CompiledBank {
@@ -200,7 +271,7 @@ impl CompiledBank {
             roots,
             forests,
             index: BankIndex::disabled(),
-            counters: ScanCounters::default(),
+            ..CompiledBank::default()
         }
     }
 
@@ -224,7 +295,7 @@ impl CompiledBank {
             roots,
             forests,
             index,
-            counters: ScanCounters::default(),
+            ..CompiledBank::default()
         }
     }
 
@@ -256,18 +327,49 @@ impl CompiledBank {
         self.nodes.len()
     }
 
+    /// The packed f32 branch-node arena, in region order. Exposed so
+    /// parity harnesses can harvest real split thresholds and probe
+    /// the bucket edges of the quantized representation.
+    pub fn nodes(&self) -> &[PackedNode] {
+        &self.nodes
+    }
+
     /// Approximate arena footprint in bytes (nodes + roots + spans +
-    /// index rows).
+    /// index rows + the quantized side arena + cluster group ids).
     pub fn arena_bytes(&self) -> usize {
         self.nodes.len() * std::mem::size_of::<PackedNode>()
             + self.roots.len() * std::mem::size_of::<u32>()
             + self.forests.len() * std::mem::size_of::<ForestSpan>()
             + std::mem::size_of_val(self.index.rows())
+            + self.quant.arena_bytes()
+            + std::mem::size_of_val(self.clusters.group_of())
     }
 
     /// The per-forest metadata, in push order.
     pub fn spans(&self) -> &[ForestSpan] {
         &self.forests
+    }
+
+    /// The quantized side arena (8-byte nodes + threshold codebook).
+    pub fn quant(&self) -> &QuantBank {
+        &self.quant
+    }
+
+    /// Forests whose quantization was proven decision-identical at
+    /// build time (the rest escalate to the retained f32 arena).
+    pub fn quantized_forest_count(&self) -> usize {
+        self.quant.quantized_forests()
+    }
+
+    /// The duplicate-content cluster index.
+    pub fn clusters(&self) -> &ClusterIndex {
+        &self.clusters
+    }
+
+    /// Per-forest accept tallies since the bank was built (or last
+    /// tiled/relocated) — the hot-first layout signal.
+    pub fn heat(&self) -> Vec<u32> {
+        self.heat.snapshot()
     }
 
     /// Cumulative scan-traffic counters: how many queries this bank
@@ -284,33 +386,78 @@ impl CompiledBank {
     /// Early-exits once the accept count is reached or mathematically
     /// unreachable. Returns `false` for an out-of-range index, a
     /// wrong-length sample, or a corrupt arena — never panics.
+    /// Forests proven quantization-identical at build time evaluate
+    /// through the 8-byte arena; everything else walks the f32 arena
+    /// (same verdict either way — that identity is the build-time
+    /// proof, re-checked by the parity suites).
     pub fn accepts(&self, index: usize, sample: &[f32]) -> bool {
         match self.forests.get(index) {
-            Some(span) => self.span_accepts(span, sample),
+            Some(span) => self.forest_accepts(index, span, sample),
             None => false,
         }
     }
 
+    /// Routed single-forest evaluation: the quantized arena when the
+    /// forest's quantization was proven decision-identical, the f32
+    /// arena otherwise (escalated forests, raw-parts banks).
+    #[inline]
+    fn forest_accepts(&self, index: usize, span: &ForestSpan, sample: &[f32]) -> bool {
+        if self.quant_ok(index) {
+            self.span_accepts_quant(span, sample)
+        } else {
+            self.span_accepts(span, sample)
+        }
+    }
+
+    /// Whether forest `index` may evaluate through the quantized
+    /// arena. Only the builder (and the tiling/relocation paths, which
+    /// preserve its invariants) ever sets these flags; banks without a
+    /// quantized side have no flags and escalate everything.
+    #[inline]
+    fn quant_ok(&self, index: usize) -> bool {
+        self.quant.ok.get(index).copied().unwrap_or(false)
+    }
+
     /// Calls `f(index)` for every forest accepting `sample`, in push
-    /// order. Allocation-free.
+    /// order. Allocation-free on warm calls.
     ///
-    /// From [`PREFILTER_MIN_FORESTS`] forests up (and with a usable
-    /// feature-usage index), the query's nonzero-stripe bitmap is
-    /// computed once and every forest whose tested-stripe set does not
-    /// intersect it is answered from its cached all-default verdict
-    /// without walking the arena — bit-identical to the full scan by
-    /// construction (all tested dimensions read the default `0.0`).
-    /// Below the threshold the bitmap's fixed cost cannot pay for
-    /// itself against a scan this short, so small banks take
-    /// [`CompiledBank::for_each_accepting_full`] directly; use
-    /// [`CompiledBank::for_each_accepting_indexed`] to force the
-    /// prefilter at any size (parity tests, benchmarks).
+    /// Routing, coarsest first — every tier is bit-identical to the
+    /// sequential full scan:
+    ///
+    /// 1. From [`CLUSTER_MIN_FORESTS`] forests up, with a usable
+    ///    [`ClusterIndex`] that actually collapses forests (≥2 members
+    ///    per group on average), the **clustered** scan walks one
+    ///    representative per duplicate-content group and broadcasts
+    ///    its verdict to the members.
+    /// 2. From [`PREFILTER_MIN_FORESTS`] forests up (with a usable
+    ///    feature-usage index), the query's nonzero-stripe bitmap is
+    ///    computed once and every forest whose tested-stripe set does
+    ///    not intersect it is answered from its cached all-default
+    ///    verdict without walking the arena — bit-identical because
+    ///    all tested dimensions read the default `0.0`.
+    /// 3. Below that, the plain full scan — the bitmap's fixed cost
+    ///    cannot pay for itself against a scan this short.
+    ///
+    /// Use [`CompiledBank::for_each_accepting_indexed`] /
+    /// [`CompiledBank::for_each_accepting_clustered`] to force a tier
+    /// at any size (parity tests, benchmarks).
     pub fn for_each_accepting(&self, sample: &[f32], f: impl FnMut(usize)) {
-        if self.forests.len() >= PREFILTER_MIN_FORESTS {
+        if self.cluster_auto() {
+            self.for_each_accepting_clustered(sample, f);
+        } else if self.forests.len() >= PREFILTER_MIN_FORESTS {
             self.for_each_accepting_indexed(sample, f);
         } else {
             self.for_each_accepting_full(sample, f);
         }
+    }
+
+    /// Whether the auto-routed scan takes the clustered tier.
+    #[inline]
+    fn cluster_auto(&self) -> bool {
+        let n = self.forests.len();
+        n >= CLUSTER_MIN_FORESTS
+            && self.clusters.is_usable(n)
+            && self.clusters.group_count() * 2 <= n
     }
 
     /// [`CompiledBank::for_each_accepting`] with the prefilter forced
@@ -327,6 +474,7 @@ impl CompiledBank {
                 let mut skipped = 0u64;
                 for (index, span) in self.forests.iter().enumerate() {
                     if self.prefiltered_verdict(index, span, sample, bitmap, &mut skipped) {
+                        self.heat.bump(index);
                         f(index);
                     }
                 }
@@ -338,15 +486,125 @@ impl CompiledBank {
         }
     }
 
-    /// The unindexed full scan: every forest is evaluated through the
-    /// arena, no prefilter consulted. Reference for A/B benchmarks and
-    /// the fallback for banks without a usable index.
+    /// The unindexed, unquantized full scan: every forest is evaluated
+    /// through the 16-byte f32 arena, no prefilter consulted. The
+    /// reference everything else is compared against (parity suites,
+    /// A/B benchmarks) and the fallback for banks without a usable
+    /// index.
     pub fn for_each_accepting_full(&self, sample: &[f32], mut f: impl FnMut(usize)) {
         self.counters.queries.fetch_add(1, Relaxed);
         for (index, span) in self.forests.iter().enumerate() {
             if self.span_accepts(span, sample) {
+                self.heat.bump(index);
                 f(index);
             }
+        }
+    }
+
+    /// The quantized full scan: every forest is evaluated through its
+    /// routed arena (8-byte quantized where proven, f32 where
+    /// escalated), no prefilter consulted. The A/B row isolating what
+    /// halving the node bytes buys a dense probe.
+    pub fn for_each_accepting_quant(&self, sample: &[f32], mut f: impl FnMut(usize)) {
+        self.counters.queries.fetch_add(1, Relaxed);
+        for (index, span) in self.forests.iter().enumerate() {
+            if self.forest_accepts(index, span, sample) {
+                self.heat.bump(index);
+                f(index);
+            }
+        }
+    }
+
+    /// The coarse-to-fine clustered scan: evaluates one representative
+    /// per duplicate-content group (through the prefilter and the
+    /// routed arena), memoizes the verdict, and answers every member
+    /// from the memo — bit-identical to the full scan because group
+    /// members are bit-identical compiled forests (the builder
+    /// exact-compares before grouping), so the representative's walk
+    /// *is* the member's walk.
+    ///
+    /// Falls back to [`CompiledBank::for_each_accepting_indexed`] when
+    /// the bank has no usable cluster index (raw-parts banks). The
+    /// group memo is an epoch-stamped thread-local scratch: warm calls
+    /// allocate nothing.
+    pub fn for_each_accepting_clustered(&self, sample: &[f32], mut f: impl FnMut(usize)) {
+        if !self.clusters.is_usable(self.forests.len()) {
+            self.for_each_accepting_indexed(sample, f);
+            return;
+        }
+        CLUSTER_MEMO.with(|memo| {
+            let mut memo = memo.borrow_mut();
+            self.counters.queries.fetch_add(1, Relaxed);
+            let bitmap = self.usable_bitmap(sample);
+            if bitmap.is_some() {
+                self.counters.prefiltered.fetch_add(1, Relaxed);
+            }
+            let mut skipped = 0u64;
+            memo.begin(self.clusters.group_count());
+            for (index, span) in self.forests.iter().enumerate() {
+                if self.clustered_verdict(&mut memo, index, span, sample, bitmap, &mut skipped) {
+                    self.heat.bump(index);
+                    f(index);
+                }
+            }
+            if skipped > 0 {
+                self.counters.forests_skipped.fetch_add(skipped, Relaxed);
+            }
+        });
+    }
+
+    /// One forest's verdict under the cluster memo: resolve its group,
+    /// answer from the memoized representative verdict when one is
+    /// cached, evaluate (and memoize) the representative otherwise.
+    /// Any lookup that fails — out-of-range group id, representative
+    /// past the span table — degrades to evaluating the member
+    /// directly, which is always sound.
+    #[inline]
+    fn clustered_verdict(
+        &self,
+        memo: &mut ClusterMemo,
+        index: usize,
+        span: &ForestSpan,
+        sample: &[f32],
+        bitmap: Option<u32>,
+        skipped: &mut u64,
+    ) -> bool {
+        let group = match self.clusters.group_of().get(index) {
+            Some(g) => *g,
+            None => return self.routed_verdict(index, span, sample, bitmap, skipped),
+        };
+        if let Some(verdict) = memo.get(group) {
+            *skipped += 1;
+            return verdict;
+        }
+        let verdict = match self.clusters.group(group) {
+            Some(g) => {
+                let rep = g.rep as usize;
+                match self.forests.get(rep) {
+                    Some(rep_span) => self.routed_verdict(rep, rep_span, sample, bitmap, skipped),
+                    None => return self.routed_verdict(index, span, sample, bitmap, skipped),
+                }
+            }
+            None => return self.routed_verdict(index, span, sample, bitmap, skipped),
+        };
+        memo.set(group, verdict);
+        verdict
+    }
+
+    /// Prefiltered when a bitmap is available, plain routed evaluation
+    /// otherwise.
+    #[inline]
+    fn routed_verdict(
+        &self,
+        index: usize,
+        span: &ForestSpan,
+        sample: &[f32],
+        bitmap: Option<u32>,
+        skipped: &mut u64,
+    ) -> bool {
+        match bitmap {
+            Some(bm) => self.prefiltered_verdict(index, span, sample, bm, skipped),
+            None => self.forest_accepts(index, span, sample),
         }
     }
 
@@ -424,7 +682,7 @@ impl CompiledBank {
             panic!("sharded scan task panicked: {}", contained.message());
         }
         for lane in lanes {
-            for index in lane_guard(lane).iter() {
+            for index in lane_guard(lane).out.iter() {
                 f(*index as usize);
             }
         }
@@ -471,33 +729,47 @@ impl CompiledBank {
         })
         .expect("scoped scan threads do not panic");
         for lane in lanes {
-            for index in lane_guard(lane).iter() {
+            for index in lane_guard(lane).out.iter() {
                 f(*index as usize);
             }
         }
     }
 
-    /// Scans one contiguous forest range into `out` (cleared first) —
-    /// the shard worker body. Bounds-clamped so hostile ranges cannot
-    /// index past the span table.
+    /// Scans one contiguous forest range into the lane (cleared
+    /// first) — the shard worker body. Bounds-clamped so hostile
+    /// ranges cannot index past the span table. When the bank's
+    /// cluster tier is active, the lane's own group memo is used
+    /// (reps are re-evaluated at most once per shard) — lane state,
+    /// not thread-locals, so warm allocation behaviour is owned by the
+    /// caller's [`ShardScratch`].
     fn scan_range(
         &self,
         range: std::ops::Range<usize>,
         sample: &[f32],
         bitmap: Option<u32>,
-        out: &mut Vec<u32>,
+        lane: &mut ShardLane,
     ) {
-        out.clear();
+        lane.out.clear();
         let end = range.end.min(self.forests.len());
+        let start = range.start.min(end);
         let mut skipped = 0u64;
-        for index in range.start.min(end)..end {
-            let span = &self.forests[index];
-            let accepts = match bitmap {
-                Some(bm) => self.prefiltered_verdict(index, span, sample, bm, &mut skipped),
-                None => self.span_accepts(span, sample),
-            };
-            if accepts {
-                out.push(index as u32);
+        if self.cluster_auto() {
+            lane.memo.begin(self.clusters.group_count());
+            for index in start..end {
+                let span = &self.forests[index];
+                if self.clustered_verdict(&mut lane.memo, index, span, sample, bitmap, &mut skipped)
+                {
+                    self.heat.bump(index);
+                    lane.out.push(index as u32);
+                }
+            }
+        } else {
+            for index in start..end {
+                let span = &self.forests[index];
+                if self.routed_verdict(index, span, sample, bitmap, &mut skipped) {
+                    self.heat.bump(index);
+                    lane.out.push(index as u32);
+                }
             }
         }
         if skipped > 0 {
@@ -543,7 +815,7 @@ impl CompiledBank {
                 }
             }
         }
-        self.span_accepts(span, sample)
+        self.forest_accepts(index, span, sample)
     }
 
     /// Full positive-vote count of forest `index` on `sample` (no
@@ -615,16 +887,41 @@ impl CompiledBank {
                     self.roots.len()
                 ))
             })?;
+        // The quantized side tiles alongside when its own tagged
+        // reference space allows; otherwise the tiled bank
+        // conservatively escalates every copy to the f32 arena (a
+        // layout decision, not an error). The cluster index always
+        // tiles: every copy is bit-identical to its source (whole
+        // regions are rebased), so copies join their source's group.
+        let tile_quant = self
+            .quant
+            .nodes
+            .len()
+            .checked_mul(times)
+            .is_some_and(|total| total < LEAF_BIT as usize)
+            && self.quant.is_parallel(self.forests.len(), self.roots.len());
         let mut out = CompiledBank {
             nodes: Vec::with_capacity(nodes_total),
             roots: Vec::with_capacity(roots_total),
             forests: Vec::with_capacity(self.forests.len() * times),
             index: self.index.repeat(times),
             counters: ScanCounters::default(),
+            regions: Vec::with_capacity(self.regions.len() * times),
+            quant: QuantBank::default(),
+            clusters: self.clusters.repeat(times),
+            heat: HeatCounters::zeros(self.forests.len() * times),
+        };
+        if tile_quant {
+            out.quant.codebook = self.quant.codebook.clone();
+        }
+        let tiling_offset = |count: usize, what: &str| -> Result<u32, MlError> {
+            u32::try_from(count).map_err(|_| {
+                MlError::BadConfig(format!("tiled {what} offset {count} overflows u32"))
+            })
         };
         for copy in 0..times {
-            let node_offset = (copy * self.nodes.len()) as u32;
-            let root_offset = (copy * self.roots.len()) as u32;
+            let node_offset = tiling_offset(copy * self.nodes.len(), "node")?;
+            let root_offset = tiling_offset(copy * self.roots.len(), "root")?;
             let shift = |reference: u32| {
                 if reference & LEAF_BIT != 0 {
                     reference
@@ -642,6 +939,37 @@ impl CompiledBank {
                 roots_start: s.roots_start + root_offset,
                 ..*s
             }));
+            out.regions.extend(
+                self.regions
+                    .iter()
+                    .map(|(s, e)| (s + node_offset, e + node_offset)),
+            );
+            if tile_quant {
+                let quant_offset = tiling_offset(copy * self.quant.nodes.len(), "quantized node")?;
+                let qshift = |reference: u32| {
+                    if reference & LEAF_BIT != 0 {
+                        reference
+                    } else {
+                        reference + quant_offset
+                    }
+                };
+                out.quant
+                    .nodes
+                    .extend(self.quant.nodes.iter().map(|n| QuantNode {
+                        right: qshift(n.right),
+                        ..*n
+                    }));
+                out.quant
+                    .roots
+                    .extend(self.quant.roots.iter().map(|r| qshift(*r)));
+                out.quant.ok.extend_from_slice(&self.quant.ok);
+                out.quant.regions.extend(
+                    self.quant
+                        .regions
+                        .iter()
+                        .map(|(s, e)| (s + quant_offset, e + quant_offset)),
+                );
+            }
         }
         Ok(out)
     }
@@ -712,12 +1040,387 @@ impl CompiledBank {
             };
         }
     }
+
+    /// [`CompiledBank::span_accepts`] over the quantized arena: same
+    /// early-exit voting, roots taken from the quantized root table
+    /// (parallel to the f32 table by construction).
+    fn span_accepts_quant(&self, span: &ForestSpan, sample: &[f32]) -> bool {
+        if sample.len() != span.n_features as usize {
+            return false;
+        }
+        let needed = span.accept_votes;
+        if needed == 0 {
+            return true;
+        }
+        let start = span.roots_start as usize;
+        let Some(end) = start.checked_add(span.n_trees as usize) else {
+            return false;
+        };
+        let Some(roots) = self.quant.roots.get(start..end) else {
+            return false;
+        };
+        if u64::from(needed) > roots.len() as u64 {
+            return false;
+        }
+        let mut votes = 0u32;
+        let mut remaining = roots.len() as u32;
+        for root in roots {
+            remaining -= 1;
+            if self.walk_quant(*root, sample) {
+                votes += 1;
+                if votes >= needed {
+                    return true;
+                }
+            }
+            if votes + remaining < needed {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Walks one quantized tree: the left child is implicit at
+    /// `reference + 1` (preorder emission) or folded into the node's
+    /// flag bits when it is a leaf; thresholds dequantize through the
+    /// per-column codebook to the **exact** original bit pattern, so
+    /// every comparison decides like the f32 walk. Same checked-access
+    /// and step-budget discipline as [`CompiledBank::walk`].
+    fn walk_quant(&self, mut reference: u32, sample: &[f32]) -> bool {
+        let mut steps = self.quant.nodes.len() + 1;
+        loop {
+            if reference & LEAF_BIT != 0 {
+                return reference & 1 == 1;
+            }
+            if steps == 0 {
+                return false;
+            }
+            steps -= 1;
+            let Some(node) = self.quant.nodes.get(reference as usize) else {
+                return false;
+            };
+            let feature = node.feature();
+            let value = match sample.get(feature) {
+                Some(v) => *v,
+                None => return false,
+            };
+            let Some(threshold) = self.quant.codebook.value(feature, node.qcode) else {
+                return false;
+            };
+            reference = if value <= threshold {
+                node.left(reference)
+            } else {
+                node.right
+            };
+        }
+    }
+
+    /// The bank with node regions physically relocated
+    /// most-accepted-first, guided by the per-forest accept tallies
+    /// ([`CompiledBank::heat`]) the scans have recorded so far.
+    ///
+    /// Only the *physical placement* of f32 and quantized node regions
+    /// changes: the span, root, index, cluster and region tables all
+    /// keep logical (push) order with their references rebased, so
+    /// every scan remains bit-identical — candidates, order and
+    /// verdicts — to the bank it was built from. Appending more
+    /// forests through [`CompiledBankBuilder::from_bank`] keeps
+    /// working (new regions land after the relocated ones).
+    ///
+    /// Banks without region bookkeeping (raw parts) are returned as
+    /// unchanged clones. Accept tallies carry over, so repeated
+    /// relocation is stable under a steady workload.
+    pub fn rebuilt_hot_first(&self) -> CompiledBank {
+        let n = self.forests.len();
+        if n == 0 || self.regions.len() != n {
+            return self.clone();
+        }
+        let heat = self.heat.snapshot();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by(|a, b| {
+            let (ha, hb) = (
+                heat.get(*a as usize).copied().unwrap_or(0),
+                heat.get(*b as usize).copied().unwrap_or(0),
+            );
+            hb.cmp(&ha).then(a.cmp(b))
+        });
+        let mut out = self.clone();
+        hot_relocate(
+            &order,
+            &self.nodes,
+            &self.regions,
+            &self.forests,
+            &self.roots,
+            &mut out.nodes,
+            &mut out.regions,
+            &mut out.roots,
+            |node, delta| PackedNode {
+                left: rebase_ref(node.left, delta),
+                right: rebase_ref(node.right, delta),
+                ..*node
+            },
+        );
+        if self.quant.is_parallel(n, self.roots.len()) {
+            hot_relocate(
+                &order,
+                &self.quant.nodes,
+                &self.quant.regions,
+                &self.forests,
+                &self.quant.roots,
+                &mut out.quant.nodes,
+                &mut out.quant.regions,
+                &mut out.quant.roots,
+                |node, delta| QuantNode {
+                    right: rebase_ref(node.right, delta),
+                    ..*node
+                },
+            );
+        }
+        out
+    }
+
+    /// FNV-1a content digest of forest `index`'s compiled form, with
+    /// arena references rebased to the forest's region start — equal
+    /// forests (same tree shapes, same threshold bit patterns, same
+    /// accept votes) digest equally wherever their regions sit in the
+    /// arena. Used only as a *candidate filter* for clustering; group
+    /// membership is always confirmed by
+    /// [`CompiledBank::forest_content_equal`].
+    fn forest_digest(&self, index: usize) -> u64 {
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        let Some(span) = self.forests.get(index) else {
+            return digest;
+        };
+        let Some((start, end)) = self.regions.get(index).copied() else {
+            return digest;
+        };
+        digest = fnv_word(digest, span.n_trees);
+        digest = fnv_word(digest, span.accept_votes);
+        digest = fnv_word(digest, span.n_features);
+        let roots = self
+            .roots
+            .get(span.roots_start as usize..)
+            .and_then(|tail| tail.get(..span.n_trees as usize))
+            .unwrap_or(&[]);
+        for root in roots {
+            digest = fnv_word(digest, rebase_to_region(*root, start));
+        }
+        let region = self
+            .nodes
+            .get(start as usize..end.max(start) as usize)
+            .unwrap_or(&[]);
+        digest = fnv_word(digest, region.len() as u32);
+        for node in region {
+            digest = fnv_word(digest, u32::from(node.feature));
+            digest = fnv_word(digest, node.threshold.to_bits());
+            digest = fnv_word(digest, rebase_to_region(node.left, start));
+            digest = fnv_word(digest, rebase_to_region(node.right, start));
+        }
+        digest
+    }
+
+    /// Whether forests `a` and `b` are compiled to *exactly* the same
+    /// content — identical spans (modulo table offsets), bit-identical
+    /// thresholds, identical region-relative tree structure. Content
+    /// equality implies decision identity for every sample, which is
+    /// what makes evaluating one cluster representative for the whole
+    /// group sound.
+    fn forest_content_equal(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return true;
+        }
+        let (Some(span_a), Some(span_b)) = (self.forests.get(a), self.forests.get(b)) else {
+            return false;
+        };
+        if span_a.n_trees != span_b.n_trees
+            || span_a.accept_votes != span_b.accept_votes
+            || span_a.n_features != span_b.n_features
+        {
+            return false;
+        }
+        let (Some(region_a), Some(region_b)) =
+            (self.regions.get(a).copied(), self.regions.get(b).copied())
+        else {
+            return false;
+        };
+        let roots = |span: &ForestSpan| {
+            self.roots
+                .get(span.roots_start as usize..)
+                .and_then(|tail| tail.get(..span.n_trees as usize))
+        };
+        let (Some(roots_a), Some(roots_b)) = (roots(span_a), roots(span_b)) else {
+            return false;
+        };
+        for (x, y) in roots_a.iter().zip(roots_b) {
+            if rebase_to_region(*x, region_a.0) != rebase_to_region(*y, region_b.0) {
+                return false;
+            }
+        }
+        let nodes =
+            |(start, end): (u32, u32)| self.nodes.get(start as usize..end.max(start) as usize);
+        let (Some(nodes_a), Some(nodes_b)) = (nodes(region_a), nodes(region_b)) else {
+            return false;
+        };
+        if nodes_a.len() != nodes_b.len() {
+            return false;
+        }
+        for (x, y) in nodes_a.iter().zip(nodes_b) {
+            if x.feature != y.feature
+                || x.threshold.to_bits() != y.threshold.to_bits()
+                || rebase_to_region(x.left, region_a.0) != rebase_to_region(y.left, region_b.0)
+                || rebase_to_region(x.right, region_a.0) != rebase_to_region(y.right, region_b.0)
+            {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One FNV-1a step folding a 32-bit word into `digest`.
+#[inline]
+fn fnv_word(digest: u64, word: u32) -> u64 {
+    (digest ^ u64::from(word)).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// An arena reference expressed relative to its region's start (leaf
+/// references carry no position and pass through), so identical
+/// forests compare equal regardless of where their regions landed.
+#[inline]
+fn rebase_to_region(reference: u32, start: u32) -> u32 {
+    if reference & LEAF_BIT != 0 {
+        reference
+    } else {
+        reference.wrapping_sub(start)
+    }
+}
+
+/// Rebases an untagged arena reference by `delta` (wrapping — deltas
+/// are themselves computed wrapping); leaf-tagged references carry no
+/// arena position and pass through unchanged.
+#[inline]
+fn rebase_ref(reference: u32, delta: u32) -> u32 {
+    if reference & LEAF_BIT != 0 {
+        reference
+    } else {
+        reference.wrapping_add(delta)
+    }
+}
+
+/// Relocates one node arena's per-forest regions into `order` (the
+/// hot-first permutation), rebasing intra-region child references and
+/// the logical-order root table. Region and span tables keep logical
+/// order; only physical node placement changes. Any malformed region
+/// is skipped rather than trusted — builder-made banks (the only ones
+/// carrying regions) never hit those branches.
+#[allow(clippy::too_many_arguments)]
+fn hot_relocate<N: Copy>(
+    order: &[u32],
+    nodes: &[N],
+    regions: &[(u32, u32)],
+    forests: &[ForestSpan],
+    roots: &[u32],
+    out_nodes: &mut Vec<N>,
+    out_regions: &mut Vec<(u32, u32)>,
+    out_roots: &mut Vec<u32>,
+    rebase: impl Fn(&N, u32) -> N,
+) {
+    out_nodes.clear();
+    out_nodes.reserve(nodes.len());
+    out_regions.clear();
+    out_regions.extend_from_slice(regions);
+    let mut deltas = vec![0u32; regions.len()];
+    for &index in order {
+        let index = index as usize;
+        let Some((start, end)) = regions.get(index).copied() else {
+            continue;
+        };
+        let Some(region) = nodes.get(start as usize..end.max(start) as usize) else {
+            continue;
+        };
+        let new_start = out_nodes.len() as u32;
+        let delta = new_start.wrapping_sub(start);
+        deltas[index] = delta;
+        out_nodes.extend(region.iter().map(|n| rebase(n, delta)));
+        out_regions[index] = (new_start, new_start + region.len() as u32);
+    }
+    out_roots.clear();
+    out_roots.extend_from_slice(roots);
+    let root_count = out_roots.len();
+    for (index, span) in forests.iter().enumerate() {
+        let Some(delta) = deltas.get(index).copied() else {
+            continue;
+        };
+        let start = span.roots_start as usize;
+        let Some(end) = start.checked_add(span.n_trees as usize) else {
+            continue;
+        };
+        let Some(slice) = out_roots.get_mut(start..end.min(root_count)) else {
+            continue;
+        };
+        for root in slice {
+            *root = rebase_ref(*root, delta);
+        }
+    }
+}
+
+/// Epoch-stamped per-group verdict memo for the clustered scan. Slots
+/// never need clearing: a slot is valid only when its stored epoch
+/// matches the current scan's, so `begin` is O(1) amortized (it only
+/// grows the slot table when a bigger bank comes through). One lives
+/// per shard lane and one per thread (serial scans).
+#[derive(Debug, Clone, Default)]
+struct ClusterMemo {
+    epoch: u64,
+    /// `epoch << 1 | verdict`; valid when `slot >> 1 == epoch`.
+    slots: Vec<u64>,
+}
+
+impl ClusterMemo {
+    /// Starts a new scan over `groups` cluster groups.
+    fn begin(&mut self, groups: usize) {
+        // Epochs start at 1 so the zero-filled slots are never valid.
+        self.epoch += 1;
+        if self.slots.len() < groups {
+            self.slots.resize(groups, 0);
+        }
+    }
+
+    #[inline]
+    fn get(&self, group: u32) -> Option<bool> {
+        let slot = *self.slots.get(group as usize)?;
+        (slot >> 1 == self.epoch).then_some(slot & 1 == 1)
+    }
+
+    #[inline]
+    fn set(&mut self, group: u32, verdict: bool) {
+        if let Some(slot) = self.slots.get_mut(group as usize) {
+            *slot = (self.epoch << 1) | u64::from(verdict);
+        }
+    }
+}
+
+thread_local! {
+    /// The serial clustered scan's group memo. Thread-local (not per
+    /// bank) so `for_each_accepting` stays `&self` and allocation-free
+    /// on warm calls; the epoch stamp isolates scans from each other
+    /// and from other banks sharing the thread.
+    static CLUSTER_MEMO: RefCell<ClusterMemo> = RefCell::new(ClusterMemo::default());
+}
+
+/// One shard's scratch: the accepted-index lane plus the shard's own
+/// cluster-group memo (so pooled scans never touch worker-thread
+/// state — warm allocation behaviour is owned by the caller's scratch,
+/// regardless of which pool worker steals the task).
+#[derive(Debug, Clone, Default)]
+struct ShardLane {
+    out: Vec<u32>,
+    memo: ClusterMemo,
 }
 
 /// Locks a scratch lane, recovering the guard if a panicking scan task
 /// poisoned it (the lane is cleared at the start of every scan, so a
 /// poisoned lane carries no stale state into the next call).
-fn lane_guard(lane: &Mutex<Vec<u32>>) -> MutexGuard<'_, Vec<u32>> {
+fn lane_guard(lane: &Mutex<ShardLane>) -> MutexGuard<'_, ShardLane> {
     lane.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
@@ -730,7 +1433,7 @@ fn lane_guard(lane: &Mutex<Vec<u32>>) -> MutexGuard<'_, Vec<u32>> {
 /// uncontended.
 #[derive(Debug, Default)]
 pub struct ShardScratch {
-    lanes: Vec<Mutex<Vec<u32>>>,
+    lanes: Vec<Mutex<ShardLane>>,
 }
 
 impl Clone for ShardScratch {
@@ -762,6 +1465,20 @@ impl ShardScratch {
 #[derive(Debug, Clone)]
 pub struct CompiledBankBuilder {
     bank: CompiledBank,
+    /// Per-column threshold-bit-pattern → code lookup, parallel to the
+    /// codebook columns (the codebook itself stores values only; these
+    /// maps are derived state, rebuilt O(codebook) by
+    /// [`CompiledBankBuilder::from_bank`]).
+    code_maps: Vec<BTreeMap<u32, u16>>,
+    /// Whether pushed forests are quantized (the bank's quantized
+    /// tables are parallel and may be extended).
+    quant_enabled: bool,
+    /// Content digest → candidate cluster group ids (a digest
+    /// collision keeps multiple candidates; membership is decided by
+    /// exact region comparison, never by the digest alone).
+    digest_groups: HashMap<u64, Vec<u32>>,
+    /// Whether pushed forests join the cluster index.
+    cluster_enabled: bool,
 }
 
 impl Default for CompiledBankBuilder {
@@ -782,31 +1499,98 @@ impl CompiledBankBuilder {
 
     /// An empty builder folding feature dimensions into `stripes`
     /// index bits (`1..=32`; anything else disables indexing and the
-    /// finished bank scans fully).
+    /// finished bank scans fully). The threshold codebook folds
+    /// dimensions into the same column period, so Sentinel banks get
+    /// one codebook column per F′ feature.
     pub fn with_stripes(stripes: u32) -> Self {
+        let period = stripes.clamp(1, MAX_STRIPES);
         CompiledBankBuilder {
             bank: CompiledBank {
                 index: BankIndex::new(stripes),
+                quant: QuantBank {
+                    codebook: ThresholdCodebook::new(period),
+                    ..QuantBank::default()
+                },
                 ..CompiledBank::default()
             },
+            code_maps: vec![BTreeMap::new(); period as usize],
+            quant_enabled: true,
+            digest_groups: HashMap::new(),
+            cluster_enabled: true,
         }
     }
 
     /// Resumes building on top of an existing bank: pushed forests
-    /// **append** their node region, root entries, span and index row
-    /// — nothing already compiled is touched or recompiled. This is
-    /// the incremental-compilation path behind `add_device_type` at
-    /// large bank sizes (re-running the whole builder would be
-    /// O(bank) per added type).
+    /// **append** their node region, root entries, span, index row,
+    /// quantized region and cluster membership — nothing already
+    /// compiled is touched or recompiled. This is the
+    /// incremental-compilation path behind `add_device_type` at large
+    /// bank sizes (re-running the whole builder would be O(bank) per
+    /// added type). The builder's derived lookup state (threshold code
+    /// maps, digest → group candidates) is rebuilt here in
+    /// O(codebook + groups), not O(bank).
     ///
     /// If the bank's index is not usable for its forest count (a
     /// raw-parts bank), indexing stays disabled for the appended bank
-    /// too — a partial index would silently misroute queries.
+    /// too — a partial index would silently misroute queries. The same
+    /// conservatism applies layer by layer: quantization continues
+    /// only on banks whose quantized tables are parallel to the f32
+    /// tables, and clustering only on banks with intact region
+    /// bookkeeping and a usable cluster index; anything else keeps
+    /// that acceleration off while staying fully scannable.
     pub fn from_bank(mut bank: CompiledBank) -> Self {
-        if !bank.forests.is_empty() && !bank.index.is_usable(bank.forests.len()) {
+        let n = bank.forests.len();
+        if n != 0 && !bank.index.is_usable(n) {
             bank.index = BankIndex::disabled();
         }
-        CompiledBankBuilder { bank }
+        // Keep accept tallies index-aligned with the span table even
+        // for banks that never tracked them (raw parts).
+        while bank.heat.0.len() < n {
+            bank.heat.grow();
+        }
+        if n == 0 && bank.quant.codebook.period() == 0 {
+            // A default-constructed bank: adopt a fresh codebook so
+            // appends quantize like a fresh builder would.
+            bank.quant.codebook =
+                ThresholdCodebook::new(bank.index.stripes().clamp(1, MAX_STRIPES));
+        }
+        let mut quant_enabled = bank.quant.codebook.period() > 0
+            && bank.quant.is_parallel(n, bank.roots.len())
+            && bank.regions.len() == n;
+        let mut code_maps = Vec::new();
+        if quant_enabled {
+            for column in bank.quant.codebook.columns() {
+                let mut map = BTreeMap::new();
+                for (slot, value) in column.iter().enumerate() {
+                    match u16::try_from(slot) {
+                        Ok(code) => {
+                            map.insert(value.to_bits(), code);
+                        }
+                        Err(_) => quant_enabled = false,
+                    }
+                }
+                code_maps.push(map);
+            }
+            if !quant_enabled {
+                code_maps.clear();
+            }
+        }
+        let cluster_enabled = bank.regions.len() == n && bank.clusters.is_usable(n);
+        let mut digest_groups: HashMap<u64, Vec<u32>> = HashMap::new();
+        if cluster_enabled {
+            for (id, group) in bank.clusters.groups().iter().enumerate() {
+                if let Ok(id) = u32::try_from(id) {
+                    digest_groups.entry(group.digest).or_default().push(id);
+                }
+            }
+        }
+        CompiledBankBuilder {
+            bank,
+            code_maps,
+            quant_enabled,
+            digest_groups,
+            cluster_enabled,
+        }
     }
 
     /// Compiles `forest` into the arena with the given fractional
@@ -836,30 +1620,59 @@ impl CompiledBankBuilder {
                 forest.n_features()
             )));
         }
-        let branch_nodes: usize = forest
-            .trees()
-            .iter()
-            .map(|t| t.node_count() - t.leaf_count())
-            .sum();
-        if self.bank.nodes.len() + branch_nodes >= LEAF_BIT as usize {
+        // Pre-validate every split feature before mutating anything —
+        // a mid-compile failure would leave the bank with orphaned
+        // nodes and roots.
+        let mut branch_nodes = 0usize;
+        for tree in forest.trees() {
+            branch_nodes += tree.node_count() - tree.leaf_count();
+            for node in tree.nodes() {
+                if let Node::Split { feature, .. } = node {
+                    if *feature > usize::from(u16::MAX) {
+                        return Err(MlError::BadConfig(format!(
+                            "split feature index {feature} exceeds the packed u16 range"
+                        )));
+                    }
+                }
+            }
+        }
+        let nodes_start = self.bank.nodes.len();
+        let nodes_end = nodes_start + branch_nodes;
+        if nodes_end >= LEAF_BIT as usize {
             return Err(MlError::BadConfig(
                 "compiled arena exceeds the 31-bit reference space".into(),
             ));
         }
-        let roots_start = self.bank.roots.len() as u32;
-        let nodes_start = self.bank.nodes.len();
+        // All table offsets as *checked* conversions, computed before
+        // any mutation (the arena-truncation bugfix: a bare `as u32`
+        // here silently wraps once a table passes 2³² entries).
+        let region = (
+            u32::try_from(nodes_start).map_err(|_| arena_overflow("node region start"))?,
+            u32::try_from(nodes_end).map_err(|_| arena_overflow("node region end"))?,
+        );
+        let roots_start =
+            u32::try_from(self.bank.roots.len()).map_err(|_| arena_overflow("root table"))?;
+        let n_trees = u32::try_from(forest.n_trees()).map_err(|_| arena_overflow("tree count"))?;
+        let total_roots = roots_start
+            .checked_add(n_trees)
+            .ok_or_else(|| arena_overflow("root table"))?;
+        let n_features =
+            u32::try_from(forest.n_features()).map_err(|_| arena_overflow("feature count"))?;
         for tree in forest.trees() {
             let root = self.compile_tree(tree.nodes());
             self.bank.roots.push(root);
         }
-        let n_trees = forest.n_trees() as u32;
+        debug_assert_eq!(self.bank.nodes.len(), nodes_end);
+        debug_assert_eq!(self.bank.roots.len(), total_roots as usize);
         let span = ForestSpan {
             roots_start,
             n_trees,
             accept_votes: votes_needed(accept_threshold, forest.n_trees()),
-            n_features: forest.n_features() as u32,
+            n_features,
         };
         self.bank.forests.push(span);
+        self.bank.regions.push(region);
+        self.bank.heat.grow();
         let stripes = self.bank.index.stripes();
         if (1..=MAX_STRIPES).contains(&stripes) {
             // Index row: the stripes this forest's branch nodes test
@@ -879,6 +1692,17 @@ impl CompiledBankBuilder {
                 default_accepts,
             });
         }
+        if self.quant_enabled {
+            let proven = self.try_quantize_forest(&span, branch_nodes);
+            self.bank.quant.ok.push(proven);
+            debug_assert!(self
+                .bank
+                .quant
+                .is_parallel(self.bank.forests.len(), self.bank.roots.len()));
+        }
+        if self.cluster_enabled {
+            self.cluster_push();
+        }
         Ok(self.bank.forests.len() - 1)
     }
 
@@ -890,12 +1714,14 @@ impl CompiledBankBuilder {
     /// Compiles one tree's node list, returning the tagged root
     /// reference. Tree invariants (children strictly forward, binary
     /// leaf histograms) are guaranteed by `DecisionTree`'s own
-    /// validation.
+    /// validation; feature and arena ranges were pre-validated by
+    /// `push` before any mutation.
     fn compile_tree(&mut self, tree_nodes: &[Node]) -> u32 {
         // First pass: assign every tree node its arena reference —
         // splits get the next arena slots in order, leaves fold into
         // tagged references.
-        let base = self.bank.nodes.len() as u32;
+        let base = u32::try_from(self.bank.nodes.len())
+            .expect("arena size pre-checked against LEAF_BIT in push");
         let mut references = Vec::with_capacity(tree_nodes.len());
         let mut splits = 0u32;
         for node in tree_nodes {
@@ -924,7 +1750,7 @@ impl CompiledBankBuilder {
             } = node
             {
                 self.bank.nodes.push(PackedNode {
-                    feature: *feature as u16,
+                    feature: u16::try_from(*feature).expect("feature range pre-validated in push"),
                     threshold: *threshold,
                     left: references[*left],
                     right: references[*right],
@@ -933,17 +1759,250 @@ impl CompiledBankBuilder {
         }
         references[0]
     }
+
+    /// Quantizes the forest just pushed (its span in `span`, its f32
+    /// region `branch_nodes` long), appending quantized roots for each
+    /// of its trees plus one region entry, and returns whether the
+    /// quantized form was **proven** decision-identical by an
+    /// independent node-by-node verification pass. On any failure the
+    /// quantized emission is rolled back and the forest's root slots
+    /// hold harmless negative-leaf sentinels — evaluation escalates to
+    /// the retained f32 arena.
+    fn try_quantize_forest(&mut self, span: &ForestSpan, branch_nodes: usize) -> bool {
+        let qnodes_mark = self.bank.quant.nodes.len();
+        let qroots_mark = self.bank.quant.roots.len();
+        // Saturated on (impossible) overflow: the region is only used
+        // for relocation and an empty `(s, s)` region is inert.
+        let qstart = u32::try_from(qnodes_mark).unwrap_or(u32::MAX);
+        let roots = span.roots_start as usize..(span.roots_start + span.n_trees) as usize;
+        let mut proven = qnodes_mark <= u32::MAX as usize;
+        if proven {
+            for i in roots.clone() {
+                match self.quantize_tree(self.bank.roots[i], branch_nodes) {
+                    Some(qroot) => self.bank.quant.roots.push(qroot),
+                    None => {
+                        proven = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if proven {
+            // The proof: re-walk both trees in lockstep and demand
+            // structural + bit-level agreement at every node. Emission
+            // bugs escalate the forest instead of corrupting results.
+            let qroots = qroots_mark..self.bank.quant.roots.len();
+            proven = roots.clone().zip(qroots).all(|(fi, qi)| {
+                self.verify_quant_tree(self.bank.roots[fi], self.bank.quant.roots[qi])
+            });
+        }
+        if !proven {
+            self.bank.quant.nodes.truncate(qnodes_mark);
+            self.bank.quant.roots.truncate(qroots_mark);
+            self.bank
+                .quant
+                .roots
+                .extend((0..span.n_trees).map(|_| LEAF_BIT));
+            self.bank.quant.regions.push((qstart, qstart));
+            return false;
+        }
+        let qend = u32::try_from(self.bank.quant.nodes.len()).unwrap_or(u32::MAX);
+        self.bank.quant.regions.push((qstart, qend));
+        true
+    }
+
+    /// Emits one tree's quantized preorder form, returning its tagged
+    /// quantized root, or `None` when the tree cannot be represented
+    /// (feature past 14 bits, codebook column full, arena out of
+    /// tagged space) — the caller escalates the whole forest.
+    fn quantize_tree(&mut self, root: u32, region_len: usize) -> Option<u32> {
+        if root & LEAF_BIT != 0 {
+            return Some(root);
+        }
+        let qroot = u32::try_from(self.bank.quant.nodes.len()).ok()?;
+        // Work stack of (f32 reference, patch slot for the parent's
+        // right-child field). Left children need no patching — preorder
+        // emission puts them at parent + 1.
+        let mut stack: Vec<(u32, Option<usize>)> = vec![(root, None)];
+        let mut budget = region_len + 1;
+        while let Some((reference, patch)) = stack.pop() {
+            budget = budget.checked_sub(1)?;
+            let position = self.bank.quant.nodes.len();
+            if position >= LEAF_BIT as usize {
+                return None;
+            }
+            if let Some(slot) = patch {
+                self.bank.quant.nodes[slot].right = position as u32;
+            }
+            let node = *self.bank.nodes.get(reference as usize)?;
+            if node.feature > QUANT_FEATURE_MASK {
+                return None;
+            }
+            let qcode = self.encode_threshold(usize::from(node.feature), node.threshold)?;
+            let mut fl = node.feature;
+            let left_leaf = node.left & LEAF_BIT != 0;
+            if left_leaf {
+                fl |= QUANT_LEFT_LEAF;
+                if node.left & 1 == 1 {
+                    fl |= QUANT_LEFT_VOTE;
+                }
+            }
+            let right_leaf = node.right & LEAF_BIT != 0;
+            let right = if right_leaf { node.right } else { 0 };
+            self.bank.quant.nodes.push(QuantNode { fl, qcode, right });
+            // Push right first so the left subtree is emitted
+            // immediately after this node (the preorder invariant the
+            // implicit left reference depends on).
+            if !right_leaf {
+                stack.push((node.right, Some(position)));
+            }
+            if !left_leaf {
+                stack.push((node.left, None));
+            }
+        }
+        Some(qroot)
+    }
+
+    /// Looks up (or interns) the codebook code for `threshold` in
+    /// `feature`'s column. `None` when the column is full — the forest
+    /// escalates.
+    fn encode_threshold(&mut self, feature: usize, threshold: f32) -> Option<u16> {
+        let period = self.bank.quant.codebook.period();
+        if period == 0 || self.code_maps.len() != period {
+            return None;
+        }
+        let map = &mut self.code_maps[feature % period];
+        let bits = threshold.to_bits();
+        if let Some(code) = map.get(&bits) {
+            return Some(*code);
+        }
+        let code = self.bank.quant.codebook.intern(feature, threshold)?;
+        map.insert(bits, code);
+        Some(code)
+    }
+
+    /// Walks the f32 tree at `root` and the quantized tree at `qroot`
+    /// in lockstep, demanding exact agreement at every node: same
+    /// feature, bit-identical dequantized threshold, same leaf votes,
+    /// same shape. This pass is the per-node decision-identity proof —
+    /// it shares no code with the emitter it checks.
+    fn verify_quant_tree(&self, root: u32, qroot: u32) -> bool {
+        let mut stack = vec![(root, qroot)];
+        let mut budget = self.bank.nodes.len() + 2;
+        while let Some((reference, qreference)) = stack.pop() {
+            match (reference & LEAF_BIT != 0, qreference & LEAF_BIT != 0) {
+                (true, true) => {
+                    if reference & 1 != qreference & 1 {
+                        return false;
+                    }
+                    continue;
+                }
+                (false, false) => {}
+                _ => return false,
+            }
+            if budget == 0 {
+                return false;
+            }
+            budget -= 1;
+            let Some(node) = self.bank.nodes.get(reference as usize) else {
+                return false;
+            };
+            let Some(qnode) = self.bank.quant.nodes.get(qreference as usize) else {
+                return false;
+            };
+            if qnode.feature() != usize::from(node.feature) {
+                return false;
+            }
+            let Some(qthreshold) = self.bank.quant.codebook.value(qnode.feature(), qnode.qcode)
+            else {
+                return false;
+            };
+            if qthreshold.to_bits() != node.threshold.to_bits() {
+                return false;
+            }
+            stack.push((node.left, qnode.left(qreference)));
+            stack.push((node.right, qnode.right));
+        }
+        true
+    }
+
+    /// Joins the forest just pushed to its content-equal cluster group
+    /// (or opens a new group with it as representative). Groups only
+    /// ever hold *exactly identical* compiled forests — digest matches
+    /// are confirmed by full region comparison, so a hash collision
+    /// can split groups but never merge distinct forests.
+    fn cluster_push(&mut self) {
+        let index = self.bank.forests.len() - 1;
+        let digest = self.bank.forest_digest(index);
+        if let Some(candidates) = self.digest_groups.get(&digest) {
+            for id in candidates {
+                let Some(group) = self.bank.clusters.group(*id) else {
+                    continue;
+                };
+                if self.bank.forest_content_equal(group.rep as usize, index) {
+                    self.bank.clusters.join(*id);
+                    return;
+                }
+            }
+        }
+        match u32::try_from(index)
+            .ok()
+            .and_then(|rep| self.bank.clusters.open(rep, digest))
+        {
+            Some(id) => self.digest_groups.entry(digest).or_default().push(id),
+            // Group table full (or forest index past u32): the cluster
+            // index is now short one membership entry, which makes it
+            // unusable — stop maintaining it rather than misroute.
+            None => self.cluster_enabled = false,
+        }
+    }
+}
+
+/// The typed error for arena-path size overflows (the checked-cast
+/// bugfix sweep).
+fn arena_overflow(what: &str) -> MlError {
+    MlError::BadConfig(format!("compiled bank {what} overflows u32"))
 }
 
 /// The smallest vote count whose `f32` fraction of `n_trees` clears
 /// `threshold`, or `n_trees + 1` when no count does (threshold above
 /// 1.0, or NaN — which the interpreter likewise never accepts).
+///
+/// Computed directly (O(1)) instead of the former O(n_trees) linear
+/// scan, but defined by the *same* predicate the scan tested —
+/// `v as f32 / n_trees as f32 >= threshold` — so the result is
+/// bit-identical for every input (an exhaustive unit test pins all
+/// `n_trees ≤ 4096` against the scanned version). Because `f32`
+/// division by a fixed positive divisor is monotone in the numerator,
+/// the predicate is monotone in `v`, and a ceil-based guess plus a
+/// bounded local fix-up lands exactly on the scan's answer even where
+/// float rounding makes `ceil(threshold * total)` miss by one.
 fn votes_needed(threshold: f32, n_trees: usize) -> u32 {
     let total = n_trees as f32;
-    (0..=n_trees)
-        .find(|v| *v as f32 / total >= threshold)
-        .map(|v| v as u32)
-        .unwrap_or(n_trees as u32 + 1)
+    let accepted = |v: usize| (v as f32) / total >= threshold;
+    // The scan's boundary contracts, preserved verbatim: v = 0 first
+    // (0/0 is NaN, so n_trees == 0 with threshold <= 0.0 still needs
+    // comparing), and "nothing clears" maps to n_trees + 1 (NaN or
+    // threshold > 1.0).
+    if accepted(0) {
+        return 0;
+    }
+    if !accepted(n_trees) {
+        return n_trees as u32 + 1;
+    }
+    // Monotone region: guess by ceil, then walk to the exact boundary.
+    let mut v = if threshold.is_finite() && threshold > 0.0 {
+        ((threshold * total).ceil() as usize).clamp(1, n_trees)
+    } else {
+        1
+    };
+    while v > 0 && accepted(v - 1) {
+        v -= 1;
+    }
+    while !accepted(v) {
+        v += 1;
+    }
+    v as u32
 }
 
 #[cfg(test)]
@@ -1378,11 +2437,25 @@ mod tests {
         }
         let resumed = resumed.finish();
 
-        // The append path reproduces the one-shot arena exactly.
+        // The append path reproduces the one-shot arena exactly —
+        // including the region table, the quantized side and the
+        // cluster index (from_bank rebuilds its lookup state from the
+        // bank, so appended forests intern and cluster identically).
         assert_eq!(resumed.nodes, oneshot.nodes);
         assert_eq!(resumed.roots, oneshot.roots);
         assert_eq!(resumed.spans(), oneshot.spans());
         assert_eq!(resumed.index(), oneshot.index());
+        assert_eq!(resumed.regions, oneshot.regions);
+        assert_eq!(resumed.quant.nodes, oneshot.quant.nodes);
+        assert_eq!(resumed.quant.roots, oneshot.quant.roots);
+        assert_eq!(resumed.quant.ok, oneshot.quant.ok);
+        assert_eq!(resumed.quant.regions, oneshot.quant.regions);
+        assert_eq!(resumed.quant.codebook, oneshot.quant.codebook);
+        assert_eq!(resumed.clusters().group_of(), oneshot.clusters().group_of());
+        assert_eq!(
+            resumed.clusters().group_count(),
+            oneshot.clusters().group_count()
+        );
     }
 
     #[test]
@@ -1673,5 +2746,342 @@ mod tests {
         assert!(bank.arena_bytes() >= branch_nodes * std::mem::size_of::<PackedNode>());
         assert_eq!(bank.spans().len(), 1);
         assert!(CompiledBank::default().is_empty());
+    }
+
+    /// The former O(n_trees) implementation, kept verbatim as the
+    /// oracle for the direct computation.
+    fn votes_needed_scanned(threshold: f32, n_trees: usize) -> u32 {
+        let total = n_trees as f32;
+        (0..=n_trees)
+            .find(|v| *v as f32 / total >= threshold)
+            .map(|v| v as u32)
+            .unwrap_or(n_trees as u32 + 1)
+    }
+
+    #[test]
+    fn votes_needed_is_bit_identical_to_the_linear_scan() {
+        let thresholds = [
+            0.0f32,
+            -0.0,
+            -1.0,
+            f32::MIN_POSITIVE,
+            f32::MIN_POSITIVE / 4.0,
+            0.25,
+            1.0 / 3.0,
+            0.5,
+            0.65,
+            0.999_999,
+            1.0,
+            1.0 + f32::EPSILON,
+            1.5,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+        ];
+        // Exhaustive over every bank-relevant ensemble size.
+        for n_trees in 0..=4096usize {
+            for t in thresholds {
+                assert_eq!(
+                    votes_needed(t, n_trees),
+                    votes_needed_scanned(t, n_trees),
+                    "n_trees={n_trees} threshold={t}"
+                );
+            }
+        }
+        // Plus thresholds sitting exactly on (and one ulp around)
+        // every representable vote fraction of a few tree counts —
+        // where ceil-based rounding could plausibly miss by one.
+        for n_trees in [1usize, 2, 3, 7, 32, 33, 100, 333] {
+            for v in 0..=n_trees {
+                let exact = v as f32 / n_trees as f32;
+                for t in [
+                    exact,
+                    f32::from_bits(exact.to_bits().wrapping_sub(1)),
+                    f32::from_bits(exact.to_bits().wrapping_add(1)),
+                ] {
+                    assert_eq!(
+                        votes_needed(t, n_trees),
+                        votes_needed_scanned(t, n_trees),
+                        "n_trees={n_trees} threshold={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_scan_is_proven_and_bit_identical_on_adversarial_probes() {
+        let forests: Vec<RandomForest> = (0..5).map(|i| forest(300 + i, 3)).collect();
+        let mut builder = CompiledBankBuilder::with_stripes(3);
+        for f in &forests {
+            builder.push(f, 0.35).unwrap();
+        }
+        let bank = builder.finish();
+        // Exact bit-round-trip codebooks prove every forest here.
+        assert_eq!(bank.quantized_forest_count(), bank.forest_count());
+        assert!(bank.quant().node_count() > 0);
+        assert!(bank.quant().node_count() <= bank.node_count());
+        let specials = [
+            f32::NAN,
+            0.0,
+            -0.0,
+            f32::MIN_POSITIVE / 2.0,
+            -f32::MIN_POSITIVE,
+            -1.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+        ];
+        let mut rng = SmallRng::seed_from_u64(61);
+        let check = |sample: &[f32]| {
+            let mut full = Vec::new();
+            bank.for_each_accepting_full(sample, |i| full.push(i));
+            let mut quant = Vec::new();
+            bank.for_each_accepting_quant(sample, |i| quant.push(i));
+            assert_eq!(quant, full, "quantized scan diverged on {sample:?}");
+            for (i, f) in forests.iter().enumerate() {
+                assert_eq!(
+                    full.contains(&i),
+                    f.positive_vote_fraction(sample).unwrap() >= 0.35,
+                    "forest {i} diverged from the interpreter on {sample:?}"
+                );
+            }
+        };
+        for case in 0..300 {
+            let sample: Vec<f32> = (0..3)
+                .map(|d| {
+                    if case % 2 == 0 && rng.gen::<f32>() < 0.4 {
+                        specials[(case + d) % specials.len()]
+                    } else {
+                        rng.gen::<f32>() * 1.5 - 0.2
+                    }
+                })
+                .collect();
+            check(&sample);
+        }
+        // Probes sitting exactly on stored thresholds (bucket edges),
+        // and one ulp to either side.
+        let edges: Vec<f32> = bank.nodes.iter().take(24).map(|n| n.threshold).collect();
+        for t in edges {
+            for probe in [
+                t,
+                f32::from_bits(t.to_bits().wrapping_sub(1)),
+                f32::from_bits(t.to_bits().wrapping_add(1)),
+            ] {
+                check(&[probe, probe, probe]);
+            }
+        }
+    }
+
+    #[test]
+    fn forests_testing_high_dimensions_escalate_and_stay_identical() {
+        // One informative feature at the first dimension past the
+        // 14-bit quantized range — every split lands there, so the
+        // forest cannot be represented and must escalate to f32.
+        let d = usize::from(QUANT_FEATURE_MASK) + 2;
+        let mut rng = SmallRng::seed_from_u64(71);
+        let mut samples = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..40 {
+            let mut row = vec![0f32; d];
+            let x = rng.gen::<f32>();
+            row[d - 1] = x;
+            samples.push(row);
+            labels.push(usize::from(x > 0.5));
+        }
+        let config = ForestConfig {
+            n_trees: 3,
+            tree: crate::tree::TreeConfig {
+                feature_subsample: crate::tree::FeatureSubsample::All,
+                ..crate::tree::TreeConfig::default()
+            },
+            ..ForestConfig::default()
+        };
+        let f = RandomForest::fit(&samples, &labels, 2, &config, 71).unwrap();
+        let mut builder = CompiledBankBuilder::new();
+        builder.push(&f, 0.5).unwrap();
+        let bank = builder.finish();
+        assert!(bank.node_count() > 0, "the forest must actually split");
+        assert_eq!(
+            bank.quantized_forest_count(),
+            0,
+            "a forest testing dimension {} must escalate",
+            d - 1
+        );
+        // Escalated forests still carry parallel (sentinel) tables so
+        // appends and relocation keep working.
+        assert!(bank.quant().is_parallel(1, bank.roots.len()));
+        let mut probe = vec![0f32; d];
+        for x in [0.2f32, 0.5, 0.7, f32::NAN] {
+            probe[d - 1] = x;
+            let mut full = Vec::new();
+            bank.for_each_accepting_full(&probe, |i| full.push(i));
+            let mut quant = Vec::new();
+            bank.for_each_accepting_quant(&probe, |i| quant.push(i));
+            assert_eq!(quant, full, "escalated scan diverged at x={x}");
+            assert_eq!(
+                full.contains(&0),
+                f.positive_vote_fraction(&probe).unwrap() >= 0.5
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_scan_is_bit_identical_and_skips_duplicate_groups() {
+        let forests: Vec<RandomForest> = (0..4).map(|i| forest(320 + i, 3)).collect();
+        let mut builder = CompiledBankBuilder::with_stripes(3);
+        let copies = CLUSTER_MIN_FORESTS / forests.len() + 1;
+        for _ in 0..copies {
+            for f in &forests {
+                builder.push(f, 0.35).unwrap();
+            }
+        }
+        let bank = builder.finish();
+        let n = bank.forest_count();
+        assert!(n >= CLUSTER_MIN_FORESTS);
+        // Identical pushes were exact-matched into one group per
+        // distinct forest.
+        assert_eq!(bank.clusters().group_count(), forests.len());
+        assert!(bank.clusters().is_usable(n));
+        let skipped_before = bank.scan_counters().forests_skipped;
+        let mut rng = SmallRng::seed_from_u64(67);
+        let mut scratch = ShardScratch::new();
+        for case in 0..40 {
+            let sample: Vec<f32> = (0..3)
+                .map(|_| {
+                    if case % 3 == 0 {
+                        0.0
+                    } else {
+                        rng.gen::<f32>() * 1.5
+                    }
+                })
+                .collect();
+            let mut full = Vec::new();
+            bank.for_each_accepting_full(&sample, |i| full.push(i));
+            let mut clustered = Vec::new();
+            bank.for_each_accepting_clustered(&sample, |i| clustered.push(i));
+            assert_eq!(clustered, full, "clustered diverged on {sample:?}");
+            // The auto router picks the clustered tier at this size.
+            let mut auto = Vec::new();
+            bank.for_each_accepting(&sample, |i| auto.push(i));
+            assert_eq!(auto, full, "auto route diverged on {sample:?}");
+            // Sharded lanes ride per-lane memos through the same
+            // machinery.
+            let mut sharded = Vec::new();
+            bank.for_each_accepting_pooled(
+                sentinel_pool::global(),
+                &sample,
+                4,
+                &mut scratch,
+                |i| sharded.push(i),
+            );
+            assert_eq!(sharded, full, "sharded clustered diverged on {sample:?}");
+        }
+        // Group members beyond each representative were answered from
+        // the memo — at least (n - groups) skips per clustered pass.
+        let skipped = bank.scan_counters().forests_skipped - skipped_before;
+        assert!(
+            skipped >= 40 * (n - forests.len()) as u64,
+            "memo skips unexpectedly low: {skipped}"
+        );
+    }
+
+    #[test]
+    fn repeat_tiles_quant_and_clusters_identically() {
+        let forests: Vec<RandomForest> = (0..3).map(|i| forest(340 + i, 2)).collect();
+        let mut builder = CompiledBankBuilder::with_stripes(2);
+        for f in &forests {
+            builder.push(f, 0.5).unwrap();
+        }
+        let bank = builder.finish();
+        let times = CLUSTER_MIN_FORESTS / forests.len() + 1;
+        let tiled = bank.repeat(times);
+        assert!(tiled.forest_count() >= CLUSTER_MIN_FORESTS);
+        assert_eq!(tiled.clusters().group_count(), forests.len());
+        assert_eq!(tiled.quantized_forest_count(), tiled.forest_count());
+        let mut rng = SmallRng::seed_from_u64(83);
+        for _ in 0..30 {
+            let sample: Vec<f32> = (0..2).map(|_| rng.gen::<f32>() * 1.5).collect();
+            let mut full = Vec::new();
+            tiled.for_each_accepting_full(&sample, |i| full.push(i));
+            let mut auto = Vec::new();
+            tiled.for_each_accepting(&sample, |i| auto.push(i));
+            assert_eq!(auto, full);
+            let mut quant = Vec::new();
+            tiled.for_each_accepting_quant(&sample, |i| quant.push(i));
+            assert_eq!(quant, full);
+            for copy in 0..times {
+                for (i, _) in forests.iter().enumerate() {
+                    assert_eq!(
+                        full.contains(&(copy * forests.len() + i)),
+                        bank.accepts(i, &sample),
+                        "copy {copy} forest {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hot_first_relocation_preserves_scans_and_appends() {
+        let forests: Vec<RandomForest> = (0..6).map(|i| forest(360 + i, 3)).collect();
+        let mut builder = CompiledBankBuilder::with_stripes(3);
+        for f in &forests {
+            builder.push(f, 0.35).unwrap();
+        }
+        let bank = builder.finish();
+        // Accrue accept heat, then relocate hottest-first.
+        let mut rng = SmallRng::seed_from_u64(73);
+        for _ in 0..40 {
+            let sample: Vec<f32> = (0..3).map(|_| rng.gen::<f32>() * 1.5).collect();
+            bank.for_each_accepting_full(&sample, |_| {});
+        }
+        let heat = bank.heat();
+        assert!(heat.iter().sum::<u32>() > 0, "heat must have accrued");
+        let hot = bank.rebuilt_hot_first();
+        assert_eq!(hot.forest_count(), bank.forest_count());
+        assert_eq!(hot.node_count(), bank.node_count());
+        assert_eq!(hot.quantized_forest_count(), bank.quantized_forest_count());
+        // The hottest forest's region now leads the arena.
+        let mut order: Vec<usize> = (0..heat.len()).collect();
+        order.sort_by(|a, b| heat[*b].cmp(&heat[*a]).then(a.cmp(b)));
+        assert_eq!(hot.regions[order[0]].0, 0);
+        // Every scan path stays bit-identical to the source bank.
+        for _ in 0..60 {
+            let sample: Vec<f32> = (0..3).map(|_| rng.gen::<f32>() * 1.5).collect();
+            let mut want = Vec::new();
+            bank.for_each_accepting_full(&sample, |i| want.push(i));
+            let mut full = Vec::new();
+            hot.for_each_accepting_full(&sample, |i| full.push(i));
+            assert_eq!(full, want, "hot-first full scan diverged on {sample:?}");
+            let mut indexed = Vec::new();
+            hot.for_each_accepting_indexed(&sample, |i| indexed.push(i));
+            assert_eq!(indexed, want);
+            let mut quant = Vec::new();
+            hot.for_each_accepting_quant(&sample, |i| quant.push(i));
+            assert_eq!(quant, want);
+        }
+        // Appending through from_bank keeps working on the relocated
+        // bank, quantization and clustering included.
+        let extra = forest(399, 3);
+        let mut resumed = CompiledBankBuilder::from_bank(hot.clone());
+        resumed.push(&extra, 0.35).unwrap();
+        let grown = resumed.finish();
+        assert_eq!(grown.quantized_forest_count(), grown.forest_count());
+        assert_eq!(grown.clusters().group_of().len(), grown.forest_count());
+        for _ in 0..40 {
+            let sample: Vec<f32> = (0..3).map(|_| rng.gen::<f32>() * 1.5).collect();
+            let mut full = Vec::new();
+            grown.for_each_accepting_full(&sample, |i| full.push(i));
+            let mut quant = Vec::new();
+            grown.for_each_accepting_quant(&sample, |i| quant.push(i));
+            assert_eq!(quant, full);
+            for (i, f) in forests.iter().chain([&extra]).enumerate() {
+                assert_eq!(
+                    full.contains(&i),
+                    f.positive_vote_fraction(&sample).unwrap() >= 0.35,
+                    "forest {i} diverged after relocation + append"
+                );
+            }
+        }
     }
 }

@@ -178,6 +178,125 @@ impl BankIndex {
     }
 }
 
+/// One duplicate-content cluster of a compiled bank's forests.
+///
+/// Members are **bit-identical** compiled forests (same spans modulo
+/// root-table position, same roots and node regions modulo region
+/// base): any sample's verdict on one member is its verdict on every
+/// member, so a scan only ever has to walk the representative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterGroup {
+    /// Representative forest index (the group's first member).
+    pub rep: u32,
+    /// Content digest of the members' compiled form (FNV-1a over the
+    /// region-rebased span, roots and nodes).
+    pub digest: u64,
+    /// Number of member forests.
+    pub members: u32,
+}
+
+/// Coarse-to-fine cluster index over a compiled bank: forests with
+/// bit-identical compiled content share a [`ClusterGroup`], and the
+/// clustered scan evaluates each group's representative **once** per
+/// query, broadcasting its verdict to every member.
+///
+/// This is the layer that turns the dense-probe scan from O(arena)
+/// into O(distinct arena + forest count): replicated or re-registered
+/// device types (the regime the 10⁵/10⁶-type scaling benches model)
+/// collapse onto a handful of representatives. Soundness does not rest
+/// on the digest — the builder exact-compares candidate members
+/// against the representative before joining a group, so a digest
+/// collision can only ever split a group, never merge different
+/// forests.
+///
+/// Built only by [`crate::CompiledBankBuilder`]; raw-parts banks carry
+/// an empty (never usable) index and scan without clustering.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterIndex {
+    /// Group id per forest, in forest order.
+    group_of: Vec<u32>,
+    groups: Vec<ClusterGroup>,
+}
+
+impl ClusterIndex {
+    /// The per-forest group ids, in forest order.
+    pub fn group_of(&self) -> &[u32] {
+        &self.group_of
+    }
+
+    /// The groups, in creation (first-member) order.
+    pub fn groups(&self) -> &[ClusterGroup] {
+        &self.groups
+    }
+
+    /// Number of distinct content groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether a bank with `forest_count` forests may scan through
+    /// this index: exactly one group id per forest and at least one
+    /// group for a non-empty bank. (Group-id range checks happen per
+    /// lookup — an out-of-range id degrades that forest to direct
+    /// evaluation, never to a panic.)
+    pub fn is_usable(&self, forest_count: usize) -> bool {
+        self.group_of.len() == forest_count && (forest_count == 0 || !self.groups.is_empty())
+    }
+
+    /// The group behind id `id`, if any.
+    #[inline]
+    pub fn group(&self, id: u32) -> Option<&ClusterGroup> {
+        self.groups.get(id as usize)
+    }
+
+    /// Registers forest `forest` as a member of existing group `id`.
+    pub(crate) fn join(&mut self, id: u32) {
+        self.group_of.push(id);
+        if let Some(group) = self.groups.get_mut(id as usize) {
+            group.members += 1;
+        }
+    }
+
+    /// Opens a new group represented by forest `rep` and registers the
+    /// representative as its first member. Returns the new group id,
+    /// or `None` when the group table is full (the builder then stops
+    /// clustering — the index becomes unusable, scans stay correct).
+    pub(crate) fn open(&mut self, rep: u32, digest: u64) -> Option<u32> {
+        let id = u32::try_from(self.groups.len()).ok()?;
+        self.groups.push(ClusterGroup {
+            rep,
+            digest,
+            members: 1,
+        });
+        self.group_of.push(id);
+        Some(id)
+    }
+
+    /// Tiles the cluster index `times` times, mirroring
+    /// [`crate::CompiledBank::repeat`]: every copy of forest `i` is
+    /// bit-identical to its source (tiling rebases whole regions), so
+    /// it joins the *same* group — replication multiplies member
+    /// counts without adding groups, which is exactly why the
+    /// clustered scan flattens the replicated scaling curve.
+    pub(crate) fn repeat(&self, times: usize) -> ClusterIndex {
+        let mut group_of = Vec::with_capacity(self.group_of.len() * times);
+        for _ in 0..times {
+            group_of.extend_from_slice(&self.group_of);
+        }
+        let groups = self
+            .groups
+            .iter()
+            .map(|g| ClusterGroup {
+                members: g
+                    .members
+                    .saturating_mul(u32::try_from(times).unwrap_or(u32::MAX)),
+                ..*g
+            })
+            .collect();
+        ClusterIndex { group_of, groups }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,5 +382,43 @@ mod tests {
             assert_eq!(&tiled.rows()[copy * 2..copy * 2 + 2], rows.as_slice());
         }
         assert_eq!(idx.repeat(0).rows().len(), 0);
+    }
+
+    #[test]
+    fn cluster_index_groups_and_tiles() {
+        let mut clusters = ClusterIndex::default();
+        let a = clusters.open(0, 0xa).unwrap();
+        clusters.join(a);
+        let b = clusters.open(2, 0xb).unwrap();
+        clusters.join(a);
+        assert_eq!(clusters.group_of(), &[a, a, b, a]);
+        assert_eq!(clusters.group_count(), 2);
+        assert_eq!(clusters.group(a).unwrap().members, 3);
+        assert_eq!(clusters.group(b).unwrap().rep, 2);
+        assert!(clusters.is_usable(4));
+        assert!(!clusters.is_usable(3));
+        assert!(!ClusterIndex::default().is_usable(1));
+        assert!(ClusterIndex::default().is_usable(0));
+
+        let tiled = clusters.repeat(3);
+        assert_eq!(tiled.group_count(), 2, "tiling adds no groups");
+        assert_eq!(tiled.group_of().len(), 12);
+        assert_eq!(tiled.group_of()[4..8], [a, a, b, a]);
+        assert_eq!(tiled.group(a).unwrap().members, 9);
+        assert_eq!(
+            tiled.group(a).unwrap().rep,
+            0,
+            "rep stays in the first copy"
+        );
+        assert!(tiled.is_usable(12));
+    }
+
+    #[test]
+    fn cluster_join_out_of_range_is_harmless() {
+        let mut clusters = ClusterIndex::default();
+        clusters.join(7);
+        assert_eq!(clusters.group_of(), &[7]);
+        assert_eq!(clusters.group(7), None);
+        assert!(!clusters.is_usable(1), "no groups: not usable");
     }
 }

@@ -50,15 +50,19 @@ pub mod error;
 pub mod forest;
 pub mod index;
 pub mod metrics;
+pub mod quant;
 pub mod sampler;
 pub mod tree;
 
 pub use compiled::{
     CompiledBank, CompiledBankBuilder, ForestSpan, PackedNode, ScanCounters, ScanSnapshot,
-    ShardScratch, PREFILTER_MIN_FORESTS, SHARDED_MIN_FORESTS,
+    ShardScratch, CLUSTER_MIN_FORESTS, PREFILTER_MIN_FORESTS, SHARDED_MIN_FORESTS,
 };
 pub use error::MlError;
 pub use forest::{ForestConfig, RandomForest};
-pub use index::{BankIndex, IndexRow, MAX_STRIPES};
+pub use index::{BankIndex, ClusterGroup, ClusterIndex, IndexRow, MAX_STRIPES};
 pub use metrics::{accuracy, ConfusionMatrix};
+pub use quant::{
+    QuantBank, QuantNode, ThresholdCodebook, QUANT_FEATURE_MASK, QUANT_LEFT_LEAF, QUANT_LEFT_VOTE,
+};
 pub use tree::{DecisionTree, FeatureSubsample, TreeConfig};

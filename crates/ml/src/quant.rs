@@ -1,0 +1,299 @@
+//! Quantized arena nodes: the ≤8-byte branch representation behind the
+//! dense-probe memory wall fix.
+//!
+//! `BENCH_scaling.json` showed the 16-byte [`crate::PackedNode`] arena
+//! is memory-bandwidth-bound at 10⁵ types: a dense probe streams the
+//! whole arena and the prefilter/sharding buy ~1×. The f32 threshold
+//! and the 32-bit left child are most of that traffic, and both are
+//! compressible without changing a single decision:
+//!
+//! * **Thresholds** are per-feature-column codebook codes. IoT
+//!   Sentinel's F′ columns are mostly 0/1 protocol flags, so the set
+//!   of *distinct* thresholds per column across an entire bank is tiny
+//!   (a handful of midpoints). A [`ThresholdCodebook`] stores each
+//!   column's distinct threshold values once; nodes carry a `u16`
+//!   code. Dequantization is exact — the codebook returns the original
+//!   f32 **bit pattern**, so `value <= dequant(code)` is
+//!   decision-identical to the unquantized comparison for every input,
+//!   including NaN, ±0.0 and denormals. That bit-equality is checked
+//!   node by node at build time (the quantization *proof*); a forest
+//!   containing any unprovable node is conservatively escalated to the
+//!   retained f32 arena.
+//! * **Left children** are implicit: quantized trees are emitted in
+//!   preorder, so a non-leaf left child always sits at `self + 1` and
+//!   needs no stored reference. Leaf left children fold into two flag
+//!   bits next to the feature index.
+//!
+//! The result is [`QuantNode`]: `fl: u16` (14-bit feature + left-leaf
+//! flags), `qcode: u16`, `right: u32` — exactly 8 bytes, halving the
+//! bytes a dense scan must stream per node.
+
+use crate::compiled::LEAF_BIT;
+
+/// Bits of [`QuantNode::fl`] carrying the feature index. 14 bits cover
+/// 16384 dimensions — far past Sentinel's 276-dim F′ vectors; forests
+/// testing higher dimensions escalate to the f32 arena.
+pub const QUANT_FEATURE_MASK: u16 = (1 << 14) - 1;
+
+/// [`QuantNode::fl`] flag: the left child is a leaf (otherwise it is
+/// the node at `self + 1` in preorder).
+pub const QUANT_LEFT_LEAF: u16 = 1 << 14;
+
+/// [`QuantNode::fl`] flag: the left leaf's positive-class vote (only
+/// meaningful when [`QUANT_LEFT_LEAF`] is set).
+pub const QUANT_LEFT_VOTE: u16 = 1 << 15;
+
+/// One quantized branch node: 8 bytes.
+///
+/// The feature index lives in the low 14 bits of `fl`; bits 14/15 are
+/// [`QUANT_LEFT_LEAF`] / [`QUANT_LEFT_VOTE`]. A non-leaf left child is
+/// implicit at `self + 1` (preorder emission). `right` keeps the
+/// f32 arena's tagged-reference scheme ([`LEAF_BIT`] plus the vote in
+/// bit 0), indexing the bank's *quantized* node table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantNode {
+    /// Feature index (low 14 bits) plus left-child leaf flags.
+    pub fl: u16,
+    /// Threshold code into the feature column's codebook.
+    pub qcode: u16,
+    /// Tagged reference to the right child (quantized arena).
+    pub right: u32,
+}
+
+const _: () = assert!(std::mem::size_of::<QuantNode>() == 8);
+
+impl QuantNode {
+    /// The feature dimension this node tests.
+    #[inline]
+    pub fn feature(&self) -> usize {
+        usize::from(self.fl & QUANT_FEATURE_MASK)
+    }
+
+    /// The tagged reference of the left child, given this node's own
+    /// untagged reference.
+    #[inline]
+    pub fn left(&self, own: u32) -> u32 {
+        if self.fl & QUANT_LEFT_LEAF != 0 {
+            LEAF_BIT | u32::from(self.fl & QUANT_LEFT_VOTE != 0)
+        } else {
+            own.wrapping_add(1)
+        }
+    }
+}
+
+/// Per-feature-column threshold tables: `columns[d % period]` holds
+/// the distinct threshold values of every node testing a dimension of
+/// column `d % period`, in first-seen order; a node's `qcode` indexes
+/// into its column's table.
+///
+/// Values are stored verbatim (no rounding, no arithmetic), so
+/// `value(d, code)` returns the original threshold **bit pattern** —
+/// that exactness is what makes quantized comparisons provably
+/// decision-identical. The column period matches the bank index's
+/// stripe period (23 for Sentinel's per-packet F′ columns), keeping
+/// each table small and cache-resident.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ThresholdCodebook {
+    columns: Vec<Vec<f32>>,
+}
+
+impl ThresholdCodebook {
+    /// An empty codebook folding dimensions into `period` columns
+    /// (clamped to at least 1).
+    pub fn new(period: u32) -> Self {
+        ThresholdCodebook {
+            columns: vec![Vec::new(); period.max(1) as usize],
+        }
+    }
+
+    /// The column period (number of per-column tables).
+    pub fn period(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Total stored threshold values across all columns.
+    pub fn code_count(&self) -> usize {
+        self.columns.iter().map(Vec::len).sum()
+    }
+
+    /// The threshold value behind `code` for dimension `feature`, or
+    /// `None` when the code is out of range (corrupt or foreign
+    /// arenas; evaluation votes negative on `None`).
+    #[inline]
+    pub fn value(&self, feature: usize, code: u16) -> Option<f32> {
+        let period = self.columns.len();
+        if period == 0 {
+            return None;
+        }
+        self.columns[feature % period]
+            .get(usize::from(code))
+            .copied()
+    }
+
+    /// Appends `threshold` to dimension `feature`'s column, returning
+    /// its new code, or `None` when the column already holds 2¹⁶
+    /// values (the forest escalates to f32). Deduplication is the
+    /// builder's job (it keeps bit-pattern lookup maps); this only
+    /// appends.
+    pub(crate) fn intern(&mut self, feature: usize, threshold: f32) -> Option<u16> {
+        let period = self.columns.len();
+        if period == 0 {
+            return None;
+        }
+        let table = &mut self.columns[feature % period];
+        let code = u16::try_from(table.len()).ok()?;
+        table.push(threshold);
+        Some(code)
+    }
+
+    /// The per-column tables (read-only; builder-map reconstruction).
+    pub(crate) fn columns(&self) -> &[Vec<f32>] {
+        &self.columns
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn table_bytes(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| c.len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+}
+
+/// The quantized side of a compiled bank: an 8-byte node arena
+/// parallel to the f32 arena, a root table parallel to the bank's
+/// root table, a per-forest "proven identical" flag, and the shared
+/// threshold codebook.
+///
+/// Forests whose quantization could not be *proven* decision-identical
+/// at build time (feature past 14 bits, codebook column full, or a
+/// verification mismatch) keep `ok[forest] == false` and are always
+/// evaluated through the retained f32 arena. Raw-parts banks carry an
+/// empty `QuantBank` — everything escalates.
+#[derive(Debug, Clone, Default)]
+pub struct QuantBank {
+    /// Quantized branch nodes, preorder per tree.
+    pub(crate) nodes: Vec<QuantNode>,
+    /// Tagged quantized root per tree, parallel to the bank's root
+    /// table (escalated forests hold harmless negative-leaf entries).
+    pub(crate) roots: Vec<u32>,
+    /// Per-forest: was quantization proven decision-identical?
+    pub(crate) ok: Vec<bool>,
+    /// Per-forest `(start, end)` bounds of the forest's region in
+    /// `nodes` (escalated forests own an empty region).
+    pub(crate) regions: Vec<(u32, u32)>,
+    /// Shared per-column threshold tables.
+    pub(crate) codebook: ThresholdCodebook,
+}
+
+impl QuantBank {
+    /// Quantized branch nodes across all quantized forests.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of forests proven decision-identical under quantization.
+    pub fn quantized_forests(&self) -> usize {
+        self.ok.iter().filter(|ok| **ok).count()
+    }
+
+    /// The shared threshold codebook.
+    pub fn codebook(&self) -> &ThresholdCodebook {
+        &self.codebook
+    }
+
+    /// Approximate heap footprint in bytes (nodes + roots + regions +
+    /// codebook tables).
+    pub fn arena_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<QuantNode>()
+            + self.roots.len() * std::mem::size_of::<u32>()
+            + self.ok.len()
+            + self.regions.len() * std::mem::size_of::<(u32, u32)>()
+            + self.codebook.table_bytes()
+    }
+
+    /// Whether the quantized tables are parallel to a bank with
+    /// `forest_count` forests and `root_count` roots — the invariant
+    /// the routed evaluator relies on before consulting `ok`.
+    pub(crate) fn is_parallel(&self, forest_count: usize, root_count: usize) -> bool {
+        self.ok.len() == forest_count
+            && self.regions.len() == forest_count
+            && self.roots.len() == root_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quant_node_is_eight_bytes() {
+        assert_eq!(std::mem::size_of::<QuantNode>(), 8);
+    }
+
+    #[test]
+    fn codebook_interns_and_returns_exact_bits() {
+        let mut cb = ThresholdCodebook::new(4);
+        let values = [0.5f32, -0.0, f32::NAN, f32::MIN_POSITIVE / 2.0, 1e30];
+        let codes: Vec<u16> = values
+            .iter()
+            .map(|v| cb.intern(6, *v).expect("room in the column"))
+            .collect();
+        for (v, code) in values.iter().zip(&codes) {
+            let got = cb.value(6, *code).expect("interned code resolves");
+            assert_eq!(got.to_bits(), v.to_bits(), "bit-exact round trip");
+        }
+        // Same column via period folding: dimension 2 shares column 2,
+        // dimension 6 % 4 == 2.
+        assert_eq!(cb.value(2, codes[0]).unwrap().to_bits(), 0.5f32.to_bits());
+        // Out-of-range codes resolve to None, never panic.
+        assert_eq!(cb.value(6, 999), None);
+    }
+
+    #[test]
+    fn left_child_resolution() {
+        let split = QuantNode {
+            fl: 7,
+            qcode: 0,
+            right: LEAF_BIT,
+        };
+        assert_eq!(split.left(41), 42);
+        assert_eq!(split.feature(), 7);
+        let leaf_left = QuantNode {
+            fl: 7 | QUANT_LEFT_LEAF | QUANT_LEFT_VOTE,
+            qcode: 0,
+            right: LEAF_BIT,
+        };
+        assert_eq!(leaf_left.left(41), LEAF_BIT | 1);
+        assert_eq!(leaf_left.feature(), 7);
+        let leaf_left_neg = QuantNode {
+            fl: 7 | QUANT_LEFT_LEAF,
+            qcode: 0,
+            right: LEAF_BIT,
+        };
+        assert_eq!(leaf_left_neg.left(41), LEAF_BIT);
+    }
+
+    #[test]
+    fn zero_period_codebook_is_inert() {
+        let cb = ThresholdCodebook::default();
+        assert_eq!(cb.value(3, 0), None);
+        assert_eq!(cb.period(), 0);
+        let mut cb = ThresholdCodebook::default();
+        assert_eq!(cb.intern(3, 1.0), None);
+    }
+
+    #[test]
+    fn column_overflow_reports_none() {
+        let mut cb = ThresholdCodebook::new(1);
+        for i in 0..=u16::MAX {
+            assert!(cb.intern(0, f32::from_bits(u32::from(i))).is_some());
+        }
+        assert_eq!(
+            cb.intern(0, 123.0),
+            None,
+            "65537th distinct value overflows"
+        );
+        assert_eq!(cb.code_count(), 65536);
+    }
+}

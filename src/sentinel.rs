@@ -696,6 +696,17 @@ impl Sentinel {
         self.controller.service().bank_stats()
     }
 
+    /// Relocates the classifier bank's node regions
+    /// most-accepted-first, guided by the accept tallies accrued while
+    /// serving. A pure layout optimization: every identification stays
+    /// bit-identical, but dense probes stream the workload's hot
+    /// forests as one contiguous arena prefix. Run it during a quiet
+    /// period once traffic has warmed the tallies
+    /// ([`Sentinel::bank_stats`] shows the scan counters).
+    pub fn optimize_bank_layout(&mut self) {
+        self.controller.service_mut().optimize_bank_layout()
+    }
+
     /// The SDN controller, for flows the facade does not cover
     /// (flow-level filters, rule-cache preloading, testbeds).
     pub fn controller(&self) -> &SdnController {

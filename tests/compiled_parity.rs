@@ -11,10 +11,12 @@
 use proptest::prelude::*;
 
 use iot_sentinel::core::{
-    persist, CandidateScratch, IdentifierConfig, IoTSecurityService, ServiceCell, Trainer,
-    VulnerabilityDatabase,
+    persist, CandidateScratch, DeviceTypeIdentifier, IdentifierConfig, IoTSecurityService,
+    ServiceCell, Trainer, VulnerabilityDatabase,
 };
-use iot_sentinel::fingerprint::{Dataset, Fingerprint, LabeledFingerprint, PacketFeatures};
+use iot_sentinel::fingerprint::{
+    Dataset, Fingerprint, FixedFingerprint, LabeledFingerprint, PacketFeatures, FEATURE_COUNT,
+};
 use iot_sentinel::ml::{ForestConfig, TreeConfig};
 
 fn fp(tags: &[u32]) -> Fingerprint {
@@ -55,22 +57,76 @@ fn class_dataset(class_seeds: &[u32], samples_per_class: usize) -> Dataset {
     ds
 }
 
-/// Asserts the compiled bank and the interpreter agree on `probe`,
-/// through every stage-one entry point.
+/// Asserts the compiled bank and the interpreter agree on `fixed`,
+/// through every stage-one entry point — including the quantized
+/// 8-byte-node scan and the coarse-to-fine clustered scan, forced at
+/// bank level so banks below the auto-routing thresholds exercise
+/// them too.
+fn assert_fixed_parity(
+    identifier: &DeviceTypeIdentifier,
+    scratch: &mut CandidateScratch,
+    fixed: &FixedFingerprint,
+    what: &str,
+) {
+    let compiled = identifier.classify_candidates(fixed);
+    let interpreted = identifier.classify_candidates_interpreted(fixed);
+    assert_eq!(
+        compiled, interpreted,
+        "compiled and interpreted candidate sets diverge on {what}"
+    );
+    identifier.classify_candidates_into(fixed, scratch);
+    assert_eq!(scratch.candidates(), compiled.as_slice());
+    let ids: Vec<_> = identifier.known_type_ids().collect();
+    let bank = identifier.compiled_bank();
+    let mut quant = Vec::new();
+    bank.for_each_accepting_quant(fixed.as_slice(), |i| quant.push(ids[i]));
+    assert_eq!(
+        quant, interpreted,
+        "quantized scan diverged from the interpreter on {what}"
+    );
+    let mut clustered = Vec::new();
+    bank.for_each_accepting_clustered(fixed.as_slice(), |i| clustered.push(ids[i]));
+    assert_eq!(
+        clustered, interpreted,
+        "clustered scan diverged from the interpreter on {what}"
+    );
+}
+
 fn assert_parity(
-    identifier: &iot_sentinel::core::DeviceTypeIdentifier,
+    identifier: &DeviceTypeIdentifier,
     scratch: &mut CandidateScratch,
     probe: &Fingerprint,
 ) {
     let fixed = probe.to_fixed_with(identifier.config().fixed_prefix_len);
-    let compiled = identifier.classify_candidates(&fixed);
-    let interpreted = identifier.classify_candidates_interpreted(&fixed);
-    assert_eq!(
-        compiled, interpreted,
-        "compiled and interpreted candidate sets diverge on {probe:?}"
-    );
-    identifier.classify_candidates_into(&fixed, scratch);
-    assert_eq!(scratch.candidates(), compiled.as_slice());
+    assert_fixed_parity(identifier, scratch, &fixed, &format!("{probe:?}"));
+}
+
+/// Probes stuffed with the f32 values most likely to expose a
+/// mis-quantized comparison: NaN (all comparisons false), signed
+/// zeros (equal but bit-distinct), denormals, and infinities.
+fn special_value_probes(identifier: &DeviceTypeIdentifier) -> Vec<(FixedFingerprint, String)> {
+    let dims = identifier.config().fixed_prefix_len * FEATURE_COUNT;
+    [
+        f32::NAN,
+        -0.0,
+        f32::MIN_POSITIVE / 2.0,
+        f32::from_bits(1),
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+    ]
+    .iter()
+    .enumerate()
+    .map(|(si, s)| {
+        let mut values = vec![41.5f32; dims];
+        for v in values.iter_mut().step_by(si + 2) {
+            *v = *s;
+        }
+        (
+            FixedFingerprint::from_values(values),
+            format!("special-value probe #{si} ({s})"),
+        )
+    })
+    .collect()
 }
 
 proptest! {
@@ -88,9 +144,17 @@ proptest! {
         let ds = class_dataset(&class_seeds, samples_per_class);
         let identifier = Trainer::new(quick_config()).train(&ds, 5).unwrap();
         prop_assert_eq!(identifier.compiled_bank().forest_count(), identifier.type_count());
+        prop_assert_eq!(
+            identifier.compiled_bank().quantized_forest_count(),
+            identifier.type_count(),
+            "every trained forest must carry a proven-identical quantized form"
+        );
         let mut scratch = CandidateScratch::new();
         for tag in probe_tags {
             assert_parity(&identifier, &mut scratch, &fp(&[tag, tag + 17, tag + 31]));
+        }
+        for (fixed, what) in special_value_probes(&identifier) {
+            assert_fixed_parity(&identifier, &mut scratch, &fixed, &what);
         }
     }
 
@@ -110,10 +174,18 @@ proptest! {
             .collect();
         identifier.add_device_type("Late", &new_fps, 11).unwrap();
         prop_assert_eq!(identifier.compiled_bank().forest_count(), identifier.type_count());
+        prop_assert_eq!(
+            identifier.compiled_bank().quantized_forest_count(),
+            identifier.type_count(),
+            "incrementally appended forests must quantize and stay proven"
+        );
         let mut scratch = CandidateScratch::new();
         assert_parity(&identifier, &mut scratch, &new_fps[0]);
         for tag in probe_tags {
             assert_parity(&identifier, &mut scratch, &fp(&[tag, tag + 17, tag + 31]));
+        }
+        for (fixed, what) in special_value_probes(&identifier) {
+            assert_fixed_parity(&identifier, &mut scratch, &fixed, &what);
         }
     }
 
@@ -142,15 +214,26 @@ proptest! {
             .map(|i| fp(&[new_seed + i, new_seed + 17, new_seed + 31]))
             .collect();
         reloaded.add_device_type("Hotswap", &new_fps, 13).unwrap();
+        // Serve a hot-first-relocated layout: the physical reorder
+        // must be invisible to every candidate set the epoch answers.
+        reloaded.optimize_bank_layout();
         prop_assert_eq!(cell.replace_identifier(reloaded).unwrap(), 2);
 
         let pinned = cell.load();
         let identifier = pinned.identifier();
         prop_assert_eq!(identifier.compiled_bank().forest_count(), identifier.type_count());
+        prop_assert_eq!(
+            identifier.compiled_bank().quantized_forest_count(),
+            identifier.type_count(),
+            "a reloaded, extended, relocated bank must re-prove every quantized forest"
+        );
         let mut scratch = CandidateScratch::new();
         assert_parity(identifier, &mut scratch, &new_fps[0]);
         for tag in probe_tags {
             assert_parity(identifier, &mut scratch, &fp(&[tag, tag + 17, tag + 31]));
+        }
+        for (fixed, what) in special_value_probes(identifier) {
+            assert_fixed_parity(identifier, &mut scratch, &fixed, &what);
         }
     }
 }

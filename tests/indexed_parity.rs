@@ -1,11 +1,14 @@
-//! Indexed / sharded scan parity properties.
+//! Indexed / sharded / quantized / clustered scan parity properties.
 //!
-//! The feature-bitmap prefilter and the thread-sharded scan exist
-//! purely as faster routes through the compiled classifier bank: for
-//! every fingerprint, over every bank shape we can randomly construct,
-//! the candidate set (content **and** order) must be bit-identical to
-//! the reference tree-walking interpreter — the same contract
-//! `compiled_parity.rs` pins for the plain compiled scan. An index is
+//! The feature-bitmap prefilter, the thread-sharded scan, the
+//! quantized 8-byte-node scan, and the coarse-to-fine cluster scan
+//! exist purely as faster routes through the compiled classifier
+//! bank: for every fingerprint, over every bank shape we can randomly
+//! construct — including probes stuffed with NaN, signed zeros,
+//! denormals, and values one ulp either side of real split
+//! thresholds — the candidate set (content **and** order) must be
+//! bit-identical to the reference tree-walking interpreter — the same
+//! contract `compiled_parity.rs` pins for the plain compiled scan. An index is
 //! a correctness hazard (a wrongly skipped forest is a silently lost
 //! candidate), so this suite drives the indexed paths through every
 //! mutation path a served bank goes through: incremental
@@ -16,10 +19,12 @@
 use proptest::prelude::*;
 
 use iot_sentinel::core::{
-    persist, IdentifierConfig, IoTSecurityService, ServiceCell, ShardedScratch, Trainer,
-    VulnerabilityDatabase,
+    persist, DeviceTypeIdentifier, IdentifierConfig, IoTSecurityService, ServiceCell,
+    ShardedScratch, Trainer, VulnerabilityDatabase,
 };
-use iot_sentinel::fingerprint::{Dataset, Fingerprint, LabeledFingerprint, PacketFeatures};
+use iot_sentinel::fingerprint::{
+    Dataset, Fingerprint, FixedFingerprint, LabeledFingerprint, PacketFeatures, FEATURE_COUNT,
+};
 use iot_sentinel::ml::{ForestConfig, TreeConfig};
 
 fn fp(tags: &[u32]) -> Fingerprint {
@@ -64,46 +69,153 @@ fn class_dataset(class_seeds: &[u32], samples_per_class: usize) -> Dataset {
     ds
 }
 
-/// Asserts the indexed scan, the unindexed full scan, and the sharded
-/// scan at several widths all reproduce the interpreter's candidate
-/// set exactly, through the owned-Vec and caller-scratch entry points.
+/// Asserts every scan route — auto-routed, unindexed full, forced
+/// prefilter, quantized, clustered, and sharded at several widths —
+/// reproduces the interpreter's candidate set exactly, through the
+/// owned-Vec and caller-scratch entry points.
+fn assert_fixed_parity(
+    identifier: &DeviceTypeIdentifier,
+    scratch: &mut ShardedScratch,
+    fixed: &FixedFingerprint,
+    what: &str,
+) {
+    let interpreted = identifier.classify_candidates_interpreted(fixed);
+    let routed = identifier.classify_candidates(fixed);
+    assert_eq!(
+        routed, interpreted,
+        "auto-routed scan diverged from the interpreter on {what}"
+    );
+    assert_eq!(
+        identifier.classify_candidates_full(fixed),
+        interpreted,
+        "full scan diverged from the interpreter on {what}"
+    );
+    // The hot path only consults the prefilter / cluster index past
+    // their size thresholds; force each route at bank level so banks
+    // of *every* size exercise the skip-to-cached-verdict, the
+    // 8-byte-node, and the one-walk-per-group scans.
+    let ids: Vec<_> = identifier.known_type_ids().collect();
+    let bank = identifier.compiled_bank();
+    let mut forced = Vec::new();
+    bank.for_each_accepting_indexed(fixed.as_slice(), |i| forced.push(ids[i]));
+    assert_eq!(
+        forced, interpreted,
+        "forced prefilter scan diverged from the interpreter on {what}"
+    );
+    let mut quant = Vec::new();
+    bank.for_each_accepting_quant(fixed.as_slice(), |i| quant.push(ids[i]));
+    assert_eq!(
+        quant, interpreted,
+        "quantized scan diverged from the interpreter on {what}"
+    );
+    let mut clustered = Vec::new();
+    bank.for_each_accepting_clustered(fixed.as_slice(), |i| clustered.push(ids[i]));
+    assert_eq!(
+        clustered, interpreted,
+        "clustered scan diverged from the interpreter on {what}"
+    );
+    for shards in [1usize, 2, 3, 7] {
+        identifier.classify_candidates_sharded_into(fixed, shards, scratch);
+        assert_eq!(
+            scratch.candidates(),
+            interpreted.as_slice(),
+            "sharded({shards}) scan diverged on {what}"
+        );
+    }
+}
+
 fn assert_indexed_parity(
-    identifier: &iot_sentinel::core::DeviceTypeIdentifier,
+    identifier: &DeviceTypeIdentifier,
     scratch: &mut ShardedScratch,
     probe: &Fingerprint,
 ) {
     let fixed = probe.to_fixed_with(identifier.config().fixed_prefix_len);
-    let interpreted = identifier.classify_candidates_interpreted(&fixed);
-    let indexed = identifier.classify_candidates(&fixed);
-    assert_eq!(
-        indexed, interpreted,
-        "indexed scan diverged from the interpreter on {probe:?}"
-    );
-    assert_eq!(
-        identifier.classify_candidates_full(&fixed),
-        interpreted,
-        "full scan diverged from the interpreter on {probe:?}"
-    );
-    // The hot path only consults the prefilter past its size
-    // threshold; force it at bank level so banks of *every* size
-    // exercise the skip-to-cached-verdict route.
-    let ids: Vec<_> = identifier.known_type_ids().collect();
-    let mut forced = Vec::new();
-    identifier
-        .compiled_bank()
-        .for_each_accepting_indexed(fixed.as_slice(), |i| forced.push(ids[i]));
-    assert_eq!(
-        forced, interpreted,
-        "forced prefilter scan diverged from the interpreter on {probe:?}"
-    );
-    for shards in [1usize, 2, 3, 7] {
-        identifier.classify_candidates_sharded_into(&fixed, shards, scratch);
-        assert_eq!(
-            scratch.candidates(),
-            interpreted.as_slice(),
-            "sharded({shards}) scan diverged on {probe:?}"
-        );
+    assert_fixed_parity(identifier, scratch, &fixed, &format!("{probe:?}"));
+}
+
+fn ulp_up(x: f32) -> f32 {
+    if !x.is_finite() {
+        x
+    } else if x == 0.0 {
+        f32::from_bits(1)
+    } else if x > 0.0 {
+        f32::from_bits(x.to_bits() + 1)
+    } else {
+        f32::from_bits(x.to_bits() - 1)
     }
+}
+
+fn ulp_down(x: f32) -> f32 {
+    if !x.is_finite() {
+        x
+    } else if x == 0.0 {
+        -f32::from_bits(1)
+    } else if x > 0.0 {
+        f32::from_bits(x.to_bits() - 1)
+    } else {
+        f32::from_bits(x.to_bits() + 1)
+    }
+}
+
+/// Fixed-width probes packed with the IEEE-754 edge cases the
+/// quantized bucket comparison must not reorder: NaN, ±0.0,
+/// denormals, infinities, and values exactly on / one ulp either side
+/// of real split thresholds harvested from the compiled arena.
+fn adversarial_fixed_probes(identifier: &DeviceTypeIdentifier) -> Vec<(FixedFingerprint, String)> {
+    let dims = identifier.config().fixed_prefix_len * FEATURE_COUNT;
+    let specials = [
+        f32::NAN,
+        0.0,
+        -0.0,
+        f32::MIN_POSITIVE / 2.0, // denormal
+        f32::from_bits(1),       // smallest positive denormal
+        -f32::from_bits(1),
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::MAX,
+    ];
+    let mut probes = Vec::new();
+    for (si, s) in specials.iter().enumerate() {
+        let mut values = vec![0.0f32; dims];
+        for v in values.iter_mut().skip(si % 3).step_by(si + 2) {
+            *v = *s;
+        }
+        probes.push((
+            FixedFingerprint::from_values(values),
+            format!("special-value probe #{si} ({s})"),
+        ));
+    }
+    // Straddle real split thresholds: exactly at, one ulp below, one
+    // ulp above — the three points where a quantized bucket compare
+    // could flip a branch the f32 compare would not.
+    let bank = identifier.compiled_bank();
+    for (ni, node) in bank.nodes().iter().enumerate().step_by(7).take(24) {
+        let feature = usize::from(node.feature);
+        for (which, value) in [
+            ("at", node.threshold),
+            ("just below", ulp_down(node.threshold)),
+            ("just above", ulp_up(node.threshold)),
+        ] {
+            let mut values = vec![0.0f32; dims];
+            // Paint the whole stripe so the probe hits every forest's
+            // use of this feature column, not just one node.
+            for v in values
+                .iter_mut()
+                .skip(feature % FEATURE_COUNT)
+                .step_by(FEATURE_COUNT)
+            {
+                *v = value;
+            }
+            if feature < dims {
+                values[feature] = value;
+            }
+            probes.push((
+                FixedFingerprint::from_values(values),
+                format!("node {ni} {which} threshold {}", node.threshold),
+            ));
+        }
+    }
+    probes
 }
 
 proptest! {
@@ -124,6 +236,10 @@ proptest! {
         prop_assert!(stats.indexed, "trained banks must carry a usable index");
         prop_assert_eq!(stats.stripes, 23);
         prop_assert_eq!(stats.forests, identifier.type_count());
+        prop_assert_eq!(
+            stats.quantized_forests, stats.forests,
+            "every trained forest must carry a proven-identical quantized form"
+        );
         let mut scratch = ShardedScratch::new();
         for tag in probe_tags {
             assert_indexed_parity(&identifier, &mut scratch, &fp(&[tag, tag + 17, tag + 31]));
@@ -131,6 +247,11 @@ proptest! {
         // The all-default fingerprint exercises the pure
         // cached-verdict route (its nonzero bitmap is empty).
         assert_indexed_parity(&identifier, &mut scratch, &Fingerprint::from_columns(Vec::new()));
+        // NaN / ±0.0 / denormal / bucket-edge probes: the quantized
+        // and clustered routes must not reorder a single comparison.
+        for (fixed, what) in adversarial_fixed_probes(&identifier) {
+            assert_fixed_parity(&identifier, &mut scratch, &fixed, &what);
+        }
     }
 
     /// Parity survives incremental learning: `add_device_type` appends
@@ -156,10 +277,40 @@ proptest! {
                 .unwrap();
             prop_assert_eq!(identifier.bank_stats().forests, identifier.type_count());
             prop_assert!(identifier.bank_stats().indexed);
+            prop_assert_eq!(
+                identifier.bank_stats().quantized_forests,
+                identifier.bank_stats().forests,
+                "appended forests must quantize and stay proven"
+            );
             assert_indexed_parity(&identifier, &mut scratch, &new_fps[0]);
         }
-        for tag in probe_tags {
-            assert_indexed_parity(&identifier, &mut scratch, &fp(&[tag, tag + 17, tag + 31]));
+        for tag in &probe_tags {
+            assert_indexed_parity(&identifier, &mut scratch, &fp(&[*tag, tag + 17, tag + 31]));
+        }
+        // Hot-first relocation is purely physical: re-laying the arena
+        // most-accepted-first must leave every candidate set — and the
+        // quantization / cluster statistics — untouched, and further
+        // appends must keep working on the relocated bank.
+        let before = identifier.bank_stats();
+        identifier.optimize_bank_layout();
+        let after = identifier.bank_stats();
+        prop_assert_eq!(after.forests, before.forests);
+        prop_assert_eq!(after.quantized_forests, before.quantized_forests);
+        prop_assert_eq!(after.cluster_groups, before.cluster_groups);
+        for tag in &probe_tags {
+            assert_indexed_parity(&identifier, &mut scratch, &fp(&[*tag, tag + 17, tag + 31]));
+        }
+        let post_fps: Vec<Fingerprint> = (0..5u32)
+            .map(|i| fp(&[40_000 + i, 40_017, 40_031]))
+            .collect();
+        identifier.add_device_type("PostLayout", &post_fps, 97).unwrap();
+        prop_assert_eq!(
+            identifier.bank_stats().quantized_forests,
+            identifier.bank_stats().forests
+        );
+        assert_indexed_parity(&identifier, &mut scratch, &post_fps[0]);
+        for (fixed, what) in adversarial_fixed_probes(&identifier) {
+            assert_fixed_parity(&identifier, &mut scratch, &fixed, &what);
         }
     }
 
@@ -188,16 +339,31 @@ proptest! {
             .map(|i| fp(&[new_seed + i, new_seed + 17, new_seed + 31]))
             .collect();
         reloaded.add_device_type("Hotswap", &new_fps, 13).unwrap();
+        prop_assert_eq!(
+            reloaded.bank_stats().quantized_forests,
+            reloaded.bank_stats().forests,
+            "a reloaded-and-extended bank must re-prove every quantized forest"
+        );
+        // Publish a hot-first-relocated bank: the served epoch must be
+        // bit-identical to the interpreter like any other.
+        reloaded.optimize_bank_layout();
         prop_assert_eq!(cell.replace_identifier(reloaded).unwrap(), 2);
 
         let pinned = cell.load();
         let identifier = pinned.identifier();
         prop_assert_eq!(identifier.bank_stats().forests, identifier.type_count());
         prop_assert!(identifier.bank_stats().indexed);
+        prop_assert_eq!(
+            identifier.bank_stats().quantized_forests,
+            identifier.bank_stats().forests
+        );
         let mut scratch = ShardedScratch::new();
         assert_indexed_parity(identifier, &mut scratch, &new_fps[0]);
         for tag in probe_tags {
             assert_indexed_parity(identifier, &mut scratch, &fp(&[tag, tag + 17, tag + 31]));
+        }
+        for (fixed, what) in adversarial_fixed_probes(identifier) {
+            assert_fixed_parity(identifier, &mut scratch, &fixed, &what);
         }
     }
 }
